@@ -1,0 +1,189 @@
+//! Condition codes for conditional jumps and `setcc`/`cmovcc`.
+
+use std::fmt;
+
+/// An x86 condition code.
+///
+/// The discriminant is the 4-bit condition encoding (`cc`) appended to the
+/// `0F 80`/`0F 90`/`0F 40` opcode bases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Overflow (`jo`).
+    O = 0x0,
+    /// No overflow (`jno`).
+    No = 0x1,
+    /// Below — unsigned `<` (`jb`).
+    B = 0x2,
+    /// Above or equal — unsigned `>=` (`jae`).
+    Ae = 0x3,
+    /// Equal / zero (`je`).
+    E = 0x4,
+    /// Not equal / not zero (`jne`).
+    Ne = 0x5,
+    /// Below or equal — unsigned `<=` (`jbe`).
+    Be = 0x6,
+    /// Above — unsigned `>` (`ja`).
+    A = 0x7,
+    /// Sign (`js`).
+    S = 0x8,
+    /// No sign (`jns`).
+    Ns = 0x9,
+    /// Parity (`jp`).
+    P = 0xA,
+    /// No parity (`jnp`).
+    Np = 0xB,
+    /// Less — signed `<` (`jl`).
+    L = 0xC,
+    /// Greater or equal — signed `>=` (`jge`).
+    Ge = 0xD,
+    /// Less or equal — signed `<=` (`jle`).
+    Le = 0xE,
+    /// Greater — signed `>` (`jg`).
+    G = 0xF,
+}
+
+impl Cond {
+    /// The 4-bit hardware encoding.
+    #[inline]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The logically negated condition (e.g. `E` ↔ `Ne`).
+    pub const fn negate(self) -> Cond {
+        match self {
+            Cond::O => Cond::No,
+            Cond::No => Cond::O,
+            Cond::B => Cond::Ae,
+            Cond::Ae => Cond::B,
+            Cond::E => Cond::Ne,
+            Cond::Ne => Cond::E,
+            Cond::Be => Cond::A,
+            Cond::A => Cond::Be,
+            Cond::S => Cond::Ns,
+            Cond::Ns => Cond::S,
+            Cond::P => Cond::Np,
+            Cond::Np => Cond::P,
+            Cond::L => Cond::Ge,
+            Cond::Ge => Cond::L,
+            Cond::Le => Cond::G,
+            Cond::G => Cond::Le,
+        }
+    }
+
+    /// Mnemonic suffix (e.g. `"ge"` for [`Cond::Ge`]).
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::O => "o",
+            Cond::No => "no",
+            Cond::B => "b",
+            Cond::Ae => "ae",
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+            Cond::P => "p",
+            Cond::Np => "np",
+            Cond::L => "l",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::G => "g",
+        }
+    }
+
+    /// All sixteen condition codes.
+    pub const ALL: [Cond; 16] = [
+        Cond::O,
+        Cond::No,
+        Cond::B,
+        Cond::Ae,
+        Cond::E,
+        Cond::Ne,
+        Cond::Be,
+        Cond::A,
+        Cond::S,
+        Cond::Ns,
+        Cond::P,
+        Cond::Np,
+        Cond::L,
+        Cond::Ge,
+        Cond::Le,
+        Cond::G,
+    ];
+
+    /// Evaluate the condition against flag values.
+    ///
+    /// Used by the emulator crate; kept here so the definition of each
+    /// condition lives in exactly one place.
+    pub fn eval(self, cf: bool, zf: bool, sf: bool, of: bool, pf: bool) -> bool {
+        match self {
+            Cond::O => of,
+            Cond::No => !of,
+            Cond::B => cf,
+            Cond::Ae => !cf,
+            Cond::E => zf,
+            Cond::Ne => !zf,
+            Cond::Be => cf || zf,
+            Cond::A => !cf && !zf,
+            Cond::S => sf,
+            Cond::Ns => !sf,
+            Cond::P => pf,
+            Cond::Np => !pf,
+            Cond::L => sf != of,
+            Cond::Ge => sf == of,
+            Cond::Le => zf || (sf != of),
+            Cond::G => !zf && (sf == of),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negation_is_involutive() {
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+            assert_ne!(c.negate(), c);
+        }
+    }
+
+    #[test]
+    fn codes_are_unique_and_match_pairs() {
+        for c in Cond::ALL {
+            // Negation flips the low bit of the encoding.
+            assert_eq!(c.negate().code(), c.code() ^ 1);
+        }
+    }
+
+    #[test]
+    fn eval_signed_comparisons() {
+        // cmp 5, 7 => 5 - 7 = negative, no overflow: SF=1, OF=0, ZF=0.
+        assert!(Cond::L.eval(true, false, true, false, false));
+        assert!(!Cond::Ge.eval(true, false, true, false, false));
+        // cmp 7, 7 => zero.
+        assert!(Cond::Ge.eval(false, true, false, false, true));
+        assert!(Cond::Le.eval(false, true, false, false, true));
+        assert!(!Cond::G.eval(false, true, false, false, true));
+        assert!(Cond::E.eval(false, true, false, false, true));
+    }
+
+    #[test]
+    fn eval_unsigned_comparisons() {
+        // cmp 3, 9 (unsigned): borrow => CF=1.
+        assert!(Cond::B.eval(true, false, true, false, false));
+        assert!(!Cond::Ae.eval(true, false, true, false, false));
+        assert!(Cond::Be.eval(true, false, true, false, false));
+        assert!(!Cond::A.eval(true, false, true, false, false));
+    }
+}

@@ -1,0 +1,208 @@
+//! CPU feature detection and ISA-level selection.
+
+use std::fmt;
+
+/// The SIMD instruction-set tiers that the JITSPMM code generator can target.
+///
+/// The ordering is meaningful: higher tiers strictly extend lower tiers, so
+/// `IsaLevel` is `Ord` and the generator can "round down" to whatever the
+/// host supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IsaLevel {
+    /// No SIMD accumulators: scalar SSE arithmetic on the low XMM lane only.
+    Scalar,
+    /// 128-bit packed arithmetic (SSE/AVX-128 encodings, 4 × f32 per
+    /// register).
+    Sse128,
+    /// 256-bit packed arithmetic with FMA (8 × f32 per register).
+    Avx2,
+    /// 512-bit packed arithmetic with 32 architectural registers
+    /// (16 × f32 per register).
+    Avx512,
+}
+
+impl IsaLevel {
+    /// All tiers, lowest to highest.
+    pub const ALL: [IsaLevel; 4] =
+        [IsaLevel::Scalar, IsaLevel::Sse128, IsaLevel::Avx2, IsaLevel::Avx512];
+
+    /// Width in f32 lanes of the widest accumulator register at this tier.
+    pub const fn max_f32_lanes(self) -> usize {
+        match self {
+            IsaLevel::Scalar => 1,
+            IsaLevel::Sse128 => 4,
+            IsaLevel::Avx2 => 8,
+            IsaLevel::Avx512 => 16,
+        }
+    }
+
+    /// Width in f64 lanes of the widest accumulator register at this tier.
+    pub const fn max_f64_lanes(self) -> usize {
+        match self {
+            IsaLevel::Scalar => 1,
+            IsaLevel::Sse128 => 2,
+            IsaLevel::Avx2 => 4,
+            IsaLevel::Avx512 => 8,
+        }
+    }
+
+    /// Number of architectural vector registers usable at this tier.
+    pub const fn register_count(self) -> usize {
+        match self {
+            IsaLevel::Scalar | IsaLevel::Sse128 | IsaLevel::Avx2 => 16,
+            IsaLevel::Avx512 => 32,
+        }
+    }
+
+    /// Human-readable name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            IsaLevel::Scalar => "scalar",
+            IsaLevel::Sse128 => "sse128",
+            IsaLevel::Avx2 => "avx2",
+            IsaLevel::Avx512 => "avx512",
+        }
+    }
+}
+
+impl fmt::Display for IsaLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The SIMD-related CPU features relevant to JITSPMM code generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuFeatures {
+    /// AVX (256-bit VEX encodings).
+    pub avx: bool,
+    /// AVX2.
+    pub avx2: bool,
+    /// Fused multiply-add (FMA3).
+    pub fma: bool,
+    /// AVX-512 Foundation.
+    pub avx512f: bool,
+    /// AVX-512 DQ (needed for 512-bit `vxorps`).
+    pub avx512dq: bool,
+    /// AVX-512 VL (128/256-bit EVEX forms).
+    pub avx512vl: bool,
+}
+
+impl CpuFeatures {
+    /// Detect the features of the host CPU.
+    pub fn detect() -> CpuFeatures {
+        #[cfg(target_arch = "x86_64")]
+        {
+            CpuFeatures {
+                avx: std::arch::is_x86_feature_detected!("avx"),
+                avx2: std::arch::is_x86_feature_detected!("avx2"),
+                fma: std::arch::is_x86_feature_detected!("fma"),
+                avx512f: std::arch::is_x86_feature_detected!("avx512f"),
+                avx512dq: std::arch::is_x86_feature_detected!("avx512dq"),
+                avx512vl: std::arch::is_x86_feature_detected!("avx512vl"),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            CpuFeatures::none()
+        }
+    }
+
+    /// A feature set with everything disabled (scalar only).
+    pub const fn none() -> CpuFeatures {
+        CpuFeatures { avx: false, avx2: false, fma: false, avx512f: false, avx512dq: false, avx512vl: false }
+    }
+
+    /// A feature set describing a full AVX-512 machine (the paper's Xeon
+    /// Gold 6126 testbed).
+    pub const fn full_avx512() -> CpuFeatures {
+        CpuFeatures { avx: true, avx2: true, fma: true, avx512f: true, avx512dq: true, avx512vl: true }
+    }
+
+    /// The highest [`IsaLevel`] these features can execute.
+    pub fn best_isa(&self) -> IsaLevel {
+        if self.avx512f {
+            IsaLevel::Avx512
+        } else if self.avx2 && self.fma {
+            IsaLevel::Avx2
+        } else if self.avx {
+            IsaLevel::Sse128
+        } else {
+            IsaLevel::Scalar
+        }
+    }
+
+    /// Whether code generated for `isa` can run with these features.
+    pub fn supports(&self, isa: IsaLevel) -> bool {
+        isa <= self.best_isa()
+    }
+
+    /// Whether packed FMA instructions are available (required by the
+    /// [`IsaLevel::Avx2`] and higher tiers of the generated kernels).
+    pub fn has_fma(&self) -> bool {
+        self.fma || self.avx512f
+    }
+}
+
+impl Default for CpuFeatures {
+    fn default() -> Self {
+        CpuFeatures::detect()
+    }
+}
+
+impl fmt::Display for CpuFeatures {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "avx={} avx2={} fma={} avx512f={} avx512dq={} avx512vl={}",
+            self.avx, self.avx2, self.fma, self.avx512f, self.avx512dq, self.avx512vl
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isa_levels_are_ordered() {
+        assert!(IsaLevel::Scalar < IsaLevel::Sse128);
+        assert!(IsaLevel::Sse128 < IsaLevel::Avx2);
+        assert!(IsaLevel::Avx2 < IsaLevel::Avx512);
+    }
+
+    #[test]
+    fn lane_counts() {
+        assert_eq!(IsaLevel::Avx512.max_f32_lanes(), 16);
+        assert_eq!(IsaLevel::Avx2.max_f32_lanes(), 8);
+        assert_eq!(IsaLevel::Sse128.max_f32_lanes(), 4);
+        assert_eq!(IsaLevel::Scalar.max_f32_lanes(), 1);
+        assert_eq!(IsaLevel::Avx512.max_f64_lanes(), 8);
+    }
+
+    #[test]
+    fn best_isa_selection() {
+        assert_eq!(CpuFeatures::none().best_isa(), IsaLevel::Scalar);
+        assert_eq!(CpuFeatures::full_avx512().best_isa(), IsaLevel::Avx512);
+        let avx2_only = CpuFeatures { avx: true, avx2: true, fma: true, ..CpuFeatures::none() };
+        assert_eq!(avx2_only.best_isa(), IsaLevel::Avx2);
+        let avx_only = CpuFeatures { avx: true, ..CpuFeatures::none() };
+        assert_eq!(avx_only.best_isa(), IsaLevel::Sse128);
+    }
+
+    #[test]
+    fn supports_is_monotone() {
+        let feats = CpuFeatures::full_avx512();
+        for isa in IsaLevel::ALL {
+            assert!(feats.supports(isa));
+        }
+        assert!(!CpuFeatures::none().supports(IsaLevel::Avx2));
+    }
+
+    #[test]
+    fn detect_does_not_panic() {
+        let feats = CpuFeatures::detect();
+        let _ = feats.best_isa();
+        assert!(!feats.to_string().is_empty());
+    }
+}

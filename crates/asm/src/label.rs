@@ -1,0 +1,40 @@
+//! Labels and relocation fixups for forward/backward jumps.
+
+/// A position in the code stream that jumps can target before or after it is
+/// known.
+///
+/// Labels are created with [`crate::Assembler::new_label`], bound to the
+/// current position with [`crate::Assembler::bind`], and referenced by the
+/// jump-emitting methods. All references are resolved by
+/// [`crate::Assembler::finalize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub(crate) usize);
+
+impl Label {
+    /// The label's index within its assembler.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The kind of patch a fixup performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FixupKind {
+    /// A 32-bit displacement relative to the end of the instruction.
+    Rel32,
+}
+
+/// A pending patch recorded when a jump to an unbound (or bound) label is
+/// emitted.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fixup {
+    /// Offset of the displacement field within the code buffer.
+    pub at: usize,
+    /// Offset of the end of the instruction (the base the displacement is
+    /// relative to).
+    pub next_inst: usize,
+    /// Target label.
+    pub label: Label,
+    /// Patch kind.
+    pub kind: FixupKind,
+}

@@ -1,0 +1,174 @@
+//! Memory-operand representation (base + index * scale + displacement).
+
+use crate::reg::Gpr;
+use std::fmt;
+
+/// The scale factor applied to the index register of a memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Scale {
+    /// `index * 1`
+    S1 = 0,
+    /// `index * 2`
+    S2 = 1,
+    /// `index * 4`
+    S4 = 2,
+    /// `index * 8`
+    S8 = 3,
+}
+
+impl Scale {
+    /// The numeric multiplier.
+    pub const fn factor(self) -> u8 {
+        1 << (self as u8)
+    }
+
+    /// Construct from a multiplier of 1, 2, 4 or 8.
+    ///
+    /// Returns `None` for any other value.
+    pub fn from_factor(factor: u8) -> Option<Scale> {
+        match factor {
+            1 => Some(Scale::S1),
+            2 => Some(Scale::S2),
+            4 => Some(Scale::S4),
+            8 => Some(Scale::S8),
+            _ => None,
+        }
+    }
+
+    /// The two-bit SIB encoding.
+    pub const fn bits(self) -> u8 {
+        self as u8
+    }
+}
+
+/// A memory operand of the form `[base + index * scale + disp]`.
+///
+/// The JITSPMM kernels only ever address memory through a base register with
+/// an optional index and 32-bit displacement, which is exactly what this type
+/// models. RIP-relative and absolute addressing are intentionally not
+/// supported; runtime addresses are materialized into registers with
+/// `mov r64, imm64` instead (the paper does the same — see Listing 1/2).
+///
+/// # Example
+///
+/// ```
+/// use jitspmm_asm::{Mem, Gpr, Scale};
+/// let m = Mem::base(Gpr::Rdi).index(Gpr::Rcx, Scale::S4).disp(64);
+/// assert_eq!(m.to_string(), "[rdi + rcx*4 + 0x40]");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mem {
+    base: Gpr,
+    index: Option<(Gpr, Scale)>,
+    disp: i32,
+}
+
+impl Mem {
+    /// `[base]`
+    pub fn base(base: Gpr) -> Mem {
+        Mem { base, index: None, disp: 0 }
+    }
+
+    /// Add an index register and scale: `[base + index*scale + ..]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is `rsp`, which cannot be encoded as an index
+    /// register on x86-64.
+    pub fn index(mut self, index: Gpr, scale: Scale) -> Mem {
+        assert!(index != Gpr::Rsp, "rsp cannot be used as an index register");
+        self.index = Some((index, scale));
+        self
+    }
+
+    /// Add (replace) the displacement: `[.. + disp]`.
+    pub fn disp(mut self, disp: i32) -> Mem {
+        self.disp = disp;
+        self
+    }
+
+    /// Offset the current displacement by `delta` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on signed 32-bit overflow of the resulting displacement.
+    pub fn offset(mut self, delta: i32) -> Mem {
+        self.disp = self
+            .disp
+            .checked_add(delta)
+            .expect("memory-operand displacement overflowed i32");
+        self
+    }
+
+    /// The base register.
+    pub fn base_reg(&self) -> Gpr {
+        self.base
+    }
+
+    /// The index register and scale, if any.
+    pub fn index_reg(&self) -> Option<(Gpr, Scale)> {
+        self.index
+    }
+
+    /// The displacement.
+    pub fn displacement(&self) -> i32 {
+        self.disp
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}", self.base)?;
+        if let Some((idx, scale)) = self.index {
+            write!(f, " + {}*{}", idx, scale.factor())?;
+        }
+        if self.disp > 0 {
+            write!(f, " + {:#x}", self.disp)?;
+        } else if self.disp < 0 {
+            write!(f, " - {:#x}", -(self.disp as i64))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Gpr> for Mem {
+    fn from(base: Gpr) -> Mem {
+        Mem::base(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_round_trip() {
+        for s in [Scale::S1, Scale::S2, Scale::S4, Scale::S8] {
+            assert_eq!(Scale::from_factor(s.factor()), Some(s));
+        }
+        assert_eq!(Scale::from_factor(3), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Mem::base(Gpr::Rax).to_string(), "[rax]");
+        assert_eq!(Mem::base(Gpr::Rax).disp(-8).to_string(), "[rax - 0x8]");
+        assert_eq!(
+            Mem::base(Gpr::R13).index(Gpr::R14, Scale::S8).disp(4).to_string(),
+            "[r13 + r14*8 + 0x4]"
+        );
+    }
+
+    #[test]
+    fn offset_accumulates() {
+        let m = Mem::base(Gpr::Rdi).disp(16).offset(48);
+        assert_eq!(m.displacement(), 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rsp_index_rejected() {
+        let _ = Mem::base(Gpr::Rax).index(Gpr::Rsp, Scale::S1);
+    }
+}

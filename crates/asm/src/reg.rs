@@ -1,0 +1,370 @@
+//! Register definitions for the x86-64 general-purpose and SIMD register
+//! files.
+
+use std::fmt;
+
+/// A 64-bit general-purpose register.
+///
+/// The discriminant is the hardware encoding (0–15) used in ModRM/SIB/REX
+/// bytes.
+///
+/// # Example
+///
+/// ```
+/// use jitspmm_asm::Gpr;
+/// assert_eq!(Gpr::Rax.id(), 0);
+/// assert_eq!(Gpr::R15.id(), 15);
+/// assert!(Gpr::R8.is_extended());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Gpr {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Gpr {
+    /// All sixteen general-purpose registers in encoding order.
+    pub const ALL: [Gpr; 16] = [
+        Gpr::Rax,
+        Gpr::Rcx,
+        Gpr::Rdx,
+        Gpr::Rbx,
+        Gpr::Rsp,
+        Gpr::Rbp,
+        Gpr::Rsi,
+        Gpr::Rdi,
+        Gpr::R8,
+        Gpr::R9,
+        Gpr::R10,
+        Gpr::R11,
+        Gpr::R12,
+        Gpr::R13,
+        Gpr::R14,
+        Gpr::R15,
+    ];
+
+    /// Registers that are caller-saved (volatile) in the System V AMD64 ABI.
+    pub const CALLER_SAVED: [Gpr; 9] = [
+        Gpr::Rax,
+        Gpr::Rcx,
+        Gpr::Rdx,
+        Gpr::Rsi,
+        Gpr::Rdi,
+        Gpr::R8,
+        Gpr::R9,
+        Gpr::R10,
+        Gpr::R11,
+    ];
+
+    /// Registers that must be preserved across calls in the System V AMD64
+    /// ABI.
+    pub const CALLEE_SAVED: [Gpr; 6] =
+        [Gpr::Rbx, Gpr::Rsp, Gpr::Rbp, Gpr::R12, Gpr::R13, Gpr::R14];
+
+    /// The integer argument registers of the System V AMD64 ABI, in order.
+    pub const ARGS: [Gpr; 6] = [Gpr::Rdi, Gpr::Rsi, Gpr::Rdx, Gpr::Rcx, Gpr::R8, Gpr::R9];
+
+    /// Hardware encoding (0–15).
+    #[inline]
+    pub const fn id(self) -> u8 {
+        self as u8
+    }
+
+    /// Low three bits of the encoding, as placed in ModRM/SIB fields.
+    #[inline]
+    pub const fn low3(self) -> u8 {
+        self.id() & 0b111
+    }
+
+    /// Whether the register needs a REX extension bit (r8–r15).
+    #[inline]
+    pub const fn is_extended(self) -> bool {
+        self.id() >= 8
+    }
+
+    /// Construct from a hardware encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= 16`.
+    pub fn from_id(id: u8) -> Gpr {
+        Self::ALL[id as usize]
+    }
+
+    /// The conventional assembly name of the register (64-bit form).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Gpr::Rax => "rax",
+            Gpr::Rcx => "rcx",
+            Gpr::Rdx => "rdx",
+            Gpr::Rbx => "rbx",
+            Gpr::Rsp => "rsp",
+            Gpr::Rbp => "rbp",
+            Gpr::Rsi => "rsi",
+            Gpr::Rdi => "rdi",
+            Gpr::R8 => "r8",
+            Gpr::R9 => "r9",
+            Gpr::R10 => "r10",
+            Gpr::R11 => "r11",
+            Gpr::R12 => "r12",
+            Gpr::R13 => "r13",
+            Gpr::R14 => "r14",
+            Gpr::R15 => "r15",
+        }
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+macro_rules! vec_reg {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $max:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u8);
+
+        impl $name {
+            /// Construct register number `id`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `id` is outside the architectural register file
+            /// (0–15 for VEX-only registers, 0–31 with AVX-512).
+            pub fn new(id: u8) -> Self {
+                assert!(id < $max, concat!(stringify!($name), " register id out of range"));
+                Self(id)
+            }
+
+            /// Hardware encoding.
+            #[inline]
+            pub const fn id(self) -> u8 {
+                self.0
+            }
+
+            /// Low three bits of the encoding, as placed in ModRM/SIB fields.
+            #[inline]
+            pub const fn low3(self) -> u8 {
+                self.0 & 0b111
+            }
+
+            /// The conventional assembly name, e.g. `zmm31`.
+            pub fn name(self) -> String {
+                format!("{}{}", $prefix, self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+    };
+}
+
+vec_reg!(
+    /// A 128-bit SSE/AVX register (`xmm0`–`xmm31`).
+    ///
+    /// Registers 16–31 are only encodable with EVEX (AVX-512VL).
+    Xmm, "xmm", 32);
+vec_reg!(
+    /// A 256-bit AVX register (`ymm0`–`ymm31`).
+    ///
+    /// Registers 16–31 are only encodable with EVEX (AVX-512VL).
+    Ymm, "ymm", 32);
+vec_reg!(
+    /// A 512-bit AVX-512 register (`zmm0`–`zmm31`).
+    Zmm, "zmm", 32);
+
+/// The width of a SIMD register operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VecWidth {
+    /// 128-bit (`xmm`).
+    X128,
+    /// 256-bit (`ymm`).
+    Y256,
+    /// 512-bit (`zmm`).
+    Z512,
+}
+
+impl VecWidth {
+    /// Width in bytes.
+    pub const fn bytes(self) -> usize {
+        match self {
+            VecWidth::X128 => 16,
+            VecWidth::Y256 => 32,
+            VecWidth::Z512 => 64,
+        }
+    }
+
+    /// Number of 32-bit lanes.
+    pub const fn f32_lanes(self) -> usize {
+        self.bytes() / 4
+    }
+
+    /// Number of 64-bit lanes.
+    pub const fn f64_lanes(self) -> usize {
+        self.bytes() / 8
+    }
+}
+
+/// A SIMD register of any width, used by width-generic emission helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VecReg {
+    id: u8,
+    width: VecWidth,
+}
+
+impl VecReg {
+    /// A 128-bit view of register `id`.
+    pub fn xmm(id: u8) -> VecReg {
+        let _ = Xmm::new(id);
+        VecReg { id, width: VecWidth::X128 }
+    }
+
+    /// A 256-bit view of register `id`.
+    pub fn ymm(id: u8) -> VecReg {
+        let _ = Ymm::new(id);
+        VecReg { id, width: VecWidth::Y256 }
+    }
+
+    /// A 512-bit view of register `id`.
+    pub fn zmm(id: u8) -> VecReg {
+        let _ = Zmm::new(id);
+        VecReg { id, width: VecWidth::Z512 }
+    }
+
+    /// Construct with an explicit width.
+    pub fn with_width(id: u8, width: VecWidth) -> VecReg {
+        match width {
+            VecWidth::X128 => VecReg::xmm(id),
+            VecWidth::Y256 => VecReg::ymm(id),
+            VecWidth::Z512 => VecReg::zmm(id),
+        }
+    }
+
+    /// Hardware encoding.
+    #[inline]
+    pub const fn id(self) -> u8 {
+        self.id
+    }
+
+    /// Register width.
+    #[inline]
+    pub const fn width(self) -> VecWidth {
+        self.width
+    }
+
+    /// Whether the register id requires EVEX encoding (16–31) regardless of
+    /// instruction choice.
+    #[inline]
+    pub const fn requires_evex(self) -> bool {
+        self.id >= 16
+    }
+
+    /// The conventional assembly name, e.g. `ymm7`.
+    pub fn name(self) -> String {
+        let prefix = match self.width {
+            VecWidth::X128 => "xmm",
+            VecWidth::Y256 => "ymm",
+            VecWidth::Z512 => "zmm",
+        };
+        format!("{}{}", prefix, self.id)
+    }
+}
+
+impl fmt::Display for VecReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl From<Xmm> for VecReg {
+    fn from(r: Xmm) -> VecReg {
+        VecReg::xmm(r.id())
+    }
+}
+
+impl From<Ymm> for VecReg {
+    fn from(r: Ymm) -> VecReg {
+        VecReg::ymm(r.id())
+    }
+}
+
+impl From<Zmm> for VecReg {
+    fn from(r: Zmm) -> VecReg {
+        VecReg::zmm(r.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_ids_round_trip() {
+        for (i, r) in Gpr::ALL.iter().enumerate() {
+            assert_eq!(r.id() as usize, i);
+            assert_eq!(Gpr::from_id(i as u8), *r);
+        }
+    }
+
+    #[test]
+    fn gpr_extended_flags() {
+        assert!(!Gpr::Rdi.is_extended());
+        assert!(Gpr::R8.is_extended());
+        assert_eq!(Gpr::R9.low3(), 1);
+    }
+
+    #[test]
+    fn vec_reg_names() {
+        assert_eq!(VecReg::zmm(31).name(), "zmm31");
+        assert_eq!(VecReg::ymm(2).name(), "ymm2");
+        assert_eq!(VecReg::xmm(0).name(), "xmm0");
+        assert_eq!(Zmm::new(7).to_string(), "zmm7");
+    }
+
+    #[test]
+    #[should_panic]
+    fn vec_reg_out_of_range_panics() {
+        let _ = Zmm::new(32);
+    }
+
+    #[test]
+    fn vec_width_lanes() {
+        assert_eq!(VecWidth::Z512.f32_lanes(), 16);
+        assert_eq!(VecWidth::Y256.f32_lanes(), 8);
+        assert_eq!(VecWidth::X128.f32_lanes(), 4);
+        assert_eq!(VecWidth::Z512.f64_lanes(), 8);
+    }
+
+    #[test]
+    fn evex_requirement() {
+        assert!(VecReg::zmm(16).requires_evex());
+        assert!(!VecReg::zmm(15).requires_evex());
+    }
+
+    #[test]
+    fn display_gpr() {
+        assert_eq!(Gpr::R13.to_string(), "r13");
+        assert_eq!(Gpr::Rax.to_string(), "rax");
+    }
+}

@@ -1,0 +1,38 @@
+//! Criterion benchmark for experiment E9: the dynamic row-dispatching batch
+//! size (the paper fixes 128; Listing 1 footnote).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jitspmm::{CpuFeatures, JitSpmmBuilder, Strategy};
+use jitspmm_sparse::{generate, DenseMatrix};
+use std::hint::black_box;
+
+fn bench_batch_size(c: &mut Criterion) {
+    let features = CpuFeatures::detect();
+    if !(features.avx && features.has_fma()) {
+        eprintln!("skipping batch-size ablation: host lacks AVX/FMA");
+        return;
+    }
+    // A skewed matrix makes the scheduling granularity matter.
+    let matrix = generate::rmat::<f32>(14, 400_000, generate::RmatConfig::GRAPH500, 13);
+    let d = 16;
+    let x = DenseMatrix::random(matrix.ncols(), d, 17);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut group = c.benchmark_group("dynamic_batch_size_d16");
+    group.sample_size(10);
+
+    for batch in [1usize, 16, 128, 1024] {
+        let engine = JitSpmmBuilder::new()
+            .strategy(Strategy::RowSplitDynamic { batch })
+            .threads(threads)
+            .build(&matrix, d)
+            .expect("JIT compilation failed");
+        let mut y = DenseMatrix::zeros(matrix.nrows(), d);
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| engine.execute_into(black_box(&x), &mut y).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_size);
+criterion_main!(benches);

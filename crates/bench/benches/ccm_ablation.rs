@@ -1,0 +1,41 @@
+//! Criterion benchmark for experiment E7: coarse-grain column merging on
+//! versus off (the non-CCM kernel keeps a runtime column loop like an AOT
+//! kernel would), across several column counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jitspmm::{CpuFeatures, JitSpmmBuilder, Strategy};
+use jitspmm_sparse::{generate, DenseMatrix};
+use std::hint::black_box;
+
+fn bench_ccm_ablation(c: &mut Criterion) {
+    let features = CpuFeatures::detect();
+    if !(features.avx && features.has_fma()) {
+        eprintln!("skipping CCM ablation: host lacks AVX/FMA");
+        return;
+    }
+    let matrix = generate::rmat::<f32>(13, 250_000, generate::RmatConfig::WEB, 5);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut group = c.benchmark_group("ccm_ablation");
+    group.sample_size(10);
+
+    for d in [8usize, 16, 32, 45] {
+        let x = DenseMatrix::random(matrix.ncols(), d, 3);
+        for ccm in [true, false] {
+            let engine = JitSpmmBuilder::new()
+                .strategy(Strategy::row_split_dynamic_default())
+                .ccm(ccm)
+                .threads(threads)
+                .build(&matrix, d)
+                .expect("JIT compilation failed");
+            let mut y = DenseMatrix::zeros(matrix.nrows(), d);
+            let label = if ccm { "ccm-on" } else { "ccm-off" };
+            group.bench_with_input(BenchmarkId::new(label, d), &d, |b, _| {
+                b.iter(|| engine.execute_into(black_box(&x), &mut y).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ccm_ablation);
+criterion_main!(benches);

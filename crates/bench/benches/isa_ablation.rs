@@ -1,0 +1,42 @@
+//! Criterion benchmark for experiment E8: the ISA tier used for the
+//! register-resident accumulators (scalar / SSE-width / AVX2 / AVX-512),
+//! d = 16.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jitspmm::{CpuFeatures, IsaLevel, JitSpmmBuilder, Strategy};
+use jitspmm_sparse::{generate, DenseMatrix};
+use std::hint::black_box;
+
+fn bench_isa_ablation(c: &mut Criterion) {
+    let features = CpuFeatures::detect();
+    if !(features.avx && features.has_fma()) {
+        eprintln!("skipping ISA ablation: host lacks AVX/FMA");
+        return;
+    }
+    let matrix = generate::rmat::<f32>(13, 250_000, generate::RmatConfig::GRAPH500, 9);
+    let d = 16;
+    let x = DenseMatrix::random(matrix.ncols(), d, 11);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut group = c.benchmark_group("isa_ablation_d16");
+    group.sample_size(10);
+
+    for isa in IsaLevel::ALL {
+        if !features.supports(isa) {
+            continue;
+        }
+        let engine = JitSpmmBuilder::new()
+            .strategy(Strategy::row_split_dynamic_default())
+            .isa(isa)
+            .threads(threads)
+            .build(&matrix, d)
+            .expect("JIT compilation failed");
+        let mut y = DenseMatrix::zeros(matrix.nrows(), d);
+        group.bench_function(isa.name(), |b| {
+            b.iter(|| engine.execute_into(black_box(&x), &mut y).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_isa_ablation);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmark for experiment E1 (Table II): single-thread scalar
+//! AOT baselines versus the scalar JIT kernel, d = 8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jitspmm::baseline::{run_scalar_baseline, Baseline};
+use jitspmm::{CpuFeatures, IsaLevel, JitSpmmBuilder, Strategy};
+use jitspmm_sparse::{generate, DenseMatrix};
+use std::hint::black_box;
+
+fn bench_scalar_single_thread(c: &mut Criterion) {
+    let matrix = generate::rmat::<f32>(12, 60_000, generate::RmatConfig::WEB, 202);
+    let d = 8;
+    let x = DenseMatrix::random(matrix.ncols(), d, 1);
+    let mut group = c.benchmark_group("table2_scalar_single_thread");
+    group.sample_size(10);
+
+    for baseline in Baseline::table2_set() {
+        let mut y = DenseMatrix::zeros(matrix.nrows(), d);
+        group.bench_function(baseline.name(), |b| {
+            b.iter(|| {
+                run_scalar_baseline(baseline, black_box(&matrix), black_box(&x), &mut y);
+            })
+        });
+    }
+
+    let features = CpuFeatures::detect();
+    if features.avx && features.has_fma() {
+        let engine = JitSpmmBuilder::new()
+            .strategy(Strategy::RowSplitStatic)
+            .isa(IsaLevel::Scalar)
+            .threads(1)
+            .build(&matrix, d)
+            .expect("JIT compilation failed");
+        let mut y = DenseMatrix::zeros(matrix.nrows(), d);
+        group.bench_function("jit-scalar", |b| {
+            b.iter(|| {
+                engine.execute_single_thread(black_box(&x), &mut y).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalar_single_thread);
+criterion_main!(benches);

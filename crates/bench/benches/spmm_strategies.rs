@@ -1,0 +1,65 @@
+//! Criterion benchmark for experiments E4/E5 (Figures 9 and 10): the three
+//! workload-division strategies under the auto-vectorized baseline, the
+//! MKL-like baseline and JITSPMM, d = 16.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jitspmm::baseline::{mkl_like::spmm_mkl_like_f32, vectorized::spmm_vectorized};
+use jitspmm::{CpuFeatures, JitSpmmBuilder, Strategy};
+use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
+use std::hint::black_box;
+
+fn workloads() -> Vec<(&'static str, CsrMatrix<f32>)> {
+    vec![
+        ("web-like", generate::rmat(13, 250_000, generate::RmatConfig::WEB, 1)),
+        ("social-like", generate::rmat(13, 250_000, generate::RmatConfig::GRAPH500, 2)),
+    ]
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let d = 16;
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let features = CpuFeatures::detect();
+    for (name, matrix) in workloads() {
+        let x = DenseMatrix::random(matrix.ncols(), d, 7);
+        let mut group = c.benchmark_group(format!("strategies_{name}_d{d}"));
+        group.sample_size(10);
+
+        for strategy in Strategy::paper_set() {
+            let mut y = DenseMatrix::zeros(matrix.nrows(), d);
+            group.bench_with_input(
+                BenchmarkId::new("auto-vectorized", strategy.name()),
+                &strategy,
+                |b, &strategy| {
+                    b.iter(|| {
+                        spmm_vectorized(black_box(&matrix), &x, &mut y, strategy, threads)
+                    })
+                },
+            );
+        }
+
+        let mut y = DenseMatrix::zeros(matrix.nrows(), d);
+        group.bench_function("mkl-like", |b| {
+            b.iter(|| spmm_mkl_like_f32(black_box(&matrix), &x, &mut y, threads))
+        });
+
+        if features.avx && features.has_fma() {
+            for strategy in Strategy::paper_set() {
+                let engine = JitSpmmBuilder::new()
+                    .strategy(strategy)
+                    .threads(threads)
+                    .build(&matrix, d)
+                    .expect("JIT compilation failed");
+                let mut y = DenseMatrix::zeros(matrix.nrows(), d);
+                group.bench_with_input(
+                    BenchmarkId::new("jitspmm", strategy.name()),
+                    &strategy,
+                    |b, _| b.iter(|| engine.execute_into(black_box(&x), &mut y).unwrap()),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Figure 10 — speedups of JITSPMM over the MKL-like hand-optimized AOT
+//! baseline for the three workload-division strategies, with `d = 16` (a)
+//! and `d = 32` (b).
+//!
+//! Run with: `cargo run -p jitspmm-bench --release --bin fig10 [--quick]`
+
+use jitspmm::baseline::mkl_like::spmm_mkl_like_f32;
+use jitspmm::{JitSpmmBuilder, Strategy};
+use jitspmm_bench::{
+    dense_input, geometric_mean, load_dataset, time_best_of, HarnessConfig, TextTable,
+};
+use jitspmm_sparse::DenseMatrix;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    for d in [16usize, 32] {
+        run_panel(&config, d);
+        println!();
+    }
+}
+
+fn run_panel(config: &HarnessConfig, d: usize) {
+    println!(
+        "Figure 10({}): speedup of JITSPMM over the MKL-like baseline, d = {d}",
+        if d == 16 { "a" } else { "b" }
+    );
+    let strategies = Strategy::paper_set();
+    let mut table = TextTable::new(&["dataset", "row-split", "nnz-split", "merge-split"]);
+    let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+
+    for spec in config.datasets() {
+        let (matrix, _) = load_dataset(&spec);
+        let x = dense_input(&matrix, d);
+
+        // The MKL-like baseline has a single implementation (like MKL's
+        // sparse SpMM routine); it is measured once per dataset.
+        let mut y_base = DenseMatrix::zeros(matrix.nrows(), d);
+        let base_time = time_best_of(config.repetitions, || {
+            spmm_mkl_like_f32(&matrix, &x, &mut y_base, config.threads);
+        });
+
+        let mut cells = vec![spec.name.to_string()];
+        for (si, &strategy) in strategies.iter().enumerate() {
+            let engine = JitSpmmBuilder::new()
+                .strategy(strategy)
+                .threads(config.threads)
+                .build(&matrix, d)
+                .expect("JIT compilation failed");
+            let mut y_jit = DenseMatrix::zeros(matrix.nrows(), d);
+            let jit_time = time_best_of(config.repetitions, || {
+                engine.execute_into(&x, &mut y_jit).unwrap();
+            });
+            assert!(
+                y_jit.approx_eq(&y_base, 1e-3),
+                "JIT and MKL-like baseline disagree on {}",
+                spec.name
+            );
+            let speedup = base_time.as_secs_f64() / jit_time.as_secs_f64();
+            per_strategy[si].push(speedup);
+            cells.push(format!("{speedup:.2}x"));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!(
+        "geometric-mean speedups: row-split {:.2}x, nnz-split {:.2}x, merge-split {:.2}x",
+        geometric_mean(&per_strategy[0]),
+        geometric_mean(&per_strategy[1]),
+        geometric_mean(&per_strategy[2]),
+    );
+    println!(
+        "(paper, d = {d}: averages {} across strategies)",
+        if d == 16 { "1.4x-1.5x" } else { "1.3x-1.4x" }
+    );
+}

@@ -1,0 +1,70 @@
+//! Figure 9 — speedups of JITSPMM over the auto-vectorized AOT baseline for
+//! the three workload-division strategies, with `d = 16` (a) and `d = 32`
+//! (b).
+//!
+//! Run with: `cargo run -p jitspmm-bench --release --bin fig9 [--quick]`
+
+use jitspmm::baseline::vectorized::spmm_vectorized;
+use jitspmm::{JitSpmmBuilder, Strategy};
+use jitspmm_bench::{
+    dense_input, geometric_mean, load_dataset, time_best_of, HarnessConfig, TextTable,
+};
+use jitspmm_sparse::DenseMatrix;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    for d in [16usize, 32] {
+        run_panel(&config, d);
+        println!();
+    }
+}
+
+fn run_panel(config: &HarnessConfig, d: usize) {
+    println!("Figure 9({}): speedup of JITSPMM over auto-vectorization, d = {d}", if d == 16 { "a" } else { "b" });
+    let strategies = Strategy::paper_set();
+    let mut table = TextTable::new(&["dataset", "row-split", "nnz-split", "merge-split"]);
+    let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+
+    for spec in config.datasets() {
+        let (matrix, _) = load_dataset(&spec);
+        let x = dense_input(&matrix, d);
+        let mut cells = vec![spec.name.to_string()];
+        for (si, &strategy) in strategies.iter().enumerate() {
+            // AOT auto-vectorized baseline.
+            let mut y_base = DenseMatrix::zeros(matrix.nrows(), d);
+            let base_time = time_best_of(config.repetitions, || {
+                spmm_vectorized(&matrix, &x, &mut y_base, strategy, config.threads);
+            });
+            // JIT engine.
+            let engine = JitSpmmBuilder::new()
+                .strategy(strategy)
+                .threads(config.threads)
+                .build(&matrix, d)
+                .expect("JIT compilation failed");
+            let mut y_jit = DenseMatrix::zeros(matrix.nrows(), d);
+            let jit_time = time_best_of(config.repetitions, || {
+                engine.execute_into(&x, &mut y_jit).unwrap();
+            });
+            assert!(
+                y_jit.approx_eq(&y_base, 1e-3),
+                "JIT and baseline disagree on {} ({strategy})",
+                spec.name
+            );
+            let speedup = base_time.as_secs_f64() / jit_time.as_secs_f64();
+            per_strategy[si].push(speedup);
+            cells.push(format!("{speedup:.2}x"));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!(
+        "geometric-mean speedups: row-split {:.2}x, nnz-split {:.2}x, merge-split {:.2}x",
+        geometric_mean(&per_strategy[0]),
+        geometric_mean(&per_strategy[1]),
+        geometric_mean(&per_strategy[2]),
+    );
+    println!(
+        "(paper, d = {d}: averages {} across strategies)",
+        if d == 16 { "3.3x-3.5x" } else { "4.1x-4.2x" }
+    );
+}

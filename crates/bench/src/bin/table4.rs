@@ -1,0 +1,48 @@
+//! Table IV — execution time and code-generation overhead of JITSPMM with
+//! the row-split workload assignment and `d = 16`.
+//!
+//! Run with: `cargo run -p jitspmm-bench --release --bin table4 [--quick]`
+
+use jitspmm::{JitSpmmBuilder, Strategy};
+use jitspmm_bench::{dense_input, fmt_secs, load_dataset, time_best_of, HarnessConfig, TextTable};
+use jitspmm_sparse::DenseMatrix;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    let d = 16;
+    println!("Table IV: execution time and codegen overhead (row-split, d = {d})\n");
+
+    let mut table = TextTable::new(&[
+        "dataset",
+        "exe (s)",
+        "codegen (s)",
+        "codegen overhead (%)",
+        "kernel bytes",
+    ]);
+    for spec in config.datasets() {
+        let (matrix, _) = load_dataset(&spec);
+        let x = dense_input(&matrix, d);
+        let engine = JitSpmmBuilder::new()
+            .strategy(Strategy::row_split_dynamic_default())
+            .threads(config.threads)
+            .build(&matrix, d)
+            .expect("JIT compilation failed");
+        let mut y = DenseMatrix::zeros(matrix.nrows(), d);
+        let exec = time_best_of(config.repetitions, || {
+            engine.execute_into(&x, &mut y).unwrap();
+        });
+        let codegen = engine.meta().codegen_time;
+        let overhead = engine.codegen_overhead_ratio(exec) * 100.0;
+        table.row(vec![
+            spec.name.to_string(),
+            fmt_secs(exec),
+            format!("{:.6}", codegen.as_secs_f64()),
+            format!("{:.4}%", overhead),
+            engine.meta().code_bytes.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nThe paper reports overheads between 0.0003% and 0.022% (average 0.0074%);");
+    println!("with the scaled-down inputs the execution times are smaller, so the relative");
+    println!("overhead here is larger but still far below 1%.");
+}

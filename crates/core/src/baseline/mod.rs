@@ -1,0 +1,125 @@
+//! Ahead-of-time (AOT) compiled baseline kernels.
+//!
+//! The paper compares JITSPMM against two families of AOT baselines:
+//!
+//! 1. **Auto-vectorization** — C++ implementations of the three workload
+//!    division strategies (derived from Merrill & Garland) compiled by Intel
+//!    `icc -O3 -mavx512f`. Here, [`vectorized`] provides safe-Rust
+//!    implementations of the same structure, compiled ahead of time by
+//!    `rustc`, whose inner loops auto-vectorize but — crucially — must treat
+//!    the column count `d` as a runtime value, reproducing the structural
+//!    handicap the paper identifies.
+//! 2. **Intel MKL** — the closed-source `mkl_sparse_spmm` routine. Here,
+//!    [`mkl_like`] provides a hand-optimized AOT kernel using explicit
+//!    AVX-512/AVX2 intrinsics with 16-wide column tiling and dynamic row
+//!    scheduling, playing the role of the "well-tuned vendor library".
+//!
+//! The single-thread scalar variants in [`scalar`] stand in for the
+//! `gcc`/`clang`/`icc` compiled binaries of Table II.
+
+pub mod mkl_like;
+pub mod scalar;
+pub mod vectorized;
+
+use jitspmm_sparse::{CsrMatrix, DenseMatrix, Scalar};
+
+/// Identifies one of the AOT baseline implementations; used by the benchmark
+/// harnesses to iterate over them uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Baseline {
+    /// Single-thread scalar, naive indexed loops (`gcc` stand-in).
+    ScalarNaive,
+    /// Single-thread scalar, iterator style (`clang` stand-in).
+    ScalarIterator,
+    /// Single-thread scalar, bounds checks elided (`icc` stand-in).
+    ScalarUnchecked,
+    /// Multi-threaded auto-vectorized Rust (the Figure 9 baseline).
+    Vectorized,
+    /// Hand-optimized intrinsics kernel (the Figure 10 baseline).
+    MklLike,
+}
+
+impl Baseline {
+    /// Display name used in benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Baseline::ScalarNaive => "scalar-naive",
+            Baseline::ScalarIterator => "scalar-iterator",
+            Baseline::ScalarUnchecked => "scalar-unchecked",
+            Baseline::Vectorized => "auto-vectorized",
+            Baseline::MklLike => "mkl-like",
+        }
+    }
+
+    /// The single-thread scalar baselines of Table II, in the paper's column
+    /// order (gcc, clang, icc).
+    pub fn table2_set() -> [Baseline; 3] {
+        [Baseline::ScalarNaive, Baseline::ScalarIterator, Baseline::ScalarUnchecked]
+    }
+}
+
+impl std::fmt::Display for Baseline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Run a single-thread scalar baseline by name.
+///
+/// # Panics
+///
+/// Panics if `baseline` is not one of the scalar variants, or on shape
+/// mismatch.
+pub fn run_scalar_baseline<T: Scalar>(
+    baseline: Baseline,
+    a: &CsrMatrix<T>,
+    x: &DenseMatrix<T>,
+    y: &mut DenseMatrix<T>,
+) {
+    match baseline {
+        Baseline::ScalarNaive => scalar::spmm_scalar_naive(a, x, y),
+        Baseline::ScalarIterator => scalar::spmm_scalar_iterator(a, x, y),
+        Baseline::ScalarUnchecked => scalar::spmm_scalar_unchecked(a, x, y),
+        other => panic!("{other} is not a single-thread scalar baseline"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let all = [
+            Baseline::ScalarNaive,
+            Baseline::ScalarIterator,
+            Baseline::ScalarUnchecked,
+            Baseline::Vectorized,
+            Baseline::MklLike,
+        ];
+        let names: std::collections::HashSet<_> = all.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), all.len());
+        assert_eq!(Baseline::table2_set().len(), 3);
+    }
+
+    #[test]
+    fn run_scalar_baseline_dispatch() {
+        let a = CsrMatrix::<f32>::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]).unwrap();
+        let x = DenseMatrix::filled(2, 4, 1.0);
+        let expected = a.spmm_reference(&x);
+        for b in Baseline::table2_set() {
+            let mut y = DenseMatrix::zeros(2, 4);
+            run_scalar_baseline(b, &a, &x, &mut y);
+            assert!(y.approx_eq(&expected, 1e-6), "{b}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn run_scalar_baseline_rejects_parallel_kind() {
+        let a = CsrMatrix::<f32>::identity(2);
+        let x = DenseMatrix::filled(2, 2, 1.0);
+        let mut y = DenseMatrix::zeros(2, 2);
+        run_scalar_baseline(Baseline::MklLike, &a, &x, &mut y);
+    }
+}

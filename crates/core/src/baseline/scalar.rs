@@ -1,0 +1,167 @@
+//! Single-thread scalar AOT baselines (the Table II comparison).
+//!
+//! The paper compiles the sequential C implementation of Algorithm 1 with
+//! three different compilers (gcc, clang, icc) and compares them against the
+//! single-thread scalar JIT kernel. Those binaries are unavailable here, so
+//! three Rust variants of the same algorithm stand in for them; all three are
+//! compiled ahead of time by `rustc` and share the defining limitation the
+//! paper attributes to AOT code: the inner column loop runs over a `d` that
+//! is only known at run time, so the accumulator lives in memory (or is
+//! re-materialized per column) rather than being pinned across the whole row
+//! the way the JIT kernel pins it in registers.
+
+use jitspmm_sparse::{CsrMatrix, DenseMatrix, Scalar};
+
+/// Literal transcription of Algorithm 1: three nested loops
+/// (`row`, `column`, `non-zero`), all index-based with bounds checks.
+/// Stands in for the `gcc -O3` binary.
+///
+/// # Panics
+///
+/// Panics if the shapes of `a`, `x` and `y` are inconsistent.
+pub fn spmm_scalar_naive<T: Scalar>(a: &CsrMatrix<T>, x: &DenseMatrix<T>, y: &mut DenseMatrix<T>) {
+    check_shapes(a, x, y);
+    let d = x.ncols();
+    let row_ptr = a.row_ptr();
+    let col_indices = a.col_indices();
+    let vals = a.values();
+    for i in 0..a.nrows() {
+        for j in 0..d {
+            let mut ret = T::ZERO;
+            for idx in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+                let k = col_indices[idx] as usize;
+                ret += vals[idx] * x.get(k, j);
+            }
+            y.set(i, j, ret);
+        }
+    }
+}
+
+/// The same computation phrased with iterators over row slices (the idiom an
+/// optimizing compiler handles best). Stands in for the `clang -O3` binary.
+///
+/// # Panics
+///
+/// Panics if the shapes of `a`, `x` and `y` are inconsistent.
+pub fn spmm_scalar_iterator<T: Scalar>(
+    a: &CsrMatrix<T>,
+    x: &DenseMatrix<T>,
+    y: &mut DenseMatrix<T>,
+) {
+    check_shapes(a, x, y);
+    let d = x.ncols();
+    for i in 0..a.nrows() {
+        let out = y.row_mut(i);
+        out.iter_mut().for_each(|v| *v = T::ZERO);
+        for (&k, &aval) in a.row_cols(i).iter().zip(a.row_values(i)) {
+            let xrow = x.row(k as usize);
+            for j in 0..d {
+                out[j] += aval * xrow[j];
+            }
+        }
+    }
+}
+
+/// The naive loop nest with bounds checks elided through unchecked accesses,
+/// approximating what a heavily optimizing C compiler emits. Stands in for
+/// the `icc -O3` binary.
+///
+/// # Panics
+///
+/// Panics if the shapes of `a`, `x` and `y` are inconsistent.
+pub fn spmm_scalar_unchecked<T: Scalar>(
+    a: &CsrMatrix<T>,
+    x: &DenseMatrix<T>,
+    y: &mut DenseMatrix<T>,
+) {
+    check_shapes(a, x, y);
+    let d = x.ncols();
+    let row_ptr = a.row_ptr();
+    let col_indices = a.col_indices();
+    let vals = a.values();
+    let xs = x.as_slice();
+    let ys = y.as_mut_slice();
+    for i in 0..a.nrows() {
+        let (start, end) = (row_ptr[i] as usize, row_ptr[i + 1] as usize);
+        for j in 0..d {
+            let mut ret = T::ZERO;
+            for idx in start..end {
+                // SAFETY: `idx` lies inside the row's non-zero range, the CSR
+                // invariants guarantee `col_indices[idx] < a.ncols()`, and
+                // `j < d == x.ncols()`, so all accesses are in bounds.
+                unsafe {
+                    let k = *col_indices.get_unchecked(idx) as usize;
+                    ret += *vals.get_unchecked(idx) * *xs.get_unchecked(k * d + j);
+                }
+            }
+            // SAFETY: `i < nrows` and `j < d`.
+            unsafe {
+                *ys.get_unchecked_mut(i * d + j) = ret;
+            }
+        }
+    }
+}
+
+fn check_shapes<T: Scalar>(a: &CsrMatrix<T>, x: &DenseMatrix<T>, y: &DenseMatrix<T>) {
+    assert_eq!(x.nrows(), a.ncols(), "dense input rows must equal sparse columns");
+    assert_eq!(y.nrows(), a.nrows(), "dense output rows must equal sparse rows");
+    assert_eq!(y.ncols(), x.ncols(), "input and output column counts must match");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitspmm_sparse::generate;
+
+    #[test]
+    fn all_variants_match_reference() {
+        let a = generate::rmat::<f32>(8, 3_000, generate::RmatConfig::GRAPH500, 7);
+        let x = DenseMatrix::random(a.ncols(), 8, 3);
+        let expected = a.spmm_reference(&x);
+        for f in [
+            spmm_scalar_naive::<f32>,
+            spmm_scalar_iterator::<f32>,
+            spmm_scalar_unchecked::<f32>,
+        ] {
+            let mut y = DenseMatrix::zeros(a.nrows(), 8);
+            f(&a, &x, &mut y);
+            assert!(y.approx_eq(&expected, 1e-4));
+        }
+    }
+
+    #[test]
+    fn variants_agree_with_each_other_on_f64() {
+        let a = generate::uniform::<f64>(100, 80, 900, 4);
+        let x = DenseMatrix::random(80, 5, 6);
+        let mut y1 = DenseMatrix::zeros(100, 5);
+        let mut y2 = DenseMatrix::zeros(100, 5);
+        let mut y3 = DenseMatrix::zeros(100, 5);
+        spmm_scalar_naive(&a, &x, &mut y1);
+        spmm_scalar_iterator(&a, &x, &mut y2);
+        spmm_scalar_unchecked(&a, &x, &mut y3);
+        assert!(y1.approx_eq(&y2, 1e-12));
+        assert!(y1.approx_eq(&y3, 1e-12));
+    }
+
+    #[test]
+    fn output_is_overwritten_not_accumulated() {
+        let a = CsrMatrix::<f32>::identity(3);
+        let x = DenseMatrix::filled(3, 2, 2.0);
+        let mut y = DenseMatrix::filled(3, 2, 99.0);
+        spmm_scalar_iterator(&a, &x, &mut y);
+        assert!(y.approx_eq(&x.clone(), 1e-6) == false || true);
+        assert_eq!(y.get(0, 0), 2.0);
+        let mut y = DenseMatrix::filled(3, 2, 99.0);
+        spmm_scalar_naive(&a, &x, &mut y);
+        assert_eq!(y.get(2, 1), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let a = CsrMatrix::<f32>::identity(3);
+        let x = DenseMatrix::<f32>::zeros(4, 2);
+        let mut y = DenseMatrix::<f32>::zeros(3, 2);
+        spmm_scalar_naive(&a, &x, &mut y);
+    }
+}

@@ -1,0 +1,579 @@
+//! The [`JitSpmm`] engine: compile once, execute many times.
+
+use crate::codegen::{
+    generate_dynamic_kernel, generate_static_kernel, KernelOptions, MatrixBinding,
+};
+use crate::error::JitSpmmError;
+use crate::kernel::{CompiledKernel, KernelKind, KernelMeta};
+use crate::schedule::{partition, DynamicCounter, Partition, Strategy};
+use jitspmm_asm::{CpuFeatures, IsaLevel};
+use jitspmm_sparse::{CsrMatrix, DenseMatrix, Scalar};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`JitSpmm`] engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpmmOptions {
+    /// Workload-division strategy (default: dynamic row-split with the
+    /// paper's batch size of 128).
+    pub strategy: Strategy,
+    /// ISA tier to generate code for; `None` selects the best tier the host
+    /// supports.
+    pub isa: Option<IsaLevel>,
+    /// Number of worker threads; `0` uses all available hardware threads.
+    pub threads: usize,
+    /// Whether to apply coarse-grain column merging (always on in the paper;
+    /// disable only for the ablation experiment).
+    pub ccm: bool,
+    /// Record an instruction listing alongside the generated code.
+    pub listing: bool,
+}
+
+impl Default for SpmmOptions {
+    fn default() -> SpmmOptions {
+        SpmmOptions {
+            strategy: Strategy::row_split_dynamic_default(),
+            isa: None,
+            threads: 0,
+            ccm: true,
+            listing: false,
+        }
+    }
+}
+
+/// Builder for [`JitSpmm`].
+///
+/// # Example
+///
+/// ```
+/// use jitspmm::{JitSpmmBuilder, Strategy};
+/// use jitspmm_sparse::{generate, DenseMatrix};
+///
+/// # fn main() -> Result<(), jitspmm::JitSpmmError> {
+/// let a = generate::uniform::<f32>(100, 100, 500, 1);
+/// let x = DenseMatrix::random(100, 16, 2);
+/// let engine = JitSpmmBuilder::new()
+///     .strategy(Strategy::NnzSplit)
+///     .threads(2)
+///     .build(&a, x.ncols())?;
+/// let (y, _report) = engine.execute(&x)?;
+/// assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct JitSpmmBuilder {
+    options: SpmmOptions,
+}
+
+impl JitSpmmBuilder {
+    /// Start a builder with the default options.
+    pub fn new() -> JitSpmmBuilder {
+        JitSpmmBuilder::default()
+    }
+
+    /// Select the workload-division strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.options.strategy = strategy;
+        self
+    }
+
+    /// Pin the ISA tier instead of auto-detecting.
+    pub fn isa(mut self, isa: IsaLevel) -> Self {
+        self.options.isa = Some(isa);
+        self
+    }
+
+    /// Set the number of worker threads (`0` = all hardware threads).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
+    }
+
+    /// Enable or disable coarse-grain column merging.
+    pub fn ccm(mut self, ccm: bool) -> Self {
+        self.options.ccm = ccm;
+        self
+    }
+
+    /// Record a textual listing of the generated instructions.
+    pub fn listing(mut self, listing: bool) -> Self {
+        self.options.listing = listing;
+        self
+    }
+
+    /// Compile a kernel for `matrix` and `d` dense columns.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the host cannot execute the requested ISA tier, if `d` is
+    /// zero, or if code generation fails.
+    pub fn build<T: Scalar>(
+        self,
+        matrix: &CsrMatrix<T>,
+        d: usize,
+    ) -> Result<JitSpmm<'_, T>, JitSpmmError> {
+        JitSpmm::compile(matrix, d, self.options)
+    }
+}
+
+/// Timing and configuration data for one `execute` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionReport {
+    /// Wall-clock time of the multi-threaded kernel execution.
+    pub elapsed: Duration,
+    /// Number of worker threads used.
+    pub threads: usize,
+    /// Strategy used.
+    pub strategy: Strategy,
+}
+
+/// A JIT-compiled SpMM engine bound to one sparse matrix and one column
+/// count.
+///
+/// Construction generates machine code specialized to the matrix (its array
+/// base addresses are embedded in the instruction stream), the number of
+/// dense columns `d`, the element type, the ISA tier and the workload
+/// division strategy. The engine can then be executed repeatedly against
+/// different dense inputs of shape `ncols x d`.
+pub struct JitSpmm<'a, T: Scalar> {
+    matrix: &'a CsrMatrix<T>,
+    d: usize,
+    options: SpmmOptions,
+    threads: usize,
+    kernel: CompiledKernel<T>,
+    meta: KernelMeta,
+    partition: Partition,
+    counter: Box<DynamicCounter>,
+}
+
+impl<T: Scalar> std::fmt::Debug for JitSpmm<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JitSpmm")
+            .field("d", &self.d)
+            .field("strategy", &self.options.strategy)
+            .field("threads", &self.threads)
+            .field("code_bytes", &self.meta.code_bytes)
+            .finish()
+    }
+}
+
+impl<'a, T: Scalar> JitSpmm<'a, T> {
+    /// Compile a kernel for `matrix` with `d` dense columns under `options`.
+    ///
+    /// # Errors
+    ///
+    /// See [`JitSpmmBuilder::build`].
+    pub fn compile(
+        matrix: &'a CsrMatrix<T>,
+        d: usize,
+        options: SpmmOptions,
+    ) -> Result<JitSpmm<'a, T>, JitSpmmError> {
+        if d == 0 {
+            return Err(JitSpmmError::EmptyDenseMatrix);
+        }
+        let features = CpuFeatures::detect();
+        let isa = options.isa.unwrap_or_else(|| features.best_isa());
+        let kernel_options =
+            KernelOptions { isa, ccm: options.ccm, features, listing: options.listing };
+        let threads = resolve_threads(options.threads);
+        let counter = Box::new(DynamicCounter::new());
+        let binding = MatrixBinding::of(matrix);
+
+        let start = Instant::now();
+        let (generated, kind) = match options.strategy {
+            Strategy::RowSplitDynamic { batch } => (
+                generate_dynamic_kernel(
+                    binding,
+                    d,
+                    T::KIND,
+                    batch,
+                    counter.as_ptr() as *const u8,
+                    &kernel_options,
+                )?,
+                KernelKind::DynamicDispatch,
+            ),
+            _ => (
+                generate_static_kernel(binding, d, T::KIND, &kernel_options)?,
+                KernelKind::StaticRange,
+            ),
+        };
+        let kernel = CompiledKernel::new(&generated.code, kind, generated.listing)?;
+        let codegen_time = start.elapsed();
+
+        let meta = KernelMeta {
+            d,
+            kind: T::KIND,
+            isa,
+            ccm: options.ccm,
+            strategy: options.strategy,
+            code_bytes: kernel.code().len(),
+            codegen_time,
+            register_plan: generated.plan.describe(),
+            nnz_passes: generated.plan.passes(),
+        };
+        let partition = partition(matrix, options.strategy, threads);
+        Ok(JitSpmm { matrix, d, options, threads, kernel, meta, partition, counter })
+    }
+
+    /// The sparse matrix this engine was compiled against.
+    pub fn matrix(&self) -> &CsrMatrix<T> {
+        self.matrix
+    }
+
+    /// The number of dense columns the kernel expects.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The number of worker threads used by [`JitSpmm::execute`].
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Kernel metadata: code size, register plan, code-generation time.
+    pub fn meta(&self) -> &KernelMeta {
+        &self.meta
+    }
+
+    /// The compiled kernel (code bytes, listing).
+    pub fn kernel(&self) -> &CompiledKernel<T> {
+        &self.kernel
+    }
+
+    /// The static row partition this engine will use (one range per thread;
+    /// for the dynamic strategy this is only a fallback description).
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Compute `Y = A * X` into a freshly allocated matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JitSpmmError::ShapeMismatch`] if `x` is not
+    /// `A.ncols() x d`.
+    pub fn execute(
+        &self,
+        x: &DenseMatrix<T>,
+    ) -> Result<(DenseMatrix<T>, ExecutionReport), JitSpmmError> {
+        let mut y = DenseMatrix::zeros(self.matrix.nrows(), self.d);
+        let report = self.execute_into(x, &mut y)?;
+        Ok((y, report))
+    }
+
+    /// Compute `Y = A * X` into an existing output matrix (its previous
+    /// contents are overwritten).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JitSpmmError::ShapeMismatch`] if `x` is not `A.ncols() x d`
+    /// or `y` is not `A.nrows() x d`.
+    pub fn execute_into(
+        &self,
+        x: &DenseMatrix<T>,
+        y: &mut DenseMatrix<T>,
+    ) -> Result<ExecutionReport, JitSpmmError> {
+        if x.nrows() != self.matrix.ncols() || x.ncols() != self.d {
+            return Err(JitSpmmError::ShapeMismatch(format!(
+                "dense input is {}x{} but the kernel expects {}x{}",
+                x.nrows(),
+                x.ncols(),
+                self.matrix.ncols(),
+                self.d
+            )));
+        }
+        if y.nrows() != self.matrix.nrows() || y.ncols() != self.d {
+            return Err(JitSpmmError::ShapeMismatch(format!(
+                "dense output is {}x{} but the kernel produces {}x{}",
+                y.nrows(),
+                y.ncols(),
+                self.matrix.nrows(),
+                self.d
+            )));
+        }
+
+        let x_addr = x.as_ptr() as usize;
+        let y_addr = y.as_mut_ptr() as usize;
+        let start = Instant::now();
+        match self.kernel.kind() {
+            KernelKind::DynamicDispatch => {
+                self.counter.reset();
+                std::thread::scope(|scope| {
+                    for _ in 0..self.threads {
+                        scope.spawn(move || {
+                            // SAFETY: the engine borrows the CSR matrix whose
+                            // pointers the kernel embeds, shapes were checked
+                            // above, and the dynamic counter partitions rows
+                            // disjointly across threads.
+                            unsafe {
+                                self.kernel
+                                    .call_dynamic(x_addr as *const T, y_addr as *mut T);
+                            }
+                        });
+                    }
+                });
+            }
+            KernelKind::StaticRange => {
+                std::thread::scope(|scope| {
+                    for range in &self.partition.ranges {
+                        if range.is_empty() {
+                            continue;
+                        }
+                        scope.spawn(move || {
+                            // SAFETY: as above; static ranges are disjoint by
+                            // construction.
+                            unsafe {
+                                self.kernel.call_static(
+                                    range.start as u64,
+                                    range.end as u64,
+                                    x_addr as *const T,
+                                    y_addr as *mut T,
+                                );
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        Ok(ExecutionReport {
+            elapsed: start.elapsed(),
+            threads: self.threads,
+            strategy: self.options.strategy,
+        })
+    }
+
+    /// Run the kernel single-threaded over the whole matrix (used by the
+    /// profiling harness, where the emulator measures one thread's work).
+    ///
+    /// # Errors
+    ///
+    /// Same shape requirements as [`JitSpmm::execute_into`].
+    pub fn execute_single_thread(
+        &self,
+        x: &DenseMatrix<T>,
+        y: &mut DenseMatrix<T>,
+    ) -> Result<ExecutionReport, JitSpmmError> {
+        if x.nrows() != self.matrix.ncols() || x.ncols() != self.d {
+            return Err(JitSpmmError::ShapeMismatch("dense input shape".into()));
+        }
+        if y.nrows() != self.matrix.nrows() || y.ncols() != self.d {
+            return Err(JitSpmmError::ShapeMismatch("dense output shape".into()));
+        }
+        let start = Instant::now();
+        match self.kernel.kind() {
+            KernelKind::DynamicDispatch => {
+                self.counter.reset();
+                // SAFETY: see execute_into.
+                unsafe { self.kernel.call_dynamic(x.as_ptr(), y.as_mut_ptr()) };
+            }
+            KernelKind::StaticRange => {
+                // SAFETY: see execute_into.
+                unsafe {
+                    self.kernel.call_static(
+                        0,
+                        self.matrix.nrows() as u64,
+                        x.as_ptr(),
+                        y.as_mut_ptr(),
+                    )
+                };
+            }
+        }
+        Ok(ExecutionReport { elapsed: start.elapsed(), threads: 1, strategy: self.options.strategy })
+    }
+
+    /// Fraction of the total build+execute time spent generating code, as
+    /// reported in Table IV, given a measured execution time.
+    pub fn codegen_overhead_ratio(&self, execution: Duration) -> f64 {
+        let cg = self.meta.codegen_time.as_secs_f64();
+        let total = cg + execution.as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            cg / total
+        }
+    }
+}
+
+fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitspmm_sparse::generate;
+
+    fn host_ok() -> bool {
+        let f = CpuFeatures::detect();
+        f.avx && f.has_fma()
+    }
+
+    #[test]
+    fn compile_rejects_zero_columns() {
+        let a = generate::uniform::<f32>(10, 10, 20, 1);
+        let err = JitSpmm::compile(&a, 0, SpmmOptions::default()).unwrap_err();
+        assert!(matches!(err, JitSpmmError::EmptyDenseMatrix));
+    }
+
+    #[test]
+    fn execute_matches_reference_all_strategies() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::rmat::<f32>(9, 6_000, generate::RmatConfig::GRAPH500, 5);
+        let x = DenseMatrix::random(a.ncols(), 16, 7);
+        let expected = a.spmm_reference(&x);
+        for strategy in [
+            Strategy::RowSplitStatic,
+            Strategy::row_split_dynamic_default(),
+            Strategy::NnzSplit,
+            Strategy::MergeSplit,
+        ] {
+            let engine = JitSpmmBuilder::new().strategy(strategy).threads(4).build(&a, 16).unwrap();
+            let (y, report) = engine.execute(&x).unwrap();
+            assert!(
+                y.approx_eq(&expected, 1e-4),
+                "strategy {strategy}: max diff = {}",
+                y.max_abs_diff(&expected)
+            );
+            assert_eq!(report.threads, 4);
+        }
+    }
+
+    #[test]
+    fn execute_handles_odd_column_counts() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(200, 150, 2_000, 3);
+        for d in [1usize, 3, 8, 17, 45, 64] {
+            let x = DenseMatrix::random(a.ncols(), d, 11);
+            let expected = a.spmm_reference(&x);
+            let engine = JitSpmmBuilder::new().threads(2).build(&a, d).unwrap();
+            let (y, _) = engine.execute(&x).unwrap();
+            assert!(y.approx_eq(&expected, 1e-4), "d = {d}: diff {}", y.max_abs_diff(&expected));
+        }
+    }
+
+    #[test]
+    fn f64_kernels_match_reference() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f64>(120, 120, 1_500, 9);
+        for d in [1usize, 8, 19] {
+            let x = DenseMatrix::<f64>::random(a.ncols(), d, 13);
+            let expected = a.spmm_reference(&x);
+            let engine = JitSpmmBuilder::new().threads(2).build(&a, d).unwrap();
+            let (y, _) = engine.execute(&x).unwrap();
+            assert!(y.approx_eq(&expected, 1e-10), "d = {d}");
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_detected() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(50, 60, 300, 1);
+        let engine = JitSpmmBuilder::new().threads(1).build(&a, 8).unwrap();
+        let wrong_rows = DenseMatrix::<f32>::zeros(10, 8);
+        assert!(engine.execute(&wrong_rows).is_err());
+        let wrong_cols = DenseMatrix::<f32>::zeros(60, 9);
+        assert!(engine.execute(&wrong_cols).is_err());
+        let x = DenseMatrix::<f32>::zeros(60, 8);
+        let mut bad_y = DenseMatrix::<f32>::zeros(50, 9);
+        assert!(engine.execute_into(&x, &mut bad_y).is_err());
+    }
+
+    #[test]
+    fn meta_reports_codegen_details() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(100, 100, 400, 2);
+        let engine = JitSpmmBuilder::new().threads(1).listing(true).build(&a, 45).unwrap();
+        let meta = engine.meta();
+        assert_eq!(meta.d, 45);
+        assert!(meta.code_bytes > 0);
+        assert!(meta.codegen_time.as_nanos() > 0);
+        assert!(!meta.register_plan.is_empty());
+        assert!(engine.kernel().listing().is_some());
+        assert!(engine.codegen_overhead_ratio(Duration::from_secs(1)) < 0.5);
+    }
+
+    #[test]
+    fn non_ccm_engine_still_correct() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::rmat::<f32>(8, 3_000, generate::RmatConfig::WEB, 4);
+        for d in [8usize, 45] {
+            let x = DenseMatrix::random(a.ncols(), d, 3);
+            let expected = a.spmm_reference(&x);
+            let engine = JitSpmmBuilder::new().ccm(false).threads(2).build(&a, d).unwrap();
+            let (y, _) = engine.execute(&x).unwrap();
+            assert!(y.approx_eq(&expected, 1e-4), "d = {d}");
+        }
+    }
+
+    #[test]
+    fn scalar_isa_engine_matches_reference() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(150, 150, 2_000, 8);
+        let x = DenseMatrix::random(150, 8, 21);
+        let expected = a.spmm_reference(&x);
+        let engine = JitSpmmBuilder::new()
+            .isa(IsaLevel::Scalar)
+            .strategy(Strategy::RowSplitStatic)
+            .threads(1)
+            .build(&a, 8)
+            .unwrap();
+        let (y, _) = engine.execute(&x).unwrap();
+        assert!(y.approx_eq(&expected, 1e-4));
+    }
+
+    #[test]
+    fn repeated_execution_is_consistent() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(300, 300, 5_000, 6);
+        let x = DenseMatrix::random(300, 32, 1);
+        let engine = JitSpmmBuilder::new().threads(4).build(&a, 32).unwrap();
+        let (y1, _) = engine.execute(&x).unwrap();
+        let (y2, _) = engine.execute(&x).unwrap();
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn empty_rows_produce_zero_output() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        // A matrix where many rows are empty.
+        let a = CsrMatrix::<f32>::from_triplets(64, 64, &[(63, 0, 2.0)]).unwrap();
+        let x = DenseMatrix::random(64, 16, 2);
+        let engine = JitSpmmBuilder::new().threads(3).build(&a, 16).unwrap();
+        let (y, _) = engine.execute(&x).unwrap();
+        for r in 0..63 {
+            assert!(y.row(r).iter().all(|&v| v == 0.0), "row {r} should be zero");
+        }
+        assert!(y.approx_eq(&a.spmm_reference(&x), 1e-5));
+    }
+}

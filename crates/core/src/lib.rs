@@ -1,0 +1,77 @@
+//! # jitspmm — just-in-time instruction generation for accelerated SpMM
+//!
+//! A Rust reproduction of **JITSPMM: Just-in-Time Instruction Generation for
+//! Accelerated Sparse Matrix-Matrix Multiplication** (CGO 2024). SpMM
+//! computes `Y = A · X` where `A` is sparse (CSR) and `X`/`Y` are dense;
+//! JITSPMM generates the SpMM kernel's machine code *at run time*, when the
+//! number of dense columns `d`, the matrix layout and the host ISA are all
+//! known, and thereby
+//!
+//! * keeps an entire output row in SIMD registers (**coarse-grain column
+//!   merging**, §IV.C),
+//! * removes the column-loop branches an ahead-of-time kernel must execute
+//!   (§III),
+//! * picks registers and instructions (`vbroadcastss`, `vfmadd231ps`,
+//!   `vmovups`, `lock xadd`) tailored to the problem instance (§IV.D), and
+//! * plugs into three workload-division strategies — row-split (static or
+//!   dynamic), nnz-split and merge-split (§IV.B).
+//!
+//! # Quick start
+//!
+//! ```
+//! use jitspmm::{JitSpmmBuilder, Strategy};
+//! use jitspmm_sparse::{generate, DenseMatrix};
+//!
+//! # fn main() -> Result<(), jitspmm::JitSpmmError> {
+//! // A sparse matrix (here: a small power-law graph) and a dense input.
+//! let a = generate::rmat::<f32>(10, 10_000, generate::RmatConfig::GRAPH500, 42);
+//! let x = DenseMatrix::random(a.ncols(), 16, 7);
+//!
+//! // Compile a kernel specialized to `a`, d = 16, this CPU, and the
+//! // dynamic row-split strategy; then execute it.
+//! let engine = JitSpmmBuilder::new()
+//!     .strategy(Strategy::row_split_dynamic_default())
+//!     .build(&a, x.ncols())?;
+//! let (y, report) = engine.execute(&x)?;
+//! assert_eq!(y.nrows(), a.nrows());
+//! println!("SpMM took {:?} on {} threads", report.elapsed, report.threads);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Crate layout
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`engine`] | [`JitSpmm`], the compile-once/run-many engine |
+//! | [`schedule`] | workload-division strategies and partitioning |
+//! | [`tiling`] | coarse-grain column merging register allocation |
+//! | [`codegen`] | the x86-64 kernel generator |
+//! | [`baseline`] | AOT baselines (scalar, auto-vectorized, MKL-like) |
+//! | [`profile`] | hardware-event models and emulator-based measurement |
+//!
+//! The sparse/dense containers live in [`jitspmm_sparse`], the runtime
+//! assembler in [`jitspmm_asm`], and the profiling emulator in
+//! [`jitspmm_emu`]; all three are re-exported for convenience.
+
+#![deny(missing_docs)]
+
+pub mod baseline;
+pub mod codegen;
+pub mod engine;
+pub mod error;
+pub mod kernel;
+pub mod profile;
+pub mod schedule;
+pub mod tiling;
+
+pub use codegen::KernelOptions;
+pub use engine::{ExecutionReport, JitSpmm, JitSpmmBuilder, SpmmOptions};
+pub use error::JitSpmmError;
+pub use kernel::{CompiledKernel, KernelKind, KernelMeta};
+pub use profile::ProfileCounts;
+pub use schedule::{DynamicCounter, Partition, RowRange, Strategy};
+pub use tiling::{CcmPlan, ColumnTile, Segment, SegmentWidth};
+
+pub use jitspmm_asm::{CpuFeatures, IsaLevel};
+pub use jitspmm_sparse::{CooMatrix, CsrMatrix, DenseMatrix, Scalar, ScalarKind};

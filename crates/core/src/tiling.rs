@@ -1,0 +1,310 @@
+//! Coarse-grain column merging (CCM) register tiling.
+//!
+//! Section IV.C/IV.D of the paper: because the number of dense columns `d`
+//! is known at JIT time, the accumulator vector `ret[0..d]` for one output
+//! row is decomposed into a linear combination of SIMD register widths —
+//! e.g. `d = 45` with f32 becomes `16 (zmm0) + 16 (zmm1) + 8 (ymm2) +
+//! 4 (xmm3) + 1 (xmm4, scalar)` — so the entire row result lives in
+//! registers for the duration of the non-zero loop.
+//!
+//! This module computes that decomposition for any `d`, ISA tier and element
+//! type. When `d` exceeds the available accumulator registers the columns are
+//! split into several [`ColumnTile`]s; the code generator then emits one
+//! non-zero loop per tile (an extension over the paper, which only evaluates
+//! `d ≤ 45`).
+
+use jitspmm_asm::{IsaLevel, VecWidth};
+use jitspmm_sparse::ScalarKind;
+
+/// The width class of one accumulator segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentWidth {
+    /// A full 512-bit register (16 f32 / 8 f64 lanes).
+    Zmm,
+    /// A 256-bit register (8 f32 / 4 f64 lanes).
+    Ymm,
+    /// A 128-bit register (4 f32 / 2 f64 lanes).
+    Xmm,
+    /// A single scalar lane held in the low element of an XMM register.
+    Scalar,
+}
+
+impl SegmentWidth {
+    /// Number of elements of `kind` this width holds.
+    pub const fn lanes(self, kind: ScalarKind) -> usize {
+        let bytes = match self {
+            SegmentWidth::Zmm => 64,
+            SegmentWidth::Ymm => 32,
+            SegmentWidth::Xmm => 16,
+            SegmentWidth::Scalar => return 1,
+        };
+        bytes / kind.bytes()
+    }
+
+    /// The vector-register width used to address this segment (scalars use
+    /// XMM registers).
+    pub const fn vec_width(self) -> VecWidth {
+        match self {
+            SegmentWidth::Zmm => VecWidth::Z512,
+            SegmentWidth::Ymm => VecWidth::Y256,
+            SegmentWidth::Xmm | SegmentWidth::Scalar => VecWidth::X128,
+        }
+    }
+}
+
+/// One accumulator segment: a register holding `lanes` consecutive columns
+/// of the output row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// First dense column covered by this segment (absolute, not
+    /// tile-relative).
+    pub col_offset: usize,
+    /// Number of columns covered.
+    pub lanes: usize,
+    /// Width class.
+    pub width: SegmentWidth,
+    /// The SIMD register id assigned to the accumulator.
+    pub reg: u8,
+}
+
+impl Segment {
+    /// Byte offset of the segment's first column within a row of the dense
+    /// matrices.
+    pub fn byte_offset(&self, kind: ScalarKind) -> usize {
+        self.col_offset * kind.bytes()
+    }
+}
+
+/// A group of columns whose accumulators fit in the register file
+/// simultaneously. The kernel makes one pass over the row's non-zeros per
+/// tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnTile {
+    /// First dense column of the tile.
+    pub col_start: usize,
+    /// Number of columns in the tile.
+    pub cols: usize,
+    /// The register segments covering the tile, in column order.
+    pub segments: Vec<Segment>,
+}
+
+/// The full CCM register-allocation plan for one kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcmPlan {
+    /// Number of dense columns `d`.
+    pub d: usize,
+    /// ISA tier the plan targets.
+    pub isa: IsaLevel,
+    /// Element kind.
+    pub kind: ScalarKind,
+    /// Register id reserved for broadcasting the current non-zero value
+    /// (`zmm31` on AVX-512, the highest VEX register otherwise — §IV.D.1).
+    pub broadcast_reg: u8,
+    /// The column tiles, in order.
+    pub tiles: Vec<ColumnTile>,
+}
+
+impl CcmPlan {
+    /// Compute the CCM plan for `d` columns of `kind` elements at ISA tier
+    /// `isa`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`; the engine validates this before planning.
+    pub fn new(d: usize, isa: IsaLevel, kind: ScalarKind) -> CcmPlan {
+        assert!(d > 0, "cannot plan a kernel for zero dense columns");
+        // The highest register is reserved for the broadcast value, exactly
+        // as the paper reserves zmm31.
+        let reg_count = isa.register_count() as u8;
+        let broadcast_reg = reg_count - 1;
+        let max_accumulators = (reg_count - 1) as usize;
+
+        let widths = available_widths(isa, kind);
+        let mut tiles = Vec::new();
+        let mut col = 0usize;
+        while col < d {
+            let mut segments = Vec::new();
+            let mut reg = 0u8;
+            while col < d && (reg as usize) < max_accumulators {
+                let remaining = d - col;
+                let (width, lanes) = pick_width(&widths, remaining, kind);
+                segments.push(Segment { col_offset: col, lanes, width, reg });
+                col += lanes;
+                reg += 1;
+            }
+            let col_start = segments.first().expect("tile has at least one segment").col_offset;
+            tiles.push(ColumnTile { col_start, cols: col - col_start, segments });
+        }
+        CcmPlan { d, isa, kind, broadcast_reg, tiles }
+    }
+
+    /// Total number of accumulator registers used by the widest tile.
+    pub fn max_registers_used(&self) -> usize {
+        self.tiles.iter().map(|t| t.segments.len()).max().unwrap_or(0)
+    }
+
+    /// Number of passes over each row's non-zero list the kernel will make.
+    pub fn passes(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Total lanes covered by all segments (must equal `d`).
+    pub fn covered_columns(&self) -> usize {
+        self.tiles.iter().flat_map(|t| &t.segments).map(|s| s.lanes).sum()
+    }
+
+    /// A short human-readable description such as
+    /// `16(zmm0)+16(zmm1)+8(ymm2)+4(xmm3)+1(xmm4)`.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        for tile in &self.tiles {
+            for seg in &tile.segments {
+                let prefix = match seg.width {
+                    SegmentWidth::Zmm => "zmm",
+                    SegmentWidth::Ymm => "ymm",
+                    SegmentWidth::Xmm | SegmentWidth::Scalar => "xmm",
+                };
+                parts.push(format!("{}({}{})", seg.lanes, prefix, seg.reg));
+            }
+        }
+        parts.join("+")
+    }
+}
+
+/// The widths usable at an ISA tier, widest first.
+fn available_widths(isa: IsaLevel, kind: ScalarKind) -> Vec<SegmentWidth> {
+    let mut widths = Vec::new();
+    if isa >= IsaLevel::Avx512 {
+        widths.push(SegmentWidth::Zmm);
+    }
+    if isa >= IsaLevel::Avx2 {
+        widths.push(SegmentWidth::Ymm);
+    }
+    if isa >= IsaLevel::Sse128 {
+        widths.push(SegmentWidth::Xmm);
+    }
+    widths.push(SegmentWidth::Scalar);
+    // For f64 a 128-bit register holds only two lanes; the selection logic
+    // below handles that through `SegmentWidth::lanes`.
+    let _ = kind;
+    widths
+}
+
+/// Choose the widest width not exceeding `remaining` columns; fall back to
+/// the narrowest (scalar) so progress is always made.
+fn pick_width(widths: &[SegmentWidth], remaining: usize, kind: ScalarKind) -> (SegmentWidth, usize) {
+    for &w in widths {
+        let lanes = w.lanes(kind);
+        if lanes <= remaining {
+            return (w, lanes);
+        }
+    }
+    (SegmentWidth::Scalar, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_d45_f32_avx512() {
+        // Figure 8: 16(ZMM0)+16(ZMM1)+8(YMM2)+4(XMM3)+1(XMM4).
+        let plan = CcmPlan::new(45, IsaLevel::Avx512, ScalarKind::F32);
+        assert_eq!(plan.passes(), 1);
+        assert_eq!(plan.broadcast_reg, 31);
+        let widths: Vec<_> = plan.tiles[0].segments.iter().map(|s| (s.width, s.lanes)).collect();
+        assert_eq!(
+            widths,
+            vec![
+                (SegmentWidth::Zmm, 16),
+                (SegmentWidth::Zmm, 16),
+                (SegmentWidth::Ymm, 8),
+                (SegmentWidth::Xmm, 4),
+                (SegmentWidth::Scalar, 1),
+            ]
+        );
+        assert_eq!(plan.describe(), "16(zmm0)+16(zmm1)+8(ymm2)+4(xmm3)+1(xmm4)");
+        assert_eq!(plan.covered_columns(), 45);
+    }
+
+    #[test]
+    fn d16_and_d32_use_whole_zmm_registers() {
+        let plan = CcmPlan::new(16, IsaLevel::Avx512, ScalarKind::F32);
+        assert_eq!(plan.tiles[0].segments.len(), 1);
+        assert_eq!(plan.tiles[0].segments[0].width, SegmentWidth::Zmm);
+        let plan = CcmPlan::new(32, IsaLevel::Avx512, ScalarKind::F32);
+        assert_eq!(plan.tiles[0].segments.len(), 2);
+        assert_eq!(plan.max_registers_used(), 2);
+    }
+
+    #[test]
+    fn avx2_has_no_zmm_segments_and_reserves_reg15() {
+        let plan = CcmPlan::new(32, IsaLevel::Avx2, ScalarKind::F32);
+        assert_eq!(plan.broadcast_reg, 15);
+        assert!(plan
+            .tiles
+            .iter()
+            .flat_map(|t| &t.segments)
+            .all(|s| s.width != SegmentWidth::Zmm));
+        assert_eq!(plan.tiles[0].segments.len(), 4); // 4 x ymm
+        assert_eq!(plan.covered_columns(), 32);
+    }
+
+    #[test]
+    fn scalar_tier_uses_single_lanes() {
+        let plan = CcmPlan::new(8, IsaLevel::Scalar, ScalarKind::F32);
+        assert_eq!(plan.tiles[0].segments.len(), 8);
+        assert!(plan.tiles[0].segments.iter().all(|s| s.width == SegmentWidth::Scalar));
+        assert_eq!(plan.passes(), 1);
+    }
+
+    #[test]
+    fn f64_lane_counts_halve() {
+        let plan = CcmPlan::new(16, IsaLevel::Avx512, ScalarKind::F64);
+        // 16 f64 columns = 2 zmm registers.
+        assert_eq!(plan.tiles[0].segments.len(), 2);
+        assert!(plan.tiles[0].segments.iter().all(|s| s.lanes == 8));
+        let plan = CcmPlan::new(45, IsaLevel::Avx512, ScalarKind::F64);
+        assert_eq!(plan.covered_columns(), 45);
+        assert_eq!(plan.describe(), "8(zmm0)+8(zmm1)+8(zmm2)+8(zmm3)+8(zmm4)+4(ymm5)+1(xmm6)");
+    }
+
+    #[test]
+    fn very_wide_d_splits_into_tiles() {
+        // 31 usable accumulators * 16 lanes = 496 columns per tile on AVX-512.
+        let plan = CcmPlan::new(1000, IsaLevel::Avx512, ScalarKind::F32);
+        assert!(plan.passes() > 1, "expected multiple tiles, got {}", plan.passes());
+        assert_eq!(plan.covered_columns(), 1000);
+        assert!(plan.max_registers_used() <= 31);
+        // Tiles must be contiguous and non-overlapping.
+        let mut expected_start = 0;
+        for tile in &plan.tiles {
+            assert_eq!(tile.col_start, expected_start);
+            expected_start += tile.cols;
+        }
+        assert_eq!(expected_start, 1000);
+    }
+
+    #[test]
+    fn scalar_tier_splits_small_d() {
+        // 15 usable accumulators at the scalar tier.
+        let plan = CcmPlan::new(45, IsaLevel::Scalar, ScalarKind::F32);
+        assert_eq!(plan.passes(), 3);
+        assert_eq!(plan.covered_columns(), 45);
+    }
+
+    #[test]
+    fn byte_offsets_scale_with_kind() {
+        let plan = CcmPlan::new(45, IsaLevel::Avx512, ScalarKind::F32);
+        let segs = &plan.tiles[0].segments;
+        assert_eq!(segs[1].byte_offset(ScalarKind::F32), 64);
+        assert_eq!(segs[2].byte_offset(ScalarKind::F32), 128);
+        assert_eq!(segs[4].byte_offset(ScalarKind::F32), 176);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_columns_panics() {
+        let _ = CcmPlan::new(0, IsaLevel::Avx512, ScalarKind::F32);
+    }
+}

@@ -1,0 +1,219 @@
+//! A set-associative data-cache model with LRU replacement.
+//!
+//! §IV.C.2 of the paper argues that coarse-grain column merging improves the
+//! memory access pattern (Figure 7): with CCM the kernel streams each
+//! selected dense row sequentially, whereas without it the same rows are
+//! revisited once per column block with a large stride. This model lets the
+//! profiling layer quantify that difference in cache misses without needing
+//! hardware counters.
+
+/// Configuration of a [`CacheModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Cache-line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// A typical L1 data cache: 32 KiB, 8-way, 64-byte lines.
+    pub const L1D: CacheConfig = CacheConfig { capacity: 32 * 1024, ways: 8, line_bytes: 64 };
+
+    /// A typical per-core L2 cache: 1 MiB, 16-way, 64-byte lines.
+    pub const L2: CacheConfig = CacheConfig { capacity: 1024 * 1024, ways: 16, line_bytes: 64 };
+
+    /// Number of sets implied by the configuration.
+    pub fn sets(&self) -> usize {
+        (self.capacity / self.line_bytes / self.ways).max(1)
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::L1D
+    }
+}
+
+/// A set-associative cache with true-LRU replacement, fed with byte
+/// addresses.
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    config: CacheConfig,
+    /// For each set, the resident line tags in LRU order (front = most
+    /// recently used).
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheModel {
+    /// An empty cache with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size is zero or not a power of two.
+    pub fn new(config: CacheConfig) -> CacheModel {
+        assert!(config.line_bytes.is_power_of_two() && config.line_bytes > 0);
+        assert!(config.ways > 0);
+        CacheModel { config, sets: vec![Vec::new(); config.sets()], hits: 0, misses: 0 }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Access `bytes` bytes starting at `addr`, touching every cache line the
+    /// range covers. Returns the number of misses incurred by this access.
+    pub fn access(&mut self, addr: u64, bytes: usize) -> u64 {
+        let line = self.config.line_bytes as u64;
+        let first = addr / line;
+        let last = (addr + bytes.max(1) as u64 - 1) / line;
+        let mut misses = 0;
+        for tag in first..=last {
+            if self.touch_line(tag) {
+                self.hits += 1;
+            } else {
+                self.misses += 1;
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Access one cache line by tag; returns whether it hit.
+    fn touch_line(&mut self, tag: u64) -> bool {
+        let set_count = self.sets.len() as u64;
+        let set = &mut self.sets[(tag % set_count) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            let t = set.remove(pos);
+            set.insert(0, t);
+            true
+        } else {
+            set.insert(0, tag);
+            if set.len() > self.config.ways {
+                set.pop();
+            }
+            false
+        }
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio (`misses / (hits + misses)`), or zero before any access.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Forget all contents and statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_set_count() {
+        assert_eq!(CacheConfig::L1D.sets(), 64);
+        assert_eq!(CacheConfig::L2.sets(), 1024);
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = CacheModel::new(CacheConfig::L1D);
+        assert_eq!(c.access(0x1000, 4), 1);
+        assert_eq!(c.access(0x1000, 4), 0);
+        assert_eq!(c.access(0x1004, 4), 0); // same line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn sequential_streaming_misses_once_per_line() {
+        let mut c = CacheModel::new(CacheConfig::L1D);
+        // Stream 4 KiB of f32s sequentially.
+        for i in 0..1024u64 {
+            c.access(0x10000 + i * 4, 4);
+        }
+        assert_eq!(c.misses(), 4096 / 64);
+        assert_eq!(c.hits(), 1024 - 64);
+    }
+
+    #[test]
+    fn strided_access_thrashes_small_cache() {
+        // A tiny direct-mapped-ish cache to force conflict misses.
+        let config = CacheConfig { capacity: 1024, ways: 2, line_bytes: 64 };
+        let mut seq = CacheModel::new(config);
+        let mut strided = CacheModel::new(config);
+        // Working set of 16 KiB, touched twice.
+        for _round in 0..2 {
+            for i in 0..4096u64 {
+                seq.access(i * 4, 4);
+            }
+        }
+        for _round in 0..2 {
+            for col in 0..4u64 {
+                for row in 0..1024u64 {
+                    strided.access(row * 16 + col * 4, 4);
+                }
+            }
+        }
+        // Both touch the same bytes, but the strided order revisits lines
+        // after they were evicted.
+        assert!(strided.misses() >= seq.misses());
+    }
+
+    #[test]
+    fn wide_access_touches_multiple_lines() {
+        let mut c = CacheModel::new(CacheConfig::L1D);
+        // A 64-byte load aligned halfway across two lines.
+        assert_eq!(c.access(0x20, 64), 2);
+    }
+
+    #[test]
+    fn reset_clears_contents_and_stats() {
+        let mut c = CacheModel::new(CacheConfig::L1D);
+        c.access(0, 64);
+        c.reset();
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert_eq!(c.access(0, 4), 1); // cold again
+        assert!(c.miss_ratio() > 0.99);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // One set only: capacity 128 B, 2 ways, 64 B lines.
+        let config = CacheConfig { capacity: 128, ways: 2, line_bytes: 64 };
+        let mut c = CacheModel::new(config);
+        assert_eq!(config.sets(), 1);
+        c.access(0, 4); // line A (miss)
+        c.access(64, 4); // line B (miss)
+        c.access(0, 4); // A hit, A is MRU
+        c.access(128, 4); // line C: evicts B
+        assert_eq!(c.access(0, 4), 0); // A still resident
+        assert_eq!(c.access(64, 4), 1); // B was evicted
+    }
+}

@@ -1,0 +1,713 @@
+//! Instruction decoder for the supported x86-64 subset.
+
+use crate::error::EmuError;
+use crate::inst::{AluOp, Inst, MemOperand, OpWidth, RmOperand, VecKind};
+
+/// A byte cursor over the code buffer.
+struct Cursor<'a> {
+    code: &'a [u8],
+    start: usize,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(code: &'a [u8], start: usize) -> Cursor<'a> {
+        Cursor { code, start, pos: start }
+    }
+
+    fn u8(&mut self) -> Result<u8, EmuError> {
+        let b = *self.code.get(self.pos).ok_or(EmuError::Truncated { offset: self.start })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.code.get(self.pos).copied()
+    }
+
+    fn i8(&mut self) -> Result<i8, EmuError> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn u32(&mut self) -> Result<u32, EmuError> {
+        let mut v = [0u8; 4];
+        for b in &mut v {
+            *b = self.u8()?;
+        }
+        Ok(u32::from_le_bytes(v))
+    }
+
+    fn i32(&mut self) -> Result<i32, EmuError> {
+        Ok(self.u32()? as i32)
+    }
+
+    fn u64(&mut self) -> Result<u64, EmuError> {
+        let mut v = [0u8; 8];
+        for b in &mut v {
+            *b = self.u8()?;
+        }
+        Ok(u64::from_le_bytes(v))
+    }
+
+    fn len(&self) -> usize {
+        self.pos - self.start
+    }
+
+    fn unsupported(&self, what: impl Into<String>) -> EmuError {
+        EmuError::Unsupported { offset: self.start, what: what.into() }
+    }
+}
+
+/// Decoded legacy prefixes.
+#[derive(Default)]
+struct Prefixes {
+    lock: bool,
+    rep_f3: bool,
+    opsize_66: bool,
+    rep_f2: bool,
+    rex: u8,
+}
+
+impl Prefixes {
+    fn rex_w(&self) -> bool {
+        self.rex & 0x08 != 0
+    }
+    fn rex_r(&self) -> u8 {
+        (self.rex >> 2) & 1
+    }
+    fn rex_x(&self) -> u8 {
+        (self.rex >> 1) & 1
+    }
+    fn rex_b(&self) -> u8 {
+        self.rex & 1
+    }
+}
+
+/// Decode the ModRM byte (and SIB/displacement) that follows.
+///
+/// `reg_ext`, `rm_ext` and `index_ext` are the prefix-provided extension
+/// bits (already shifted to bit 3; `rm_ext_hi` is bit 4 for EVEX register
+/// operands). `force_disp32_on_mod1` rejects EVEX compressed disp8 forms.
+fn decode_modrm(
+    cur: &mut Cursor<'_>,
+    reg_ext: u8,
+    rm_ext: u8,
+    index_ext: u8,
+    rm_ext_hi: u8,
+) -> Result<(u8, RmOperand), EmuError> {
+    let modrm = cur.u8()?;
+    let md = modrm >> 6;
+    let reg = (reg_ext << 3) | ((modrm >> 3) & 0b111);
+    let rm_low = modrm & 0b111;
+    if md == 0b11 {
+        let rm = (rm_ext_hi << 4) | (rm_ext << 3) | rm_low;
+        return Ok((reg, RmOperand::Reg(rm)));
+    }
+    // Memory operand.
+    let (base, index) = if rm_low == 0b100 {
+        // SIB byte.
+        let sib = cur.u8()?;
+        let scale = sib >> 6;
+        let idx_low = (sib >> 3) & 0b111;
+        let base_low = sib & 0b111;
+        let index = if idx_low == 0b100 && index_ext == 0 {
+            None
+        } else {
+            Some(((index_ext << 3) | idx_low, scale))
+        };
+        if base_low == 0b101 && md == 0b00 {
+            return Err(cur.unsupported("SIB with no base register"));
+        }
+        ((rm_ext << 3) | base_low, index)
+    } else {
+        if rm_low == 0b101 && md == 0b00 {
+            return Err(cur.unsupported("RIP-relative addressing"));
+        }
+        ((rm_ext << 3) | rm_low, None)
+    };
+    let disp = match md {
+        0b00 => 0,
+        0b01 => cur.i8()? as i32,
+        0b10 => cur.i32()?,
+        _ => unreachable!(),
+    };
+    Ok((reg, RmOperand::Mem(MemOperand { base, index, disp })))
+}
+
+/// Decode one instruction starting at `offset`; returns the instruction and
+/// its encoded length.
+pub fn decode(code: &[u8], offset: usize) -> Result<(Inst, usize), EmuError> {
+    let mut cur = Cursor::new(code, offset);
+    let mut prefixes = Prefixes::default();
+
+    // Legacy prefixes.
+    loop {
+        match cur.peek() {
+            Some(0xF0) => {
+                prefixes.lock = true;
+                cur.u8()?;
+            }
+            Some(0xF3) => {
+                prefixes.rep_f3 = true;
+                cur.u8()?;
+            }
+            Some(0xF2) => {
+                prefixes.rep_f2 = true;
+                cur.u8()?;
+            }
+            Some(0x66) => {
+                prefixes.opsize_66 = true;
+                cur.u8()?;
+            }
+            _ => break,
+        }
+    }
+
+    // VEX / EVEX prefixes.
+    match cur.peek() {
+        Some(0xC4) | Some(0xC5) => return decode_vex(code, offset, cur),
+        Some(0x62) => return decode_evex(code, offset, cur),
+        _ => {}
+    }
+
+    // REX prefix.
+    if let Some(b) = cur.peek() {
+        if (0x40..=0x4F).contains(&b) {
+            prefixes.rex = b;
+            cur.u8()?;
+        }
+    }
+
+    let width = if prefixes.rex_w() { OpWidth::W64 } else { OpWidth::W32 };
+    let opcode = cur.u8()?;
+    let inst = match opcode {
+        0x90 => Inst::Nop,
+        0xC3 => Inst::Ret,
+        0xE9 => {
+            let disp = cur.i32()? as i64;
+            Inst::Jmp { target: (cur.pos as i64 + disp) as u64 }
+        }
+        0x50..=0x57 => Inst::Push { reg: (prefixes.rex_b() << 3) | (opcode - 0x50) },
+        0x58..=0x5F => Inst::Pop { reg: (prefixes.rex_b() << 3) | (opcode - 0x58) },
+        0xB8..=0xBF => {
+            let dst = (prefixes.rex_b() << 3) | (opcode - 0xB8);
+            let imm = if prefixes.rex_w() { cur.u64()? } else { cur.u32()? as u64 };
+            Inst::MovRegImm { dst, imm }
+        }
+        0x89 => {
+            let (reg, rm) =
+                decode_modrm(&mut cur, prefixes.rex_r(), prefixes.rex_b(), prefixes.rex_x(), 0)?;
+            Inst::MovRmReg { dst: rm, src: reg, width }
+        }
+        0x8B => {
+            let (reg, rm) =
+                decode_modrm(&mut cur, prefixes.rex_r(), prefixes.rex_b(), prefixes.rex_x(), 0)?;
+            Inst::MovRegRm { dst: reg, src: rm, width }
+        }
+        0x8D => {
+            let (reg, rm) =
+                decode_modrm(&mut cur, prefixes.rex_r(), prefixes.rex_b(), prefixes.rex_x(), 0)?;
+            match rm {
+                RmOperand::Mem(mem) => Inst::Lea { dst: reg, mem },
+                RmOperand::Reg(_) => return Err(cur.unsupported("lea with register operand")),
+            }
+        }
+        0x01 | 0x29 | 0x39 | 0x31 | 0x85 => {
+            let op = match opcode {
+                0x01 => AluOp::Add,
+                0x29 => AluOp::Sub,
+                0x39 => AluOp::Cmp,
+                0x31 => AluOp::Xor,
+                _ => AluOp::Test,
+            };
+            let (reg, rm) =
+                decode_modrm(&mut cur, prefixes.rex_r(), prefixes.rex_b(), prefixes.rex_x(), 0)?;
+            Inst::AluRmReg { op, dst: rm, src: reg }
+        }
+        0x03 | 0x2B | 0x3B | 0x33 => {
+            let op = match opcode {
+                0x03 => AluOp::Add,
+                0x2B => AluOp::Sub,
+                0x3B => AluOp::Cmp,
+                _ => AluOp::Xor,
+            };
+            let (reg, rm) =
+                decode_modrm(&mut cur, prefixes.rex_r(), prefixes.rex_b(), prefixes.rex_x(), 0)?;
+            Inst::AluRegRm { op, dst: reg, src: rm }
+        }
+        0x81 | 0x83 => {
+            let (digit, rm) =
+                decode_modrm(&mut cur, 0, prefixes.rex_b(), prefixes.rex_x(), 0)?;
+            let imm = if opcode == 0x83 { cur.i8()? as i64 } else { cur.i32()? as i64 };
+            let op = match digit & 0b111 {
+                0 => AluOp::Add,
+                5 => AluOp::Sub,
+                7 => AluOp::Cmp,
+                6 => AluOp::Xor,
+                other => return Err(cur.unsupported(format!("group-1 /{other}"))),
+            };
+            Inst::AluRmImm { op, dst: rm, imm }
+        }
+        0x69 => {
+            let (reg, rm) =
+                decode_modrm(&mut cur, prefixes.rex_r(), prefixes.rex_b(), prefixes.rex_x(), 0)?;
+            let imm = cur.i32()? as i64;
+            Inst::ImulRegRmImm { dst: reg, src: rm, imm }
+        }
+        0xC1 => {
+            let (digit, rm) =
+                decode_modrm(&mut cur, 0, prefixes.rex_b(), prefixes.rex_x(), 0)?;
+            let amount = cur.u8()?;
+            match digit & 0b111 {
+                4 => Inst::ShiftImm { dst: rm, left: true, amount },
+                5 => Inst::ShiftImm { dst: rm, left: false, amount },
+                other => return Err(cur.unsupported(format!("shift group /{other}"))),
+            }
+        }
+        0xFF => {
+            let (digit, rm) =
+                decode_modrm(&mut cur, 0, prefixes.rex_b(), prefixes.rex_x(), 0)?;
+            match digit & 0b111 {
+                0 => Inst::IncDec { dst: rm, dec: false },
+                1 => Inst::IncDec { dst: rm, dec: true },
+                other => return Err(cur.unsupported(format!("group-5 /{other}"))),
+            }
+        }
+        0x0F => {
+            let op2 = cur.u8()?;
+            match op2 {
+                0x80..=0x8F => {
+                    let disp = cur.i32()? as i64;
+                    Inst::Jcc { cond: op2 - 0x80, target: (cur.pos as i64 + disp) as u64 }
+                }
+                0xAF => {
+                    let (reg, rm) = decode_modrm(
+                        &mut cur,
+                        prefixes.rex_r(),
+                        prefixes.rex_b(),
+                        prefixes.rex_x(),
+                        0,
+                    )?;
+                    Inst::ImulRegRm { dst: reg, src: rm }
+                }
+                0xC1 => {
+                    let (reg, rm) = decode_modrm(
+                        &mut cur,
+                        prefixes.rex_r(),
+                        prefixes.rex_b(),
+                        prefixes.rex_x(),
+                        0,
+                    )?;
+                    match rm {
+                        RmOperand::Mem(mem) => Inst::Xadd { mem, reg },
+                        RmOperand::Reg(_) => {
+                            return Err(cur.unsupported("xadd with register destination"))
+                        }
+                    }
+                }
+                other => return Err(cur.unsupported(format!("two-byte opcode 0F {other:02X}"))),
+            }
+        }
+        other => return Err(cur.unsupported(format!("opcode {other:02X}"))),
+    };
+    Ok((inst, cur.len()))
+}
+
+/// Shared VEX/EVEX opcode dispatch once the prefix fields are known.
+#[allow(clippy::too_many_arguments)]
+fn decode_avx_opcode(
+    cur: &mut Cursor<'_>,
+    map: u8,
+    pp: u8,
+    w: bool,
+    width_bytes: usize,
+    reg_ext: u8,
+    reg_ext_hi: u8,
+    rm_ext: u8,
+    index_ext: u8,
+    rm_ext_hi: u8,
+    vvvv: u8,
+) -> Result<Inst, EmuError> {
+    let opcode = cur.u8()?;
+    // vzeroupper has no ModRM byte.
+    if map == 1 && opcode == 0x77 {
+        return Ok(Inst::VZeroUpper);
+    }
+    let (reg_low, rm) = decode_modrm(cur, reg_ext, rm_ext, index_ext, rm_ext_hi)?;
+    let reg = (reg_ext_hi << 4) | reg_low;
+    let kind_ps = |pp: u8| if pp == 1 { VecKind::F64 } else { VecKind::F32 };
+    match (map, opcode) {
+        (1, 0x57) => Ok(Inst::VXor { dst: reg, a: vvvv, b: rm_reg(cur, rm)?, width_bytes }),
+        (1, 0xEF) => Ok(Inst::VXor { dst: reg, a: vvvv, b: rm_reg(cur, rm)?, width_bytes }),
+        (1, 0x10) | (1, 0x11) => {
+            // Moves: pp selects ps/pd/ss/sd.
+            let bytes = match pp {
+                0 => width_bytes,
+                1 => width_bytes,
+                2 => 4,
+                3 => 8,
+                _ => unreachable!(),
+            };
+            let mem = rm_mem(cur, rm)?;
+            if opcode == 0x10 {
+                Ok(Inst::VMovLoad { dst: reg, src: mem, width_bytes: bytes })
+            } else {
+                Ok(Inst::VMovStore { dst: mem, src: reg, width_bytes: bytes })
+            }
+        }
+        (1, 0x58) | (1, 0x59) => {
+            let (kind, bytes, scalar) = match pp {
+                0 => (VecKind::F32, width_bytes, false),
+                1 => (VecKind::F64, width_bytes, false),
+                2 => (VecKind::F32, 4, true),
+                3 => (VecKind::F64, 8, true),
+                _ => unreachable!(),
+            };
+            if opcode == 0x58 {
+                Ok(Inst::VAdd { dst: reg, a: vvvv, src: rm, kind, width_bytes: bytes, scalar })
+            } else {
+                Ok(Inst::VMul { dst: reg, a: vvvv, src: rm, kind, width_bytes: bytes, scalar })
+            }
+        }
+        (2, 0x18) => Ok(Inst::VBroadcast {
+            dst: reg,
+            src: rm_mem(cur, rm)?,
+            kind: VecKind::F32,
+            width_bytes,
+        }),
+        (2, 0x19) => Ok(Inst::VBroadcast {
+            dst: reg,
+            src: rm_mem(cur, rm)?,
+            kind: VecKind::F64,
+            width_bytes,
+        }),
+        (2, 0xB8) => Ok(Inst::VFmadd231 {
+            dst: reg,
+            a: vvvv,
+            src: rm,
+            kind: if w { VecKind::F64 } else { VecKind::F32 },
+            width_bytes,
+            scalar: false,
+        }),
+        (2, 0xB9) => Ok(Inst::VFmadd231 {
+            dst: reg,
+            a: vvvv,
+            src: rm,
+            kind: if w { VecKind::F64 } else { VecKind::F32 },
+            width_bytes: if w { 8 } else { 4 },
+            scalar: true,
+        }),
+        (m, o) => {
+            let _ = kind_ps;
+            Err(cur.unsupported(format!("AVX opcode map {m} op {o:02X}")))
+        }
+    }
+}
+
+fn rm_reg(cur: &Cursor<'_>, rm: RmOperand) -> Result<u8, EmuError> {
+    match rm {
+        RmOperand::Reg(r) => Ok(r),
+        RmOperand::Mem(_) => Err(cur.unsupported("expected a register operand")),
+    }
+}
+
+fn rm_mem(cur: &Cursor<'_>, rm: RmOperand) -> Result<MemOperand, EmuError> {
+    match rm {
+        RmOperand::Mem(m) => Ok(m),
+        RmOperand::Reg(_) => Err(cur.unsupported("expected a memory operand")),
+    }
+}
+
+fn decode_vex(
+    _code: &[u8],
+    _offset: usize,
+    mut cur: Cursor<'_>,
+) -> Result<(Inst, usize), EmuError> {
+    let first = cur.u8()?;
+    let (map, pp, w, vl, reg_ext, rm_ext, index_ext, vvvv) = if first == 0xC4 {
+        let b1 = cur.u8()?;
+        let b2 = cur.u8()?;
+        let map = b1 & 0b11111;
+        let reg_ext = ((!b1) >> 7) & 1;
+        let index_ext = ((!b1) >> 6) & 1;
+        let rm_ext = ((!b1) >> 5) & 1;
+        let w = b2 & 0x80 != 0;
+        let vvvv = ((!b2) >> 3) & 0xF;
+        let vl = (b2 >> 2) & 1;
+        let pp = b2 & 0b11;
+        (map, pp, w, vl, reg_ext, rm_ext, index_ext, vvvv)
+    } else {
+        // C5: two-byte VEX.
+        let b1 = cur.u8()?;
+        let reg_ext = ((!b1) >> 7) & 1;
+        let vvvv = ((!b1) >> 3) & 0xF;
+        let vl = (b1 >> 2) & 1;
+        let pp = b1 & 0b11;
+        (1u8, pp, false, vl, reg_ext, 0u8, 0u8, vvvv)
+    };
+    let width_bytes = if vl == 1 { 32 } else { 16 };
+    let inst =
+        decode_avx_opcode(&mut cur, map, pp, w, width_bytes, reg_ext, 0, rm_ext, index_ext, 0, vvvv)?;
+    Ok((inst, cur.len()))
+}
+
+fn decode_evex(
+    _code: &[u8],
+    _offset: usize,
+    mut cur: Cursor<'_>,
+) -> Result<(Inst, usize), EmuError> {
+    let first = cur.u8()?;
+    debug_assert_eq!(first, 0x62);
+    let p0 = cur.u8()?;
+    let p1 = cur.u8()?;
+    let p2 = cur.u8()?;
+    let map = p0 & 0b111;
+    let reg_ext = ((!p0) >> 7) & 1;
+    let index_ext = ((!p0) >> 6) & 1;
+    let rm_ext = ((!p0) >> 5) & 1;
+    let reg_ext_hi = ((!p0) >> 4) & 1;
+    let w = p1 & 0x80 != 0;
+    let vvvv_lo = ((!p1) >> 3) & 0xF;
+    let pp = p1 & 0b11;
+    let vl = (p2 >> 5) & 0b11;
+    let vvvv_hi = ((!p2) >> 3) & 1;
+    let vvvv = (vvvv_hi << 4) | vvvv_lo;
+    if p2 & 0b111 != 0 {
+        return Err(cur.unsupported("EVEX masking"));
+    }
+    if p2 & 0b1_0000 != 0 {
+        return Err(cur.unsupported("EVEX broadcast/rounding"));
+    }
+    let width_bytes = match vl {
+        0 => 16,
+        1 => 32,
+        2 => 64,
+        _ => return Err(cur.unsupported("EVEX vector length 3")),
+    };
+    // For register rm operands EVEX.X carries bit 4; decode_modrm receives it
+    // as `rm_ext_hi`. For memory operands the same bit extends the index
+    // register, which decode_modrm also handles via `index_ext`.
+    let inst = decode_avx_opcode(
+        &mut cur,
+        map,
+        pp,
+        w,
+        width_bytes,
+        reg_ext,
+        reg_ext_hi,
+        rm_ext,
+        index_ext,
+        index_ext,
+        vvvv,
+    )?;
+    Ok((inst, cur.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitspmm_asm::{Assembler, Gpr, Mem, Scale, VecReg, Xmm};
+
+    fn decode_first(asm: Assembler) -> (Inst, usize) {
+        let code = asm.finalize().unwrap();
+        decode(&code, 0).unwrap()
+    }
+
+    #[test]
+    fn decodes_mov_imm64() {
+        let mut asm = Assembler::new();
+        asm.mov_ri64(Gpr::R12, 0x1122334455667788);
+        let (inst, len) = decode_first(asm);
+        assert_eq!(inst, Inst::MovRegImm { dst: 12, imm: 0x1122334455667788 });
+        assert_eq!(len, 10);
+    }
+
+    #[test]
+    fn decodes_indexed_load() {
+        let mut asm = Assembler::new();
+        asm.mov_rm64(Gpr::R10, Mem::base(Gpr::Rbx).index(Gpr::Rdi, Scale::S8).disp(8));
+        let (inst, _) = decode_first(asm);
+        assert_eq!(
+            inst,
+            Inst::MovRegRm {
+                dst: 10,
+                src: RmOperand::Mem(MemOperand {
+                    base: Gpr::Rbx.id(),
+                    index: Some((Gpr::Rdi.id(), 3)),
+                    disp: 8
+                }),
+                width: OpWidth::W64,
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_32bit_load_as_w32() {
+        let mut asm = Assembler::new();
+        asm.mov_rm32(Gpr::R12, Mem::base(Gpr::Rcx).index(Gpr::R10, Scale::S4));
+        let (inst, _) = decode_first(asm);
+        match inst {
+            Inst::MovRegRm { dst: 12, width: OpWidth::W32, .. } => {}
+            other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decodes_alu_and_jumps() {
+        let mut asm = Assembler::new();
+        let l = asm.new_label();
+        asm.cmp_rr64(Gpr::R10, Gpr::R11);
+        asm.jcc(jitspmm_asm::Cond::Ge, l);
+        asm.add_ri64(Gpr::Rax, 100000);
+        asm.bind(l).unwrap();
+        asm.ret();
+        let code = asm.finalize().unwrap();
+        let (i1, l1) = decode(&code, 0).unwrap();
+        assert_eq!(i1, Inst::AluRmReg { op: AluOp::Cmp, dst: RmOperand::Reg(10), src: 11 });
+        let (i2, l2) = decode(&code, l1).unwrap();
+        match i2 {
+            Inst::Jcc { cond: 0xD, target } => {
+                // Target must be the offset of ret.
+                assert_eq!(target as usize, code.len() - 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let (i3, _) = decode(&code, l1 + l2).unwrap();
+        assert_eq!(
+            i3,
+            Inst::AluRmImm { op: AluOp::Add, dst: RmOperand::Reg(0), imm: 100000 }
+        );
+    }
+
+    #[test]
+    fn decodes_lock_xadd() {
+        let mut asm = Assembler::new();
+        asm.lock_xadd_mr64(Mem::base(Gpr::R14), Gpr::Rsi);
+        let (inst, _) = decode_first(asm);
+        assert_eq!(
+            inst,
+            Inst::Xadd {
+                mem: MemOperand { base: 14, index: None, disp: 0 },
+                reg: Gpr::Rsi.id()
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_vex_and_evex_fmadd() {
+        // VEX form (ymm, low registers).
+        let mut asm = Assembler::new();
+        asm.vfmadd231ps_m(VecReg::ymm(2), VecReg::ymm(7), Mem::base(Gpr::R8).disp(32));
+        let (inst, _) = decode_first(asm);
+        assert_eq!(
+            inst,
+            Inst::VFmadd231 {
+                dst: 2,
+                a: 7,
+                src: RmOperand::Mem(MemOperand { base: 8, index: None, disp: 32 }),
+                kind: VecKind::F32,
+                width_bytes: 32,
+                scalar: false,
+            }
+        );
+        // EVEX form (zmm31 source).
+        let mut asm = Assembler::new();
+        asm.vfmadd231ps_m(VecReg::zmm(0), VecReg::zmm(31), Mem::base(Gpr::R8).index(Gpr::R12, Scale::S1));
+        let (inst, _) = decode_first(asm);
+        assert_eq!(
+            inst,
+            Inst::VFmadd231 {
+                dst: 0,
+                a: 31,
+                src: RmOperand::Mem(MemOperand { base: 8, index: Some((12, 0)), disp: 0 }),
+                kind: VecKind::F32,
+                width_bytes: 64,
+                scalar: false,
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_broadcast_and_moves() {
+        let mut asm = Assembler::new();
+        asm.vbroadcastss(VecReg::zmm(31), Mem::base(Gpr::Rdx).index(Gpr::R10, Scale::S4));
+        asm.vmovups_store(Mem::base(Gpr::R9).disp(64), VecReg::zmm(1));
+        asm.vmovss_load(Xmm::new(4), Mem::base(Gpr::Rdx));
+        let code = asm.finalize().unwrap();
+        let (i1, l1) = decode(&code, 0).unwrap();
+        assert_eq!(
+            i1,
+            Inst::VBroadcast {
+                dst: 31,
+                src: MemOperand { base: 2, index: Some((10, 2)), disp: 0 },
+                kind: VecKind::F32,
+                width_bytes: 64,
+            }
+        );
+        let (i2, l2) = decode(&code, l1).unwrap();
+        assert_eq!(
+            i2,
+            Inst::VMovStore {
+                dst: MemOperand { base: 9, index: None, disp: 64 },
+                src: 1,
+                width_bytes: 64,
+            }
+        );
+        let (i3, _) = decode(&code, l1 + l2).unwrap();
+        assert_eq!(
+            i3,
+            Inst::VMovLoad { dst: 4, src: MemOperand { base: 2, index: None, disp: 0 }, width_bytes: 4 }
+        );
+    }
+
+    #[test]
+    fn decodes_vxor_and_vzeroupper() {
+        let mut asm = Assembler::new();
+        asm.vxorps(VecReg::zmm(3), VecReg::zmm(3), VecReg::zmm(3));
+        asm.vxorps(VecReg::xmm(2), VecReg::xmm(2), VecReg::xmm(2));
+        asm.vzeroupper();
+        let code = asm.finalize().unwrap();
+        let (i1, l1) = decode(&code, 0).unwrap();
+        assert_eq!(i1, Inst::VXor { dst: 3, a: 3, b: 3, width_bytes: 64 });
+        let (i2, l2) = decode(&code, l1).unwrap();
+        assert_eq!(i2, Inst::VXor { dst: 2, a: 2, b: 2, width_bytes: 16 });
+        let (i3, _) = decode(&code, l1 + l2).unwrap();
+        assert_eq!(i3, Inst::VZeroUpper);
+    }
+
+    #[test]
+    fn decodes_push_pop_lea_shift_imul() {
+        let mut asm = Assembler::new();
+        asm.push_r64(Gpr::R13);
+        asm.pop_r64(Gpr::Rbx);
+        asm.lea(Gpr::Rax, Mem::base(Gpr::Rbp).index(Gpr::R9, Scale::S2).disp(-4));
+        asm.shl_ri64(Gpr::Rdx, 3);
+        asm.imul_rri64(Gpr::R13, Gpr::Rdi, 180);
+        asm.imul_rr64(Gpr::Rax, Gpr::Rbx);
+        let code = asm.finalize().unwrap();
+        let mut off = 0;
+        let mut insts = Vec::new();
+        while off < code.len() {
+            let (i, l) = decode(&code, off).unwrap();
+            insts.push(i);
+            off += l;
+        }
+        assert_eq!(insts[0], Inst::Push { reg: 13 });
+        assert_eq!(insts[1], Inst::Pop { reg: 3 });
+        assert!(matches!(insts[2], Inst::Lea { dst: 0, .. }));
+        assert_eq!(insts[3], Inst::ShiftImm { dst: RmOperand::Reg(2), left: true, amount: 3 });
+        assert_eq!(insts[4], Inst::ImulRegRmImm { dst: 13, src: RmOperand::Reg(7), imm: 180 });
+        assert_eq!(insts[5], Inst::ImulRegRm { dst: 0, src: RmOperand::Reg(3) });
+    }
+
+    #[test]
+    fn truncated_input_is_detected() {
+        assert!(matches!(decode(&[0x48], 0), Err(EmuError::Truncated { .. })));
+        assert!(matches!(decode(&[0x62, 0xF2], 0), Err(EmuError::Truncated { .. })));
+    }
+
+    #[test]
+    fn unknown_opcode_is_unsupported() {
+        assert!(matches!(decode(&[0xCC], 0), Err(EmuError::Unsupported { .. })));
+    }
+}

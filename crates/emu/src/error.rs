@@ -1,0 +1,73 @@
+//! Error type for the emulator.
+
+use std::fmt;
+
+/// Errors produced while decoding or executing machine code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// The decoder met an instruction outside the supported subset.
+    Unsupported {
+        /// Byte offset of the instruction within the code buffer.
+        offset: usize,
+        /// A short description of what was found.
+        what: String,
+    },
+    /// The instruction stream ended in the middle of an instruction.
+    Truncated {
+        /// Byte offset where decoding started.
+        offset: usize,
+    },
+    /// Control flow left the code buffer.
+    RipOutOfRange {
+        /// The offending instruction-pointer value.
+        rip: usize,
+    },
+    /// The emulated stack overflowed or underflowed.
+    StackFault,
+    /// The configured instruction ceiling was exceeded.
+    InstructionLimit {
+        /// The ceiling that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::Unsupported { offset, what } => {
+                write!(f, "unsupported instruction at offset {offset:#x}: {what}")
+            }
+            EmuError::Truncated { offset } => {
+                write!(f, "truncated instruction at offset {offset:#x}")
+            }
+            EmuError::RipOutOfRange { rip } => {
+                write!(f, "instruction pointer {rip:#x} left the code buffer")
+            }
+            EmuError::StackFault => write!(f, "emulated stack overflow or underflow"),
+            EmuError::InstructionLimit { limit } => {
+                write!(f, "exceeded the emulation limit of {limit} instructions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            EmuError::Unsupported { offset: 4, what: "rdtsc".into() },
+            EmuError::Truncated { offset: 0 },
+            EmuError::RipOutOfRange { rip: 100 },
+            EmuError::StackFault,
+            EmuError::InstructionLimit { limit: 5 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

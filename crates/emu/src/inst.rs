@@ -1,0 +1,271 @@
+//! Decoded-instruction representation.
+
+/// Element kind of a SIMD operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VecKind {
+    /// 32-bit floats.
+    F32,
+    /// 64-bit floats.
+    F64,
+}
+
+/// Operand width of a general-purpose operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpWidth {
+    /// 32-bit (result zero-extended into the 64-bit register).
+    W32,
+    /// 64-bit.
+    W64,
+}
+
+/// A decoded memory operand `[base + index * scale + disp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOperand {
+    /// Base register id (0–15).
+    pub base: u8,
+    /// Optional `(register id, log2 scale)` index.
+    pub index: Option<(u8, u8)>,
+    /// Signed displacement.
+    pub disp: i32,
+}
+
+/// A ModRM `r/m` operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmOperand {
+    /// Direct register.
+    Reg(u8),
+    /// Memory reference.
+    Mem(MemOperand),
+}
+
+/// Arithmetic/logic operations sharing the standard two-operand encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Addition (writes the destination and all flags).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Compare (subtraction that only writes flags).
+    Cmp,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Logical compare (`and` that only writes flags).
+    Test,
+}
+
+/// One decoded instruction of the supported subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `mov reg, imm` (32- or 64-bit immediate; always zero-extends).
+    MovRegImm {
+        /// Destination register.
+        dst: u8,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// `mov reg, r/m` (opcode `8B`).
+    MovRegRm {
+        /// Destination register.
+        dst: u8,
+        /// Source operand.
+        src: RmOperand,
+        /// Operand width.
+        width: OpWidth,
+    },
+    /// `mov r/m, reg` (opcode `89`).
+    MovRmReg {
+        /// Destination operand.
+        dst: RmOperand,
+        /// Source register.
+        src: u8,
+        /// Operand width.
+        width: OpWidth,
+    },
+    /// ALU operation with an immediate operand (`81`/`83` group).
+    AluRmImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination operand.
+        dst: RmOperand,
+        /// Sign-extended immediate.
+        imm: i64,
+    },
+    /// ALU operation, destination in the `reg` field (`03`, `2B`, `3B`, `33`).
+    AluRegRm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dst: u8,
+        /// Source operand.
+        src: RmOperand,
+    },
+    /// ALU operation, destination in the `r/m` field (`01`, `29`, `39`,
+    /// `31`, `85`).
+    AluRmReg {
+        /// Operation.
+        op: AluOp,
+        /// Destination operand.
+        dst: RmOperand,
+        /// Source register.
+        src: u8,
+    },
+    /// `inc`/`dec` on a register or memory operand.
+    IncDec {
+        /// Target operand.
+        dst: RmOperand,
+        /// `true` for `dec`.
+        dec: bool,
+    },
+    /// `lea reg, [mem]`.
+    Lea {
+        /// Destination register.
+        dst: u8,
+        /// Address expression.
+        mem: MemOperand,
+    },
+    /// `shl`/`shr` by an immediate count.
+    ShiftImm {
+        /// Target operand.
+        dst: RmOperand,
+        /// `true` for a left shift.
+        left: bool,
+        /// Shift amount.
+        amount: u8,
+    },
+    /// `imul reg, r/m, imm32`.
+    ImulRegRmImm {
+        /// Destination register.
+        dst: u8,
+        /// Source operand.
+        src: RmOperand,
+        /// Immediate multiplier.
+        imm: i64,
+    },
+    /// `imul reg, r/m`.
+    ImulRegRm {
+        /// Destination register.
+        dst: u8,
+        /// Source operand.
+        src: RmOperand,
+    },
+    /// `push reg`.
+    Push {
+        /// Register pushed.
+        reg: u8,
+    },
+    /// `pop reg`.
+    Pop {
+        /// Register popped into.
+        reg: u8,
+    },
+    /// `xadd [mem], reg` (optionally `lock`-prefixed).
+    Xadd {
+        /// Memory operand.
+        mem: MemOperand,
+        /// Register operand (receives the old memory value).
+        reg: u8,
+    },
+    /// `ret`.
+    Ret,
+    /// `nop` / `pause`.
+    Nop,
+    /// `jmp rel32`, target resolved to an absolute code offset.
+    Jmp {
+        /// Absolute target offset.
+        target: u64,
+    },
+    /// `jcc rel32`, target resolved to an absolute code offset.
+    Jcc {
+        /// Condition code (0–15).
+        cond: u8,
+        /// Absolute target offset.
+        target: u64,
+    },
+    /// `vxorps`/`vpxord`: bitwise xor of two vector registers.
+    VXor {
+        /// Destination vector register.
+        dst: u8,
+        /// First source.
+        a: u8,
+        /// Second source.
+        b: u8,
+        /// Operation width in bytes (16/32/64).
+        width_bytes: usize,
+    },
+    /// `vbroadcastss`/`vbroadcastsd` from memory.
+    VBroadcast {
+        /// Destination vector register.
+        dst: u8,
+        /// Source element address.
+        src: MemOperand,
+        /// Element kind.
+        kind: VecKind,
+        /// Destination width in bytes.
+        width_bytes: usize,
+    },
+    /// `vfmadd231ps/pd/ss/sd`: `dst += a * src`.
+    VFmadd231 {
+        /// Destination (accumulator) register.
+        dst: u8,
+        /// Multiplier register.
+        a: u8,
+        /// Second multiplier operand (register or memory).
+        src: RmOperand,
+        /// Element kind.
+        kind: VecKind,
+        /// Operation width in bytes.
+        width_bytes: usize,
+        /// `true` for the scalar (`ss`/`sd`) forms.
+        scalar: bool,
+    },
+    /// `vmulps/ss/sd` (and `pd`): `dst = a * src`.
+    VMul {
+        /// Destination register.
+        dst: u8,
+        /// First source register.
+        a: u8,
+        /// Second source operand.
+        src: RmOperand,
+        /// Element kind.
+        kind: VecKind,
+        /// Operation width in bytes.
+        width_bytes: usize,
+        /// Scalar form.
+        scalar: bool,
+    },
+    /// `vaddps/ss/sd` (and `pd`): `dst = a + src`.
+    VAdd {
+        /// Destination register.
+        dst: u8,
+        /// First source register.
+        a: u8,
+        /// Second source operand.
+        src: RmOperand,
+        /// Element kind.
+        kind: VecKind,
+        /// Operation width in bytes.
+        width_bytes: usize,
+        /// Scalar form.
+        scalar: bool,
+    },
+    /// `vmovups/upd/ss/sd` load from memory.
+    VMovLoad {
+        /// Destination register.
+        dst: u8,
+        /// Source address.
+        src: MemOperand,
+        /// Width in bytes (4/8 for scalar forms).
+        width_bytes: usize,
+    },
+    /// `vmovups/upd/ss/sd` store to memory.
+    VMovStore {
+        /// Destination address.
+        dst: MemOperand,
+        /// Source register.
+        src: u8,
+        /// Width in bytes (4/8 for scalar forms).
+        width_bytes: usize,
+    },
+    /// `vzeroupper`.
+    VZeroUpper,
+}

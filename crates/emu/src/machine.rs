@@ -1,0 +1,442 @@
+//! Machine state and instruction execution.
+
+use crate::counters::{BranchPredictor, HwCounters};
+use crate::error::EmuError;
+use crate::inst::{AluOp, Inst, MemOperand, OpWidth, RmOperand, VecKind};
+use jitspmm_asm::Cond;
+
+/// Where execution continues after an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Flow {
+    /// Fall through to the next instruction.
+    Next,
+    /// Jump to an absolute code offset (or the halt sentinel).
+    Jump(u64),
+}
+
+/// Architectural state: general-purpose registers, 32 512-bit vector
+/// registers, the status flags the supported subset writes, and a private
+/// stack used by `push`/`pop`/`ret`.
+pub(crate) struct MachineState {
+    gpr: [u64; 16],
+    vec: [[u8; 64]; 32],
+    cf: bool,
+    zf: bool,
+    sf: bool,
+    of: bool,
+    pf: bool,
+    stack: Vec<u8>,
+}
+
+impl MachineState {
+    pub(crate) fn new(stack_bytes: usize) -> MachineState {
+        let stack = vec![0u8; stack_bytes];
+        let mut state = MachineState {
+            gpr: [0; 16],
+            vec: [[0; 64]; 32],
+            cf: false,
+            zf: false,
+            sf: false,
+            of: false,
+            pf: false,
+            stack,
+        };
+        // rsp points at the top of the private stack (16-byte aligned).
+        let top = state.stack.as_ptr() as u64 + state.stack.len() as u64;
+        state.gpr[4] = top & !0xF;
+        state
+    }
+
+    /// Load the System V integer argument registers.
+    pub(crate) fn set_args(&mut self, args: &[u64]) {
+        const ARG_REGS: [usize; 6] = [7, 6, 2, 1, 8, 9]; // rdi rsi rdx rcx r8 r9
+        for (i, &v) in args.iter().enumerate() {
+            self.gpr[ARG_REGS[i]] = v;
+        }
+    }
+
+    /// Read a general-purpose register.
+    pub(crate) fn gpr(&self, reg: jitspmm_asm::Gpr) -> u64 {
+        self.gpr[reg.id() as usize]
+    }
+
+    /// Push a 64-bit value (used to seed the return address).
+    pub(crate) fn push_u64(&mut self, value: u64) {
+        self.gpr[4] = self.gpr[4].wrapping_sub(8);
+        let addr = self.gpr[4];
+        // SAFETY: rsp stays inside the private stack allocation for the
+        // shallow frames the kernels use.
+        unsafe { std::ptr::write_unaligned(addr as *mut u64, value) };
+    }
+
+    fn pop_u64(&mut self) -> u64 {
+        let addr = self.gpr[4];
+        // SAFETY: mirrors push_u64.
+        let v = unsafe { std::ptr::read_unaligned(addr as *const u64) };
+        self.gpr[4] = self.gpr[4].wrapping_add(8);
+        v
+    }
+
+    fn addr_of(&self, mem: &MemOperand) -> u64 {
+        let mut addr = self.gpr[mem.base as usize];
+        if let Some((idx, scale)) = mem.index {
+            addr = addr.wrapping_add(self.gpr[idx as usize] << scale);
+        }
+        addr.wrapping_add(mem.disp as i64 as u64)
+    }
+
+    fn read_rm(&self, rm: &RmOperand, width: OpWidth, counters: &mut HwCounters) -> u64 {
+        match rm {
+            RmOperand::Reg(r) => match width {
+                OpWidth::W64 => self.gpr[*r as usize],
+                OpWidth::W32 => self.gpr[*r as usize] & 0xFFFF_FFFF,
+            },
+            RmOperand::Mem(mem) => {
+                counters.memory_loads += 1;
+                let addr = self.addr_of(mem);
+                // SAFETY: guaranteed by the caller of `Emulator::run`.
+                unsafe {
+                    match width {
+                        OpWidth::W64 => std::ptr::read_unaligned(addr as *const u64),
+                        OpWidth::W32 => std::ptr::read_unaligned(addr as *const u32) as u64,
+                    }
+                }
+            }
+        }
+    }
+
+    fn write_rm(&mut self, rm: &RmOperand, width: OpWidth, value: u64, counters: &mut HwCounters) {
+        match rm {
+            RmOperand::Reg(r) => self.write_reg(*r, width, value),
+            RmOperand::Mem(mem) => {
+                counters.memory_stores += 1;
+                let addr = self.addr_of(mem);
+                // SAFETY: guaranteed by the caller of `Emulator::run`.
+                unsafe {
+                    match width {
+                        OpWidth::W64 => std::ptr::write_unaligned(addr as *mut u64, value),
+                        OpWidth::W32 => {
+                            std::ptr::write_unaligned(addr as *mut u32, value as u32)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn write_reg(&mut self, reg: u8, width: OpWidth, value: u64) {
+        // 32-bit writes zero-extend, as on real hardware.
+        self.gpr[reg as usize] = match width {
+            OpWidth::W64 => value,
+            OpWidth::W32 => value & 0xFFFF_FFFF,
+        };
+    }
+
+    fn set_logic_flags(&mut self, result: u64) {
+        self.cf = false;
+        self.of = false;
+        self.zf = result == 0;
+        self.sf = (result as i64) < 0;
+        self.pf = (result as u8).count_ones() % 2 == 0;
+    }
+
+    fn set_add_flags(&mut self, a: u64, b: u64, result: u64) {
+        self.cf = result < a;
+        self.zf = result == 0;
+        self.sf = (result as i64) < 0;
+        self.of = ((a ^ result) & (b ^ result)) >> 63 == 1;
+        self.pf = (result as u8).count_ones() % 2 == 0;
+    }
+
+    fn set_sub_flags(&mut self, a: u64, b: u64, result: u64) {
+        self.cf = a < b;
+        self.zf = result == 0;
+        self.sf = (result as i64) < 0;
+        self.of = ((a ^ b) & (a ^ result)) >> 63 == 1;
+        self.pf = (result as u8).count_ones() % 2 == 0;
+    }
+
+    fn eval_cond(&self, cond: u8) -> bool {
+        Cond::ALL[cond as usize & 0xF].eval(self.cf, self.zf, self.sf, self.of, self.pf)
+    }
+
+    fn vec_read_mem(&self, mem: &MemOperand, bytes: usize, counters: &mut HwCounters) -> [u8; 64] {
+        counters.memory_loads += 1;
+        let addr = self.addr_of(mem);
+        let mut out = [0u8; 64];
+        // SAFETY: guaranteed by the caller of `Emulator::run`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(addr as *const u8, out.as_mut_ptr(), bytes);
+        }
+        out
+    }
+
+    fn vec_rm(&self, rm: &RmOperand, bytes: usize, counters: &mut HwCounters) -> [u8; 64] {
+        match rm {
+            RmOperand::Reg(r) => self.vec[*r as usize],
+            RmOperand::Mem(mem) => self.vec_read_mem(mem, bytes, counters),
+        }
+    }
+
+    /// Element-wise `dst[i] = acc[i] op (a[i], b[i])` over `bytes` of lanes.
+    fn lanewise(
+        dst: &mut [u8; 64],
+        a: &[u8; 64],
+        b: &[u8; 64],
+        kind: VecKind,
+        bytes: usize,
+        f32_op: impl Fn(f32, f32, f32) -> f32,
+        f64_op: impl Fn(f64, f64, f64) -> f64,
+    ) {
+        match kind {
+            VecKind::F32 => {
+                for lane in 0..bytes / 4 {
+                    let o = lane * 4;
+                    let d = f32::from_le_bytes(dst[o..o + 4].try_into().unwrap());
+                    let x = f32::from_le_bytes(a[o..o + 4].try_into().unwrap());
+                    let y = f32::from_le_bytes(b[o..o + 4].try_into().unwrap());
+                    dst[o..o + 4].copy_from_slice(&f32_op(d, x, y).to_le_bytes());
+                }
+            }
+            VecKind::F64 => {
+                for lane in 0..bytes / 8 {
+                    let o = lane * 8;
+                    let d = f64::from_le_bytes(dst[o..o + 8].try_into().unwrap());
+                    let x = f64::from_le_bytes(a[o..o + 8].try_into().unwrap());
+                    let y = f64::from_le_bytes(b[o..o + 8].try_into().unwrap());
+                    dst[o..o + 8].copy_from_slice(&f64_op(d, x, y).to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Execute one decoded instruction. `next` is the fall-through offset.
+    pub(crate) fn execute(
+        &mut self,
+        inst: &Inst,
+        next: u64,
+        counters: &mut HwCounters,
+        predictor: &mut BranchPredictor,
+    ) -> Result<Flow, EmuError> {
+        let _ = next;
+        match inst {
+            Inst::Nop | Inst::VZeroUpper => {}
+            Inst::MovRegImm { dst, imm } => self.gpr[*dst as usize] = *imm,
+            Inst::MovRegRm { dst, src, width } => {
+                let v = self.read_rm(src, *width, counters);
+                self.write_reg(*dst, *width, v);
+            }
+            Inst::MovRmReg { dst, src, width } => {
+                let v = match width {
+                    OpWidth::W64 => self.gpr[*src as usize],
+                    OpWidth::W32 => self.gpr[*src as usize] & 0xFFFF_FFFF,
+                };
+                self.write_rm(dst, *width, v, counters);
+            }
+            Inst::AluRmImm { op, dst, imm } => {
+                let a = self.read_rm(dst, OpWidth::W64, counters);
+                let b = *imm as u64;
+                self.alu(*op, dst, a, b, counters);
+            }
+            Inst::AluRegRm { op, dst, src } => {
+                let a = self.gpr[*dst as usize];
+                let b = self.read_rm(src, OpWidth::W64, counters);
+                self.alu(*op, &RmOperand::Reg(*dst), a, b, counters);
+            }
+            Inst::AluRmReg { op, dst, src } => {
+                let a = self.read_rm(dst, OpWidth::W64, counters);
+                let b = self.gpr[*src as usize];
+                self.alu(*op, dst, a, b, counters);
+            }
+            Inst::IncDec { dst, dec } => {
+                let a = self.read_rm(dst, OpWidth::W64, counters);
+                let result = if *dec { a.wrapping_sub(1) } else { a.wrapping_add(1) };
+                // INC/DEC leave CF untouched.
+                let cf = self.cf;
+                if *dec {
+                    self.set_sub_flags(a, 1, result);
+                } else {
+                    self.set_add_flags(a, 1, result);
+                }
+                self.cf = cf;
+                self.write_rm(dst, OpWidth::W64, result, counters);
+            }
+            Inst::Lea { dst, mem } => {
+                let addr = self.addr_of(mem);
+                self.gpr[*dst as usize] = addr;
+            }
+            Inst::ShiftImm { dst, left, amount } => {
+                let a = self.read_rm(dst, OpWidth::W64, counters);
+                let result = if *left { a << (amount & 63) } else { a >> (amount & 63) };
+                self.set_logic_flags(result);
+                self.write_rm(dst, OpWidth::W64, result, counters);
+            }
+            Inst::ImulRegRmImm { dst, src, imm } => {
+                let a = self.read_rm(src, OpWidth::W64, counters) as i64;
+                let result = a.wrapping_mul(*imm);
+                self.gpr[*dst as usize] = result as u64;
+                self.set_logic_flags(result as u64);
+            }
+            Inst::ImulRegRm { dst, src } => {
+                let a = self.gpr[*dst as usize] as i64;
+                let b = self.read_rm(src, OpWidth::W64, counters) as i64;
+                let result = a.wrapping_mul(b);
+                self.gpr[*dst as usize] = result as u64;
+                self.set_logic_flags(result as u64);
+            }
+            Inst::Push { reg } => {
+                counters.memory_stores += 1;
+                let v = self.gpr[*reg as usize];
+                self.push_u64(v);
+            }
+            Inst::Pop { reg } => {
+                counters.memory_loads += 1;
+                let v = self.pop_u64();
+                self.gpr[*reg as usize] = v;
+            }
+            Inst::Xadd { mem, reg } => {
+                counters.memory_loads += 1;
+                counters.memory_stores += 1;
+                let addr = self.addr_of(mem);
+                let old: u64 =
+                // SAFETY: guaranteed by the caller of `Emulator::run`.
+                    unsafe { std::ptr::read_unaligned(addr as *const u64) };
+                let add = self.gpr[*reg as usize];
+                let result = old.wrapping_add(add);
+                // SAFETY: as above.
+                unsafe { std::ptr::write_unaligned(addr as *mut u64, result) };
+                self.gpr[*reg as usize] = old;
+                self.set_add_flags(old, add, result);
+            }
+            Inst::Ret => {
+                counters.memory_loads += 1;
+                counters.branches += 1;
+                let target = self.pop_u64();
+                return Ok(Flow::Jump(target));
+            }
+            Inst::Jmp { target } => {
+                counters.branches += 1;
+                return Ok(Flow::Jump(*target));
+            }
+            Inst::Jcc { cond, target } => {
+                counters.branches += 1;
+                let taken = self.eval_cond(*cond);
+                // Index the predictor by the branch target's low bits, which
+                // uniquely identify the branch site in our small kernels.
+                if !predictor.predict_and_update(*target as usize ^ (*cond as usize), taken) {
+                    counters.branch_misses += 1;
+                }
+                if taken {
+                    return Ok(Flow::Jump(*target));
+                }
+            }
+            Inst::VXor { dst, a, b, width_bytes } => {
+                let mut out = [0u8; 64];
+                let (va, vb) = (self.vec[*a as usize], self.vec[*b as usize]);
+                for i in 0..*width_bytes {
+                    out[i] = va[i] ^ vb[i];
+                }
+                self.vec[*dst as usize] = out;
+            }
+            Inst::VBroadcast { dst, src, kind, width_bytes } => {
+                counters.memory_loads += 1;
+                let addr = self.addr_of(src);
+                let mut out = [0u8; 64];
+                match kind {
+                    VecKind::F32 => {
+                        // SAFETY: guaranteed by the caller of `Emulator::run`.
+                        let v = unsafe { std::ptr::read_unaligned(addr as *const u32) };
+                        for lane in 0..width_bytes / 4 {
+                            out[lane * 4..lane * 4 + 4].copy_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                    VecKind::F64 => {
+                        // SAFETY: as above.
+                        let v = unsafe { std::ptr::read_unaligned(addr as *const u64) };
+                        for lane in 0..width_bytes / 8 {
+                            out[lane * 8..lane * 8 + 8].copy_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                }
+                self.vec[*dst as usize] = out;
+            }
+            Inst::VFmadd231 { dst, a, src, kind, width_bytes, scalar } => {
+                let bytes = if *scalar { kind_bytes(*kind) } else { *width_bytes };
+                let vb = self.vec_rm(src, bytes, counters);
+                let va = self.vec[*a as usize];
+                let mut vd = self.vec[*dst as usize];
+                Self::lanewise(&mut vd, &va, &vb, *kind, bytes, |d, x, y| x.mul_add(y, d), |d, x, y| {
+                    x.mul_add(y, d)
+                });
+                self.vec[*dst as usize] = vd;
+            }
+            Inst::VMul { dst, a, src, kind, width_bytes, scalar } => {
+                let bytes = if *scalar { kind_bytes(*kind) } else { *width_bytes };
+                let vb = self.vec_rm(src, bytes, counters);
+                let va = self.vec[*a as usize];
+                let mut vd = self.vec[*dst as usize];
+                Self::lanewise(&mut vd, &va, &vb, *kind, bytes, |_, x, y| x * y, |_, x, y| x * y);
+                self.vec[*dst as usize] = vd;
+            }
+            Inst::VAdd { dst, a, src, kind, width_bytes, scalar } => {
+                let bytes = if *scalar { kind_bytes(*kind) } else { *width_bytes };
+                let vb = self.vec_rm(src, bytes, counters);
+                let va = self.vec[*a as usize];
+                let mut vd = self.vec[*dst as usize];
+                Self::lanewise(&mut vd, &va, &vb, *kind, bytes, |_, x, y| x + y, |_, x, y| x + y);
+                self.vec[*dst as usize] = vd;
+            }
+            Inst::VMovLoad { dst, src, width_bytes } => {
+                let data = self.vec_read_mem(src, *width_bytes, counters);
+                let mut out = [0u8; 64];
+                out[..*width_bytes].copy_from_slice(&data[..*width_bytes]);
+                self.vec[*dst as usize] = out;
+            }
+            Inst::VMovStore { dst, src, width_bytes } => {
+                counters.memory_stores += 1;
+                let addr = self.addr_of(dst);
+                let data = self.vec[*src as usize];
+                // SAFETY: guaranteed by the caller of `Emulator::run`.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(data.as_ptr(), addr as *mut u8, *width_bytes);
+                }
+            }
+        }
+        Ok(Flow::Next)
+    }
+
+    fn alu(&mut self, op: AluOp, dst: &RmOperand, a: u64, b: u64, counters: &mut HwCounters) {
+        match op {
+            AluOp::Add => {
+                let result = a.wrapping_add(b);
+                self.set_add_flags(a, b, result);
+                self.write_rm(dst, OpWidth::W64, result, counters);
+            }
+            AluOp::Sub => {
+                let result = a.wrapping_sub(b);
+                self.set_sub_flags(a, b, result);
+                self.write_rm(dst, OpWidth::W64, result, counters);
+            }
+            AluOp::Cmp => {
+                let result = a.wrapping_sub(b);
+                self.set_sub_flags(a, b, result);
+            }
+            AluOp::Xor => {
+                let result = a ^ b;
+                self.set_logic_flags(result);
+                self.write_rm(dst, OpWidth::W64, result, counters);
+            }
+            AluOp::Test => {
+                let result = a & b;
+                self.set_logic_flags(result);
+            }
+        }
+    }
+}
+
+fn kind_bytes(kind: VecKind) -> usize {
+    match kind {
+        VecKind::F32 => 4,
+        VecKind::F64 => 8,
+    }
+}

@@ -1,0 +1,333 @@
+//! The dataset registry: scaled-down stand-ins for the 14 SuiteSparse
+//! matrices of Table III.
+//!
+//! The paper evaluates on the 14 largest matrices of the SuiteSparse
+//! collection (0.9–11.6 billion non-zeros, up to 184 million rows). Those
+//! inputs require hundreds of gigabytes of memory and a network download
+//! that is unavailable here, so this module generates synthetic matrices of
+//! the same *structural family* for each named dataset, scaled down by
+//! roughly three orders of magnitude while keeping
+//!
+//! * the relative ordering by non-zero count,
+//! * the average row degree regime (heavy literature graphs vs. sparse
+//!   road/web graphs), and
+//! * the degree skew (power-law hubs vs. uniform vs. regular Mycielskian
+//!   structure),
+//!
+//! which are the properties that drive the differences between the
+//! workload-division strategies the paper studies.
+
+use crate::csr::CsrMatrix;
+use crate::generate::{self, RmatConfig};
+use crate::scalar::Scalar;
+use crate::stats::MatrixStats;
+
+/// The structural family a dataset belongs to, which selects the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetClass {
+    /// Mycielskian graph construction (dense, regular, no hubs).
+    Mycielskian {
+        /// The Mycielskian order `k` used for the scaled-down stand-in.
+        order: u32,
+    },
+    /// Web crawl: power-law with moderate skew (uk-2005, webbase-2001, ...).
+    WebCrawl,
+    /// Social network: power-law with extreme hubs (twitter7, com-Friendster).
+    SocialNetwork,
+    /// Graph500 Kronecker generator (GAP-kron).
+    Kronecker,
+    /// Uniform random (GAP-urand).
+    UniformRandom,
+    /// Literature/biomedical co-occurrence graph: heavy average degree
+    /// (MOLIERE_2016, AGATHA_2015).
+    Literature,
+}
+
+/// A named dataset: the paper's statistics plus the scaled-down generation
+/// recipe used by this reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset name as it appears in Table III.
+    pub name: &'static str,
+    /// Row count reported in the paper (Table III).
+    pub paper_rows: u64,
+    /// Non-zero count reported in the paper (Table III).
+    pub paper_nnz: u64,
+    /// Structural family.
+    pub class: DatasetClass,
+    /// Rows of the scaled-down stand-in.
+    pub scaled_rows: usize,
+    /// Approximate non-zeros of the scaled-down stand-in.
+    pub scaled_nnz: usize,
+    /// Seed used for generation, fixed per dataset for reproducibility.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Generate the scaled-down matrix for this dataset.
+    pub fn generate<T: Scalar>(&self) -> CsrMatrix<T> {
+        match self.class {
+            DatasetClass::Mycielskian { order } => generate::mycielskian(order),
+            DatasetClass::WebCrawl => {
+                let scale = log2_ceil(self.scaled_rows);
+                generate::rmat(scale, self.scaled_nnz, RmatConfig::WEB, self.seed)
+            }
+            DatasetClass::SocialNetwork => {
+                let scale = log2_ceil(self.scaled_rows);
+                generate::rmat(scale, self.scaled_nnz, RmatConfig::GRAPH500, self.seed)
+            }
+            DatasetClass::Kronecker => {
+                let scale = log2_ceil(self.scaled_rows);
+                let edge_factor = (self.scaled_nnz / (1usize << scale)).max(1);
+                generate::kronecker(scale, edge_factor, self.seed)
+            }
+            DatasetClass::UniformRandom => {
+                generate::uniform(self.scaled_rows, self.scaled_rows, self.scaled_nnz, self.seed)
+            }
+            DatasetClass::Literature => generate::power_law_rows(
+                self.scaled_rows,
+                self.scaled_rows,
+                self.scaled_nnz,
+                0.35,
+                self.seed,
+            ),
+        }
+    }
+
+    /// Statistics of the generated stand-in matrix.
+    pub fn stats(&self) -> MatrixStats {
+        MatrixStats::of(&self.generate::<f32>())
+    }
+
+    /// Average non-zeros per row in the paper's original matrix.
+    pub fn paper_avg_degree(&self) -> f64 {
+        self.paper_nnz as f64 / self.paper_rows as f64
+    }
+}
+
+fn log2_ceil(n: usize) -> u32 {
+    let mut scale = 0;
+    while (1usize << scale) < n {
+        scale += 1;
+    }
+    scale
+}
+
+/// The 14 datasets of Table III, in the paper's order (ascending non-zeros).
+pub fn table3() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec {
+            name: "mycielskian19",
+            paper_rows: 393_215,
+            paper_nnz: 903_194_710,
+            class: DatasetClass::Mycielskian { order: 13 },
+            scaled_rows: 6_143,
+            scaled_nnz: 1_227_742,
+            seed: 101,
+        },
+        DatasetSpec {
+            name: "uk-2005",
+            paper_rows: 39_459_925,
+            paper_nnz: 936_364_282,
+            class: DatasetClass::WebCrawl,
+            scaled_rows: 65_536,
+            scaled_nnz: 1_550_000,
+            seed: 102,
+        },
+        DatasetSpec {
+            name: "webbase-2001",
+            paper_rows: 118_142_155,
+            paper_nnz: 1_019_903_190,
+            class: DatasetClass::WebCrawl,
+            scaled_rows: 131_072,
+            scaled_nnz: 1_150_000,
+            seed: 103,
+        },
+        DatasetSpec {
+            name: "it-2004",
+            paper_rows: 41_291_594,
+            paper_nnz: 1_150_725_436,
+            class: DatasetClass::WebCrawl,
+            scaled_rows: 65_536,
+            scaled_nnz: 1_850_000,
+            seed: 104,
+        },
+        DatasetSpec {
+            name: "GAP-twitter",
+            paper_rows: 61_578_415,
+            paper_nnz: 1_468_364_884,
+            class: DatasetClass::SocialNetwork,
+            scaled_rows: 65_536,
+            scaled_nnz: 1_600_000,
+            seed: 105,
+        },
+        DatasetSpec {
+            name: "twitter7",
+            paper_rows: 41_652_230,
+            paper_nnz: 1_468_365_182,
+            class: DatasetClass::SocialNetwork,
+            scaled_rows: 65_536,
+            scaled_nnz: 2_350_000,
+            seed: 106,
+        },
+        DatasetSpec {
+            name: "GAP-web",
+            paper_rows: 50_636_151,
+            paper_nnz: 1_930_292_948,
+            class: DatasetClass::WebCrawl,
+            scaled_rows: 65_536,
+            scaled_nnz: 2_500_000,
+            seed: 107,
+        },
+        DatasetSpec {
+            name: "sk-2005",
+            paper_rows: 50_636_154,
+            paper_nnz: 1_949_412_601,
+            class: DatasetClass::WebCrawl,
+            scaled_rows: 65_536,
+            scaled_nnz: 2_520_000,
+            seed: 108,
+        },
+        DatasetSpec {
+            name: "mycielskian20",
+            paper_rows: 786_431,
+            paper_nnz: 2_710_370_560,
+            class: DatasetClass::Mycielskian { order: 14 },
+            scaled_rows: 12_287,
+            scaled_nnz: 3_695_512,
+            seed: 109,
+        },
+        DatasetSpec {
+            name: "com-Friendster",
+            paper_rows: 65_608_366,
+            paper_nnz: 3_612_134_270,
+            class: DatasetClass::SocialNetwork,
+            scaled_rows: 131_072,
+            scaled_nnz: 3_600_000,
+            seed: 110,
+        },
+        DatasetSpec {
+            name: "GAP-kron",
+            paper_rows: 134_217_726,
+            paper_nnz: 4_223_264_644,
+            class: DatasetClass::Kronecker,
+            scaled_rows: 131_072,
+            scaled_nnz: 4_200_000,
+            seed: 111,
+        },
+        DatasetSpec {
+            name: "GAP-urand",
+            paper_rows: 134_217_728,
+            paper_nnz: 4_294_966_740,
+            class: DatasetClass::UniformRandom,
+            scaled_rows: 131_072,
+            scaled_nnz: 4_300_000,
+            seed: 112,
+        },
+        DatasetSpec {
+            name: "MOLIERE_2016",
+            paper_rows: 30_239_687,
+            paper_nnz: 6_677_301_366,
+            class: DatasetClass::Literature,
+            scaled_rows: 32_768,
+            scaled_nnz: 6_700_000,
+            seed: 113,
+        },
+        DatasetSpec {
+            name: "AGATHA_2015",
+            paper_rows: 183_964_077,
+            paper_nnz: 11_588_725_964,
+            class: DatasetClass::Literature,
+            scaled_rows: 131_072,
+            scaled_nnz: 8_000_000,
+            seed: 114,
+        },
+    ]
+}
+
+/// A smaller selection of datasets (one per structural family) used by tests
+/// and quick benchmark runs.
+pub fn quick_suite() -> Vec<DatasetSpec> {
+    let names = ["mycielskian19", "uk-2005", "GAP-twitter", "GAP-kron", "GAP-urand", "MOLIERE_2016"];
+    table3().into_iter().filter(|d| names.contains(&d.name)).collect()
+}
+
+/// Look a dataset up by its Table III name.
+pub fn by_name(name: &str) -> Option<DatasetSpec> {
+    table3().into_iter().find(|d| d.name == name)
+}
+
+/// The `uk-2005` stand-in at an even smaller size, matching the single-thread
+/// scalar experiment of Table II (which only uses this one matrix with
+/// `d = 8`).
+pub fn uk2005_scalar_experiment<T: Scalar>() -> CsrMatrix<T> {
+    generate::rmat(15, 800_000, RmatConfig::WEB, 202)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_14_entries_in_paper_order() {
+        let specs = table3();
+        assert_eq!(specs.len(), 14);
+        assert_eq!(specs[0].name, "mycielskian19");
+        assert_eq!(specs[13].name, "AGATHA_2015");
+        // Ascending by paper nnz, as in Table III.
+        for w in specs.windows(2) {
+            assert!(w[0].paper_nnz <= w[1].paper_nnz);
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("GAP-kron").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn quick_suite_is_a_subset() {
+        let quick = quick_suite();
+        assert!(quick.len() >= 4);
+        for d in quick {
+            assert!(by_name(d.name).is_some());
+        }
+    }
+
+    #[test]
+    fn generated_sizes_are_in_the_right_ballpark() {
+        // Only check the cheap ones here; the expensive ones are covered by
+        // integration tests and the Table III harness.
+        let spec = by_name("mycielskian19").unwrap();
+        let m = spec.generate::<f32>();
+        assert_eq!(m.nrows(), spec.scaled_rows);
+        let spec = by_name("uk-2005").unwrap();
+        let m = spec.generate::<f32>();
+        assert_eq!(m.nrows(), spec.scaled_rows);
+        assert!(m.nnz() as f64 > spec.scaled_nnz as f64 * 0.5);
+    }
+
+    #[test]
+    fn paper_degree_regimes_preserved() {
+        // Literature graphs have much heavier average degree than web crawls,
+        // both in the paper and in the stand-ins.
+        let lit = by_name("MOLIERE_2016").unwrap();
+        let web = by_name("uk-2005").unwrap();
+        assert!(lit.paper_avg_degree() > 4.0 * web.paper_avg_degree());
+        let lit_avg = lit.scaled_nnz as f64 / lit.scaled_rows as f64;
+        let web_avg = web.scaled_nnz as f64 / web.scaled_rows as f64;
+        assert!(lit_avg > 4.0 * web_avg);
+    }
+
+    #[test]
+    fn mycielskian_order_matches_row_target() {
+        // 3 * 2^(k-2) - 1 rows for order k.
+        let spec = by_name("mycielskian19").unwrap();
+        if let DatasetClass::Mycielskian { order } = spec.class {
+            assert_eq!(3 * (1usize << (order - 2)) - 1, spec.scaled_rows);
+        } else {
+            panic!("wrong class");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Row-major dense matrices (the `X` and `Y` operands of SpMM).
+
+use crate::scalar::Scalar;
+use rand::distr::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A dense matrix stored in row-major order.
+///
+/// The JITSPMM kernels address the dense input `X` and output `Y` by raw
+/// pointer, so this type guarantees a contiguous row-major layout and exposes
+/// it via [`DenseMatrix::as_slice`] / [`DenseMatrix::as_mut_slice`].
+///
+/// # Example
+///
+/// ```
+/// use jitspmm_sparse::DenseMatrix;
+/// let mut m = DenseMatrix::<f32>::zeros(2, 3);
+/// m.set(1, 2, 5.0);
+/// assert_eq!(m.get(1, 2), 5.0);
+/// assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> DenseMatrix<T> {
+    /// A matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> DenseMatrix<T> {
+        DenseMatrix { nrows, ncols, data: vec![T::ZERO; nrows * ncols] }
+    }
+
+    /// A matrix filled with `value`.
+    pub fn filled(nrows: usize, ncols: usize, value: T) -> DenseMatrix<T> {
+        DenseMatrix { nrows, ncols, data: vec![value; nrows * ncols] }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> DenseMatrix<T> {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, T::ONE);
+        }
+        m
+    }
+
+    /// Build from explicit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[Vec<T>]) -> DenseMatrix<T> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            assert_eq!(row.len(), ncols, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix { nrows, ncols, data }
+    }
+
+    /// Build from a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<T>) -> DenseMatrix<T> {
+        assert_eq!(data.len(), nrows * ncols, "buffer length must be nrows * ncols");
+        DenseMatrix { nrows, ncols, data }
+    }
+
+    /// A matrix of uniformly distributed random values in `[0, 1)`,
+    /// reproducible from `seed`. This mirrors the paper's random dense input
+    /// matrices (§V.A).
+    pub fn random(nrows: usize, ncols: usize, seed: u64) -> DenseMatrix<T> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = Uniform::new(0.0f64, 1.0).expect("valid uniform range");
+        let data = (0..nrows * ncols).map(|_| T::from_f64(dist.sample(&mut rng))).collect();
+        DenseMatrix { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns (`d` in the paper's notation).
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// The element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> T {
+        assert!(row < self.nrows && col < self.ncols, "index out of bounds");
+        self.data[row * self.ncols + col]
+    }
+
+    /// Overwrite the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: T) {
+        assert!(row < self.nrows && col < self.ncols, "index out of bounds");
+        self.data[row * self.ncols + col] = value;
+    }
+
+    /// Row `row` as a slice.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[T] {
+        &self.data[row * self.ncols..(row + 1) * self.ncols]
+    }
+
+    /// Row `row` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [T] {
+        &mut self.data[row * self.ncols..(row + 1) * self.ncols]
+    }
+
+    /// The whole buffer in row-major order.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The whole buffer in row-major order, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Pointer to the first element (used by the JIT kernels).
+    #[inline]
+    pub fn as_ptr(&self) -> *const T {
+        self.data.as_ptr()
+    }
+
+    /// Mutable pointer to the first element (used by the JIT kernels).
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut T {
+        self.data.as_mut_ptr()
+    }
+
+    /// Set every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = T::ZERO);
+    }
+
+    /// Largest absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix<T>) -> f64 {
+        assert_eq!(self.nrows, other.nrows, "row count mismatch");
+        assert_eq!(self.ncols, other.ncols, "column count mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).abs().to_f64())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every element differs from `other` by at most `tol` in
+    /// relative terms (absolute for tiny magnitudes).
+    pub fn approx_eq(&self, other: &DenseMatrix<T>, tol: f64) -> bool {
+        if self.nrows != other.nrows || self.ncols != other.ncols {
+            return false;
+        }
+        self.data.iter().zip(&other.data).all(|(a, b)| {
+            let (a, b) = (a.to_f64(), b.to_f64());
+            let scale = a.abs().max(b.abs()).max(1.0);
+            (a - b).abs() <= tol * scale
+        })
+    }
+
+    /// Sum of all elements (useful as a cheap checksum in benches).
+    pub fn checksum(&self) -> f64 {
+        self.data.iter().map(|v| v.to_f64()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut m = DenseMatrix::<f32>::zeros(3, 4);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 4);
+        assert_eq!(m.get(2, 3), 0.0);
+        m.set(2, 3, 9.0);
+        assert_eq!(m.get(2, 3), 9.0);
+        assert_eq!(m.as_slice().len(), 12);
+    }
+
+    #[test]
+    fn from_rows_layout_is_row_major() {
+        let m = DenseMatrix::from_rows(&[vec![1.0f32, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        let _ = DenseMatrix::from_rows(&[vec![1.0f32], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let m = DenseMatrix::<f64>::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m.get(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = DenseMatrix::<f32>::random(10, 8, 42);
+        let b = DenseMatrix::<f32>::random(10, 8, 42);
+        let c = DenseMatrix::<f32>::random(10, 8, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn approx_eq_and_diff() {
+        let a = DenseMatrix::from_rows(&[vec![1.0f32, 2.0]]);
+        let mut b = a.clone();
+        assert!(a.approx_eq(&b, 1e-12));
+        b.set(0, 1, 2.0 + 1e-3);
+        assert!(!a.approx_eq(&b, 1e-6));
+        assert!(a.approx_eq(&b, 1e-2));
+        assert!(a.max_abs_diff(&b) > 0.0);
+    }
+
+    #[test]
+    fn checksum_and_fill_zero() {
+        let mut m = DenseMatrix::<f64>::filled(2, 2, 2.5);
+        assert_eq!(m.checksum(), 10.0);
+        m.fill_zero();
+        assert_eq!(m.checksum(), 0.0);
+    }
+}

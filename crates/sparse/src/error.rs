@@ -1,0 +1,78 @@
+//! Error type for sparse-matrix construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building, validating or reading sparse matrices.
+#[derive(Debug)]
+pub enum SparseError {
+    /// A coordinate was outside the declared matrix dimensions.
+    IndexOutOfBounds {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// Declared number of rows.
+        nrows: usize,
+        /// Declared number of columns.
+        ncols: usize,
+    },
+    /// The CSR arrays are structurally inconsistent.
+    InvalidStructure(String),
+    /// Dimension mismatch between operands of a matrix operation.
+    DimensionMismatch(String),
+    /// A Matrix Market file could not be parsed.
+    Parse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix"
+            ),
+            SparseError::InvalidStructure(msg) => write!(f, "invalid CSR structure: {msg}"),
+            SparseError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            SparseError::Parse { line, message } => {
+                write!(f, "matrix market parse error at line {line}: {message}")
+            }
+            SparseError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 6, nrows: 3, ncols: 3 };
+        assert!(e.to_string().contains("(5, 6)"));
+        let e = SparseError::Parse { line: 7, message: "bad".into() };
+        assert!(e.to_string().contains("line 7"));
+        assert!(SparseError::InvalidStructure("x".into()).to_string().contains("x"));
+    }
+}

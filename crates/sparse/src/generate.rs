@@ -1,0 +1,311 @@
+//! Synthetic sparse-matrix generators.
+//!
+//! The paper evaluates on the 14 largest SuiteSparse matrices (Table III),
+//! which range from 0.9 to 11.6 **billion** non-zeros — far beyond what this
+//! environment can hold. The generators in this module produce scaled-down
+//! matrices from the same structural families (uniform random, power-law web
+//! and social graphs via RMAT, Graph500-style Kronecker, Mycielskian
+//! constructions, and banded matrices), preserving the property that matters
+//! for the paper's experiments: the distribution of non-zeros across rows and
+//! therefore the load-(im)balance seen by the workload-division strategies.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for the RMAT recursive-matrix generator.
+///
+/// The four probabilities control how skewed the generated degree
+/// distribution is; they must sum to (approximately) one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatConfig {
+    /// Probability of recursing into the top-left quadrant.
+    pub a: f64,
+    /// Probability of recursing into the top-right quadrant.
+    pub b: f64,
+    /// Probability of recursing into the bottom-left quadrant.
+    pub c: f64,
+    /// Probability of recursing into the bottom-right quadrant.
+    pub d: f64,
+}
+
+impl RmatConfig {
+    /// The Graph500 parameterization (heavily skewed, social-network-like).
+    pub const GRAPH500: RmatConfig = RmatConfig { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+
+    /// A milder skew resembling web crawls.
+    pub const WEB: RmatConfig = RmatConfig { a: 0.45, b: 0.22, c: 0.22, d: 0.11 };
+
+    /// No skew at all — equivalent to a uniform random matrix.
+    pub const UNIFORM: RmatConfig = RmatConfig { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+}
+
+/// A uniformly random `nrows x ncols` matrix with approximately `nnz`
+/// non-zeros (duplicates are merged, so the exact count can be slightly
+/// lower). Mirrors GAP-urand.
+pub fn uniform<T: Scalar>(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz);
+    for _ in 0..nnz {
+        let r = rng.random_range(0..nrows);
+        let c = rng.random_range(0..ncols);
+        coo.push(r, c, random_value(&mut rng));
+    }
+    coo.to_csr()
+}
+
+/// An RMAT (recursive matrix) graph with `2^scale` rows/columns and
+/// approximately `nnz` non-zeros. RMAT is the standard generator for
+/// power-law graphs (social networks and web crawls); the paper's largest inputs
+/// (com-Friendster, twitter7, GAP-kron, uk-2005, ...) all belong to this
+/// family.
+pub fn rmat<T: Scalar>(scale: u32, nnz: usize, config: RmatConfig, seed: u64) -> CsrMatrix<T> {
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, nnz);
+    let sum = config.a + config.b + config.c + config.d;
+    for _ in 0..nnz {
+        let (mut r, mut c) = (0usize, 0usize);
+        let mut half = n >> 1;
+        while half > 0 {
+            let p: f64 = rng.random::<f64>() * sum;
+            if p < config.a {
+                // top-left: nothing to add
+            } else if p < config.a + config.b {
+                c += half;
+            } else if p < config.a + config.b + config.c {
+                r += half;
+            } else {
+                r += half;
+                c += half;
+            }
+            half >>= 1;
+        }
+        coo.push(r, c, random_value(&mut rng));
+    }
+    coo.to_csr()
+}
+
+/// A Graph500-style Kronecker graph: RMAT with the Graph500 parameters.
+/// Mirrors GAP-kron.
+pub fn kronecker<T: Scalar>(scale: u32, edge_factor: usize, seed: u64) -> CsrMatrix<T> {
+    let n = 1usize << scale;
+    rmat(scale, n * edge_factor, RmatConfig::GRAPH500, seed)
+}
+
+/// The Mycielskian construction applied `k - 2` times starting from a single
+/// edge, yielding the Mycielskian graph `M_k` (triangle-free with chromatic
+/// number `k`). The paper's mycielskian19/mycielskian20 datasets are exactly
+/// these graphs for `k = 19, 20`; their adjacency matrices are unusually
+/// dense and regular compared to the web/social graphs.
+///
+/// Values are assigned deterministically from the edge endpoints.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or the graph would exceed `usize` capacity.
+pub fn mycielskian<T: Scalar>(k: u32) -> CsrMatrix<T> {
+    assert!(k >= 2, "the Mycielskian construction starts at k = 2 (a single edge)");
+    // Start with M_2 = K_2: two vertices joined by an edge.
+    let mut n: usize = 2;
+    let mut edges: Vec<(usize, usize)> = vec![(0, 1)];
+    for _ in 2..k {
+        // Mycielskian step: given G with vertices 0..n, create copies
+        // u_i -> n + i and apex vertex w = 2n. Edges:
+        //  * original edges (x, y)
+        //  * (x, n + y) and (y, n + x) for each original edge
+        //  * (n + i, 2n) for every i
+        let mut next: Vec<(usize, usize)> = Vec::with_capacity(edges.len() * 3 + n);
+        next.extend_from_slice(&edges);
+        for &(x, y) in &edges {
+            next.push((x, n + y));
+            next.push((y, n + x));
+        }
+        let w = 2 * n;
+        for i in 0..n {
+            next.push((n + i, w));
+        }
+        edges = next;
+        n = 2 * n + 1;
+    }
+    let mut coo = CooMatrix::with_capacity(n, n, edges.len() * 2);
+    for &(x, y) in &edges {
+        let v = T::from_f64(1.0 + ((x * 31 + y) % 7) as f64 * 0.125);
+        coo.push(x, y, v);
+        coo.push(y, x, v);
+    }
+    coo.to_csr()
+}
+
+/// A banded matrix with `bandwidth` diagonals on each side of the main
+/// diagonal; every in-band entry is stored. Produces a perfectly
+/// load-balanced matrix, the structural opposite of the power-law graphs.
+pub fn banded<T: Scalar>(n: usize, bandwidth: usize, seed: u64) -> CsrMatrix<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, n * (2 * bandwidth + 1));
+    for i in 0..n {
+        let lo = i.saturating_sub(bandwidth);
+        let hi = (i + bandwidth).min(n - 1);
+        for j in lo..=hi {
+            coo.push(i, j, random_value(&mut rng));
+        }
+    }
+    coo.to_csr()
+}
+
+/// A matrix whose row lengths follow a (truncated) power-law distribution
+/// with exponent `alpha`, generated Chung-Lu style: row `i` receives
+/// approximately `w_i ∝ (i + 1)^(-alpha)` of the `nnz` budget, with column
+/// targets chosen uniformly. Used to model literature co-occurrence graphs
+/// (MOLIERE_2016, AGATHA_2015), which have heavy rows but less extreme
+/// hubs than social networks.
+pub fn power_law_rows<T: Scalar>(
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    alpha: f64,
+    seed: u64,
+) -> CsrMatrix<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..nrows).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz);
+    for (i, w) in weights.iter().enumerate() {
+        let quota = ((w / total) * nnz as f64).round() as usize;
+        // Keep hub rows bounded by the column count.
+        let quota = quota.min(ncols);
+        for _ in 0..quota {
+            let c = rng.random_range(0..ncols);
+            coo.push(i, c, random_value(&mut rng));
+        }
+    }
+    coo.to_csr()
+}
+
+/// A matrix with no empty rows: `base_nnz_per_row` entries in every row plus
+/// `extra` entries scattered uniformly. Useful for tests that need full
+/// coverage of every row path.
+pub fn regular<T: Scalar>(
+    nrows: usize,
+    ncols: usize,
+    base_nnz_per_row: usize,
+    extra: usize,
+    seed: u64,
+) -> CsrMatrix<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nrows * base_nnz_per_row + extra);
+    for i in 0..nrows {
+        for _ in 0..base_nnz_per_row {
+            let c = rng.random_range(0..ncols);
+            coo.push(i, c, random_value(&mut rng));
+        }
+    }
+    for _ in 0..extra {
+        let r = rng.random_range(0..nrows);
+        let c = rng.random_range(0..ncols);
+        coo.push(r, c, random_value(&mut rng));
+    }
+    coo.to_csr()
+}
+
+fn random_value<T: Scalar>(rng: &mut StdRng) -> T {
+    // Values in [0.5, 1.5): bounded away from zero so accumulated results
+    // do not cancel, keeping floating-point comparisons in tests meaningful.
+    T::from_f64(0.5 + rng.random::<f64>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_shape_and_density() {
+        let m = uniform::<f32>(100, 200, 1000, 1);
+        assert_eq!(m.nrows(), 100);
+        assert_eq!(m.ncols(), 200);
+        assert!(m.nnz() > 900 && m.nnz() <= 1000, "nnz = {}", m.nnz());
+    }
+
+    #[test]
+    fn uniform_is_reproducible() {
+        let a = uniform::<f32>(64, 64, 500, 7);
+        let b = uniform::<f32>(64, 64, 500, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let m = rmat::<f32>(10, 8000, RmatConfig::GRAPH500, 3);
+        assert_eq!(m.nrows(), 1024);
+        let lens = m.row_lengths();
+        let max = *lens.iter().max().unwrap();
+        let avg = m.nnz() as f64 / m.nrows() as f64;
+        // A Graph500 RMAT must have hub rows well above the average degree.
+        assert!(max as f64 > 4.0 * avg, "max = {max}, avg = {avg}");
+    }
+
+    #[test]
+    fn uniform_rmat_is_not_skewed() {
+        let m = rmat::<f32>(10, 8000, RmatConfig::UNIFORM, 3);
+        let lens = m.row_lengths();
+        let max = *lens.iter().max().unwrap();
+        let avg = m.nnz() as f64 / m.nrows() as f64;
+        assert!((max as f64) < 6.0 * avg, "max = {max}, avg = {avg}");
+    }
+
+    #[test]
+    fn kronecker_scales_with_edge_factor() {
+        let m = kronecker::<f32>(8, 16, 11);
+        assert_eq!(m.nrows(), 256);
+        assert!(m.nnz() > 256 * 8, "duplicates merged too aggressively: {}", m.nnz());
+    }
+
+    #[test]
+    fn mycielskian_sizes_match_theory() {
+        // |V(M_k)| = 3 * 2^(k-2) - 1, |E(M_k)| = (7 * 3^(k-2) - ... ) —
+        // easier: check the recurrences directly.
+        let m3 = mycielskian::<f32>(3); // C_5: 5 vertices, 5 edges
+        assert_eq!(m3.nrows(), 5);
+        assert_eq!(m3.nnz(), 10); // symmetric storage
+        let m4 = mycielskian::<f32>(4); // Grötzsch graph: 11 vertices, 20 edges
+        assert_eq!(m4.nrows(), 11);
+        assert_eq!(m4.nnz(), 40);
+        let m5 = mycielskian::<f32>(5); // 23 vertices, 71 edges
+        assert_eq!(m5.nrows(), 23);
+        assert_eq!(m5.nnz(), 142);
+    }
+
+    #[test]
+    fn mycielskian_is_symmetric() {
+        let m = mycielskian::<f64>(5);
+        let t = m.transpose();
+        assert_eq!(m, t);
+    }
+
+    #[test]
+    fn banded_has_uniform_rows() {
+        let m = banded::<f32>(50, 2, 5);
+        let lens = m.row_lengths();
+        assert_eq!(lens[25], 5);
+        assert_eq!(lens[0], 3); // truncated at the left edge
+        assert_eq!(lens[49], 3);
+        assert_eq!(m.nnz(), 50 * 5 - 2 * (2 + 1));
+    }
+
+    #[test]
+    fn power_law_rows_front_loaded() {
+        let m = power_law_rows::<f32>(500, 500, 10_000, 0.9, 13);
+        let lens = m.row_lengths();
+        let head: usize = lens[..50].iter().sum();
+        let tail: usize = lens[450..].iter().sum();
+        assert!(head > 5 * tail.max(1), "head = {head}, tail = {tail}");
+    }
+
+    #[test]
+    fn regular_has_no_empty_rows() {
+        let m = regular::<f32>(200, 64, 3, 50, 17);
+        assert!(m.row_lengths().iter().all(|&l| l >= 1));
+    }
+}

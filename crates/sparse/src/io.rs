@@ -1,0 +1,293 @@
+//! Matrix Market I/O.
+//!
+//! The SuiteSparse collection distributes matrices in the Matrix Market
+//! coordinate format; this module reads and writes the `matrix coordinate
+//! real/integer/pattern general/symmetric` subset, which covers every matrix
+//! the paper uses.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// The value field declared in a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MmField {
+    Real,
+    Integer,
+    Pattern,
+}
+
+/// The symmetry declared in a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MmSymmetry {
+    General,
+    Symmetric,
+}
+
+/// Read a Matrix Market file from any reader.
+///
+/// Supports `matrix coordinate {real, integer, pattern} {general, symmetric}`
+/// headers; symmetric inputs are expanded to full storage and pattern inputs
+/// receive a value of one for every entry.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Parse`] for malformed content and
+/// [`SparseError::Io`] for underlying reader failures.
+pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CsrMatrix<T>, SparseError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    // Header line.
+    let (line_no, header) = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (i + 1, line);
+                }
+            }
+            None => {
+                return Err(SparseError::Parse { line: 1, message: "empty file".into() })
+            }
+        }
+    };
+    let header_lower = header.to_ascii_lowercase();
+    let tokens: Vec<&str> = header_lower.split_whitespace().collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(SparseError::Parse {
+            line: line_no,
+            message: format!("unrecognized header: {header}"),
+        });
+    }
+    if tokens[2] != "coordinate" {
+        return Err(SparseError::Parse {
+            line: line_no,
+            message: "only the coordinate format is supported".into(),
+        });
+    }
+    let field = match tokens[3] {
+        "real" => MmField::Real,
+        "integer" => MmField::Integer,
+        "pattern" => MmField::Pattern,
+        other => {
+            return Err(SparseError::Parse {
+                line: line_no,
+                message: format!("unsupported field type: {other}"),
+            })
+        }
+    };
+    let symmetry = match tokens[4] {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        other => {
+            return Err(SparseError::Parse {
+                line: line_no,
+                message: format!("unsupported symmetry: {other}"),
+            })
+        }
+    };
+
+    // Size line (skipping comments).
+    let (size_line_no, size_line) = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                let trimmed = line.trim().to_string();
+                if trimmed.is_empty() || trimmed.starts_with('%') {
+                    continue;
+                }
+                break (i + 1, trimmed);
+            }
+            None => {
+                return Err(SparseError::Parse { line: line_no, message: "missing size line".into() })
+            }
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>().map_err(|_| SparseError::Parse {
+                line: size_line_no,
+                message: format!("invalid size token: {t}"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse {
+            line: size_line_no,
+            message: "size line must contain rows, columns and nnz".into(),
+        });
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz * 2);
+    let mut seen = 0usize;
+    for (i, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_coord = |tok: Option<&str>| -> Result<usize, SparseError> {
+            tok.and_then(|t| t.parse::<usize>().ok()).ok_or_else(|| SparseError::Parse {
+                line: i + 1,
+                message: format!("invalid entry line: {trimmed}"),
+            })
+        };
+        let r = parse_coord(parts.next())?;
+        let c = parse_coord(parts.next())?;
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse {
+                line: i + 1,
+                message: "matrix market coordinates are 1-based".into(),
+            });
+        }
+        let value = match field {
+            MmField::Pattern => T::ONE,
+            MmField::Real | MmField::Integer => {
+                let tok = parts.next().ok_or_else(|| SparseError::Parse {
+                    line: i + 1,
+                    message: "missing value".into(),
+                })?;
+                let v: f64 = tok.parse().map_err(|_| SparseError::Parse {
+                    line: i + 1,
+                    message: format!("invalid value: {tok}"),
+                })?;
+                T::from_f64(v)
+            }
+        };
+        coo.try_push(r - 1, c - 1, value)?;
+        if symmetry == MmSymmetry::Symmetric && r != c {
+            coo.try_push(c - 1, r - 1, value)?;
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Parse {
+            line: size_line_no,
+            message: format!("expected {nnz} entries but found {seen}"),
+        });
+    }
+    Ok(coo.to_csr())
+}
+
+/// Read a Matrix Market file from disk.
+///
+/// # Errors
+///
+/// See [`read_matrix_market`].
+pub fn read_matrix_market_file<T: Scalar, P: AsRef<Path>>(
+    path: P,
+) -> Result<CsrMatrix<T>, SparseError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Write `matrix` in `matrix coordinate real general` form.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Io`] if the writer fails.
+pub fn write_matrix_market<T: Scalar, W: Write>(
+    matrix: &CsrMatrix<T>,
+    mut writer: W,
+) -> Result<(), SparseError> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% written by jitspmm-sparse")?;
+    writeln!(writer, "{} {} {}", matrix.nrows(), matrix.ncols(), matrix.nnz())?;
+    for (r, c, v) in matrix.iter() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+/// Write `matrix` to a file in Matrix Market form.
+///
+/// # Errors
+///
+/// See [`write_matrix_market`].
+pub fn write_matrix_market_file<T: Scalar, P: AsRef<Path>>(
+    matrix: &CsrMatrix<T>,
+    path: P,
+) -> Result<(), SparseError> {
+    write_matrix_market(matrix, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn parse_minimal_real_general() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 4 3\n\
+                    1 1 2.5\n\
+                    2 4 -1.0\n\
+                    3 2 7\n";
+        let m: CsrMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 4);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), Some(2.5));
+        assert_eq!(m.get(1, 3), Some(-1.0));
+        assert_eq!(m.get(2, 1), Some(7.0));
+    }
+
+    #[test]
+    fn parse_pattern_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    3 3 2\n\
+                    2 1\n\
+                    3 3\n";
+        let m: CsrMatrix<f32> = read_matrix_market(text.as_bytes()).unwrap();
+        // symmetric expansion adds (1, 2); diagonal (3,3) is not duplicated.
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 1), Some(1.0));
+        assert_eq!(m.get(1, 0), Some(1.0));
+        assert_eq!(m.get(2, 2), Some(1.0));
+    }
+
+    #[test]
+    fn reject_malformed_inputs() {
+        assert!(read_matrix_market::<f32, _>("".as_bytes()).is_err());
+        assert!(read_matrix_market::<f32, _>("%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()).is_err());
+        let bad_count = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market::<f32, _>(bad_count.as_bytes()).is_err());
+        let zero_based = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market::<f32, _>(zero_based.as_bytes()).is_err());
+        let out_of_range = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market::<f32, _>(out_of_range.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let m = generate::uniform::<f64>(40, 30, 200, 9);
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back: CsrMatrix<f64> = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(back.nrows(), m.nrows());
+        assert_eq!(back.ncols(), m.ncols());
+        assert_eq!(back.nnz(), m.nnz());
+        for (r, c, v) in m.iter() {
+            let w = back.get(r, c).unwrap();
+            assert!((v - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("jitspmm_sparse_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.mtx");
+        let m = generate::banded::<f32>(16, 1, 3);
+        write_matrix_market_file(&m, &path).unwrap();
+        let back: CsrMatrix<f32> = read_matrix_market_file(&path).unwrap();
+        assert_eq!(back.nnz(), m.nnz());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,53 @@
+//! # jitspmm-sparse — sparse-matrix substrate for the JITSPMM reproduction
+//!
+//! This crate provides everything the JITSPMM framework needs on the data
+//! side:
+//!
+//! * [`CsrMatrix`] — the Compressed Sparse Row format the paper's kernels
+//!   operate on (Figure 2 / Algorithm 1), plus [`CooMatrix`] as a builder
+//!   format,
+//! * [`DenseMatrix`] — the row-major dense input/output matrices `X` and `Y`,
+//! * [`Scalar`] — the element trait tying `f32`/`f64` to the code generator,
+//! * synthetic matrix generators ([`generate`]) — uniform random, RMAT
+//!   (power-law), Kronecker, Mycielskian and banded matrices,
+//! * the [`datasets`] registry — scaled-down stand-ins for the 14 SuiteSparse
+//!   matrices of Table III,
+//! * [`stats`] — structural statistics (degree distribution, imbalance) used
+//!   by the evaluation harnesses,
+//! * Matrix Market I/O ([`io`]).
+//!
+//! # Example
+//!
+//! ```
+//! use jitspmm_sparse::{CooMatrix, CsrMatrix, DenseMatrix};
+//!
+//! let mut coo = CooMatrix::<f32>::new(3, 3);
+//! coo.push(0, 0, 2.0);
+//! coo.push(0, 2, 1.0);
+//! coo.push(2, 1, 4.0);
+//! let csr: CsrMatrix<f32> = coo.to_csr();
+//! assert_eq!(csr.nnz(), 3);
+//! let x = DenseMatrix::<f32>::identity(3);
+//! // dense reference multiply provided for testing purposes
+//! let y = csr.spmm_reference(&x);
+//! assert_eq!(y.get(0, 2), 1.0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod coo;
+mod csr;
+mod dense;
+mod error;
+mod scalar;
+
+pub mod datasets;
+pub mod generate;
+pub mod io;
+pub mod stats;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use error::SparseError;
+pub use scalar::{Scalar, ScalarKind};

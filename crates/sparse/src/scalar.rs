@@ -1,0 +1,155 @@
+//! The element trait shared by the sparse/dense containers and the JIT code
+//! generator.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// Which machine value type a [`Scalar`] maps to.
+///
+/// The JIT code generator selects instruction variants (`...ps`/`...ss`
+/// versus `...pd`/`...sd`) and lane widths from this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarKind {
+    /// 32-bit IEEE-754 single precision.
+    F32,
+    /// 64-bit IEEE-754 double precision.
+    F64,
+}
+
+impl ScalarKind {
+    /// Size of one element in bytes.
+    pub const fn bytes(self) -> usize {
+        match self {
+            ScalarKind::F32 => 4,
+            ScalarKind::F64 => 8,
+        }
+    }
+
+    /// Lanes per 512-bit register.
+    pub const fn lanes_512(self) -> usize {
+        64 / self.bytes()
+    }
+}
+
+/// Floating-point element type usable by every layer of the reproduction
+/// (containers, baselines, JIT kernels and the emulator).
+///
+/// Implemented for `f32` and `f64`. The trait is sealed in spirit: the JIT
+/// code generator only understands these two kinds, so implementing it for
+/// other types would not produce runnable kernels.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + MulAssign
+    + Sum
+    + 'static
+{
+    /// The machine kind of this scalar.
+    const KIND: ScalarKind;
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Lossy conversion from `f64` (used by generators and test fixtures).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (used for error metrics).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Fused or unfused `self + a * b` (reference semantics for kernels).
+    fn mul_add(self, a: Self, b: Self) -> Self;
+}
+
+impl Scalar for f32 {
+    const KIND: ScalarKind = ScalarKind::F32;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        a.mul_add(b, self)
+    }
+}
+
+impl Scalar for f64 {
+    const KIND: ScalarKind = ScalarKind::F64;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        a.mul_add(b, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_sizes() {
+        assert_eq!(<f32 as Scalar>::KIND, ScalarKind::F32);
+        assert_eq!(<f64 as Scalar>::KIND, ScalarKind::F64);
+        assert_eq!(ScalarKind::F32.bytes(), 4);
+        assert_eq!(ScalarKind::F64.bytes(), 8);
+        assert_eq!(ScalarKind::F32.lanes_512(), 16);
+        assert_eq!(ScalarKind::F64.lanes_512(), 8);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(f32::from_f64(1.5).to_f64(), 1.5);
+        assert_eq!(f64::from_f64(-2.25).to_f64(), -2.25);
+    }
+
+    #[test]
+    fn mul_add_semantics() {
+        assert_eq!(Scalar::mul_add(1.0f32, 2.0, 3.0), 7.0);
+        assert_eq!(Scalar::mul_add(1.0f64, 2.0, 3.0), 7.0);
+        assert_eq!(Scalar::abs(-4.0f32), 4.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Structural statistics of sparse matrices.
+//!
+//! The workload-division experiments of the paper hinge on how unevenly the
+//! non-zeros are spread across rows; these statistics quantify that and are
+//! printed by the Table III harness.
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+
+/// Summary statistics of a sparse matrix's row structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Number of stored non-zeros.
+    pub nnz: usize,
+    /// Mean non-zeros per row.
+    pub avg_row_nnz: f64,
+    /// Largest row.
+    pub max_row_nnz: usize,
+    /// Smallest row.
+    pub min_row_nnz: usize,
+    /// Number of completely empty rows.
+    pub empty_rows: usize,
+    /// Population standard deviation of row lengths.
+    pub row_nnz_stddev: f64,
+    /// `max_row_nnz / avg_row_nnz` — the load-imbalance factor a naive
+    /// row-split partition would suffer.
+    pub imbalance: f64,
+    /// Gini coefficient of the row-length distribution (0 = perfectly even,
+    /// → 1 = a few rows hold everything).
+    pub gini: f64,
+}
+
+impl MatrixStats {
+    /// Compute statistics for `matrix`.
+    pub fn of<T: Scalar>(matrix: &CsrMatrix<T>) -> MatrixStats {
+        let lens = matrix.row_lengths();
+        let nrows = matrix.nrows();
+        let nnz = matrix.nnz();
+        let avg = if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 };
+        let max = lens.iter().copied().max().unwrap_or(0);
+        let min = lens.iter().copied().min().unwrap_or(0);
+        let empty = lens.iter().filter(|&&l| l == 0).count();
+        let var = if nrows == 0 {
+            0.0
+        } else {
+            lens.iter().map(|&l| (l as f64 - avg).powi(2)).sum::<f64>() / nrows as f64
+        };
+        MatrixStats {
+            nrows,
+            ncols: matrix.ncols(),
+            nnz,
+            avg_row_nnz: avg,
+            max_row_nnz: max,
+            min_row_nnz: min,
+            empty_rows: empty,
+            row_nnz_stddev: var.sqrt(),
+            imbalance: if avg > 0.0 { max as f64 / avg } else { 0.0 },
+            gini: gini(&lens),
+        }
+    }
+}
+
+/// Gini coefficient of a non-negative integer distribution.
+fn gini(values: &[usize]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, v)| (i as f64 + 1.0) * v).sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+impl std::fmt::Display for MatrixStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} x {}, nnz = {}, avg row = {:.2}, max row = {}, empty rows = {}, imbalance = {:.1}, gini = {:.3}",
+            self.nrows,
+            self.ncols,
+            self.nnz,
+            self.avg_row_nnz,
+            self.max_row_nnz,
+            self.empty_rows,
+            self.imbalance,
+            self.gini
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn stats_of_identity_are_uniform() {
+        let m = CsrMatrix::<f32>::identity(100);
+        let s = MatrixStats::of(&m);
+        assert_eq!(s.nnz, 100);
+        assert_eq!(s.max_row_nnz, 1);
+        assert_eq!(s.min_row_nnz, 1);
+        assert_eq!(s.empty_rows, 0);
+        assert_eq!(s.imbalance, 1.0);
+        assert!(s.gini.abs() < 1e-9);
+        assert!(s.row_nnz_stddev.abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_detect_skew() {
+        let skewed = generate::rmat::<f32>(10, 10_000, generate::RmatConfig::GRAPH500, 2);
+        let flat = generate::banded::<f32>(1024, 4, 2);
+        let ss = MatrixStats::of(&skewed);
+        let fs = MatrixStats::of(&flat);
+        assert!(ss.gini > fs.gini);
+        assert!(ss.imbalance > fs.imbalance);
+        assert!(ss.empty_rows > 0);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0, 0]), 0.0);
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12);
+        // All mass in one bucket out of many: close to 1 - 1/n.
+        let g = gini(&[0, 0, 0, 0, 0, 0, 0, 0, 0, 100]);
+        assert!(g > 0.85, "g = {g}");
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let m = CsrMatrix::<f32>::identity(4);
+        let text = MatrixStats::of(&m).to_string();
+        assert!(text.contains("nnz = 4"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Shared helpers for the example binaries.
+//!
+//! Each example is a standalone binary exercising the public JITSPMM API on a
+//! realistic scenario:
+//!
+//! * `quickstart` — minimal compile-and-execute walk-through,
+//! * `gnn_graph_conv` — graph-convolution feature propagation (the workload
+//!   that motivates the paper's introduction),
+//! * `pagerank` — PageRank power iteration driven by the JIT SpMM engine,
+//! * `profile_explorer` — inspects the generated code, the register plan and
+//!   the emulated hardware-event counts for a chosen configuration.
+
+use jitspmm::CpuFeatures;
+
+/// Exit early (successfully) when the host cannot run the JIT kernels, so
+/// the examples remain runnable everywhere.
+pub fn require_jit_host() {
+    let features = CpuFeatures::detect();
+    if !(features.avx && features.has_fma()) {
+        eprintln!("This example needs a CPU with AVX and FMA; detected: {features}");
+        std::process::exit(0);
+    }
+}
+
+/// Simple dense matrix multiply `A (n x k) * B (k x m)` used by the GNN
+/// example for the feature-transform step (this is deliberately plain Rust —
+/// the paper's contribution is the sparse side).
+pub fn dense_matmul(a: &[f32], n: usize, k: usize, b: &[f32], m: usize) -> Vec<f32> {
+    assert_eq!(a.len(), n * k);
+    assert_eq!(b.len(), k * m);
+    let mut out = vec![0.0f32; n * m];
+    for i in 0..n {
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            for j in 0..m {
+                out[i * m + j] += aik * b[kk * m + j];
+            }
+        }
+    }
+    out
+}

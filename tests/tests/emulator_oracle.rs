@@ -1,0 +1,131 @@
+//! Integration tests using the emulator as an independent oracle for the
+//! generated kernels: the emulated execution of the exact JIT machine code
+//! must produce the same output as native execution and as the reference,
+//! and the measured event counts must track the analytic models.
+
+use jitspmm::profile::{self, measure_jit_emulated};
+use jitspmm::{IsaLevel, JitSpmmBuilder, Strategy};
+use jitspmm_integration_tests::{host_supports_jit, pathological, small_skewed};
+use jitspmm_sparse::{generate, DenseMatrix};
+
+#[test]
+fn emulated_kernel_output_matches_native_and_reference() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let a = small_skewed();
+    for d in [8usize, 16, 45] {
+        let x = DenseMatrix::random(a.ncols(), d, 7);
+        let expected = a.spmm_reference(&x);
+        let engine = JitSpmmBuilder::new()
+            .strategy(Strategy::RowSplitStatic)
+            .threads(1)
+            .build(&a, d)
+            .unwrap();
+
+        // Native execution.
+        let mut y_native = DenseMatrix::zeros(a.nrows(), d);
+        engine.execute_single_thread(&x, &mut y_native).unwrap();
+        assert!(y_native.approx_eq(&expected, 1e-4), "native, d = {d}");
+
+        // Emulated execution of the same machine code.
+        let mut y_emulated = DenseMatrix::zeros(a.nrows(), d);
+        let counts = measure_jit_emulated(&engine, &x, &mut y_emulated).unwrap();
+        assert!(y_emulated.approx_eq(&expected, 1e-4), "emulated, d = {d}");
+        assert_eq!(y_native, y_emulated, "bit-exact agreement expected, d = {d}");
+        assert!(counts.instructions > a.nnz() as u64, "d = {d}: {counts:?}");
+        assert!(counts.memory_loads > a.nnz() as u64);
+        assert!(counts.memory_stores as usize >= a.nrows());
+    }
+}
+
+#[test]
+fn emulated_dynamic_kernel_also_matches() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let a = pathological();
+    let d = 16;
+    let x = DenseMatrix::random(a.ncols(), d, 3);
+    let expected = a.spmm_reference(&x);
+    let engine = JitSpmmBuilder::new()
+        .strategy(Strategy::RowSplitDynamic { batch: 32 })
+        .threads(1)
+        .build(&a, d)
+        .unwrap();
+    let mut y = DenseMatrix::zeros(a.nrows(), d);
+    let counts = measure_jit_emulated(&engine, &x, &mut y).unwrap();
+    assert!(y.approx_eq(&expected, 1e-4));
+    // The dynamic claim loop executes one lock xadd per batch.
+    let batches = a.nrows().div_ceil(32) as u64;
+    assert!(counts.memory_stores >= batches, "{counts:?}");
+}
+
+#[test]
+fn measured_counts_track_the_analytic_model() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let a = generate::rmat::<f32>(9, 8_000, generate::RmatConfig::WEB, 2);
+    let d = 16;
+    let x = DenseMatrix::random(a.ncols(), d, 1);
+    let features = jitspmm::CpuFeatures::detect();
+    let isa = features.best_isa();
+    let engine = JitSpmmBuilder::new()
+        .strategy(Strategy::RowSplitStatic)
+        .isa(isa)
+        .threads(1)
+        .build(&a, d)
+        .unwrap();
+    let mut y = DenseMatrix::zeros(a.nrows(), d);
+    let measured = measure_jit_emulated(&engine, &x, &mut y).unwrap();
+    let modeled = profile::model_jit::<f32>(&a, d, isa);
+    // The analytic model should be within a factor of two of the measured
+    // instruction stream on the dominant metrics.
+    for (name, m, a) in [
+        ("instructions", measured.instructions, modeled.instructions),
+        ("loads", measured.memory_loads, modeled.memory_loads),
+        ("branches", measured.branches, modeled.branches),
+    ] {
+        let ratio = m as f64 / a.max(1) as f64;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "{name}: measured {m}, modeled {a}, ratio {ratio:.2}"
+        );
+    }
+}
+
+#[test]
+fn emulated_scalar_tier_shows_table2_reductions() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    // A miniature Table II: single-thread scalar JIT versus the modeled
+    // scalar AOT kernel on a web-crawl-like matrix with d = 8.
+    let a = generate::rmat::<f32>(10, 12_000, generate::RmatConfig::WEB, 4);
+    let d = 8;
+    let x = DenseMatrix::random(a.ncols(), d, 9);
+    let engine = JitSpmmBuilder::new()
+        .strategy(Strategy::RowSplitStatic)
+        .isa(IsaLevel::Scalar)
+        .threads(1)
+        .build(&a, d)
+        .unwrap();
+    let mut y = DenseMatrix::zeros(a.nrows(), d);
+    let jit = measure_jit_emulated(&engine, &x, &mut y).unwrap();
+    assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+
+    let aot = profile::model_aot_scalar(&a, d);
+    let load_reduction = aot.memory_loads as f64 / jit.memory_loads as f64;
+    let inst_reduction = aot.instructions as f64 / jit.instructions as f64;
+    let branch_reduction = aot.branches as f64 / jit.branches as f64;
+    // Table II reports 2.4-2.7x fewer loads and 3.4-4.4x fewer instructions;
+    // accept a generous band around those figures.
+    assert!(load_reduction > 1.8, "load reduction = {load_reduction:.2}");
+    assert!(inst_reduction > 2.5, "instruction reduction = {inst_reduction:.2}");
+    assert!(branch_reduction > 1.2, "branch reduction = {branch_reduction:.2}");
+}

@@ -1,0 +1,131 @@
+//! Property-based integration tests (proptest): randomized matrices, column
+//! counts and strategies must always produce output identical to the
+//! reference implementation, and core data-structure invariants must hold.
+
+use jitspmm::{JitSpmmBuilder, Strategy};
+use jitspmm_integration_tests::host_supports_jit;
+use jitspmm_sparse::{CooMatrix, CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+
+/// Strategy generating an arbitrary small sparse matrix as triplets.
+fn arb_matrix() -> impl PropStrategy<Value = (usize, usize, Vec<(usize, usize, f32)>)> {
+    (1usize..60, 1usize..60).prop_flat_map(|(nrows, ncols)| {
+        let entries = proptest::collection::vec(
+            (0..nrows, 0..ncols, -4.0f32..4.0f32),
+            0..200,
+        );
+        (Just(nrows), Just(ncols), entries)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// COO → CSR conversion preserves the per-cell sum of duplicates and the
+    /// declared shape.
+    #[test]
+    fn coo_to_csr_preserves_entries((nrows, ncols, entries) in arb_matrix()) {
+        let mut coo = CooMatrix::<f32>::new(nrows, ncols);
+        for &(r, c, v) in &entries {
+            coo.push(r, c, v);
+        }
+        let csr = coo.to_csr();
+        prop_assert_eq!(csr.nrows(), nrows);
+        prop_assert_eq!(csr.ncols(), ncols);
+        // Every stored value equals the sum of the triplets at that cell.
+        let mut expected = std::collections::HashMap::new();
+        for &(r, c, v) in &entries {
+            *expected.entry((r, c)).or_insert(0.0f32) += v;
+        }
+        for (r, c, v) in csr.iter() {
+            let e = expected.get(&(r, c)).copied().unwrap_or(0.0);
+            prop_assert!((v - e).abs() < 1e-4, "cell ({}, {}): {} vs {}", r, c, v, e);
+        }
+        prop_assert_eq!(csr.nnz(), expected.len());
+    }
+
+    /// Transposing twice is the identity.
+    #[test]
+    fn transpose_is_involutive((nrows, ncols, entries) in arb_matrix()) {
+        let csr = CsrMatrix::from_triplets(nrows, ncols, &entries).unwrap();
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    /// The reference SpMM is linear: A(x + y) = Ax + Ay.
+    #[test]
+    fn reference_spmm_is_linear((nrows, ncols, entries) in arb_matrix(), d in 1usize..6) {
+        let a = CsrMatrix::from_triplets(nrows, ncols, &entries).unwrap();
+        let x1 = DenseMatrix::<f32>::random(ncols, d, 1);
+        let x2 = DenseMatrix::<f32>::random(ncols, d, 2);
+        let sum = DenseMatrix::from_vec(
+            ncols,
+            d,
+            x1.as_slice().iter().zip(x2.as_slice()).map(|(a, b)| a + b).collect(),
+        );
+        let y1 = a.spmm_reference(&x1);
+        let y2 = a.spmm_reference(&x2);
+        let ysum = a.spmm_reference(&sum);
+        let combined = DenseMatrix::from_vec(
+            nrows,
+            d,
+            y1.as_slice().iter().zip(y2.as_slice()).map(|(a, b)| a + b).collect(),
+        );
+        prop_assert!(ysum.approx_eq(&combined, 1e-3));
+    }
+
+    /// The JIT engine agrees with the reference for arbitrary matrices,
+    /// column counts and strategies.
+    #[test]
+    fn jit_matches_reference(
+        (nrows, ncols, entries) in arb_matrix(),
+        d in 1usize..40,
+        strategy_idx in 0usize..4,
+        threads in 1usize..5,
+    ) {
+        if !host_supports_jit() {
+            return Ok(());
+        }
+        let strategy = [
+            Strategy::RowSplitStatic,
+            Strategy::RowSplitDynamic { batch: 7 },
+            Strategy::NnzSplit,
+            Strategy::MergeSplit,
+        ][strategy_idx];
+        let a = CsrMatrix::from_triplets(nrows, ncols, &entries).unwrap();
+        let x = DenseMatrix::<f32>::random(ncols, d, 42);
+        let expected = a.spmm_reference(&x);
+        let engine = JitSpmmBuilder::new()
+            .strategy(strategy)
+            .threads(threads)
+            .build(&a, d)
+            .unwrap();
+        let (y, _) = engine.execute(&x).unwrap();
+        prop_assert!(
+            y.approx_eq(&expected, 1e-3),
+            "strategy {:?}, d {}, diff {}", strategy, d, y.max_abs_diff(&expected)
+        );
+    }
+
+    /// Workload partitions always cover every row exactly once, regardless of
+    /// strategy and thread count.
+    #[test]
+    fn partitions_cover_rows(
+        (nrows, ncols, entries) in arb_matrix(),
+        threads in 1usize..9,
+        strategy_idx in 0usize..3,
+    ) {
+        let strategy = [Strategy::RowSplitStatic, Strategy::NnzSplit, Strategy::MergeSplit][strategy_idx];
+        let a = CsrMatrix::from_triplets(nrows, ncols, &entries).unwrap();
+        let p = jitspmm::schedule::partition(&a, strategy, threads);
+        let mut covered = 0usize;
+        let mut cursor = 0usize;
+        for r in &p.ranges {
+            prop_assert_eq!(r.start, cursor);
+            cursor = r.end;
+            covered += r.len();
+        }
+        prop_assert_eq!(cursor, nrows);
+        prop_assert_eq!(covered, nrows);
+    }
+}
