@@ -56,10 +56,10 @@ pub struct Assembler {
 
 macro_rules! note {
     ($self:ident, $($fmt:tt)*) => {
-        if $self.listing.is_some() {
+        if let Some(listing) = $self.listing.as_mut() {
             let at = $self.buf.len();
             let text = format!($($fmt)*);
-            $self.listing.as_mut().unwrap().push((at, text));
+            listing.push((at, text));
         }
     };
 }

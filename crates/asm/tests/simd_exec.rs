@@ -84,8 +84,8 @@ fn vfmadd231ps_ymm_with_broadcast() {
     let a = [2.5f32];
     let x: Vec<f32> = (0..8).map(|i| (i as f32) * 0.5).collect();
     f(y.as_mut_ptr(), a.as_ptr(), x.as_ptr());
-    for i in 0..8 {
-        assert_eq!(y[i], i as f32 + 2.5 * (i as f32) * 0.5, "lane {i}");
+    for (i, &v) in y.iter().enumerate() {
+        assert_eq!(v, i as f32 + 2.5 * (i as f32) * 0.5, "lane {i}");
     }
 }
 
@@ -121,8 +121,8 @@ fn vfmadd231ps_zmm31_listing2_shape() {
     let a = [0.0f32, 3.0, 0.0, 0.0, 0.0]; // broadcast picks a[4*4-12 bytes] = a[1] = 3.0
     let x: Vec<f32> = (0..32).map(|i| i as f32).collect();
     f(y.as_mut_ptr(), a.as_ptr(), x.as_ptr());
-    for i in 0..16 {
-        assert_eq!(y[i], 3.0 * (16 + i) as f32, "lane {i}");
+    for (i, &v) in y.iter().enumerate() {
+        assert_eq!(v, 3.0 * (16 + i) as f32, "lane {i}");
     }
 }
 

@@ -1,0 +1,165 @@
+//! Dispatch-overhead benchmark: spawn-per-call (the pre-runtime dispatch
+//! path, `JitSpmm::execute_into_spawning`) versus persistent-pool dispatch
+//! (`execute_into`) and pooled-output execution (`execute`), across matrix
+//! sizes at `d = 16`.
+//!
+//! The point of the persistent runtime is that steady-state per-call latency
+//! should track kernel time, not thread-spawn time; on small matrices the
+//! spawn cost dominates and the pooled path must win by a wide margin, while
+//! on large matrices the two converge because the kernel amortizes dispatch.
+//!
+//! Run with: `cargo bench -p jitspmm-bench --bench dispatch_overhead`
+//! (add `-- --quick` for a fast pass). Emits a human-readable table on
+//! stdout and machine-readable JSON to `BENCH_dispatch_overhead.json` so the
+//! perf trajectory can be tracked across commits.
+
+use jitspmm::{CpuFeatures, JitSpmmBuilder, Strategy};
+use jitspmm_bench::TextTable;
+use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
+use std::time::{Duration, Instant};
+
+const D: usize = 16;
+
+struct Workload {
+    name: &'static str,
+    matrix: CsrMatrix<f32>,
+    reps: usize,
+}
+
+fn workloads(quick: bool) -> Vec<Workload> {
+    let scale = |reps: usize| if quick { (reps / 10).max(3) } else { reps };
+    vec![
+        Workload {
+            name: "tiny-2k",
+            matrix: generate::uniform(512, 512, 2_000, 1),
+            reps: scale(500),
+        },
+        Workload {
+            name: "small-10k",
+            matrix: generate::uniform(1_000, 1_000, 10_000, 2),
+            reps: scale(500),
+        },
+        Workload {
+            name: "mid-100k",
+            matrix: generate::rmat(12, 100_000, generate::RmatConfig::WEB, 3),
+            reps: scale(100),
+        },
+        Workload {
+            name: "large-1m",
+            matrix: generate::rmat(14, 1_000_000, generate::RmatConfig::GRAPH500, 4),
+            reps: scale(30),
+        },
+    ]
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    best: Duration,
+    mean: Duration,
+}
+
+fn measure(reps: usize, mut f: impl FnMut()) -> Stats {
+    f(); // warm-up (first pooled call wakes cold workers)
+    let mut best = Duration::MAX;
+    let total_start = Instant::now();
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    Stats { best, mean: total_start.elapsed() / reps as u32 }
+}
+
+fn json_stats(s: &Stats) -> String {
+    format!(r#"{{"best_ns": {}, "mean_ns": {}}}"#, s.best.as_nanos(), s.mean.as_nanos())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let features = CpuFeatures::detect();
+    if !(features.avx && features.has_fma()) {
+        eprintln!("dispatch_overhead: host lacks AVX/FMA, skipping");
+        return;
+    }
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    println!("dispatch overhead: spawn-per-call vs persistent pool (d = {D}, {threads} lanes)\n");
+
+    let mut table = TextTable::new(&[
+        "matrix",
+        "nnz",
+        "spawn/call",
+        "pooled/call",
+        "execute/call",
+        "speedup",
+        "kernel",
+        "dispatch",
+    ]);
+    let mut json_rows = Vec::new();
+
+    for w in workloads(quick) {
+        let x = DenseMatrix::random(w.matrix.ncols(), D, 7);
+        let engine = JitSpmmBuilder::new()
+            .strategy(Strategy::row_split_dynamic_default())
+            .build(&w.matrix, D)
+            .expect("JIT compilation failed");
+        let mut y = DenseMatrix::zeros(w.matrix.nrows(), D);
+
+        // Correctness first: the pooled path must agree with the reference.
+        let expected = w.matrix.spmm_reference(&x);
+        engine.execute_into(&x, &mut y).unwrap();
+        assert!(y.approx_eq(&expected, 1e-3), "{}: pooled result mismatch", w.name);
+
+        let spawn = measure(w.reps, || {
+            engine.execute_into_spawning(&x, &mut y).unwrap();
+        });
+        let pooled = measure(w.reps, || {
+            engine.execute_into(&x, &mut y).unwrap();
+        });
+        // Full execute(): pooled dispatch plus recycled output buffers.
+        let pooled_execute = measure(w.reps, || {
+            let _ = engine.execute(&x).unwrap();
+        });
+        let report = engine.execute_into(&x, &mut y).unwrap();
+        let speedup = spawn.best.as_secs_f64() / pooled.best.as_secs_f64();
+
+        table.row(vec![
+            w.name.to_string(),
+            w.matrix.nnz().to_string(),
+            format!("{:?}", spawn.best),
+            format!("{:?}", pooled.best),
+            format!("{:?}", pooled_execute.best),
+            format!("{speedup:.2}x"),
+            format!("{:?}", report.kernel),
+            format!("{:?}", report.dispatch),
+        ]);
+        json_rows.push(format!(
+            r#"    {{"matrix": "{}", "rows": {}, "nnz": {}, "spawn": {}, "pooled": {}, "pooled_execute": {}, "speedup_best": {:.4}, "kernel_ns": {}, "dispatch_ns": {}}}"#,
+            w.name,
+            w.matrix.nrows(),
+            w.matrix.nnz(),
+            json_stats(&spawn),
+            json_stats(&pooled),
+            json_stats(&pooled_execute),
+            speedup,
+            report.kernel.as_nanos(),
+            report.dispatch.as_nanos(),
+        ));
+    }
+
+    table.print();
+    println!("\n(speedup = spawn-per-call best / pooled best; the acceptance bar is >= 2x");
+    println!(" on the <= 10k-nnz matrix — spawn cost is fixed, kernel time is not)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"dispatch_overhead\",\n  \"d\": {D},\n  \"lanes\": {threads},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    // Cargo runs benches with the package directory as CWD; anchor the JSON
+    // at the workspace root so the perf trajectory lives in one place.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch_overhead.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+    println!("{json}");
+}

@@ -23,7 +23,8 @@ fn main() {
     let lanes = profile::lanes_for(isa, ScalarKind::F32);
     println!("Figure 11: profiling metrics with d = {d} (ISA tier: {isa})\n");
 
-    let metrics: [(&str, fn(&ProfileCounts) -> u64); 4] = [
+    type MetricGetter = fn(&ProfileCounts) -> u64;
+    let metrics: [(&str, MetricGetter); 4] = [
         ("memory loads", |c| c.memory_loads),
         ("branches", |c| c.branches),
         ("branch misses", |c| c.branch_misses),

@@ -78,7 +78,8 @@ fn main() {
     let mut y_emu = DenseMatrix::zeros(matrix.nrows(), d);
     let jit_counts = measure_jit_emulated(&engine, &x, &mut y_emu).expect("emulation failed");
 
-    let rows: [(&str, fn(&ProfileCounts) -> u64); 4] = [
+    type MetricGetter = fn(&ProfileCounts) -> u64;
+    let rows: [(&str, MetricGetter); 4] = [
         ("memory loads", |c| c.memory_loads),
         ("branches", |c| c.branches),
         ("branch misses", |c| c.branch_misses),

@@ -15,6 +15,8 @@ fn main() {
     let mut table = TextTable::new(&[
         "dataset",
         "exe (s)",
+        "kernel (s)",
+        "dispatch (us)",
         "codegen (s)",
         "codegen overhead (%)",
         "kernel bytes",
@@ -31,11 +33,16 @@ fn main() {
         let exec = time_best_of(config.repetitions, || {
             engine.execute_into(&x, &mut y).unwrap();
         });
+        // One more run to split the steady-state time into kernel work and
+        // pool-dispatch overhead.
+        let report = engine.execute_into(&x, &mut y).unwrap();
         let codegen = engine.meta().codegen_time;
         let overhead = engine.codegen_overhead_ratio(exec) * 100.0;
         table.row(vec![
             spec.name.to_string(),
             fmt_secs(exec),
+            fmt_secs(report.kernel),
+            format!("{:.1}", report.dispatch.as_secs_f64() * 1e6),
             format!("{:.6}", codegen.as_secs_f64()),
             format!("{:.4}%", overhead),
             engine.meta().code_bytes.to_string(),

@@ -9,6 +9,7 @@
 //! `d`, and a row whose `d` exceeds one tile makes additional passes over the
 //! row's non-zeros with the associated re-loads of `col_indices`/`vals`.
 
+use crate::runtime::WorkerPool;
 use crate::schedule::DynamicCounter;
 use jitspmm_sparse::{CsrMatrix, DenseMatrix};
 
@@ -17,7 +18,9 @@ const BATCH: usize = 64;
 
 /// Multi-threaded, hand-vectorized f32 SpMM (the MKL stand-in).
 ///
-/// Picks AVX-512, then AVX2+FMA, then a scalar fallback at run time.
+/// Picks AVX-512, then AVX2+FMA, then a scalar fallback at run time. Runs on
+/// the process-wide [`WorkerPool::global`] pool, so benchmark comparisons
+/// against the JIT engine pay identical dispatch costs.
 ///
 /// # Panics
 ///
@@ -28,10 +31,25 @@ pub fn spmm_mkl_like_f32(
     y: &mut DenseMatrix<f32>,
     threads: usize,
 ) {
+    spmm_mkl_like_f32_on(WorkerPool::global(), a, x, y, threads);
+}
+
+/// [`spmm_mkl_like_f32`] on an explicit worker pool.
+///
+/// # Panics
+///
+/// Panics on shape mismatch between `a`, `x` and `y`.
+pub fn spmm_mkl_like_f32_on(
+    pool: &WorkerPool,
+    a: &CsrMatrix<f32>,
+    x: &DenseMatrix<f32>,
+    y: &mut DenseMatrix<f32>,
+    threads: usize,
+) {
     assert_eq!(x.nrows(), a.ncols(), "dense input rows must equal sparse columns");
     assert_eq!(y.nrows(), a.nrows(), "dense output rows must equal sparse rows");
     assert_eq!(y.ncols(), x.ncols(), "input and output column counts must match");
-    let threads = resolve_threads(threads);
+    let threads = pool.lanes_for(threads);
     let d = x.ncols();
     let y_addr = y.as_mut_ptr() as usize;
     let nrows = a.nrows();
@@ -40,27 +58,22 @@ pub fn spmm_mkl_like_f32(
     let use_avx2 = std::arch::is_x86_feature_detected!("avx2")
         && std::arch::is_x86_feature_detected!("fma");
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let counter = &counter;
-            scope.spawn(move || loop {
-                let start = counter.claim(BATCH as u64) as usize;
-                if start >= nrows {
-                    break;
-                }
-                let end = (start + BATCH).min(nrows);
-                // SAFETY: dynamically claimed row batches are disjoint and the
-                // target feature paths are only taken when detected.
-                unsafe {
-                    if use_avx512 {
-                        rows_avx512_f32(a, x, y_addr as *mut f32, d, start, end);
-                    } else if use_avx2 {
-                        rows_avx2_f32(a, x, y_addr as *mut f32, d, start, end);
-                    } else {
-                        rows_scalar_f32(a, x, y_addr as *mut f32, d, start, end);
-                    }
-                }
-            });
+    pool.run(threads, &|_lane| loop {
+        let start = counter.claim(BATCH as u64) as usize;
+        if start >= nrows {
+            break;
+        }
+        let end = (start + BATCH).min(nrows);
+        // SAFETY: dynamically claimed row batches are disjoint and the
+        // target feature paths are only taken when detected.
+        unsafe {
+            if use_avx512 {
+                rows_avx512_f32(a, x, y_addr as *mut f32, d, start, end);
+            } else if use_avx2 {
+                rows_avx2_f32(a, x, y_addr as *mut f32, d, start, end);
+            } else {
+                rows_scalar_f32(a, x, y_addr as *mut f32, d, start, end);
+            }
         }
     });
 }
@@ -76,44 +89,46 @@ pub fn spmm_mkl_like_f64(
     y: &mut DenseMatrix<f64>,
     threads: usize,
 ) {
+    spmm_mkl_like_f64_on(WorkerPool::global(), a, x, y, threads);
+}
+
+/// [`spmm_mkl_like_f64`] on an explicit worker pool.
+///
+/// # Panics
+///
+/// Panics on shape mismatch between `a`, `x` and `y`.
+pub fn spmm_mkl_like_f64_on(
+    pool: &WorkerPool,
+    a: &CsrMatrix<f64>,
+    x: &DenseMatrix<f64>,
+    y: &mut DenseMatrix<f64>,
+    threads: usize,
+) {
     assert_eq!(x.nrows(), a.ncols(), "dense input rows must equal sparse columns");
     assert_eq!(y.nrows(), a.nrows(), "dense output rows must equal sparse rows");
     assert_eq!(y.ncols(), x.ncols(), "input and output column counts must match");
-    let threads = resolve_threads(threads);
+    let threads = pool.lanes_for(threads);
     let d = x.ncols();
     let y_addr = y.as_mut_ptr() as usize;
     let nrows = a.nrows();
     let counter = DynamicCounter::new();
     let use_avx512 = std::arch::is_x86_feature_detected!("avx512f");
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let counter = &counter;
-            scope.spawn(move || loop {
-                let start = counter.claim(BATCH as u64) as usize;
-                if start >= nrows {
-                    break;
-                }
-                let end = (start + BATCH).min(nrows);
-                // SAFETY: as in the f32 case.
-                unsafe {
-                    if use_avx512 {
-                        rows_avx512_f64(a, x, y_addr as *mut f64, d, start, end);
-                    } else {
-                        rows_scalar_f64(a, x, y_addr as *mut f64, d, start, end);
-                    }
-                }
-            });
+    pool.run(threads, &|_lane| loop {
+        let start = counter.claim(BATCH as u64) as usize;
+        if start >= nrows {
+            break;
+        }
+        let end = (start + BATCH).min(nrows);
+        // SAFETY: as in the f32 case.
+        unsafe {
+            if use_avx512 {
+                rows_avx512_f64(a, x, y_addr as *mut f64, d, start, end);
+            } else {
+                rows_scalar_f64(a, x, y_addr as *mut f64, d, start, end);
+            }
         }
     });
-}
-
-fn resolve_threads(threads: usize) -> usize {
-    if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        threads
-    }
 }
 
 /// AVX-512 f32 path: 16-wide column tiles with a register accumulator per

@@ -149,7 +149,8 @@ mod tests {
         let x = DenseMatrix::filled(3, 2, 2.0);
         let mut y = DenseMatrix::filled(3, 2, 99.0);
         spmm_scalar_iterator(&a, &x, &mut y);
-        assert!(y.approx_eq(&x.clone(), 1e-6) == false || true);
+        // Identity * x = x: the old 99.0 fill must be fully overwritten.
+        assert!(y.approx_eq(&x, 1e-6));
         assert_eq!(y.get(0, 0), 2.0);
         let mut y = DenseMatrix::filled(3, 2, 99.0);
         spmm_scalar_naive(&a, &x, &mut y);

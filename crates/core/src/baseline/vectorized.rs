@@ -8,11 +8,14 @@
 //! so every non-zero iteration re-walks the output row through memory — the
 //! exact overhead coarse-grain column merging removes in the JIT kernel.
 
+use crate::runtime::WorkerPool;
 use crate::schedule::{partition, DynamicCounter, Strategy};
 use jitspmm_sparse::{CsrMatrix, DenseMatrix, Scalar};
 
 /// Multi-threaded SpMM with the given workload-division strategy, compiled
-/// ahead of time (the auto-vectorization baseline).
+/// ahead of time (the auto-vectorization baseline). Runs on the process-wide
+/// [`WorkerPool::global`] pool, so benchmark comparisons against the JIT
+/// engine pay identical dispatch costs.
 ///
 /// # Panics
 ///
@@ -24,14 +27,26 @@ pub fn spmm_vectorized<T: Scalar>(
     strategy: Strategy,
     threads: usize,
 ) {
+    spmm_vectorized_on(WorkerPool::global(), a, x, y, strategy, threads);
+}
+
+/// [`spmm_vectorized`] on an explicit worker pool.
+///
+/// # Panics
+///
+/// Panics on shape mismatch between `a`, `x` and `y`.
+pub fn spmm_vectorized_on<T: Scalar>(
+    pool: &WorkerPool,
+    a: &CsrMatrix<T>,
+    x: &DenseMatrix<T>,
+    y: &mut DenseMatrix<T>,
+    strategy: Strategy,
+    threads: usize,
+) {
     assert_eq!(x.nrows(), a.ncols(), "dense input rows must equal sparse columns");
     assert_eq!(y.nrows(), a.nrows(), "dense output rows must equal sparse rows");
     assert_eq!(y.ncols(), x.ncols(), "input and output column counts must match");
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        threads
-    };
+    let threads = pool.lanes_for(threads);
     let d = x.ncols();
     let y_addr = y.as_mut_ptr() as usize;
 
@@ -39,37 +54,27 @@ pub fn spmm_vectorized<T: Scalar>(
         Strategy::RowSplitDynamic { batch } => {
             let counter = DynamicCounter::new();
             let nrows = a.nrows();
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    let counter = &counter;
-                    scope.spawn(move || loop {
-                        let start = counter.claim(batch as u64) as usize;
-                        if start >= nrows {
-                            break;
-                        }
-                        let end = (start + batch).min(nrows);
-                        // SAFETY: claimed row batches are disjoint, so the
-                        // row slices written by different threads never
-                        // overlap.
-                        unsafe { process_rows(a, x, y_addr as *mut T, d, start, end) };
-                    });
+            pool.run(threads, &|_lane| loop {
+                let start = counter.claim(batch as u64) as usize;
+                if start >= nrows {
+                    break;
                 }
+                let end = (start + batch).min(nrows);
+                // SAFETY: claimed row batches are disjoint, so the row
+                // slices written by different lanes never overlap.
+                unsafe { process_rows(a, x, y_addr as *mut T, d, start, end) };
             });
         }
         _ => {
             let part = partition(a, strategy, threads);
-            std::thread::scope(|scope| {
-                for range in &part.ranges {
-                    if range.is_empty() {
-                        continue;
-                    }
-                    scope.spawn(move || {
-                        // SAFETY: static ranges are disjoint by construction.
-                        unsafe {
-                            process_rows(a, x, y_addr as *mut T, d, range.start, range.end)
-                        };
-                    });
+            let ranges = &part.ranges;
+            pool.run(ranges.len(), &|index| {
+                let range = ranges[index];
+                if range.is_empty() {
+                    return;
                 }
+                // SAFETY: static ranges are disjoint by construction.
+                unsafe { process_rows(a, x, y_addr as *mut T, d, range.start, range.end) };
             });
         }
     }

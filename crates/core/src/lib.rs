@@ -34,7 +34,38 @@
 //!     .build(&a, x.ncols())?;
 //! let (y, report) = engine.execute(&x)?;
 //! assert_eq!(y.nrows(), a.nrows());
-//! println!("SpMM took {:?} on {} threads", report.elapsed, report.threads);
+//! println!(
+//!     "SpMM took {:?} on {} lanes ({:?} kernel + {:?} dispatch)",
+//!     report.elapsed, report.threads, report.kernel, report.dispatch
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # The persistent runtime
+//!
+//! Execution never spawns threads per call: engines dispatch to a persistent
+//! [`WorkerPool`] of parked threads (the process-wide [`WorkerPool::global`]
+//! by default), and [`JitSpmm::execute`] recycles output buffers through a
+//! [`PooledMatrix`], so a steady-state execute loop performs **zero thread
+//! spawns and zero allocations** — per-call latency tracks kernel time, not
+//! dispatch overhead. Engines can share an explicit pool:
+//!
+//! ```
+//! use jitspmm::{JitSpmmBuilder, WorkerPool};
+//! use jitspmm_sparse::{generate, DenseMatrix};
+//!
+//! # fn main() -> Result<(), jitspmm::JitSpmmError> {
+//! let pool = WorkerPool::new(2); // spawned once, parked between jobs
+//! let a = generate::uniform::<f32>(200, 200, 2_000, 1);
+//! let b = generate::uniform::<f32>(150, 200, 1_500, 2);
+//! let eng_a = JitSpmmBuilder::new().pool(pool.clone()).build(&a, 8)?;
+//! let eng_b = JitSpmmBuilder::new().pool(pool.clone()).build(&b, 8)?;
+//! let x = DenseMatrix::random(200, 8, 3);
+//! let (ya, _) = eng_a.execute(&x)?; // both engines share the two workers
+//! let (yb, _) = eng_b.execute(&x)?;
+//! assert!(ya.approx_eq(&a.spmm_reference(&x), 1e-4));
+//! assert!(yb.approx_eq(&b.spmm_reference(&x), 1e-4));
 //! # Ok(())
 //! # }
 //! ```
@@ -44,6 +75,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`engine`] | [`JitSpmm`], the compile-once/run-many engine |
+//! | [`runtime`] | persistent [`WorkerPool`], job dispatch, output recycling |
 //! | [`schedule`] | workload-division strategies and partitioning |
 //! | [`tiling`] | coarse-grain column merging register allocation |
 //! | [`codegen`] | the x86-64 kernel generator |
@@ -62,6 +94,7 @@ pub mod engine;
 pub mod error;
 pub mod kernel;
 pub mod profile;
+pub mod runtime;
 pub mod schedule;
 pub mod tiling;
 
@@ -70,6 +103,7 @@ pub use engine::{ExecutionReport, JitSpmm, JitSpmmBuilder, SpmmOptions};
 pub use error::JitSpmmError;
 pub use kernel::{CompiledKernel, KernelKind, KernelMeta};
 pub use profile::ProfileCounts;
+pub use runtime::{PooledMatrix, WorkerPool};
 pub use schedule::{DynamicCounter, Partition, RowRange, Strategy};
 pub use tiling::{CcmPlan, ColumnTile, Segment, SegmentWidth};
 

@@ -204,6 +204,11 @@ pub fn measure_jit_emulated<T: Scalar>(
     if y.nrows() != engine.matrix().nrows() || y.ncols() != engine.d() {
         return Err(JitSpmmError::ShapeMismatch("dense output shape".into()));
     }
+    // A dynamically dispatched kernel claims rows from the engine's shared
+    // counter; reset it exactly as a native launch would, so emulation after
+    // a previous execution does not observe an exhausted counter (and
+    // silently compute nothing).
+    let _launch = engine.begin_launch();
     let mut emulator = Emulator::new();
     let args: Vec<u64> = match engine.kernel().kind() {
         crate::kernel::KernelKind::StaticRange => vec![

@@ -1,0 +1,255 @@
+//! Job descriptors bridging the engine to the worker pool, and the pooled
+//! output buffers that make repeated [`crate::JitSpmm::execute`] calls
+//! allocation-free.
+
+use crate::kernel::CompiledKernel;
+use crate::runtime::pool::lock;
+use crate::runtime::WorkerPool;
+use crate::schedule::RowRange;
+use jitspmm_sparse::{DenseMatrix, Scalar};
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Dispatch a static-range kernel over the pool: one task per partition
+/// range, each invoking `fn(row_start, row_end, x, y)` on the compiled code.
+/// Returns the job's critical-path (max per-participant) kernel time.
+///
+/// # Safety
+///
+/// Same contract as [`CompiledKernel::call_static`] for every range: the CSR
+/// arrays the kernel embeds must be alive, `x`/`y` must match the compiled
+/// shapes, and the ranges must be pairwise disjoint.
+pub(crate) unsafe fn run_static<T: Scalar>(
+    pool: &WorkerPool,
+    kernel: &CompiledKernel<T>,
+    ranges: &[RowRange],
+    x: *const T,
+    y: *mut T,
+) -> Duration {
+    // Raw pointers are not `Sync`; smuggle them as integers (the kernel call
+    // re-types them). The shapes were validated by the caller.
+    let x_addr = x as usize;
+    let y_addr = y as usize;
+    pool.run(ranges.len(), &move |index| {
+        let range = ranges[index];
+        if range.is_empty() {
+            return;
+        }
+        // SAFETY: forwarded from the caller's contract; ranges are disjoint
+        // so no two tasks write the same output rows.
+        unsafe {
+            kernel.call_static(
+                range.start as u64,
+                range.end as u64,
+                x_addr as *const T,
+                y_addr as *mut T,
+            );
+        }
+    })
+}
+
+/// Dispatch a dynamic-dispatch kernel over the pool: `lanes` identical tasks
+/// each running the kernel's embedded `lock xadd` claim loop until the rows
+/// are exhausted. Returns the job's critical-path kernel time.
+///
+/// # Safety
+///
+/// Same contract as [`CompiledKernel::call_dynamic`]; additionally the
+/// engine's dynamic counter must have been reset since the last launch.
+pub(crate) unsafe fn run_dynamic<T: Scalar>(
+    pool: &WorkerPool,
+    kernel: &CompiledKernel<T>,
+    lanes: usize,
+    x: *const T,
+    y: *mut T,
+) -> Duration {
+    let x_addr = x as usize;
+    let y_addr = y as usize;
+    pool.run(lanes, &move |_index| {
+        // SAFETY: forwarded from the caller's contract; the shared counter
+        // hands out disjoint row batches.
+        unsafe { kernel.call_dynamic(x_addr as *const T, y_addr as *mut T) };
+    })
+}
+
+/// How many spare output buffers an engine keeps around. Engines produce one
+/// output shape only, so a small stack covers every realistic pattern of
+/// outstanding results.
+const MAX_POOLED_BUFFERS: usize = 8;
+
+/// A recycling pool of output buffers, one per engine.
+///
+/// The JIT kernels overwrite every element of the output (each row's
+/// accumulator segments are stored unconditionally, including for empty
+/// rows), so recycled buffers are handed back *without* re-zeroing — reuse
+/// costs neither an allocation nor a memset.
+#[derive(Debug)]
+pub(crate) struct BufferPool<T> {
+    free: Mutex<Vec<Vec<T>>>,
+}
+
+impl<T: Scalar> BufferPool<T> {
+    pub(crate) fn new() -> BufferPool<T> {
+        BufferPool { free: Mutex::new(Vec::new()) }
+    }
+
+    /// A `rows x cols` matrix, recycled when possible. The contents are
+    /// unspecified (stale values from a previous execution); the caller must
+    /// overwrite every element before exposing them.
+    pub(crate) fn acquire(&self, rows: usize, cols: usize) -> DenseMatrix<T> {
+        let len = rows * cols;
+        let mut free = lock(&self.free);
+        while let Some(buffer) = free.pop() {
+            if buffer.len() == len {
+                return DenseMatrix::from_vec(rows, cols, buffer);
+            }
+            // Shape changed (possible only if the pool is shared across
+            // engines in the future); discard mismatched buffers.
+        }
+        drop(free);
+        DenseMatrix::from_vec(rows, cols, vec![T::ZERO; len])
+    }
+
+    fn release(&self, buffer: Vec<T>) {
+        let mut free = lock(&self.free);
+        if free.len() < MAX_POOLED_BUFFERS {
+            free.push(buffer);
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn spare_buffers(&self) -> usize {
+        lock(&self.free).len()
+    }
+}
+
+/// An output matrix borrowed from an engine's buffer pool.
+///
+/// Dereferences to [`DenseMatrix`], so it can be read, compared and passed
+/// anywhere a `&DenseMatrix` is expected. Dropping it returns the underlying
+/// buffer to the engine for reuse, which is what makes repeated
+/// [`crate::JitSpmm::execute`] calls allocation-free in steady state; call
+/// [`PooledMatrix::into_dense`] to detach the buffer and keep it instead.
+pub struct PooledMatrix<T: Scalar> {
+    matrix: Option<DenseMatrix<T>>,
+    pool: Arc<BufferPool<T>>,
+}
+
+impl<T: Scalar> PooledMatrix<T> {
+    pub(crate) fn new(matrix: DenseMatrix<T>, pool: Arc<BufferPool<T>>) -> PooledMatrix<T> {
+        PooledMatrix { matrix: Some(matrix), pool }
+    }
+
+    /// Detach the matrix from the pool, keeping the buffer indefinitely.
+    pub fn into_dense(mut self) -> DenseMatrix<T> {
+        self.matrix.take().expect("matrix present until drop")
+    }
+}
+
+impl<T: Scalar> Deref for PooledMatrix<T> {
+    type Target = DenseMatrix<T>;
+
+    fn deref(&self) -> &DenseMatrix<T> {
+        self.matrix.as_ref().expect("matrix present until drop")
+    }
+}
+
+impl<T: Scalar> DerefMut for PooledMatrix<T> {
+    fn deref_mut(&mut self) -> &mut DenseMatrix<T> {
+        self.matrix.as_mut().expect("matrix present until drop")
+    }
+}
+
+impl<T: Scalar> Drop for PooledMatrix<T> {
+    fn drop(&mut self) {
+        if let Some(matrix) = self.matrix.take() {
+            self.pool.release(matrix.into_vec());
+        }
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for PooledMatrix<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.deref().fmt(f)
+    }
+}
+
+impl<T: Scalar> Clone for PooledMatrix<T> {
+    fn clone(&self) -> PooledMatrix<T> {
+        PooledMatrix { matrix: self.matrix.clone(), pool: Arc::clone(&self.pool) }
+    }
+}
+
+impl<T: Scalar> PartialEq for PooledMatrix<T> {
+    fn eq(&self, other: &PooledMatrix<T>) -> bool {
+        self.deref() == other.deref()
+    }
+}
+
+impl<T: Scalar> PartialEq<DenseMatrix<T>> for PooledMatrix<T> {
+    fn eq(&self, other: &DenseMatrix<T>) -> bool {
+        self.deref() == other
+    }
+}
+
+impl<T: Scalar> PartialEq<PooledMatrix<T>> for DenseMatrix<T> {
+    fn eq(&self, other: &PooledMatrix<T>) -> bool {
+        self == other.deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_recycled() {
+        let pool = Arc::new(BufferPool::<f32>::new());
+        let first = pool.acquire(4, 4);
+        let first_ptr = first.as_ptr();
+        drop(PooledMatrix::new(first, Arc::clone(&pool)));
+        assert_eq!(pool.spare_buffers(), 1);
+        let second = pool.acquire(4, 4);
+        assert_eq!(second.as_ptr(), first_ptr, "drop must return the buffer for reuse");
+        assert_eq!(pool.spare_buffers(), 0);
+    }
+
+    #[test]
+    fn mismatched_shapes_are_not_reused() {
+        let pool = Arc::new(BufferPool::<f32>::new());
+        drop(PooledMatrix::new(pool.acquire(2, 2), Arc::clone(&pool)));
+        let bigger = pool.acquire(8, 8);
+        assert_eq!(bigger.as_slice().len(), 64);
+    }
+
+    #[test]
+    fn into_dense_detaches_from_the_pool() {
+        let pool = Arc::new(BufferPool::<f32>::new());
+        let pooled = PooledMatrix::new(pool.acquire(3, 3), Arc::clone(&pool));
+        let dense = pooled.into_dense();
+        assert_eq!(dense.nrows(), 3);
+        assert_eq!(pool.spare_buffers(), 0, "detached buffers never return");
+    }
+
+    #[test]
+    fn pool_size_is_bounded() {
+        let pool = Arc::new(BufferPool::<f32>::new());
+        let held: Vec<PooledMatrix<f32>> = (0..20)
+            .map(|_| PooledMatrix::new(pool.acquire(2, 2), Arc::clone(&pool)))
+            .collect();
+        drop(held);
+        assert!(pool.spare_buffers() <= MAX_POOLED_BUFFERS);
+    }
+
+    #[test]
+    fn pooled_matrix_comparisons() {
+        let pool = Arc::new(BufferPool::<f32>::new());
+        let a = PooledMatrix::new(pool.acquire(2, 2), Arc::clone(&pool));
+        let b = a.clone();
+        assert_eq!(a, b);
+        let dense = a.clone().into_dense();
+        assert_eq!(a, dense);
+        assert_eq!(dense, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! The persistent execution runtime: worker pool, job dispatch and output
+//! buffer recycling.
+//!
+//! JITSPMM's compile-once/run-many design (§II of the paper) makes
+//! steady-state `execute()` latency the product. Before this module existed,
+//! every [`crate::JitSpmm::execute_into`] call spawned and joined fresh OS
+//! threads through `std::thread::scope`, and every [`crate::JitSpmm::execute`]
+//! allocated and zeroed a new output matrix — fixed overhead that dwarfs the
+//! kernel itself on small and mid-sized matrices. The runtime replaces both:
+//!
+//! * [`WorkerPool`] ([`pool`]) keeps a set of parked threads alive for the
+//!   process (or per pool handle) and wakes them per job through an
+//!   epoch/condvar barrier; workers claim work items from an atomic counter,
+//!   mirroring the paper's `lock xadd` dynamic row dispatch one level up.
+//! * [`dispatch`] converts a compiled kernel plus its schedule (static
+//!   [`crate::RowRange`]s or the dynamic counter loop) into pool jobs and
+//!   measures the kernel's critical-path time separately from dispatch
+//!   overhead (see [`crate::ExecutionReport`]).
+//! * [`PooledMatrix`] recycles output buffers through the engine, so
+//!   repeated `execute()` calls perform no allocation — and, because the
+//!   generated kernels overwrite every output element (empty rows included),
+//!   no memset either.
+//!
+//! The AOT baselines ([`crate::baseline`]) run on the same pool, keeping the
+//! paper's JIT-vs-AOT comparisons apples-to-apples: both sides pay the same
+//! dispatch cost.
+
+pub mod pool;
+
+pub(crate) mod dispatch;
+
+pub use dispatch::PooledMatrix;
+pub use pool::WorkerPool;

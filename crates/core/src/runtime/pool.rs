@@ -1,0 +1,529 @@
+//! The persistent worker pool: threads are spawned once, park on a condvar,
+//! and are woken per job by an epoch bump.
+//!
+//! # Why not `std::thread::scope` per call?
+//!
+//! JITSPMM's premise is compile-once/run-many: code generation is amortized,
+//! so steady-state `execute()` latency *is* the product. Spawning and joining
+//! OS threads costs tens of microseconds — more than the SpMM kernel itself
+//! on small and mid-sized matrices. The pool replaces that with a condvar
+//! wake of already-running, parked threads: submission publishes a job
+//! descriptor (an erased `fn(task_index)` plus a task count), bumps an epoch,
+//! and wakes the workers; each worker claims task indices from a shared
+//! atomic counter (the same `lock xadd` discipline the paper's dynamic
+//! row-split uses, applied one level up), runs them, and checks in. The
+//! submitting thread participates in the claim loop too, so a pool of `N`
+//! workers executes a job with up to `N + 1` lanes and a zero-worker pool
+//! degenerates to inline execution.
+//!
+//! One job runs at a time per pool (submission is serialized by a mutex);
+//! engines sharing a pool therefore interleave executions instead of
+//! oversubscribing the machine.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Whether the current thread is executing a pool task. A task that
+    /// re-enters `WorkerPool::run` (directly, or through an engine or
+    /// baseline) falls back to inline execution. The flag is deliberately
+    /// per-thread rather than per-pool: same-pool re-entry would deadlock on
+    /// the job mutexes, and a cross-pool submission chain can cycle back to
+    /// the originating pool through another pool's workers — a cycle no
+    /// per-pool bookkeeping can see from a single thread. Running any nested
+    /// job inline trades its parallelism for guaranteed deadlock freedom.
+    static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII guard marking the current thread as executing pool tasks.
+struct TaskScope {
+    previous: bool,
+}
+
+impl TaskScope {
+    fn enter() -> TaskScope {
+        TaskScope { previous: IN_POOL_TASK.replace(true) }
+    }
+}
+
+impl Drop for TaskScope {
+    fn drop(&mut self) {
+        IN_POOL_TASK.set(self.previous);
+    }
+}
+
+/// Lock a mutex, ignoring poisoning (a panicked task must not wedge the
+/// pool for every other engine sharing it). Shared by the runtime and the
+/// engine for every launch-path mutex.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The type every job is erased to: `call(data, task_index)`.
+type ErasedTask = unsafe fn(*const (), usize);
+
+/// Job slot shared between the submitter and the workers. All fields are
+/// published under [`Shared::state`]'s mutex before the epoch bump that
+/// makes workers read them.
+struct JobState {
+    /// Generation counter; a bump signals a new job.
+    epoch: u64,
+    /// Tells workers to exit their loop (set once, on pool drop).
+    shutdown: bool,
+    /// Number of task indices in the current job.
+    tasks: usize,
+    /// Erased pointer to the job closure (valid only while the submitting
+    /// `run` call is blocked, which is exactly when workers may use it).
+    data: usize,
+    /// The monomorphized trampoline that re-types `data` (an [`ErasedTask`]).
+    call: usize,
+    /// Remaining worker participation slots for the current job. A job with
+    /// fewer tasks than the pool has workers only needs that many workers;
+    /// the rest go straight back to sleep without joining the job.
+    participants: usize,
+    /// Participating workers that have not yet checked in for the current
+    /// job (equals the initial `participants`; the submitter waits for it
+    /// to reach zero).
+    active: usize,
+}
+
+struct Shared {
+    state: Mutex<JobState>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// The submitter parks here until every worker has checked in.
+    done_cv: Condvar,
+    /// Task-index claim counter (reset per job).
+    next: AtomicUsize,
+    /// Maximum per-participant busy time of the current job, in nanoseconds.
+    busy_ns: AtomicU64,
+    /// Payload of the first task panic of the current job, re-raised by the
+    /// submitter once the job has fully completed.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Shared {
+    /// Record a task panic (first payload wins).
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = lock(&self.panic_payload);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+struct PoolInner {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes jobs: one at a time per pool.
+    submit: Mutex<()>,
+}
+
+impl Drop for PoolInner {
+    fn drop(&mut self) {
+        {
+            let mut state = lock(&self.shared.state);
+            state.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A persistent pool of parked worker threads.
+///
+/// Cloning is cheap (an `Arc` bump) and yields a handle to the same pool;
+/// the threads exit when the last handle is dropped. Engines built through
+/// [`crate::JitSpmmBuilder`] share the process-wide [`WorkerPool::global`]
+/// pool unless one is supplied explicitly, so any number of engines can
+/// coexist without multiplying threads.
+///
+/// # Example
+///
+/// ```
+/// use jitspmm::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = WorkerPool::new(2);
+/// let hits = AtomicUsize::new(0);
+/// pool.run(16, &|_task| {
+///     hits.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 16);
+/// ```
+#[derive(Clone)]
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("workers", &self.size()).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `workers` threads (`0` = one per hardware thread;
+    /// for a pool that spawns no threads at all, see [`WorkerPool::inline`]).
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = if workers == 0 { default_parallelism() } else { workers };
+        WorkerPool::with_exact_workers(workers)
+    }
+
+    /// A pool of zero threads: every job runs inline on the submitting
+    /// thread. Useful for tests (no threads are ever spawned) and for
+    /// comparing against true parallelism.
+    pub fn inline() -> WorkerPool {
+        WorkerPool::with_exact_workers(0)
+    }
+
+    fn with_exact_workers(workers: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(JobState {
+                epoch: 0,
+                shutdown: false,
+                tasks: 0,
+                data: 0,
+                call: 0,
+                participants: 0,
+                active: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            next: AtomicUsize::new(0),
+            busy_ns: AtomicU64::new(0),
+            panic_payload: Mutex::new(None),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("jitspmm-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool { inner: Arc::new(PoolInner { shared, handles, submit: Mutex::new(()) }) }
+    }
+
+    /// The process-wide default pool (one worker per hardware thread),
+    /// created on first use and kept alive for the process lifetime.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkerPool::new(0))
+    }
+
+    /// Number of worker threads in the pool (the submitting thread
+    /// participates in every job on top of these).
+    pub fn size(&self) -> usize {
+        self.inner.handles.len()
+    }
+
+    /// Resolve a requested lane count against this pool: `0` means one lane
+    /// per pool worker (minimum one, so inline pools still get a lane).
+    /// Shared by the engine and the AOT baselines so both sides of the
+    /// paper's comparisons resolve parallelism identically.
+    pub fn lanes_for(&self, requested: usize) -> usize {
+        if requested > 0 {
+            requested
+        } else {
+            self.size().max(1)
+        }
+    }
+
+    /// Run one job: `task` is invoked exactly once for every index in
+    /// `0..tasks`, distributed over the pool's workers plus the calling
+    /// thread, which blocks until the job is complete. Returns the maximum
+    /// per-participant busy time — the job's critical-path execution time,
+    /// excluding wake-up and join overhead.
+    ///
+    /// Jobs are serialized: concurrent `run` calls from different threads
+    /// queue on an internal mutex, so a shared pool never oversubscribes.
+    /// Re-entrant calls — a task invoking `run` on *any* pool (directly, or
+    /// through an engine or baseline) — execute the nested job inline on the
+    /// calling thread instead of risking deadlock on the job mutexes; a
+    /// nested job therefore runs single-lane even when targeting a
+    /// different, idle pool.
+    ///
+    /// # Panics
+    ///
+    /// If any task panics, every remaining task still runs (the pool must
+    /// never be wedged by a bad job) and the first panic payload is
+    /// re-raised here after the job completes.
+    pub fn run<F: Fn(usize) + Sync>(&self, tasks: usize, task: &F) -> Duration {
+        if tasks == 0 {
+            return Duration::ZERO;
+        }
+        // Re-types the erased data pointer back to `&F`. Sound because the
+        // pointer is only dereferenced between job publication and the final
+        // check-in, and `run` does not return before the latter.
+        unsafe fn trampoline<F: Fn(usize)>(data: *const (), index: usize) {
+            (*(data as *const F))(index);
+        }
+
+        let inner = &self.inner;
+        if IN_POOL_TASK.get() {
+            // Re-entrant submission from inside a pool task (this pool or
+            // any other — see IN_POOL_TASK): run nested work inline on this
+            // thread rather than risk a job-mutex deadlock cycle.
+            let start = Instant::now();
+            for index in 0..tasks {
+                task(index);
+            }
+            return start.elapsed();
+        }
+
+        // One job at a time per pool: the submit lock serializes every run,
+        // including the inline fast path below, so a shared pool never
+        // oversubscribes the machine.
+        let _job_guard = lock(&inner.submit);
+        if inner.handles.is_empty() || tasks == 1 {
+            // Zero-worker pool, or a single-task job: the submitting thread
+            // runs the work inline. For one task this is strictly faster
+            // than a worker handoff (no wake-up, no cross-thread latency),
+            // which matters for single-lane engines on small matrices.
+            let _scope = TaskScope::enter();
+            let start = Instant::now();
+            for index in 0..tasks {
+                task(index);
+            }
+            return start.elapsed();
+        }
+
+        // The submitter participates too, so `tasks` worker lanes already
+        // give the job `tasks + 1` claimants; more workers would only wake,
+        // claim nothing, and delay the join.
+        let participants = inner.handles.len().min(tasks);
+        let shared = &inner.shared;
+        {
+            let mut state = lock(&shared.state);
+            state.tasks = tasks;
+            state.data = task as *const F as usize;
+            state.call = trampoline::<F> as ErasedTask as usize;
+            state.participants = participants;
+            state.active = participants;
+            shared.next.store(0, Ordering::SeqCst);
+            shared.busy_ns.store(0, Ordering::Relaxed);
+            state.epoch += 1;
+            shared.work_cv.notify_all();
+        }
+
+        // Participate in the claim loop alongside the workers.
+        {
+            let _scope = TaskScope::enter();
+            let start = Instant::now();
+            loop {
+                let index = shared.next.fetch_add(1, Ordering::Relaxed);
+                if index >= tasks {
+                    break;
+                }
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(index))) {
+                    shared.record_panic(payload);
+                }
+            }
+            shared.busy_ns.fetch_max(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+
+        // Wait for every worker to check in; only then may the borrow of
+        // `task` end.
+        {
+            let mut state = lock(&shared.state);
+            while state.active > 0 {
+                state = shared
+                    .done_cv
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        }
+        if let Some(payload) = lock(&shared.panic_payload).take() {
+            resume_unwind(payload);
+        }
+        Duration::from_nanos(shared.busy_ns.load(Ordering::Relaxed))
+    }
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let (tasks, data, call) = {
+            let mut state = lock(&shared.state);
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen_epoch {
+                    if state.participants > 0 {
+                        // Claim one of the job's participation slots.
+                        state.participants -= 1;
+                        break;
+                    }
+                    // The job has all the workers it needs; skip it and go
+                    // back to sleep without touching the check-in count.
+                    seen_epoch = state.epoch;
+                }
+                state = shared
+                    .work_cv
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+            seen_epoch = state.epoch;
+            (state.tasks, state.data, state.call)
+        };
+        // SAFETY: `call` was produced from an `ErasedTask` by the submitter
+        // of epoch `seen_epoch`, which is still blocked in `run` until this
+        // thread checks in below, keeping `data` alive.
+        let call: ErasedTask = unsafe { std::mem::transmute::<usize, ErasedTask>(call) };
+        {
+            let _scope = TaskScope::enter();
+            let start = Instant::now();
+            loop {
+                let index = shared.next.fetch_add(1, Ordering::Relaxed);
+                if index >= tasks {
+                    break;
+                }
+                // SAFETY: as above; disjoint indices make concurrent calls
+                // safe.
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| unsafe { call(data as *const (), index) }));
+                if let Err(payload) = outcome {
+                    shared.record_panic(payload);
+                }
+            }
+            shared.busy_ns.fetch_max(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        let mut state = lock(&shared.state);
+        state.active -= 1;
+        if state.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = WorkerPool::new(3);
+        let flags: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(100, &|i| {
+            flags[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.run(0, &|_| panic!("must not run")), Duration::ZERO);
+    }
+
+    #[test]
+    fn inline_pool_runs_on_caller() {
+        let pool = WorkerPool::inline();
+        assert_eq!(pool.size(), 0);
+        let caller = std::thread::current().id();
+        pool.run(4, &|_| assert_eq!(std::thread::current().id(), caller));
+    }
+
+    #[test]
+    fn jobs_reuse_the_same_threads() {
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.run(8, &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 50 * 8);
+        assert_eq!(pool.size(), 2);
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize_correctly() {
+        let pool = WorkerPool::new(4);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..20 {
+                        pool.run(16, &|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 20 * 16);
+    }
+
+    #[test]
+    fn panicking_task_propagates_without_wedging() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 3 {
+                    panic!("boom in task 3");
+                }
+            });
+        }));
+        // The original payload must survive, not a generic pool message.
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "boom in task 3");
+        // The pool must still work afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.run(8, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn reentrant_run_from_a_task_executes_inline() {
+        let pool = WorkerPool::new(2);
+        let outer = AtomicUsize::new(0);
+        let inner_hits = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            outer.fetch_add(1, Ordering::Relaxed);
+            // A task submitting to its own pool must not deadlock; the
+            // nested job runs inline on this thread.
+            pool.run(3, &|_| {
+                inner_hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 4);
+        assert_eq!(inner_hits.load(Ordering::Relaxed), 4 * 3);
+    }
+
+    #[test]
+    fn busy_time_reflects_work() {
+        let pool = WorkerPool::new(2);
+        let busy = pool.run(2, &|_| std::thread::sleep(Duration::from_millis(5)));
+        assert!(busy >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn clones_share_the_pool_and_drop_cleanly() {
+        let pool = WorkerPool::new(1);
+        let clone = pool.clone();
+        drop(pool);
+        let hits = AtomicUsize::new(0);
+        clone.run(4, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+}

@@ -217,7 +217,17 @@ pub fn partition<T: Scalar>(matrix: &CsrMatrix<T>, strategy: Strategy, threads: 
 /// The shared counter used by dynamic row dispatching.
 ///
 /// The generated code performs `lock xadd` directly on the embedded address
-/// of this counter; the host resets it before each execution.
+/// of this counter.
+///
+/// # Invariant
+///
+/// The counter is engine-owned state shared by *every* launch of that
+/// engine's kernel — pooled, spawning, single-thread or emulated — and a
+/// dynamic kernel reads it before doing any work, so it must be back at row
+/// zero when a launch starts. The engine maintains this by resetting the
+/// counter unconditionally (for static kernels too, where the store is
+/// harmless) in one place, `JitSpmm::begin_launch`, rather than remembering
+/// to reset on each dynamic code path.
 #[derive(Debug, Default)]
 pub struct DynamicCounter {
     next: AtomicU64,

@@ -137,7 +137,7 @@ impl MachineState {
         self.of = false;
         self.zf = result == 0;
         self.sf = (result as i64) < 0;
-        self.pf = (result as u8).count_ones() % 2 == 0;
+        self.pf = (result as u8).count_ones().is_multiple_of(2);
     }
 
     fn set_add_flags(&mut self, a: u64, b: u64, result: u64) {
@@ -145,7 +145,7 @@ impl MachineState {
         self.zf = result == 0;
         self.sf = (result as i64) < 0;
         self.of = ((a ^ result) & (b ^ result)) >> 63 == 1;
-        self.pf = (result as u8).count_ones() % 2 == 0;
+        self.pf = (result as u8).count_ones().is_multiple_of(2);
     }
 
     fn set_sub_flags(&mut self, a: u64, b: u64, result: u64) {
@@ -153,7 +153,7 @@ impl MachineState {
         self.zf = result == 0;
         self.sf = (result as i64) < 0;
         self.of = ((a ^ b) & (a ^ result)) >> 63 == 1;
-        self.pf = (result as u8).count_ones() % 2 == 0;
+        self.pf = (result as u8).count_ones().is_multiple_of(2);
     }
 
     fn eval_cond(&self, cond: u8) -> bool {

@@ -425,8 +425,8 @@ mod tests {
         let y = m.spmv(&x);
         let xd = DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]);
         let yd = m.spmm_reference(&xd);
-        for i in 0..4 {
-            assert_eq!(y[i], yd.get(i, 0));
+        for (i, &v) in y.iter().enumerate() {
+            assert_eq!(v, yd.get(i, 0));
         }
     }
 

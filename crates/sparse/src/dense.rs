@@ -158,6 +158,16 @@ impl<T: Scalar> DenseMatrix<T> {
         self.data.iter_mut().for_each(|v| *v = T::ZERO);
     }
 
+    /// Consume the matrix and return its row-major buffer.
+    ///
+    /// Together with [`DenseMatrix::from_vec`] this lets callers recycle
+    /// output storage across computations (the JITSPMM engine does so
+    /// internally: its kernels overwrite every output element, so a reused
+    /// buffer needs neither a fresh allocation nor a memset).
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
     /// Largest absolute element-wise difference to `other`.
     ///
     /// # Panics

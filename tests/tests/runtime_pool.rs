@@ -1,0 +1,233 @@
+//! Integration tests for the persistent worker-pool runtime: many engines
+//! sharing one pool, concurrent submission from multiple host threads, all
+//! four workload-division strategies on the pooled path, engine-drop
+//! behaviour, and output-buffer recycling.
+
+use jitspmm::baseline::{mkl_like, vectorized};
+use jitspmm::{JitSpmmBuilder, Strategy, WorkerPool};
+use jitspmm_integration_tests::{host_supports_jit, pathological, small_skewed};
+use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
+
+fn all_strategies() -> [Strategy; 4] {
+    [
+        Strategy::RowSplitStatic,
+        Strategy::RowSplitDynamic { batch: 32 },
+        Strategy::NnzSplit,
+        Strategy::MergeSplit,
+    ]
+}
+
+#[test]
+fn all_strategies_correct_on_the_pooled_path() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let pool = WorkerPool::new(3);
+    for a in [small_skewed(), pathological()] {
+        let x = DenseMatrix::random(a.ncols(), 16, 21);
+        let expected = a.spmm_reference(&x);
+        for strategy in all_strategies() {
+            // Lanes both below and above the pool's worker count.
+            for threads in [1usize, 2, 7] {
+                let engine = JitSpmmBuilder::new()
+                    .strategy(strategy)
+                    .threads(threads)
+                    .pool(pool.clone())
+                    .build(&a, 16)
+                    .unwrap();
+                let (y, report) = engine.execute(&x).unwrap();
+                assert!(
+                    y.approx_eq(&expected, 1e-4),
+                    "strategy {strategy}, {threads} lanes: diff {}",
+                    y.max_abs_diff(&expected)
+                );
+                assert_eq!(report.threads, threads);
+                assert_eq!(report.elapsed, report.kernel + report.dispatch);
+            }
+        }
+    }
+}
+
+#[test]
+fn many_engines_share_one_pool_concurrently() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    // One pool, four host threads, each owning two engines with different
+    // strategies over its own matrix; interleaved executes must all agree
+    // with the reference. This exercises job serialization under contention.
+    let pool = WorkerPool::new(2);
+    std::thread::scope(|scope| {
+        for worker in 0..4u64 {
+            let pool = pool.clone();
+            scope.spawn(move || {
+                let a = generate::rmat::<f32>(8, 4_000, generate::RmatConfig::GRAPH500, worker);
+                let strategies = all_strategies();
+                let engines: Vec<_> = (0..2)
+                    .map(|i| {
+                        JitSpmmBuilder::new()
+                            .strategy(strategies[(worker as usize + i) % 4])
+                            .threads(2)
+                            .pool(pool.clone())
+                            .build(&a, 8)
+                            .unwrap()
+                    })
+                    .collect();
+                for round in 0..10u64 {
+                    let x = DenseMatrix::random(a.ncols(), 8, worker * 100 + round);
+                    let expected = a.spmm_reference(&x);
+                    for engine in &engines {
+                        let (y, _) = engine.execute(&x).unwrap();
+                        assert!(
+                            y.approx_eq(&expected, 1e-4),
+                            "worker {worker}, round {round}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn one_engine_shared_across_threads_is_race_free() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    // Regression test: the dynamic-dispatch counter is engine-shared state;
+    // concurrent execute() calls on ONE engine (it is Sync) must serialize
+    // their reset-then-claim launches, or a reset can interleave with a
+    // running claim loop and an execute returns stale buffer contents.
+    let a = generate::rmat::<f32>(9, 8_000, generate::RmatConfig::GRAPH500, 77);
+    let engine = JitSpmmBuilder::new()
+        .strategy(Strategy::RowSplitDynamic { batch: 16 })
+        .threads(2)
+        .pool(WorkerPool::new(2))
+        .build(&a, 8)
+        .unwrap();
+    let x = DenseMatrix::random(a.ncols(), 8, 5);
+    let expected = a.spmm_reference(&x);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for round in 0..15 {
+                    let (y, _) = engine.execute(&x).unwrap();
+                    assert!(y.approx_eq(&expected, 1e-4), "round {round}");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn dropping_an_engine_does_not_wedge_the_pool() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let pool = WorkerPool::new(2);
+    let a = generate::uniform::<f32>(200, 200, 2_000, 5);
+    let x = DenseMatrix::random(200, 8, 6);
+    {
+        let engine = JitSpmmBuilder::new().pool(pool.clone()).threads(2).build(&a, 8).unwrap();
+        let (y, _) = engine.execute(&x).unwrap();
+        assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+        // `y` (a pooled buffer borrowed from `engine`) is still alive here;
+        // dropping the engine first must be fine.
+    }
+    // The pool keeps serving raw jobs and fresh engines after the drop.
+    let hits = std::sync::atomic::AtomicUsize::new(0);
+    pool.run(32, &|_| {
+        hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    });
+    assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 32);
+    let engine2 = JitSpmmBuilder::new().pool(pool.clone()).threads(2).build(&a, 8).unwrap();
+    let (y2, _) = engine2.execute(&x).unwrap();
+    assert!(y2.approx_eq(&a.spmm_reference(&x), 1e-4));
+}
+
+#[test]
+fn pooled_output_outlives_the_engine() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let a = generate::uniform::<f32>(64, 64, 600, 9);
+    let x = DenseMatrix::random(64, 4, 1);
+    let expected = a.spmm_reference(&x);
+    let y = {
+        let engine = JitSpmmBuilder::new().threads(2).build(&a, 4).unwrap();
+        let (y, _) = engine.execute(&x).unwrap();
+        y
+    };
+    // The engine is gone; the pooled result must still be readable, and
+    // detaching it must yield a normal DenseMatrix.
+    assert!(y.approx_eq(&expected, 1e-4));
+    let dense = y.into_dense();
+    assert!(dense.approx_eq(&expected, 1e-4));
+}
+
+#[test]
+fn steady_state_execute_reuses_buffers_across_strategies() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let a = small_skewed();
+    for strategy in all_strategies() {
+        let engine = JitSpmmBuilder::new().strategy(strategy).threads(2).build(&a, 16).unwrap();
+        let x1 = DenseMatrix::random(a.ncols(), 16, 1);
+        let x2 = DenseMatrix::random(a.ncols(), 16, 2);
+        let first_ptr = {
+            let (y, _) = engine.execute(&x1).unwrap();
+            y.as_ptr()
+        };
+        // The recycled (stale, non-zeroed) buffer must produce exact results
+        // for a different input.
+        let (y2, _) = engine.execute(&x2).unwrap();
+        assert_eq!(y2.as_ptr(), first_ptr, "{strategy}: buffer must be recycled");
+        assert!(y2.approx_eq(&a.spmm_reference(&x2), 1e-4), "{strategy}");
+    }
+}
+
+#[test]
+fn baselines_run_on_an_explicit_pool() {
+    let pool = WorkerPool::new(2);
+    let a = generate::rmat::<f32>(8, 3_000, generate::RmatConfig::WEB, 3);
+    let x = DenseMatrix::random(a.ncols(), 8, 4);
+    let expected = a.spmm_reference(&x);
+    for strategy in all_strategies() {
+        let mut y = DenseMatrix::zeros(a.nrows(), 8);
+        vectorized::spmm_vectorized_on(&pool, &a, &x, &mut y, strategy, 3);
+        assert!(y.approx_eq(&expected, 1e-4), "vectorized, {strategy}");
+    }
+    let mut y = DenseMatrix::zeros(a.nrows(), 8);
+    mkl_like::spmm_mkl_like_f32_on(&pool, &a, &x, &mut y, 3);
+    assert!(y.approx_eq(&expected, 1e-4), "mkl-like");
+}
+
+#[test]
+fn inline_pool_produces_identical_results() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    // A zero-worker pool runs everything on the submitting thread; results
+    // must be identical to a threaded pool (bitwise, since the partition is
+    // the same).
+    let a = CsrMatrix::<f32>::from_triplets(
+        50,
+        50,
+        &(0..200).map(|i| (i % 50, (i * 7) % 50, i as f32 * 0.5 + 1.0)).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let x = DenseMatrix::random(50, 8, 11);
+    let inline = JitSpmmBuilder::new().pool(WorkerPool::inline()).threads(2).build(&a, 8).unwrap();
+    let threaded = JitSpmmBuilder::new().pool(WorkerPool::new(2)).threads(2).build(&a, 8).unwrap();
+    let (y_inline, _) = inline.execute(&x).unwrap();
+    let (y_threaded, _) = threaded.execute(&x).unwrap();
+    assert_eq!(y_inline, y_threaded);
+}
