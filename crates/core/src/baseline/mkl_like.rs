@@ -9,7 +9,7 @@
 //! `d`, and a row whose `d` exceeds one tile makes additional passes over the
 //! row's non-zeros with the associated re-loads of `col_indices`/`vals`.
 
-use crate::runtime::WorkerPool;
+use crate::runtime::{JobSpec, WorkerPool};
 use crate::schedule::DynamicCounter;
 use jitspmm_sparse::{CsrMatrix, DenseMatrix};
 
@@ -58,7 +58,9 @@ pub fn spmm_mkl_like_f32_on(
     let use_avx2 = std::arch::is_x86_feature_detected!("avx2")
         && std::arch::is_x86_feature_detected!("fma");
 
-    pool.run(threads, &|_lane| loop {
+    // Cap the job to its own lane count so a concurrently running engine
+    // (or another baseline) keeps its share of the pool.
+    pool.run_spec(JobSpec::new(threads).max_lanes(threads), &|_lane| loop {
         let start = counter.claim(BATCH as u64) as usize;
         if start >= nrows {
             break;
@@ -114,7 +116,9 @@ pub fn spmm_mkl_like_f64_on(
     let counter = DynamicCounter::new();
     let use_avx512 = std::arch::is_x86_feature_detected!("avx512f");
 
-    pool.run(threads, &|_lane| loop {
+    // Cap the job to its own lane count so a concurrently running engine
+    // (or another baseline) keeps its share of the pool.
+    pool.run_spec(JobSpec::new(threads).max_lanes(threads), &|_lane| loop {
         let start = counter.claim(BATCH as u64) as usize;
         if start >= nrows {
             break;

@@ -8,7 +8,7 @@
 //! so every non-zero iteration re-walks the output row through memory — the
 //! exact overhead coarse-grain column merging removes in the JIT kernel.
 
-use crate::runtime::WorkerPool;
+use crate::runtime::{JobSpec, WorkerPool};
 use crate::schedule::{partition, DynamicCounter, Strategy};
 use jitspmm_sparse::{CsrMatrix, DenseMatrix, Scalar};
 
@@ -54,7 +54,9 @@ pub fn spmm_vectorized_on<T: Scalar>(
         Strategy::RowSplitDynamic { batch } => {
             let counter = DynamicCounter::new();
             let nrows = a.nrows();
-            pool.run(threads, &|_lane| loop {
+            // Cap the job to its own lane count so a concurrently running
+            // engine (or another baseline) keeps its share of the pool.
+            pool.run_spec(JobSpec::new(threads).max_lanes(threads), &|_lane| loop {
                 let start = counter.claim(batch as u64) as usize;
                 if start >= nrows {
                     break;
@@ -68,7 +70,7 @@ pub fn spmm_vectorized_on<T: Scalar>(
         _ => {
             let part = partition(a, strategy, threads);
             let ranges = &part.ranges;
-            pool.run(ranges.len(), &|index| {
+            pool.run_spec(JobSpec::new(ranges.len()).max_lanes(threads), &|index| {
                 let range = ranges[index];
                 if range.is_empty() {
                     return;

@@ -5,14 +5,43 @@ use crate::codegen::{
 };
 use crate::error::JitSpmmError;
 use crate::kernel::{CompiledKernel, KernelKind, KernelMeta};
-use crate::runtime::dispatch::{self, BufferPool};
-use crate::runtime::{PooledMatrix, WorkerPool};
+use crate::runtime::dispatch::{self, BufferPool, KernelJob};
+use crate::runtime::{JobHandle, PooledMatrix, WorkerPool};
 use crate::schedule::{partition, DynamicCounter, Partition, Strategy};
 use jitspmm_asm::{CpuFeatures, IsaLevel};
 use jitspmm_sparse::{CsrMatrix, DenseMatrix, Scalar};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 use std::time::{Duration, Instant};
+
+/// A small process-unique id for the current thread, used to detect a thread
+/// re-acquiring an engine's launch lock it already holds (`std::sync::Mutex`
+/// would deadlock). `ThreadId::as_u64` is unstable, so mint our own.
+fn launch_thread_token() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TOKEN: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TOKEN.with(|token| *token)
+}
+
+/// Holds an engine's launch lock for the duration of one launch, recording
+/// which thread holds it so a same-thread re-entry (e.g. `execute` while an
+/// [`ExecutionHandle`] is outstanding) fails with
+/// [`JitSpmmError::LaunchInProgress`] instead of deadlocking.
+pub(crate) struct LaunchGuard<'a> {
+    owner: &'a AtomicU64,
+    _guard: MutexGuard<'a, ()>,
+}
+
+impl Drop for LaunchGuard<'_> {
+    fn drop(&mut self) {
+        // Cleared while the mutex is still held, so a racing thread can at
+        // worst read 0 and fall through to a blocking lock that is about to
+        // succeed.
+        self.owner.store(0, Ordering::Release);
+    }
+}
 
 /// Configuration of a [`JitSpmm`] engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,6 +206,10 @@ pub struct JitSpmm<'a, T: Scalar> {
     /// engine is `Sync`) must not interleave a reset with a running claim
     /// loop.
     launch: Mutex<()>,
+    /// [`launch_thread_token`] of the thread currently holding `launch`
+    /// (0 = unheld); lets a same-thread re-entry fail fast instead of
+    /// self-deadlocking.
+    launch_owner: AtomicU64,
     pool: WorkerPool,
     output_pool: Arc<BufferPool<T>>,
 }
@@ -273,6 +306,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
             partition,
             counter,
             launch: Mutex::new(()),
+            launch_owner: AtomicU64::new(0),
             pool,
             output_pool: Arc::new(BufferPool::new()),
         })
@@ -327,10 +361,31 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
     /// kernels it is a harmless store to memory nothing reads), and under
     /// the launch lock, so a concurrent launch of the same engine can never
     /// interleave a reset with a running claim loop.
-    pub(crate) fn begin_launch(&self) -> MutexGuard<'_, ()> {
-        let guard = crate::runtime::pool::lock(&self.launch);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JitSpmmError::LaunchInProgress`] if the calling thread
+    /// already holds the launch lock (it is waiting on — or holding — an
+    /// [`ExecutionHandle`] of this engine; blocking would self-deadlock),
+    /// or, with `blocking` false, if any other launch is in flight. With
+    /// `blocking` true a launch held by *another* thread is waited for, as
+    /// the blocking execute paths always have.
+    pub(crate) fn begin_launch(&self, blocking: bool) -> Result<LaunchGuard<'_>, JitSpmmError> {
+        let guard = match self.launch.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                let same_thread =
+                    self.launch_owner.load(Ordering::Acquire) == launch_thread_token();
+                if !blocking || same_thread {
+                    return Err(JitSpmmError::LaunchInProgress);
+                }
+                crate::runtime::pool::lock(&self.launch)
+            }
+        };
+        self.launch_owner.store(launch_thread_token(), Ordering::Release);
         self.counter.reset();
-        guard
+        Ok(LaunchGuard { owner: &self.launch_owner, _guard: guard })
     }
 
     /// Compute `Y = A * X` into an output buffer borrowed from the engine's
@@ -359,6 +414,99 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         Ok((y, report))
     }
 
+    /// Compute `Y = A * X` without blocking: the kernel launch is submitted
+    /// to the worker pool and runs in the background while this call
+    /// returns. Join it with [`ExecutionHandle::wait`] to obtain the result
+    /// and its [`ExecutionReport`]; the waiting thread steals remaining
+    /// kernel tasks, so submit-then-wait costs no more than the blocking
+    /// [`JitSpmm::execute`].
+    ///
+    /// The job is capped to this engine's lane count
+    /// ([`JitSpmmBuilder::threads`]), so several engines sharing a pool can
+    /// execute **concurrently on disjoint worker subsets** — submit one
+    /// handle per engine, then wait on all of them, and the launches overlap
+    /// instead of serializing:
+    ///
+    /// ```
+    /// use jitspmm::{JitSpmmBuilder, WorkerPool};
+    /// use jitspmm_sparse::{generate, DenseMatrix};
+    ///
+    /// # fn main() -> Result<(), jitspmm::JitSpmmError> {
+    /// let pool = WorkerPool::new(2);
+    /// let a = generate::uniform::<f32>(200, 200, 2_000, 1);
+    /// let b = generate::uniform::<f32>(150, 200, 1_500, 2);
+    /// let eng_a = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&a, 8)?;
+    /// let eng_b = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&b, 8)?;
+    /// let x = DenseMatrix::random(200, 8, 3);
+    /// let ha = eng_a.execute_async(&x)?; // both jobs now in flight,
+    /// let hb = eng_b.execute_async(&x)?; // one worker lane each
+    /// let (ya, _) = ha.wait();
+    /// let (yb, _) = hb.wait();
+    /// assert!(ya.approx_eq(&a.spmm_reference(&x), 1e-4));
+    /// assert!(yb.approx_eq(&b.spmm_reference(&x), 1e-4));
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// One engine can only run one launch at a time (the dynamic row-claim
+    /// counter is engine-owned state embedded in the generated code), so a
+    /// second `execute_async` on the *same* engine while a handle is
+    /// outstanding returns [`JitSpmmError::LaunchInProgress`] instead of
+    /// blocking — blocking would deadlock a caller that holds the first
+    /// handle on the same thread. The blocking paths ([`JitSpmm::execute`]
+    /// and friends) return the same error when the *calling thread* already
+    /// holds an outstanding handle (they still block, as always, on
+    /// launches held by other threads). Dropping the handle without waiting
+    /// joins the job and recycles the output buffer. On a zero-worker
+    /// ([`WorkerPool::inline`]) pool the kernel runs to completion inside
+    /// this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JitSpmmError::ShapeMismatch`] if `x` is not `A.ncols() x d`
+    /// and [`JitSpmmError::LaunchInProgress`] if another launch of this
+    /// engine has not completed yet.
+    pub fn execute_async<'s>(
+        &'s self,
+        x: &'s DenseMatrix<T>,
+    ) -> Result<ExecutionHandle<'s, T>, JitSpmmError> {
+        // Validate, then lock, then allocate: a rejected call (bad shape, or
+        // the expected busy-poll LaunchInProgress answer) must not pay a
+        // buffer-pool round trip for an output it will never produce.
+        self.check_input_shape(x)?;
+        let guard = self.begin_launch(false)?;
+        let mut y = PooledMatrix::new(
+            self.output_pool.acquire(self.matrix.nrows(), self.d),
+            Arc::clone(&self.output_pool),
+        );
+        let payload = Box::new(KernelJob::new(
+            &self.kernel,
+            &self.partition.ranges,
+            x.as_ptr(),
+            y.as_mut_ptr(),
+        ));
+        let spec = payload.spec(self.kernel.kind(), self.threads);
+        let start = Instant::now();
+        // SAFETY: the payload box, the output buffer and the launch guard
+        // all live in the returned handle, declared *after* the job handle,
+        // so the job is joined before any of them is released; the kernel,
+        // partition and `x` are borrowed for `'s`, which the handle cannot
+        // outlive. Shapes were checked above and the counter reset under the
+        // launch lock.
+        let job = unsafe {
+            self.pool.submit_raw(spec, &*payload as *const KernelJob<T> as *const (), KernelJob::<T>::erased())
+        };
+        Ok(ExecutionHandle {
+            job: Some(job),
+            _payload: payload,
+            y: Some(y),
+            start,
+            threads: self.threads,
+            strategy: self.options.strategy,
+            _launch: guard,
+        })
+    }
+
     /// Compute `Y = A * X` into an existing output matrix (its previous
     /// contents are overwritten; no zeroing is required beforehand).
     ///
@@ -376,7 +524,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         y: &mut DenseMatrix<T>,
     ) -> Result<ExecutionReport, JitSpmmError> {
         self.check_shapes(x, y)?;
-        let _launch = self.begin_launch();
+        let _launch = self.begin_launch(true)?;
         let start = Instant::now();
         // SAFETY: the engine borrows the CSR matrix whose pointers the kernel
         // embeds, shapes were checked above, and rows are partitioned
@@ -394,6 +542,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
                     &self.pool,
                     &self.kernel,
                     &self.partition.ranges,
+                    self.threads,
                     x.as_ptr(),
                     y.as_mut_ptr(),
                 ),
@@ -423,7 +572,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         y: &mut DenseMatrix<T>,
     ) -> Result<ExecutionReport, JitSpmmError> {
         self.check_shapes(x, y)?;
-        let _launch = self.begin_launch();
+        let _launch = self.begin_launch(true)?;
         let x_addr = x.as_ptr() as usize;
         let y_addr = y.as_mut_ptr() as usize;
         let busy_ns = AtomicU64::new(0);
@@ -500,7 +649,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         y: &mut DenseMatrix<T>,
     ) -> Result<ExecutionReport, JitSpmmError> {
         self.check_shapes(x, y)?;
-        let _launch = self.begin_launch();
+        let _launch = self.begin_launch(true)?;
         let start = Instant::now();
         match self.kernel.kind() {
             KernelKind::DynamicDispatch => {
@@ -529,7 +678,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         })
     }
 
-    fn check_shapes(&self, x: &DenseMatrix<T>, y: &DenseMatrix<T>) -> Result<(), JitSpmmError> {
+    fn check_input_shape(&self, x: &DenseMatrix<T>) -> Result<(), JitSpmmError> {
         if x.nrows() != self.matrix.ncols() || x.ncols() != self.d {
             return Err(JitSpmmError::ShapeMismatch(format!(
                 "dense input is {}x{} but the kernel expects {}x{}",
@@ -539,6 +688,11 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
                 self.d
             )));
         }
+        Ok(())
+    }
+
+    fn check_shapes(&self, x: &DenseMatrix<T>, y: &DenseMatrix<T>) -> Result<(), JitSpmmError> {
+        self.check_input_shape(x)?;
         if y.nrows() != self.matrix.nrows() || y.ncols() != self.d {
             return Err(JitSpmmError::ShapeMismatch(format!(
                 "dense output is {}x{} but the kernel produces {}x{}",
@@ -561,6 +715,76 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         } else {
             cg / total
         }
+    }
+}
+
+/// An in-flight asynchronous kernel launch, returned by
+/// [`JitSpmm::execute_async`].
+///
+/// The launch runs on the engine's worker pool while the submitting thread
+/// is free to do other work — typically submitting launches on *other*
+/// engines so that several compiled kernels overlap on disjoint, lane-capped
+/// worker subsets. [`ExecutionHandle::wait`] joins the job (stealing its
+/// remaining tasks) and returns the pooled output plus the usual
+/// [`ExecutionReport`].
+///
+/// Dropping the handle without waiting joins the job too and hands the
+/// output buffer back to the engine's pool — nothing leaks and the pool
+/// shuts down cleanly. The handle also holds the engine's launch lock, so
+/// the engine accepts no other launch until the handle is gone. Leaking the
+/// handle without running its destructor (e.g. [`std::mem::forget`]) is not
+/// supported.
+pub struct ExecutionHandle<'e, T: Scalar> {
+    /// Must be declared (and therefore dropped) before the fields it
+    /// borrows from: the payload box, the output buffer and the launch
+    /// guard. `JobHandle::drop` joins the job.
+    job: Option<JobHandle<'e>>,
+    /// Keeps the erased task data the pool workers dereference alive.
+    _payload: Box<KernelJob<T>>,
+    y: Option<PooledMatrix<T>>,
+    start: Instant,
+    threads: usize,
+    strategy: Strategy,
+    /// Holds the engine's launch lock for the lifetime of the launch (the
+    /// dynamic counter must not be reset mid-claim by another launch).
+    _launch: LaunchGuard<'e>,
+}
+
+impl<T: Scalar> ExecutionHandle<'_, T> {
+    /// Whether the launch has completed (lock-free; `true` means
+    /// [`ExecutionHandle::wait`] will not block).
+    pub fn is_done(&self) -> bool {
+        self.job.as_ref().is_none_or(|job| job.is_done())
+    }
+
+    /// Join the launch and return the output with its [`ExecutionReport`].
+    ///
+    /// The calling thread participates in the remaining kernel tasks.
+    /// `ExecutionReport::elapsed` spans submission to join, so time the
+    /// caller spent on other work between [`JitSpmm::execute_async`] and
+    /// `wait` — the overlap this API exists for — shows up in `dispatch`,
+    /// not in `kernel`.
+    pub fn wait(mut self) -> (PooledMatrix<T>, ExecutionReport) {
+        let kernel = self.job.take().expect("launch joined at most once").wait();
+        let elapsed = self.start.elapsed();
+        let y = self.y.take().expect("output present until wait");
+        let report = ExecutionReport {
+            elapsed,
+            kernel,
+            dispatch: elapsed.saturating_sub(kernel),
+            threads: self.threads,
+            strategy: self.strategy,
+        };
+        (y, report)
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for ExecutionHandle<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutionHandle")
+            .field("done", &self.is_done())
+            .field("threads", &self.threads)
+            .finish()
     }
 }
 
@@ -800,6 +1024,156 @@ mod tests {
         let (yb, _) = e2.execute(&x).unwrap();
         assert!(ya.approx_eq(&a.spmm_reference(&x), 1e-4));
         assert!(yb.approx_eq(&b.spmm_reference(&x), 1e-4));
+    }
+
+    #[test]
+    fn execute_async_matches_blocking_execute() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::rmat::<f32>(8, 4_000, generate::RmatConfig::GRAPH500, 3);
+        let x = DenseMatrix::random(a.ncols(), 16, 9);
+        for strategy in [Strategy::RowSplitStatic, Strategy::row_split_dynamic_default()] {
+            let engine = JitSpmmBuilder::new()
+                .strategy(strategy)
+                .threads(2)
+                .pool(WorkerPool::new(2))
+                .build(&a, 16)
+                .unwrap();
+            let (y_blocking, _) = engine.execute(&x).unwrap();
+            let y_blocking = y_blocking.into_dense();
+            let handle = engine.execute_async(&x).unwrap();
+            let (y_async, report) = handle.wait();
+            assert_eq!(y_async, y_blocking, "strategy {strategy}");
+            assert_eq!(report.threads, 2);
+            assert_eq!(report.elapsed, report.kernel + report.dispatch);
+        }
+    }
+
+    #[test]
+    fn concurrent_async_launches_of_one_engine_are_rejected() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(300, 300, 3_000, 4);
+        let x = DenseMatrix::random(300, 8, 5);
+        let engine =
+            JitSpmmBuilder::new().threads(2).pool(WorkerPool::new(2)).build(&a, 8).unwrap();
+        let handle = engine.execute_async(&x).unwrap();
+        // The dynamic counter is engine-owned; a second launch must be
+        // refused (not deadlock) while the first handle is outstanding.
+        assert!(matches!(engine.execute_async(&x).unwrap_err(), JitSpmmError::LaunchInProgress));
+        let (y, _) = handle.wait();
+        assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+        // With the handle gone the engine accepts launches again.
+        let (y2, _) = engine.execute_async(&x).unwrap().wait();
+        assert!(y2.approx_eq(&a.spmm_reference(&x), 1e-4));
+    }
+
+    #[test]
+    fn blocking_execute_with_outstanding_handle_errors_instead_of_deadlocking() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(200, 200, 2_000, 9);
+        let x = DenseMatrix::random(200, 8, 10);
+        let engine =
+            JitSpmmBuilder::new().threads(2).pool(WorkerPool::new(2)).build(&a, 8).unwrap();
+        let handle = engine.execute_async(&x).unwrap();
+        // Same thread, launch lock held by `handle`: a blocking execute must
+        // fail fast, not self-deadlock on the launch mutex.
+        assert!(matches!(engine.execute(&x).unwrap_err(), JitSpmmError::LaunchInProgress));
+        let mut y = DenseMatrix::zeros(200, 8);
+        assert!(matches!(
+            engine.execute_into(&x, &mut y).unwrap_err(),
+            JitSpmmError::LaunchInProgress
+        ));
+        assert!(matches!(
+            engine.execute_single_thread(&x, &mut y).unwrap_err(),
+            JitSpmmError::LaunchInProgress
+        ));
+        let (ya, _) = handle.wait();
+        assert!(ya.approx_eq(&a.spmm_reference(&x), 1e-4));
+        // Lock released: blocking execution works again.
+        let (yb, _) = engine.execute(&x).unwrap();
+        assert!(yb.approx_eq(&a.spmm_reference(&x), 1e-4));
+    }
+
+    #[test]
+    fn two_engines_overlap_on_disjoint_lanes() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let pool = WorkerPool::new(2);
+        let a = generate::uniform::<f32>(400, 400, 5_000, 6);
+        let b = generate::rmat::<f32>(9, 6_000, generate::RmatConfig::WEB, 7);
+        let ea = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&a, 8).unwrap();
+        let eb = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&b, 8).unwrap();
+        let xa = DenseMatrix::random(a.ncols(), 8, 1);
+        let xb = DenseMatrix::random(b.ncols(), 8, 2);
+        for _ in 0..20 {
+            let ha = ea.execute_async(&xa).unwrap();
+            let hb = eb.execute_async(&xb).unwrap();
+            let (ya, _) = ha.wait();
+            let (yb, _) = hb.wait();
+            assert!(ya.approx_eq(&a.spmm_reference(&xa), 1e-4));
+            assert!(yb.approx_eq(&b.spmm_reference(&xb), 1e-4));
+        }
+    }
+
+    #[test]
+    fn dropped_handle_joins_and_recycles_the_buffer() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(256, 256, 3_000, 8);
+        let x = DenseMatrix::random(256, 8, 3);
+        let engine =
+            JitSpmmBuilder::new().threads(2).pool(WorkerPool::new(2)).build(&a, 8).unwrap();
+        let first_ptr = {
+            let handle = engine.execute_async(&x).unwrap();
+            handle.y.as_ref().unwrap().as_ptr()
+            // Dropped without wait: must join and return the buffer.
+        };
+        let (y, _) = engine.execute(&x).unwrap();
+        assert_eq!(y.as_ptr(), first_ptr, "abandoned launch must recycle its output buffer");
+        assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+    }
+
+    #[test]
+    fn execute_async_on_inline_pool_completes_eagerly() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(100, 100, 900, 2);
+        let x = DenseMatrix::random(100, 4, 4);
+        let engine =
+            JitSpmmBuilder::new().threads(2).pool(WorkerPool::inline()).build(&a, 4).unwrap();
+        let handle = engine.execute_async(&x).unwrap();
+        assert!(handle.is_done());
+        let (y, _) = handle.wait();
+        assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+    }
+
+    #[test]
+    fn execute_async_rejects_bad_shapes() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(50, 60, 300, 1);
+        let engine = JitSpmmBuilder::new().threads(1).build(&a, 8).unwrap();
+        let wrong = DenseMatrix::<f32>::zeros(10, 8);
+        assert!(matches!(
+            engine.execute_async(&wrong).unwrap_err(),
+            JitSpmmError::ShapeMismatch(_)
+        ));
     }
 
     #[test]

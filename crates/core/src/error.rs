@@ -18,6 +18,11 @@ pub enum JitSpmmError {
     ShapeMismatch(String),
     /// The number of dense columns is zero (nothing to compute).
     EmptyDenseMatrix,
+    /// An asynchronous launch of this engine is still in flight; one engine
+    /// runs one launch at a time (its dynamic row-claim counter is shared
+    /// state embedded in the generated code). Wait on — or drop — the
+    /// outstanding [`crate::engine::ExecutionHandle`] first.
+    LaunchInProgress,
     /// An error bubbled up from the assembler.
     Asm(AsmError),
     /// The requested configuration cannot be code-generated.
@@ -33,6 +38,9 @@ impl fmt::Display for JitSpmmError {
             ),
             JitSpmmError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
             JitSpmmError::EmptyDenseMatrix => write!(f, "the dense matrix has zero columns"),
+            JitSpmmError::LaunchInProgress => {
+                write!(f, "an asynchronous launch of this engine is still in flight")
+            }
             JitSpmmError::Asm(e) => write!(f, "assembler error: {e}"),
             JitSpmmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }

@@ -70,6 +70,40 @@
 //! # }
 //! ```
 //!
+//! # Overlapping engines: asynchronous execution
+//!
+//! [`JitSpmm::execute_async`] submits a launch and returns an
+//! [`ExecutionHandle`] immediately; [`ExecutionHandle::wait`] joins it, with
+//! the waiting thread stealing remaining kernel tasks. Each launch is
+//! lane-capped to its engine's [`JitSpmmBuilder::threads`] count, so several
+//! engines submitted back-to-back run **concurrently on disjoint subsets of
+//! one pool's workers** instead of serializing — the configuration a server
+//! handling many models (or many clients) wants:
+//!
+//! ```
+//! use jitspmm::{JitSpmmBuilder, WorkerPool};
+//! use jitspmm_sparse::{generate, DenseMatrix};
+//!
+//! # fn main() -> Result<(), jitspmm::JitSpmmError> {
+//! let pool = WorkerPool::new(2);
+//! let a = generate::uniform::<f32>(200, 200, 2_000, 1);
+//! let b = generate::uniform::<f32>(150, 200, 1_500, 2);
+//! let eng_a = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&a, 8)?;
+//! let eng_b = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&b, 8)?;
+//! let x = DenseMatrix::random(200, 8, 3);
+//! let ha = eng_a.execute_async(&x)?; // in flight on worker lane 1
+//! let hb = eng_b.execute_async(&x)?; // in flight on worker lane 2
+//! let (ya, _) = ha.wait();
+//! let (yb, _) = hb.wait();
+//! assert!(ya.approx_eq(&a.spmm_reference(&x), 1e-4));
+//! assert!(yb.approx_eq(&b.spmm_reference(&x), 1e-4));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Raw pool jobs get the same treatment through [`WorkerPool::submit`] with
+//! a [`JobSpec`] (task count + lane cap), returning a [`JobHandle`].
+//!
 //! # Crate layout
 //!
 //! | module | contents |
@@ -99,11 +133,11 @@ pub mod schedule;
 pub mod tiling;
 
 pub use codegen::KernelOptions;
-pub use engine::{ExecutionReport, JitSpmm, JitSpmmBuilder, SpmmOptions};
+pub use engine::{ExecutionHandle, ExecutionReport, JitSpmm, JitSpmmBuilder, SpmmOptions};
 pub use error::JitSpmmError;
 pub use kernel::{CompiledKernel, KernelKind, KernelMeta};
 pub use profile::ProfileCounts;
-pub use runtime::{PooledMatrix, WorkerPool};
+pub use runtime::{JobHandle, JobSpec, PooledMatrix, WorkerPool};
 pub use schedule::{DynamicCounter, Partition, RowRange, Strategy};
 pub use tiling::{CcmPlan, ColumnTile, Segment, SegmentWidth};
 

@@ -2,18 +2,111 @@
 //! output buffers that make repeated [`crate::JitSpmm::execute`] calls
 //! allocation-free.
 
-use crate::kernel::CompiledKernel;
-use crate::runtime::pool::lock;
-use crate::runtime::WorkerPool;
+use crate::kernel::{CompiledKernel, KernelKind};
+use crate::runtime::pool::{lock, ErasedTask};
+use crate::runtime::{JobSpec, WorkerPool};
 use crate::schedule::RowRange;
 use jitspmm_sparse::{DenseMatrix, Scalar};
 use std::ops::{Deref, DerefMut};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+/// The erased payload of a kernel launch: everything one pool task needs to
+/// invoke the compiled code, as raw pointers.
+///
+/// The blocking paths capture the same state in a closure on the stack; the
+/// asynchronous path ([`crate::JitSpmm::execute_async`]) cannot, because the
+/// submitting call returns while workers are still executing. Instead the
+/// engine boxes a `KernelJob` inside the returned execution handle — a
+/// concrete type, so the handle is not generic over a closure — and the
+/// handle's drop/join discipline keeps it (and the borrows behind the
+/// pointers: kernel, partition, input and output buffers) alive until the
+/// job has fully completed.
+pub(crate) struct KernelJob<T: Scalar> {
+    kernel: *const CompiledKernel<T>,
+    /// Static partition ranges (`ptr`, `len`); unused for dynamic dispatch.
+    ranges: *const RowRange,
+    nranges: usize,
+    x: *const T,
+    y: *mut T,
+}
+
+// SAFETY: a KernelJob is only ever shared between pool participants running
+// disjoint task indices of one launch; the aliasing rules for the pointers
+// inside are exactly the (unsafe) launch contract its constructor callers
+// already uphold. The pointers themselves are plain addresses.
+unsafe impl<T: Scalar> Sync for KernelJob<T> {}
+// SAFETY: as above — ownership of the addresses may move between threads.
+unsafe impl<T: Scalar> Send for KernelJob<T> {}
+
+impl<T: Scalar> KernelJob<T> {
+    /// Capture a launch of `kernel` over `ranges` (static) or the embedded
+    /// claim loop (dynamic; `ranges` empty). Pointers, not borrows: the
+    /// caller is responsible for keeping the pointees alive until the job
+    /// completes (see [`crate::engine::ExecutionHandle`]).
+    pub(crate) fn new(
+        kernel: &CompiledKernel<T>,
+        ranges: &[RowRange],
+        x: *const T,
+        y: *mut T,
+    ) -> KernelJob<T> {
+        KernelJob { kernel, ranges: ranges.as_ptr(), nranges: ranges.len(), x, y }
+    }
+
+    /// The [`JobSpec`] for this launch: one task per range for static
+    /// kernels, `lanes` identical claim-loop tasks for dynamic ones — in
+    /// both cases capped to `lanes` pool workers so concurrent engines can
+    /// overlap on disjoint worker subsets.
+    pub(crate) fn spec(&self, kind: KernelKind, lanes: usize) -> JobSpec {
+        match kind {
+            KernelKind::StaticRange => JobSpec::new(self.nranges).max_lanes(lanes),
+            KernelKind::DynamicDispatch => JobSpec::new(lanes).max_lanes(lanes),
+        }
+    }
+
+    /// Run task `index`.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`CompiledKernel::call_static`] /
+    /// [`CompiledKernel::call_dynamic`]: every pointer must be live, shapes
+    /// must match the compiled kernel, ranges must be pairwise disjoint and
+    /// the dynamic counter reset since the last launch.
+    pub(crate) unsafe fn run(&self, index: usize) {
+        let kernel = unsafe { &*self.kernel };
+        match kernel.kind() {
+            KernelKind::StaticRange => {
+                let range = unsafe { *self.ranges.add(index) };
+                if range.is_empty() {
+                    return;
+                }
+                // SAFETY: forwarded; disjoint ranges mean no two tasks write
+                // the same output rows.
+                unsafe { kernel.call_static(range.start as u64, range.end as u64, self.x, self.y) };
+            }
+            KernelKind::DynamicDispatch => {
+                // SAFETY: forwarded; the shared counter hands out disjoint
+                // row batches.
+                unsafe { kernel.call_dynamic(self.x, self.y) };
+            }
+        }
+    }
+
+    /// The [`ErasedTask`] trampoline for [`WorkerPool::submit_raw`].
+    pub(crate) unsafe fn call(data: *const (), index: usize) {
+        unsafe { (*(data as *const KernelJob<T>)).run(index) };
+    }
+
+    /// The trampoline as the erased function-pointer type.
+    pub(crate) fn erased() -> ErasedTask {
+        KernelJob::<T>::call
+    }
+}
+
 /// Dispatch a static-range kernel over the pool: one task per partition
-/// range, each invoking `fn(row_start, row_end, x, y)` on the compiled code.
-/// Returns the job's critical-path (max per-participant) kernel time.
+/// range, each invoking `fn(row_start, row_end, x, y)` on the compiled code,
+/// capped to `lanes` workers. Returns the job's critical-path (max
+/// per-participant) kernel time.
 ///
 /// # Safety
 ///
@@ -24,28 +117,14 @@ pub(crate) unsafe fn run_static<T: Scalar>(
     pool: &WorkerPool,
     kernel: &CompiledKernel<T>,
     ranges: &[RowRange],
+    lanes: usize,
     x: *const T,
     y: *mut T,
 ) -> Duration {
-    // Raw pointers are not `Sync`; smuggle them as integers (the kernel call
-    // re-types them). The shapes were validated by the caller.
-    let x_addr = x as usize;
-    let y_addr = y as usize;
-    pool.run(ranges.len(), &move |index| {
-        let range = ranges[index];
-        if range.is_empty() {
-            return;
-        }
-        // SAFETY: forwarded from the caller's contract; ranges are disjoint
-        // so no two tasks write the same output rows.
-        unsafe {
-            kernel.call_static(
-                range.start as u64,
-                range.end as u64,
-                x_addr as *const T,
-                y_addr as *mut T,
-            );
-        }
+    let job = KernelJob::new(kernel, ranges, x, y);
+    pool.run_spec(job.spec(KernelKind::StaticRange, lanes), &|index| {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { job.run(index) };
     })
 }
 
@@ -64,12 +143,10 @@ pub(crate) unsafe fn run_dynamic<T: Scalar>(
     x: *const T,
     y: *mut T,
 ) -> Duration {
-    let x_addr = x as usize;
-    let y_addr = y as usize;
-    pool.run(lanes, &move |_index| {
-        // SAFETY: forwarded from the caller's contract; the shared counter
-        // hands out disjoint row batches.
-        unsafe { kernel.call_dynamic(x_addr as *const T, y_addr as *mut T) };
+    let job = KernelJob::new(kernel, &[], x, y);
+    pool.run_spec(job.spec(KernelKind::DynamicDispatch, lanes), &|index| {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { job.run(index) };
     })
 }
 

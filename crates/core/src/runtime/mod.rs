@@ -9,9 +9,19 @@
 //! kernel itself on small and mid-sized matrices. The runtime replaces both:
 //!
 //! * [`WorkerPool`] ([`pool`]) keeps a set of parked threads alive for the
-//!   process (or per pool handle) and wakes them per job through an
-//!   epoch/condvar barrier; workers claim work items from an atomic counter,
-//!   mirroring the paper's `lock xadd` dynamic row dispatch one level up.
+//!   process (or per pool handle) and feeds them from a FIFO job queue;
+//!   workers claim work items from each job's atomic counter, mirroring the
+//!   paper's `lock xadd` dynamic row dispatch one level up. Submission wakes
+//!   exactly one worker, and workers that claim a lane wake the next — a
+//!   notify-one chain that bounds wake cost by the lanes a job actually
+//!   uses, not the pool size.
+//! * Jobs can be submitted **deferred**: [`WorkerPool::submit`] returns a
+//!   [`JobHandle`] immediately and the job runs in the background;
+//!   [`JobHandle::wait`] joins it with the waiting thread stealing remaining
+//!   tasks. [`JobSpec::max_lanes`] caps how many workers one job occupies,
+//!   so concurrent jobs — e.g. two engines executing at once through
+//!   [`crate::JitSpmm::execute_async`] — run on disjoint worker subsets and
+//!   genuinely overlap instead of thrashing the whole pool.
 //! * [`dispatch`] converts a compiled kernel plus its schedule (static
 //!   [`crate::RowRange`]s or the dynamic counter loop) into pool jobs and
 //!   measures the kernel's critical-path time separately from dispatch
@@ -30,4 +40,4 @@ pub mod pool;
 pub(crate) mod dispatch;
 
 pub use dispatch::PooledMatrix;
-pub use pool::WorkerPool;
+pub use pool::{JobHandle, JobSpec, WorkerPool};

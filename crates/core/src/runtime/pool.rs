@@ -1,28 +1,52 @@
 //! The persistent worker pool: threads are spawned once, park on a condvar,
-//! and are woken per job by an epoch bump.
+//! and serve jobs from a FIFO queue with per-job lane capping, a notify-one
+//! wake chain, and deferred (asynchronous) submission.
 //!
 //! # Why not `std::thread::scope` per call?
 //!
 //! JITSPMM's premise is compile-once/run-many: code generation is amortized,
 //! so steady-state `execute()` latency *is* the product. Spawning and joining
 //! OS threads costs tens of microseconds — more than the SpMM kernel itself
-//! on small and mid-sized matrices. The pool replaces that with a condvar
-//! wake of already-running, parked threads: submission publishes a job
-//! descriptor (an erased `fn(task_index)` plus a task count), bumps an epoch,
-//! and wakes the workers; each worker claims task indices from a shared
-//! atomic counter (the same `lock xadd` discipline the paper's dynamic
-//! row-split uses, applied one level up), runs them, and checks in. The
-//! submitting thread participates in the claim loop too, so a pool of `N`
-//! workers executes a job with up to `N + 1` lanes and a zero-worker pool
-//! degenerates to inline execution.
+//! on small and mid-sized matrices. The pool replaces that with parked,
+//! already-running threads: submission publishes a job descriptor (an erased
+//! `fn(task_index)` plus a task count) into a queue and wakes one worker;
+//! each participating worker claims task indices from the job's atomic
+//! counter (the same `lock xadd` discipline the paper's dynamic row-split
+//! uses, applied one level up) and checks in when the indices run out.
 //!
-//! One job runs at a time per pool (submission is serialized by a mutex);
-//! engines sharing a pool therefore interleave executions instead of
-//! oversubscribing the machine.
+//! # Jobs pipeline instead of serializing
+//!
+//! Any number of jobs may be in flight at once. Each worker serves one job
+//! at a time, so the machine is never oversubscribed, but a worker that
+//! finishes its share of one job flows directly into the next queued job
+//! without re-parking. [`JobSpec::max_lanes`] caps how many workers one job
+//! may occupy, so two capped jobs run on disjoint worker subsets and
+//! genuinely overlap rather than thrashing the whole pool.
+//!
+//! # Wake cost is bounded by the lanes a job uses
+//!
+//! Submission wakes exactly one worker ([`Condvar::notify_one`]). A worker
+//! that claims a lane and observes that more lane slots (of its job or a
+//! queued successor) are still unclaimed wakes one more — a notify-one
+//! chain. A job that needs `k` lanes therefore causes O(k) wake-ups, where
+//! the previous `notify_all` design briefly woke every parked worker in the
+//! pool regardless of job size.
+//!
+//! # Blocking and deferred submission
+//!
+//! [`WorkerPool::run`] (and [`WorkerPool::run_spec`]) submit a job and block
+//! until it completes, participating in the task claim loop alongside the
+//! workers. [`WorkerPool::submit`] instead returns a [`JobHandle`]
+//! immediately; the job runs in the background and [`JobHandle::wait`] joins
+//! it — with the waiting thread stealing that job's remaining tasks, so a
+//! submitter that turns around and waits loses nothing over the blocking
+//! path.
 
 use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -32,8 +56,8 @@ thread_local! {
     /// re-enters `WorkerPool::run` (directly, or through an engine or
     /// baseline) falls back to inline execution. The flag is deliberately
     /// per-thread rather than per-pool: same-pool re-entry would deadlock on
-    /// the job mutexes, and a cross-pool submission chain can cycle back to
-    /// the originating pool through another pool's workers — a cycle no
+    /// the job bookkeeping, and a cross-pool submission chain can cycle back
+    /// to the originating pool through another pool's workers — a cycle no
     /// per-pool bookkeeping can see from a single thread. Running any nested
     /// job inline trades its parallelism for guaranteed deadlock freedom.
     static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
@@ -64,63 +88,236 @@ pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// The type every job is erased to: `call(data, task_index)`.
-type ErasedTask = unsafe fn(*const (), usize);
+pub(crate) type ErasedTask = unsafe fn(*const (), usize);
 
-/// Job slot shared between the submitter and the workers. All fields are
-/// published under [`Shared::state`]'s mutex before the epoch bump that
-/// makes workers read them.
-struct JobState {
-    /// Generation counter; a bump signals a new job.
-    epoch: u64,
-    /// Tells workers to exit their loop (set once, on pool drop).
-    shutdown: bool,
-    /// Number of task indices in the current job.
+/// Re-types the erased data pointer back to `&F`. Sound because the pointer
+/// is only dereferenced while the job is live, and jobs are always joined
+/// before the closure's borrow ends.
+unsafe fn trampoline<F: Fn(usize)>(data: *const (), index: usize) {
+    (*(data as *const F))(index);
+}
+
+/// Describes one job: how many task indices it has and how many worker
+/// lanes it may occupy.
+///
+/// The task function is invoked exactly once for every index in `0..tasks`,
+/// distributed over at most `max_lanes` pool workers (plus the submitting
+/// thread, which steals tasks whenever it blocks in [`WorkerPool::run`] or
+/// [`JobHandle::wait`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Number of task indices (`0..tasks`) to execute.
+    pub tasks: usize,
+    /// Maximum number of pool workers this job may occupy; `0` means
+    /// uncapped (up to one worker per task). Capping lets concurrent jobs
+    /// run on disjoint worker subsets instead of contending for the whole
+    /// pool.
+    pub max_lanes: usize,
+}
+
+impl JobSpec {
+    /// A job with `tasks` indices and no lane cap.
+    pub fn new(tasks: usize) -> JobSpec {
+        JobSpec { tasks, max_lanes: 0 }
+    }
+
+    /// Cap the job to at most `max_lanes` pool workers (`0` = uncapped).
+    pub fn max_lanes(mut self, max_lanes: usize) -> JobSpec {
+        self.max_lanes = max_lanes;
+        self
+    }
+}
+
+/// Per-job state shared between the submitter and the workers.
+///
+/// Lives on the submitter's stack for the blocking [`WorkerPool::run`] path
+/// (zero allocation) and in a [`JobHandle`]-owned box for deferred
+/// submission. The queue holds raw pointers to it; validity is guaranteed
+/// because a job is always joined (all participants checked in, descriptor
+/// unreachable from the queue) before its storage is released.
+///
+/// `next` and `busy_ns` are genuinely concurrent; the bookkeeping fields
+/// (`lanes_left`, `active`, `queued`, `done`) are only mutated under the
+/// pool's state mutex and are atomics merely so the shared reference stays
+/// aliasable.
+struct JobCore {
+    /// Number of task indices in the job.
     tasks: usize,
-    /// Erased pointer to the job closure (valid only while the submitting
-    /// `run` call is blocked, which is exactly when workers may use it).
+    /// Erased pointer to the job closure.
     data: usize,
     /// The monomorphized trampoline that re-types `data` (an [`ErasedTask`]).
     call: usize,
-    /// Remaining worker participation slots for the current job. A job with
-    /// fewer tasks than the pool has workers only needs that many workers;
-    /// the rest go straight back to sleep without joining the job.
-    participants: usize,
-    /// Participating workers that have not yet checked in for the current
-    /// job (equals the initial `participants`; the submitter waits for it
-    /// to reach zero).
-    active: usize,
-}
-
-struct Shared {
-    state: Mutex<JobState>,
-    /// Workers park here between jobs.
-    work_cv: Condvar,
-    /// The submitter parks here until every worker has checked in.
-    done_cv: Condvar,
-    /// Task-index claim counter (reset per job).
+    /// Task-index claim counter.
     next: AtomicUsize,
-    /// Maximum per-participant busy time of the current job, in nanoseconds.
+    /// Worker participation slots still unclaimed (the lane cap, pre-clamped
+    /// to the task and worker counts).
+    lanes_left: AtomicUsize,
+    /// Participants (workers and waiters) that have claimed tasks and not
+    /// yet checked in.
+    active: AtomicUsize,
+    /// Whether the job is still reachable from the queue.
+    queued: AtomicBool,
+    /// Set once the job is complete: unreachable from the queue and every
+    /// participant has checked in. Written under the state mutex with
+    /// `Release`; [`JobHandle::is_done`] reads it lock-free with `Acquire`.
+    done: AtomicBool,
+    /// Maximum per-participant busy time, in nanoseconds.
     busy_ns: AtomicU64,
-    /// Payload of the first task panic of the current job, re-raised by the
-    /// submitter once the job has fully completed.
-    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Payload of the first task panic, re-raised by [`JobHandle::wait`] (or
+    /// the blocking `run`) once the job has fully completed.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
-impl Shared {
+impl JobCore {
+    fn new(tasks: usize, worker_lanes: usize, data: usize, call: usize) -> JobCore {
+        JobCore {
+            tasks,
+            data,
+            call,
+            next: AtomicUsize::new(0),
+            lanes_left: AtomicUsize::new(worker_lanes),
+            active: AtomicUsize::new(0),
+            queued: AtomicBool::new(true),
+            done: AtomicBool::new(false),
+            busy_ns: AtomicU64::new(0),
+            panic: Mutex::new(None),
+        }
+    }
+
     /// Record a task panic (first payload wins).
     fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
-        let mut slot = lock(&self.panic_payload);
+        let mut slot = lock(&self.panic);
         if slot.is_none() {
             *slot = Some(payload);
         }
+    }
+
+    fn busy(&self) -> Duration {
+        Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed))
+    }
+}
+
+/// A queue entry. Raw pointers are not `Send`, but the queue discipline
+/// (jobs outlive their presence in the queue and their participants) makes
+/// handing them between threads sound.
+struct JobPtr(*const JobCore);
+
+// SAFETY: see JobPtr — the pointee is kept alive by the submitting call
+// (stack frame or handle box) until the job is done, and `done` is only set
+// once the pointer is unreachable from both the queue and every worker.
+unsafe impl Send for JobPtr {}
+
+struct QueueState {
+    /// Tells workers to exit their loop (set once, on pool drop) after the
+    /// queue has drained.
+    shutdown: bool,
+    /// Jobs waiting for (more) workers, front first. A job leaves the queue
+    /// when its last lane slot is claimed or when it is observed exhausted.
+    queue: VecDeque<JobPtr>,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// Waiters park here until their job's `done` flag is set.
+    done_cv: Condvar,
+}
+
+impl Shared {
+    /// Mark `job` done if it is complete: unreachable from the queue and no
+    /// participant outstanding. Must be called with the state mutex held.
+    fn finish_if_complete(&self, job: &JobCore) {
+        if !job.queued.load(Ordering::Relaxed)
+            && job.active.load(Ordering::Relaxed) == 0
+            && !job.done.load(Ordering::Relaxed)
+        {
+            job.done.store(true, Ordering::Release);
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Pop retired/exhausted jobs off the queue front and claim one lane of
+    /// the first job that still needs workers. Must be called with the state
+    /// mutex held (`state`). Continues the notify-one wake chain if
+    /// claimable lanes remain after this claim.
+    fn claim_lane(&self, state: &mut QueueState) -> Option<JobPtr> {
+        while let Some(front) = state.queue.front() {
+            // SAFETY: queued jobs are kept alive by their submitter.
+            let job = unsafe { &*front.0 };
+            if job.next.load(Ordering::Relaxed) >= job.tasks {
+                // Every task index is already claimed; retire the job
+                // instead of pointlessly joining it.
+                state.queue.pop_front();
+                job.queued.store(false, Ordering::Relaxed);
+                self.finish_if_complete(job);
+                continue;
+            }
+            let ptr = JobPtr(front.0);
+            let lanes = job.lanes_left.load(Ordering::Relaxed);
+            debug_assert!(lanes > 0, "queued jobs always have unclaimed lanes");
+            job.lanes_left.store(lanes - 1, Ordering::Relaxed);
+            job.active.fetch_add(1, Ordering::Relaxed);
+            if lanes == 1 {
+                // Last lane slot: the job has all the workers it may use.
+                state.queue.pop_front();
+                job.queued.store(false, Ordering::Relaxed);
+            }
+            if !state.queue.is_empty() {
+                // More lane slots are claimable (this job's remainder, or a
+                // queued successor): wake one more worker. This chain bounds
+                // wake-ups by the lanes actually used instead of the pool
+                // size.
+                self.work_cv.notify_one();
+            }
+            return Some(ptr);
+        }
+        None
+    }
+
+    /// Run `job`'s claim loop on the current thread and check in. The caller
+    /// must have registered this participant (incremented `active`) under
+    /// the state mutex.
+    ///
+    /// # Safety
+    ///
+    /// `job` must point to a live [`JobCore`] whose registration precedes
+    /// this call; the pointee must stay alive until the check-in below
+    /// (guaranteed by the active-participant accounting itself).
+    unsafe fn participate(&self, job: *const JobCore) {
+        let core = unsafe { &*job };
+        // SAFETY: `call` was produced from an `ErasedTask` by the submitter.
+        let call = unsafe { std::mem::transmute::<usize, ErasedTask>(core.call) };
+        {
+            let _scope = TaskScope::enter();
+            let start = Instant::now();
+            loop {
+                let index = core.next.fetch_add(1, Ordering::Relaxed);
+                if index >= core.tasks {
+                    break;
+                }
+                // SAFETY: disjoint indices make concurrent calls safe; the
+                // data pointer is alive as long as the job is (see JobPtr).
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| unsafe { call(core.data as *const (), index) }));
+                if let Err(payload) = outcome {
+                    core.record_panic(payload);
+                }
+            }
+            core.busy_ns.fetch_max(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        let state = lock(&self.state);
+        core.active.fetch_sub(1, Ordering::Relaxed);
+        self.finish_if_complete(core);
+        drop(state);
+        // `core` must not be touched past this point: once `done` is
+        // observable the submitter may release the job's storage.
     }
 }
 
 struct PoolInner {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
-    /// Serializes jobs: one at a time per pool.
-    submit: Mutex<()>,
 }
 
 impl Drop for PoolInner {
@@ -128,6 +325,8 @@ impl Drop for PoolInner {
         {
             let mut state = lock(&self.shared.state);
             state.shutdown = true;
+            // Shutdown is the one event every worker must see; queued jobs
+            // (only possible through leaked handles) are drained first.
             self.shared.work_cv.notify_all();
         }
         for handle in self.handles.drain(..) {
@@ -147,15 +346,24 @@ impl Drop for PoolInner {
 /// # Example
 ///
 /// ```
-/// use jitspmm::WorkerPool;
+/// use jitspmm::{JobSpec, WorkerPool};
 /// use std::sync::atomic::{AtomicUsize, Ordering};
 ///
 /// let pool = WorkerPool::new(2);
 /// let hits = AtomicUsize::new(0);
+/// // Blocking submission:
 /// pool.run(16, &|_task| {
 ///     hits.fetch_add(1, Ordering::Relaxed);
 /// });
 /// assert_eq!(hits.load(Ordering::Relaxed), 16);
+/// // Deferred submission: the job runs in the background, capped to one
+/// // worker lane, until the handle joins it.
+/// let task = |_task| {
+///     hits.fetch_add(1, Ordering::Relaxed);
+/// };
+/// let handle = pool.submit(JobSpec::new(16).max_lanes(1), &task);
+/// handle.wait();
+/// assert_eq!(hits.load(Ordering::Relaxed), 32);
 /// ```
 #[derive(Clone)]
 pub struct WorkerPool {
@@ -185,20 +393,9 @@ impl WorkerPool {
 
     fn with_exact_workers(workers: usize) -> WorkerPool {
         let shared = Arc::new(Shared {
-            state: Mutex::new(JobState {
-                epoch: 0,
-                shutdown: false,
-                tasks: 0,
-                data: 0,
-                call: 0,
-                participants: 0,
-                active: 0,
-            }),
+            state: Mutex::new(QueueState { shutdown: false, queue: VecDeque::new() }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
-            next: AtomicUsize::new(0),
-            busy_ns: AtomicU64::new(0),
-            panic_payload: Mutex::new(None),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -209,7 +406,7 @@ impl WorkerPool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        WorkerPool { inner: Arc::new(PoolInner { shared, handles, submit: Mutex::new(()) }) }
+        WorkerPool { inner: Arc::new(PoolInner { shared, handles }) }
     }
 
     /// The process-wide default pool (one worker per hardware thread),
@@ -220,7 +417,7 @@ impl WorkerPool {
     }
 
     /// Number of worker threads in the pool (the submitting thread
-    /// participates in every job on top of these).
+    /// participates in every job it waits on, on top of these).
     pub fn size(&self) -> usize {
         self.inner.handles.len()
     }
@@ -243,13 +440,14 @@ impl WorkerPool {
     /// per-participant busy time — the job's critical-path execution time,
     /// excluding wake-up and join overhead.
     ///
-    /// Jobs are serialized: concurrent `run` calls from different threads
-    /// queue on an internal mutex, so a shared pool never oversubscribes.
-    /// Re-entrant calls — a task invoking `run` on *any* pool (directly, or
-    /// through an engine or baseline) — execute the nested job inline on the
-    /// calling thread instead of risking deadlock on the job mutexes; a
-    /// nested job therefore runs single-lane even when targeting a
-    /// different, idle pool.
+    /// Concurrent jobs pipeline through the pool's queue: each worker serves
+    /// one job at a time (never oversubscribing the machine) and flows into
+    /// the next queued job without re-parking. Re-entrant calls — a task
+    /// invoking `run` on *any* pool (directly, or through an engine or
+    /// baseline) — execute the nested job inline on the calling thread
+    /// instead of risking deadlock on the job bookkeeping; a nested job
+    /// therefore runs single-lane even when targeting a different, idle
+    /// pool.
     ///
     /// # Panics
     ///
@@ -257,94 +455,248 @@ impl WorkerPool {
     /// never be wedged by a bad job) and the first panic payload is
     /// re-raised here after the job completes.
     pub fn run<F: Fn(usize) + Sync>(&self, tasks: usize, task: &F) -> Duration {
-        if tasks == 0 {
+        self.run_spec(JobSpec::new(tasks), task)
+    }
+
+    /// [`WorkerPool::run`] with an explicit [`JobSpec`], so the job's worker
+    /// occupancy can be capped (`max_lanes`) independently of its task
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// As for [`WorkerPool::run`].
+    pub fn run_spec<F: Fn(usize) + Sync>(&self, spec: JobSpec, task: &F) -> Duration {
+        if spec.tasks == 0 {
             return Duration::ZERO;
         }
-        // Re-types the erased data pointer back to `&F`. Sound because the
-        // pointer is only dereferenced between job publication and the final
-        // check-in, and `run` does not return before the latter.
-        unsafe fn trampoline<F: Fn(usize)>(data: *const (), index: usize) {
-            (*(data as *const F))(index);
-        }
-
-        let inner = &self.inner;
-        if IN_POOL_TASK.get() {
-            // Re-entrant submission from inside a pool task (this pool or
-            // any other — see IN_POOL_TASK): run nested work inline on this
-            // thread rather than risk a job-mutex deadlock cycle.
+        if IN_POOL_TASK.get() || self.inner.handles.is_empty() || spec.tasks == 1 {
+            // Inline fast paths: re-entrant submission (deadlock freedom),
+            // zero-worker pools, and single-task jobs — for one task,
+            // running on the submitting thread is strictly faster than a
+            // worker handoff (no wake-up, no cross-thread latency), which
+            // matters for single-lane engines on small matrices.
+            let _scope = TaskScope::enter();
             let start = Instant::now();
-            for index in 0..tasks {
+            for index in 0..spec.tasks {
                 task(index);
             }
             return start.elapsed();
         }
-
-        // One job at a time per pool: the submit lock serializes every run,
-        // including the inline fast path below, so a shared pool never
-        // oversubscribes the machine.
-        let _job_guard = lock(&inner.submit);
-        if inner.handles.is_empty() || tasks == 1 {
-            // Zero-worker pool, or a single-task job: the submitting thread
-            // runs the work inline. For one task this is strictly faster
-            // than a worker handoff (no wake-up, no cross-thread latency),
-            // which matters for single-lane engines on small matrices.
-            let _scope = TaskScope::enter();
-            let start = Instant::now();
-            for index in 0..tasks {
-                task(index);
-            }
-            return start.elapsed();
-        }
-
-        // The submitter participates too, so `tasks` worker lanes already
-        // give the job `tasks + 1` claimants; more workers would only wake,
-        // claim nothing, and delay the join.
-        let participants = inner.handles.len().min(tasks);
-        let shared = &inner.shared;
-        {
-            let mut state = lock(&shared.state);
-            state.tasks = tasks;
-            state.data = task as *const F as usize;
-            state.call = trampoline::<F> as ErasedTask as usize;
-            state.participants = participants;
-            state.active = participants;
-            shared.next.store(0, Ordering::SeqCst);
-            shared.busy_ns.store(0, Ordering::Relaxed);
-            state.epoch += 1;
-            shared.work_cv.notify_all();
-        }
-
-        // Participate in the claim loop alongside the workers.
-        {
-            let _scope = TaskScope::enter();
-            let start = Instant::now();
-            loop {
-                let index = shared.next.fetch_add(1, Ordering::Relaxed);
-                if index >= tasks {
-                    break;
-                }
-                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(index))) {
-                    shared.record_panic(payload);
-                }
-            }
-            shared.busy_ns.fetch_max(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        }
-
-        // Wait for every worker to check in; only then may the borrow of
-        // `task` end.
-        {
-            let mut state = lock(&shared.state);
-            while state.active > 0 {
-                state = shared
-                    .done_cv
-                    .wait(state)
-                    .unwrap_or_else(|poisoned| poisoned.into_inner());
-            }
-        }
-        if let Some(payload) = lock(&shared.panic_payload).take() {
+        let core = JobCore::new(
+            spec.tasks,
+            self.worker_lanes(&spec),
+            task as *const F as usize,
+            trampoline::<F> as ErasedTask as usize,
+        );
+        self.enqueue(&core);
+        // Participate and block; `core` lives on this stack frame, which
+        // `help_and_wait` does not leave until the job is done.
+        let busy = self.help_and_wait(&core);
+        if let Some(payload) = lock(&core.panic).take() {
             resume_unwind(payload);
         }
-        Duration::from_nanos(shared.busy_ns.load(Ordering::Relaxed))
+        busy
+    }
+
+    /// Submit a job for deferred execution and return immediately.
+    ///
+    /// The job starts running on the pool's workers in the background
+    /// (capped to [`JobSpec::max_lanes`] of them); [`JobHandle::wait`] joins
+    /// it, with the waiting thread stealing remaining task indices so that
+    /// submit-then-wait is never slower than the blocking [`WorkerPool::run`].
+    /// Dropping the handle without waiting also joins the job (like
+    /// [`std::thread::scope`]'s implicit join), which is what makes the
+    /// borrow of `task` sound; leaking the handle (e.g. via
+    /// [`std::mem::forget`]) is **not** supported and breaks that guarantee.
+    ///
+    /// On a zero-worker pool, or when called from inside a pool task, the
+    /// job runs inline to completion before this returns (there is no one to
+    /// defer to), and any task panic is deferred to [`JobHandle::wait`] just
+    /// like on the threaded path.
+    pub fn submit<'a, F: Fn(usize) + Sync>(&'a self, spec: JobSpec, task: &'a F) -> JobHandle<'a> {
+        // SAFETY: `task` outlives `'a`, and `JobHandle` joins the job before
+        // `'a` ends (wait or drop).
+        unsafe { self.submit_raw(spec, task as *const F as *const (), trampoline::<F>) }
+    }
+
+    /// Type-erased [`WorkerPool::submit`], for callers (the engine) that
+    /// keep the task payload alive through other means than a borrow.
+    ///
+    /// # Safety
+    ///
+    /// `call(data, index)` must be sound for every `index in 0..spec.tasks`,
+    /// including concurrently from multiple threads with distinct indices,
+    /// and `data` must stay valid until the returned handle reports the job
+    /// done (which it guarantees to do before drop completes).
+    pub(crate) unsafe fn submit_raw(
+        &self,
+        spec: JobSpec,
+        data: *const (),
+        call: ErasedTask,
+    ) -> JobHandle<'_> {
+        if spec.tasks == 0 {
+            return JobHandle::completed(self, Duration::ZERO, None);
+        }
+        if IN_POOL_TASK.get() || self.inner.handles.is_empty() {
+            // Nothing to defer to: run inline now, deferring any panic to
+            // `wait` for parity with the threaded path.
+            let _scope = TaskScope::enter();
+            let start = Instant::now();
+            let mut panic = None;
+            for index in 0..spec.tasks {
+                // SAFETY: forwarded from the caller's contract.
+                if let Err(payload) =
+                    catch_unwind(AssertUnwindSafe(|| unsafe { call(data, index) }))
+                {
+                    panic.get_or_insert(payload);
+                }
+            }
+            return JobHandle::completed(self, start.elapsed(), panic);
+        }
+        let core = Box::new(JobCore::new(
+            spec.tasks,
+            self.worker_lanes(&spec),
+            data as usize,
+            call as usize,
+        ));
+        self.enqueue(&core);
+        JobHandle {
+            pool: self,
+            core: Some(core),
+            inline_busy: Duration::ZERO,
+            inline_panic: None,
+            _borrows: PhantomData,
+        }
+    }
+
+    /// Worker participation slots for a job: at most one per task, per pool
+    /// worker, and per `max_lanes` (when capped).
+    fn worker_lanes(&self, spec: &JobSpec) -> usize {
+        let cap = if spec.max_lanes == 0 { usize::MAX } else { spec.max_lanes };
+        spec.tasks.min(self.inner.handles.len()).min(cap)
+    }
+
+    /// Publish a job to the queue and start the wake chain.
+    fn enqueue(&self, core: &JobCore) {
+        let shared = &self.inner.shared;
+        let mut state = lock(&shared.state);
+        state.queue.push_back(JobPtr(core as *const JobCore));
+        shared.work_cv.notify_one();
+        drop(state);
+    }
+
+    /// Steal `core`'s remaining tasks on the calling thread, then block
+    /// until every participant has checked in and the job is done.
+    fn help_and_wait(&self, core: &JobCore) -> Duration {
+        let shared = &self.inner.shared;
+        {
+            let state = lock(&shared.state);
+            core.active.fetch_add(1, Ordering::Relaxed);
+            drop(state);
+        }
+        // SAFETY: `core` is alive (it borrows into this call) and the
+        // participant was registered above.
+        unsafe { shared.participate(core as *const JobCore) };
+        let mut state = lock(&shared.state);
+        if core.queued.load(Ordering::Relaxed) {
+            // Our claim loop exhausted the task counter, but unclaimed lane
+            // slots keep the job queued; retire it so completion does not
+            // depend on another worker scanning the queue.
+            let ptr = core as *const JobCore;
+            state.queue.retain(|job| job.0 != ptr);
+            core.queued.store(false, Ordering::Relaxed);
+            shared.finish_if_complete(core);
+        }
+        while !core.done.load(Ordering::Acquire) {
+            state = shared.done_cv.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        drop(state);
+        core.busy()
+    }
+}
+
+/// A deferred job submitted with [`WorkerPool::submit`].
+///
+/// The job runs in the background on the pool's workers; [`JobHandle::wait`]
+/// joins it (stealing remaining tasks on the calling thread) and re-raises
+/// the first task panic, if any. Dropping the handle without waiting also
+/// joins the job — completion is guaranteed either way, so the task closure
+/// and its captures are never used after the handle is gone. Leaking the
+/// handle without running its destructor (e.g. [`std::mem::forget`]) is not
+/// supported.
+pub struct JobHandle<'a> {
+    pool: &'a WorkerPool,
+    /// `None` when the job completed inline at submission (zero tasks,
+    /// zero-worker pool, or re-entrant submission).
+    core: Option<Box<JobCore>>,
+    inline_busy: Duration,
+    inline_panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Ties the borrow of the submitted closure (and everything it captures)
+    /// to the handle.
+    _borrows: PhantomData<&'a ()>,
+}
+
+impl<'a> JobHandle<'a> {
+    fn completed(
+        pool: &'a WorkerPool,
+        busy: Duration,
+        panic: Option<Box<dyn std::any::Any + Send>>,
+    ) -> JobHandle<'a> {
+        JobHandle { pool, core: None, inline_busy: busy, inline_panic: panic, _borrows: PhantomData }
+    }
+
+    /// Whether the job has completed (lock-free; `true` means [`wait`]
+    /// will not block).
+    ///
+    /// [`wait`]: JobHandle::wait
+    pub fn is_done(&self) -> bool {
+        self.core.as_ref().is_none_or(|core| core.done.load(Ordering::Acquire))
+    }
+
+    /// Join the job, stealing its remaining tasks on the calling thread, and
+    /// return its critical-path busy time (the maximum over participants).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first task panic after the job has fully completed
+    /// (dropping the handle instead discards the payload).
+    pub fn wait(mut self) -> Duration {
+        let busy = self.join();
+        let payload =
+            self.core.as_ref().and_then(|core| lock(&core.panic).take()).or(self.inline_panic.take());
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+        busy
+    }
+
+    /// Ensure the job is complete; idempotent.
+    fn join(&mut self) -> Duration {
+        match &self.core {
+            None => self.inline_busy,
+            Some(core) => {
+                if core.done.load(Ordering::Acquire) {
+                    core.busy()
+                } else {
+                    self.pool.help_and_wait(core)
+                }
+            }
+        }
+    }
+}
+
+impl Drop for JobHandle<'_> {
+    fn drop(&mut self) {
+        // An unwaited handle still joins, so the task closure (borrowed) and
+        // the job descriptor (owned) are never released while workers can
+        // reach them. Panics are swallowed here; `wait` re-raises them.
+        self.join();
+    }
+}
+
+impl std::fmt::Debug for JobHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle").field("done", &self.is_done()).finish()
     }
 }
 
@@ -353,59 +705,22 @@ fn default_parallelism() -> usize {
 }
 
 fn worker_loop(shared: &Shared) {
-    let mut seen_epoch = 0u64;
     loop {
-        let (tasks, data, call) = {
+        let job = {
             let mut state = lock(&shared.state);
             loop {
+                if let Some(job) = shared.claim_lane(&mut state) {
+                    break job;
+                }
                 if state.shutdown {
                     return;
                 }
-                if state.epoch != seen_epoch {
-                    if state.participants > 0 {
-                        // Claim one of the job's participation slots.
-                        state.participants -= 1;
-                        break;
-                    }
-                    // The job has all the workers it needs; skip it and go
-                    // back to sleep without touching the check-in count.
-                    seen_epoch = state.epoch;
-                }
-                state = shared
-                    .work_cv
-                    .wait(state)
-                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                state = shared.work_cv.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner());
             }
-            seen_epoch = state.epoch;
-            (state.tasks, state.data, state.call)
         };
-        // SAFETY: `call` was produced from an `ErasedTask` by the submitter
-        // of epoch `seen_epoch`, which is still blocked in `run` until this
-        // thread checks in below, keeping `data` alive.
-        let call: ErasedTask = unsafe { std::mem::transmute::<usize, ErasedTask>(call) };
-        {
-            let _scope = TaskScope::enter();
-            let start = Instant::now();
-            loop {
-                let index = shared.next.fetch_add(1, Ordering::Relaxed);
-                if index >= tasks {
-                    break;
-                }
-                // SAFETY: as above; disjoint indices make concurrent calls
-                // safe.
-                let outcome =
-                    catch_unwind(AssertUnwindSafe(|| unsafe { call(data as *const (), index) }));
-                if let Err(payload) = outcome {
-                    shared.record_panic(payload);
-                }
-            }
-            shared.busy_ns.fetch_max(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        }
-        let mut state = lock(&shared.state);
-        state.active -= 1;
-        if state.active == 0 {
-            shared.done_cv.notify_all();
-        }
+        // SAFETY: the lane was claimed (participant registered) under the
+        // state mutex, which keeps the job alive until the check-in inside.
+        unsafe { shared.participate(job.0) };
     }
 }
 
@@ -452,7 +767,7 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_submitters_serialize_correctly() {
+    fn concurrent_submitters_pipeline_correctly() {
         let pool = WorkerPool::new(4);
         let total = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -525,5 +840,131 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn submit_defers_and_wait_joins() {
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        let task = |_i: usize| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        };
+        let handle = pool.submit(JobSpec::new(64), &task);
+        handle.wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn submitted_job_completes_without_wait() {
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        let task = |_i: usize| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        };
+        drop(pool.submit(JobSpec::new(32), &task));
+        // Drop joins: every task ran before the handle was released.
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn lane_cap_limits_worker_occupancy() {
+        let pool = WorkerPool::new(4);
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let task = |_i: usize| {
+            let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(1));
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+        };
+        let handle = pool.submit(JobSpec::new(12).max_lanes(1), &task);
+        // Give the background lane time to start before we steal the rest:
+        // with a cap of 1 worker plus the waiting submitter, at most two
+        // tasks may ever run concurrently.
+        handle.wait();
+        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {} > cap", peak.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn capped_jobs_overlap_on_disjoint_lanes() {
+        let pool = WorkerPool::new(2);
+        let a = AtomicUsize::new(0);
+        let b = AtomicUsize::new(0);
+        let task_a = |_i: usize| {
+            a.fetch_add(1, Ordering::Relaxed);
+        };
+        let task_b = |_i: usize| {
+            b.fetch_add(1, Ordering::Relaxed);
+        };
+        let ha = pool.submit(JobSpec::new(50).max_lanes(1), &task_a);
+        let hb = pool.submit(JobSpec::new(50).max_lanes(1), &task_b);
+        ha.wait();
+        hb.wait();
+        assert_eq!(a.load(Ordering::Relaxed), 50);
+        assert_eq!(b.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn submit_on_inline_pool_runs_synchronously() {
+        let pool = WorkerPool::inline();
+        let hits = AtomicUsize::new(0);
+        let task = |_i: usize| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        };
+        let handle = pool.submit(JobSpec::new(8), &task);
+        assert!(handle.is_done());
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+        handle.wait();
+    }
+
+    #[test]
+    fn submitted_panic_is_deferred_to_wait() {
+        let pool = WorkerPool::new(2);
+        let task = |i: usize| {
+            if i == 5 {
+                panic!("deferred boom");
+            }
+        };
+        let handle = pool.submit(JobSpec::new(8), &task);
+        let result = catch_unwind(AssertUnwindSafe(|| handle.wait()));
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "deferred boom");
+        // Dropping a panicked handle must stay silent and the pool usable.
+        drop(pool.submit(JobSpec::new(8), &task));
+        let ok = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn is_done_eventually_true_without_wait() {
+        let pool = WorkerPool::new(1);
+        let task = |_i: usize| {};
+        let handle = pool.submit(JobSpec::new(4), &task);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !handle.is_done() {
+            assert!(Instant::now() < deadline, "job never completed in the background");
+            std::thread::yield_now();
+        }
+        // wait() on an already-done job must not block (is_done promised so).
+        handle.wait();
+    }
+
+    #[test]
+    fn many_rapid_submits_never_lose_a_wakeup() {
+        // Notify-one chains are only correct if every parked worker that is
+        // needed eventually wakes; hammer the queue with small jobs.
+        let pool = WorkerPool::new(4);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..1_000 {
+            let task = |_i: usize| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            };
+            pool.submit(JobSpec::new(4), &task).wait();
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 4_000);
     }
 }

@@ -5,7 +5,7 @@
 //! Run with: `cargo run -p jitspmm-examples --release --bin quickstart`
 
 use jitspmm::baseline::vectorized::spmm_vectorized;
-use jitspmm::{JitSpmmBuilder, Strategy};
+use jitspmm::{JitSpmmBuilder, Strategy, WorkerPool};
 use jitspmm_examples::require_jit_host;
 use jitspmm_sparse::{generate, DenseMatrix};
 use std::time::Instant;
@@ -59,5 +59,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         aot_time,
         aot_time.as_secs_f64() / steady.elapsed.as_secs_f64()
     );
+
+    // 5. Overlap two engines with asynchronous execution: each launch is
+    //    lane-capped to its engine's thread count, so both kernels run
+    //    concurrently on disjoint subsets of one shared pool instead of
+    //    serializing — the shape of a server juggling several compiled
+    //    models at once.
+    let pool = WorkerPool::new(2);
+    let b = generate::rmat::<f32>(13, 250_000, generate::RmatConfig::WEB, 43);
+    let xb = DenseMatrix::random(b.ncols(), d, 8);
+    let eng_a = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&a, d)?;
+    let eng_b = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&b, d)?;
+    let start = Instant::now();
+    let ha = eng_a.execute_async(&x)?; // returns immediately; job in flight
+    let hb = eng_b.execute_async(&xb)?; // second job overlaps the first
+    let (ya, report_a) = ha.wait();
+    let (yb, report_b) = hb.wait();
+    println!(
+        "overlapped engines: both done in {:?} (kernels {:?} + {:?})",
+        start.elapsed(),
+        report_a.kernel,
+        report_b.kernel
+    );
+    assert!(ya.approx_eq(&reference, 1e-4));
+    assert!(yb.approx_eq(&b.spmm_reference(&xb), 1e-4));
     Ok(())
 }

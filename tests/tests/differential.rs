@@ -1,0 +1,225 @@
+//! Scenario-matrix differential harness.
+//!
+//! With overlapping JIT execution in the runtime, correctness can no longer
+//! rest on ad-hoc cases: this harness runs the JIT engine (both workload
+//! division families), the single-thread scalar baseline and the
+//! multi-threaded auto-vectorized baseline against each other across a
+//! matrix of structural shapes × lane counts, and requires elementwise
+//! agreement within tolerance everywhere. The scalar baseline — plain safe
+//! Rust, no threading, no unsafe — is the trust anchor; everything else is
+//! differential against it.
+//!
+//! Shapes: empty rows, a single dense row, banded, power-law, tiny (1×1),
+//! and wide outputs (d swept over 1..=64). Lane counts: 1, 2, the shared
+//! pool's size, and oversubscribed (more lanes than workers). Every
+//! combination that executed is counted, and the harness asserts it covered
+//! at least the 20 combinations the runtime milestone calls for.
+
+use jitspmm::baseline::{scalar, vectorized};
+use jitspmm::{JitSpmmBuilder, Strategy, WorkerPool};
+use jitspmm_integration_tests::host_supports_jit;
+use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
+
+/// One differential scenario: a named matrix shape plus a dense column
+/// count.
+struct Scenario {
+    name: String,
+    matrix: CsrMatrix<f32>,
+    d: usize,
+}
+
+fn scenario(name: impl Into<String>, matrix: CsrMatrix<f32>, d: usize) -> Scenario {
+    Scenario { name: name.into(), matrix, d }
+}
+
+/// A 120x90 matrix where five out of every six rows are empty.
+fn empty_rows() -> CsrMatrix<f32> {
+    let triplets: Vec<(usize, usize, f32)> = (0..120)
+        .step_by(6)
+        .flat_map(|r| [(r, r % 90, 1.5), (r, (r * 7 + 3) % 90, -2.0)])
+        .collect();
+    CsrMatrix::from_triplets(120, 90, &triplets).unwrap()
+}
+
+/// A 64x64 matrix whose only non-zeros form one fully dense row, so a
+/// single task carries the entire workload however rows are partitioned.
+fn single_dense_row() -> CsrMatrix<f32> {
+    let triplets: Vec<(usize, usize, f32)> =
+        (0..64).map(|c| (20usize, c as usize, 0.25 + c as f32)).collect();
+    CsrMatrix::from_triplets(64, 64, &triplets).unwrap()
+}
+
+/// A 150x150 tridiagonal band: uniform short rows, the static splitters'
+/// best case and the dynamic claim loop's worst (many tiny batches).
+fn banded() -> CsrMatrix<f32> {
+    let mut triplets = Vec::new();
+    for r in 0..150usize {
+        triplets.push((r, r, 2.0));
+        if r > 0 {
+            triplets.push((r, r - 1, -1.0));
+        }
+        if r + 1 < 150 {
+            triplets.push((r, r + 1, -1.0));
+        }
+    }
+    CsrMatrix::from_triplets(150, 150, &triplets).unwrap()
+}
+
+/// A skewed power-law graph (hub rows next to near-empty rows).
+fn power_law() -> CsrMatrix<f32> {
+    generate::rmat(9, 5_000, generate::RmatConfig::GRAPH500, 33)
+}
+
+/// The smallest possible problem.
+fn tiny() -> CsrMatrix<f32> {
+    CsrMatrix::from_triplets(1, 1, &[(0, 0, 3.5)]).unwrap()
+}
+
+/// A moderate uniform matrix used for the wide-output (d) sweep.
+fn wide_base() -> CsrMatrix<f32> {
+    generate::uniform(200, 170, 2_500, 44)
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let mut all = vec![
+        scenario("empty-rows", empty_rows(), 8),
+        scenario("single-dense-row", single_dense_row(), 16),
+        scenario("banded", banded(), 8),
+        scenario("power-law", power_law(), 16),
+        scenario("tiny-1x1", tiny(), 1),
+    ];
+    // Wide outputs: sweep d across the 1..=64 range the kernels tile over,
+    // hitting the remainder paths (non-multiples of the SIMD width) too.
+    for d in [1usize, 5, 16, 33, 64] {
+        all.push(scenario(format!("wide-d{d}"), wide_base(), d));
+    }
+    all
+}
+
+#[test]
+fn differential_matrix_jit_vs_baselines() {
+    let pool = WorkerPool::new(3);
+    // 1 lane, 2 lanes, one per pool worker, oversubscribed.
+    let lane_counts = [1usize, 2, pool.size(), 8];
+    let jit = host_supports_jit();
+    if !jit {
+        eprintln!("host lacks AVX/FMA: running the baseline-only differential");
+    }
+    let mut combinations = 0usize;
+
+    for s in scenarios() {
+        let x = DenseMatrix::random(s.matrix.ncols(), s.d, 77);
+        // Trust anchor: single-thread scalar AOT baseline.
+        let mut expected = DenseMatrix::zeros(s.matrix.nrows(), s.d);
+        scalar::spmm_scalar_naive(&s.matrix, &x, &mut expected);
+
+        for lanes in lane_counts {
+            // Differential axis 1: the multi-threaded auto-vectorized
+            // baseline on the shared pool.
+            let mut y_vec = DenseMatrix::zeros(s.matrix.nrows(), s.d);
+            vectorized::spmm_vectorized_on(
+                &pool,
+                &s.matrix,
+                &x,
+                &mut y_vec,
+                Strategy::row_split_dynamic_default(),
+                lanes,
+            );
+            assert!(
+                y_vec.approx_eq(&expected, 1e-4),
+                "{} ({} lanes): vectorized vs scalar, max diff {}",
+                s.name,
+                lanes,
+                y_vec.max_abs_diff(&expected)
+            );
+
+            // Differential axis 2: the JIT engine, both workload-division
+            // families (static ranges and the dynamic claim loop).
+            if jit {
+                for strategy in
+                    [Strategy::RowSplitStatic, Strategy::RowSplitDynamic { batch: 16 }]
+                {
+                    let engine = JitSpmmBuilder::new()
+                        .strategy(strategy)
+                        .threads(lanes)
+                        .pool(pool.clone())
+                        .build(&s.matrix, s.d)
+                        .unwrap();
+                    let (y, report) = engine.execute(&x).unwrap();
+                    assert!(
+                        y.approx_eq(&expected, 1e-4),
+                        "{} ({} lanes, {strategy}): jit vs scalar, max diff {}",
+                        s.name,
+                        lanes,
+                        y.max_abs_diff(&expected)
+                    );
+                    assert_eq!(report.threads, lanes);
+                }
+            }
+            combinations += 1;
+        }
+    }
+
+    assert!(
+        combinations >= 20,
+        "differential harness must cover at least 20 scenario combinations, got {combinations}"
+    );
+}
+
+#[test]
+fn differential_matrix_async_overlap() {
+    // The same scenario matrix, but every consecutive pair of scenarios is
+    // executed as two *overlapping* lane-capped async launches on one shared
+    // pool — the exact configuration the deferred-submission runtime exists
+    // for — and each result must still match the scalar trust anchor.
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let pool = WorkerPool::new(3);
+    let all = scenarios();
+    let mut combinations = 0usize;
+    for pair in all.chunks(2) {
+        let [s1, s2] = pair else { continue };
+        let x1 = DenseMatrix::random(s1.matrix.ncols(), s1.d, 5);
+        let x2 = DenseMatrix::random(s2.matrix.ncols(), s2.d, 6);
+        let mut expected1 = DenseMatrix::zeros(s1.matrix.nrows(), s1.d);
+        scalar::spmm_scalar_naive(&s1.matrix, &x1, &mut expected1);
+        let mut expected2 = DenseMatrix::zeros(s2.matrix.nrows(), s2.d);
+        scalar::spmm_scalar_naive(&s2.matrix, &x2, &mut expected2);
+        let e1 = JitSpmmBuilder::new()
+            .strategy(Strategy::RowSplitDynamic { batch: 16 })
+            .threads(1)
+            .pool(pool.clone())
+            .build(&s1.matrix, s1.d)
+            .unwrap();
+        let e2 = JitSpmmBuilder::new()
+            .strategy(Strategy::RowSplitStatic)
+            .threads(2)
+            .pool(pool.clone())
+            .build(&s2.matrix, s2.d)
+            .unwrap();
+        for round in 0..5 {
+            let h1 = e1.execute_async(&x1).unwrap();
+            let h2 = e2.execute_async(&x2).unwrap();
+            // Join in reverse submission order to exercise out-of-order
+            // completion.
+            let (y2, _) = h2.wait();
+            let (y1, _) = h1.wait();
+            assert!(
+                y1.approx_eq(&expected1, 1e-4),
+                "{} overlapped with {} (round {round})",
+                s1.name,
+                s2.name
+            );
+            assert!(
+                y2.approx_eq(&expected2, 1e-4),
+                "{} overlapped with {} (round {round})",
+                s2.name,
+                s1.name
+            );
+            combinations += 1;
+        }
+    }
+    assert!(combinations >= 20, "async differential covered only {combinations} combinations");
+}

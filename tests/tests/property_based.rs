@@ -2,7 +2,7 @@
 //! counts and strategies must always produce output identical to the
 //! reference implementation, and core data-structure invariants must hold.
 
-use jitspmm::{JitSpmmBuilder, Strategy};
+use jitspmm::{JitSpmmBuilder, Strategy, WorkerPool};
 use jitspmm_integration_tests::host_supports_jit;
 use jitspmm_sparse::{CooMatrix, CsrMatrix, DenseMatrix};
 use proptest::prelude::*;
@@ -105,6 +105,89 @@ proptest! {
             y.approx_eq(&expected, 1e-3),
             "strategy {:?}, d {}, diff {}", strategy, d, y.max_abs_diff(&expected)
         );
+    }
+
+    /// Two engines executed concurrently through `execute_async` — lane-capped
+    /// onto one shared pool — must produce exactly the results their blocking,
+    /// sequential executions produce. Row-wise partitioning computes every
+    /// output row identically regardless of which lane claims it, so the
+    /// comparison is bitwise; any lane-capping or wake-chain race that lets
+    /// one job's tasks bleed into the other's buffers (or drops tasks) breaks
+    /// it.
+    #[test]
+    fn async_overlap_matches_sequential(
+        (nrows1, ncols1, entries1) in arb_matrix(),
+        (nrows2, ncols2, entries2) in arb_matrix(),
+        d in 1usize..24,
+        threads1 in 1usize..3,
+        threads2 in 1usize..3,
+    ) {
+        if !host_supports_jit() {
+            return Ok(());
+        }
+        let a1 = CsrMatrix::from_triplets(nrows1, ncols1, &entries1).unwrap();
+        let a2 = CsrMatrix::from_triplets(nrows2, ncols2, &entries2).unwrap();
+        let pool = WorkerPool::new(2);
+        let e1 = JitSpmmBuilder::new()
+            .strategy(Strategy::RowSplitDynamic { batch: 5 })
+            .threads(threads1)
+            .pool(pool.clone())
+            .build(&a1, d)
+            .unwrap();
+        let e2 = JitSpmmBuilder::new()
+            .strategy(Strategy::RowSplitStatic)
+            .threads(threads2)
+            .pool(pool.clone())
+            .build(&a2, d)
+            .unwrap();
+        let x1 = DenseMatrix::<f32>::random(ncols1, d, 17);
+        let x2 = DenseMatrix::<f32>::random(ncols2, d, 18);
+        let (s1, _) = e1.execute(&x1).unwrap();
+        let s1 = s1.into_dense();
+        let (s2, _) = e2.execute(&x2).unwrap();
+        let s2 = s2.into_dense();
+        // Several rounds per case: races need repetition to surface.
+        for round in 0..4 {
+            let h1 = e1.execute_async(&x1).unwrap();
+            let h2 = e2.execute_async(&x2).unwrap();
+            let (y2, _) = h2.wait();
+            let (y1, _) = h1.wait();
+            prop_assert!(y1 == s1, "engine 1 diverged under overlap (round {})", round);
+            prop_assert!(y2 == s2, "engine 2 diverged under overlap (round {})", round);
+        }
+    }
+
+    /// Deferred pool jobs never lose or duplicate tasks, whatever the task
+    /// count, lane cap and number of concurrently outstanding handles.
+    #[test]
+    fn submitted_jobs_run_every_task_exactly_once(
+        tasks in 1usize..200,
+        max_lanes in 0usize..6,
+        jobs in 1usize..5,
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = WorkerPool::new(3);
+        let counters: Vec<Vec<AtomicUsize>> = (0..jobs)
+            .map(|_| (0..tasks).map(|_| AtomicUsize::new(0)).collect())
+            .collect();
+        let specs = jitspmm::JobSpec::new(tasks).max_lanes(max_lanes);
+        {
+            let tasks_fns: Vec<_> = counters
+                .iter()
+                .map(|slots| move |i: usize| {
+                    slots[i].fetch_add(1, Ordering::Relaxed);
+                })
+                .collect();
+            let handles: Vec<_> = tasks_fns.iter().map(|t| pool.submit(specs, t)).collect();
+            for handle in handles {
+                handle.wait();
+            }
+        }
+        for (j, slots) in counters.iter().enumerate() {
+            for (i, slot) in slots.iter().enumerate() {
+                prop_assert_eq!(slot.load(Ordering::Relaxed), 1, "job {} task {}", j, i);
+            }
+        }
     }
 
     /// Workload partitions always cover every row exactly once, regardless of

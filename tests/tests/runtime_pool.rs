@@ -1,12 +1,15 @@
 //! Integration tests for the persistent worker-pool runtime: many engines
 //! sharing one pool, concurrent submission from multiple host threads, all
 //! four workload-division strategies on the pooled path, engine-drop
-//! behaviour, and output-buffer recycling.
+//! behaviour, output-buffer recycling, deferred submission (handle drop
+//! semantics, shutdown), and the notify-one wake chain under rapid
+//! submission.
 
 use jitspmm::baseline::{mkl_like, vectorized};
-use jitspmm::{JitSpmmBuilder, Strategy, WorkerPool};
+use jitspmm::{JitSpmmBuilder, JobSpec, Strategy, WorkerPool};
 use jitspmm_integration_tests::{host_supports_jit, pathological, small_skewed};
 use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn all_strategies() -> [Strategy; 4] {
     [
@@ -230,4 +233,120 @@ fn inline_pool_produces_identical_results() {
     let (y_inline, _) = inline.execute(&x).unwrap();
     let (y_threaded, _) = threaded.execute(&x).unwrap();
     assert_eq!(y_inline, y_threaded);
+}
+
+/// The ROADMAP's known wake-cost issue: the old `notify_all` wake briefly
+/// woke every parked worker per job. The replacement notify-one chain must
+/// wake exactly as many workers as a job needs — and, critically, must never
+/// *lose* a wakeup: a lost wakeup leaves a job's lane slots unclaimed
+/// forever and `wait()` hangs. Hammer an 8-worker pool with 10k rapid
+/// submissions across a mix of lane caps and overlap patterns; if any
+/// wakeup is lost the test deadlocks (and the suite times out), and if any
+/// task is lost or duplicated the counters catch it.
+#[test]
+fn notify_one_chain_survives_10k_rapid_submits() {
+    let pool = WorkerPool::new(8);
+    let hits = AtomicUsize::new(0);
+    let mut expected = 0usize;
+    let mut submitted = 0usize;
+    let mut round = 0usize;
+    while submitted < 10_000 {
+        // Cycle lane caps 1..=8 so the chain length varies every round.
+        let cap = round % 8 + 1;
+        let tasks = 4 + round % 5;
+        let task = |_i: usize| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        };
+        if round.is_multiple_of(3) {
+            // Two jobs genuinely in flight at once.
+            let a = pool.submit(JobSpec::new(tasks).max_lanes(cap), &task);
+            let b = pool.submit(JobSpec::new(tasks).max_lanes(8 - cap + 1), &task);
+            a.wait();
+            b.wait();
+            submitted += 2;
+            expected += 2 * tasks;
+        } else {
+            pool.submit(JobSpec::new(tasks).max_lanes(cap), &task).wait();
+            submitted += 1;
+            expected += tasks;
+        }
+        round += 1;
+    }
+    assert!(submitted >= 10_000);
+    assert_eq!(hits.load(Ordering::Relaxed), expected, "lost or duplicated tasks");
+}
+
+/// Dropping a `JobHandle` without calling `wait()` must still run the job to
+/// completion (the closure borrow ends at drop), and the pool must shut down
+/// cleanly afterwards — no wedged workers, no leaked jobs.
+#[test]
+fn job_handle_drop_without_wait_completes_and_pool_shuts_down() {
+    let pool = WorkerPool::new(2);
+    let hits = AtomicUsize::new(0);
+    {
+        let task = |_i: usize| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        };
+        let _one = pool.submit(JobSpec::new(32), &task);
+        let _two = pool.submit(JobSpec::new(32).max_lanes(1), &task);
+        // Both dropped here without wait().
+    }
+    assert_eq!(hits.load(Ordering::Relaxed), 64, "drop must join the job");
+    // Dropping the pool joins the workers; a leaked/wedged job would hang.
+    drop(pool);
+}
+
+/// Dropping an `ExecutionHandle` without waiting must hand the pooled output
+/// buffer back to the engine (no leak — the very next execute reuses it) and
+/// must not wedge pool shutdown.
+#[test]
+fn execution_handle_drop_without_wait_recycles_buffer_and_shutdown() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let pool = WorkerPool::new(2);
+    let a = generate::uniform::<f32>(128, 128, 1_500, 13);
+    let x = DenseMatrix::random(128, 8, 14);
+    {
+        let engine = JitSpmmBuilder::new().pool(pool.clone()).threads(2).build(&a, 8).unwrap();
+        // Learn the engine's recycled buffer address with a plain execute.
+        let recycled_ptr = {
+            let (y, _) = engine.execute(&x).unwrap();
+            y.as_ptr()
+        };
+        // The async launch acquires that same buffer; dropping the handle
+        // without wait must hand it back...
+        drop(engine.execute_async(&x).unwrap());
+        // ...so the next execute reuses it instead of allocating afresh.
+        let (y, _) = engine.execute(&x).unwrap();
+        assert_eq!(y.as_ptr(), recycled_ptr, "abandoned launch leaked its output buffer");
+        assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+    }
+    // Engine gone; pool must still serve and then shut down cleanly.
+    let hits = AtomicUsize::new(0);
+    pool.run(16, &|_| {
+        hits.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 16);
+    drop(pool);
+}
+
+/// An abandoned (dropped-without-wait) launch must leave the engine ready
+/// for the next launch immediately — the launch lock is released on drop.
+#[test]
+fn abandoned_launch_releases_the_engine() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let a = generate::rmat::<f32>(8, 3_000, generate::RmatConfig::GRAPH500, 15);
+    let x = DenseMatrix::random(a.ncols(), 8, 16);
+    let engine =
+        JitSpmmBuilder::new().pool(WorkerPool::new(2)).threads(2).build(&a, 8).unwrap();
+    for _ in 0..10 {
+        drop(engine.execute_async(&x).unwrap());
+    }
+    let (y, _) = engine.execute_async(&x).unwrap().wait();
+    assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
 }
