@@ -181,32 +181,39 @@ fn main() {
         .pool(pool.clone())
         .build(&a2, D)
         .expect("JIT compilation failed");
-    let (y1, _) = e1.execute_async(&x1).expect("launch failed").wait();
-    assert!(y1.approx_eq(&a1.spmm_reference(&x1), 1e-3), "overlap: engine 1 mismatch");
-    drop(y1);
-    let (y2, _) = e2.execute_async(&x2).expect("launch failed").wait();
-    assert!(y2.approx_eq(&a2.spmm_reference(&x2), 1e-3), "overlap: engine 2 mismatch");
-    drop(y2);
+    pool.scope(|scope| {
+        let (y1, _) = e1.execute_async(scope, &x1).expect("launch failed").wait();
+        assert!(y1.approx_eq(&a1.spmm_reference(&x1), 1e-3), "overlap: engine 1 mismatch");
+        drop(y1);
+        let (y2, _) = e2.execute_async(scope, &x2).expect("launch failed").wait();
+        assert!(y2.approx_eq(&a2.spmm_reference(&x2), 1e-3), "overlap: engine 2 mismatch");
+        drop(y2);
+    });
 
-    // One batch: both client threads issue `overlap_batch` executions each,
-    // serialized by `lock` when given; returns the wall time to drain both.
+    // One batch: both client threads issue `overlap_batch` executions each
+    // (each inside its own pool scope), serialized by `lock` when given;
+    // returns the wall time to drain both.
     let run_batch = |serialize: Option<&std::sync::Mutex<()>>| -> Duration {
         let barrier = std::sync::Barrier::new(2);
         let mut elapsed = Duration::ZERO;
-        std::thread::scope(|scope| {
-            let client = scope.spawn(|| {
-                barrier.wait();
-                for _ in 0..overlap_batch {
-                    let _guard = serialize.map(|m| m.lock().unwrap());
-                    let _ = e1.execute_async(&x1).unwrap().wait();
-                }
+        std::thread::scope(|threads| {
+            let client = threads.spawn(|| {
+                pool.scope(|scope| {
+                    barrier.wait();
+                    for _ in 0..overlap_batch {
+                        let _guard = serialize.map(|m| m.lock().unwrap());
+                        let _ = e1.execute_async(scope, &x1).unwrap().wait();
+                    }
+                });
             });
             barrier.wait();
             let start = Instant::now();
-            for _ in 0..overlap_batch {
-                let _guard = serialize.map(|m| m.lock().unwrap());
-                let _ = e2.execute_async(&x2).unwrap().wait();
-            }
+            pool.scope(|scope| {
+                for _ in 0..overlap_batch {
+                    let _guard = serialize.map(|m| m.lock().unwrap());
+                    let _ = e2.execute_async(scope, &x2).unwrap().wait();
+                }
+            });
             client.join().unwrap();
             elapsed = start.elapsed();
         });
@@ -227,20 +234,25 @@ fn main() {
     }
     let serialized = Stats { best: ser_best, mean: ser_total / overlap_samples as u32 };
     let overlapped = Stats { best: ovl_best, mean: ovl_total / overlap_samples as u32 };
+    // On a 1-core host the best-of metric is noisy (the serialized
+    // configuration occasionally lands one lucky batch), while the mean over
+    // all batches consistently shows the removed lock handoff; report both.
     let overlap_speedup = serialized.best.as_secs_f64() / overlapped.best.as_secs_f64();
+    let overlap_speedup_mean = serialized.mean.as_secs_f64() / overlapped.mean.as_secs_f64();
     println!(
         "\noverlapped engines (2 clients, 1 lane each, shared 2-worker pool, \
          {overlap_batch} jobs per client per batch):\n  serialized {:?} vs overlapped {:?} \
-         per batch ({overlap_speedup:.2}x)",
+         per batch ({overlap_speedup:.2}x best, {overlap_speedup_mean:.2}x mean)",
         serialized.best, overlapped.best
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"dispatch_overhead\",\n  \"d\": {D},\n  \"lanes\": {threads},\n  \"results\": [\n{}\n  ],\n  \"overlap\": {{\"pool_workers\": 2, \"lanes_per_job\": 1, \"jobs_per_client\": {overlap_batch}, \"serialized\": {}, \"overlapped\": {}, \"overlap_speedup_best\": {:.4}}}\n}}\n",
+        "{{\n  \"bench\": \"dispatch_overhead\",\n  \"d\": {D},\n  \"lanes\": {threads},\n  \"results\": [\n{}\n  ],\n  \"overlap\": {{\"pool_workers\": 2, \"lanes_per_job\": 1, \"jobs_per_client\": {overlap_batch}, \"serialized\": {}, \"overlapped\": {}, \"overlap_speedup_best\": {:.4}, \"overlap_speedup_mean\": {:.4}}}\n}}\n",
         json_rows.join(",\n"),
         json_stats(&serialized),
         json_stats(&overlapped),
         overlap_speedup,
+        overlap_speedup_mean,
     );
     // Cargo runs benches with the package directory as CWD; anchor the JSON
     // at the workspace root so the perf trajectory lives in one place.

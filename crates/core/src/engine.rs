@@ -6,7 +6,7 @@ use crate::codegen::{
 use crate::error::JitSpmmError;
 use crate::kernel::{CompiledKernel, KernelKind, KernelMeta};
 use crate::runtime::dispatch::{self, BufferPool, KernelJob};
-use crate::runtime::{JobHandle, PooledMatrix, WorkerPool};
+use crate::runtime::{PoolScope, PooledMatrix, ScopedJobHandle, WorkerPool};
 use crate::schedule::{partition, DynamicCounter, Partition, Strategy};
 use jitspmm_asm::{CpuFeatures, IsaLevel};
 use jitspmm_sparse::{CsrMatrix, DenseMatrix, Scalar};
@@ -407,19 +407,25 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         &self,
         x: &DenseMatrix<T>,
     ) -> Result<(PooledMatrix<T>, ExecutionReport), JitSpmmError> {
-        let mut y =
-            PooledMatrix::new(self.output_pool.acquire(self.matrix.nrows(), self.d),
-                Arc::clone(&self.output_pool));
-        let report = self.execute_into(x, &mut y)?;
+        // Validate, then lock, then allocate — the ordering every launch
+        // path shares: a call that fails shape validation or blocks behind
+        // another launch must not pay the buffer-pool round trip first.
+        self.check_input_shape(x)?;
+        let launch = self.begin_launch(true)?;
+        let mut y = PooledMatrix::new(
+            self.output_pool.acquire(self.matrix.nrows(), self.d),
+            Arc::clone(&self.output_pool),
+        );
+        let report = self.launch_kernel(&launch, x, &mut y);
         Ok((y, report))
     }
 
     /// Compute `Y = A * X` without blocking: the kernel launch is submitted
-    /// to the worker pool and runs in the background while this call
-    /// returns. Join it with [`ExecutionHandle::wait`] to obtain the result
-    /// and its [`ExecutionReport`]; the waiting thread steals remaining
-    /// kernel tasks, so submit-then-wait costs no more than the blocking
-    /// [`JitSpmm::execute`].
+    /// through `scope` to its worker pool and runs in the background while
+    /// this call returns. Join it with [`ExecutionHandle::wait`] to obtain
+    /// the result and its [`ExecutionReport`]; the waiting thread steals
+    /// remaining kernel tasks, so submit-then-wait costs no more than the
+    /// blocking [`JitSpmm::execute`].
     ///
     /// The job is capped to this engine's lane count
     /// ([`JitSpmmBuilder::threads`]), so several engines sharing a pool can
@@ -438,15 +444,33 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
     /// let eng_a = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&a, 8)?;
     /// let eng_b = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&b, 8)?;
     /// let x = DenseMatrix::random(200, 8, 3);
-    /// let ha = eng_a.execute_async(&x)?; // both jobs now in flight,
-    /// let hb = eng_b.execute_async(&x)?; // one worker lane each
-    /// let (ya, _) = ha.wait();
-    /// let (yb, _) = hb.wait();
-    /// assert!(ya.approx_eq(&a.spmm_reference(&x), 1e-4));
-    /// assert!(yb.approx_eq(&b.spmm_reference(&x), 1e-4));
+    /// pool.scope(|scope| -> Result<(), jitspmm::JitSpmmError> {
+    ///     let ha = eng_a.execute_async(scope, &x)?; // both jobs now in flight,
+    ///     let hb = eng_b.execute_async(scope, &x)?; // one worker lane each
+    ///     let (ya, _) = ha.wait();
+    ///     let (yb, _) = hb.wait();
+    ///     assert!(ya.approx_eq(&a.spmm_reference(&x), 1e-4));
+    ///     assert!(yb.approx_eq(&b.spmm_reference(&x), 1e-4));
+    ///     Ok(())
+    /// })?;
     /// # Ok(())
     /// # }
     /// ```
+    ///
+    /// The launch is anchored to a [`PoolScope`] (see [`WorkerPool::scope`])
+    /// because the job dereferences borrowed data — the compiled kernel, the
+    /// CSR arrays its code embeds, and `x` — and memory safety must not
+    /// depend on the handle's destructor running ([`std::mem::forget`] is
+    /// safe): the scope joins every launch before it returns, even if the
+    /// handle was dropped or leaked. Dropping the handle without waiting
+    /// joins the job right away and recycles the output buffer; leaking it
+    /// is safe but leaks the buffer and keeps the engine's launch slot
+    /// occupied forever — non-blocking launches (and blocking ones from the
+    /// leaking thread) fail with [`JitSpmmError::LaunchInProgress`], while
+    /// blocking launches from *other* threads wait for a launch that never
+    /// ends. The job runs on `scope`'s pool — normally the engine's own, as
+    /// in the example; the lane cap applies to whichever pool the scope
+    /// wraps.
     ///
     /// One engine can only run one launch at a time (the dynamic row-claim
     /// counter is engine-owned state embedded in the generated code), so a
@@ -456,8 +480,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
     /// handle on the same thread. The blocking paths ([`JitSpmm::execute`]
     /// and friends) return the same error when the *calling thread* already
     /// holds an outstanding handle (they still block, as always, on
-    /// launches held by other threads). Dropping the handle without waiting
-    /// joins the job and recycles the output buffer. On a zero-worker
+    /// launches held by other threads). On a zero-worker
     /// ([`WorkerPool::inline`]) pool the kernel runs to completion inside
     /// this call.
     ///
@@ -466,10 +489,11 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
     /// Returns [`JitSpmmError::ShapeMismatch`] if `x` is not `A.ncols() x d`
     /// and [`JitSpmmError::LaunchInProgress`] if another launch of this
     /// engine has not completed yet.
-    pub fn execute_async<'s>(
-        &'s self,
-        x: &'s DenseMatrix<T>,
-    ) -> Result<ExecutionHandle<'s, T>, JitSpmmError> {
+    pub fn execute_async<'scope, 'env>(
+        &'env self,
+        scope: &'scope PoolScope<'scope, 'env>,
+        x: &'env DenseMatrix<T>,
+    ) -> Result<ExecutionHandle<'scope, T>, JitSpmmError> {
         // Validate, then lock, then allocate: a rejected call (bad shape, or
         // the expected busy-poll LaunchInProgress answer) must not pay a
         // buffer-pool round trip for an output it will never produce.
@@ -479,26 +503,27 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
             self.output_pool.acquire(self.matrix.nrows(), self.d),
             Arc::clone(&self.output_pool),
         );
-        let payload = Box::new(KernelJob::new(
-            &self.kernel,
-            &self.partition.ranges,
-            x.as_ptr(),
-            y.as_mut_ptr(),
-        ));
-        let spec = payload.spec(self.kernel.kind(), self.threads);
+        let job = KernelJob::new(&self.kernel, &self.partition.ranges, x.as_ptr(), y.as_mut_ptr());
+        let spec = job.spec(self.kernel.kind(), self.threads);
+        // Owned through `Box::into_raw`/`from_raw` rather than as a `Box`
+        // field: workers hold a raw pointer to the payload, which moving a
+        // box (with every move of the handle) would invalidate under the
+        // aliasing rules.
+        let payload: *mut KernelJob<T> = Box::into_raw(Box::new(job));
         let start = Instant::now();
-        // SAFETY: the payload box, the output buffer and the launch guard
-        // all live in the returned handle, declared *after* the job handle,
-        // so the job is joined before any of them is released; the kernel,
-        // partition and `x` are borrowed for `'s`, which the handle cannot
-        // outlive. Shapes were checked above and the counter reset under the
-        // launch lock.
+        // SAFETY: the payload allocation and the output buffer are owned by
+        // the returned handle — released only after its drop has joined the
+        // job, and leaked (never freed) if the handle is leaked — while the
+        // kernel, the partition, the engine-borrowed CSR arrays and `x` are
+        // borrowed for 'env, which cannot end before the scope has joined
+        // the job. Shapes were checked above and the counter reset under the
+        // launch lock held in `guard`.
         let job = unsafe {
-            self.pool.submit_raw(spec, &*payload as *const KernelJob<T> as *const (), KernelJob::<T>::erased())
+            scope.submit_erased(spec, payload as *const (), KernelJob::<T>::erased())
         };
         Ok(ExecutionHandle {
             job: Some(job),
-            _payload: payload,
+            payload,
             y: Some(y),
             start,
             threads: self.threads,
@@ -524,11 +549,24 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         y: &mut DenseMatrix<T>,
     ) -> Result<ExecutionReport, JitSpmmError> {
         self.check_shapes(x, y)?;
-        let _launch = self.begin_launch(true)?;
+        let launch = self.begin_launch(true)?;
+        Ok(self.launch_kernel(&launch, x, y))
+    }
+
+    /// Dispatch one launch of the compiled kernel over the pool. The caller
+    /// has already validated the shapes and holds the launch lock (`_launch`
+    /// proves it).
+    fn launch_kernel(
+        &self,
+        _launch: &LaunchGuard<'_>,
+        x: &DenseMatrix<T>,
+        y: &mut DenseMatrix<T>,
+    ) -> ExecutionReport {
         let start = Instant::now();
         // SAFETY: the engine borrows the CSR matrix whose pointers the kernel
-        // embeds, shapes were checked above, and rows are partitioned
-        // disjointly across lanes (statically or via the dynamic counter).
+        // embeds, the caller checked the shapes, and rows are partitioned
+        // disjointly across lanes (statically or via the dynamic counter,
+        // reset under the held launch lock).
         let kernel = unsafe {
             match self.kernel.kind() {
                 KernelKind::DynamicDispatch => dispatch::run_dynamic(
@@ -549,13 +587,13 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
             }
         };
         let elapsed = start.elapsed();
-        Ok(ExecutionReport {
+        ExecutionReport {
             elapsed,
             kernel,
             dispatch: elapsed.saturating_sub(kernel),
             threads: self.threads,
             strategy: self.options.strategy,
-        })
+        }
     }
 
     /// Compute `Y = A * X` by spawning fresh OS threads for this one call —
@@ -721,7 +759,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
 /// An in-flight asynchronous kernel launch, returned by
 /// [`JitSpmm::execute_async`].
 ///
-/// The launch runs on the engine's worker pool while the submitting thread
+/// The launch runs on the scope's worker pool while the submitting thread
 /// is free to do other work — typically submitting launches on *other*
 /// engines so that several compiled kernels overlap on disjoint, lane-capped
 /// worker subsets. [`ExecutionHandle::wait`] joins the job (stealing its
@@ -732,22 +770,42 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
 /// output buffer back to the engine's pool — nothing leaks and the pool
 /// shuts down cleanly. The handle also holds the engine's launch lock, so
 /// the engine accepts no other launch until the handle is gone. Leaking the
-/// handle without running its destructor (e.g. [`std::mem::forget`]) is not
-/// supported.
-pub struct ExecutionHandle<'e, T: Scalar> {
-    /// Must be declared (and therefore dropped) before the fields it
-    /// borrows from: the payload box, the output buffer and the launch
-    /// guard. `JobHandle::drop` joins the job.
-    job: Option<JobHandle<'e>>,
-    /// Keeps the erased task data the pool workers dereference alive.
-    _payload: Box<KernelJob<T>>,
+/// handle (e.g. [`std::mem::forget`]) is safe — the owning [`PoolScope`]
+/// still joins the kernel job before any borrowed input can be freed — but
+/// leaks the output buffer and leaves the launch lock held forever: the
+/// engine refuses non-blocking (and same-thread blocking) launches with
+/// [`crate::JitSpmmError::LaunchInProgress`], and blocking launches from
+/// other threads wait indefinitely.
+pub struct ExecutionHandle<'s, T: Scalar> {
+    /// Joined in [`ExecutionHandle::wait`] or in the drop below; when the
+    /// handle is leaked instead, the owning [`PoolScope`] joins the job.
+    job: Option<ScopedJobHandle<'s>>,
+    /// The erased task data the pool workers dereference, owned through
+    /// `Box::into_raw` (a box field would be invalidated by handle moves);
+    /// freed in drop after the join, leaked with a leaked handle.
+    payload: *mut KernelJob<T>,
     y: Option<PooledMatrix<T>>,
     start: Instant,
     threads: usize,
     strategy: Strategy,
     /// Holds the engine's launch lock for the lifetime of the launch (the
     /// dynamic counter must not be reset mid-claim by another launch).
-    _launch: LaunchGuard<'e>,
+    _launch: LaunchGuard<'s>,
+}
+
+impl<T: Scalar> Drop for ExecutionHandle<'_, T> {
+    fn drop(&mut self) {
+        // Join before the payload, the output buffer and the launch guard
+        // are released. Kernel panics are discarded here — `wait` re-raises
+        // them — so an abandoned launch cannot poison the scope exit.
+        if let Some(job) = &mut self.job {
+            job.join_quiet();
+        }
+        // SAFETY: produced by `Box::into_raw` in `execute_async`; the job is
+        // joined (above, or before `wait` returned), so no worker can reach
+        // the payload.
+        drop(unsafe { Box::from_raw(self.payload) });
+    }
 }
 
 impl<T: Scalar> ExecutionHandle<'_, T> {
@@ -1043,11 +1101,13 @@ mod tests {
                 .unwrap();
             let (y_blocking, _) = engine.execute(&x).unwrap();
             let y_blocking = y_blocking.into_dense();
-            let handle = engine.execute_async(&x).unwrap();
-            let (y_async, report) = handle.wait();
-            assert_eq!(y_async, y_blocking, "strategy {strategy}");
-            assert_eq!(report.threads, 2);
-            assert_eq!(report.elapsed, report.kernel + report.dispatch);
+            engine.pool().scope(|scope| {
+                let handle = engine.execute_async(scope, &x).unwrap();
+                let (y_async, report) = handle.wait();
+                assert_eq!(y_async, y_blocking, "strategy {strategy}");
+                assert_eq!(report.threads, 2);
+                assert_eq!(report.elapsed, report.kernel + report.dispatch);
+            });
         }
     }
 
@@ -1061,15 +1121,20 @@ mod tests {
         let x = DenseMatrix::random(300, 8, 5);
         let engine =
             JitSpmmBuilder::new().threads(2).pool(WorkerPool::new(2)).build(&a, 8).unwrap();
-        let handle = engine.execute_async(&x).unwrap();
-        // The dynamic counter is engine-owned; a second launch must be
-        // refused (not deadlock) while the first handle is outstanding.
-        assert!(matches!(engine.execute_async(&x).unwrap_err(), JitSpmmError::LaunchInProgress));
-        let (y, _) = handle.wait();
-        assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
-        // With the handle gone the engine accepts launches again.
-        let (y2, _) = engine.execute_async(&x).unwrap().wait();
-        assert!(y2.approx_eq(&a.spmm_reference(&x), 1e-4));
+        engine.pool().scope(|scope| {
+            let handle = engine.execute_async(scope, &x).unwrap();
+            // The dynamic counter is engine-owned; a second launch must be
+            // refused (not deadlock) while the first handle is outstanding.
+            assert!(matches!(
+                engine.execute_async(scope, &x).unwrap_err(),
+                JitSpmmError::LaunchInProgress
+            ));
+            let (y, _) = handle.wait();
+            assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+            // With the handle gone the engine accepts launches again.
+            let (y2, _) = engine.execute_async(scope, &x).unwrap().wait();
+            assert!(y2.approx_eq(&a.spmm_reference(&x), 1e-4));
+        });
     }
 
     #[test]
@@ -1082,21 +1147,23 @@ mod tests {
         let x = DenseMatrix::random(200, 8, 10);
         let engine =
             JitSpmmBuilder::new().threads(2).pool(WorkerPool::new(2)).build(&a, 8).unwrap();
-        let handle = engine.execute_async(&x).unwrap();
-        // Same thread, launch lock held by `handle`: a blocking execute must
-        // fail fast, not self-deadlock on the launch mutex.
-        assert!(matches!(engine.execute(&x).unwrap_err(), JitSpmmError::LaunchInProgress));
-        let mut y = DenseMatrix::zeros(200, 8);
-        assert!(matches!(
-            engine.execute_into(&x, &mut y).unwrap_err(),
-            JitSpmmError::LaunchInProgress
-        ));
-        assert!(matches!(
-            engine.execute_single_thread(&x, &mut y).unwrap_err(),
-            JitSpmmError::LaunchInProgress
-        ));
-        let (ya, _) = handle.wait();
-        assert!(ya.approx_eq(&a.spmm_reference(&x), 1e-4));
+        engine.pool().scope(|scope| {
+            let handle = engine.execute_async(scope, &x).unwrap();
+            // Same thread, launch lock held by `handle`: a blocking execute
+            // must fail fast, not self-deadlock on the launch mutex.
+            assert!(matches!(engine.execute(&x).unwrap_err(), JitSpmmError::LaunchInProgress));
+            let mut y = DenseMatrix::zeros(200, 8);
+            assert!(matches!(
+                engine.execute_into(&x, &mut y).unwrap_err(),
+                JitSpmmError::LaunchInProgress
+            ));
+            assert!(matches!(
+                engine.execute_single_thread(&x, &mut y).unwrap_err(),
+                JitSpmmError::LaunchInProgress
+            ));
+            let (ya, _) = handle.wait();
+            assert!(ya.approx_eq(&a.spmm_reference(&x), 1e-4));
+        });
         // Lock released: blocking execution works again.
         let (yb, _) = engine.execute(&x).unwrap();
         assert!(yb.approx_eq(&a.spmm_reference(&x), 1e-4));
@@ -1115,14 +1182,16 @@ mod tests {
         let eb = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&b, 8).unwrap();
         let xa = DenseMatrix::random(a.ncols(), 8, 1);
         let xb = DenseMatrix::random(b.ncols(), 8, 2);
-        for _ in 0..20 {
-            let ha = ea.execute_async(&xa).unwrap();
-            let hb = eb.execute_async(&xb).unwrap();
-            let (ya, _) = ha.wait();
-            let (yb, _) = hb.wait();
-            assert!(ya.approx_eq(&a.spmm_reference(&xa), 1e-4));
-            assert!(yb.approx_eq(&b.spmm_reference(&xb), 1e-4));
-        }
+        pool.scope(|scope| {
+            for _ in 0..20 {
+                let ha = ea.execute_async(scope, &xa).unwrap();
+                let hb = eb.execute_async(scope, &xb).unwrap();
+                let (ya, _) = ha.wait();
+                let (yb, _) = hb.wait();
+                assert!(ya.approx_eq(&a.spmm_reference(&xa), 1e-4));
+                assert!(yb.approx_eq(&b.spmm_reference(&xb), 1e-4));
+            }
+        });
     }
 
     #[test]
@@ -1135,14 +1204,34 @@ mod tests {
         let x = DenseMatrix::random(256, 8, 3);
         let engine =
             JitSpmmBuilder::new().threads(2).pool(WorkerPool::new(2)).build(&a, 8).unwrap();
-        let first_ptr = {
-            let handle = engine.execute_async(&x).unwrap();
+        let first_ptr = engine.pool().scope(|scope| {
+            let handle = engine.execute_async(scope, &x).unwrap();
             handle.y.as_ref().unwrap().as_ptr()
             // Dropped without wait: must join and return the buffer.
-        };
+        });
         let (y, _) = engine.execute(&x).unwrap();
         assert_eq!(y.as_ptr(), first_ptr, "abandoned launch must recycle its output buffer");
         assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+    }
+
+    #[test]
+    fn leaked_execution_handle_is_joined_by_the_scope() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(128, 128, 1_200, 6);
+        let x = DenseMatrix::random(128, 8, 7);
+        let engine =
+            JitSpmmBuilder::new().threads(2).pool(WorkerPool::new(2)).build(&a, 8).unwrap();
+        engine.pool().scope(|scope| {
+            // `mem::forget` is safe: the scope must join the kernel job
+            // before `x`, the engine or the matrix can be freed.
+            std::mem::forget(engine.execute_async(scope, &x).unwrap());
+        });
+        // The leaked handle kept the launch lock (and leaked the output
+        // buffer), so the engine refuses further launches — safely.
+        assert!(matches!(engine.execute(&x).unwrap_err(), JitSpmmError::LaunchInProgress));
     }
 
     #[test]
@@ -1155,10 +1244,12 @@ mod tests {
         let x = DenseMatrix::random(100, 4, 4);
         let engine =
             JitSpmmBuilder::new().threads(2).pool(WorkerPool::inline()).build(&a, 4).unwrap();
-        let handle = engine.execute_async(&x).unwrap();
-        assert!(handle.is_done());
-        let (y, _) = handle.wait();
-        assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+        engine.pool().scope(|scope| {
+            let handle = engine.execute_async(scope, &x).unwrap();
+            assert!(handle.is_done());
+            let (y, _) = handle.wait();
+            assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+        });
     }
 
     #[test]
@@ -1170,10 +1261,12 @@ mod tests {
         let a = generate::uniform::<f32>(50, 60, 300, 1);
         let engine = JitSpmmBuilder::new().threads(1).build(&a, 8).unwrap();
         let wrong = DenseMatrix::<f32>::zeros(10, 8);
-        assert!(matches!(
-            engine.execute_async(&wrong).unwrap_err(),
-            JitSpmmError::ShapeMismatch(_)
-        ));
+        engine.pool().scope(|scope| {
+            assert!(matches!(
+                engine.execute_async(scope, &wrong).unwrap_err(),
+                JitSpmmError::ShapeMismatch(_)
+            ));
+        });
     }
 
     #[test]

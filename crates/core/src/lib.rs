@@ -72,13 +72,14 @@
 //!
 //! # Overlapping engines: asynchronous execution
 //!
-//! [`JitSpmm::execute_async`] submits a launch and returns an
-//! [`ExecutionHandle`] immediately; [`ExecutionHandle::wait`] joins it, with
-//! the waiting thread stealing remaining kernel tasks. Each launch is
-//! lane-capped to its engine's [`JitSpmmBuilder::threads`] count, so several
-//! engines submitted back-to-back run **concurrently on disjoint subsets of
-//! one pool's workers** instead of serializing — the configuration a server
-//! handling many models (or many clients) wants:
+//! Inside a [`WorkerPool::scope`], [`JitSpmm::execute_async`] submits a
+//! launch and returns an [`ExecutionHandle`] immediately;
+//! [`ExecutionHandle::wait`] joins it, with the waiting thread stealing
+//! remaining kernel tasks. Each launch is lane-capped to its engine's
+//! [`JitSpmmBuilder::threads`] count, so several engines submitted
+//! back-to-back run **concurrently on disjoint subsets of one pool's
+//! workers** instead of serializing — the configuration a server handling
+//! many models (or many clients) wants:
 //!
 //! ```
 //! use jitspmm::{JitSpmmBuilder, WorkerPool};
@@ -91,18 +92,27 @@
 //! let eng_a = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&a, 8)?;
 //! let eng_b = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&b, 8)?;
 //! let x = DenseMatrix::random(200, 8, 3);
-//! let ha = eng_a.execute_async(&x)?; // in flight on worker lane 1
-//! let hb = eng_b.execute_async(&x)?; // in flight on worker lane 2
-//! let (ya, _) = ha.wait();
-//! let (yb, _) = hb.wait();
-//! assert!(ya.approx_eq(&a.spmm_reference(&x), 1e-4));
-//! assert!(yb.approx_eq(&b.spmm_reference(&x), 1e-4));
+//! pool.scope(|scope| -> Result<(), jitspmm::JitSpmmError> {
+//!     let ha = eng_a.execute_async(scope, &x)?; // in flight on worker lane 1
+//!     let hb = eng_b.execute_async(scope, &x)?; // in flight on worker lane 2
+//!     let (ya, _) = ha.wait();
+//!     let (yb, _) = hb.wait();
+//!     assert!(ya.approx_eq(&a.spmm_reference(&x), 1e-4));
+//!     assert!(yb.approx_eq(&b.spmm_reference(&x), 1e-4));
+//!     Ok(())
+//! })?;
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! Raw pool jobs get the same treatment through [`WorkerPool::submit`] with
-//! a [`JobSpec`] (task count + lane cap), returning a [`JobHandle`].
+//! The scope is what makes asynchronous launches over *borrowed* data sound
+//! without relying on handle destructors (which [`std::mem::forget`] can
+//! skip): it joins every job submitted through it before returning, the
+//! same discipline as [`std::thread::scope`]. Raw pool jobs get the same
+//! treatment through [`PoolScope::submit`] (borrowed tasks, returning a
+//! [`ScopedJobHandle`]) or [`WorkerPool::submit`] (owned `'static` tasks,
+//! returning a [`JobHandle`]), each with a [`JobSpec`] giving the task
+//! count and lane cap.
 //!
 //! # Crate layout
 //!
@@ -137,7 +147,7 @@ pub use engine::{ExecutionHandle, ExecutionReport, JitSpmm, JitSpmmBuilder, Spmm
 pub use error::JitSpmmError;
 pub use kernel::{CompiledKernel, KernelKind, KernelMeta};
 pub use profile::ProfileCounts;
-pub use runtime::{JobHandle, JobSpec, PooledMatrix, WorkerPool};
+pub use runtime::{JobHandle, JobSpec, PoolScope, PooledMatrix, ScopedJobHandle, WorkerPool};
 pub use schedule::{DynamicCounter, Partition, RowRange, Strategy};
 pub use tiling::{CcmPlan, ColumnTile, Segment, SegmentWidth};
 

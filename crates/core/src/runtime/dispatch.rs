@@ -18,10 +18,12 @@ use std::time::Duration;
 /// asynchronous path ([`crate::JitSpmm::execute_async`]) cannot, because the
 /// submitting call returns while workers are still executing. Instead the
 /// engine boxes a `KernelJob` inside the returned execution handle — a
-/// concrete type, so the handle is not generic over a closure — and the
-/// handle's drop/join discipline keeps it (and the borrows behind the
-/// pointers: kernel, partition, input and output buffers) alive until the
-/// job has fully completed.
+/// concrete type, so the handle is not generic over a closure. The box is
+/// released only after the handle's drop has joined the job (leaked, never
+/// freed, if the handle is leaked), and the borrows behind the pointers —
+/// kernel, partition, input and output buffers — live for the
+/// [`crate::PoolScope`] the launch is anchored to, which joins the job
+/// before returning; so nothing the workers dereference can be freed early.
 pub(crate) struct KernelJob<T: Scalar> {
     kernel: *const CompiledKernel<T>,
     /// Static partition ranges (`ptr`, `len`); unused for dynamic dispatch.
@@ -92,7 +94,7 @@ impl<T: Scalar> KernelJob<T> {
         }
     }
 
-    /// The [`ErasedTask`] trampoline for [`WorkerPool::submit_raw`].
+    /// The [`ErasedTask`] trampoline for scoped erased submission.
     pub(crate) unsafe fn call(data: *const (), index: usize) {
         unsafe { (*(data as *const KernelJob<T>)).run(index) };
     }

@@ -15,13 +15,19 @@
 //!   exactly one worker, and workers that claim a lane wake the next — a
 //!   notify-one chain that bounds wake cost by the lanes a job actually
 //!   uses, not the pool size.
-//! * Jobs can be submitted **deferred**: [`WorkerPool::submit`] returns a
-//!   [`JobHandle`] immediately and the job runs in the background;
-//!   [`JobHandle::wait`] joins it with the waiting thread stealing remaining
-//!   tasks. [`JobSpec::max_lanes`] caps how many workers one job occupies,
-//!   so concurrent jobs — e.g. two engines executing at once through
-//!   [`crate::JitSpmm::execute_async`] — run on disjoint worker subsets and
-//!   genuinely overlap instead of thrashing the whole pool.
+//! * Jobs can be submitted **deferred**: [`WorkerPool::submit`] takes an
+//!   owned (`'static`) task and returns a [`JobHandle`] immediately while
+//!   the job runs in the background; [`JobHandle::wait`] joins it with the
+//!   waiting thread stealing remaining tasks. Borrowed tasks submit through
+//!   [`WorkerPool::scope`] ([`PoolScope::submit`], returning a
+//!   [`ScopedJobHandle`]), which joins every scoped job before returning —
+//!   so deferred execution never depends on a handle destructor running for
+//!   memory safety (`mem::forget` is safe; a leaked handle leaks
+//!   allocations, never dangles). [`JobSpec::max_lanes`] caps how many
+//!   workers one job occupies, so concurrent jobs — e.g. two engines
+//!   executing at once through [`crate::JitSpmm::execute_async`] inside a
+//!   scope — run on disjoint worker subsets and genuinely overlap instead
+//!   of thrashing the whole pool.
 //! * [`dispatch`] converts a compiled kernel plus its schedule (static
 //!   [`crate::RowRange`]s or the dynamic counter loop) into pool jobs and
 //!   measures the kernel's critical-path time separately from dispatch
@@ -40,4 +46,4 @@ pub mod pool;
 pub(crate) mod dispatch;
 
 pub use dispatch::PooledMatrix;
-pub use pool::{JobHandle, JobSpec, WorkerPool};
+pub use pool::{JobHandle, JobSpec, PoolScope, ScopedJobHandle, WorkerPool};

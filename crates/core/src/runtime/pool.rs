@@ -40,7 +40,22 @@
 //! immediately; the job runs in the background and [`JobHandle::wait`] joins
 //! it — with the waiting thread stealing that job's remaining tasks, so a
 //! submitter that turns around and waits loses nothing over the blocking
-//! path.
+//! path. Tasks that borrow local state run deferred inside
+//! [`WorkerPool::scope`], which joins every job submitted through it before
+//! returning.
+//!
+//! # Deferred submission never relies on a destructor
+//!
+//! `mem::forget` is safe, so memory safety may not depend on a handle's
+//! `Drop` running (the pre-1.0 `thread::JoinGuard` lesson). Deferred
+//! submission is therefore structured so that leaking a handle leaks
+//! allocations instead of dangling pointers: [`WorkerPool::submit`] *owns*
+//! its task (`'static` bound) — a leaked [`JobHandle`] leaks the closure and
+//! its share of the job descriptor, which workers may then dereference
+//! indefinitely — and [`PoolScope::submit`] accepts borrowed tasks because
+//! the scope holds its own share of every in-flight job's descriptor and
+//! joins all of its jobs inside [`WorkerPool::scope`]'s own stack frame,
+//! which no handle-leaking can skip, before any borrow handed to it can end.
 
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -91,10 +106,36 @@ pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 pub(crate) type ErasedTask = unsafe fn(*const (), usize);
 
 /// Re-types the erased data pointer back to `&F`. Sound because the pointer
-/// is only dereferenced while the job is live, and jobs are always joined
-/// before the closure's borrow ends.
+/// is only dereferenced while the job is live, and submission keeps `F`
+/// alive that long: [`WorkerPool::submit`] owns it (leaked along with a
+/// leaked handle), and [`PoolScope::submit`] borrows it for at least the
+/// scope, which joins every job before returning.
 unsafe fn trampoline<F: Fn(usize)>(data: *const (), index: usize) {
     (*(data as *const F))(index);
+}
+
+/// Run all `tasks` indices inline on the current thread (the fallback when
+/// there is nothing to defer to), collecting the first panic payload instead
+/// of unwinding so callers can defer it to `wait` like the threaded path.
+///
+/// # Safety
+///
+/// `call(data, index)` must be sound for every `index in 0..tasks`.
+unsafe fn run_inline(
+    tasks: usize,
+    data: *const (),
+    call: ErasedTask,
+) -> (Duration, Option<Box<dyn std::any::Any + Send>>) {
+    let _scope = TaskScope::enter();
+    let start = Instant::now();
+    let mut panic = None;
+    for index in 0..tasks {
+        // SAFETY: forwarded from the caller's contract.
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| unsafe { call(data, index) })) {
+            panic.get_or_insert(payload);
+        }
+    }
+    (start.elapsed(), panic)
 }
 
 /// Describes one job: how many task indices it has and how many worker
@@ -131,10 +172,13 @@ impl JobSpec {
 /// Per-job state shared between the submitter and the workers.
 ///
 /// Lives on the submitter's stack for the blocking [`WorkerPool::run`] path
-/// (zero allocation) and in a [`JobHandle`]-owned box for deferred
-/// submission. The queue holds raw pointers to it; validity is guaranteed
-/// because a job is always joined (all participants checked in, descriptor
-/// unreachable from the queue) before its storage is released.
+/// (zero allocation) and in a reference-counted allocation for deferred
+/// submission (shared by the [`JobHandle`], or by a [`ScopedJobHandle`] and
+/// its [`PoolScope`]). The queue holds raw pointers to it; validity is
+/// guaranteed because a submitter's share is only released after the job is
+/// joined (all participants checked in, descriptor unreachable from the
+/// queue) — leaking a handle leaks its share instead of freeing it, and a
+/// scope keeps one until the job completes.
 ///
 /// `next` and `busy_ns` are genuinely concurrent; the bookkeeping fields
 /// (`lanes_left`, `active`, `queued`, `done`) are only mutated under the
@@ -184,6 +228,30 @@ impl JobCore {
         }
     }
 
+    /// A descriptor for a job that already ran inline to completion: `done`
+    /// from the start, never queued, with the busy time and any panic
+    /// recorded. Scoped inline submission registers one of these so an
+    /// unwaited panic still surfaces at scope exit, exactly like on the
+    /// threaded path.
+    fn completed_inline(
+        tasks: usize,
+        busy: Duration,
+        panic: Option<Box<dyn std::any::Any + Send>>,
+    ) -> JobCore {
+        JobCore {
+            tasks,
+            data: 0,
+            call: 0,
+            next: AtomicUsize::new(tasks),
+            lanes_left: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            queued: AtomicBool::new(false),
+            done: AtomicBool::new(true),
+            busy_ns: AtomicU64::new(busy.as_nanos() as u64),
+            panic: Mutex::new(panic),
+        }
+    }
+
     /// Record a task panic (first payload wins).
     fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
         let mut slot = lock(&self.panic);
@@ -202,8 +270,9 @@ impl JobCore {
 /// handing them between threads sound.
 struct JobPtr(*const JobCore);
 
-// SAFETY: see JobPtr — the pointee is kept alive by the submitting call
-// (stack frame or handle box) until the job is done, and `done` is only set
+// SAFETY: see JobPtr — the pointee is kept alive until the job is done by
+// the submitting stack frame or by a handle's/scope's reference-counted
+// share (leaked, not freed, if the handle is leaked), and `done` is only set
 // once the pointer is unreachable from both the queue and every worker.
 unsafe impl Send for JobPtr {}
 
@@ -348,6 +417,7 @@ impl Drop for PoolInner {
 /// ```
 /// use jitspmm::{JobSpec, WorkerPool};
 /// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
 ///
 /// let pool = WorkerPool::new(2);
 /// let hits = AtomicUsize::new(0);
@@ -356,13 +426,25 @@ impl Drop for PoolInner {
 ///     hits.fetch_add(1, Ordering::Relaxed);
 /// });
 /// assert_eq!(hits.load(Ordering::Relaxed), 16);
-/// // Deferred submission: the job runs in the background, capped to one
-/// // worker lane, until the handle joins it.
+/// // Deferred submission of an owned task: the job runs in the background,
+/// // capped to one worker lane, until the handle joins it.
+/// let shared = Arc::new(AtomicUsize::new(0));
+/// let handle = pool.submit(JobSpec::new(16).max_lanes(1), {
+///     let shared = Arc::clone(&shared);
+///     move |_task| {
+///         shared.fetch_add(1, Ordering::Relaxed);
+///     }
+/// });
+/// handle.wait();
+/// assert_eq!(shared.load(Ordering::Relaxed), 16);
+/// // Deferred submission of *borrowed* tasks goes through a scope, which
+/// // joins every job it submitted before returning.
 /// let task = |_task| {
 ///     hits.fetch_add(1, Ordering::Relaxed);
 /// };
-/// let handle = pool.submit(JobSpec::new(16).max_lanes(1), &task);
-/// handle.wait();
+/// pool.scope(|scope| {
+///     scope.submit(JobSpec::new(16), &task);
+/// });
 /// assert_eq!(hits.load(Ordering::Relaxed), 32);
 /// ```
 #[derive(Clone)]
@@ -504,68 +586,125 @@ impl WorkerPool {
     /// (capped to [`JobSpec::max_lanes`] of them); [`JobHandle::wait`] joins
     /// it, with the waiting thread stealing remaining task indices so that
     /// submit-then-wait is never slower than the blocking [`WorkerPool::run`].
-    /// Dropping the handle without waiting also joins the job (like
-    /// [`std::thread::scope`]'s implicit join), which is what makes the
-    /// borrow of `task` sound; leaking the handle (e.g. via
-    /// [`std::mem::forget`]) is **not** supported and breaks that guarantee.
+    /// Dropping the handle without waiting also joins the job, so the task
+    /// and its captures are normally released promptly — but safety does not
+    /// depend on that: the handle *owns* `task` (hence the `'static` bound),
+    /// so leaking it (e.g. via [`std::mem::forget`]) merely leaks the
+    /// closure and the job descriptor while the job still runs to
+    /// completion. For tasks that borrow local state, see
+    /// [`WorkerPool::scope`].
     ///
     /// On a zero-worker pool, or when called from inside a pool task, the
     /// job runs inline to completion before this returns (there is no one to
     /// defer to), and any task panic is deferred to [`JobHandle::wait`] just
     /// like on the threaded path.
-    pub fn submit<'a, F: Fn(usize) + Sync>(&'a self, spec: JobSpec, task: &'a F) -> JobHandle<'a> {
-        // SAFETY: `task` outlives `'a`, and `JobHandle` joins the job before
-        // `'a` ends (wait or drop).
-        unsafe { self.submit_raw(spec, task as *const F as *const (), trampoline::<F>) }
+    pub fn submit<F>(&self, spec: JobSpec, task: F) -> JobHandle<'_>
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        // The closure is owned through `Box::into_raw`/`from_raw` rather
+        // than held as a `Box` field: workers receive a raw pointer to it,
+        // and moving a `Box` (into the handle, then with every move of the
+        // handle) would invalidate pointers derived from it under the
+        // aliasing rules. A raw pointer moves without retagging; the drop
+        // path reconstructs the box after the join, and a leaked handle
+        // leaks the allocation (still valid) instead of freeing it.
+        let task: *mut F = Box::into_raw(Box::new(task));
+        // SAFETY: `task` is a fresh heap allocation, released only by the
+        // handle's drop after the job is joined.
+        let mut handle = unsafe { self.submit_raw(spec, task as *const (), trampoline::<F>) };
+        handle.payload = Some(task as *mut (dyn std::any::Any + Send + Sync));
+        handle
     }
 
-    /// Type-erased [`WorkerPool::submit`], for callers (the engine) that
-    /// keep the task payload alive through other means than a borrow.
+    /// Type-erased deferred submission backing [`WorkerPool::submit`].
     ///
     /// # Safety
     ///
     /// `call(data, index)` must be sound for every `index in 0..spec.tasks`,
     /// including concurrently from multiple threads with distinct indices,
-    /// and `data` must stay valid until the returned handle reports the job
-    /// done (which it guarantees to do before drop completes).
-    pub(crate) unsafe fn submit_raw(
-        &self,
-        spec: JobSpec,
-        data: *const (),
-        call: ErasedTask,
-    ) -> JobHandle<'_> {
+    /// and `data` must stay valid until the job completes — even if the
+    /// returned handle is leaked, in which case it is never freed at all.
+    unsafe fn submit_raw(&self, spec: JobSpec, data: *const (), call: ErasedTask) -> JobHandle<'_> {
         if spec.tasks == 0 {
             return JobHandle::completed(self, Duration::ZERO, None);
         }
         if IN_POOL_TASK.get() || self.inner.handles.is_empty() {
             // Nothing to defer to: run inline now, deferring any panic to
             // `wait` for parity with the threaded path.
-            let _scope = TaskScope::enter();
-            let start = Instant::now();
-            let mut panic = None;
-            for index in 0..spec.tasks {
-                // SAFETY: forwarded from the caller's contract.
-                if let Err(payload) =
-                    catch_unwind(AssertUnwindSafe(|| unsafe { call(data, index) }))
-                {
-                    panic.get_or_insert(payload);
-                }
-            }
-            return JobHandle::completed(self, start.elapsed(), panic);
+            let (busy, panic) = unsafe { run_inline(spec.tasks, data, call) };
+            return JobHandle::completed(self, busy, panic);
         }
-        let core = Box::new(JobCore::new(
+        let core = Arc::new(JobCore::new(
             spec.tasks,
             self.worker_lanes(&spec),
             data as usize,
             call as usize,
         ));
         self.enqueue(&core);
-        JobHandle {
+        JobHandle { pool: self, join: DeferredJoin::queued(core), payload: None }
+    }
+
+    /// Create a scope for deferred submission of *borrowed* tasks.
+    ///
+    /// Inside `f`, [`PoolScope::submit`] defers jobs whose tasks may borrow
+    /// anything that outlives the `scope` call (the `'env` data), and
+    /// engines launch overlapping kernels with
+    /// [`crate::JitSpmm::execute_async`]. When `f` returns, `scope` joins
+    /// every job submitted through it — including jobs whose handles were
+    /// dropped or leaked — before returning, inside its own stack frame.
+    /// That join is what makes borrowed tasks sound: no `'env` borrow can
+    /// end before `scope` itself returns, and no amount of handle-leaking
+    /// inside `f` can skip a join performed outside `f`. (This is the same
+    /// discipline as [`std::thread::scope`].)
+    ///
+    /// If any scoped job panicked and its panic was not re-raised by a
+    /// [`ScopedJobHandle::wait`], the scope re-raises the first such payload
+    /// after all jobs have been joined; a panic in `f` itself takes
+    /// precedence.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use jitspmm::{JobSpec, WorkerPool};
+    /// use std::sync::atomic::{AtomicUsize, Ordering};
+    ///
+    /// let pool = WorkerPool::new(2);
+    /// let hits = AtomicUsize::new(0); // borrowed by the tasks below
+    /// let task = |_task| {
+    ///     hits.fetch_add(1, Ordering::Relaxed);
+    /// };
+    /// pool.scope(|scope| {
+    ///     let a = scope.submit(JobSpec::new(8).max_lanes(1), &task);
+    ///     let b = scope.submit(JobSpec::new(8).max_lanes(1), &task);
+    ///     a.wait();
+    ///     // `b` is dropped without wait(): the scope joins it on exit.
+    ///     drop(b);
+    /// });
+    /// assert_eq!(hits.load(Ordering::Relaxed), 16);
+    /// ```
+    pub fn scope<'env, R>(
+        &'env self,
+        f: impl for<'scope> FnOnce(&'scope PoolScope<'scope, 'env>) -> R,
+    ) -> R {
+        let scope = PoolScope {
             pool: self,
-            core: Some(core),
-            inline_busy: Duration::ZERO,
-            inline_panic: None,
-            _borrows: PhantomData,
+            jobs: Mutex::new(ScopeJobs::default()),
+            scope: PhantomData,
+            env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Join everything — also on the unwind path, so borrowed task state
+        // is never reachable from workers once the scope call ends.
+        let unwaited_panic = scope.join_all();
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                if let Some(payload) = unwaited_panic {
+                    resume_unwind(payload);
+                }
+                value
+            }
         }
     }
 
@@ -615,26 +754,101 @@ impl WorkerPool {
     }
 }
 
+/// The join protocol shared by [`JobHandle`] and [`ScopedJobHandle`]: a
+/// share of the job's descriptor (or the recorded result of a job that
+/// completed inline at submission) plus the check/join/panic-collection
+/// logic — kept in one place so the two deferred-join paths cannot diverge.
+///
+/// The descriptor is reference-counted: the queue's and workers' raw
+/// pointers into it stay valid because a submitter's share (this one, or the
+/// owning scope's) is only released after the job is done — and leaking a
+/// handle leaks its share, so the pointee can never be freed early.
+struct DeferredJoin {
+    /// `None` when the job completed inline at submission (zero tasks,
+    /// zero-worker pool, or re-entrant submission).
+    core: Option<Arc<JobCore>>,
+    inline_busy: Duration,
+    inline_panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl DeferredJoin {
+    fn completed(busy: Duration, panic: Option<Box<dyn std::any::Any + Send>>) -> DeferredJoin {
+        DeferredJoin { core: None, inline_busy: busy, inline_panic: panic }
+    }
+
+    fn queued(core: Arc<JobCore>) -> DeferredJoin {
+        DeferredJoin { core: Some(core), inline_busy: Duration::ZERO, inline_panic: None }
+    }
+
+    /// Whether the job has completed (lock-free).
+    fn is_done(&self) -> bool {
+        self.core.as_ref().is_none_or(|core| core.done.load(Ordering::Acquire))
+    }
+
+    /// Ensure the job is complete, stealing its remaining tasks on the
+    /// calling thread; idempotent. Returns the critical-path busy time.
+    fn join(&mut self, pool: &WorkerPool) -> Duration {
+        match &self.core {
+            None => self.inline_busy,
+            Some(core) => {
+                if core.done.load(Ordering::Acquire) {
+                    core.busy()
+                } else {
+                    pool.help_and_wait(core)
+                }
+            }
+        }
+    }
+
+    /// Take the job's first task panic, if any (meaningful after `join`).
+    fn take_panic(&mut self) -> Option<Box<dyn std::any::Any + Send>> {
+        match &self.core {
+            Some(core) => lock(&core.panic).take(),
+            None => self.inline_panic.take(),
+        }
+    }
+
+    /// Join, then re-raise the job's first task panic, if any: the body of
+    /// both handles' `wait`.
+    fn wait(&mut self, pool: &WorkerPool) -> Duration {
+        let busy = self.join(pool);
+        if let Some(payload) = self.take_panic() {
+            resume_unwind(payload);
+        }
+        busy
+    }
+}
+
 /// A deferred job submitted with [`WorkerPool::submit`].
 ///
 /// The job runs in the background on the pool's workers; [`JobHandle::wait`]
 /// joins it (stealing remaining tasks on the calling thread) and re-raises
 /// the first task panic, if any. Dropping the handle without waiting also
-/// joins the job — completion is guaranteed either way, so the task closure
-/// and its captures are never used after the handle is gone. Leaking the
-/// handle without running its destructor (e.g. [`std::mem::forget`]) is not
-/// supported.
+/// joins the job, releasing the owned task closure promptly. Leaking the
+/// handle (e.g. [`std::mem::forget`]) is safe but wasteful: the job still
+/// runs to completion (pool shutdown drains the queue first), while the
+/// closure and the job descriptor — owned by the handle — are leaked rather
+/// than freed, so workers never dereference freed memory.
 pub struct JobHandle<'a> {
     pool: &'a WorkerPool,
-    /// `None` when the job completed inline at submission (zero tasks,
-    /// zero-worker pool, or re-entrant submission).
-    core: Option<Box<JobCore>>,
-    inline_busy: Duration,
-    inline_panic: Option<Box<dyn std::any::Any + Send>>,
-    /// Ties the borrow of the submitted closure (and everything it captures)
-    /// to the handle.
-    _borrows: PhantomData<&'a ()>,
+    /// Join state; `join.core` holds this submission's share of the job
+    /// descriptor, released after the join in drop and leaked with a leaked
+    /// handle — the workers' pointers into it can never dangle.
+    join: DeferredJoin,
+    /// The owned task closure the queued job's `data` pointer targets,
+    /// held through `Box::into_raw` because a `Box` field would be
+    /// invalidated by handle moves while workers dereference the pointer;
+    /// freed in drop after the join, leaked with a leaked handle.
+    payload: Option<*mut (dyn std::any::Any + Send + Sync)>,
 }
+
+// SAFETY: `payload` (the only non-auto-`Send` field) is a uniquely-owned
+// heap allocation that was bounded `Send + Sync + 'static` at submission and
+// is freed at most once (in `Drop`, after the join), so the handle may move
+// to and be shared with any thread just like when it was a `Box` field.
+unsafe impl Send for JobHandle<'_> {}
+// SAFETY: as above; `&self` access (`is_done`) only reads an atomic.
+unsafe impl Sync for JobHandle<'_> {}
 
 impl<'a> JobHandle<'a> {
     fn completed(
@@ -642,7 +856,7 @@ impl<'a> JobHandle<'a> {
         busy: Duration,
         panic: Option<Box<dyn std::any::Any + Send>>,
     ) -> JobHandle<'a> {
-        JobHandle { pool, core: None, inline_busy: busy, inline_panic: panic, _borrows: PhantomData }
+        JobHandle { pool, join: DeferredJoin::completed(busy, panic), payload: None }
     }
 
     /// Whether the job has completed (lock-free; `true` means [`wait`]
@@ -650,7 +864,7 @@ impl<'a> JobHandle<'a> {
     ///
     /// [`wait`]: JobHandle::wait
     pub fn is_done(&self) -> bool {
-        self.core.as_ref().is_none_or(|core| core.done.load(Ordering::Acquire))
+        self.join.is_done()
     }
 
     /// Join the job, stealing its remaining tasks on the calling thread, and
@@ -661,42 +875,237 @@ impl<'a> JobHandle<'a> {
     /// Re-raises the first task panic after the job has fully completed
     /// (dropping the handle instead discards the payload).
     pub fn wait(mut self) -> Duration {
-        let busy = self.join();
-        let payload =
-            self.core.as_ref().and_then(|core| lock(&core.panic).take()).or(self.inline_panic.take());
-        if let Some(payload) = payload {
-            resume_unwind(payload);
-        }
-        busy
-    }
-
-    /// Ensure the job is complete; idempotent.
-    fn join(&mut self) -> Duration {
-        match &self.core {
-            None => self.inline_busy,
-            Some(core) => {
-                if core.done.load(Ordering::Acquire) {
-                    core.busy()
-                } else {
-                    self.pool.help_and_wait(core)
-                }
-            }
-        }
+        self.join.wait(self.pool)
     }
 }
 
 impl Drop for JobHandle<'_> {
     fn drop(&mut self) {
-        // An unwaited handle still joins, so the task closure (borrowed) and
-        // the job descriptor (owned) are never released while workers can
-        // reach them. Panics are swallowed here; `wait` re-raises them.
-        self.join();
+        // An unwaited handle still joins, so the task closure and the job
+        // descriptor are never released while workers can reach them.
+        // Panics are swallowed here; `wait` re-raises them.
+        self.join.join(self.pool);
+        if let Some(payload) = self.payload.take() {
+            // SAFETY: produced by `Box::into_raw` in `submit`; the job is
+            // joined, so no worker can reach the closure.
+            drop(unsafe { Box::from_raw(payload) });
+        }
     }
 }
 
 impl std::fmt::Debug for JobHandle<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JobHandle").field("done", &self.is_done()).finish()
+    }
+}
+
+/// A scope for deferred submission of borrowed tasks, created by
+/// [`WorkerPool::scope`].
+///
+/// The scope owns every job descriptor submitted through it and
+/// [`WorkerPool::scope`] joins all of its jobs before returning, so tasks
+/// may borrow anything that lives at least as long as the `scope` call (the
+/// `'env` data) — even when their [`ScopedJobHandle`]s are dropped or
+/// leaked. The two lifetimes mirror [`std::thread::scope`]: `'scope` is the
+/// period the scope's jobs may run in (invariant, so it cannot be shrunk to
+/// exclude the join), `'env` the environment they may borrow from.
+pub struct PoolScope<'scope, 'env: 'scope> {
+    pool: &'scope WorkerPool,
+    /// The scope's shares of its job descriptors (plus any panic harvested
+    /// from an already-reclaimed job). Scope ownership — rather than handle
+    /// ownership — is what lets [`WorkerPool::scope`] join jobs whose
+    /// handles were dropped or leaked; descriptors of completed jobs whose
+    /// handle is gone are reclaimed eagerly on the next submission, so a
+    /// long-lived scope (a server's request loop) does not grow without
+    /// bound.
+    jobs: Mutex<ScopeJobs>,
+    /// Invariance over `'scope` (the [`std::thread::scope`] trick).
+    scope: PhantomData<&'scope mut &'scope ()>,
+    /// Invariance over `'env`.
+    env: PhantomData<&'env mut &'env ()>,
+}
+
+/// The [`PoolScope`] job registry: live descriptor shares plus the first
+/// panic harvested from a reclaimed (completed, unwaited) job, preserved for
+/// the scope-exit re-raise.
+#[derive(Default)]
+struct ScopeJobs {
+    jobs: Vec<Arc<JobCore>>,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl<'scope, 'env> PoolScope<'scope, 'env> {
+    /// The pool this scope submits to.
+    pub fn pool(&self) -> &'scope WorkerPool {
+        self.pool
+    }
+
+    /// Submit a job for deferred execution, as [`WorkerPool::submit`], but
+    /// with a task that may borrow the scope's environment: the scope joins
+    /// the job before any `'env` borrow can end, so no `'static` bound (and
+    /// no ownership transfer) is needed.
+    ///
+    /// The returned handle need not be waited, or even kept: an unwaited
+    /// job is joined by the scope on exit, where its first task panic, if
+    /// any, is re-raised.
+    ///
+    /// On a zero-worker pool, or when called from inside a pool task, the
+    /// job runs inline to completion before this returns, deferring panics
+    /// to [`ScopedJobHandle::wait`] (or the scope exit).
+    pub fn submit<F>(&'scope self, spec: JobSpec, task: &'env F) -> ScopedJobHandle<'scope>
+    where
+        F: Fn(usize) + Sync,
+    {
+        // SAFETY: `task` lives for 'env, and every scoped job is joined
+        // inside `WorkerPool::scope`, before any 'env borrow can end.
+        unsafe { self.submit_erased(spec, task as *const F as *const (), trampoline::<F>) }
+    }
+
+    /// Type-erased scoped submission, for callers (the engine) whose task
+    /// payload is something other than a closure borrow.
+    ///
+    /// # Safety
+    ///
+    /// `call(data, index)` must be sound for every `index in 0..spec.tasks`,
+    /// including concurrently from multiple threads with distinct indices,
+    /// and `data` must stay valid until the job completes — which happens at
+    /// the latest inside [`WorkerPool::scope`], before it returns.
+    pub(crate) unsafe fn submit_erased(
+        &self,
+        spec: JobSpec,
+        data: *const (),
+        call: ErasedTask,
+    ) -> ScopedJobHandle<'scope> {
+        if spec.tasks == 0 {
+            return ScopedJobHandle::completed(self.pool, Duration::ZERO, None);
+        }
+        if IN_POOL_TASK.get() || self.pool.inner.handles.is_empty() {
+            // Nothing to defer to: run inline now (see submit_raw) — but
+            // still register a completed descriptor with the scope, so an
+            // unwaited panic surfaces at scope exit exactly as it would
+            // have on the threaded path.
+            let (busy, panic) = unsafe { run_inline(spec.tasks, data, call) };
+            let core = JobCore::completed_inline(spec.tasks, busy, panic);
+            return self.adopt(core);
+        }
+        let core = JobCore::new(spec.tasks, self.pool.worker_lanes(&spec), data as usize, call as usize);
+        let handle = self.adopt(core);
+        // The scope's share of the descriptor (registered in `adopt` before
+        // workers can see the job, so an exiting scope can never miss it)
+        // keeps the queue's pointer valid until `join_all` has joined it.
+        self.pool.enqueue(handle.join.core.as_ref().expect("adopt always sets a core"));
+        handle
+    }
+
+    /// Register a job descriptor with the scope and hand back a handle
+    /// sharing it. Descriptors of finished jobs are reclaimed here, so a
+    /// scope that submits indefinitely holds live descriptors only for jobs
+    /// still in flight (plus any whose handle is still around — or leaked).
+    fn adopt(&self, core: JobCore) -> ScopedJobHandle<'scope> {
+        let core = Arc::new(core);
+        let mut state = lock(&self.jobs);
+        let ScopeJobs { jobs, panic } = &mut *state;
+        jobs.retain(|job| {
+            if !job.done.load(Ordering::Acquire) || Arc::strong_count(job) > 1 {
+                // Still in flight, or an outstanding handle may yet claim
+                // the result (`wait` must see its own job's panic, not have
+                // the sweep steal it).
+                return true;
+            }
+            // Completed and its handle is gone: release the scope's share,
+            // harvesting an unclaimed panic so the scope-exit re-raise
+            // still sees it.
+            if panic.is_none() {
+                *panic = lock(&job.panic).take();
+            }
+            false
+        });
+        jobs.push(Arc::clone(&core));
+        drop(state);
+        ScopedJobHandle { pool: self.pool, join: DeferredJoin::queued(core), _scope: PhantomData }
+    }
+
+    /// Join every job still registered with this scope and return the first
+    /// panic payload no `wait` claimed (including panics harvested from
+    /// already-reclaimed jobs).
+    fn join_all(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        let state = std::mem::take(&mut *lock(&self.jobs));
+        let mut first_panic = state.panic;
+        for core in &state.jobs {
+            if !core.done.load(Ordering::Acquire) {
+                self.pool.help_and_wait(core);
+            }
+            if first_panic.is_none() {
+                first_panic = lock(&core.panic).take();
+            }
+        }
+        first_panic
+    }
+}
+
+impl std::fmt::Debug for PoolScope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolScope").field("jobs", &lock(&self.jobs).jobs.len()).finish()
+    }
+}
+
+/// A deferred job submitted through a [`PoolScope`].
+///
+/// [`ScopedJobHandle::wait`] joins the job (stealing remaining tasks on the
+/// calling thread) and re-raises its first task panic. Unlike [`JobHandle`],
+/// dropping this handle does nothing: the job keeps running in the
+/// background and the scope joins it on exit — which is also why leaking the
+/// handle is harmless.
+pub struct ScopedJobHandle<'scope> {
+    pool: &'scope WorkerPool,
+    /// Join state; `join.core` is this handle's share of the job descriptor
+    /// (the scope holds its own until the job completes).
+    join: DeferredJoin,
+    /// The handle belongs to the scope it was submitted through.
+    _scope: PhantomData<&'scope ()>,
+}
+
+impl<'scope> ScopedJobHandle<'scope> {
+    fn completed(
+        pool: &'scope WorkerPool,
+        busy: Duration,
+        panic: Option<Box<dyn std::any::Any + Send>>,
+    ) -> ScopedJobHandle<'scope> {
+        ScopedJobHandle { pool, join: DeferredJoin::completed(busy, panic), _scope: PhantomData }
+    }
+
+    /// Whether the job has completed (lock-free; `true` means [`wait`]
+    /// will not block).
+    ///
+    /// [`wait`]: ScopedJobHandle::wait
+    pub fn is_done(&self) -> bool {
+        self.join.is_done()
+    }
+
+    /// Join the job, stealing its remaining tasks on the calling thread, and
+    /// return its critical-path busy time (the maximum over participants).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first task panic after the job has fully completed. (If
+    /// the handle is dropped without waiting instead, the scope re-raises
+    /// the panic on exit.)
+    pub fn wait(mut self) -> Duration {
+        self.join.wait(self.pool)
+    }
+
+    /// Join and discard any panic payload: the engine's abandoned-launch
+    /// drop path, which must not poison the scope exit.
+    pub(crate) fn join_quiet(&mut self) -> Duration {
+        let busy = self.join.join(self.pool);
+        drop(self.join.take_panic());
+        busy
+    }
+}
+
+impl std::fmt::Debug for ScopedJobHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopedJobHandle").field("done", &self.is_done()).finish()
     }
 }
 
@@ -845,11 +1254,13 @@ mod tests {
     #[test]
     fn submit_defers_and_wait_joins() {
         let pool = WorkerPool::new(2);
-        let hits = AtomicUsize::new(0);
-        let task = |_i: usize| {
-            hits.fetch_add(1, Ordering::Relaxed);
-        };
-        let handle = pool.submit(JobSpec::new(64), &task);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let handle = pool.submit(JobSpec::new(64), {
+            let hits = Arc::clone(&hits);
+            move |_i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }
+        });
         handle.wait();
         assert_eq!(hits.load(Ordering::Relaxed), 64);
     }
@@ -857,13 +1268,34 @@ mod tests {
     #[test]
     fn submitted_job_completes_without_wait() {
         let pool = WorkerPool::new(2);
-        let hits = AtomicUsize::new(0);
-        let task = |_i: usize| {
-            hits.fetch_add(1, Ordering::Relaxed);
-        };
-        drop(pool.submit(JobSpec::new(32), &task));
+        let hits = Arc::new(AtomicUsize::new(0));
+        drop(pool.submit(JobSpec::new(32), {
+            let hits = Arc::clone(&hits);
+            move |_i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
         // Drop joins: every task ran before the handle was released.
         assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn leaked_handle_still_completes_the_job() {
+        // `mem::forget` on a handle is safe: the job must still run every
+        // task (pool shutdown drains the queue) and nothing may dangle —
+        // the handle-owned closure and descriptor are leaked, not freed.
+        let pool = WorkerPool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let handle = pool.submit(JobSpec::new(64), {
+            let hits = Arc::clone(&hits);
+            move |_i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        std::mem::forget(handle);
+        // Dropping the pool joins the workers, which drain the queue first.
+        drop(pool);
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
     }
 
     #[test]
@@ -877,11 +1309,11 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
             concurrent.fetch_sub(1, Ordering::SeqCst);
         };
-        let handle = pool.submit(JobSpec::new(12).max_lanes(1), &task);
-        // Give the background lane time to start before we steal the rest:
-        // with a cap of 1 worker plus the waiting submitter, at most two
-        // tasks may ever run concurrently.
-        handle.wait();
+        pool.scope(|scope| {
+            // A cap of 1 worker plus the waiting submitter: at most two
+            // tasks may ever run concurrently, however the claims interleave.
+            scope.submit(JobSpec::new(12).max_lanes(1), &task).wait();
+        });
         assert!(peak.load(Ordering::SeqCst) <= 2, "peak {} > cap", peak.load(Ordering::SeqCst));
     }
 
@@ -896,22 +1328,163 @@ mod tests {
         let task_b = |_i: usize| {
             b.fetch_add(1, Ordering::Relaxed);
         };
-        let ha = pool.submit(JobSpec::new(50).max_lanes(1), &task_a);
-        let hb = pool.submit(JobSpec::new(50).max_lanes(1), &task_b);
-        ha.wait();
-        hb.wait();
+        pool.scope(|scope| {
+            let ha = scope.submit(JobSpec::new(50).max_lanes(1), &task_a);
+            let hb = scope.submit(JobSpec::new(50).max_lanes(1), &task_b);
+            ha.wait();
+            hb.wait();
+        });
         assert_eq!(a.load(Ordering::Relaxed), 50);
         assert_eq!(b.load(Ordering::Relaxed), 50);
     }
 
     #[test]
-    fn submit_on_inline_pool_runs_synchronously() {
+    fn scope_joins_dropped_and_leaked_handles() {
+        // The soundness contract of scoped submission: the scope's exit —
+        // not any handle destructor — is what guarantees borrowed task
+        // state outlives the job. Drop one handle and leak another; both
+        // jobs must be complete by the time `scope` returns.
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        let task = |_i: usize| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        };
+        pool.scope(|scope| {
+            drop(scope.submit(JobSpec::new(32), &task));
+            std::mem::forget(scope.submit(JobSpec::new(32).max_lanes(1), &task));
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+        // The pool is still healthy afterwards.
+        pool.run(4, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 68);
+    }
+
+    #[test]
+    fn scope_reclaims_completed_job_descriptors() {
+        // A long-lived scope (a server's request loop) must not accumulate
+        // one descriptor per submission forever: completed jobs are swept on
+        // the next submit, leaving only the in-flight tail registered.
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        let task = |_i: usize| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        };
+        pool.scope(|scope| {
+            for _ in 0..100 {
+                scope.submit(JobSpec::new(4), &task).wait();
+            }
+            assert!(
+                lock(&scope.jobs).jobs.len() <= 2,
+                "scope accumulated completed descriptors"
+            );
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn sweep_never_steals_an_outstanding_handles_panic() {
+        let pool = WorkerPool::new(2);
+        let boom = |_i: usize| panic!("claimed by wait");
+        let idle = |_i: usize| {};
+        pool.scope(|scope| {
+            let handle = scope.submit(JobSpec::new(1), &boom);
+            // Let the job finish in the background, then submit again: the
+            // sweep must leave the finished job's panic in place, because
+            // its outstanding handle is about to claim it.
+            while !handle.is_done() {
+                std::thread::yield_now();
+            }
+            scope.submit(JobSpec::new(1), &idle).wait();
+            let result = catch_unwind(AssertUnwindSafe(|| handle.wait()));
+            let payload = result.unwrap_err();
+            let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert_eq!(message, "claimed by wait", "wait must re-raise its own job's panic");
+        });
+        // The panic was claimed; the scope exit has nothing to re-raise.
+    }
+
+    #[test]
+    fn scope_returns_the_closure_value() {
+        let pool = WorkerPool::new(1);
+        let sum = AtomicUsize::new(0);
+        let task = |i: usize| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        };
+        let busy = pool.scope(|scope| scope.submit(JobSpec::new(10), &task).wait());
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+        let _ = busy; // Duration escapes the scope; handles cannot.
+    }
+
+    #[test]
+    fn scoped_unwaited_panic_surfaces_at_scope_exit() {
+        let pool = WorkerPool::new(2);
+        let task = |i: usize| {
+            if i == 3 {
+                panic!("scoped boom");
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                // Dropped without wait: the panic has nowhere to go but the
+                // scope exit.
+                drop(scope.submit(JobSpec::new(8), &task));
+            });
+        }));
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "scoped boom");
+        // The pool survives.
+        let hits = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn scoped_unwaited_panic_surfaces_at_scope_exit_on_inline_pools_too() {
+        // Parity check for the inline fallback: a scoped job that ran
+        // inline (zero-worker pool) and panicked must still surface at
+        // scope exit when its handle was dropped without wait().
+        let pool = WorkerPool::inline();
+        let task = |_i: usize| panic!("inline scoped boom");
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                drop(scope.submit(JobSpec::new(2), &task));
+            });
+        }));
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "inline scoped boom");
+    }
+
+    #[test]
+    fn scope_on_inline_pool_runs_synchronously() {
         let pool = WorkerPool::inline();
         let hits = AtomicUsize::new(0);
         let task = |_i: usize| {
             hits.fetch_add(1, Ordering::Relaxed);
         };
-        let handle = pool.submit(JobSpec::new(8), &task);
+        pool.scope(|scope| {
+            let handle = scope.submit(JobSpec::new(8), &task);
+            assert!(handle.is_done());
+            assert_eq!(hits.load(Ordering::Relaxed), 8);
+            handle.wait();
+        });
+    }
+
+    #[test]
+    fn submit_on_inline_pool_runs_synchronously() {
+        let pool = WorkerPool::inline();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let handle = pool.submit(JobSpec::new(8), {
+            let hits = Arc::clone(&hits);
+            move |_i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }
+        });
         assert!(handle.is_done());
         assert_eq!(hits.load(Ordering::Relaxed), 8);
         handle.wait();
@@ -925,13 +1498,13 @@ mod tests {
                 panic!("deferred boom");
             }
         };
-        let handle = pool.submit(JobSpec::new(8), &task);
+        let handle = pool.submit(JobSpec::new(8), task);
         let result = catch_unwind(AssertUnwindSafe(|| handle.wait()));
         let payload = result.unwrap_err();
         let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(message, "deferred boom");
         // Dropping a panicked handle must stay silent and the pool usable.
-        drop(pool.submit(JobSpec::new(8), &task));
+        drop(pool.submit(JobSpec::new(8), task));
         let ok = AtomicUsize::new(0);
         pool.run(4, &|_| {
             ok.fetch_add(1, Ordering::Relaxed);
@@ -942,8 +1515,7 @@ mod tests {
     #[test]
     fn is_done_eventually_true_without_wait() {
         let pool = WorkerPool::new(1);
-        let task = |_i: usize| {};
-        let handle = pool.submit(JobSpec::new(4), &task);
+        let handle = pool.submit(JobSpec::new(4), |_i| {});
         let deadline = Instant::now() + Duration::from_secs(10);
         while !handle.is_done() {
             assert!(Instant::now() < deadline, "job never completed in the background");
@@ -959,12 +1531,14 @@ mod tests {
         // needed eventually wakes; hammer the queue with small jobs.
         let pool = WorkerPool::new(4);
         let hits = AtomicUsize::new(0);
-        for _ in 0..1_000 {
-            let task = |_i: usize| {
-                hits.fetch_add(1, Ordering::Relaxed);
-            };
-            pool.submit(JobSpec::new(4), &task).wait();
-        }
+        let task = |_i: usize| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        };
+        pool.scope(|scope| {
+            for _ in 0..1_000 {
+                scope.submit(JobSpec::new(4), &task).wait();
+            }
+        });
         assert_eq!(hits.load(Ordering::Relaxed), 4_000);
     }
 }

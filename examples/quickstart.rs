@@ -60,21 +60,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         aot_time.as_secs_f64() / steady.elapsed.as_secs_f64()
     );
 
-    // 5. Overlap two engines with asynchronous execution: each launch is
-    //    lane-capped to its engine's thread count, so both kernels run
-    //    concurrently on disjoint subsets of one shared pool instead of
-    //    serializing — the shape of a server juggling several compiled
-    //    models at once.
+    // 5. Overlap two engines with asynchronous execution: inside a pool
+    //    scope (which joins every launch before it returns, so the borrowed
+    //    inputs stay safe), each launch is lane-capped to its engine's
+    //    thread count and both kernels run concurrently on disjoint subsets
+    //    of one shared pool instead of serializing — the shape of a server
+    //    juggling several compiled models at once.
     let pool = WorkerPool::new(2);
     let b = generate::rmat::<f32>(13, 250_000, generate::RmatConfig::WEB, 43);
     let xb = DenseMatrix::random(b.ncols(), d, 8);
     let eng_a = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&a, d)?;
     let eng_b = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&b, d)?;
     let start = Instant::now();
-    let ha = eng_a.execute_async(&x)?; // returns immediately; job in flight
-    let hb = eng_b.execute_async(&xb)?; // second job overlaps the first
-    let (ya, report_a) = ha.wait();
-    let (yb, report_b) = hb.wait();
+    let (ya, report_a, yb, report_b) =
+        pool.scope(|scope| -> Result<_, jitspmm::JitSpmmError> {
+            let ha = eng_a.execute_async(scope, &x)?; // returns immediately; job in flight
+            let hb = eng_b.execute_async(scope, &xb)?; // second job overlaps the first
+            let (ya, report_a) = ha.wait();
+            let (yb, report_b) = hb.wait();
+            Ok((ya, report_a, yb, report_b))
+        })?;
     println!(
         "overlapped engines: both done in {:?} (kernels {:?} + {:?})",
         start.elapsed(),

@@ -199,27 +199,29 @@ fn differential_matrix_async_overlap() {
             .pool(pool.clone())
             .build(&s2.matrix, s2.d)
             .unwrap();
-        for round in 0..5 {
-            let h1 = e1.execute_async(&x1).unwrap();
-            let h2 = e2.execute_async(&x2).unwrap();
-            // Join in reverse submission order to exercise out-of-order
-            // completion.
-            let (y2, _) = h2.wait();
-            let (y1, _) = h1.wait();
-            assert!(
-                y1.approx_eq(&expected1, 1e-4),
-                "{} overlapped with {} (round {round})",
-                s1.name,
-                s2.name
-            );
-            assert!(
-                y2.approx_eq(&expected2, 1e-4),
-                "{} overlapped with {} (round {round})",
-                s2.name,
-                s1.name
-            );
-            combinations += 1;
-        }
+        pool.scope(|scope| {
+            for round in 0..5 {
+                let h1 = e1.execute_async(scope, &x1).unwrap();
+                let h2 = e2.execute_async(scope, &x2).unwrap();
+                // Join in reverse submission order to exercise out-of-order
+                // completion.
+                let (y2, _) = h2.wait();
+                let (y1, _) = h1.wait();
+                assert!(
+                    y1.approx_eq(&expected1, 1e-4),
+                    "{} overlapped with {} (round {round})",
+                    s1.name,
+                    s2.name
+                );
+                assert!(
+                    y2.approx_eq(&expected2, 1e-4),
+                    "{} overlapped with {} (round {round})",
+                    s2.name,
+                    s1.name
+                );
+                combinations += 1;
+            }
+        });
     }
     assert!(combinations >= 20, "async differential covered only {combinations} combinations");
 }

@@ -147,14 +147,17 @@ proptest! {
         let (s2, _) = e2.execute(&x2).unwrap();
         let s2 = s2.into_dense();
         // Several rounds per case: races need repetition to surface.
-        for round in 0..4 {
-            let h1 = e1.execute_async(&x1).unwrap();
-            let h2 = e2.execute_async(&x2).unwrap();
-            let (y2, _) = h2.wait();
-            let (y1, _) = h1.wait();
-            prop_assert!(y1 == s1, "engine 1 diverged under overlap (round {})", round);
-            prop_assert!(y2 == s2, "engine 2 diverged under overlap (round {})", round);
-        }
+        pool.scope(|scope| -> Result<(), TestCaseError> {
+            for round in 0..4 {
+                let h1 = e1.execute_async(scope, &x1).unwrap();
+                let h2 = e2.execute_async(scope, &x2).unwrap();
+                let (y2, _) = h2.wait();
+                let (y1, _) = h1.wait();
+                prop_assert!(y1 == s1, "engine 1 diverged under overlap (round {})", round);
+                prop_assert!(y2 == s2, "engine 2 diverged under overlap (round {})", round);
+            }
+            Ok(())
+        })?;
     }
 
     /// Deferred pool jobs never lose or duplicate tasks, whatever the task
@@ -171,18 +174,18 @@ proptest! {
             .map(|_| (0..tasks).map(|_| AtomicUsize::new(0)).collect())
             .collect();
         let specs = jitspmm::JobSpec::new(tasks).max_lanes(max_lanes);
-        {
-            let tasks_fns: Vec<_> = counters
-                .iter()
-                .map(|slots| move |i: usize| {
-                    slots[i].fetch_add(1, Ordering::Relaxed);
-                })
-                .collect();
-            let handles: Vec<_> = tasks_fns.iter().map(|t| pool.submit(specs, t)).collect();
+        let tasks_fns: Vec<_> = counters
+            .iter()
+            .map(|slots| move |i: usize| {
+                slots[i].fetch_add(1, Ordering::Relaxed);
+            })
+            .collect();
+        pool.scope(|scope| {
+            let handles: Vec<_> = tasks_fns.iter().map(|t| scope.submit(specs, t)).collect();
             for handle in handles {
                 handle.wait();
             }
-        }
+        });
         for (j, slots) in counters.iter().enumerate() {
             for (i, slot) in slots.iter().enumerate() {
                 prop_assert_eq!(slot.load(Ordering::Relaxed), 1, "job {} task {}", j, i);

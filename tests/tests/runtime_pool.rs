@@ -10,6 +10,7 @@ use jitspmm::{JitSpmmBuilder, JobSpec, Strategy, WorkerPool};
 use jitspmm_integration_tests::{host_supports_jit, pathological, small_skewed};
 use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 fn all_strategies() -> [Strategy; 4] {
     [
@@ -247,51 +248,71 @@ fn inline_pool_produces_identical_results() {
 fn notify_one_chain_survives_10k_rapid_submits() {
     let pool = WorkerPool::new(8);
     let hits = AtomicUsize::new(0);
+    let task = |_i: usize| {
+        hits.fetch_add(1, Ordering::Relaxed);
+    };
     let mut expected = 0usize;
     let mut submitted = 0usize;
-    let mut round = 0usize;
-    while submitted < 10_000 {
-        // Cycle lane caps 1..=8 so the chain length varies every round.
-        let cap = round % 8 + 1;
-        let tasks = 4 + round % 5;
-        let task = |_i: usize| {
-            hits.fetch_add(1, Ordering::Relaxed);
-        };
-        if round.is_multiple_of(3) {
-            // Two jobs genuinely in flight at once.
-            let a = pool.submit(JobSpec::new(tasks).max_lanes(cap), &task);
-            let b = pool.submit(JobSpec::new(tasks).max_lanes(8 - cap + 1), &task);
-            a.wait();
-            b.wait();
-            submitted += 2;
-            expected += 2 * tasks;
-        } else {
-            pool.submit(JobSpec::new(tasks).max_lanes(cap), &task).wait();
-            submitted += 1;
-            expected += tasks;
+    pool.scope(|scope| {
+        let mut round = 0usize;
+        while submitted < 10_000 {
+            // Cycle lane caps 1..=8 so the chain length varies every round.
+            let cap = round % 8 + 1;
+            let tasks = 4 + round % 5;
+            if round.is_multiple_of(3) {
+                // Two jobs genuinely in flight at once.
+                let a = scope.submit(JobSpec::new(tasks).max_lanes(cap), &task);
+                let b = scope.submit(JobSpec::new(tasks).max_lanes(8 - cap + 1), &task);
+                a.wait();
+                b.wait();
+                submitted += 2;
+                expected += 2 * tasks;
+            } else {
+                scope.submit(JobSpec::new(tasks).max_lanes(cap), &task).wait();
+                submitted += 1;
+                expected += tasks;
+            }
+            round += 1;
         }
-        round += 1;
-    }
+    });
     assert!(submitted >= 10_000);
     assert_eq!(hits.load(Ordering::Relaxed), expected, "lost or duplicated tasks");
 }
 
 /// Dropping a `JobHandle` without calling `wait()` must still run the job to
-/// completion (the closure borrow ends at drop), and the pool must shut down
-/// cleanly afterwards — no wedged workers, no leaked jobs.
+/// completion (drop joins, releasing the owned closure), scoped handles may
+/// be dropped freely (the scope joins them on exit), and the pool must shut
+/// down cleanly afterwards — no wedged workers, no leaked jobs.
 #[test]
 fn job_handle_drop_without_wait_completes_and_pool_shuts_down() {
     let pool = WorkerPool::new(2);
-    let hits = AtomicUsize::new(0);
+    // Owned tasks through WorkerPool::submit: drop joins immediately.
+    let hits = Arc::new(AtomicUsize::new(0));
     {
-        let task = |_i: usize| {
-            hits.fetch_add(1, Ordering::Relaxed);
+        let submit = |spec| {
+            pool.submit(spec, {
+                let hits = Arc::clone(&hits);
+                move |_i| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }
+            })
         };
-        let _one = pool.submit(JobSpec::new(32), &task);
-        let _two = pool.submit(JobSpec::new(32).max_lanes(1), &task);
+        let _one = submit(JobSpec::new(32));
+        let _two = submit(JobSpec::new(32).max_lanes(1));
         // Both dropped here without wait().
     }
     assert_eq!(hits.load(Ordering::Relaxed), 64, "drop must join the job");
+    // Borrowed tasks through a scope: exit joins whatever was not waited.
+    let borrowed = AtomicUsize::new(0);
+    let task = |_i: usize| {
+        borrowed.fetch_add(1, Ordering::Relaxed);
+    };
+    pool.scope(|scope| {
+        let _one = scope.submit(JobSpec::new(32), &task);
+        let _two = scope.submit(JobSpec::new(32).max_lanes(1), &task);
+        // Both dropped here; the scope joins them before returning.
+    });
+    assert_eq!(borrowed.load(Ordering::Relaxed), 64, "scope exit must join the jobs");
     // Dropping the pool joins the workers; a leaked/wedged job would hang.
     drop(pool);
 }
@@ -317,7 +338,7 @@ fn execution_handle_drop_without_wait_recycles_buffer_and_shutdown() {
         };
         // The async launch acquires that same buffer; dropping the handle
         // without wait must hand it back...
-        drop(engine.execute_async(&x).unwrap());
+        pool.scope(|scope| drop(engine.execute_async(scope, &x).unwrap()));
         // ...so the next execute reuses it instead of allocating afresh.
         let (y, _) = engine.execute(&x).unwrap();
         assert_eq!(y.as_ptr(), recycled_ptr, "abandoned launch leaked its output buffer");
@@ -344,9 +365,11 @@ fn abandoned_launch_releases_the_engine() {
     let x = DenseMatrix::random(a.ncols(), 8, 16);
     let engine =
         JitSpmmBuilder::new().pool(WorkerPool::new(2)).threads(2).build(&a, 8).unwrap();
-    for _ in 0..10 {
-        drop(engine.execute_async(&x).unwrap());
-    }
-    let (y, _) = engine.execute_async(&x).unwrap().wait();
-    assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+    engine.pool().scope(|scope| {
+        for _ in 0..10 {
+            drop(engine.execute_async(scope, &x).unwrap());
+        }
+        let (y, _) = engine.execute_async(scope, &x).unwrap().wait();
+        assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+    });
 }
