@@ -14,7 +14,7 @@
 //! perf trajectory can be tracked across commits.
 
 use jitspmm::{CpuFeatures, JitSpmmBuilder, Strategy, WorkerPool};
-use jitspmm_bench::TextTable;
+use jitspmm_bench::{json_stats, measure, Stats, TextTable};
 use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
 use std::time::{Duration, Instant};
 
@@ -50,28 +50,6 @@ fn workloads(quick: bool) -> Vec<Workload> {
             reps: scale(30),
         },
     ]
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Stats {
-    best: Duration,
-    mean: Duration,
-}
-
-fn measure(reps: usize, mut f: impl FnMut()) -> Stats {
-    f(); // warm-up (first pooled call wakes cold workers)
-    let mut best = Duration::MAX;
-    let total_start = Instant::now();
-    for _ in 0..reps {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed());
-    }
-    Stats { best, mean: total_start.elapsed() / reps as u32 }
-}
-
-fn json_stats(s: &Stats) -> String {
-    format!(r#"{{"best_ns": {}, "mean_ns": {}}}"#, s.best.as_nanos(), s.mean.as_nanos())
 }
 
 fn main() {
@@ -246,8 +224,13 @@ fn main() {
         serialized.best, overlapped.best
     );
 
+    // Record the host core count alongside the numbers: absolute times and
+    // overlap ratios are only comparable across commits measured on the
+    // same hardware, and the JSON is archived as a CI artifact. Distinct
+    // from `lanes`: detection failure records 1, not the lane fallback.
+    let host_cores = jitspmm_bench::host_cores();
     let json = format!(
-        "{{\n  \"bench\": \"dispatch_overhead\",\n  \"d\": {D},\n  \"lanes\": {threads},\n  \"results\": [\n{}\n  ],\n  \"overlap\": {{\"pool_workers\": 2, \"lanes_per_job\": 1, \"jobs_per_client\": {overlap_batch}, \"serialized\": {}, \"overlapped\": {}, \"overlap_speedup_best\": {:.4}, \"overlap_speedup_mean\": {:.4}}}\n}}\n",
+        "{{\n  \"bench\": \"dispatch_overhead\",\n  \"d\": {D},\n  \"lanes\": {threads},\n  \"host_cores\": {host_cores},\n  \"results\": [\n{}\n  ],\n  \"overlap\": {{\"pool_workers\": 2, \"lanes_per_job\": 1, \"jobs_per_client\": {overlap_batch}, \"serialized\": {}, \"overlapped\": {}, \"overlap_speedup_best\": {:.4}, \"overlap_speedup_mean\": {:.4}}}\n}}\n",
         json_rows.join(",\n"),
         json_stats(&serialized),
         json_stats(&overlapped),

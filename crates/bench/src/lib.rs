@@ -80,6 +80,68 @@ pub fn time_best_of<F: FnMut()>(reps: usize, mut f: F) -> Duration {
     best
 }
 
+/// The host's hardware-thread count as reported by the OS (1 when detection
+/// fails). Recorded in every bench JSON file so archived numbers from
+/// different machines stay interpretable.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Best and mean wall-clock time of one measured configuration — the record
+/// the JSON-emitting benches (`dispatch_overhead`, `batch_size`) serialize.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Fastest single repetition.
+    pub best: Duration,
+    /// Mean over all repetitions.
+    pub mean: Duration,
+}
+
+/// Time `f` over `reps` repetitions (after one untimed warm-up call, which
+/// wakes cold pool workers and fills caches) and return best and mean.
+pub fn measure(reps: usize, mut f: impl FnMut()) -> Stats {
+    f();
+    let mut best = Duration::MAX;
+    let total_start = Instant::now();
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    Stats { best, mean: total_start.elapsed() / reps.max(1) as u32 }
+}
+
+/// Measure two configurations with their repetitions interleaved (A, B, A,
+/// B, ...), so slow drift in background load lands on both fairly instead of
+/// biasing whichever ran second. Both are warmed up once, untimed.
+pub fn measure_interleaved(
+    reps: usize,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+) -> (Stats, Stats) {
+    a();
+    b();
+    let reps = reps.max(1);
+    let mut stats = [(Duration::MAX, Duration::ZERO), (Duration::MAX, Duration::ZERO)];
+    for _ in 0..reps {
+        for (which, f) in [(0usize, &mut a as &mut dyn FnMut()), (1, &mut b)] {
+            let start = Instant::now();
+            f();
+            let elapsed = start.elapsed();
+            stats[which].0 = stats[which].0.min(elapsed);
+            stats[which].1 += elapsed;
+        }
+    }
+    let finish = |(best, total): (Duration, Duration)| Stats { best, mean: total / reps as u32 };
+    (finish(stats[0]), finish(stats[1]))
+}
+
+/// Serialize a [`Stats`] as the `{"best_ns": ..., "mean_ns": ...}` object
+/// both bench JSON files use.
+pub fn json_stats(s: &Stats) -> String {
+    format!(r#"{{"best_ns": {}, "mean_ns": {}}}"#, s.best.as_nanos(), s.mean.as_nanos())
+}
+
 /// Geometric mean of a slice of ratios (the paper reports average speedups).
 pub fn geometric_mean(values: &[f64]) -> f64 {
     if values.is_empty() {

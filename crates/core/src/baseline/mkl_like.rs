@@ -80,6 +80,42 @@ pub fn spmm_mkl_like_f32_on(
     });
 }
 
+/// Run the MKL stand-in over a batch of f32 inputs, returning one output per
+/// input (in order) — the AOT vendor-library counterpart of
+/// [`crate::JitSpmm::execute_batch`] for like-for-like batched comparisons.
+///
+/// # Panics
+///
+/// Panics on shape mismatch between `a` and any input.
+pub fn spmm_mkl_like_f32_batch(
+    a: &CsrMatrix<f32>,
+    inputs: &[DenseMatrix<f32>],
+    threads: usize,
+) -> Vec<DenseMatrix<f32>> {
+    spmm_mkl_like_f32_batch_on(WorkerPool::global(), a, inputs, threads)
+}
+
+/// [`spmm_mkl_like_f32_batch`] on an explicit worker pool.
+///
+/// # Panics
+///
+/// Panics on shape mismatch between `a` and any input.
+pub fn spmm_mkl_like_f32_batch_on(
+    pool: &WorkerPool,
+    a: &CsrMatrix<f32>,
+    inputs: &[DenseMatrix<f32>],
+    threads: usize,
+) -> Vec<DenseMatrix<f32>> {
+    inputs
+        .iter()
+        .map(|x| {
+            let mut y = DenseMatrix::zeros(a.nrows(), x.ncols());
+            spmm_mkl_like_f32_on(pool, a, x, &mut y, threads);
+            y
+        })
+        .collect()
+}
+
 /// Multi-threaded, hand-vectorized f64 SpMM (MKL stand-in, double precision).
 ///
 /// # Panics
@@ -328,6 +364,18 @@ mod tests {
             let mut y = DenseMatrix::zeros(a.nrows(), d);
             spmm_mkl_like_f32(&a, &x, &mut y, 4);
             assert!(y.approx_eq(&expected, 1e-4), "d = {d}");
+        }
+    }
+
+    #[test]
+    fn f32_batch_entry_point_matches_per_input_calls() {
+        let a = generate::uniform::<f32>(90, 80, 800, 23);
+        let inputs: Vec<DenseMatrix<f32>> =
+            (0..3).map(|seed| DenseMatrix::random(80, 6, 30 + seed)).collect();
+        let batch = spmm_mkl_like_f32_batch(&a, &inputs, 2);
+        assert_eq!(batch.len(), 3);
+        for (x, y) in inputs.iter().zip(&batch) {
+            assert!(y.approx_eq(&a.spmm_reference(x), 1e-4));
         }
     }
 

@@ -102,6 +102,31 @@ pub fn spmm_scalar_unchecked<T: Scalar>(
     }
 }
 
+/// Run the naive scalar baseline over a batch of inputs, returning one
+/// output per input (in order).
+///
+/// This is the per-input trust anchor the batched differential tests compare
+/// [`crate::JitSpmm::execute_batch`] against: deliberately the plainest
+/// possible loop — no pipeline, no threading — so a batching bug on the JIT
+/// side cannot be mirrored here.
+///
+/// # Panics
+///
+/// Panics if any input's shape is inconsistent with `a`.
+pub fn spmm_scalar_batch<T: Scalar>(
+    a: &CsrMatrix<T>,
+    inputs: &[DenseMatrix<T>],
+) -> Vec<DenseMatrix<T>> {
+    inputs
+        .iter()
+        .map(|x| {
+            let mut y = DenseMatrix::zeros(a.nrows(), x.ncols());
+            spmm_scalar_naive(a, x, &mut y);
+            y
+        })
+        .collect()
+}
+
 fn check_shapes<T: Scalar>(a: &CsrMatrix<T>, x: &DenseMatrix<T>, y: &DenseMatrix<T>) {
     assert_eq!(x.nrows(), a.ncols(), "dense input rows must equal sparse columns");
     assert_eq!(y.nrows(), a.nrows(), "dense output rows must equal sparse rows");
@@ -155,6 +180,21 @@ mod tests {
         let mut y = DenseMatrix::filled(3, 2, 99.0);
         spmm_scalar_naive(&a, &x, &mut y);
         assert_eq!(y.get(2, 1), 2.0);
+    }
+
+    #[test]
+    fn batch_entry_point_matches_per_input_calls() {
+        let a = generate::uniform::<f32>(60, 50, 400, 9);
+        let inputs: Vec<DenseMatrix<f32>> =
+            (0..4).map(|seed| DenseMatrix::random(50, 3, seed)).collect();
+        let batch = spmm_scalar_batch(&a, &inputs);
+        assert_eq!(batch.len(), 4);
+        for (x, y) in inputs.iter().zip(&batch) {
+            let mut expected = DenseMatrix::zeros(60, 3);
+            spmm_scalar_naive(&a, x, &mut expected);
+            assert_eq!(*y, expected);
+        }
+        assert!(spmm_scalar_batch(&a, &[]).is_empty());
     }
 
     #[test]

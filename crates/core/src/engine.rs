@@ -5,14 +5,25 @@ use crate::codegen::{
 };
 use crate::error::JitSpmmError;
 use crate::kernel::{CompiledKernel, KernelKind, KernelMeta};
-use crate::runtime::dispatch::{self, BufferPool, KernelJob};
+use crate::runtime::dispatch::{self, BufferPool, KernelJob, LaunchPayload};
 use crate::runtime::{PoolScope, PooledMatrix, ScopedJobHandle, WorkerPool};
 use crate::schedule::{partition, DynamicCounter, Partition, Strategy};
 use jitspmm_asm::{CpuFeatures, IsaLevel};
 use jitspmm_sparse::{CsrMatrix, DenseMatrix, Scalar};
+use std::collections::VecDeque;
+use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 use std::time::{Duration, Instant};
+
+/// The host's available parallelism, resolved once per process.
+/// `std::thread::available_parallelism` consults the cgroup filesystem on
+/// every call on Linux (~10µs), far too slow for a per-batch decision.
+fn host_parallelism() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED
+        .get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
 
 /// A small process-unique id for the current thread, used to detect a thread
 /// re-acquiring an engine's launch lock it already holds (`std::sync::Mutex`
@@ -212,6 +223,13 @@ pub struct JitSpmm<'a, T: Scalar> {
     launch_owner: AtomicU64,
     pool: WorkerPool,
     output_pool: Arc<BufferPool<T>>,
+    /// The options the kernel was generated with, kept so the batch pipeline
+    /// can compile spare slot kernels ([`SlotKernel`]) on demand.
+    kernel_options: KernelOptions,
+    /// Lazily compiled spare kernels backing batch pipeline slots 1.. for
+    /// dynamic-dispatch engines (see [`SlotKernel`]); cached across batches
+    /// so repeated [`JitSpmm::execute_batch`] calls pay codegen once.
+    batch_kernels: Mutex<Vec<Arc<SlotKernel<T>>>>,
 }
 
 impl<T: Scalar> std::fmt::Debug for JitSpmm<'_, T> {
@@ -309,6 +327,8 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
             launch_owner: AtomicU64::new(0),
             pool,
             output_pool: Arc::new(BufferPool::new()),
+            kernel_options,
+            batch_kernels: Mutex::new(Vec::new()),
         })
     }
 
@@ -530,6 +550,250 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
             strategy: self.options.strategy,
             _launch: guard,
         })
+    }
+
+    /// Compute `Y = A * X_i` for every input in `inputs`, pipelining up to
+    /// [`DEFAULT_BATCH_DEPTH`] launches through the scope's worker pool at
+    /// once, and return the outputs (in input order) together with a
+    /// [`BatchReport`] aggregating per-input timing.
+    ///
+    /// This is the steady-state serving shape: one compiled kernel, a stream
+    /// of dense right-hand sides. Relative to a loop of
+    /// [`JitSpmm::execute`] calls, the pipeline
+    ///
+    /// * validates every input **once, up front** — a shape mismatch fails
+    ///   the whole batch before any launch, never mid-stream,
+    /// * takes the engine's launch lock once for the whole batch instead of
+    ///   once per input,
+    /// * keeps the next launch queued while the current one runs
+    ///   (double-buffered outputs), so workers flow from one input's job
+    ///   straight into the next without re-parking — degrading to direct
+    ///   sequential execution on hosts where nothing can overlap (a single
+    ///   hardware thread, or a zero-worker pool), where queue handoffs would
+    ///   only cost, and
+    /// * reuses per-slot job payloads, so steady-state submission performs
+    ///   no per-launch boxing.
+    ///
+    /// Dynamic-dispatch engines compile one spare kernel per extra pipeline
+    /// slot on first use (the row-claim counter's address is embedded in the
+    /// generated code, so concurrently in-flight launches need their own
+    /// copies); the spares are cached on the engine, so only the first batch
+    /// pays that codegen. Static-range kernels have no embedded mutable
+    /// state and share the engine's kernel across all slots.
+    ///
+    /// For unbounded streams — where inputs arrive one at a time and
+    /// outputs should be consumed as they complete — drive a
+    /// [`BatchStream`] directly via [`JitSpmm::batch_stream`].
+    ///
+    /// ```
+    /// use jitspmm::JitSpmmBuilder;
+    /// use jitspmm_sparse::{generate, DenseMatrix};
+    ///
+    /// # fn main() -> Result<(), jitspmm::JitSpmmError> {
+    /// let a = generate::uniform::<f32>(128, 128, 1_000, 1);
+    /// let engine = JitSpmmBuilder::new().threads(2).build(&a, 8)?;
+    /// let inputs: Vec<DenseMatrix<f32>> =
+    ///     (0..6).map(|seed| DenseMatrix::random(128, 8, seed)).collect();
+    /// let (outputs, report) = engine
+    ///     .pool()
+    ///     .scope(|scope| engine.execute_batch(scope, &inputs))?;
+    /// assert_eq!(outputs.len(), 6);
+    /// assert_eq!(report.inputs, 6);
+    /// for (x, y) in inputs.iter().zip(&outputs) {
+    ///     assert!(y.approx_eq(&a.spmm_reference(x), 1e-4));
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JitSpmmError::ShapeMismatch`] (naming the offending input
+    /// index) if any input is not `A.ncols() x d`, and
+    /// [`JitSpmmError::LaunchInProgress`] if the calling thread already
+    /// holds a launch of this engine.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic of the batch after joining the
+    /// launches still in flight; the engine stays usable afterwards.
+    pub fn execute_batch<'scope, 'env>(
+        &'env self,
+        scope: &'scope PoolScope<'scope, 'env>,
+        inputs: &'env [DenseMatrix<T>],
+    ) -> Result<(Vec<PooledMatrix<T>>, BatchReport), JitSpmmError> {
+        // One-time validation, hoisted out of the per-input path.
+        for (index, x) in inputs.iter().enumerate() {
+            self.check_input_shape(x).map_err(|e| match e {
+                JitSpmmError::ShapeMismatch(msg) => {
+                    JitSpmmError::ShapeMismatch(format!("batch input {index}: {msg}"))
+                }
+                other => other,
+            })?;
+        }
+        // Depth 0 = auto: pipeline at the default depth where overlap is
+        // available, run sequentially where it is not. A batch of at most
+        // one input has nothing to pipeline either way.
+        let depth = if inputs.len() <= 1 { 1 } else { 0 };
+        let mut stream = self.batch_stream(scope, depth)?;
+        // The caller holds all the batch's outputs at once; let the buffer
+        // pool retain that many spares so repeated batches recycle them all.
+        // (Only once the batch is actually going to run — a failed call must
+        // not mutate engine state.)
+        self.output_pool.reserve(inputs.len());
+        let mut outputs = Vec::with_capacity(inputs.len());
+        for x in inputs {
+            if let Some((y, _)) = stream.push_validated(x) {
+                outputs.push(y);
+            }
+        }
+        let (rest, report) = stream.finish();
+        outputs.extend(rest.into_iter().map(|(y, _)| y));
+        Ok((outputs, report))
+    }
+
+    /// Open a [`BatchStream`]: the incremental form of
+    /// [`JitSpmm::execute_batch`] for unbounded input streams.
+    ///
+    /// `depth` is the number of launches kept in flight at once (`0` selects
+    /// [`DEFAULT_BATCH_DEPTH`]; values are capped at an internal maximum of
+    /// 16). On hosts where deferred launches cannot overlap anything — a
+    /// single hardware thread, or a zero-worker pool — depths of 0 and 1
+    /// degrade to direct sequential execution on the calling thread (no
+    /// queue round trips, bit-identical results); an explicit `depth >= 2`
+    /// always uses the real pipeline. The stream holds the engine's launch
+    /// lock until it is finished or dropped — other launches of this engine
+    /// block (or fail with [`JitSpmmError::LaunchInProgress`] from the
+    /// owning thread) meanwhile.
+    ///
+    /// Feed it from any iterator:
+    ///
+    /// ```
+    /// use jitspmm::JitSpmmBuilder;
+    /// use jitspmm_sparse::{generate, DenseMatrix};
+    ///
+    /// # fn main() -> Result<(), jitspmm::JitSpmmError> {
+    /// let a = generate::uniform::<f32>(64, 64, 500, 2);
+    /// let engine = JitSpmmBuilder::new().threads(2).build(&a, 4)?;
+    /// let inputs: Vec<DenseMatrix<f32>> =
+    ///     (0..5).map(|seed| DenseMatrix::random(64, 4, seed)).collect();
+    /// engine.pool().scope(|scope| -> Result<(), jitspmm::JitSpmmError> {
+    ///     let mut stream = engine.batch_stream(scope, 2)?;
+    ///     let mut done = 0usize;
+    ///     for x in &inputs {
+    ///         // `push` hands back the oldest completed output once the
+    ///         // pipeline is full.
+    ///         if let Some((y, _report)) = stream.push(x)? {
+    ///             done += 1;
+    ///             drop(y); // recycled into the engine's buffer pool
+    ///         }
+    ///     }
+    ///     let (rest, report) = stream.finish();
+    ///     done += rest.len();
+    ///     assert_eq!(done, inputs.len());
+    ///     assert_eq!(report.inputs, inputs.len());
+    ///     Ok(())
+    /// })?;
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`JitSpmmError::LaunchInProgress`] if the calling thread already
+    /// holds a launch of this engine, or a codegen error if compiling a
+    /// spare slot kernel fails.
+    pub fn batch_stream<'scope, 'env>(
+        &'env self,
+        scope: &'scope PoolScope<'scope, 'env>,
+        depth: usize,
+    ) -> Result<BatchStream<'scope, 'env, T>, JitSpmmError> {
+        // Deferring launches through the job queue only pays off when
+        // something can actually run concurrently with the submitting
+        // thread. On a single-hardware-thread host (or a zero-worker pool)
+        // the queue handoffs are pure overhead, so auto mode (depth 0 or 1)
+        // degrades to direct sequential execution; an explicit depth >= 2 is
+        // a request for real pipelining and is honoured everywhere.
+        let no_overlap = scope.pool().size() == 0 || host_parallelism() == 1;
+        let (depth, sequential) = match depth {
+            0 => {
+                if no_overlap {
+                    (1, true)
+                } else {
+                    (DEFAULT_BATCH_DEPTH, false)
+                }
+            }
+            1 => (1, no_overlap),
+            n => (n.min(MAX_BATCH_DEPTH), false),
+        };
+        let launch = self.begin_launch(true)?;
+        let spares = self.spare_slot_kernels(depth - 1)?;
+        let mut slots = Vec::with_capacity(depth);
+        slots.push(BatchSlot { kernel: None, payload: LaunchPayload::new(), busy: false });
+        match self.kernel.kind() {
+            // Each concurrently in-flight dynamic launch needs its own
+            // claim counter, hence its own compiled kernel copy.
+            KernelKind::DynamicDispatch => {
+                for spare in spares {
+                    slots.push(BatchSlot {
+                        kernel: Some(spare),
+                        payload: LaunchPayload::new(),
+                        busy: false,
+                    });
+                }
+            }
+            // Static-range kernels carry no mutable state; every slot can
+            // launch the engine's own kernel.
+            KernelKind::StaticRange => {
+                for _ in 1..depth {
+                    slots.push(BatchSlot {
+                        kernel: None,
+                        payload: LaunchPayload::new(),
+                        busy: false,
+                    });
+                }
+            }
+        }
+        Ok(BatchStream {
+            engine: self,
+            scope,
+            slots,
+            in_flight: VecDeque::with_capacity(depth),
+            sequential,
+            stats: BatchStats::default(),
+            first_submit: None,
+            _launch: launch,
+        })
+    }
+
+    /// The cached spare [`SlotKernel`]s for batch pipeline slots `1..=extra`
+    /// of a dynamic-dispatch engine, compiling any that do not exist yet.
+    /// Static-range engines need none and get an empty list.
+    fn spare_slot_kernels(&self, extra: usize) -> Result<Vec<Arc<SlotKernel<T>>>, JitSpmmError> {
+        if extra == 0 || self.kernel.kind() != KernelKind::DynamicDispatch {
+            return Ok(Vec::new());
+        }
+        let Strategy::RowSplitDynamic { batch } = self.options.strategy else {
+            unreachable!("dynamic kernels are only generated for dynamic row-split")
+        };
+        let mut cache = crate::runtime::pool::lock(&self.batch_kernels);
+        while cache.len() < extra {
+            let counter = Box::new(DynamicCounter::new());
+            // Listings are a debugging aid of the primary kernel; spare
+            // copies are byte-identical except for the counter address.
+            let options = KernelOptions { listing: false, ..self.kernel_options };
+            let generated = generate_dynamic_kernel(
+                MatrixBinding::of(self.matrix),
+                self.d,
+                T::KIND,
+                batch,
+                counter.as_ptr() as *const u8,
+                &options,
+            )?;
+            let kernel = CompiledKernel::new(&generated.code, KernelKind::DynamicDispatch, None)?;
+            cache.push(Arc::new(SlotKernel { kernel, counter }));
+        }
+        Ok(cache.iter().take(extra).cloned().collect())
     }
 
     /// Compute `Y = A * X` into an existing output matrix (its previous
@@ -842,6 +1106,446 @@ impl<T: Scalar> std::fmt::Debug for ExecutionHandle<'_, T> {
         f.debug_struct("ExecutionHandle")
             .field("done", &self.is_done())
             .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// Default number of launches [`JitSpmm::execute_batch`] keeps in flight:
+/// double buffering — one launch executing while the next is already queued,
+/// so workers flow between inputs without re-parking.
+pub const DEFAULT_BATCH_DEPTH: usize = 2;
+
+/// Upper bound on the batch pipeline depth. Each slot holds one output
+/// buffer (and, for dynamic engines, one spare kernel copy), and depths past
+/// the pool's worker count buy no additional overlap.
+const MAX_BATCH_DEPTH: usize = 16;
+
+/// A spare kernel instance backing one batch pipeline slot of a
+/// dynamic-dispatch engine. The row-claim counter's address is embedded in
+/// the generated code, so every launch that may be in flight concurrently
+/// needs its own counter — and therefore its own compiled copy. (Static
+/// kernels have no embedded mutable state; slots share the engine's.)
+struct SlotKernel<T: Scalar> {
+    kernel: CompiledKernel<T>,
+    /// The claim counter the spare kernel's `lock xadd` targets; boxed so
+    /// its address outlives any move of the surrounding struct.
+    counter: Box<DynamicCounter>,
+}
+
+/// Aggregated timing for one batch, returned by [`JitSpmm::execute_batch`]
+/// and [`BatchStream::finish`].
+///
+/// Per-input timing follows [`ExecutionReport`]: `kernel` is a launch's
+/// critical-path kernel time, `dispatch` is everything else between its
+/// submission and its join — which, inside a pipeline, includes time spent
+/// queued behind the previous input *and*, when a [`BatchStream`] is driven
+/// at the caller's own pace, time a finished result waited for the caller
+/// to collect it. Dispatch percentiles therefore measure runtime overhead
+/// only when the stream is driven back-to-back (as [`JitSpmm::execute_batch`]
+/// does); for a paced stream they measure end-to-end result latency. The
+/// report keeps order statistics (p50 and p99, nearest-rank; past 4096
+/// inputs, estimated from a uniform reservoir sample) rather than just
+/// means, because a serving system's tail is what its clients feel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Number of inputs executed.
+    pub inputs: usize,
+    /// Wall-clock time from the first submission to the last join.
+    pub elapsed: Duration,
+    /// Pipeline depth used (launches kept in flight at once).
+    pub depth: usize,
+    /// Worker lanes per launch: the engine's configured lane count, or 1
+    /// when the stream ran on the sequential fast path (see
+    /// [`JitSpmm::batch_stream`]).
+    pub threads: usize,
+    /// Strategy of the engine that ran the batch.
+    pub strategy: Strategy,
+    /// Sum of per-input critical-path kernel times.
+    pub kernel_total: Duration,
+    /// Median per-input kernel time.
+    pub kernel_p50: Duration,
+    /// 99th-percentile per-input kernel time.
+    pub kernel_p99: Duration,
+    /// Median per-input dispatch (non-kernel) time.
+    pub dispatch_p50: Duration,
+    /// 99th-percentile per-input dispatch time.
+    pub dispatch_p99: Duration,
+}
+
+impl BatchReport {
+    /// Inputs completed per second of batch wall-clock time (0.0 for an
+    /// empty or instantaneous batch).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.inputs as f64 / secs
+        }
+    }
+}
+
+/// Nearest-rank percentile of a **sorted** duration slice (`pct` in 0..=100);
+/// zero for an empty slice.
+fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Upper bound on the per-input timing samples a stream retains for the
+/// percentile report. An unbounded stream must run in O(1) memory, so past
+/// this many inputs the samples become a uniform reservoir (Vitter's
+/// algorithm R) — `inputs` and `kernel_total` stay exact, the percentiles
+/// become estimates over an unbiased sample.
+const MAX_BATCH_SAMPLES: usize = 4096;
+
+/// Per-input samples accumulated while a batch runs: exact counters plus a
+/// bounded uniform reservoir of (kernel, dispatch) sample pairs.
+#[derive(Default)]
+struct BatchStats {
+    kernel: Vec<Duration>,
+    dispatch: Vec<Duration>,
+    /// Exact number of inputs recorded (the reservoir may hold fewer).
+    count: usize,
+    kernel_total: Duration,
+    /// Deterministic LCG state for reservoir replacement (no RNG
+    /// dependency; statistical uniformity is all the percentiles need).
+    rng: u64,
+}
+
+impl BatchStats {
+    fn record(&mut self, report: &ExecutionReport) {
+        self.count += 1;
+        self.kernel_total += report.kernel;
+        if self.kernel.len() < MAX_BATCH_SAMPLES {
+            self.kernel.push(report.kernel);
+            self.dispatch.push(report.dispatch);
+            return;
+        }
+        // Algorithm R: the i-th input replaces a uniformly drawn reservoir
+        // slot with probability MAX_BATCH_SAMPLES / i.
+        self.rng =
+            self.rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let slot = (self.rng >> 33) as usize % self.count;
+        if slot < MAX_BATCH_SAMPLES {
+            self.kernel[slot] = report.kernel;
+            self.dispatch[slot] = report.dispatch;
+        }
+    }
+
+    fn report(
+        mut self,
+        elapsed: Duration,
+        depth: usize,
+        threads: usize,
+        strategy: Strategy,
+    ) -> BatchReport {
+        self.kernel.sort_unstable();
+        self.dispatch.sort_unstable();
+        BatchReport {
+            inputs: self.count,
+            elapsed,
+            depth,
+            threads,
+            strategy,
+            kernel_total: self.kernel_total,
+            kernel_p50: percentile(&self.kernel, 50.0),
+            kernel_p99: percentile(&self.kernel, 99.0),
+            dispatch_p50: percentile(&self.dispatch, 50.0),
+            dispatch_p99: percentile(&self.dispatch, 99.0),
+        }
+    }
+}
+
+/// One lane of the batch pipeline: a (possibly spare) kernel to launch and a
+/// reusable heap slot for the launch payload.
+struct BatchSlot<T: Scalar> {
+    /// `None` — launch the engine's own kernel (and reset the engine's
+    /// counter); `Some` — a spare dynamic-dispatch copy with its own counter.
+    kernel: Option<Arc<SlotKernel<T>>>,
+    payload: LaunchPayload<T>,
+    /// Whether a launch submitted from this slot is still in flight.
+    busy: bool,
+}
+
+/// How one batch launch is completed.
+enum Pending<'scope> {
+    /// Deferred through the scope's job queue; joined on completion.
+    Queued(ScopedJobHandle<'scope>),
+    /// Already executed on the submitting thread (the stream's sequential
+    /// mode); only the recorded kernel time remains.
+    Done(Duration),
+}
+
+/// One in-flight batch launch, oldest-first in [`BatchStream::in_flight`].
+struct InFlight<'scope, T: Scalar> {
+    pending: Pending<'scope>,
+    slot: usize,
+    y: Option<PooledMatrix<T>>,
+    submitted: Instant,
+}
+
+/// A pipelined stream of SpMM executions through one engine, created by
+/// [`JitSpmm::batch_stream`] (or driven for you by
+/// [`JitSpmm::execute_batch`]).
+///
+/// [`BatchStream::push`] submits the next input and, once the pipeline is
+/// full, hands back the **oldest** completed output — results always come
+/// back in submission order. [`BatchStream::finish`] drains the pipeline and
+/// aggregates the per-input timing into a [`BatchReport`].
+///
+/// The stream holds the engine's launch lock for its whole lifetime (batch
+/// members do not re-take it per input), so the engine accepts no other
+/// launches until the stream is finished or dropped. Dropping the stream
+/// mid-batch joins the launches still in flight and discards their results;
+/// leaking it (`std::mem::forget`) is safe — the owning [`PoolScope`] still
+/// joins every launch — but leaks the in-flight output buffers and leaves
+/// the engine's launch lock held forever, exactly like a leaked
+/// [`ExecutionHandle`].
+pub struct BatchStream<'scope, 'env, T: Scalar> {
+    engine: &'env JitSpmm<'env, T>,
+    scope: &'scope PoolScope<'scope, 'env>,
+    slots: Vec<BatchSlot<T>>,
+    /// Launches in flight, oldest first.
+    in_flight: VecDeque<InFlight<'scope, T>>,
+    /// Sequential mode: execute each input directly on the calling thread,
+    /// single-lane, instead of deferring through the job queue. Chosen when
+    /// queue handoffs cannot buy any overlap — a single-hardware-thread
+    /// host, or a zero-worker pool — unless the caller explicitly requested
+    /// a pipeline depth of 2 or more. Row-wise partitioning computes every
+    /// output row with the same instruction sequence whichever lane claims
+    /// it, so sequential results are bit-identical to pipelined ones.
+    sequential: bool,
+    stats: BatchStats,
+    first_submit: Option<Instant>,
+    /// The engine's launch lock, held once for the whole batch.
+    _launch: LaunchGuard<'env>,
+}
+
+impl<'scope, 'env, T: Scalar> BatchStream<'scope, 'env, T> {
+    /// The pipeline depth: how many launches this stream keeps in flight.
+    pub fn depth(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of launches currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Submit the next input. If the pipeline is already at depth, waits for
+    /// the **oldest** in-flight launch first and returns its output and
+    /// per-input [`ExecutionReport`]; otherwise returns `None` and the call
+    /// does not block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JitSpmmError::ShapeMismatch`] — without submitting anything
+    /// — if `x` is not `A.ncols() x d`; the pipeline is unaffected and
+    /// further pushes proceed normally.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker panic from the completed launch (the stream is
+    /// then dropped by unwinding, which joins the remaining launches and
+    /// releases the engine).
+    pub fn push(
+        &mut self,
+        x: &'env DenseMatrix<T>,
+    ) -> Result<Option<(PooledMatrix<T>, ExecutionReport)>, JitSpmmError> {
+        self.engine.check_input_shape(x)?;
+        Ok(self.push_validated(x))
+    }
+
+    /// [`BatchStream::push`] for pre-validated inputs
+    /// ([`JitSpmm::execute_batch`] hoists the shape checks out of the loop).
+    fn push_validated(
+        &mut self,
+        x: &'env DenseMatrix<T>,
+    ) -> Option<(PooledMatrix<T>, ExecutionReport)> {
+        let done = if self.in_flight.len() == self.slots.len() {
+            Some(self.complete_oldest())
+        } else {
+            None
+        };
+        self.submit(x);
+        done
+    }
+
+    /// Drain the pipeline: wait for every in-flight launch (oldest first),
+    /// returning their outputs plus the aggregated [`BatchReport`].
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic among the remaining launches, after
+    /// all of them have been joined.
+    pub fn finish(mut self) -> (Vec<(PooledMatrix<T>, ExecutionReport)>, BatchReport) {
+        let mut rest = Vec::with_capacity(self.in_flight.len());
+        while !self.in_flight.is_empty() {
+            rest.push(self.complete_oldest());
+        }
+        let elapsed = self.first_submit.map(|t| t.elapsed()).unwrap_or_default();
+        let stats = std::mem::take(&mut self.stats);
+        // Sequential launches all ran single-lane, whatever the engine is
+        // configured with; the aggregate report matches the per-input ones.
+        let threads = if self.sequential { 1 } else { self.engine.threads };
+        let report =
+            stats.report(elapsed, self.slots.len(), threads, self.engine.options.strategy);
+        (rest, report)
+    }
+
+    /// Launch `x` from a free slot. The caller guarantees one exists (the
+    /// pipeline was drained to below depth) and that `x` passed validation.
+    fn submit(&mut self, x: &'env DenseMatrix<T>) {
+        if self.sequential {
+            return self.submit_sequential(x);
+        }
+        let engine = self.engine;
+        let index = self
+            .slots
+            .iter()
+            .position(|slot| !slot.busy)
+            .expect("pipeline depth bounds the number of in-flight launches");
+        let slot = &mut self.slots[index];
+        let (kernel, counter): (&CompiledKernel<T>, &DynamicCounter) = match &slot.kernel {
+            Some(spare) => (&spare.kernel, &spare.counter),
+            None => (&engine.kernel, &engine.counter),
+        };
+        // The slot is free — its previous launch was joined — so nothing is
+        // mid-claim on this counter: the per-launch reset that
+        // `begin_launch` performs for a standalone execute happens here,
+        // per slot. (Harmless for static kernels, as ever.)
+        counter.reset();
+        let mut y = PooledMatrix::new(
+            engine.output_pool.acquire(engine.matrix.nrows(), engine.d),
+            Arc::clone(&engine.output_pool),
+        );
+        let job = KernelJob::new(kernel, &engine.partition.ranges, x.as_ptr(), y.as_mut_ptr());
+        let spec = job.spec(kernel.kind(), engine.threads);
+        // SAFETY: the slot is free, so no in-flight job references its
+        // payload.
+        let data = unsafe { slot.payload.store(job) };
+        let submitted = Instant::now();
+        self.first_submit.get_or_insert(submitted);
+        // SAFETY: the payload slot is owned by `self.slots` and only freed
+        // (in the stream's drop) or rewritten (in a later `submit`) after
+        // this launch has been joined — or leaked, never freed, if the
+        // stream is leaked. The kernel (engine's, or a spare kept alive by
+        // the slot's `Arc` and the engine's cache), the partition, the
+        // engine-borrowed CSR arrays and `x` all live for at least 'env,
+        // which cannot end before the scope has joined the job. Shapes were
+        // validated before this call and the slot's counter reset above,
+        // while the engine's launch lock (held in `_launch`) keeps
+        // non-batch launches out.
+        let handle = unsafe { self.scope.submit_erased(spec, data, KernelJob::<T>::erased()) };
+        slot.busy = true;
+        self.in_flight.push_back(InFlight {
+            pending: Pending::Queued(handle),
+            slot: index,
+            y: Some(y),
+            submitted,
+        });
+    }
+
+    /// Sequential-mode [`BatchStream::submit`]: run the kernel to completion
+    /// on the calling thread, single-lane, with no pool round trip. Used on
+    /// hosts where deferral cannot overlap anything (see
+    /// [`JitSpmm::batch_stream`]); produces bit-identical results because
+    /// per-row arithmetic does not depend on which lane computes a row.
+    fn submit_sequential(&mut self, x: &'env DenseMatrix<T>) {
+        let engine = self.engine;
+        let submitted = Instant::now();
+        self.first_submit.get_or_insert(submitted);
+        let mut y = PooledMatrix::new(
+            engine.output_pool.acquire(engine.matrix.nrows(), engine.d),
+            Arc::clone(&engine.output_pool),
+        );
+        // The launch lock is held for the stream's lifetime and nothing else
+        // is in flight (sequential mode), so the engine's own counter is
+        // free to reset.
+        engine.counter.reset();
+        let kernel_start = Instant::now();
+        // SAFETY: shapes were validated before this call, the engine borrows
+        // the CSR arrays its kernel embeds, the counter was reset above
+        // under the held launch lock, and a single lane trivially keeps row
+        // writes disjoint.
+        unsafe {
+            match engine.kernel.kind() {
+                KernelKind::DynamicDispatch => {
+                    engine.kernel.call_dynamic(x.as_ptr(), y.as_mut_ptr())
+                }
+                KernelKind::StaticRange => engine.kernel.call_static(
+                    0,
+                    engine.matrix.nrows() as u64,
+                    x.as_ptr(),
+                    y.as_mut_ptr(),
+                ),
+            }
+        }
+        let kernel = kernel_start.elapsed();
+        self.slots[0].busy = true;
+        self.in_flight.push_back(InFlight {
+            pending: Pending::Done(kernel),
+            slot: 0,
+            y: Some(y),
+            submitted,
+        });
+    }
+
+    /// Join the oldest in-flight launch, free its slot and record its
+    /// timing. Re-raises a worker panic after the bookkeeping is restored
+    /// (the slot is marked free and the launch removed from the queue), so
+    /// the unwind path — the stream's drop — sees a consistent pipeline.
+    fn complete_oldest(&mut self) -> (PooledMatrix<T>, ExecutionReport) {
+        let mut launch =
+            self.in_flight.pop_front().expect("caller checked a launch is in flight");
+        // Sequential launches ran on exactly one lane, whatever the engine
+        // is configured with; the per-input report says so.
+        let (joined, threads) = match &mut launch.pending {
+            Pending::Queued(job) => (job.try_wait(), self.engine.threads),
+            Pending::Done(kernel) => (Ok(*kernel), 1),
+        };
+        self.slots[launch.slot].busy = false;
+        let kernel = match joined {
+            Ok(kernel) => kernel,
+            Err(payload) => resume_unwind(payload),
+        };
+        let elapsed = launch.submitted.elapsed();
+        let report = ExecutionReport {
+            elapsed,
+            kernel,
+            dispatch: elapsed.saturating_sub(kernel),
+            threads,
+            strategy: self.engine.options.strategy,
+        };
+        self.stats.record(&report);
+        (launch.y.take().expect("output held until completion"), report)
+    }
+}
+
+impl<T: Scalar> Drop for BatchStream<'_, '_, T> {
+    fn drop(&mut self) {
+        // Join every launch still in flight before the payload slots (freed
+        // when `slots` drops right after this body) and the launch guard are
+        // released. Panics are discarded here, as in `ExecutionHandle`'s
+        // drop — `push`/`finish` re-raise them.
+        for launch in &mut self.in_flight {
+            if let Pending::Queued(job) = &mut launch.pending {
+                job.join_quiet();
+            }
+        }
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for BatchStream<'_, '_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchStream")
+            .field("depth", &self.slots.len())
+            .field("in_flight", &self.in_flight.len())
+            .field("completed", &self.stats.count)
             .finish()
     }
 }
@@ -1267,6 +1971,284 @@ mod tests {
                 JitSpmmError::ShapeMismatch(_)
             ));
         });
+    }
+
+    #[test]
+    fn execute_batch_matches_per_input_execute_exactly() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::rmat::<f32>(8, 3_000, generate::RmatConfig::GRAPH500, 6);
+        let inputs: Vec<DenseMatrix<f32>> =
+            (0..7).map(|seed| DenseMatrix::random(a.ncols(), 8, 100 + seed)).collect();
+        for strategy in [Strategy::RowSplitStatic, Strategy::RowSplitDynamic { batch: 32 }] {
+            let engine = JitSpmmBuilder::new()
+                .strategy(strategy)
+                .threads(2)
+                .pool(WorkerPool::new(2))
+                .build(&a, 8)
+                .unwrap();
+            // Per-row arithmetic is fixed by the compiled kernel, so the
+            // batched pipeline must be bit-identical to the blocking path.
+            let expected: Vec<DenseMatrix<f32>> =
+                inputs.iter().map(|x| engine.execute(x).unwrap().0.into_dense()).collect();
+            let (outputs, report) =
+                engine.pool().scope(|scope| engine.execute_batch(scope, &inputs)).unwrap();
+            assert_eq!(outputs.len(), inputs.len());
+            for (i, (y, e)) in outputs.iter().zip(&expected).enumerate() {
+                assert_eq!(**y, *e, "input {i}, strategy {strategy}");
+            }
+            assert_eq!(report.inputs, inputs.len());
+            // Auto depth: the default pipeline on multi-core hosts, the
+            // sequential fast path (depth 1, single-lane) on single-core
+            // ones — and the reported lane count must match what ran.
+            assert!(report.depth == DEFAULT_BATCH_DEPTH || report.depth == 1);
+            assert_eq!(report.threads, if report.depth == 1 { 1 } else { 2 });
+            assert!(report.kernel_p50 <= report.kernel_p99);
+            assert!(report.kernel_total >= report.kernel_p99);
+            assert!(report.throughput() > 0.0);
+        }
+    }
+
+    #[test]
+    fn execute_batch_handles_empty_and_single_input_batches() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(90, 90, 700, 4);
+        let engine = JitSpmmBuilder::new().threads(2).build(&a, 4).unwrap();
+        let (outputs, report) =
+            engine.pool().scope(|scope| engine.execute_batch(scope, &[])).unwrap();
+        assert!(outputs.is_empty());
+        assert_eq!(report.inputs, 0);
+        assert_eq!(report.elapsed, Duration::ZERO);
+        assert_eq!(report.throughput(), 0.0);
+
+        let one = [DenseMatrix::random(90, 4, 9)];
+        let (outputs, report) =
+            engine.pool().scope(|scope| engine.execute_batch(scope, &one)).unwrap();
+        assert_eq!(outputs.len(), 1);
+        assert_eq!(report.inputs, 1);
+        assert_eq!(report.depth, 1, "a single-input batch needs no extra slots");
+        assert!(outputs[0].approx_eq(&a.spmm_reference(&one[0]), 1e-4));
+    }
+
+    #[test]
+    fn execute_batch_rejects_mismatched_inputs_up_front() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(80, 80, 600, 5);
+        let engine = JitSpmmBuilder::new().threads(2).build(&a, 8).unwrap();
+        let inputs = vec![
+            DenseMatrix::random(80, 8, 1),
+            DenseMatrix::random(80, 9, 2), // wrong d
+            DenseMatrix::random(80, 8, 3),
+        ];
+        let err = engine
+            .pool()
+            .scope(|scope| engine.execute_batch(scope, &inputs))
+            .unwrap_err();
+        match err {
+            JitSpmmError::ShapeMismatch(msg) => {
+                assert!(msg.contains("batch input 1"), "message should name the input: {msg}")
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+        // Nothing launched, nothing corrupted: the engine still executes.
+        let x = DenseMatrix::random(80, 8, 4);
+        let (y, _) = engine.execute(&x).unwrap();
+        assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+    }
+
+    #[test]
+    fn batch_stream_survives_a_mismatched_push() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(100, 100, 900, 7);
+        let engine = JitSpmmBuilder::new()
+            .threads(2)
+            .pool(WorkerPool::new(2))
+            .strategy(Strategy::RowSplitDynamic { batch: 16 })
+            .build(&a, 8)
+            .unwrap();
+        let good: Vec<DenseMatrix<f32>> =
+            (0..5).map(|seed| DenseMatrix::random(100, 8, 40 + seed)).collect();
+        let bad = DenseMatrix::<f32>::zeros(100, 3);
+        engine.pool().scope(|scope| {
+            let mut stream = engine.batch_stream(scope, 2).unwrap();
+            let mut completed = Vec::new();
+            for (i, x) in good.iter().enumerate() {
+                if i == 2 {
+                    // A mid-stream bad input must error without submitting
+                    // or disturbing the launches in flight.
+                    assert!(matches!(
+                        stream.push(&bad).unwrap_err(),
+                        JitSpmmError::ShapeMismatch(_)
+                    ));
+                }
+                if let Some(done) = stream.push(x).unwrap() {
+                    completed.push(done);
+                }
+            }
+            let (rest, report) = stream.finish();
+            completed.extend(rest);
+            assert_eq!(report.inputs, good.len());
+            for ((y, _), x) in completed.iter().zip(&good) {
+                assert!(y.approx_eq(&a.spmm_reference(x), 1e-4));
+            }
+        });
+    }
+
+    #[test]
+    fn open_batch_stream_blocks_other_launches_and_releases_them() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(70, 70, 500, 8);
+        let engine = JitSpmmBuilder::new().threads(1).build(&a, 4).unwrap();
+        let x = DenseMatrix::random(70, 4, 3);
+        engine.pool().scope(|scope| {
+            let mut stream = engine.batch_stream(scope, 2).unwrap();
+            // The stream holds the launch lock: a same-thread execute must
+            // fail fast instead of self-deadlocking.
+            assert!(matches!(engine.execute(&x).unwrap_err(), JitSpmmError::LaunchInProgress));
+            assert!(stream.push(&x).unwrap().is_none());
+            let (rest, _) = stream.finish();
+            assert_eq!(rest.len(), 1);
+        });
+        // Stream gone: the engine accepts launches again.
+        let (y, _) = engine.execute(&x).unwrap();
+        assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+    }
+
+    #[test]
+    fn dropped_batch_stream_joins_in_flight_launches() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(150, 150, 2_000, 9);
+        let engine = JitSpmmBuilder::new()
+            .threads(2)
+            .pool(WorkerPool::new(2))
+            .build(&a, 8)
+            .unwrap();
+        let inputs: Vec<DenseMatrix<f32>> =
+            (0..3).map(|seed| DenseMatrix::random(150, 8, 60 + seed)).collect();
+        engine.pool().scope(|scope| {
+            let mut stream = engine.batch_stream(scope, 2).unwrap();
+            for x in &inputs {
+                let _ = stream.push(x).unwrap();
+            }
+            assert!(stream.in_flight() > 0);
+            // Dropped mid-batch: the launches join, buffers recycle.
+            drop(stream);
+        });
+        let x = DenseMatrix::random(150, 8, 99);
+        let (y, _) = engine.execute(&x).unwrap();
+        assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+    }
+
+    #[test]
+    fn batch_slot_kernels_are_cached_across_batches() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(120, 120, 1_000, 10);
+        let engine = JitSpmmBuilder::new()
+            .strategy(Strategy::RowSplitDynamic { batch: 16 })
+            .threads(2)
+            .pool(WorkerPool::new(2))
+            .build(&a, 8)
+            .unwrap();
+        let inputs: Vec<DenseMatrix<f32>> =
+            (0..4).map(|seed| DenseMatrix::random(120, 8, seed)).collect();
+        let expected: Vec<DenseMatrix<f32>> =
+            inputs.iter().map(|x| engine.execute(x).unwrap().0.into_dense()).collect();
+        for _ in 0..3 {
+            // Explicit depth 2 forces the real pipeline on any host.
+            engine.pool().scope(|scope| {
+                let mut stream = engine.batch_stream(scope, 2).unwrap();
+                let mut outputs = Vec::new();
+                for x in &inputs {
+                    if let Some((y, _)) = stream.push(x).unwrap() {
+                        outputs.push(y.into_dense());
+                    }
+                }
+                let (rest, _) = stream.finish();
+                outputs.extend(rest.into_iter().map(|(y, _)| y.into_dense()));
+                assert_eq!(outputs, expected);
+            });
+        }
+        // Depth 2 needs exactly one spare dynamic kernel, compiled once.
+        assert_eq!(crate::runtime::pool::lock(&engine.batch_kernels).len(), 1);
+    }
+
+    #[test]
+    fn execute_batch_on_inline_pool_runs_eagerly() {
+        if !host_ok() {
+            eprintln!("skipping: host lacks AVX/FMA");
+            return;
+        }
+        let a = generate::uniform::<f32>(60, 60, 400, 11);
+        let engine =
+            JitSpmmBuilder::new().threads(2).pool(WorkerPool::inline()).build(&a, 4).unwrap();
+        let inputs: Vec<DenseMatrix<f32>> =
+            (0..5).map(|seed| DenseMatrix::random(60, 4, seed)).collect();
+        let (outputs, report) =
+            engine.pool().scope(|scope| engine.execute_batch(scope, &inputs)).unwrap();
+        assert_eq!(outputs.len(), 5);
+        assert_eq!(report.inputs, 5);
+        for (x, y) in inputs.iter().zip(&outputs) {
+            assert!(y.approx_eq(&a.spmm_reference(x), 1e-4));
+        }
+    }
+
+    #[test]
+    fn batch_stats_stay_bounded_for_unbounded_streams() {
+        // An unbounded stream must run in O(1) memory: past the reservoir
+        // bound the sample vectors stop growing while the exact counters
+        // keep counting.
+        let mut stats = BatchStats::default();
+        let total = MAX_BATCH_SAMPLES + 1_000;
+        for i in 0..total {
+            let kernel = Duration::from_nanos(1 + i as u64);
+            stats.record(&ExecutionReport {
+                elapsed: kernel * 2,
+                kernel,
+                dispatch: kernel,
+                threads: 1,
+                strategy: Strategy::RowSplitStatic,
+            });
+        }
+        assert_eq!(stats.count, total);
+        assert_eq!(stats.kernel.len(), MAX_BATCH_SAMPLES);
+        assert_eq!(stats.dispatch.len(), MAX_BATCH_SAMPLES);
+        let report =
+            stats.report(Duration::from_secs(1), 2, 1, Strategy::RowSplitStatic);
+        assert_eq!(report.inputs, total);
+        assert!(report.kernel_p50 <= report.kernel_p99);
+        assert!(report.kernel_p99 <= Duration::from_nanos(total as u64));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 50.0), Duration::from_millis(50));
+        assert_eq!(percentile(&ms, 99.0), Duration::from_millis(99));
+        assert_eq!(percentile(&ms, 100.0), Duration::from_millis(100));
+        let one = [Duration::from_millis(7)];
+        assert_eq!(percentile(&one, 50.0), one[0]);
+        assert_eq!(percentile(&one, 99.0), one[0]);
     }
 
     #[test]

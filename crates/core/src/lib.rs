@@ -114,6 +114,52 @@
 //! returning a [`JobHandle`]), each with a [`JobSpec`] giving the task
 //! count and lane cap.
 //!
+//! # Batched serving
+//!
+//! The steady-state traffic shape JIT compilation is amortized against is a
+//! *stream* of dense right-hand sides through one compiled kernel.
+//! [`JitSpmm::execute_batch`] pipelines a whole slice of inputs: validation
+//! happens once up front, the engine's launch lock is taken once, and up to
+//! [`DEFAULT_BATCH_DEPTH`] launches stay in flight so workers flow from one
+//! input's job into the next without re-parking (on hosts with a single
+//! hardware thread the pipeline degrades to a direct sequential fast path —
+//! bit-identical results, no queue overhead). The returned [`BatchReport`]
+//! aggregates per-input timing as order statistics — kernel and dispatch
+//! p50/p99, not just means — because a serving system answers for its tail:
+//!
+//! ```
+//! use jitspmm::JitSpmmBuilder;
+//! use jitspmm_sparse::{generate, DenseMatrix};
+//!
+//! # fn main() -> Result<(), jitspmm::JitSpmmError> {
+//! let a = generate::uniform::<f32>(256, 256, 3_000, 1);
+//! let engine = JitSpmmBuilder::new().build(&a, 16)?;
+//! let inputs: Vec<DenseMatrix<f32>> =
+//!     (0..8).map(|seed| DenseMatrix::random(256, 16, seed)).collect();
+//! let (outputs, report) =
+//!     engine.pool().scope(|scope| engine.execute_batch(scope, &inputs))?;
+//! assert_eq!(outputs.len(), 8);
+//! println!(
+//!     "{} inputs at {:.0}/s, kernel p50 {:?} p99 {:?}",
+//!     report.inputs, report.throughput(), report.kernel_p50, report.kernel_p99
+//! );
+//! # for (x, y) in inputs.iter().zip(&outputs) {
+//! #     assert!(y.approx_eq(&a.spmm_reference(x), 1e-4));
+//! # }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! For unbounded streams, [`JitSpmm::batch_stream`] exposes the pipeline
+//! incrementally: [`BatchStream::push`] submits the next input (returning
+//! the oldest completed output once the pipeline is full, so results arrive
+//! in submission order while buffers recycle), and [`BatchStream::finish`]
+//! drains it. The AOT baselines gain matching batch entry points
+//! ([`baseline::scalar::spmm_scalar_batch`],
+//! [`baseline::vectorized::spmm_vectorized_batch`],
+//! [`baseline::mkl_like::spmm_mkl_like_f32_batch`]) so batched comparisons
+//! stay like-for-like.
+//!
 //! # Crate layout
 //!
 //! | module | contents |
@@ -143,7 +189,10 @@ pub mod schedule;
 pub mod tiling;
 
 pub use codegen::KernelOptions;
-pub use engine::{ExecutionHandle, ExecutionReport, JitSpmm, JitSpmmBuilder, SpmmOptions};
+pub use engine::{
+    BatchReport, BatchStream, ExecutionHandle, ExecutionReport, JitSpmm, JitSpmmBuilder,
+    SpmmOptions, DEFAULT_BATCH_DEPTH,
+};
 pub use error::JitSpmmError;
 pub use kernel::{CompiledKernel, KernelKind, KernelMeta};
 pub use profile::ProfileCounts;

@@ -8,6 +8,7 @@ use crate::runtime::{JobSpec, WorkerPool};
 use crate::schedule::RowRange;
 use jitspmm_sparse::{DenseMatrix, Scalar};
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -103,6 +104,63 @@ impl<T: Scalar> KernelJob<T> {
     pub(crate) fn erased() -> ErasedTask {
         KernelJob::<T>::call
     }
+
+    /// An inert job used to initialize a [`LaunchPayload`] slot before its
+    /// first [`LaunchPayload::store`]; never submitted, never run.
+    fn placeholder() -> KernelJob<T> {
+        KernelJob {
+            kernel: std::ptr::null(),
+            ranges: std::ptr::null(),
+            nranges: 0,
+            x: std::ptr::null(),
+            y: std::ptr::null_mut(),
+        }
+    }
+}
+
+/// A reusable heap slot for one batch-pipeline lane's [`KernelJob`] payload.
+///
+/// [`crate::JitSpmm::execute_async`] boxes a fresh payload per launch; a
+/// batch pipeline pushes an unbounded stream of launches through a handful
+/// of slots, so each slot allocates its payload once and rewrites it in
+/// place between launches — steady-state batch submission performs no
+/// per-launch boxing. The allocation is owned through a raw pointer (the
+/// runtime-wide idiom for worker-visible payloads): moving the owner never
+/// retags the pointer workers derived from it, dropping the owner frees the
+/// slot — sound because the batch stream joins every launch before its
+/// slots drop — and leaking the owner leaks the slot rather than dangling
+/// it.
+pub(crate) struct LaunchPayload<T: Scalar> {
+    ptr: *mut KernelJob<T>,
+}
+
+impl<T: Scalar> LaunchPayload<T> {
+    pub(crate) fn new() -> LaunchPayload<T> {
+        LaunchPayload { ptr: Box::into_raw(Box::new(KernelJob::placeholder())) }
+    }
+
+    /// Overwrite the slot with `job`, returning the erased data pointer to
+    /// submit alongside [`KernelJob::erased`].
+    ///
+    /// # Safety
+    ///
+    /// No in-flight job may still reference the slot: the previous launch
+    /// submitted from it, if any, must have been joined.
+    pub(crate) unsafe fn store(&mut self, job: KernelJob<T>) -> *const () {
+        // SAFETY: `ptr` is the live allocation made in `new`; exclusivity is
+        // forwarded from the caller's contract.
+        unsafe { self.ptr.write(job) };
+        self.ptr as *const ()
+    }
+}
+
+impl<T: Scalar> Drop for LaunchPayload<T> {
+    fn drop(&mut self) {
+        // SAFETY: produced by `Box::into_raw` in `new`; the owning stream
+        // joins all launches before dropping its slots, so no worker can
+        // still reach the payload.
+        drop(unsafe { Box::from_raw(self.ptr) });
+    }
 }
 
 /// Dispatch a static-range kernel over the pool: one task per partition
@@ -152,10 +210,23 @@ pub(crate) unsafe fn run_dynamic<T: Scalar>(
     })
 }
 
-/// How many spare output buffers an engine keeps around. Engines produce one
-/// output shape only, so a small stack covers every realistic pattern of
-/// outstanding results.
+/// How many spare output buffers an engine keeps by default. Engines produce
+/// one output shape only, so a small stack covers every realistic pattern of
+/// outstanding results; batched execution raises the bound to its batch size
+/// (see [`BufferPool::reserve`]).
 const MAX_POOLED_BUFFERS: usize = 8;
+
+/// Hard ceiling on retained spare buffers, whatever batch sizes have been
+/// seen — a bound on idle memory, not on batch size (larger batches simply
+/// allocate the excess fresh each time).
+const MAX_RESERVED_BUFFERS: usize = 256;
+
+/// Hard ceiling on the *bytes* retained as spares. A raised buffer count
+/// (see [`BufferPool::reserve`]) persists for the engine's lifetime — it is
+/// a cache sized for the largest batch served — so for engines with large
+/// outputs the count bound alone could pin hundreds of megabytes; the byte
+/// bound keeps idle memory proportionate regardless of output shape.
+const MAX_RESERVED_BYTES: usize = 64 << 20;
 
 /// A recycling pool of output buffers, one per engine.
 ///
@@ -166,11 +237,26 @@ const MAX_POOLED_BUFFERS: usize = 8;
 #[derive(Debug)]
 pub(crate) struct BufferPool<T> {
     free: Mutex<Vec<Vec<T>>>,
+    /// Spare buffers retained on release (atomic so `reserve` needs no lock).
+    capacity: AtomicUsize,
 }
 
 impl<T: Scalar> BufferPool<T> {
     pub(crate) fn new() -> BufferPool<T> {
-        BufferPool { free: Mutex::new(Vec::new()) }
+        BufferPool { free: Mutex::new(Vec::new()), capacity: AtomicUsize::new(MAX_POOLED_BUFFERS) }
+    }
+
+    /// Grow the retained-spares bound to `outstanding` (a serving loop that
+    /// holds a whole batch of outputs at once would otherwise re-allocate
+    /// `batch - MAX_POOLED_BUFFERS` buffers on every batch). The raised
+    /// bound persists — it is a cache sized for the largest batch this
+    /// engine serves — but never exceeds [`MAX_RESERVED_BUFFERS`] buffers,
+    /// and `release` additionally caps retained spares at
+    /// [`MAX_RESERVED_BYTES`] so large-output engines cannot pin unbounded
+    /// idle memory.
+    pub(crate) fn reserve(&self, outstanding: usize) {
+        let target = outstanding.min(MAX_RESERVED_BUFFERS);
+        self.capacity.fetch_max(target, Ordering::Relaxed);
     }
 
     /// A `rows x cols` matrix, recycled when possible. The contents are
@@ -191,8 +277,15 @@ impl<T: Scalar> BufferPool<T> {
     }
 
     fn release(&self, buffer: Vec<T>) {
+        let bytes = buffer.len() * std::mem::size_of::<T>();
+        // The default spare count is always allowed; beyond it, retained
+        // spares must also fit the byte budget.
+        let by_bytes = MAX_RESERVED_BYTES
+            .checked_div(bytes)
+            .map_or(usize::MAX, |n| n.max(MAX_POOLED_BUFFERS));
+        let cap = self.capacity.load(Ordering::Relaxed).min(by_bytes);
         let mut free = lock(&self.free);
-        if free.len() < MAX_POOLED_BUFFERS {
+        if free.len() < cap {
             free.push(buffer);
         }
     }
@@ -319,6 +412,40 @@ mod tests {
             .collect();
         drop(held);
         assert!(pool.spare_buffers() <= MAX_POOLED_BUFFERS);
+    }
+
+    #[test]
+    fn reserve_grows_the_retained_spare_bound() {
+        let pool = Arc::new(BufferPool::<f32>::new());
+        pool.reserve(20);
+        let held: Vec<PooledMatrix<f32>> = (0..20)
+            .map(|_| PooledMatrix::new(pool.acquire(2, 2), Arc::clone(&pool)))
+            .collect();
+        drop(held);
+        assert_eq!(pool.spare_buffers(), 20, "reserved spares must all be retained");
+        // Never shrinks, and stays clamped at the hard ceiling.
+        pool.reserve(4);
+        assert_eq!(pool.capacity.load(Ordering::Relaxed), 20);
+        pool.reserve(usize::MAX);
+        assert_eq!(pool.capacity.load(Ordering::Relaxed), MAX_RESERVED_BUFFERS);
+    }
+
+    #[test]
+    fn release_caps_retained_spares_by_bytes() {
+        // A raised buffer-count bound must not pin unbounded idle memory for
+        // large outputs: past the default spare count, retained spares also
+        // fit MAX_RESERVED_BYTES.
+        let pool = Arc::new(BufferPool::<f32>::new());
+        pool.reserve(MAX_RESERVED_BUFFERS);
+        // 8 MiB per buffer: the byte budget admits 8, which is also the
+        // always-allowed default count.
+        let elems = (8 << 20) / std::mem::size_of::<f32>();
+        let rows = elems / 4;
+        let held: Vec<PooledMatrix<f32>> = (0..12)
+            .map(|_| PooledMatrix::new(pool.acquire(rows, 4), Arc::clone(&pool)))
+            .collect();
+        drop(held);
+        assert_eq!(pool.spare_buffers(), MAX_POOLED_BUFFERS);
     }
 
     #[test]

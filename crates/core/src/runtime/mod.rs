@@ -37,6 +37,23 @@
 //!   generated kernels overwrite every output element (empty rows included),
 //!   no memset either.
 //!
+//! # Batched serving
+//!
+//! [`crate::JitSpmm::execute_batch`] and [`crate::BatchStream`] build the
+//! serving loop on top of these pieces: a stream of dense inputs is
+//! pipelined through the job queue with up to `depth` launches in flight,
+//! each launch submitting a reusable per-slot payload (no per-launch boxing)
+//! and recycling double-buffered [`PooledMatrix`] outputs. Workers flow from
+//! one input's job straight into the next without re-parking — the queue, not
+//! the submitting thread, keeps them fed. Dynamic-dispatch engines give each
+//! in-flight slot its own claim counter (a spare compiled kernel, cached on
+//! the engine); static-range kernels are stateless and shared. On hosts
+//! where nothing can run concurrently with the submitter (one hardware
+//! thread, or a zero-worker pool), the stream executes inputs directly on
+//! the calling thread instead — bit-identical results without queue
+//! round trips. Per-input timing is aggregated into a
+//! [`crate::BatchReport`] with p50/p99 kernel and dispatch times.
+//!
 //! The AOT baselines ([`crate::baseline`]) run on the same pool, keeping the
 //! paper's JIT-vs-AOT comparisons apples-to-apples: both sides pay the same
 //! dispatch cost.

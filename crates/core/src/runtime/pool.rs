@@ -1101,6 +1101,18 @@ impl<'scope> ScopedJobHandle<'scope> {
         drop(self.join.take_panic());
         busy
     }
+
+    /// Join the job and return its critical-path busy time, handing the
+    /// first task panic back as a value instead of unwinding: the batch
+    /// pipeline's completion path, which must restore its own bookkeeping
+    /// (free the launch slot) before deciding to unwind.
+    pub(crate) fn try_wait(&mut self) -> Result<Duration, Box<dyn std::any::Any + Send>> {
+        let busy = self.join.join(self.pool);
+        match self.join.take_panic() {
+            None => Ok(busy),
+            Some(payload) => Err(payload),
+        }
+    }
 }
 
 impl std::fmt::Debug for ScopedJobHandle<'_> {

@@ -44,13 +44,18 @@ impl Strategy {
         Strategy::RowSplitDynamic { batch: 128 }
     }
 
-    /// Short name used in reports and benchmark output.
-    pub fn name(&self) -> &'static str {
+    /// Stable, unambiguous name used as the key in reports and benchmark
+    /// JSON. Every distinct configuration renders distinctly — in
+    /// particular, dynamic row-split includes its batch size
+    /// (`row-split(dynamic,batch=128)`), so JSON rows from different batch
+    /// sizes can be told apart, and it can never collide with
+    /// `row-split(static)`.
+    pub fn name(&self) -> String {
         match self {
-            Strategy::RowSplitStatic => "row-split(static)",
-            Strategy::RowSplitDynamic { .. } => "row-split",
-            Strategy::NnzSplit => "nnz-split",
-            Strategy::MergeSplit => "merge-split",
+            Strategy::RowSplitStatic => "row-split(static)".to_string(),
+            Strategy::RowSplitDynamic { batch } => format!("row-split(dynamic,batch={batch})"),
+            Strategy::NnzSplit => "nnz-split".to_string(),
+            Strategy::MergeSplit => "merge-split".to_string(),
         }
     }
 
@@ -69,10 +74,7 @@ impl Strategy {
 
 impl std::fmt::Display for Strategy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Strategy::RowSplitDynamic { batch } => write!(f, "row-split(dynamic, batch={batch})"),
-            other => f.write_str(other.name()),
-        }
+        f.write_str(&self.name())
     }
 }
 
@@ -87,8 +89,12 @@ pub struct RowRange {
 
 impl RowRange {
     /// Number of rows in the range.
+    ///
+    /// Saturating: [`RowRange::is_empty`] admits inverted ranges
+    /// (`start > end`, e.g. from a partitioner whose boundaries crossed), so
+    /// `len` treats them as empty instead of underflowing.
     pub fn len(&self) -> usize {
-        self.end - self.start
+        self.end.saturating_sub(self.start)
     }
 
     /// Whether the range contains no rows.
@@ -126,12 +132,19 @@ impl Partition {
     }
 
     /// Ratio between the heaviest range and the average, by non-zero count.
+    ///
+    /// Returns the true ratio `max_nnz / (nnz / ranges)`: a perfectly
+    /// balanced partition scores 1.0, and concentrating all non-zeros in one
+    /// of `k` ranges scores `k` — even when `nnz < ranges` (the average is
+    /// then below one non-zero per range, and the ratio is correspondingly
+    /// large). An empty matrix or empty partition has nothing to balance and
+    /// reports 1.0 explicitly.
     pub fn nnz_imbalance<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> f64 {
         if matrix.nnz() == 0 || self.ranges.is_empty() {
             return 1.0;
         }
         let avg = matrix.nnz() as f64 / self.ranges.len() as f64;
-        self.max_nnz(matrix) as f64 / avg.max(1.0)
+        self.max_nnz(matrix) as f64 / avg
     }
 }
 
@@ -367,10 +380,33 @@ mod tests {
     #[test]
     fn strategy_names_and_display() {
         assert_eq!(Strategy::NnzSplit.name(), "nnz-split");
-        assert_eq!(Strategy::row_split_dynamic_default().to_string(), "row-split(dynamic, batch=128)");
+        assert_eq!(
+            Strategy::row_split_dynamic_default().to_string(),
+            "row-split(dynamic,batch=128)"
+        );
         assert!(Strategy::row_split_dynamic_default().is_dynamic());
         assert!(!Strategy::MergeSplit.is_dynamic());
         assert_eq!(Strategy::paper_set().len(), 3);
+    }
+
+    #[test]
+    fn strategy_names_distinguish_every_configuration() {
+        // Regression: dynamic row-split used to render as a bare
+        // "row-split", so benchmark JSON rows could neither be told apart
+        // across batch sizes nor distinguished from the static variant.
+        let names: Vec<String> = [
+            Strategy::RowSplitStatic,
+            Strategy::RowSplitDynamic { batch: 16 },
+            Strategy::RowSplitDynamic { batch: 128 },
+            Strategy::NnzSplit,
+            Strategy::MergeSplit,
+        ]
+        .iter()
+        .map(|s| s.name())
+        .collect();
+        let distinct: std::collections::HashSet<&String> = names.iter().collect();
+        assert_eq!(distinct.len(), names.len(), "ambiguous strategy names: {names:?}");
+        assert!(names[1].contains("16") && names[2].contains("128"));
     }
 
     #[test]
@@ -379,5 +415,33 @@ mod tests {
         let p = partition_row_split(&m, 4);
         assert!(p.max_nnz(&m) > 0);
         assert!(p.nnz_imbalance(&m) >= 1.0);
+    }
+
+    #[test]
+    fn inverted_row_range_len_saturates() {
+        // Regression: `is_empty` admits start > end, but `len` used to
+        // compute `end - start` unchecked and panic on underflow.
+        let inverted = RowRange { start: 5, end: 3 };
+        assert!(inverted.is_empty());
+        assert_eq!(inverted.len(), 0);
+        assert_eq!(RowRange { start: 3, end: 5 }.len(), 2);
+    }
+
+    #[test]
+    fn nnz_imbalance_is_not_clamped_for_sparse_tiny_matrices() {
+        // Regression: with fewer non-zeros than ranges the denominator used
+        // to be clamped to 1.0, silently understating the imbalance. Two
+        // non-zeros in one of four ranges averages 0.5 nnz per range, so the
+        // true ratio is 2 / 0.5 = 4.
+        let m = CsrMatrix::<f32>::from_triplets(8, 8, &[(0, 0, 1.0), (0, 1, 2.0)]).unwrap();
+        let p = partition_row_split(&m, 4);
+        assert_eq!(p.max_nnz(&m), 2);
+        let ratio = p.nnz_imbalance(&m);
+        assert!((ratio - 4.0).abs() < 1e-12, "expected the true ratio 4.0, got {ratio}");
+        // The explicit guards still report 1.0 when there is nothing to
+        // balance.
+        let empty = CsrMatrix::<f32>::zeros(4, 4);
+        assert_eq!(partition_row_split(&empty, 2).nnz_imbalance(&empty), 1.0);
+        assert_eq!(Partition { ranges: Vec::new() }.nnz_imbalance(&m), 1.0);
     }
 }

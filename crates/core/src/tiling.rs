@@ -190,16 +190,21 @@ fn available_widths(isa: IsaLevel, kind: ScalarKind) -> Vec<SegmentWidth> {
     widths
 }
 
-/// Choose the widest width not exceeding `remaining` columns; fall back to
-/// the narrowest (scalar) so progress is always made.
+/// Choose the widest width not exceeding `remaining` columns.
+///
+/// Always succeeds: [`available_widths`] ends every tier's list with the
+/// 1-lane [`SegmentWidth::Scalar`], and the planner only asks while columns
+/// remain (`remaining >= 1`), so a match exists at every tier. There is
+/// deliberately *no* silent fallback here — if an ISA tier's width list ever
+/// stopped honouring that contract, planning should fail loudly rather than
+/// quietly emit scalar code.
 fn pick_width(widths: &[SegmentWidth], remaining: usize, kind: ScalarKind) -> (SegmentWidth, usize) {
-    for &w in widths {
-        let lanes = w.lanes(kind);
-        if lanes <= remaining {
-            return (w, lanes);
-        }
-    }
-    (SegmentWidth::Scalar, 1)
+    debug_assert!(remaining > 0, "pick_width requires at least one remaining column");
+    widths
+        .iter()
+        .map(|&w| (w, w.lanes(kind)))
+        .find(|&(_, lanes)| lanes <= remaining)
+        .expect("available_widths always ends with the 1-lane scalar width")
 }
 
 #[cfg(test)]
@@ -306,5 +311,21 @@ mod tests {
     #[should_panic]
     fn zero_columns_panics() {
         let _ = CcmPlan::new(0, IsaLevel::Avx512, ScalarKind::F32);
+    }
+
+    #[test]
+    fn sse128_f64_single_remaining_column_uses_scalar_lane() {
+        // The narrowest vector width at the SSE tier holds two f64 lanes, so
+        // an odd column count ends with `remaining == 1` and must land on
+        // the scalar width — the edge the removed "always made progress"
+        // fallback used to paper over.
+        let plan = CcmPlan::new(3, IsaLevel::Sse128, ScalarKind::F64);
+        let widths: Vec<_> = plan.tiles[0].segments.iter().map(|s| (s.width, s.lanes)).collect();
+        assert_eq!(widths, vec![(SegmentWidth::Xmm, 2), (SegmentWidth::Scalar, 1)]);
+        assert_eq!(plan.covered_columns(), 3);
+        // d = 1 at the same tier goes straight to the scalar lane.
+        let plan = CcmPlan::new(1, IsaLevel::Sse128, ScalarKind::F64);
+        assert_eq!(plan.tiles[0].segments.len(), 1);
+        assert_eq!(plan.tiles[0].segments[0].width, SegmentWidth::Scalar);
     }
 }

@@ -88,5 +88,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(ya.approx_eq(&reference, 1e-4));
     assert!(yb.approx_eq(&b.spmm_reference(&xb), 1e-4));
+    drop((ya, yb));
+
+    // 6. Batched serving: stream many dense inputs through one compiled
+    //    kernel with `execute_batch`. The pipeline validates once up front,
+    //    keeps the next launch queued while the current one runs (on hosts
+    //    with real parallelism), and reports tail latency (p50/p99), the
+    //    numbers a serving system actually answers for.
+    let inputs: Vec<DenseMatrix<f32>> =
+        (0..8).map(|seed| DenseMatrix::random(b.ncols(), d, 100 + seed)).collect();
+    let batch_engine = JitSpmmBuilder::new().build(&b, d)?;
+    let (outputs, batch) = batch_engine
+        .pool()
+        .scope(|scope| batch_engine.execute_batch(scope, &inputs))?;
+    println!(
+        "batched serving: {} inputs in {:?} ({:.0} inputs/s, kernel p50 {:?} / p99 {:?}, \
+         pipeline depth {})",
+        batch.inputs,
+        batch.elapsed,
+        batch.throughput(),
+        batch.kernel_p50,
+        batch.kernel_p99,
+        batch.depth
+    );
+    for (x, y) in inputs.iter().zip(&outputs) {
+        assert!(y.approx_eq(&b.spmm_reference(x), 1e-4));
+    }
+    println!("all {} batched results verified", outputs.len());
     Ok(())
 }

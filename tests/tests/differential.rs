@@ -16,9 +16,10 @@
 //! at least the 20 combinations the runtime milestone calls for.
 
 use jitspmm::baseline::{scalar, vectorized};
-use jitspmm::{JitSpmmBuilder, Strategy, WorkerPool};
+use jitspmm::{JitSpmmBuilder, JitSpmmError, JobSpec, Strategy, WorkerPool};
 use jitspmm_integration_tests::host_supports_jit;
 use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One differential scenario: a named matrix shape plus a dense column
 /// count.
@@ -224,4 +225,222 @@ fn differential_matrix_async_overlap() {
         });
     }
     assert!(combinations >= 20, "async differential covered only {combinations} combinations");
+}
+
+#[test]
+fn differential_matrix_batched() {
+    // The batched pipeline across the scenario matrix × batch sizes
+    // {1, 4, 32}: every output must be *bit-identical* to the blocking
+    // per-input `execute` (same compiled kernel, same per-row arithmetic —
+    // pipelining may not change a single bit) and must agree with the
+    // per-input scalar batch baseline, the trust anchor, within tolerance.
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let pool = WorkerPool::new(3);
+    let mut combinations = 0usize;
+    for (index, s) in scenarios().iter().enumerate() {
+        // Alternate the workload-division family across scenarios so both
+        // the static-range and the dynamic claim-loop kernels see every
+        // batch size.
+        let strategy = if index % 2 == 0 {
+            Strategy::RowSplitDynamic { batch: 16 }
+        } else {
+            Strategy::RowSplitStatic
+        };
+        let engine = JitSpmmBuilder::new()
+            .strategy(strategy)
+            .threads(2)
+            .pool(pool.clone())
+            .build(&s.matrix, s.d)
+            .unwrap();
+        for batch_size in [1usize, 4, 32] {
+            let inputs: Vec<DenseMatrix<f32>> = (0..batch_size)
+                .map(|i| DenseMatrix::random(s.matrix.ncols(), s.d, 1_000 + i as u64))
+                .collect();
+            let anchors = scalar::spmm_scalar_batch(&s.matrix, &inputs);
+            let blocking: Vec<DenseMatrix<f32>> =
+                inputs.iter().map(|x| engine.execute(x).unwrap().0.into_dense()).collect();
+            let (outputs, report) =
+                pool.scope(|scope| engine.execute_batch(scope, &inputs)).unwrap();
+            assert_eq!(outputs.len(), batch_size, "{} (batch {batch_size})", s.name);
+            assert_eq!(report.inputs, batch_size);
+            for (i, y) in outputs.iter().enumerate() {
+                assert_eq!(
+                    **y, blocking[i],
+                    "{} (batch {batch_size}, input {i}, {strategy}): batched result must be \
+                     bit-identical to per-input execute",
+                    s.name
+                );
+                assert!(
+                    y.approx_eq(&anchors[i], 1e-4),
+                    "{} (batch {batch_size}, input {i}, {strategy}): batched vs scalar anchor, \
+                     max diff {}",
+                    s.name,
+                    y.max_abs_diff(&anchors[i])
+                );
+            }
+            drop(outputs);
+            // Same inputs through an explicit depth-2 stream: `execute_batch`
+            // may pick the sequential fast path on single-core hosts, but an
+            // explicit depth >= 2 always drives the real queue pipeline, so
+            // the pipelined machinery gets differential coverage everywhere.
+            pool.scope(|scope| {
+                let mut stream = engine.batch_stream(scope, 2).unwrap();
+                let mut streamed = Vec::new();
+                for x in &inputs {
+                    if let Some((y, _)) = stream.push(x).unwrap() {
+                        streamed.push(y);
+                    }
+                }
+                let (rest, _) = stream.finish();
+                streamed.extend(rest.into_iter().map(|(y, _)| y));
+                for (i, y) in streamed.iter().enumerate() {
+                    assert_eq!(
+                        **y, blocking[i],
+                        "{} (batch {batch_size}, input {i}, {strategy}): pipelined stream \
+                         must be bit-identical to per-input execute",
+                        s.name
+                    );
+                }
+            });
+            combinations += 1;
+        }
+    }
+    assert!(
+        combinations >= 18,
+        "batched differential must cover >= 6 shapes x 3 batch sizes, got {combinations}"
+    );
+}
+
+#[test]
+fn batched_edge_case_empty_and_single_input() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let m = wide_base();
+    let engine = JitSpmmBuilder::new().threads(2).build(&m, 8).unwrap();
+    // Batch of size 0: no launches, an empty report, engine untouched.
+    let (outputs, report) =
+        engine.pool().scope(|scope| engine.execute_batch(scope, &[])).unwrap();
+    assert!(outputs.is_empty());
+    assert_eq!(report.inputs, 0);
+    // Batch of size 1 equals a single blocking execute, bit for bit.
+    let one = [DenseMatrix::random(m.ncols(), 8, 7)];
+    let (y_blocking, _) = engine.execute(&one[0]).unwrap();
+    let y_blocking = y_blocking.into_dense();
+    let (outputs, report) =
+        engine.pool().scope(|scope| engine.execute_batch(scope, &one)).unwrap();
+    assert_eq!(outputs.len(), 1);
+    assert_eq!(*outputs[0], y_blocking);
+    assert_eq!(report.inputs, 1);
+}
+
+#[test]
+fn batched_edge_case_mismatched_d_errors_without_corrupting_the_pipeline() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let m = wide_base();
+    let pool = WorkerPool::new(2);
+    let engine =
+        JitSpmmBuilder::new().threads(2).pool(pool.clone()).build(&m, 16).unwrap();
+    let good: Vec<DenseMatrix<f32>> =
+        (0..4).map(|i| DenseMatrix::random(m.ncols(), 16, 50 + i)).collect();
+    let mut mixed: Vec<DenseMatrix<f32>> = good.clone();
+    mixed.insert(2, DenseMatrix::random(m.ncols(), 8, 99)); // wrong d
+    // The whole batch is rejected up front — validation is hoisted, so no
+    // launch happens before the error.
+    let err = pool.scope(|scope| engine.execute_batch(scope, &mixed)).unwrap_err();
+    assert!(matches!(err, JitSpmmError::ShapeMismatch(_)), "got {err:?}");
+    // Mid-stream, a bad push errors while the launches in flight complete
+    // unharmed.
+    let bad = DenseMatrix::<f32>::zeros(m.ncols(), 4);
+    pool.scope(|scope| {
+        let mut stream = engine.batch_stream(scope, 2).unwrap();
+        let mut completed = Vec::new();
+        for (i, x) in good.iter().enumerate() {
+            if i == 1 {
+                assert!(matches!(
+                    stream.push(&bad).unwrap_err(),
+                    JitSpmmError::ShapeMismatch(_)
+                ));
+            }
+            if let Some(done) = stream.push(x).unwrap() {
+                completed.push(done);
+            }
+        }
+        let (rest, report) = stream.finish();
+        completed.extend(rest);
+        assert_eq!(report.inputs, good.len());
+        let anchors = scalar::spmm_scalar_batch(&m, &good);
+        for ((y, _), anchor) in completed.iter().zip(&anchors) {
+            assert!(y.approx_eq(anchor, 1e-4));
+        }
+    });
+    // And the engine still serves plain executes afterwards.
+    let (y, _) = engine.execute(&good[0]).unwrap();
+    assert!(y.approx_eq(&m.spmm_reference(&good[0]), 1e-4));
+}
+
+#[test]
+fn batched_edge_case_worker_panic_leaves_engine_reusable() {
+    // A worker panic mid-batch: pool workers only panic from *task* code,
+    // and the compiled kernels do not panic, so the realistic mid-batch
+    // panic is another job sharing the pool blowing up between batch
+    // launches. The pool isolates per-job panics, the batch must complete
+    // correctly, the scope re-raises the foreign panic at exit — and the
+    // engine (and pool) must remain fully usable afterwards.
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let m = power_law();
+    let pool = WorkerPool::new(2);
+    let engine = JitSpmmBuilder::new()
+        .strategy(Strategy::RowSplitDynamic { batch: 16 })
+        .threads(1)
+        .pool(pool.clone())
+        .build(&m, 8)
+        .unwrap();
+    let inputs: Vec<DenseMatrix<f32>> =
+        (0..6).map(|i| DenseMatrix::random(m.ncols(), 8, 70 + i)).collect();
+    let anchors = scalar::spmm_scalar_batch(&m, &inputs);
+    let boom = |_i: usize| panic!("mid-batch worker panic");
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|scope| {
+            let mut stream = engine.batch_stream(scope, 2).unwrap();
+            let mut completed = Vec::new();
+            for (i, x) in inputs.iter().enumerate() {
+                if i == 2 {
+                    // The panicking job lands on the shared workers between
+                    // two batch launches; its handle is dropped, so the
+                    // panic surfaces at scope exit.
+                    drop(scope.submit(JobSpec::new(2).max_lanes(1), &boom));
+                }
+                if let Some(done) = stream.push(x).unwrap() {
+                    completed.push(done);
+                }
+            }
+            let (rest, report) = stream.finish();
+            completed.extend(rest);
+            assert_eq!(report.inputs, inputs.len());
+            for ((y, _), anchor) in completed.iter().zip(&anchors) {
+                assert!(y.approx_eq(anchor, 1e-4), "batch corrupted by a foreign panic");
+            }
+        });
+    }));
+    let payload = result.unwrap_err();
+    let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(message, "mid-batch worker panic");
+    // Engine and pool both survive: a fresh batch and a plain execute work.
+    let (outputs, _) =
+        pool.scope(|scope| engine.execute_batch(scope, &inputs[..2])).unwrap();
+    assert!(outputs[0].approx_eq(&anchors[0], 1e-4));
+    assert!(outputs[1].approx_eq(&anchors[1], 1e-4));
+    let (y, _) = engine.execute(&inputs[0]).unwrap();
+    assert!(y.approx_eq(&anchors[0], 1e-4));
 }

@@ -193,6 +193,68 @@ proptest! {
         }
     }
 
+    /// A batched pipeline over an arbitrary matrix, batch size, pipeline
+    /// depth and strategy produces exactly — bitwise — the outputs of the
+    /// blocking per-input path, in input order. Any slot-counter mix-up,
+    /// payload reuse bug or output-buffer swap breaks this.
+    #[test]
+    fn execute_batch_matches_sequential(
+        (nrows, ncols, entries) in arb_matrix(),
+        d in 1usize..24,
+        batch_size in 0usize..9,
+        depth in 1usize..4,
+        strategy_idx in 0usize..2,
+        threads in 1usize..3,
+    ) {
+        if !host_supports_jit() {
+            return Ok(());
+        }
+        let strategy = if strategy_idx == 0 {
+            Strategy::RowSplitDynamic { batch: 5 }
+        } else {
+            Strategy::RowSplitStatic
+        };
+        let a = CsrMatrix::from_triplets(nrows, ncols, &entries).unwrap();
+        let pool = WorkerPool::new(2);
+        let engine = JitSpmmBuilder::new()
+            .strategy(strategy)
+            .threads(threads)
+            .pool(pool.clone())
+            .build(&a, d)
+            .unwrap();
+        let inputs: Vec<DenseMatrix<f32>> =
+            (0..batch_size).map(|i| DenseMatrix::random(ncols, d, 300 + i as u64)).collect();
+        let sequential: Vec<DenseMatrix<f32>> =
+            inputs.iter().map(|x| engine.execute(x).unwrap().0.into_dense()).collect();
+        // Once through the collecting API...
+        let (outputs, report) = pool
+            .scope(|scope| engine.execute_batch(scope, &inputs))
+            .unwrap();
+        prop_assert_eq!(outputs.len(), batch_size);
+        prop_assert_eq!(report.inputs, batch_size);
+        for (i, y) in outputs.iter().enumerate() {
+            prop_assert!(**y == sequential[i], "batched output {} diverged", i);
+        }
+        drop(outputs);
+        // ...and once through the incremental stream at the drawn depth.
+        pool.scope(|scope| -> Result<(), TestCaseError> {
+            let mut stream = engine.batch_stream(scope, depth).unwrap();
+            let mut streamed = Vec::new();
+            for x in &inputs {
+                if let Some((y, _)) = stream.push(x).unwrap() {
+                    streamed.push(y.into_dense());
+                }
+            }
+            let (rest, report) = stream.finish();
+            streamed.extend(rest.into_iter().map(|(y, _)| y.into_dense()));
+            prop_assert_eq!(report.inputs, batch_size);
+            for (i, y) in streamed.iter().enumerate() {
+                prop_assert!(*y == sequential[i], "streamed output {} diverged", i);
+            }
+            Ok(())
+        })?;
+    }
+
     /// Workload partitions always cover every row exactly once, regardless of
     /// strategy and thread count.
     #[test]
