@@ -517,19 +517,49 @@ impl Assembler {
     /// `vfmadd231ps dst, a, [mem]` — packed f32 FMA: `dst += a * mem`.
     pub fn vfmadd231ps_m(&mut self, dst: VecReg, a: VecReg, mem: Mem) {
         note!(self, "vfmadd231ps {dst}, {a}, {mem}");
-        self.vex_or_evex(OpMap::M0F38, Pp::P66, false, false, 0xB8, dst, a, &RegMem::Mem(mem), dst.width());
+        self.vex_or_evex(
+            OpMap::M0F38,
+            Pp::P66,
+            false,
+            false,
+            0xB8,
+            dst,
+            a,
+            &RegMem::Mem(mem),
+            dst.width(),
+        );
     }
 
     /// `vfmadd231ps dst, a, b` (register form).
     pub fn vfmadd231ps_r(&mut self, dst: VecReg, a: VecReg, b: VecReg) {
         note!(self, "vfmadd231ps {dst}, {a}, {b}");
-        self.vex_or_evex(OpMap::M0F38, Pp::P66, false, false, 0xB8, dst, a, &RegMem::Reg(b.id()), dst.width());
+        self.vex_or_evex(
+            OpMap::M0F38,
+            Pp::P66,
+            false,
+            false,
+            0xB8,
+            dst,
+            a,
+            &RegMem::Reg(b.id()),
+            dst.width(),
+        );
     }
 
     /// `vfmadd231pd dst, a, [mem]` — packed f64 FMA: `dst += a * mem`.
     pub fn vfmadd231pd_m(&mut self, dst: VecReg, a: VecReg, mem: Mem) {
         note!(self, "vfmadd231pd {dst}, {a}, {mem}");
-        self.vex_or_evex(OpMap::M0F38, Pp::P66, true, true, 0xB8, dst, a, &RegMem::Mem(mem), dst.width());
+        self.vex_or_evex(
+            OpMap::M0F38,
+            Pp::P66,
+            true,
+            true,
+            0xB8,
+            dst,
+            a,
+            &RegMem::Mem(mem),
+            dst.width(),
+        );
     }
 
     /// `vfmadd231ss dst, a, dword [mem]` — scalar f32 FMA on the low lane.
@@ -571,13 +601,33 @@ impl Assembler {
     /// `vmulps dst, a, [mem]` — packed f32 multiply.
     pub fn vmulps_m(&mut self, dst: VecReg, a: VecReg, mem: Mem) {
         note!(self, "vmulps {dst}, {a}, {mem}");
-        self.vex_or_evex(OpMap::M0F, Pp::None, false, false, 0x59, dst, a, &RegMem::Mem(mem), dst.width());
+        self.vex_or_evex(
+            OpMap::M0F,
+            Pp::None,
+            false,
+            false,
+            0x59,
+            dst,
+            a,
+            &RegMem::Mem(mem),
+            dst.width(),
+        );
     }
 
     /// `vaddps dst, a, b` — packed f32 add.
     pub fn vaddps_r(&mut self, dst: VecReg, a: VecReg, b: VecReg) {
         note!(self, "vaddps {dst}, {a}, {b}");
-        self.vex_or_evex(OpMap::M0F, Pp::None, false, false, 0x58, dst, a, &RegMem::Reg(b.id()), dst.width());
+        self.vex_or_evex(
+            OpMap::M0F,
+            Pp::None,
+            false,
+            false,
+            0x58,
+            dst,
+            a,
+            &RegMem::Reg(b.id()),
+            dst.width(),
+        );
     }
 
     /// `vmulss dst, a, dword [mem]` — scalar f32 multiply.

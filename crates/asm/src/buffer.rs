@@ -124,8 +124,8 @@ mod tests {
         assert_eq!(
             b.as_slice(),
             &[
-                0xAA, 0x22, 0x11, 0x66, 0x55, 0x44, 0x33, 0xEE, 0xDD, 0xCC, 0xBB, 0xAA, 0x99,
-                0x88, 0x77
+                0xAA, 0x22, 0x11, 0x66, 0x55, 0x44, 0x33, 0xEE, 0xDD, 0xCC, 0xBB, 0xAA, 0x99, 0x88,
+                0x77
             ]
         );
     }

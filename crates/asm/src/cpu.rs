@@ -110,13 +110,27 @@ impl CpuFeatures {
 
     /// A feature set with everything disabled (scalar only).
     pub const fn none() -> CpuFeatures {
-        CpuFeatures { avx: false, avx2: false, fma: false, avx512f: false, avx512dq: false, avx512vl: false }
+        CpuFeatures {
+            avx: false,
+            avx2: false,
+            fma: false,
+            avx512f: false,
+            avx512dq: false,
+            avx512vl: false,
+        }
     }
 
     /// A feature set describing a full AVX-512 machine (the paper's Xeon
     /// Gold 6126 testbed).
     pub const fn full_avx512() -> CpuFeatures {
-        CpuFeatures { avx: true, avx2: true, fma: true, avx512f: true, avx512dq: true, avx512vl: true }
+        CpuFeatures {
+            avx: true,
+            avx2: true,
+            fma: true,
+            avx512f: true,
+            avx512dq: true,
+            avx512vl: true,
+        }
     }
 
     /// The highest [`IsaLevel`] these features can execute.

@@ -93,12 +93,7 @@ impl RegMem {
 /// displacements; EVEX-encoded instructions use it because their 8-bit
 /// displacements are scaled by the instruction's tuple size (disp8*N), which
 /// this assembler does not model.
-pub(crate) fn emit_modrm_sib(
-    buf: &mut CodeBuffer,
-    reg_field: u8,
-    rm: &RegMem,
-    avoid_disp8: bool,
-) {
+pub(crate) fn emit_modrm_sib(buf: &mut CodeBuffer, reg_field: u8, rm: &RegMem, avoid_disp8: bool) {
     debug_assert!(reg_field < 8);
     match rm {
         RegMem::Reg(r) => {
@@ -181,12 +176,7 @@ pub(crate) fn emit_legacy(
 
 /// Emit a legacy instruction that encodes its only register operand in the
 /// low bits of the opcode (`push r64`, `pop r64`, `mov r64, imm64`, ...).
-pub(crate) fn emit_legacy_opreg(
-    buf: &mut CodeBuffer,
-    rex_w: bool,
-    opcode_base: u8,
-    reg: u8,
-) {
+pub(crate) fn emit_legacy_opreg(buf: &mut CodeBuffer, rex_w: bool, opcode_base: u8, reg: u8) {
     let b = (reg >> 3) & 1;
     let w = rex_w as u8;
     if w | b != 0 {
@@ -332,8 +322,9 @@ mod tests {
     fn legacy_extended_registers_set_rex_bits() {
         // mov r15, r8 => REX.W|R|B 89 C7? Let's check: mov r/m64, r64 (89 /r),
         // rm=r15 (B), reg=r8 (R) => REX=0x4D, modrm=11 000 111 = 0xC7.
-        let b =
-            bytes(|b| emit_legacy(b, &[], true, &[0x89], Gpr::R8.id(), &RegMem::Reg(Gpr::R15.id())));
+        let b = bytes(|b| {
+            emit_legacy(b, &[], true, &[0x89], Gpr::R8.id(), &RegMem::Reg(Gpr::R15.id()))
+        });
         assert_eq!(b, vec![0x4D, 0x89, 0xC7]);
     }
 

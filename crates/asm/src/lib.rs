@@ -58,4 +58,4 @@ pub use error::AsmError;
 pub use exec::ExecutableBuffer;
 pub use label::Label;
 pub use mem::{Mem, Scale};
-pub use reg::{Gpr, Xmm, Ymm, Zmm, VecReg, VecWidth};
+pub use reg::{Gpr, VecReg, VecWidth, Xmm, Ymm, Zmm};

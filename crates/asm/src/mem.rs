@@ -94,10 +94,8 @@ impl Mem {
     ///
     /// Panics on signed 32-bit overflow of the resulting displacement.
     pub fn offset(mut self, delta: i32) -> Mem {
-        self.disp = self
-            .disp
-            .checked_add(delta)
-            .expect("memory-operand displacement overflowed i32");
+        self.disp =
+            self.disp.checked_add(delta).expect("memory-operand displacement overflowed i32");
         self
     }
 

@@ -60,22 +60,12 @@ impl Gpr {
     ];
 
     /// Registers that are caller-saved (volatile) in the System V AMD64 ABI.
-    pub const CALLER_SAVED: [Gpr; 9] = [
-        Gpr::Rax,
-        Gpr::Rcx,
-        Gpr::Rdx,
-        Gpr::Rsi,
-        Gpr::Rdi,
-        Gpr::R8,
-        Gpr::R9,
-        Gpr::R10,
-        Gpr::R11,
-    ];
+    pub const CALLER_SAVED: [Gpr; 9] =
+        [Gpr::Rax, Gpr::Rcx, Gpr::Rdx, Gpr::Rsi, Gpr::Rdi, Gpr::R8, Gpr::R9, Gpr::R10, Gpr::R11];
 
     /// Registers that must be preserved across calls in the System V AMD64
     /// ABI.
-    pub const CALLEE_SAVED: [Gpr; 6] =
-        [Gpr::Rbx, Gpr::Rsp, Gpr::Rbp, Gpr::R12, Gpr::R13, Gpr::R14];
+    pub const CALLEE_SAVED: [Gpr; 6] = [Gpr::Rbx, Gpr::Rsp, Gpr::Rbp, Gpr::R12, Gpr::R13, Gpr::R14];
 
     /// The integer argument registers of the System V AMD64 ABI, in order.
     pub const ARGS: [Gpr; 6] = [Gpr::Rdi, Gpr::Rsi, Gpr::Rdx, Gpr::Rcx, Gpr::R8, Gpr::R9];

@@ -104,10 +104,8 @@ fn main() {
                     }
                 },
                 || {
-                    let (outputs, report) = engine
-                        .pool()
-                        .scope(|scope| engine.execute_batch(scope, &inputs))
-                        .unwrap();
+                    let (outputs, report) =
+                        engine.pool().scope(|scope| engine.execute_batch(scope, &inputs)).unwrap();
                     drop(outputs);
                     last_report = Some(report);
                 },

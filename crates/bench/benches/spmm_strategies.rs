@@ -30,9 +30,7 @@ fn bench_strategies(c: &mut Criterion) {
                 BenchmarkId::new("auto-vectorized", strategy.name()),
                 &strategy,
                 |b, &strategy| {
-                    b.iter(|| {
-                        spmm_vectorized(black_box(&matrix), &x, &mut y, strategy, threads)
-                    })
+                    b.iter(|| spmm_vectorized(black_box(&matrix), &x, &mut y, strategy, threads))
                 },
             );
         }

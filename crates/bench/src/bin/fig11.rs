@@ -58,8 +58,7 @@ fn main() {
             ['a', 'b', 'c', 'd'][panel],
             if emulate && panel == 0 { "  [JIT column measured by emulation]" } else { "" }
         );
-        let mut table =
-            TextTable::new(&["dataset", "auto-vectorization", "MKL-like", "JitSpMM"]);
+        let mut table = TextTable::new(&["dataset", "auto-vectorization", "MKL-like", "JitSpMM"]);
         let mut vec_ratio = Vec::new();
         let mut mkl_ratio = Vec::new();
         for (name, vec_counts, mkl_counts, jit_counts) in &rows {

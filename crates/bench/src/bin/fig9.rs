@@ -20,7 +20,10 @@ fn main() {
 }
 
 fn run_panel(config: &HarnessConfig, d: usize) {
-    println!("Figure 9({}): speedup of JITSPMM over auto-vectorization, d = {d}", if d == 16 { "a" } else { "b" });
+    println!(
+        "Figure 9({}): speedup of JITSPMM over auto-vectorization, d = {d}",
+        if d == 16 { "a" } else { "b" }
+    );
     let strategies = Strategy::paper_set();
     let mut table = TextTable::new(&["dataset", "row-split", "nnz-split", "merge-split"]);
     let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];

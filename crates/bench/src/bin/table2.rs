@@ -46,9 +46,8 @@ fn main() {
     let mut times = Vec::new();
     for baseline in Baseline::table2_set() {
         let mut y = DenseMatrix::zeros(matrix.nrows(), d);
-        let t = time_best_of(config.repetitions, || {
-            run_scalar_baseline(baseline, &matrix, &x, &mut y)
-        });
+        let t =
+            time_best_of(config.repetitions, || run_scalar_baseline(baseline, &matrix, &x, &mut y));
         times.push(t);
     }
     let engine = JitSpmmBuilder::new()
@@ -74,7 +73,8 @@ fn main() {
     // The iterator/unchecked variants share the same loop structure; model
     // them with modest constant-factor differences in instruction count the
     // way the three compilers differ in the paper.
-    let aot_variants = [aot_model, scale_instructions(aot_model, 0.92), scale_instructions(aot_model, 0.77)];
+    let aot_variants =
+        [aot_model, scale_instructions(aot_model, 0.92), scale_instructions(aot_model, 0.77)];
     let mut y_emu = DenseMatrix::zeros(matrix.nrows(), d);
     let jit_counts = measure_jit_emulated(&engine, &x, &mut y_emu).expect("emulation failed");
 

@@ -41,6 +41,8 @@ fn main() {
         ]);
     }
     table.print();
-    println!("\nThe stand-ins preserve each dataset's structural family and relative size ordering;");
+    println!(
+        "\nThe stand-ins preserve each dataset's structural family and relative size ordering;"
+    );
     println!("see DESIGN.md for the substitution rationale.");
 }

@@ -55,8 +55,8 @@ pub fn spmm_mkl_like_f32_on(
     let nrows = a.nrows();
     let counter = DynamicCounter::new();
     let use_avx512 = std::arch::is_x86_feature_detected!("avx512f");
-    let use_avx2 = std::arch::is_x86_feature_detected!("avx2")
-        && std::arch::is_x86_feature_detected!("fma");
+    let use_avx2 =
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma");
 
     // Cap the job to its own lane count so a concurrently running engine
     // (or another baseline) keeps its share of the pool.

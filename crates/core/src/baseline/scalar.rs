@@ -127,6 +127,36 @@ pub fn spmm_scalar_batch<T: Scalar>(
         .collect()
 }
 
+/// Serve a mixed multi-engine request stream with the naive scalar loop:
+/// `requests` pairs an index into `matrices` with a dense input, and the
+/// result is one output per request, in request order.
+///
+/// This is the like-for-like trust anchor for the serving router
+/// ([`crate::serve::SpmmServer`]): the same mixed stream, executed serially
+/// by the plainest possible code — no routing, no pipelining, no threading —
+/// so a routing bug (a request landing on the wrong engine, outputs swapped
+/// across engines) cannot be mirrored here.
+///
+/// # Panics
+///
+/// Panics if a request names a matrix index out of range or an input's
+/// shape is inconsistent with its matrix — baseline inputs are
+/// harness-controlled, unlike the server's validated user requests.
+pub fn spmm_scalar_serve_mixed<T: Scalar>(
+    matrices: &[&CsrMatrix<T>],
+    requests: &[(usize, DenseMatrix<T>)],
+) -> Vec<DenseMatrix<T>> {
+    requests
+        .iter()
+        .map(|(engine, x)| {
+            let a = matrices[*engine];
+            let mut y = DenseMatrix::zeros(a.nrows(), x.ncols());
+            spmm_scalar_naive(a, x, &mut y);
+            y
+        })
+        .collect()
+}
+
 fn check_shapes<T: Scalar>(a: &CsrMatrix<T>, x: &DenseMatrix<T>, y: &DenseMatrix<T>) {
     assert_eq!(x.nrows(), a.ncols(), "dense input rows must equal sparse columns");
     assert_eq!(y.nrows(), a.nrows(), "dense output rows must equal sparse rows");
@@ -143,11 +173,9 @@ mod tests {
         let a = generate::rmat::<f32>(8, 3_000, generate::RmatConfig::GRAPH500, 7);
         let x = DenseMatrix::random(a.ncols(), 8, 3);
         let expected = a.spmm_reference(&x);
-        for f in [
-            spmm_scalar_naive::<f32>,
-            spmm_scalar_iterator::<f32>,
-            spmm_scalar_unchecked::<f32>,
-        ] {
+        for f in
+            [spmm_scalar_naive::<f32>, spmm_scalar_iterator::<f32>, spmm_scalar_unchecked::<f32>]
+        {
             let mut y = DenseMatrix::zeros(a.nrows(), 8);
             f(&a, &x, &mut y);
             assert!(y.approx_eq(&expected, 1e-4));
@@ -195,6 +223,28 @@ mod tests {
             assert_eq!(*y, expected);
         }
         assert!(spmm_scalar_batch(&a, &[]).is_empty());
+    }
+
+    #[test]
+    fn serve_mixed_anchor_matches_per_request_calls() {
+        let a = generate::uniform::<f32>(40, 30, 200, 1);
+        let b = generate::uniform::<f32>(25, 35, 150, 2);
+        let requests: Vec<(usize, DenseMatrix<f32>)> = (0..6)
+            .map(|i| {
+                let engine = i % 2;
+                let ncols = if engine == 0 { 30 } else { 35 };
+                (engine, DenseMatrix::random(ncols, 3, 10 + i as u64))
+            })
+            .collect();
+        let outputs = spmm_scalar_serve_mixed(&[&a, &b], &requests);
+        assert_eq!(outputs.len(), requests.len());
+        for ((engine, x), y) in requests.iter().zip(&outputs) {
+            let m = if *engine == 0 { &a } else { &b };
+            let mut expected = DenseMatrix::zeros(m.nrows(), 3);
+            spmm_scalar_naive(m, x, &mut expected);
+            assert_eq!(*y, expected);
+        }
+        assert!(spmm_scalar_serve_mixed::<f32>(&[&a, &b], &[]).is_empty());
     }
 
     #[test]

@@ -39,9 +39,7 @@
 
 use crate::error::JitSpmmError;
 use crate::tiling::{CcmPlan, Segment, SegmentWidth};
-use jitspmm_asm::{
-    Assembler, Cond, CpuFeatures, Gpr, IsaLevel, Mem, Scale, VecReg, VecWidth, Xmm,
-};
+use jitspmm_asm::{Assembler, Cond, CpuFeatures, Gpr, IsaLevel, Mem, Scale, VecReg, VecWidth, Xmm};
 use jitspmm_sparse::{CsrMatrix, Scalar, ScalarKind};
 
 /// Options controlling kernel generation.
@@ -564,8 +562,7 @@ mod tests {
         let (_m, binding) = f32_binding();
         let gen = generate_static_kernel(binding, 45, ScalarKind::F32, &opts).unwrap();
         let listing = gen.listing.expect("listing requested");
-        let text: String =
-            listing.iter().map(|(_, s)| s.as_str()).collect::<Vec<_>>().join("\n");
+        let text: String = listing.iter().map(|(_, s)| s.as_str()).collect::<Vec<_>>().join("\n");
         // The structure of Listing 2 must be visible in the emitted stream.
         assert!(text.contains("vbroadcastss"), "missing broadcast:\n{text}");
         assert!(text.contains("vfmadd231ps"), "missing packed FMA:\n{text}");
@@ -591,13 +588,8 @@ mod tests {
             &opts,
         )
         .unwrap();
-        let text: String = gen
-            .listing
-            .unwrap()
-            .iter()
-            .map(|(_, s)| s.as_str())
-            .collect::<Vec<_>>()
-            .join("\n");
+        let text: String =
+            gen.listing.unwrap().iter().map(|(_, s)| s.as_str()).collect::<Vec<_>>().join("\n");
         assert!(text.contains("lock xadd"), "Listing 1 requires lock xadd:\n{text}");
     }
 

@@ -23,6 +23,14 @@ pub enum JitSpmmError {
     /// state embedded in the generated code). Wait on — or drop — the
     /// outstanding [`crate::engine::ExecutionHandle`] first.
     LaunchInProgress,
+    /// A serving request was tagged with an engine id the server does not
+    /// have (valid ids are `0..engines`).
+    UnknownEngine {
+        /// The engine id the request named.
+        requested: usize,
+        /// How many engines the server owns.
+        engines: usize,
+    },
     /// An error bubbled up from the assembler.
     Asm(AsmError),
     /// The requested configuration cannot be code-generated.
@@ -32,15 +40,19 @@ pub enum JitSpmmError {
 impl fmt::Display for JitSpmmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            JitSpmmError::UnsupportedIsa { requested, supported } => write!(
-                f,
-                "requested ISA tier {requested} but the host only supports {supported}"
-            ),
+            JitSpmmError::UnsupportedIsa { requested, supported } => {
+                write!(f, "requested ISA tier {requested} but the host only supports {supported}")
+            }
             JitSpmmError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
             JitSpmmError::EmptyDenseMatrix => write!(f, "the dense matrix has zero columns"),
             JitSpmmError::LaunchInProgress => {
                 write!(f, "an asynchronous launch of this engine is still in flight")
             }
+            JitSpmmError::UnknownEngine { requested, engines } => write!(
+                f,
+                "request routed to engine {requested} but the server only has {engines} \
+                 engine(s) (valid ids are 0..{engines})"
+            ),
             JitSpmmError::Asm(e) => write!(f, "assembler error: {e}"),
             JitSpmmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
@@ -68,10 +80,8 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = JitSpmmError::UnsupportedIsa {
-            requested: IsaLevel::Avx512,
-            supported: IsaLevel::Avx2,
-        };
+        let e =
+            JitSpmmError::UnsupportedIsa { requested: IsaLevel::Avx512, supported: IsaLevel::Avx2 };
         assert!(e.to_string().contains("avx512"));
         assert!(e.to_string().contains("avx2"));
         let e: JitSpmmError = AsmError::EmptyCode.into();

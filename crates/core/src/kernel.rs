@@ -16,7 +16,7 @@ pub enum KernelKind {
 }
 
 /// Metadata describing a compiled kernel, reported by
-/// [`crate::JitSpmm::report`] and used by the Table IV harness.
+/// [`crate::JitSpmm::meta`] and used by the Table IV harness.
 #[derive(Debug, Clone)]
 pub struct KernelMeta {
     /// Number of dense columns the kernel was specialized for.

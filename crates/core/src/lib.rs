@@ -153,24 +153,52 @@
 //! For unbounded streams, [`JitSpmm::batch_stream`] exposes the pipeline
 //! incrementally: [`BatchStream::push`] submits the next input (returning
 //! the oldest completed output once the pipeline is full, so results arrive
-//! in submission order while buffers recycle), and [`BatchStream::finish`]
-//! drains it. The AOT baselines gain matching batch entry points
-//! ([`baseline::scalar::spmm_scalar_batch`],
+//! in submission order while buffers recycle), [`BatchStream::push_owned`]
+//! accepts inputs by value (so cross-thread producers need no `'env`
+//! borrows), and [`BatchStream::finish`] drains it. The AOT baselines gain
+//! matching batch entry points ([`baseline::scalar::spmm_scalar_batch`],
 //! [`baseline::vectorized::spmm_vectorized_batch`],
 //! [`baseline::mkl_like::spmm_mkl_like_f32_batch`]) so batched comparisons
 //! stay like-for-like.
 //!
-//! # Crate layout
+//! # Mixed-stream serving
 //!
-//! | module | contents |
-//! |---|---|
-//! | [`engine`] | [`JitSpmm`], the compile-once/run-many engine |
-//! | [`runtime`] | persistent [`WorkerPool`], job dispatch, output recycling |
-//! | [`schedule`] | workload-division strategies and partitioning |
-//! | [`tiling`] | coarse-grain column merging register allocation |
-//! | [`codegen`] | the x86-64 kernel generator |
-//! | [`baseline`] | AOT baselines (scalar, auto-vectorized, MKL-like) |
-//! | [`profile`] | hardware-event models and emulator-based measurement |
+//! One level up from batching through a single engine, the [`serve`] module
+//! routes a **mixed** request stream across several compiled engines
+//! sharing one pool — the paper's amortization argument applied across
+//! kernels. An [`serve::SpmmServer`] owns N engines (different matrices,
+//! `d`, strategies), validates every engine-tagged request before touching
+//! any launch state, feeds each engine's requests through its own batch
+//! pipeline by value, keeps concurrent engines on disjoint lane-capped
+//! worker subsets, and reports per-engine tail latency plus whole-server
+//! throughput in a [`serve::ServerReport`]. Producers on other threads feed
+//! it through a bounded [`serve::RequestQueue`]
+//! ([`serve::SpmmServer::serve_stream`]); pre-collected request batches go
+//! through [`serve::SpmmServer::serve_batch`].
+//!
+//! # Architecture map
+//!
+//! ```text
+//! jitspmm (crates/core)
+//! ├── engine/            compile once, execute many
+//! │   ├── options        SpmmOptions, JitSpmmBuilder
+//! │   ├── compile        JitSpmm construction, spare slot kernels
+//! │   ├── launch         execute / execute_async, launch lock, ExecutionHandle
+//! │   ├── batch          execute_batch, BatchStream (borrowed + owned pushes)
+//! │   └── report         ExecutionReport, BatchReport, reservoir percentiles
+//! ├── serve/             multi-engine serving router
+//! │   ├── server         SpmmServer, ServerSession, ServerResponse
+//! │   ├── queue          bounded RequestQueue / RequestSender
+//! │   └── report         ServerReport (per-engine BatchReports + throughput)
+//! ├── runtime/           persistent execution substrate
+//! │   ├── pool           WorkerPool: FIFO job queue, lane caps, scopes
+//! │   └── dispatch       KernelJob, LaunchPayload slots, BufferPool
+//! ├── schedule           workload-division strategies and partitioning
+//! ├── tiling             coarse-grain column merging register allocation
+//! ├── codegen            the x86-64 kernel generator
+//! ├── baseline/          AOT baselines (scalar, auto-vectorized, MKL-like)
+//! └── profile            hardware-event models, emulator-based measurement
+//! ```
 //!
 //! The sparse/dense containers live in [`jitspmm_sparse`], the runtime
 //! assembler in [`jitspmm_asm`], and the profiling emulator in
@@ -186,6 +214,7 @@ pub mod kernel;
 pub mod profile;
 pub mod runtime;
 pub mod schedule;
+pub mod serve;
 pub mod tiling;
 
 pub use codegen::KernelOptions;
@@ -198,6 +227,10 @@ pub use kernel::{CompiledKernel, KernelKind, KernelMeta};
 pub use profile::ProfileCounts;
 pub use runtime::{JobHandle, JobSpec, PoolScope, PooledMatrix, ScopedJobHandle, WorkerPool};
 pub use schedule::{DynamicCounter, Partition, RowRange, Strategy};
+pub use serve::{
+    RequestQueue, RequestSender, ServerReport, ServerRequest, ServerResponse, ServerSession,
+    SpmmServer,
+};
 pub use tiling::{CcmPlan, ColumnTile, Segment, SegmentWidth};
 
 pub use jitspmm_asm::{CpuFeatures, IsaLevel};

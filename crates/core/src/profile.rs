@@ -159,8 +159,7 @@ pub fn model_jit_ccm<T: Scalar>(matrix: &CsrMatrix<T>, plan: &CcmPlan) -> Profil
         memory_loads: w.nnz * (2 * passes + segments) + w.rows * (2 + passes.saturating_sub(1)),
         memory_stores: w.rows * segments,
         branches: w.nnz * passes + w.rows * passes + w.rows,
-        instructions: w.nnz * (passes * 6 + segments)
-            + w.rows * (2 * segments + passes * 4 + 5),
+        instructions: w.nnz * (passes * 6 + segments) + w.rows * (2 * segments + passes * 4 + 5),
         branch_misses: w.rows * passes + w.rows,
     }
 }
@@ -211,12 +210,9 @@ pub fn measure_jit_emulated<T: Scalar>(
     let _launch = engine.begin_launch(true)?;
     let mut emulator = Emulator::new();
     let args: Vec<u64> = match engine.kernel().kind() {
-        crate::kernel::KernelKind::StaticRange => vec![
-            0,
-            engine.matrix().nrows() as u64,
-            x.as_ptr() as u64,
-            y.as_mut_ptr() as u64,
-        ],
+        crate::kernel::KernelKind::StaticRange => {
+            vec![0, engine.matrix().nrows() as u64, x.as_ptr() as u64, y.as_mut_ptr() as u64]
+        }
         crate::kernel::KernelKind::DynamicDispatch => {
             vec![x.as_ptr() as u64, y.as_mut_ptr() as u64]
         }
@@ -402,10 +398,8 @@ mod tests {
     fn figure7_wide_blocks_narrow_the_gap() {
         let m = generate::power_law_rows::<f32>(512, 4096, 60_000, 0.2, 5);
         let d = 64;
-        let scalar_blocks =
-            simulate_figure7_cache_misses(&m, d, 1, jitspmm_emu::CacheConfig::L1D);
-        let simd_blocks =
-            simulate_figure7_cache_misses(&m, d, 16, jitspmm_emu::CacheConfig::L1D);
+        let scalar_blocks = simulate_figure7_cache_misses(&m, d, 1, jitspmm_emu::CacheConfig::L1D);
+        let simd_blocks = simulate_figure7_cache_misses(&m, d, 16, jitspmm_emu::CacheConfig::L1D);
         // Processing 16 columns per pass already restores most of the
         // spatial locality, mirroring the paper's observation that the
         // benefit comes from sequential line-sized accesses.

@@ -124,7 +124,10 @@ impl<T: Scalar> KernelJob<T> {
 /// batch pipeline pushes an unbounded stream of launches through a handful
 /// of slots, so each slot allocates its payload once and rewrites it in
 /// place between launches — steady-state batch submission performs no
-/// per-launch boxing. The allocation is owned through a raw pointer (the
+/// per-launch boxing. Slots are owned by the stream that created them, so
+/// payload reuse is **per engine, per slot**: a multi-engine server (one
+/// [`crate::BatchStream`] per engine, see [`crate::serve`]) never rewrites
+/// one engine's payload with another engine's launch. The allocation is owned through a raw pointer (the
 /// runtime-wide idiom for worker-visible payloads): moving the owner never
 /// retags the pointer workers derived from it, dropping the owner frees the
 /// slot — sound because the batch stream joins every launch before its
@@ -280,9 +283,8 @@ impl<T: Scalar> BufferPool<T> {
         let bytes = buffer.len() * std::mem::size_of::<T>();
         // The default spare count is always allowed; beyond it, retained
         // spares must also fit the byte budget.
-        let by_bytes = MAX_RESERVED_BYTES
-            .checked_div(bytes)
-            .map_or(usize::MAX, |n| n.max(MAX_POOLED_BUFFERS));
+        let by_bytes =
+            MAX_RESERVED_BYTES.checked_div(bytes).map_or(usize::MAX, |n| n.max(MAX_POOLED_BUFFERS));
         let cap = self.capacity.load(Ordering::Relaxed).min(by_bytes);
         let mut free = lock(&self.free);
         if free.len() < cap {
@@ -407,9 +409,8 @@ mod tests {
     #[test]
     fn pool_size_is_bounded() {
         let pool = Arc::new(BufferPool::<f32>::new());
-        let held: Vec<PooledMatrix<f32>> = (0..20)
-            .map(|_| PooledMatrix::new(pool.acquire(2, 2), Arc::clone(&pool)))
-            .collect();
+        let held: Vec<PooledMatrix<f32>> =
+            (0..20).map(|_| PooledMatrix::new(pool.acquire(2, 2), Arc::clone(&pool))).collect();
         drop(held);
         assert!(pool.spare_buffers() <= MAX_POOLED_BUFFERS);
     }
@@ -418,9 +419,8 @@ mod tests {
     fn reserve_grows_the_retained_spare_bound() {
         let pool = Arc::new(BufferPool::<f32>::new());
         pool.reserve(20);
-        let held: Vec<PooledMatrix<f32>> = (0..20)
-            .map(|_| PooledMatrix::new(pool.acquire(2, 2), Arc::clone(&pool)))
-            .collect();
+        let held: Vec<PooledMatrix<f32>> =
+            (0..20).map(|_| PooledMatrix::new(pool.acquire(2, 2), Arc::clone(&pool))).collect();
         drop(held);
         assert_eq!(pool.spare_buffers(), 20, "reserved spares must all be retained");
         // Never shrinks, and stays clamped at the hard ceiling.
@@ -441,9 +441,8 @@ mod tests {
         // always-allowed default count.
         let elems = (8 << 20) / std::mem::size_of::<f32>();
         let rows = elems / 4;
-        let held: Vec<PooledMatrix<f32>> = (0..12)
-            .map(|_| PooledMatrix::new(pool.acquire(rows, 4), Arc::clone(&pool)))
-            .collect();
+        let held: Vec<PooledMatrix<f32>> =
+            (0..12).map(|_| PooledMatrix::new(pool.acquire(rows, 4), Arc::clone(&pool))).collect();
         drop(held);
         assert_eq!(pool.spare_buffers(), MAX_POOLED_BUFFERS);
     }

@@ -28,7 +28,7 @@
 //!   executing at once through [`crate::JitSpmm::execute_async`] inside a
 //!   scope — run on disjoint worker subsets and genuinely overlap instead
 //!   of thrashing the whole pool.
-//! * [`dispatch`] converts a compiled kernel plus its schedule (static
+//! * `dispatch` converts a compiled kernel plus its schedule (static
 //!   [`crate::RowRange`]s or the dynamic counter loop) into pool jobs and
 //!   measures the kernel's critical-path time separately from dispatch
 //!   overhead (see [`crate::ExecutionReport`]).

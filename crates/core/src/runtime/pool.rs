@@ -367,8 +367,9 @@ impl Shared {
                 }
                 // SAFETY: disjoint indices make concurrent calls safe; the
                 // data pointer is alive as long as the job is (see JobPtr).
-                let outcome =
-                    catch_unwind(AssertUnwindSafe(|| unsafe { call(core.data as *const (), index) }));
+                let outcome = catch_unwind(AssertUnwindSafe(|| unsafe {
+                    call(core.data as *const (), index)
+                }));
                 if let Err(payload) = outcome {
                     core.record_panic(payload);
                 }
@@ -502,6 +503,16 @@ impl WorkerPool {
     /// participates in every job it waits on, on top of these).
     pub fn size(&self) -> usize {
         self.inner.handles.len()
+    }
+
+    /// Whether `self` and `other` are handles to the *same* underlying pool
+    /// — the same worker threads and job queue — as opposed to two distinct
+    /// pools that merely have the same size. The serving router uses this to
+    /// verify that every engine it owns really shares one pool (clones of
+    /// one [`WorkerPool`] compare equal; independently constructed pools do
+    /// not).
+    pub fn same_pool(&self, other: &WorkerPool) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// Resolve a requested lane count against this pool: `0` means one lane
@@ -988,7 +999,8 @@ impl<'scope, 'env> PoolScope<'scope, 'env> {
             let core = JobCore::completed_inline(spec.tasks, busy, panic);
             return self.adopt(core);
         }
-        let core = JobCore::new(spec.tasks, self.pool.worker_lanes(&spec), data as usize, call as usize);
+        let core =
+            JobCore::new(spec.tasks, self.pool.worker_lanes(&spec), data as usize, call as usize);
         let handle = self.adopt(core);
         // The scope's share of the descriptor (registered in `adopt` before
         // workers can see the job, so an exiting scope can never miss it)
@@ -1387,10 +1399,7 @@ mod tests {
             for _ in 0..100 {
                 scope.submit(JobSpec::new(4), &task).wait();
             }
-            assert!(
-                lock(&scope.jobs).jobs.len() <= 2,
-                "scope accumulated completed descriptors"
-            );
+            assert!(lock(&scope.jobs).jobs.len() <= 2, "scope accumulated completed descriptors");
         });
         assert_eq!(hits.load(Ordering::Relaxed), 400);
     }

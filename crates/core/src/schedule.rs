@@ -217,7 +217,11 @@ pub fn partition_merge_split<T: Scalar>(matrix: &CsrMatrix<T>, threads: usize) -
 /// Compute the static partition for `strategy` (dynamic row-split has no
 /// static partition and returns one covering range per thread for fallback
 /// purposes).
-pub fn partition<T: Scalar>(matrix: &CsrMatrix<T>, strategy: Strategy, threads: usize) -> Partition {
+pub fn partition<T: Scalar>(
+    matrix: &CsrMatrix<T>,
+    strategy: Strategy,
+    threads: usize,
+) -> Partition {
     match strategy {
         Strategy::RowSplitStatic | Strategy::RowSplitDynamic { .. } => {
             partition_row_split(matrix, threads)
@@ -337,9 +341,7 @@ mod tests {
     #[test]
     fn partitions_with_more_threads_than_rows() {
         let m = generate::banded::<f32>(5, 1, 0);
-        for strategy in
-            [Strategy::RowSplitStatic, Strategy::NnzSplit, Strategy::MergeSplit]
-        {
+        for strategy in [Strategy::RowSplitStatic, Strategy::NnzSplit, Strategy::MergeSplit] {
             let p = partition(&m, strategy, 16);
             assert_eq!(p.len(), 16);
             check_covers_all_rows(&p, 5);

@@ -1,0 +1,47 @@
+//! Multi-engine serving: route a mixed request stream across several
+//! compiled engines sharing one [`crate::WorkerPool`].
+//!
+//! The paper's premise is that JIT compilation is amortized across many
+//! executions of one kernel; a serving system amortizes it one level up,
+//! across many *kernels* sharing one runtime. An [`SpmmServer`] owns N
+//! compiled [`crate::JitSpmm`] engines — different matrices, column counts
+//! and strategies — and accepts a mixed stream of owned requests, each
+//! tagged with the id of the engine that should execute it:
+//!
+//! * every request is validated (engine id, input shape) **before** any
+//!   launch lock or buffer pool is touched, so malformed traffic produces
+//!   [`crate::JitSpmmError`]s, never panics or poisoned engines;
+//! * each engine's requests flow through its own [`crate::BatchStream`]
+//!   pipeline (per-engine launch slots, payloads and spare kernels), fed by
+//!   value via [`crate::BatchStream::push_owned`], so cross-thread producers
+//!   need no `'env` borrows;
+//! * the per-engine lane caps from the runtime keep concurrently in-flight
+//!   engines on **disjoint worker subsets** of the shared pool, so a slow
+//!   engine cannot starve the others;
+//! * results come back in per-engine submission order (and the collecting
+//!   entry points return them sorted by global submission order), each
+//!   tagged with its engine id and sequence numbers;
+//! * a [`ServerReport`] aggregates one per-engine [`crate::BatchReport`]
+//!   (kernel/dispatch p50/p99 through the same bounded reservoir the batch
+//!   layer uses) plus whole-server throughput.
+//!
+//! Three entry points, lowest-level first:
+//!
+//! * [`SpmmServer::session`] — open a [`ServerSession`] inside a pool scope
+//!   and drive it by hand ([`ServerSession::submit`] /
+//!   [`ServerSession::finish`]);
+//! * [`SpmmServer::serve_batch`] — serve a pre-collected `Vec` of requests;
+//! * [`SpmmServer::serve_stream`] — spawn a producer thread that feeds a
+//!   bounded [`RequestQueue`] while the calling thread routes, the
+//!   cross-thread configuration a real ingestion path has.
+
+mod queue;
+mod report;
+mod server;
+
+#[cfg(test)]
+mod server_tests;
+
+pub use queue::{RequestQueue, RequestSender, ServerRequest};
+pub use report::ServerReport;
+pub use server::{ServerResponse, ServerSession, SpmmServer};

@@ -1,0 +1,261 @@
+//! The bounded request queue between producer threads and the serving loop.
+
+use crate::runtime::pool::lock;
+use jitspmm_sparse::{DenseMatrix, Scalar};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One serving request: a dense input tagged with the id of the engine that
+/// should execute it (an index into the server's engine list).
+#[derive(Debug)]
+pub struct ServerRequest<T: Scalar> {
+    /// Which of the server's engines this request targets.
+    pub engine: usize,
+    /// The dense right-hand side, owned — producers hand inputs over by
+    /// value, so no borrow ties them to the serving scope.
+    pub input: DenseMatrix<T>,
+}
+
+struct QueueState<T: Scalar> {
+    items: VecDeque<ServerRequest<T>>,
+    /// Live [`RequestSender`] clones; the queue ends when this reaches zero
+    /// and the items drain.
+    senders: usize,
+    /// Set by [`RequestQueue::close`] (or the receiver's drop): pending and
+    /// future sends are refused so blocked producers unwedge immediately.
+    closed: bool,
+}
+
+struct QueueShared<T: Scalar> {
+    state: Mutex<QueueState<T>>,
+    /// Producers park here while the queue is at capacity.
+    not_full: Condvar,
+    /// The receiver parks here while the queue is empty.
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+/// The producer side of a bounded request queue, created by
+/// [`RequestQueue::bounded`]. Clone it freely — one per producer thread —
+/// and drop every clone to signal the end of the stream.
+pub struct RequestSender<T: Scalar> {
+    shared: Arc<QueueShared<T>>,
+}
+
+impl<T: Scalar> RequestSender<T> {
+    /// Enqueue a request, blocking while the queue is at capacity
+    /// (backpressure: producers cannot run unboundedly ahead of the serving
+    /// loop). Returns `false` — handing nothing over — once the receiving
+    /// side has closed the queue (the serving loop ended or aborted), so a
+    /// producer loop can simply stop.
+    #[must_use = "a false return means the queue is closed and the request was dropped"]
+    pub fn send(&self, engine: usize, input: DenseMatrix<T>) -> bool {
+        let mut state = lock(&self.shared.state);
+        loop {
+            if state.closed {
+                return false;
+            }
+            if state.items.len() < self.shared.capacity {
+                state.items.push_back(ServerRequest { engine, input });
+                self.shared.not_empty.notify_one();
+                return true;
+            }
+            state =
+                self.shared.not_full.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+impl<T: Scalar> Clone for RequestSender<T> {
+    fn clone(&self) -> RequestSender<T> {
+        lock(&self.shared.state).senders += 1;
+        RequestSender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T: Scalar> Drop for RequestSender<T> {
+    fn drop(&mut self) {
+        let mut state = lock(&self.shared.state);
+        state.senders -= 1;
+        if state.senders == 0 {
+            // Stream over: wake the receiver so it can observe the end, and
+            // any sibling senders mid-wait (there are none, but a spurious
+            // wake is harmless).
+            drop(state);
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for RequestSender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestSender").finish_non_exhaustive()
+    }
+}
+
+/// The receiving side of a bounded multi-producer request queue: the channel
+/// between request producers (any number of threads) and the serving loop
+/// that routes into engine pipelines.
+///
+/// Bounded on purpose — the queue is the server's admission control. A full
+/// queue blocks producers ([`RequestSender::send`]) instead of buffering
+/// without limit, and the serving loop drains it in arrival order.
+pub struct RequestQueue<T: Scalar> {
+    shared: Arc<QueueShared<T>>,
+}
+
+impl<T: Scalar> RequestQueue<T> {
+    /// Create a queue holding at most `capacity` requests (clamped to at
+    /// least 1), returning the first sender and the receiver.
+    pub fn bounded(capacity: usize) -> (RequestSender<T>, RequestQueue<T>) {
+        let shared = Arc::new(QueueShared {
+            state: Mutex::new(QueueState { items: VecDeque::new(), senders: 1, closed: false }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        (RequestSender { shared: Arc::clone(&shared) }, RequestQueue { shared })
+    }
+
+    /// Dequeue the oldest request, blocking while the queue is empty.
+    /// Returns `None` once every sender is gone and the queue has drained —
+    /// the end of the stream — or immediately after [`RequestQueue::close`].
+    pub fn recv(&self) -> Option<ServerRequest<T>> {
+        let mut state = lock(&self.shared.state);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.shared.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed || state.senders == 0 {
+                return None;
+            }
+            state =
+                self.shared.not_empty.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Close the queue from the receiving side: pending requests are
+    /// discarded, blocked and future [`RequestSender::send`] calls return
+    /// `false` immediately, and [`RequestQueue::recv`] returns `None`. The
+    /// serving loop calls this before propagating an error so producers
+    /// blocked on a full queue can never deadlock against a receiver that
+    /// has stopped receiving. Dropping the queue closes it too.
+    pub fn close(&self) {
+        let mut state = lock(&self.shared.state);
+        state.closed = true;
+        state.items.clear();
+        drop(state);
+        self.shared.not_full.notify_all();
+        self.shared.not_empty.notify_all();
+    }
+}
+
+impl<T: Scalar> Drop for RequestQueue<T> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for RequestQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = lock(&self.shared.state);
+        f.debug_struct("RequestQueue")
+            .field("queued", &state.items.len())
+            .field("capacity", &self.shared.capacity)
+            .field("senders", &state.senders)
+            .field("closed", &state.closed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn request(seed: u64) -> DenseMatrix<f32> {
+        DenseMatrix::random(4, 2, seed)
+    }
+
+    #[test]
+    fn requests_arrive_in_order_across_producers() {
+        let (sender, queue) = RequestQueue::<f32>::bounded(4);
+        let received = std::thread::scope(|scope| {
+            let s2 = sender.clone();
+            scope.spawn(move || {
+                for i in 0..20 {
+                    assert!(s2.send(0, request(i)));
+                }
+            });
+            scope.spawn(move || {
+                for i in 0..20 {
+                    assert!(sender.send(1, request(100 + i)));
+                }
+            });
+            let mut per_engine = [0usize; 2];
+            while let Some(req) = queue.recv() {
+                per_engine[req.engine] += 1;
+            }
+            per_engine
+        });
+        assert_eq!(received, [20, 20]);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        let (sender, queue) = RequestQueue::<f32>::bounded(2);
+        let enqueued = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            let counter = Arc::clone(&enqueued);
+            scope.spawn(move || {
+                for i in 0..6 {
+                    assert!(sender.send(0, request(i)));
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            // Give the producer time to run ahead; the bound must stop it
+            // at capacity while nothing is consumed.
+            std::thread::sleep(Duration::from_millis(50));
+            assert!(
+                enqueued.load(Ordering::SeqCst) <= 3,
+                "producer ran past the queue bound (capacity 2 + 1 in-flight send)"
+            );
+            let mut total = 0;
+            while let Some(_req) = queue.recv() {
+                total += 1;
+            }
+            assert_eq!(total, 6);
+        });
+    }
+
+    #[test]
+    fn close_unblocks_producers_and_refuses_sends() {
+        let (sender, queue) = RequestQueue::<f32>::bounded(1);
+        assert!(sender.send(0, request(1)));
+        std::thread::scope(|scope| {
+            let s = sender.clone();
+            let blocked = scope.spawn(move || s.send(0, request(2)));
+            std::thread::sleep(Duration::from_millis(20));
+            queue.close();
+            // The blocked producer must return false, not hang.
+            assert!(!blocked.join().unwrap());
+        });
+        assert!(!sender.send(0, request(3)), "closed queue must refuse new sends");
+        assert!(queue.recv().is_none(), "closed queue must not hand out stale items");
+    }
+
+    #[test]
+    fn dropping_all_senders_ends_the_stream() {
+        let (sender, queue) = RequestQueue::<f32>::bounded(4);
+        let clone = sender.clone();
+        assert!(sender.send(0, request(1)));
+        drop(sender);
+        assert!(clone.send(0, request(2)));
+        drop(clone);
+        assert!(queue.recv().is_some());
+        assert!(queue.recv().is_some());
+        assert!(queue.recv().is_none(), "drained queue with no senders ends the stream");
+    }
+}

@@ -1,0 +1,73 @@
+//! Aggregated serving statistics: one [`BatchReport`] per engine plus
+//! whole-server throughput.
+
+use crate::engine::BatchReport;
+use std::time::Duration;
+
+/// Aggregated timing for one serving run, returned by
+/// [`crate::serve::ServerSession::finish`] (and the collecting entry points
+/// built on it).
+///
+/// Per-engine statistics reuse the batch layer's [`BatchReport`] — the same
+/// bounded-reservoir kernel/dispatch p50/p99 a single-engine batch reports —
+/// indexed by engine id, so a serving dashboard can tell *which* engine's
+/// tail is misbehaving. The whole-server numbers (`requests`, `elapsed`,
+/// [`ServerReport::throughput`]) span the mixed stream end to end.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Total requests executed, across all engines.
+    pub requests: usize,
+    /// Wall-clock time from the first submission to the last join.
+    pub elapsed: Duration,
+    /// Per-engine batch statistics, indexed by engine id. An engine that
+    /// received no requests reports `inputs == 0`.
+    pub per_engine: Vec<BatchReport>,
+}
+
+impl ServerReport {
+    /// Requests completed per second of serving wall-clock time, across all
+    /// engines. Guarded exactly like [`BatchReport::throughput`]: an empty
+    /// run and a run whose wall clock rounds to zero both report `0.0`
+    /// rather than dividing by zero.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 || self.requests == 0 {
+            0.0
+        } else {
+            self.requests as f64 / secs
+        }
+    }
+
+    /// The batch statistics of one engine, if the id is valid.
+    pub fn engine(&self, id: usize) -> Option<&BatchReport> {
+        self.per_engine.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_guards_empty_and_zero_duration_runs() {
+        // Empty run: no requests, regardless of the clock.
+        let empty =
+            ServerReport { requests: 0, elapsed: Duration::from_millis(3), per_engine: Vec::new() };
+        assert_eq!(empty.throughput(), 0.0);
+        // Zero-duration run: a tiny mixed stream whose wall clock rounds to
+        // zero must not produce inf/NaN.
+        let instant = ServerReport { requests: 5, elapsed: Duration::ZERO, per_engine: Vec::new() };
+        assert_eq!(instant.throughput(), 0.0);
+        assert!(instant.throughput().is_finite());
+        // The regular case still computes a rate.
+        let normal =
+            ServerReport { requests: 8, elapsed: Duration::from_secs(4), per_engine: Vec::new() };
+        assert!((normal.throughput() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engine_lookup_is_bounds_checked() {
+        let report = ServerReport { requests: 0, elapsed: Duration::ZERO, per_engine: Vec::new() };
+        assert!(report.engine(0).is_none());
+    }
+}

@@ -1,0 +1,449 @@
+//! The [`SpmmServer`]: N compiled engines, one pool, one mixed request
+//! stream.
+
+use crate::engine::{BatchStream, ExecutionReport, JitSpmm};
+use crate::error::JitSpmmError;
+use crate::runtime::{PoolScope, PooledMatrix, WorkerPool};
+use crate::serve::queue::{RequestQueue, RequestSender, ServerRequest};
+use crate::serve::report::ServerReport;
+use jitspmm_sparse::{DenseMatrix, Scalar};
+use std::collections::VecDeque;
+use std::panic::resume_unwind;
+use std::time::Instant;
+
+/// A multi-engine serving router: owns N compiled [`JitSpmm`] engines —
+/// different matrices, column counts, strategies — that share one
+/// [`WorkerPool`], and routes a mixed stream of engine-tagged requests to
+/// their per-engine batch pipelines.
+///
+/// Each engine's launches are lane-capped to its configured thread count, so
+/// requests for different engines execute **concurrently on disjoint worker
+/// subsets** of the shared pool instead of serializing; within one engine,
+/// requests pipeline through that engine's [`BatchStream`] and come back in
+/// submission order.
+///
+/// ```
+/// use jitspmm::serve::{ServerRequest, SpmmServer};
+/// use jitspmm::{JitSpmmBuilder, WorkerPool};
+/// use jitspmm_sparse::{generate, DenseMatrix};
+///
+/// # fn main() -> Result<(), jitspmm::JitSpmmError> {
+/// let pool = WorkerPool::new(2);
+/// let a = generate::uniform::<f32>(96, 96, 800, 1);
+/// let b = generate::uniform::<f32>(64, 80, 500, 2);
+/// let server = SpmmServer::new(vec![
+///     JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&a, 8)?,
+///     JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&b, 4)?,
+/// ])?;
+/// // A mixed, interleaved request stream: engine ids tag each input.
+/// let requests: Vec<ServerRequest<f32>> = (0..6)
+///     .map(|i| {
+///         let engine = i % 2;
+///         let input = if engine == 0 {
+///             DenseMatrix::random(96, 8, 10 + i as u64)
+///         } else {
+///             DenseMatrix::random(80, 4, 20 + i as u64)
+///         };
+///         ServerRequest { engine, input }
+///     })
+///     .collect();
+/// let (responses, report) = server.serve_batch(0, requests)?;
+/// assert_eq!(responses.len(), 6);
+/// assert_eq!(report.requests, 6);
+/// for r in &responses {
+///     let reference = if r.engine == 0 { &a } else { &b };
+///     // (Re-deriving the inputs from the seeds above.)
+///     # let input = if r.engine == 0 {
+///     #     DenseMatrix::random(96, 8, 10 + r.request as u64)
+///     # } else {
+///     #     DenseMatrix::random(80, 4, 20 + r.request as u64)
+///     # };
+///     assert!(r.output.approx_eq(&reference.spmm_reference(&input), 1e-4));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub struct SpmmServer<'a, T: Scalar> {
+    engines: Vec<JitSpmm<'a, T>>,
+    pool: WorkerPool,
+}
+
+impl<T: Scalar> std::fmt::Debug for SpmmServer<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpmmServer")
+            .field("engines", &self.engines.len())
+            .field("pool_workers", &self.pool.size())
+            .finish()
+    }
+}
+
+impl<'a, T: Scalar> SpmmServer<'a, T> {
+    /// Build a server over `engines`. Engine ids are the indices into this
+    /// vector, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JitSpmmError::InvalidConfig`] if `engines` is empty or if
+    /// the engines do not all execute on the **same** [`WorkerPool`] — the
+    /// disjoint-lane overlap the router promises only holds within one pool
+    /// (build every engine with [`crate::JitSpmmBuilder::pool`] on clones of
+    /// one pool).
+    pub fn new(engines: Vec<JitSpmm<'a, T>>) -> Result<SpmmServer<'a, T>, JitSpmmError> {
+        let Some(first) = engines.first() else {
+            return Err(JitSpmmError::InvalidConfig(
+                "an SpmmServer needs at least one engine".to_string(),
+            ));
+        };
+        let pool = first.pool().clone();
+        if let Some(stray) = engines.iter().position(|e| !e.pool().same_pool(&pool)) {
+            return Err(JitSpmmError::InvalidConfig(format!(
+                "engine {stray} executes on a different worker pool; all of a server's \
+                 engines must share one pool"
+            )));
+        }
+        Ok(SpmmServer { engines, pool })
+    }
+
+    /// The engines this server routes to, in id order.
+    pub fn engines(&self) -> &[JitSpmm<'a, T>] {
+        &self.engines
+    }
+
+    /// The shared worker pool every engine executes on.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Open a [`ServerSession`] inside `scope`: one [`BatchStream`] per
+    /// engine (each holding its engine's launch lock until the session ends),
+    /// ready to route requests. `depth` is the per-engine pipeline depth,
+    /// with the same auto semantics as [`JitSpmm::batch_stream`] (`0` =
+    /// default depth, sequential fast path on hosts with nothing to
+    /// overlap).
+    ///
+    /// This is the low-level entry point; [`SpmmServer::serve_batch`] and
+    /// [`SpmmServer::serve_stream`] drive a session for you.
+    ///
+    /// # Errors
+    ///
+    /// [`JitSpmmError::LaunchInProgress`] if the calling thread already
+    /// holds a launch of any engine, or a codegen error from compiling spare
+    /// slot kernels.
+    pub fn session<'scope, 'env>(
+        &'env self,
+        scope: &'scope PoolScope<'scope, 'env>,
+        depth: usize,
+    ) -> Result<ServerSession<'scope, 'env, T>, JitSpmmError> {
+        let mut streams = Vec::with_capacity(self.engines.len());
+        for engine in &self.engines {
+            // A failure midway (a held launch lock, codegen) drops the
+            // streams opened so far, releasing their engines.
+            streams.push(engine.batch_stream(scope, depth)?);
+        }
+        let engines = self.engines.len();
+        Ok(ServerSession {
+            engines: &self.engines,
+            streams,
+            pending: vec![VecDeque::new(); engines],
+            completed: vec![0; engines],
+            next_request: 0,
+            started: None,
+        })
+    }
+
+    /// Serve a pre-collected mixed request batch: validate **every** request
+    /// (engine id and input shape) before any launch lock is taken, route
+    /// them through per-engine pipelines, and return all responses sorted by
+    /// global submission order, plus the aggregated [`ServerReport`].
+    ///
+    /// `depth` is the per-engine pipeline depth (`0` = auto, as
+    /// [`JitSpmm::batch_stream`]).
+    ///
+    /// # Errors
+    ///
+    /// [`JitSpmmError::UnknownEngine`] (carrying the offending engine id) or
+    /// [`JitSpmmError::ShapeMismatch`] (naming the offending request index)
+    /// if any request is malformed — nothing is launched in that case — and
+    /// [`JitSpmmError::LaunchInProgress`] if the calling thread already
+    /// holds a launch of one of the engines.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic of the run after joining the
+    /// launches still in flight; the engines stay usable afterwards.
+    pub fn serve_batch(
+        &self,
+        depth: usize,
+        requests: Vec<ServerRequest<T>>,
+    ) -> Result<(Vec<ServerResponse<T>>, ServerReport), JitSpmmError> {
+        // Hoisted whole-batch validation: a malformed request fails the call
+        // before any engine's launch lock or buffer pool is touched.
+        for (index, request) in requests.iter().enumerate() {
+            self.validate(request).map_err(|e| match e {
+                JitSpmmError::ShapeMismatch(msg) => JitSpmmError::ShapeMismatch(format!(
+                    "request {index} (engine {}): {msg}",
+                    request.engine
+                )),
+                other => other,
+            })?;
+        }
+        // The caller receives every response at once: let each engine's
+        // buffer pool retain that many spares, so repeated serving rounds
+        // recycle their output buffers instead of re-allocating. (Only once
+        // the batch is actually going to run — a failed call must not mutate
+        // engine state.)
+        let mut per_engine_count = vec![0usize; self.engines.len()];
+        for request in &requests {
+            per_engine_count[request.engine] += 1;
+        }
+        for (engine, count) in self.engines.iter().zip(per_engine_count) {
+            engine.reserve_outputs(count);
+        }
+        self.pool.scope(|scope| {
+            let mut session = self.session(scope, depth)?;
+            let mut responses = Vec::with_capacity(requests.len());
+            for request in requests {
+                // Validation was hoisted above; don't pay it again per
+                // request on the routing path.
+                if let Some(done) = session.submit_validated(request.engine, request.input) {
+                    responses.push(done);
+                }
+            }
+            let (rest, report) = session.finish();
+            responses.extend(rest);
+            responses.sort_by_key(|r| r.request);
+            Ok((responses, report))
+        })
+    }
+
+    /// Serve a request stream produced on another thread: `producer` runs on
+    /// a fresh thread with the sending side of a bounded [`RequestQueue`]
+    /// (capacity `queue_capacity`; sends block when the serving loop falls
+    /// behind — admission control, not unbounded buffering), while the
+    /// calling thread routes arrivals into the per-engine pipelines as they
+    /// come in. The stream ends when the producer drops its last
+    /// [`RequestSender`] clone; the call returns every response sorted by
+    /// global submission order, the aggregated [`ServerReport`], and the
+    /// producer's return value.
+    ///
+    /// # Errors
+    ///
+    /// A malformed request ([`JitSpmmError::UnknownEngine`] /
+    /// [`JitSpmmError::ShapeMismatch`]) aborts the serve: the queue is
+    /// closed — unblocking any producer mid-`send`, whose subsequent sends
+    /// return `false` — in-flight launches are joined, and the error is
+    /// returned after the producer thread has finished.
+    /// [`JitSpmmError::LaunchInProgress`] as for
+    /// [`SpmmServer::serve_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker panic (after joining the remaining launches) or a
+    /// producer panic; either way the queue is closed first so no thread is
+    /// left blocked.
+    pub fn serve_stream<P, R>(
+        &self,
+        depth: usize,
+        queue_capacity: usize,
+        producer: P,
+    ) -> Result<(Vec<ServerResponse<T>>, ServerReport, R), JitSpmmError>
+    where
+        P: FnOnce(RequestSender<T>) -> R + Send,
+        R: Send,
+    {
+        let (sender, queue) = RequestQueue::bounded(queue_capacity);
+        std::thread::scope(|threads| {
+            // Close the queue on *every* exit from this frame — normal
+            // return, validation error, or a panic unwinding through it —
+            // before `thread::scope` joins the producer, which may be
+            // blocked in `send` on a full queue.
+            let _close = CloseOnExit(&queue);
+            let producer_thread = threads.spawn(move || producer(sender));
+            let served = self.pool.scope(|scope| -> Result<_, JitSpmmError> {
+                let mut session = self.session(scope, depth)?;
+                let mut responses = Vec::new();
+                while let Some(request) = queue.recv() {
+                    if let Some(done) = session.submit(request.engine, request.input)? {
+                        responses.push(done);
+                    }
+                }
+                let (rest, report) = session.finish();
+                responses.extend(rest);
+                Ok((responses, report))
+            });
+            queue.close();
+            let produced = match producer_thread.join() {
+                Ok(value) => value,
+                Err(payload) => resume_unwind(payload),
+            };
+            served.map(|(mut responses, report)| {
+                responses.sort_by_key(|r| r.request);
+                (responses, report, produced)
+            })
+        })
+    }
+
+    /// Validate one request — engine id, then input shape — without touching
+    /// any engine state.
+    fn validate(&self, request: &ServerRequest<T>) -> Result<(), JitSpmmError> {
+        let engine = self.engines.get(request.engine).ok_or(JitSpmmError::UnknownEngine {
+            requested: request.engine,
+            engines: self.engines.len(),
+        })?;
+        engine.check_input_shape(&request.input)
+    }
+}
+
+/// Closes the borrowed queue when dropped; see [`SpmmServer::serve_stream`].
+struct CloseOnExit<'q, T: Scalar>(&'q RequestQueue<T>);
+
+impl<T: Scalar> Drop for CloseOnExit<'_, T> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// One completed serving request, tagged with where it came from and where
+/// it ran.
+#[derive(Debug)]
+pub struct ServerResponse<T: Scalar> {
+    /// The engine that executed the request.
+    pub engine: usize,
+    /// Per-engine submission index (the `index`-th request routed to this
+    /// engine); responses of one engine always arrive in this order.
+    pub index: usize,
+    /// Global submission sequence number across the whole session, assigned
+    /// in [`ServerSession::submit`] order. The collecting entry points sort
+    /// their result by this field.
+    pub request: usize,
+    /// The computed `Y = A_engine * X`, borrowed from the engine's buffer
+    /// pool (dropping it recycles the buffer).
+    pub output: PooledMatrix<T>,
+    /// Per-launch timing, as the batch layer reports it.
+    pub report: ExecutionReport,
+}
+
+/// An open serving session, created by [`SpmmServer::session`]: one
+/// [`BatchStream`] per engine, plus the request bookkeeping that tags every
+/// response with its engine id and sequence numbers.
+///
+/// The session holds **every** engine's launch lock until it is finished or
+/// dropped (dropping joins all in-flight launches and discards their
+/// results). Submit with [`ServerSession::submit`]; drain with
+/// [`ServerSession::finish`].
+pub struct ServerSession<'scope, 'env, T: Scalar> {
+    engines: &'env [JitSpmm<'env, T>],
+    /// One pipeline per engine, indexed by engine id. Launch payload slots,
+    /// output buffers and spare kernels are all per-engine-slot state owned
+    /// by the individual streams.
+    streams: Vec<BatchStream<'scope, 'env, T>>,
+    /// Global sequence numbers of each engine's in-flight requests, oldest
+    /// first (per-engine completion is oldest-first, so the front is always
+    /// the next to finish).
+    pending: Vec<VecDeque<usize>>,
+    /// Per-engine count of completed responses handed out so far.
+    completed: Vec<usize>,
+    /// Next global submission sequence number.
+    next_request: usize,
+    /// First-submission timestamp, for the whole-server wall clock.
+    started: Option<Instant>,
+}
+
+impl<T: Scalar> std::fmt::Debug for ServerSession<'_, '_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerSession")
+            .field("engines", &self.streams.len())
+            .field("submitted", &self.next_request)
+            .finish()
+    }
+}
+
+impl<T: Scalar> ServerSession<'_, '_, T> {
+    /// Route one owned request to engine `engine`. If that engine's pipeline
+    /// is at depth, the oldest in-flight launch **of that engine** is waited
+    /// for first and its response returned; otherwise the call does not
+    /// block and returns `None`. Responses of other engines are never
+    /// returned here — they surface when their own engine is pushed again,
+    /// or at [`ServerSession::finish`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JitSpmmError::UnknownEngine`] for an out-of-range engine id
+    /// and [`JitSpmmError::ShapeMismatch`] if the input is not that engine's
+    /// `A.ncols() x d` — both checked before any launch state is touched;
+    /// the rejected input is dropped and the session continues unharmed.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker panic from the completed launch (the session is
+    /// then dropped by unwinding, which joins all remaining launches and
+    /// releases every engine).
+    pub fn submit(
+        &mut self,
+        engine: usize,
+        input: DenseMatrix<T>,
+    ) -> Result<Option<ServerResponse<T>>, JitSpmmError> {
+        if engine >= self.streams.len() {
+            return Err(JitSpmmError::UnknownEngine {
+                requested: engine,
+                engines: self.streams.len(),
+            });
+        }
+        self.engines[engine].check_input_shape(&input)?;
+        Ok(self.submit_validated(engine, input))
+    }
+
+    /// [`ServerSession::submit`] for pre-validated requests —
+    /// [`SpmmServer::serve_batch`] hoists the whole-batch validation out of
+    /// the routing loop, mirroring the batch layer's
+    /// `push_validated`/`push_owned_validated` split.
+    pub(crate) fn submit_validated(
+        &mut self,
+        engine: usize,
+        input: DenseMatrix<T>,
+    ) -> Option<ServerResponse<T>> {
+        self.started.get_or_insert_with(Instant::now);
+        self.pending[engine].push_back(self.next_request);
+        self.next_request += 1;
+        let done = self.streams[engine].push_owned_validated(input);
+        done.map(|(output, report)| {
+            let request =
+                self.pending[engine].pop_front().expect("completed launches were submitted");
+            let index = self.completed[engine];
+            self.completed[engine] += 1;
+            ServerResponse { engine, index, request, output, report }
+        })
+    }
+
+    /// Number of requests submitted so far, across all engines.
+    pub fn submitted(&self) -> usize {
+        self.next_request
+    }
+
+    /// Drain every engine's pipeline (in engine-id order, oldest launch
+    /// first within each) and aggregate the [`ServerReport`]. The returned
+    /// responses are the ones not already handed out by
+    /// [`ServerSession::submit`], in per-engine submission order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic among the remaining launches, after
+    /// all of them have been joined.
+    pub fn finish(mut self) -> (Vec<ServerResponse<T>>, ServerReport) {
+        let mut responses = Vec::new();
+        let mut per_engine = Vec::with_capacity(self.streams.len());
+        for (engine, stream) in self.streams.drain(..).enumerate() {
+            let (rest, report) = stream.finish();
+            for (output, exec) in rest {
+                let request =
+                    self.pending[engine].pop_front().expect("completed launches were submitted");
+                let index = self.completed[engine];
+                self.completed[engine] += 1;
+                responses.push(ServerResponse { engine, index, request, output, report: exec });
+            }
+            per_engine.push(report);
+        }
+        let elapsed = self.started.map(|t| t.elapsed()).unwrap_or_default();
+        (responses, ServerReport { requests: self.next_request, elapsed, per_engine })
+    }
+}

@@ -1,0 +1,293 @@
+//! Unit tests for the serving router (split out of `server.rs` to keep
+//! the layer files readable).
+
+use super::server::*;
+use crate::engine::JitSpmm;
+use crate::engine::JitSpmmBuilder;
+use crate::error::JitSpmmError;
+use crate::runtime::WorkerPool;
+use crate::schedule::Strategy;
+use crate::serve::queue::ServerRequest;
+use jitspmm_asm::CpuFeatures;
+use jitspmm_sparse::DenseMatrix;
+use jitspmm_sparse::{generate, CsrMatrix};
+
+fn host_ok() -> bool {
+    let f = CpuFeatures::detect();
+    f.avx && f.has_fma()
+}
+
+fn matrices() -> Vec<CsrMatrix<f32>> {
+    vec![
+        generate::uniform::<f32>(120, 100, 1_000, 1),
+        generate::rmat::<f32>(7, 1_500, generate::RmatConfig::GRAPH500, 2),
+        generate::uniform::<f32>(60, 60, 400, 3),
+    ]
+}
+
+/// Engines over `matrices()` with heterogeneous d and strategies, all on
+/// one pool.
+fn build_engines<'m>(pool: &WorkerPool, matrices: &'m [CsrMatrix<f32>]) -> Vec<JitSpmm<'m, f32>> {
+    matrices
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let strategy = if i % 2 == 0 {
+                Strategy::RowSplitDynamic { batch: 16 }
+            } else {
+                Strategy::RowSplitStatic
+            };
+            JitSpmmBuilder::new()
+                .pool(pool.clone())
+                .threads(1)
+                .strategy(strategy)
+                .build(m, 4 + 4 * i)
+                .unwrap()
+        })
+        .collect()
+}
+
+fn input_for(m: &CsrMatrix<f32>, d: usize, seed: u64) -> DenseMatrix<f32> {
+    DenseMatrix::random(m.ncols(), d, seed)
+}
+
+#[test]
+fn server_requires_a_shared_pool() {
+    if !host_ok() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let ms = matrices();
+    let pool_a = WorkerPool::new(1);
+    let pool_b = WorkerPool::new(1);
+    let engines = vec![
+        JitSpmmBuilder::new().pool(pool_a.clone()).build(&ms[0], 4).unwrap(),
+        JitSpmmBuilder::new().pool(pool_b.clone()).build(&ms[1], 4).unwrap(),
+    ];
+    assert!(matches!(SpmmServer::new(engines).unwrap_err(), JitSpmmError::InvalidConfig(_)));
+    assert!(matches!(
+        SpmmServer::<f32>::new(Vec::new()).unwrap_err(),
+        JitSpmmError::InvalidConfig(_)
+    ));
+    // Clones of one pool are the same pool.
+    let engines = vec![
+        JitSpmmBuilder::new().pool(pool_a.clone()).build(&ms[0], 4).unwrap(),
+        JitSpmmBuilder::new().pool(pool_a.clone()).build(&ms[1], 4).unwrap(),
+    ];
+    assert!(SpmmServer::new(engines).is_ok());
+}
+
+#[test]
+fn mixed_stream_matches_per_engine_sequential_execution() {
+    if !host_ok() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let ms = matrices();
+    let pool = WorkerPool::new(2);
+    let engines = build_engines(&pool, &ms);
+    // Reference: each request through its engine's blocking execute.
+    let requests: Vec<ServerRequest<f32>> = (0..12)
+        .map(|i| {
+            let engine = i % engines.len();
+            ServerRequest {
+                engine,
+                input: input_for(&ms[engine], engines[engine].d(), 700 + i as u64),
+            }
+        })
+        .collect();
+    let expected: Vec<DenseMatrix<f32>> = requests
+        .iter()
+        .map(|r| engines[r.engine].execute(&r.input).unwrap().0.into_dense())
+        .collect();
+    let server = SpmmServer::new(engines).unwrap();
+    let (responses, report) = server.serve_batch(0, requests).unwrap();
+    assert_eq!(responses.len(), expected.len());
+    assert_eq!(report.requests, expected.len());
+    assert_eq!(report.per_engine.len(), 3);
+    for (i, response) in responses.iter().enumerate() {
+        assert_eq!(response.request, i, "responses are sorted by global order");
+        assert_eq!(response.engine, i % 3);
+        assert_eq!(
+            *response.output, expected[i],
+            "request {i} must be bit-identical to sequential execution"
+        );
+    }
+    // Per-engine order: the k-th response of engine e has index k.
+    for e in 0..3 {
+        let indices: Vec<usize> =
+            responses.iter().filter(|r| r.engine == e).map(|r| r.index).collect();
+        assert_eq!(indices, (0..indices.len()).collect::<Vec<_>>());
+        assert_eq!(report.per_engine[e].inputs, indices.len());
+    }
+}
+
+#[test]
+fn serve_stream_routes_cross_thread_producers() {
+    if !host_ok() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let ms = matrices();
+    let pool = WorkerPool::new(2);
+    let engines = build_engines(&pool, &ms);
+    let dims: Vec<usize> = engines.iter().map(|e| e.d()).collect();
+    let expected: Vec<DenseMatrix<f32>> = (0..10)
+        .map(|i| {
+            let e = i % engines.len();
+            engines[e].execute(&input_for(&ms[e], dims[e], 800 + i as u64)).unwrap().0.into_dense()
+        })
+        .collect();
+    let server = SpmmServer::new(engines).unwrap();
+    let ms_ref = &ms;
+    let dims_ref = &dims;
+    let (responses, report, produced) = server
+        .serve_stream(0, 3, move |sender| {
+            let mut sent = 0usize;
+            for i in 0..10usize {
+                let e = i % dims_ref.len();
+                if sender.send(e, input_for(&ms_ref[e], dims_ref[e], 800 + i as u64)) {
+                    sent += 1;
+                }
+            }
+            sent
+        })
+        .unwrap();
+    assert_eq!(produced, 10);
+    assert_eq!(report.requests, 10);
+    assert_eq!(responses.len(), 10);
+    for (i, response) in responses.iter().enumerate() {
+        assert_eq!(*response.output, expected[i], "streamed request {i} diverged");
+    }
+    assert!(report.elapsed >= report.per_engine.iter().map(|r| r.elapsed).max().unwrap());
+}
+
+#[test]
+fn session_validates_before_touching_engine_state() {
+    if !host_ok() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let ms = matrices();
+    let pool = WorkerPool::new(2);
+    let engines = build_engines(&pool, &ms);
+    let d0 = engines[0].d();
+    let server = SpmmServer::new(engines).unwrap();
+    server.pool().clone().scope(|scope| {
+        let mut session = server.session(scope, 2).unwrap();
+        // Unknown engine id: refused, nothing submitted.
+        assert!(matches!(
+            session.submit(7, input_for(&ms[0], d0, 1)).unwrap_err(),
+            JitSpmmError::UnknownEngine { requested: 7, engines: 3 }
+        ));
+        // Wrong shape for engine 0: refused, session unharmed.
+        assert!(matches!(
+            session.submit(0, DenseMatrix::<f32>::zeros(5, 5)).unwrap_err(),
+            JitSpmmError::ShapeMismatch(_)
+        ));
+        assert_eq!(session.submitted(), 0);
+        // The session still serves fine afterwards.
+        let good = input_for(&ms[0], d0, 2);
+        let expected = server.engines()[0].matrix().spmm_reference(&good);
+        session.submit(0, good).unwrap();
+        let (rest, report) = session.finish();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(report.requests, 1);
+        assert!(rest[0].output.approx_eq(&expected, 1e-4));
+    });
+}
+
+#[test]
+fn serve_batch_rejects_malformed_requests_up_front() {
+    if !host_ok() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let ms = matrices();
+    let pool = WorkerPool::new(2);
+    let engines = build_engines(&pool, &ms);
+    let d0 = engines[0].d();
+    let server = SpmmServer::new(engines).unwrap();
+    // A wrong-shape request mid-batch fails the whole call, naming the
+    // request, before anything launches.
+    let requests = vec![
+        ServerRequest { engine: 0, input: input_for(&ms[0], d0, 1) },
+        ServerRequest { engine: 0, input: DenseMatrix::<f32>::zeros(3, 3) },
+    ];
+    match server.serve_batch(0, requests).unwrap_err() {
+        JitSpmmError::ShapeMismatch(msg) => {
+            assert!(msg.contains("request 1"), "should name the request: {msg}")
+        }
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+    // An unknown engine id likewise.
+    let requests = vec![ServerRequest { engine: 9, input: input_for(&ms[0], d0, 1) }];
+    assert!(matches!(
+        server.serve_batch(0, requests).unwrap_err(),
+        JitSpmmError::UnknownEngine { requested: 9, engines: 3 }
+    ));
+    // And the server still works.
+    let good = vec![ServerRequest { engine: 0, input: input_for(&ms[0], d0, 2) }];
+    let (responses, _) = server.serve_batch(0, good).unwrap();
+    assert_eq!(responses.len(), 1);
+}
+
+#[test]
+fn serve_stream_error_unblocks_producers() {
+    if !host_ok() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let ms = matrices();
+    let pool = WorkerPool::new(2);
+    let engines = build_engines(&pool, &ms);
+    let d0 = engines[0].d();
+    let server = SpmmServer::new(engines).unwrap();
+    let ms_ref = &ms;
+    // The second request is malformed; the producer keeps trying to send
+    // on a tiny queue and must terminate (sends returning false) instead
+    // of deadlocking against an aborted serving loop.
+    let result = server.serve_stream(0, 1, move |sender| {
+        let mut refused = 0usize;
+        for i in 0..50usize {
+            let input = if i == 1 {
+                DenseMatrix::<f32>::zeros(2, 2)
+            } else {
+                input_for(&ms_ref[0], d0, i as u64)
+            };
+            if !sender.send(0, input) {
+                refused += 1;
+            }
+        }
+        refused
+    });
+    assert!(matches!(result.unwrap_err(), JitSpmmError::ShapeMismatch(_)));
+    // The engines remain usable.
+    let x = input_for(&ms[0], d0, 99);
+    let (y, _) = server.engines()[0].execute(&x).unwrap();
+    assert!(y.approx_eq(&ms[0].spmm_reference(&x), 1e-4));
+}
+
+#[test]
+fn single_engine_server_is_just_a_batch() {
+    if !host_ok() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let m = generate::uniform::<f32>(80, 80, 600, 9);
+    let pool = WorkerPool::new(2);
+    let engine = JitSpmmBuilder::new().pool(pool.clone()).threads(2).build(&m, 8).unwrap();
+    let inputs: Vec<DenseMatrix<f32>> =
+        (0..5).map(|i| DenseMatrix::random(80, 8, 40 + i)).collect();
+    let expected: Vec<DenseMatrix<f32>> =
+        inputs.iter().map(|x| engine.execute(x).unwrap().0.into_dense()).collect();
+    let server = SpmmServer::new(vec![engine]).unwrap();
+    let requests: Vec<ServerRequest<f32>> =
+        inputs.into_iter().map(|input| ServerRequest { engine: 0, input }).collect();
+    let (responses, report) = server.serve_batch(2, requests).unwrap();
+    assert_eq!(report.requests, 5);
+    assert!(report.throughput() >= 0.0);
+    for (response, expected) in responses.iter().zip(&expected) {
+        assert_eq!(*response.output, *expected);
+    }
+}

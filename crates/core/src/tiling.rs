@@ -198,7 +198,11 @@ fn available_widths(isa: IsaLevel, kind: ScalarKind) -> Vec<SegmentWidth> {
 /// deliberately *no* silent fallback here — if an ISA tier's width list ever
 /// stopped honouring that contract, planning should fail loudly rather than
 /// quietly emit scalar code.
-fn pick_width(widths: &[SegmentWidth], remaining: usize, kind: ScalarKind) -> (SegmentWidth, usize) {
+fn pick_width(
+    widths: &[SegmentWidth],
+    remaining: usize,
+    kind: ScalarKind,
+) -> (SegmentWidth, usize) {
     debug_assert!(remaining > 0, "pick_width requires at least one remaining column");
     widths
         .iter()
@@ -246,11 +250,7 @@ mod tests {
     fn avx2_has_no_zmm_segments_and_reserves_reg15() {
         let plan = CcmPlan::new(32, IsaLevel::Avx2, ScalarKind::F32);
         assert_eq!(plan.broadcast_reg, 15);
-        assert!(plan
-            .tiles
-            .iter()
-            .flat_map(|t| &t.segments)
-            .all(|s| s.width != SegmentWidth::Zmm));
+        assert!(plan.tiles.iter().flat_map(|t| &t.segments).all(|s| s.width != SegmentWidth::Zmm));
         assert_eq!(plan.tiles[0].segments.len(), 4); // 4 x ymm
         assert_eq!(plan.covered_columns(), 32);
     }

@@ -36,7 +36,11 @@ impl std::fmt::Display for HwCounters {
         write!(
             f,
             "instructions={} loads={} stores={} branches={} branch-misses={}",
-            self.instructions, self.memory_loads, self.memory_stores, self.branches, self.branch_misses
+            self.instructions,
+            self.memory_loads,
+            self.memory_stores,
+            self.branches,
+            self.branch_misses
         )
     }
 }
@@ -89,8 +93,20 @@ mod tests {
 
     #[test]
     fn accumulate_sums_fields() {
-        let mut a = HwCounters { instructions: 1, memory_loads: 2, memory_stores: 3, branches: 4, branch_misses: 5 };
-        let b = HwCounters { instructions: 10, memory_loads: 20, memory_stores: 30, branches: 40, branch_misses: 50 };
+        let mut a = HwCounters {
+            instructions: 1,
+            memory_loads: 2,
+            memory_stores: 3,
+            branches: 4,
+            branch_misses: 5,
+        };
+        let b = HwCounters {
+            instructions: 10,
+            memory_loads: 20,
+            memory_stores: 30,
+            branches: 40,
+            branch_misses: 50,
+        };
         a.accumulate(&b);
         assert_eq!(a.instructions, 11);
         assert_eq!(a.branch_misses, 55);

@@ -236,8 +236,7 @@ pub fn decode(code: &[u8], offset: usize) -> Result<(Inst, usize), EmuError> {
             Inst::AluRegRm { op, dst: reg, src: rm }
         }
         0x81 | 0x83 => {
-            let (digit, rm) =
-                decode_modrm(&mut cur, 0, prefixes.rex_b(), prefixes.rex_x(), 0)?;
+            let (digit, rm) = decode_modrm(&mut cur, 0, prefixes.rex_b(), prefixes.rex_x(), 0)?;
             let imm = if opcode == 0x83 { cur.i8()? as i64 } else { cur.i32()? as i64 };
             let op = match digit & 0b111 {
                 0 => AluOp::Add,
@@ -255,8 +254,7 @@ pub fn decode(code: &[u8], offset: usize) -> Result<(Inst, usize), EmuError> {
             Inst::ImulRegRmImm { dst: reg, src: rm, imm }
         }
         0xC1 => {
-            let (digit, rm) =
-                decode_modrm(&mut cur, 0, prefixes.rex_b(), prefixes.rex_x(), 0)?;
+            let (digit, rm) = decode_modrm(&mut cur, 0, prefixes.rex_b(), prefixes.rex_x(), 0)?;
             let amount = cur.u8()?;
             match digit & 0b111 {
                 4 => Inst::ShiftImm { dst: rm, left: true, amount },
@@ -265,8 +263,7 @@ pub fn decode(code: &[u8], offset: usize) -> Result<(Inst, usize), EmuError> {
             }
         }
         0xFF => {
-            let (digit, rm) =
-                decode_modrm(&mut cur, 0, prefixes.rex_b(), prefixes.rex_x(), 0)?;
+            let (digit, rm) = decode_modrm(&mut cur, 0, prefixes.rex_b(), prefixes.rex_x(), 0)?;
             match digit & 0b111 {
                 0 => Inst::IncDec { dst: rm, dec: false },
                 1 => Inst::IncDec { dst: rm, dec: true },
@@ -446,8 +443,19 @@ fn decode_vex(
         (1u8, pp, false, vl, reg_ext, 0u8, 0u8, vvvv)
     };
     let width_bytes = if vl == 1 { 32 } else { 16 };
-    let inst =
-        decode_avx_opcode(&mut cur, map, pp, w, width_bytes, reg_ext, 0, rm_ext, index_ext, 0, vvvv)?;
+    let inst = decode_avx_opcode(
+        &mut cur,
+        map,
+        pp,
+        w,
+        width_bytes,
+        reg_ext,
+        0,
+        rm_ext,
+        index_ext,
+        0,
+        vvvv,
+    )?;
     Ok((inst, cur.len()))
 }
 
@@ -573,10 +581,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         let (i3, _) = decode(&code, l1 + l2).unwrap();
-        assert_eq!(
-            i3,
-            Inst::AluRmImm { op: AluOp::Add, dst: RmOperand::Reg(0), imm: 100000 }
-        );
+        assert_eq!(i3, Inst::AluRmImm { op: AluOp::Add, dst: RmOperand::Reg(0), imm: 100000 });
     }
 
     #[test]
@@ -586,10 +591,7 @@ mod tests {
         let (inst, _) = decode_first(asm);
         assert_eq!(
             inst,
-            Inst::Xadd {
-                mem: MemOperand { base: 14, index: None, disp: 0 },
-                reg: Gpr::Rsi.id()
-            }
+            Inst::Xadd { mem: MemOperand { base: 14, index: None, disp: 0 }, reg: Gpr::Rsi.id() }
         );
     }
 
@@ -612,7 +614,11 @@ mod tests {
         );
         // EVEX form (zmm31 source).
         let mut asm = Assembler::new();
-        asm.vfmadd231ps_m(VecReg::zmm(0), VecReg::zmm(31), Mem::base(Gpr::R8).index(Gpr::R12, Scale::S1));
+        asm.vfmadd231ps_m(
+            VecReg::zmm(0),
+            VecReg::zmm(31),
+            Mem::base(Gpr::R8).index(Gpr::R12, Scale::S1),
+        );
         let (inst, _) = decode_first(asm);
         assert_eq!(
             inst,
@@ -656,7 +662,11 @@ mod tests {
         let (i3, _) = decode(&code, l1 + l2).unwrap();
         assert_eq!(
             i3,
-            Inst::VMovLoad { dst: 4, src: MemOperand { base: 2, index: None, disp: 0 }, width_bytes: 4 }
+            Inst::VMovLoad {
+                dst: 4,
+                src: MemOperand { base: 2, index: None, disp: 0 },
+                width_bytes: 4
+            }
         );
     }
 

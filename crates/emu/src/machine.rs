@@ -115,9 +115,7 @@ impl MachineState {
                 unsafe {
                     match width {
                         OpWidth::W64 => std::ptr::write_unaligned(addr as *mut u64, value),
-                        OpWidth::W32 => {
-                            std::ptr::write_unaligned(addr as *mut u32, value as u32)
-                        }
+                        OpWidth::W32 => std::ptr::write_unaligned(addr as *mut u32, value as u32),
                     }
                 }
             }
@@ -365,9 +363,15 @@ impl MachineState {
                 let vb = self.vec_rm(src, bytes, counters);
                 let va = self.vec[*a as usize];
                 let mut vd = self.vec[*dst as usize];
-                Self::lanewise(&mut vd, &va, &vb, *kind, bytes, |d, x, y| x.mul_add(y, d), |d, x, y| {
-                    x.mul_add(y, d)
-                });
+                Self::lanewise(
+                    &mut vd,
+                    &va,
+                    &vb,
+                    *kind,
+                    bytes,
+                    |d, x, y| x.mul_add(y, d),
+                    |d, x, y| x.mul_add(y, d),
+                );
                 self.vec[*dst as usize] = vd;
             }
             Inst::VMul { dst, a, src, kind, width_bytes, scalar } => {

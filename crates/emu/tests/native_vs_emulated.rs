@@ -109,7 +109,8 @@ fn float_dot_product_agrees_bit_exactly() {
     asm.ret();
     let code = asm.finalize().unwrap();
     let buf = ExecutableBuffer::from_code(&code).unwrap();
-    let f: extern "C" fn(*mut f32, *const f32, u64) -> u64 = unsafe { std::mem::transmute(buf.entry()) };
+    let f: extern "C" fn(*mut f32, *const f32, u64) -> u64 =
+        unsafe { std::mem::transmute(buf.entry()) };
     let native = f(a1.as_mut_ptr(), b.as_ptr(), a.len() as u64);
     let mut emu = Emulator::new().with_max_instructions(1_000_000);
     let (_, emulated) = unsafe {

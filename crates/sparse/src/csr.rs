@@ -204,10 +204,7 @@ impl<T: Scalar> CsrMatrix<T> {
     /// Iterate over all stored entries as `(row, col, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
         (0..self.nrows).flat_map(move |r| {
-            self.row_cols(r)
-                .iter()
-                .zip(self.row_values(r))
-                .map(move |(&c, &v)| (r, c as usize, v))
+            self.row_cols(r).iter().zip(self.row_values(r)).map(move |(&c, &v)| (r, c as usize, v))
         })
     }
 
@@ -342,36 +339,22 @@ mod tests {
         // row_ptr wrong length
         assert!(CsrMatrix::<f32>::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
         // non-monotone
-        assert!(
-            CsrMatrix::<f32>::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0])
-                .is_err()
-        );
+        assert!(CsrMatrix::<f32>::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0])
+            .is_err());
         // col out of range
-        assert!(
-            CsrMatrix::<f32>::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err()
-        );
+        assert!(CsrMatrix::<f32>::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
         // unsorted columns
-        assert!(CsrMatrix::<f32>::from_raw_parts(
-            1,
-            3,
-            vec![0, 2],
-            vec![2, 0],
-            vec![1.0, 1.0]
-        )
-        .is_err());
+        assert!(
+            CsrMatrix::<f32>::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err()
+        );
         // nnz mismatch
         assert!(
             CsrMatrix::<f32>::from_raw_parts(1, 3, vec![0, 3], vec![0, 1], vec![1.0, 1.0]).is_err()
         );
         // good one
-        assert!(CsrMatrix::<f32>::from_raw_parts(
-            1,
-            3,
-            vec![0, 2],
-            vec![0, 2],
-            vec![1.0, 1.0]
-        )
-        .is_ok());
+        assert!(
+            CsrMatrix::<f32>::from_raw_parts(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 1.0]).is_ok()
+        );
     }
 
     #[test]

@@ -248,7 +248,8 @@ pub fn table3() -> Vec<DatasetSpec> {
 /// A smaller selection of datasets (one per structural family) used by tests
 /// and quick benchmark runs.
 pub fn quick_suite() -> Vec<DatasetSpec> {
-    let names = ["mycielskian19", "uk-2005", "GAP-twitter", "GAP-kron", "GAP-urand", "MOLIERE_2016"];
+    let names =
+        ["mycielskian19", "uk-2005", "GAP-twitter", "GAP-kron", "GAP-urand", "MOLIERE_2016"];
     table3().into_iter().filter(|d| names.contains(&d.name)).collect()
 }
 

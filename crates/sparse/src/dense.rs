@@ -176,11 +176,7 @@ impl<T: Scalar> DenseMatrix<T> {
     pub fn max_abs_diff(&self, other: &DenseMatrix<T>) -> f64 {
         assert_eq!(self.nrows, other.nrows, "row count mismatch");
         assert_eq!(self.ncols, other.ncols, "column count mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (*a - *b).abs().to_f64())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (*a - *b).abs().to_f64()).fold(0.0, f64::max)
     }
 
     /// Whether every element differs from `other` by at most `tol` in

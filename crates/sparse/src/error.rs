@@ -34,10 +34,9 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
-                f,
-                "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix"
-            ),
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => {
+                write!(f, "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix")
+            }
             SparseError::InvalidStructure(msg) => write!(f, "invalid CSR structure: {msg}"),
             SparseError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
             SparseError::Parse { line, message } => {

@@ -49,9 +49,7 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CsrMatrix<T>,
                     break (i + 1, line);
                 }
             }
-            None => {
-                return Err(SparseError::Parse { line: 1, message: "empty file".into() })
-            }
+            None => return Err(SparseError::Parse { line: 1, message: "empty file".into() }),
         }
     };
     let header_lower = header.to_ascii_lowercase();
@@ -102,7 +100,10 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CsrMatrix<T>,
                 break (i + 1, trimmed);
             }
             None => {
-                return Err(SparseError::Parse { line: line_no, message: "missing size line".into() })
+                return Err(SparseError::Parse {
+                    line: line_no,
+                    message: "missing size line".into(),
+                })
             }
         }
     };
@@ -255,7 +256,10 @@ mod tests {
     #[test]
     fn reject_malformed_inputs() {
         assert!(read_matrix_market::<f32, _>("".as_bytes()).is_err());
-        assert!(read_matrix_market::<f32, _>("%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()).is_err());
+        assert!(read_matrix_market::<f32, _>(
+            "%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()
+        )
+        .is_err());
         let bad_count = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
         assert!(read_matrix_market::<f32, _>(bad_count.as_bytes()).is_err());
         let zero_based = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";

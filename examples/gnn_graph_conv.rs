@@ -50,7 +50,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let adj = normalize_adjacency(&raw);
     let n = adj.nrows();
     let (f_in, f_hidden, f_out) = (32usize, 16usize, 8usize);
-    println!("graph: {} nodes, {} edges; features {} -> {} -> {}", n, adj.nnz(), f_in, f_hidden, f_out);
+    println!(
+        "graph: {} nodes, {} edges; features {} -> {} -> {}",
+        n,
+        adj.nnz(),
+        f_in,
+        f_hidden,
+        f_out
+    );
 
     // Random dense weights for the two layers.
     let w1 = DenseMatrix::<f32>::random(f_in, f_hidden, 11);
@@ -58,9 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let features = DenseMatrix::<f32>::random(n, f_in, 13);
 
     // One JIT engine per layer width, compiled once.
-    let engine_l1 = JitSpmmBuilder::new()
-        .strategy(Strategy::row_split_dynamic_default())
-        .build(&adj, f_in)?;
+    let engine_l1 =
+        JitSpmmBuilder::new().strategy(Strategy::row_split_dynamic_default()).build(&adj, f_in)?;
     let engine_l2 = JitSpmmBuilder::new()
         .strategy(Strategy::row_split_dynamic_default())
         .build(&adj, f_hidden)?;
@@ -75,8 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let start = Instant::now();
     // Layer 1: aggregate neighbours, then transform and apply ReLU.
     let (aggregated, _) = engine_l1.execute(&features)?;
-    let mut hidden =
-        dense_matmul(aggregated.as_slice(), n, f_in, w1.as_slice(), f_hidden);
+    let mut hidden = dense_matmul(aggregated.as_slice(), n, f_in, w1.as_slice(), f_hidden);
     relu(&mut hidden);
     let hidden = DenseMatrix::from_vec(n, f_hidden, hidden);
 

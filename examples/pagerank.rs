@@ -33,9 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("graph: {} vertices, {} edges", n, graph.nnz());
 
     let damping = 0.85f32;
-    let engine = JitSpmmBuilder::new()
-        .strategy(Strategy::NnzSplit)
-        .build(&transition, 1)?;
+    let engine = JitSpmmBuilder::new().strategy(Strategy::NnzSplit).build(&transition, 1)?;
     println!(
         "rank-propagation kernel: {} bytes ({}, plan {})",
         engine.meta().code_bytes,

@@ -76,10 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lanes = profile::lanes_for(isa, ScalarKind::F32);
     let aot = profile::model_aot_vectorized(&matrix, d, lanes);
     let mkl = profile::model_mkl_like(&matrix, d, lanes);
-    println!(
-        "  auto-vectorized: {} instructions, {} loads",
-        aot.instructions, aot.memory_loads
-    );
+    println!("  auto-vectorized: {} instructions, {} loads", aot.instructions, aot.memory_loads);
     println!("  MKL-like:        {} instructions, {} loads", mkl.instructions, mkl.memory_loads);
     Ok(())
 }

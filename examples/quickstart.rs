@@ -5,6 +5,7 @@
 //! Run with: `cargo run -p jitspmm-examples --release --bin quickstart`
 
 use jitspmm::baseline::vectorized::spmm_vectorized;
+use jitspmm::serve::SpmmServer;
 use jitspmm::{JitSpmmBuilder, Strategy, WorkerPool};
 use jitspmm_examples::require_jit_host;
 use jitspmm_sparse::{generate, DenseMatrix};
@@ -21,9 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("sparse matrix: {} x {}, {} non-zeros", a.nrows(), a.ncols(), a.nnz());
 
     // 2. Compile a kernel specialized to this matrix, d, and the host CPU.
-    let engine = JitSpmmBuilder::new()
-        .strategy(Strategy::row_split_dynamic_default())
-        .build(&a, d)?;
+    let engine =
+        JitSpmmBuilder::new().strategy(Strategy::row_split_dynamic_default()).build(&a, d)?;
     let meta = engine.meta();
     println!(
         "generated {} bytes of {} code in {:?} (register plan: {})",
@@ -72,14 +72,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eng_a = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&a, d)?;
     let eng_b = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&b, d)?;
     let start = Instant::now();
-    let (ya, report_a, yb, report_b) =
-        pool.scope(|scope| -> Result<_, jitspmm::JitSpmmError> {
-            let ha = eng_a.execute_async(scope, &x)?; // returns immediately; job in flight
-            let hb = eng_b.execute_async(scope, &xb)?; // second job overlaps the first
-            let (ya, report_a) = ha.wait();
-            let (yb, report_b) = hb.wait();
-            Ok((ya, report_a, yb, report_b))
-        })?;
+    let (ya, report_a, yb, report_b) = pool.scope(|scope| -> Result<_, jitspmm::JitSpmmError> {
+        let ha = eng_a.execute_async(scope, &x)?; // returns immediately; job in flight
+        let hb = eng_b.execute_async(scope, &xb)?; // second job overlaps the first
+        let (ya, report_a) = ha.wait();
+        let (yb, report_b) = hb.wait();
+        Ok((ya, report_a, yb, report_b))
+    })?;
     println!(
         "overlapped engines: both done in {:?} (kernels {:?} + {:?})",
         start.elapsed(),
@@ -98,9 +97,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inputs: Vec<DenseMatrix<f32>> =
         (0..8).map(|seed| DenseMatrix::random(b.ncols(), d, 100 + seed)).collect();
     let batch_engine = JitSpmmBuilder::new().build(&b, d)?;
-    let (outputs, batch) = batch_engine
-        .pool()
-        .scope(|scope| batch_engine.execute_batch(scope, &inputs))?;
+    let (outputs, batch) =
+        batch_engine.pool().scope(|scope| batch_engine.execute_batch(scope, &inputs))?;
     println!(
         "batched serving: {} inputs in {:?} ({:.0} inputs/s, kernel p50 {:?} / p99 {:?}, \
          pipeline depth {})",
@@ -115,5 +113,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert!(y.approx_eq(&b.spmm_reference(x), 1e-4));
     }
     println!("all {} batched results verified", outputs.len());
+    drop(outputs);
+
+    // 7. Mixed-stream serving: route one stream of engine-tagged requests
+    //    across several compiled engines sharing a pool. A producer thread
+    //    feeds a bounded queue (backpressure, owned inputs — no borrows tie
+    //    it to the serving scope); the server validates each request, routes
+    //    it to its engine's pipeline on disjoint lane-capped workers, and
+    //    reports per-engine tail latency plus whole-server throughput.
+    let serve_pool = WorkerPool::new(2);
+    let small_a = generate::rmat::<f32>(11, 40_000, generate::RmatConfig::GRAPH500, 44);
+    let small_b = generate::uniform::<f32>(1_500, 1_200, 25_000, 45);
+    let server = SpmmServer::new(vec![
+        JitSpmmBuilder::new().pool(serve_pool.clone()).threads(1).build(&small_a, 16)?,
+        JitSpmmBuilder::new().pool(serve_pool.clone()).threads(1).build(&small_b, 8)?,
+    ])?;
+    let cols = (small_a.ncols(), small_b.ncols());
+    let (responses, report, sent) = server.serve_stream(0, 4, move |sender| {
+        let mut sent = 0usize;
+        for i in 0..10u64 {
+            let engine = (i % 2) as usize;
+            let input = if engine == 0 {
+                DenseMatrix::random(cols.0, 16, 200 + i)
+            } else {
+                DenseMatrix::random(cols.1, 8, 300 + i)
+            };
+            if sender.send(engine, input) {
+                sent += 1;
+            }
+        }
+        sent
+    })?;
+    println!(
+        "mixed serving: {} of {sent} requests over {} engines in {:?} ({:.0} req/s; \
+         kernel p99 per engine: {:?} / {:?})",
+        report.requests,
+        report.per_engine.len(),
+        report.elapsed,
+        report.throughput(),
+        report.per_engine[0].kernel_p99,
+        report.per_engine[1].kernel_p99,
+    );
+    for r in &responses {
+        let m = server.engines()[r.engine].matrix();
+        assert_eq!(r.output.nrows(), m.nrows());
+    }
+    println!("all {} routed responses verified for shape and order", responses.len());
     Ok(())
 }

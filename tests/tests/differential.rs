@@ -16,6 +16,7 @@
 //! at least the 20 combinations the runtime milestone calls for.
 
 use jitspmm::baseline::{scalar, vectorized};
+use jitspmm::serve::{ServerRequest, SpmmServer};
 use jitspmm::{JitSpmmBuilder, JitSpmmError, JobSpec, Strategy, WorkerPool};
 use jitspmm_integration_tests::host_supports_jit;
 use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
@@ -35,10 +36,8 @@ fn scenario(name: impl Into<String>, matrix: CsrMatrix<f32>, d: usize) -> Scenar
 
 /// A 120x90 matrix where five out of every six rows are empty.
 fn empty_rows() -> CsrMatrix<f32> {
-    let triplets: Vec<(usize, usize, f32)> = (0..120)
-        .step_by(6)
-        .flat_map(|r| [(r, r % 90, 1.5), (r, (r * 7 + 3) % 90, -2.0)])
-        .collect();
+    let triplets: Vec<(usize, usize, f32)> =
+        (0..120).step_by(6).flat_map(|r| [(r, r % 90, 1.5), (r, (r * 7 + 3) % 90, -2.0)]).collect();
     CsrMatrix::from_triplets(120, 90, &triplets).unwrap()
 }
 
@@ -137,8 +136,7 @@ fn differential_matrix_jit_vs_baselines() {
             // Differential axis 2: the JIT engine, both workload-division
             // families (static ranges and the dynamic claim loop).
             if jit {
-                for strategy in
-                    [Strategy::RowSplitStatic, Strategy::RowSplitDynamic { batch: 16 }]
+                for strategy in [Strategy::RowSplitStatic, Strategy::RowSplitDynamic { batch: 16 }]
                 {
                     let engine = JitSpmmBuilder::new()
                         .strategy(strategy)
@@ -323,16 +321,14 @@ fn batched_edge_case_empty_and_single_input() {
     let m = wide_base();
     let engine = JitSpmmBuilder::new().threads(2).build(&m, 8).unwrap();
     // Batch of size 0: no launches, an empty report, engine untouched.
-    let (outputs, report) =
-        engine.pool().scope(|scope| engine.execute_batch(scope, &[])).unwrap();
+    let (outputs, report) = engine.pool().scope(|scope| engine.execute_batch(scope, &[])).unwrap();
     assert!(outputs.is_empty());
     assert_eq!(report.inputs, 0);
     // Batch of size 1 equals a single blocking execute, bit for bit.
     let one = [DenseMatrix::random(m.ncols(), 8, 7)];
     let (y_blocking, _) = engine.execute(&one[0]).unwrap();
     let y_blocking = y_blocking.into_dense();
-    let (outputs, report) =
-        engine.pool().scope(|scope| engine.execute_batch(scope, &one)).unwrap();
+    let (outputs, report) = engine.pool().scope(|scope| engine.execute_batch(scope, &one)).unwrap();
     assert_eq!(outputs.len(), 1);
     assert_eq!(*outputs[0], y_blocking);
     assert_eq!(report.inputs, 1);
@@ -346,14 +342,13 @@ fn batched_edge_case_mismatched_d_errors_without_corrupting_the_pipeline() {
     }
     let m = wide_base();
     let pool = WorkerPool::new(2);
-    let engine =
-        JitSpmmBuilder::new().threads(2).pool(pool.clone()).build(&m, 16).unwrap();
+    let engine = JitSpmmBuilder::new().threads(2).pool(pool.clone()).build(&m, 16).unwrap();
     let good: Vec<DenseMatrix<f32>> =
         (0..4).map(|i| DenseMatrix::random(m.ncols(), 16, 50 + i)).collect();
     let mut mixed: Vec<DenseMatrix<f32>> = good.clone();
     mixed.insert(2, DenseMatrix::random(m.ncols(), 8, 99)); // wrong d
-    // The whole batch is rejected up front — validation is hoisted, so no
-    // launch happens before the error.
+                                                            // The whole batch is rejected up front — validation is hoisted, so no
+                                                            // launch happens before the error.
     let err = pool.scope(|scope| engine.execute_batch(scope, &mixed)).unwrap_err();
     assert!(matches!(err, JitSpmmError::ShapeMismatch(_)), "got {err:?}");
     // Mid-stream, a bad push errors while the launches in flight complete
@@ -364,10 +359,7 @@ fn batched_edge_case_mismatched_d_errors_without_corrupting_the_pipeline() {
         let mut completed = Vec::new();
         for (i, x) in good.iter().enumerate() {
             if i == 1 {
-                assert!(matches!(
-                    stream.push(&bad).unwrap_err(),
-                    JitSpmmError::ShapeMismatch(_)
-                ));
+                assert!(matches!(stream.push(&bad).unwrap_err(), JitSpmmError::ShapeMismatch(_)));
             }
             if let Some(done) = stream.push(x).unwrap() {
                 completed.push(done);
@@ -437,10 +429,182 @@ fn batched_edge_case_worker_panic_leaves_engine_reusable() {
     let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
     assert_eq!(message, "mid-batch worker panic");
     // Engine and pool both survive: a fresh batch and a plain execute work.
-    let (outputs, _) =
-        pool.scope(|scope| engine.execute_batch(scope, &inputs[..2])).unwrap();
+    let (outputs, _) = pool.scope(|scope| engine.execute_batch(scope, &inputs[..2])).unwrap();
     assert!(outputs[0].approx_eq(&anchors[0], 1e-4));
     assert!(outputs[1].approx_eq(&anchors[1], 1e-4));
     let (y, _) = engine.execute(&inputs[0]).unwrap();
     assert!(y.approx_eq(&anchors[0], 1e-4));
+}
+
+#[test]
+fn differential_matrix_mixed_engine_serving() {
+    // The serving router across the scenario matrix: 2-4 engines over
+    // heterogeneous shapes, an interleaved mixed request order, and batch
+    // sizes {1, 4, 32} *per engine*. Every response must be bit-identical to
+    // that engine's blocking per-input `execute` (routing, owned-input
+    // hand-off and pipelining may not change a single bit) and must agree
+    // with the serial scalar serving anchor within tolerance.
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let pool = WorkerPool::new(3);
+    let all = scenarios();
+    let mut combinations = 0usize;
+    for engine_count in [2usize, 3, 4] {
+        // Spread the picked scenarios across the list so the engine mix is
+        // heterogeneous (different nrows/ncols/d per engine).
+        let stride = (all.len() / engine_count).max(1);
+        let picked: Vec<&Scenario> = all.iter().step_by(stride).take(engine_count).collect();
+        assert_eq!(picked.len(), engine_count);
+        for batch_size in [1usize, 4, 32] {
+            // One pipeline's worth of inputs per engine, then interleave
+            // with a fixed non-round-robin pattern: drain per-engine queues
+            // in an order driven by a small LCG so bursts and alternations
+            // both occur.
+            let mut per_engine_inputs: Vec<Vec<DenseMatrix<f32>>> = picked
+                .iter()
+                .enumerate()
+                .map(|(e, s)| {
+                    (0..batch_size)
+                        .map(|i| {
+                            DenseMatrix::random(s.matrix.ncols(), s.d, (3_000 + 100 * e + i) as u64)
+                        })
+                        .collect()
+                })
+                .collect();
+            let engines: Vec<_> = picked
+                .iter()
+                .enumerate()
+                .map(|(e, s)| {
+                    let strategy = if e % 2 == 0 {
+                        Strategy::RowSplitDynamic { batch: 16 }
+                    } else {
+                        Strategy::RowSplitStatic
+                    };
+                    JitSpmmBuilder::new()
+                        .strategy(strategy)
+                        .threads(1)
+                        .pool(pool.clone())
+                        .build(&s.matrix, s.d)
+                        .unwrap()
+                })
+                .collect();
+            // Reference 1: per-engine sequential blocking execution.
+            let expected: Vec<Vec<DenseMatrix<f32>>> = engines
+                .iter()
+                .zip(&per_engine_inputs)
+                .map(|(engine, inputs)| {
+                    inputs.iter().map(|x| engine.execute(x).unwrap().0.into_dense()).collect()
+                })
+                .collect();
+            // Reference 2: the serial scalar serving anchor over the same
+            // mixed stream (built below, in the same interleaved order).
+            let matrices: Vec<&CsrMatrix<f32>> = picked.iter().map(|s| &s.matrix).collect();
+
+            // Interleave into the mixed request stream.
+            let mut cursors = vec![0usize; engine_count];
+            let mut requests = Vec::with_capacity(engine_count * batch_size);
+            let mut anchor_requests = Vec::with_capacity(engine_count * batch_size);
+            let mut lcg: u64 = 0x2545F4914F6CDD1D ^ (engine_count * 31 + batch_size) as u64;
+            let total = engine_count * batch_size;
+            while requests.len() < total {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let mut engine = (lcg >> 33) as usize % engine_count;
+                while cursors[engine] == batch_size {
+                    engine = (engine + 1) % engine_count;
+                }
+                let input = std::mem::replace(
+                    &mut per_engine_inputs[engine][cursors[engine]],
+                    DenseMatrix::zeros(1, 1),
+                );
+                cursors[engine] += 1;
+                anchor_requests.push((engine, input.clone()));
+                requests.push(ServerRequest { engine, input });
+            }
+            let anchors = scalar::spmm_scalar_serve_mixed(&matrices, &anchor_requests);
+
+            let server = SpmmServer::new(engines).unwrap();
+            let (responses, report) = server.serve_batch(0, requests).unwrap();
+            assert_eq!(responses.len(), total);
+            assert_eq!(report.requests, total);
+            for (g, response) in responses.iter().enumerate() {
+                assert_eq!(response.request, g, "responses sorted by submission order");
+                assert_eq!(response.engine, anchor_requests[g].0, "response routed wrong");
+                assert_eq!(
+                    *response.output, expected[response.engine][response.index],
+                    "{} engines, batch {batch_size}, request {g} (engine {}): mixed-stream \
+                     result must be bit-identical to per-engine sequential execute",
+                    engine_count, response.engine
+                );
+                assert!(
+                    response.output.approx_eq(&anchors[g], 1e-4),
+                    "{} engines, batch {batch_size}, request {g}: serving vs scalar anchor, \
+                     max diff {}",
+                    engine_count,
+                    response.output.max_abs_diff(&anchors[g])
+                );
+            }
+            for (e, engine_report) in report.per_engine.iter().enumerate() {
+                assert_eq!(engine_report.inputs, batch_size, "engine {e} request count");
+            }
+            combinations += 1;
+        }
+    }
+    assert_eq!(
+        combinations, 9,
+        "mixed-engine differential must cover 3 engine counts x 3 batch sizes"
+    );
+}
+
+#[test]
+fn mixed_engine_serving_in_single_threaded_mode_is_deterministic() {
+    // The same mixed stream served twice must produce byte-identical
+    // responses — whatever the scheduling mode (this test is most
+    // interesting under RUST_TEST_THREADS=1, where the whole choreography
+    // is deterministic, but must hold everywhere).
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let pool = WorkerPool::new(2);
+    let a = wide_base();
+    let b = banded();
+    let build = || {
+        SpmmServer::new(vec![
+            JitSpmmBuilder::new()
+                .pool(pool.clone())
+                .threads(1)
+                .strategy(Strategy::RowSplitDynamic { batch: 16 })
+                .build(&a, 8)
+                .unwrap(),
+            JitSpmmBuilder::new()
+                .pool(pool.clone())
+                .threads(1)
+                .strategy(Strategy::RowSplitStatic)
+                .build(&b, 4)
+                .unwrap(),
+        ])
+        .unwrap()
+    };
+    let requests = |server: &SpmmServer<'_, f32>| -> Vec<ServerRequest<f32>> {
+        (0..10)
+            .map(|i| {
+                let engine = (i * 3 + 1) % 2;
+                let m = server.engines()[engine].matrix();
+                let d = server.engines()[engine].d();
+                ServerRequest { engine, input: DenseMatrix::random(m.ncols(), d, 5_000 + i as u64) }
+            })
+            .collect()
+    };
+    let server1 = build();
+    let (first, _) = server1.serve_batch(2, requests(&server1)).unwrap();
+    let server2 = build();
+    let (second, _) = server2.serve_batch(2, requests(&server2)).unwrap();
+    assert_eq!(first.len(), second.len());
+    for (r1, r2) in first.iter().zip(&second) {
+        assert_eq!(r1.engine, r2.engine);
+        assert_eq!(r1.index, r2.index);
+        assert_eq!(*r1.output, *r2.output, "serving is not deterministic");
+    }
 }

@@ -1,0 +1,220 @@
+//! Table-driven error-path sweep over every public launch entry point.
+//!
+//! The contract under test: malformed user input — wrong shapes, unknown
+//! engine ids, zero column counts — is answered with a typed
+//! [`JitSpmmError`] *before* the entry point touches the engine's launch
+//! lock or buffer pool. No entry point may panic on user input, and after
+//! any rejected call the engine (or server) must serve a well-formed request
+//! exactly as if the bad one had never happened.
+
+use jitspmm::serve::{ServerRequest, SpmmServer};
+use jitspmm::{JitSpmm, JitSpmmBuilder, JitSpmmError, SpmmOptions, WorkerPool};
+use jitspmm_integration_tests::host_supports_jit;
+use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
+
+/// The classes of malformed input every entry point must reject.
+#[derive(Clone, Copy, Debug)]
+enum BadInput {
+    /// Row count does not match `A.ncols()`.
+    Rows,
+    /// Column count does not match the compiled `d`.
+    Cols,
+    /// Both dimensions are nonsense.
+    Both,
+}
+
+impl BadInput {
+    fn all() -> [BadInput; 3] {
+        [BadInput::Rows, BadInput::Cols, BadInput::Both]
+    }
+
+    fn build(self, a: &CsrMatrix<f32>, d: usize) -> DenseMatrix<f32> {
+        match self {
+            BadInput::Rows => DenseMatrix::zeros(a.ncols() + 3, d),
+            BadInput::Cols => DenseMatrix::zeros(a.ncols(), d + 1),
+            BadInput::Both => DenseMatrix::zeros(1, 1),
+        }
+    }
+}
+
+/// One row of the entry-point table: a name and a closure that drives the
+/// entry point with the given (malformed) input and hands back its error.
+struct EntryPoint {
+    name: &'static str,
+    run: fn(&JitSpmm<'_, f32>, DenseMatrix<f32>) -> Result<(), JitSpmmError>,
+}
+
+fn entry_points() -> Vec<EntryPoint> {
+    vec![
+        EntryPoint { name: "execute", run: |engine, x| engine.execute(&x).map(drop) },
+        EntryPoint {
+            name: "execute_into",
+            run: |engine, x| {
+                let mut y = DenseMatrix::zeros(engine.matrix().nrows(), engine.d());
+                engine.execute_into(&x, &mut y).map(drop)
+            },
+        },
+        EntryPoint {
+            name: "execute_into_spawning",
+            run: |engine, x| {
+                let mut y = DenseMatrix::zeros(engine.matrix().nrows(), engine.d());
+                engine.execute_into_spawning(&x, &mut y).map(drop)
+            },
+        },
+        EntryPoint {
+            name: "execute_single_thread",
+            run: |engine, x| {
+                let mut y = DenseMatrix::zeros(engine.matrix().nrows(), engine.d());
+                engine.execute_single_thread(&x, &mut y).map(drop)
+            },
+        },
+        EntryPoint {
+            name: "execute_async",
+            run: |engine, x| engine.pool().scope(|scope| engine.execute_async(scope, &x).map(drop)),
+        },
+        EntryPoint {
+            name: "execute_batch",
+            run: |engine, x| {
+                let inputs = vec![x];
+                engine.pool().scope(|scope| engine.execute_batch(scope, &inputs)).map(drop)
+            },
+        },
+        EntryPoint {
+            name: "batch_stream push",
+            run: |engine, x| {
+                engine.pool().scope(|scope| {
+                    let mut stream = engine.batch_stream(scope, 2)?;
+                    stream.push(&x).map(drop)
+                })
+            },
+        },
+        EntryPoint {
+            name: "batch_stream push_owned",
+            run: |engine, x| {
+                engine.pool().scope(|scope| {
+                    let mut stream = engine.batch_stream(scope, 2)?;
+                    stream.push_owned(x).map(drop)
+                })
+            },
+        },
+        EntryPoint {
+            name: "server submit",
+            run: |engine, x| {
+                // A single-engine server wrapped around a compatible spare
+                // engine: route the bad input through the serving layer.
+                let server_engine = JitSpmmBuilder::new()
+                    .pool(engine.pool().clone())
+                    .threads(1)
+                    .build(engine.matrix(), engine.d())
+                    .expect("compiling the server's engine");
+                let server = SpmmServer::new(vec![server_engine]).expect("building the server");
+                server.pool().clone().scope(|scope| {
+                    let mut session = server.session(scope, 2)?;
+                    session.submit(0, x).map(drop)
+                })
+            },
+        },
+        EntryPoint {
+            name: "server serve_batch",
+            run: |engine, x| {
+                let server_engine = JitSpmmBuilder::new()
+                    .pool(engine.pool().clone())
+                    .threads(1)
+                    .build(engine.matrix(), engine.d())
+                    .expect("compiling the server's engine");
+                let server = SpmmServer::new(vec![server_engine]).expect("building the server");
+                server.serve_batch(0, vec![ServerRequest { engine: 0, input: x }]).map(drop)
+            },
+        },
+    ]
+}
+
+#[test]
+fn every_entry_point_rejects_malformed_shapes_and_stays_usable() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let a = generate::uniform::<f32>(60, 50, 400, 21);
+    let d = 8usize;
+    let pool = WorkerPool::new(2);
+    let engine = JitSpmmBuilder::new().pool(pool.clone()).threads(2).build(&a, d).unwrap();
+    let good = DenseMatrix::random(a.ncols(), d, 7);
+    let expected = a.spmm_reference(&good);
+
+    for entry in entry_points() {
+        for bad in BadInput::all() {
+            let err = (entry.run)(&engine, bad.build(&a, d))
+                .expect_err(&format!("{} must reject {bad:?} input", entry.name));
+            assert!(
+                matches!(err, JitSpmmError::ShapeMismatch(_)),
+                "{} on {bad:?}: expected ShapeMismatch, got {err:?}",
+                entry.name
+            );
+            // The rejection must leave no state behind: a well-formed
+            // execute right after works and is correct.
+            let (y, _) = engine
+                .execute(&good)
+                .unwrap_or_else(|e| panic!("{} left the engine unusable: {e}", entry.name));
+            assert!(y.approx_eq(&expected, 1e-4), "{} corrupted the engine's results", entry.name);
+        }
+    }
+}
+
+#[test]
+fn zero_column_compilation_is_rejected_everywhere() {
+    // `d == 0` is refused at compile time by every construction path — an
+    // engine with nothing to compute can never exist, so no launch path
+    // needs a d==0 case.
+    let a = generate::uniform::<f32>(20, 20, 50, 3);
+    assert!(matches!(
+        JitSpmm::compile(&a, 0, SpmmOptions::default()).unwrap_err(),
+        JitSpmmError::EmptyDenseMatrix
+    ));
+    assert!(matches!(
+        JitSpmmBuilder::new().build(&a, 0).unwrap_err(),
+        JitSpmmError::EmptyDenseMatrix
+    ));
+    assert!(matches!(
+        JitSpmm::compile_with_pool(&a, 0, SpmmOptions::default(), WorkerPool::inline())
+            .unwrap_err(),
+        JitSpmmError::EmptyDenseMatrix
+    ));
+}
+
+#[test]
+fn server_rejects_unknown_engine_ids_everywhere() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let a = generate::uniform::<f32>(40, 40, 250, 5);
+    let pool = WorkerPool::new(1);
+    let engine = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&a, 4).unwrap();
+    let server = SpmmServer::new(vec![engine]).unwrap();
+    let input = || DenseMatrix::<f32>::random(40, 4, 9);
+    // serve_batch: validated up front.
+    assert!(matches!(
+        server.serve_batch(0, vec![ServerRequest { engine: 3, input: input() }]).unwrap_err(),
+        JitSpmmError::UnknownEngine { requested: 3, engines: 1 }
+    ));
+    // session submit: validated per request.
+    server.pool().clone().scope(|scope| {
+        let mut session = server.session(scope, 0).unwrap();
+        assert!(matches!(
+            session.submit(1, input()).unwrap_err(),
+            JitSpmmError::UnknownEngine { requested: 1, engines: 1 }
+        ));
+        // A good request still goes through afterwards.
+        assert!(session.submit(0, input()).is_ok());
+        let (rest, report) = session.finish();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(report.requests, 1);
+    });
+    // serve_stream: the error aborts the serve without wedging producers.
+    let result = server.serve_stream(0, 1, |sender| {
+        let _ = sender.send(5, input());
+        let _ = sender.send(5, input());
+    });
+    assert!(matches!(result.unwrap_err(), JitSpmmError::UnknownEngine { .. }));
+}

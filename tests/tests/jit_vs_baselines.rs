@@ -10,11 +10,8 @@ use jitspmm_sparse::{datasets, generate, CsrMatrix, DenseMatrix};
 fn check_engine(a: &CsrMatrix<f32>, d: usize, strategy: Strategy, threads: usize) {
     let x = DenseMatrix::random(a.ncols(), d, 99);
     let expected = a.spmm_reference(&x);
-    let engine = JitSpmmBuilder::new()
-        .strategy(strategy)
-        .threads(threads)
-        .build(a, d)
-        .expect("compile");
+    let engine =
+        JitSpmmBuilder::new().strategy(strategy).threads(threads).build(a, d).expect("compile");
     let (y, _) = engine.execute(&x).expect("execute");
     assert!(
         y.approx_eq(&expected, 1e-4),

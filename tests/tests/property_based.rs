@@ -2,6 +2,7 @@
 //! counts and strategies must always produce output identical to the
 //! reference implementation, and core data-structure invariants must hold.
 
+use jitspmm::serve::{ServerRequest, SpmmServer};
 use jitspmm::{JitSpmmBuilder, Strategy, WorkerPool};
 use jitspmm_integration_tests::host_supports_jit;
 use jitspmm_sparse::{CooMatrix, CsrMatrix, DenseMatrix};
@@ -11,10 +12,7 @@ use proptest::strategy::Strategy as PropStrategy;
 /// Strategy generating an arbitrary small sparse matrix as triplets.
 fn arb_matrix() -> impl PropStrategy<Value = (usize, usize, Vec<(usize, usize, f32)>)> {
     (1usize..60, 1usize..60).prop_flat_map(|(nrows, ncols)| {
-        let entries = proptest::collection::vec(
-            (0..nrows, 0..ncols, -4.0f32..4.0f32),
-            0..200,
-        );
+        let entries = proptest::collection::vec((0..nrows, 0..ncols, -4.0f32..4.0f32), 0..200);
         (Just(nrows), Just(ncols), entries)
     })
 }
@@ -253,6 +251,79 @@ proptest! {
             }
             Ok(())
         })?;
+    }
+
+    /// An arbitrary interleaving of requests across two engines, served
+    /// through the mixed-stream router, produces exactly — bitwise — the
+    /// outputs of per-engine sequential execution, each routed to the right
+    /// engine and in per-engine submission order. Any routing mix-up (a
+    /// request landing on the wrong engine's pipeline, slot payloads crossing
+    /// engines, responses mis-ordered) breaks this.
+    #[test]
+    fn mixed_serving_matches_sequential(
+        (nrows1, ncols1, entries1) in arb_matrix(),
+        (nrows2, ncols2, entries2) in arb_matrix(),
+        d1 in 1usize..16,
+        d2 in 1usize..16,
+        pattern in proptest::collection::vec(0usize..2, 0..24),
+        depth in 0usize..4,
+    ) {
+        if !host_supports_jit() {
+            return Ok(());
+        }
+        let a1 = CsrMatrix::from_triplets(nrows1, ncols1, &entries1).unwrap();
+        let a2 = CsrMatrix::from_triplets(nrows2, ncols2, &entries2).unwrap();
+        let pool = WorkerPool::new(2);
+        let engines = vec![
+            JitSpmmBuilder::new()
+                .strategy(Strategy::RowSplitDynamic { batch: 5 })
+                .threads(1)
+                .pool(pool.clone())
+                .build(&a1, d1)
+                .unwrap(),
+            JitSpmmBuilder::new()
+                .strategy(Strategy::RowSplitStatic)
+                .threads(1)
+                .pool(pool.clone())
+                .build(&a2, d2)
+                .unwrap(),
+        ];
+        // The drawn interleaving: requests tagged 0 or 1 in arbitrary order.
+        let inputs: Vec<(usize, DenseMatrix<f32>)> = pattern
+            .iter()
+            .enumerate()
+            .map(|(i, &engine)| {
+                let ncols = if engine == 0 { ncols1 } else { ncols2 };
+                let d = if engine == 0 { d1 } else { d2 };
+                (engine, DenseMatrix::<f32>::random(ncols, d, 7_000 + i as u64))
+            })
+            .collect();
+        // Reference: each request through its engine's blocking execute, in
+        // per-engine submission order.
+        let mut expected: Vec<Vec<DenseMatrix<f32>>> = vec![Vec::new(), Vec::new()];
+        for (engine, x) in &inputs {
+            expected[*engine].push(engines[*engine].execute(x).unwrap().0.into_dense());
+        }
+        let server = SpmmServer::new(engines).unwrap();
+        let requests: Vec<ServerRequest<f32>> = inputs
+            .iter()
+            .map(|(engine, x)| ServerRequest { engine: *engine, input: x.clone() })
+            .collect();
+        let (responses, report) = server.serve_batch(depth, requests).unwrap();
+        prop_assert_eq!(responses.len(), inputs.len());
+        prop_assert_eq!(report.requests, inputs.len());
+        for (g, response) in responses.iter().enumerate() {
+            prop_assert_eq!(response.request, g, "sorted by global submission order");
+            prop_assert_eq!(response.engine, inputs[g].0, "request {} routed wrong", g);
+            prop_assert!(
+                *response.output == expected[response.engine][response.index],
+                "request {} (engine {}, index {}) diverged from sequential execution",
+                g, response.engine, response.index
+            );
+        }
+        for (engine_report, engine_expected) in report.per_engine.iter().zip(&expected) {
+            prop_assert_eq!(engine_report.inputs, engine_expected.len());
+        }
     }
 
     /// Workload partitions always cover every row exactly once, regardless of

@@ -84,10 +84,7 @@ fn many_engines_share_one_pool_concurrently() {
                     let expected = a.spmm_reference(&x);
                     for engine in &engines {
                         let (y, _) = engine.execute(&x).unwrap();
-                        assert!(
-                            y.approx_eq(&expected, 1e-4),
-                            "worker {worker}, round {round}"
-                        );
+                        assert!(y.approx_eq(&expected, 1e-4), "worker {worker}, round {round}");
                     }
                 }
             });
@@ -363,8 +360,7 @@ fn abandoned_launch_releases_the_engine() {
     }
     let a = generate::rmat::<f32>(8, 3_000, generate::RmatConfig::GRAPH500, 15);
     let x = DenseMatrix::random(a.ncols(), 8, 16);
-    let engine =
-        JitSpmmBuilder::new().pool(WorkerPool::new(2)).threads(2).build(&a, 8).unwrap();
+    let engine = JitSpmmBuilder::new().pool(WorkerPool::new(2)).threads(2).build(&a, 8).unwrap();
     engine.pool().scope(|scope| {
         for _ in 0..10 {
             drop(engine.execute_async(scope, &x).unwrap());

@@ -3,7 +3,7 @@
 //! The build environment has no access to a crates registry, so this
 //! workspace-local crate implements the API subset the integration tests
 //! use: the [`strategy::Strategy`] trait with `prop_flat_map`/`prop_map`,
-//! range / tuple / [`Just`] / [`collection::vec`] strategies, the
+//! range / tuple / [`prelude::Just`] / [`collection::vec`] strategies, the
 //! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, and
 //! [`prelude::ProptestConfig`]. Inputs are generated from a deterministic
 //! per-test PRNG; failing cases are reported with their case number but are
@@ -281,7 +281,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
