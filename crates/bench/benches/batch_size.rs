@@ -13,7 +13,8 @@
 
 use jitspmm::{CpuFeatures, JitSpmmBuilder, Strategy};
 use jitspmm_bench::{
-    geometric_mean, host_cores, json_stats, measure, measure_interleaved, TextTable,
+    emit_bench_json, geometric_mean, host_cores, json_stats, measure, measure_interleaved,
+    TextTable,
 };
 use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
 
@@ -187,12 +188,5 @@ fn main() {
         json_rows.join(",\n"),
         ablation_rows.join(",\n"),
     );
-    // Cargo runs benches with the package directory as CWD; anchor the JSON
-    // at the workspace root so the perf trajectory lives in one place.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch_throughput.json");
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
-    println!("{json}");
+    emit_bench_json("BENCH_batch_throughput.json", &json);
 }

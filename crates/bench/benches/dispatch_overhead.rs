@@ -237,12 +237,5 @@ fn main() {
         overlap_speedup,
         overlap_speedup_mean,
     );
-    // Cargo runs benches with the package directory as CWD; anchor the JSON
-    // at the workspace root so the perf trajectory lives in one place.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch_overhead.json");
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
-    println!("{json}");
+    jitspmm_bench::emit_bench_json("BENCH_dispatch_overhead.json", &json);
 }

@@ -14,7 +14,9 @@
 use jitspmm::baseline::scalar::spmm_scalar_serve_mixed;
 use jitspmm::serve::{ServerRequest, SpmmServer};
 use jitspmm::{CpuFeatures, JitSpmmBuilder, Strategy, WorkerPool};
-use jitspmm_bench::{geometric_mean, host_cores, json_stats, measure_interleaved, TextTable};
+use jitspmm_bench::{
+    emit_bench_json, geometric_mean, host_cores, json_stats, measure_interleaved, TextTable,
+};
 use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
 
 /// Requests routed to each engine per serving run.
@@ -222,12 +224,5 @@ fn main() {
         "{{\n  \"bench\": \"serve_mixed\",\n  \"requests_per_engine\": {REQUESTS_PER_ENGINE},\n  \"pool_workers\": {workers},\n  \"host_cores\": {cores},\n  \"results\": [\n{}\n  ],\n  \"mixed_vs_serial_speedup_mean\": {headline:.4}\n}}\n",
         json_rows.join(",\n"),
     );
-    // Cargo runs benches with the package directory as CWD; anchor the JSON
-    // at the workspace root so the perf trajectory lives in one place.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve_mixed.json");
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
-    println!("{json}");
+    emit_bench_json("BENCH_serve_mixed.json", &json);
 }

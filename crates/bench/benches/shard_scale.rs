@@ -1,0 +1,143 @@
+//! Sharded-execution scaling benchmark: a [`ShardedSpmm`] over K
+//! nnz-balanced shards of one large power-law matrix, versus the single
+//! unsharded engine on the same pool — across K ∈ {1, 2, 4, 8}.
+//!
+//! K = 1 measures the sharding layer's pure overhead (one shard, one
+//! engine, plus the stitch bookkeeping); larger K measures whether
+//! overlapped lane-capped shard launches buy wall-clock time. On a
+//! single-core host nothing can overlap, so sharded execution degrades to
+//! sequential shard-by-shard launches and <1x is the honest expectation;
+//! on multi-core the disjoint-lane overlap is what this bench tracks
+//! (re-baseline when the hardware changes — the JSON records `host_cores`).
+//!
+//! Run with: `cargo bench -p jitspmm-bench --bench shard_scale`
+//! (add `-- --quick` for a fast pass). Emits a table on stdout and
+//! machine-readable JSON to `BENCH_shard_scale.json`, including each plan's
+//! achieved nnz imbalance — the planner's ≤1.10 balance target on
+//! power-law inputs is asserted here, so a planner regression fails the
+//! bench rather than silently skewing the numbers.
+
+use jitspmm::shard::{plan_shards, ShardedSpmm};
+use jitspmm::{CpuFeatures, JitSpmmBuilder, WorkerPool};
+use jitspmm_bench::{
+    emit_bench_json, geometric_mean, host_cores, json_stats, measure_interleaved, TextTable,
+};
+use jitspmm_sparse::{generate, DenseMatrix};
+
+/// Dense columns, the paper's GNN-ish middle ground.
+const D: usize = 16;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let features = CpuFeatures::detect();
+    if !(features.avx && features.has_fma()) {
+        eprintln!("shard_scale: host lacks AVX/FMA, skipping");
+        return;
+    }
+    let cores = host_cores();
+    // At least two workers, so shard launches can overlap the submitting
+    // thread — the configuration sharding exists for.
+    let workers = cores.max(2);
+    let reps = if quick { 4 } else { 10 };
+    let (scale, nnz) = if quick { (12, 150_000) } else { (14, 800_000) };
+    let a = generate::rmat::<f32>(scale, nnz, generate::RmatConfig::GRAPH500, 9);
+    let x = DenseMatrix::random(a.ncols(), D, 0xC0FFEE);
+    println!(
+        "sharded vs single-engine execution: {} x {} power-law matrix, {} non-zeros, d = {D} \
+         ({workers} pool workers, {cores} host cores)\n",
+        a.nrows(),
+        a.ncols(),
+        a.nnz()
+    );
+
+    let pool = WorkerPool::new(workers);
+    let single = JitSpmmBuilder::new()
+        .pool(pool.clone())
+        .threads(workers)
+        .build(&a, D)
+        .expect("JIT compilation failed");
+    let (reference, _) = single.execute(&x).expect("single-engine execution failed");
+    let reference = reference.into_dense();
+
+    let mut table = TextTable::new(&[
+        "shards",
+        "lanes/shard",
+        "nnz imbalance",
+        "single/run",
+        "sharded/run",
+        "speedup(mean)",
+    ]);
+    let mut json_rows = Vec::new();
+    let mut speedups = Vec::new();
+
+    for k in [1usize, 2, 4, 8] {
+        let lanes = (workers / k).max(1);
+        let plan = plan_shards(&a, k, lanes).expect("planning failed");
+        assert!(
+            plan.nnz_imbalance() <= 1.10,
+            "planner imbalance {} exceeds the 1.10 target on a power-law matrix (k = {k})",
+            plan.nnz_imbalance()
+        );
+        let sharded = ShardedSpmm::compile(&plan, D, pool.clone()).expect("shard compile failed");
+
+        // Correctness first: the stitched result must equal the unsharded
+        // engine's, bit for bit.
+        let (y, report) = pool.scope(|scope| sharded.execute(scope, &x)).expect("sharded run");
+        assert_eq!(*y, reference, "sharded result diverged at k = {k}");
+        assert_eq!(report.shards, plan.len());
+        drop(y);
+
+        let (single_stats, sharded_stats) = measure_interleaved(
+            reps,
+            || {
+                let _ = single.execute(&x).unwrap();
+            },
+            || {
+                let _ = pool.scope(|scope| sharded.execute(scope, &x)).unwrap();
+            },
+        );
+        let speedup_mean = single_stats.mean.as_secs_f64() / sharded_stats.mean.as_secs_f64();
+        speedups.push(speedup_mean);
+        table.row(vec![
+            plan.len().to_string(),
+            lanes.to_string(),
+            format!("{:.3}", plan.nnz_imbalance()),
+            format!("{:?}", single_stats.mean),
+            format!("{:?}", sharded_stats.mean),
+            format!("{speedup_mean:.2}x"),
+        ]);
+        let strategies: Vec<String> =
+            plan.shards().iter().map(|s| format!("\"{}\"", s.strategy)).collect();
+        json_rows.push(format!(
+            r#"    {{"shards": {}, "lanes_per_shard": {lanes}, "nnz_imbalance": {:.4}, "strategies": [{}], "single": {}, "sharded": {}, "speedup_mean": {speedup_mean:.4}}}"#,
+            plan.len(),
+            plan.nnz_imbalance(),
+            strategies.join(", "),
+            json_stats(&single_stats),
+            json_stats(&sharded_stats),
+        ));
+    }
+
+    table.print();
+    let headline = geometric_mean(&speedups);
+    println!(
+        "\nsharded vs single engine (geometric mean over shard counts, by mean time): \
+         {headline:.2}x"
+    );
+    println!(
+        "(on a single-core host shard launches cannot overlap — they run back to back and \
+         the stitch bookkeeping is pure overhead, so <1x is expected and recorded honestly; \
+         on multi-core the disjoint-lane overlap across shards is what this bench tracks — \
+         re-baseline when host_cores changes)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"shard_scale\",\n  \"d\": {D},\n  \"matrix_rows\": {},\n  \
+         \"matrix_nnz\": {},\n  \"pool_workers\": {workers},\n  \"host_cores\": {cores},\n  \
+         \"results\": [\n{}\n  ],\n  \"sharded_vs_single_speedup_mean\": {headline:.4}\n}}\n",
+        a.nrows(),
+        a.nnz(),
+        json_rows.join(",\n"),
+    );
+    emit_bench_json("BENCH_shard_scale.json", &json);
+}

@@ -137,9 +137,25 @@ pub fn measure_interleaved(
 }
 
 /// Serialize a [`Stats`] as the `{"best_ns": ..., "mean_ns": ...}` object
-/// both bench JSON files use.
+/// every bench JSON file uses.
 pub fn json_stats(s: &Stats) -> String {
     format!(r#"{{"best_ns": {}, "mean_ns": {}}}"#, s.best.as_nanos(), s.mean.as_nanos())
+}
+
+/// Write one benchmark's JSON (which should record [`host_cores`], so
+/// archived numbers stay interpretable across machines) to
+/// `<workspace root>/<file_name>` and echo it to stdout. Cargo runs benches
+/// with the package directory as CWD, so the path is anchored at the
+/// workspace root — the perf trajectory lives in one place, and CI uploads
+/// the files from there. A write failure is reported, not fatal: the
+/// numbers still reach stdout.
+pub fn emit_bench_json(file_name: &str, json: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(file_name);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+    println!("{json}");
 }
 
 /// Geometric mean of a slice of ratios (the paper reports average speedups).

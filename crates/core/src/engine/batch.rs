@@ -273,19 +273,43 @@ enum Pending<'scope> {
     Done(std::time::Duration),
 }
 
+/// An input a [`BatchStream`] keeps alive until its launch has been joined
+/// (the workers dereference its buffer). Owned inputs come from
+/// [`BatchStream::push_owned`]; shared inputs are one request fanned out
+/// across several pipelines at once — the sharded engine
+/// ([`crate::shard::ShardedSpmm`]) pushes one `Arc`'d input into every
+/// shard's stream, and the input stays alive until the *last* shard joins.
+pub(crate) enum StowedInput<T: Scalar> {
+    /// Exclusively owned by this stream's in-flight entry.
+    Owned(DenseMatrix<T>),
+    /// Shared across the streams of a sharded engine.
+    Shared(Arc<DenseMatrix<T>>),
+}
+
+impl<T: Scalar> StowedInput<T> {
+    /// The input's data pointer. Moving either variant never moves the heap
+    /// buffer behind it, so the pointer stays valid while the entry lives.
+    fn as_ptr(&self) -> *const T {
+        match self {
+            StowedInput::Owned(x) => x.as_ptr(),
+            StowedInput::Shared(x) => x.as_ptr(),
+        }
+    }
+}
+
 /// One in-flight batch launch, oldest-first in [`BatchStream::in_flight`].
 struct InFlight<'scope, T: Scalar> {
     pending: Pending<'scope>,
     slot: usize,
     y: Option<PooledMatrix<T>>,
     submitted: Instant,
-    /// An input pushed by value ([`BatchStream::push_owned`]), kept alive
-    /// here until the launch has been joined — the workers dereference its
-    /// buffer. `None` for borrowed pushes, whose input lives for `'env`.
-    /// Field order matters for the drop path only in that the join (in
-    /// `complete_oldest` or the stream's drop) always precedes this entry
-    /// being dropped.
-    _input: Option<DenseMatrix<T>>,
+    /// An input pushed by value ([`BatchStream::push_owned`]) or by shared
+    /// handle, kept alive here until the launch has been joined — the
+    /// workers dereference its buffer. `None` for borrowed pushes, whose
+    /// input lives for `'env`. Field order matters for the drop path only in
+    /// that the join (in `complete_oldest` or the stream's drop) always
+    /// precedes this entry being dropped.
+    _input: Option<StowedInput<T>>,
 }
 
 /// A pipelined stream of SpMM executions through one engine, created by
@@ -407,12 +431,33 @@ impl<'scope, 'env, T: Scalar> BatchStream<'scope, 'env, T> {
         &mut self,
         x: DenseMatrix<T>,
     ) -> Option<(PooledMatrix<T>, ExecutionReport)> {
-        let done = self.make_room();
         // SAFETY (of the pointer handed to `submit_ptr`): the owned matrix
         // is either consumed synchronously (sequential mode) or stowed in
         // the in-flight entry until its launch has been joined; moving a
         // `DenseMatrix` never moves its heap buffer, so the pointer taken
         // inside `submit_ptr` stays valid.
+        self.push_stowed(StowedInput::Owned(x))
+    }
+
+    /// [`BatchStream::push_owned`] for an input **shared** with other
+    /// streams: the sharded engine routes one request into every shard's
+    /// pipeline, each stream holding one `Arc` clone until its own launch
+    /// has been joined. Validation is the caller's job (the sharded engine
+    /// validates once against the full matrix — every shard has the same
+    /// column count and `d`).
+    pub(crate) fn push_shared_validated(
+        &mut self,
+        x: Arc<DenseMatrix<T>>,
+    ) -> Option<(PooledMatrix<T>, ExecutionReport)> {
+        // SAFETY: as in `push_owned_validated` — the `Arc` keeps the buffer
+        // alive until this stream's in-flight entry drops, which happens
+        // only after the launch is joined.
+        self.push_stowed(StowedInput::Shared(x))
+    }
+
+    /// Shared tail of the by-value push paths.
+    fn push_stowed(&mut self, x: StowedInput<T>) -> Option<(PooledMatrix<T>, ExecutionReport)> {
+        let done = self.make_room();
         self.submit_ptr(x.as_ptr(), Some(x));
         done
     }
@@ -455,7 +500,7 @@ impl<'scope, 'env, T: Scalar> BatchStream<'scope, 'env, T> {
     /// matrix, passed by value) which this function keeps alive in the
     /// in-flight entry (queued mode) or through the synchronous kernel run
     /// (sequential mode).
-    fn submit_ptr(&mut self, x_ptr: *const T, owned: Option<DenseMatrix<T>>) {
+    fn submit_ptr(&mut self, x_ptr: *const T, owned: Option<StowedInput<T>>) {
         if self.sequential {
             // `owned`, if any, lives until this call returns — after the
             // kernel has run to completion on this thread.

@@ -226,6 +226,57 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         })
     }
 
+    /// [`JitSpmm::execute_async`] with raw operand pointers and **no** pooled
+    /// output: the launch writes `A.nrows() x d` elements starting at `y`.
+    /// This is the stitch-into-range hook for the sharded engine
+    /// ([`crate::shard::ShardedSpmm`]), whose shard kernels write disjoint
+    /// row ranges of one shared full-size output — a shard compiled for rows
+    /// `start..end` of the full matrix is handed `y_full + start * d` and
+    /// its rows land exactly in place, no copy.
+    ///
+    /// Blocks behind a launch held by another thread (like the blocking
+    /// execute family: concurrent sharded executes acquire their shard locks
+    /// in shard order, so ordered blocking cannot deadlock) and returns
+    /// [`JitSpmmError::LaunchInProgress`] for a same-thread re-entry. Join
+    /// with [`ExecutionHandle::wait_report`]; [`ExecutionHandle::wait`] would
+    /// panic — there is no pooled output to hand back.
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep the memory behind `x` (shape `A.ncols() x d`)
+    /// and `y` (shape `A.nrows() x d`, exclusive to this launch) alive and
+    /// valid until the returned handle has been joined — by
+    /// [`ExecutionHandle::wait_report`], by dropping the handle, or by the
+    /// scope's own join. Shape validation is the caller's job too.
+    pub(crate) unsafe fn execute_async_raw<'scope, 'env>(
+        &'env self,
+        scope: &'scope PoolScope<'scope, 'env>,
+        x: *const T,
+        y: *mut T,
+    ) -> Result<ExecutionHandle<'scope, T>, JitSpmmError> {
+        let guard = self.begin_launch(true)?;
+        let job = KernelJob::new(&self.kernel, &self.partition.ranges, x, y);
+        let spec = job.spec(self.kernel.kind(), self.threads);
+        // Owned through a raw pointer, exactly as in `execute_async`.
+        let payload: *mut KernelJob<T> = Box::into_raw(Box::new(job));
+        let start = Instant::now();
+        // SAFETY: payload ownership and join discipline as in
+        // `execute_async`; liveness and exclusivity of `x`/`y` are the
+        // caller's contract, and the counter was reset under the launch lock
+        // held in `guard`.
+        let job =
+            unsafe { scope.submit_erased(spec, payload as *const (), KernelJob::<T>::erased()) };
+        Ok(ExecutionHandle {
+            job: Some(job),
+            payload,
+            y: None,
+            start,
+            threads: self.threads,
+            strategy: self.options.strategy,
+            _launch: guard,
+        })
+    }
+
     /// Compute `Y = A * X` into an existing output matrix (its previous
     /// contents are overwritten; no zeroing is required beforehand).
     ///
@@ -477,17 +528,29 @@ impl<T: Scalar> ExecutionHandle<'_, T> {
     /// `wait` — the overlap this API exists for — shows up in `dispatch`,
     /// not in `kernel`.
     pub fn wait(mut self) -> (PooledMatrix<T>, ExecutionReport) {
+        let report = self.join();
+        let y = self.y.take().expect("output present until wait");
+        (y, report)
+    }
+
+    /// Join a raw launch ([`JitSpmm::execute_async_raw`]) and return only its
+    /// [`ExecutionReport`] — the output was written in place into the
+    /// caller-provided region, there is nothing to hand back.
+    pub(crate) fn wait_report(mut self) -> ExecutionReport {
+        self.join()
+    }
+
+    /// Join the launch and assemble the report; shared by both wait paths.
+    fn join(&mut self) -> ExecutionReport {
         let kernel = self.job.take().expect("launch joined at most once").wait();
         let elapsed = self.start.elapsed();
-        let y = self.y.take().expect("output present until wait");
-        let report = ExecutionReport {
+        ExecutionReport {
             elapsed,
             kernel,
             dispatch: elapsed.saturating_sub(kernel),
             threads: self.threads,
             strategy: self.strategy,
-        };
-        (y, report)
+        }
     }
 }
 

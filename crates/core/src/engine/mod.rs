@@ -31,3 +31,5 @@ pub use compile::JitSpmm;
 pub use launch::ExecutionHandle;
 pub use options::{JitSpmmBuilder, SpmmOptions};
 pub use report::{BatchReport, ExecutionReport};
+
+pub(crate) use report::BatchStats;

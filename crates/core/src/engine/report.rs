@@ -103,11 +103,11 @@ pub(super) const MAX_BATCH_SAMPLES: usize = 4096;
 /// Per-input samples accumulated while a batch runs: exact counters plus a
 /// bounded uniform reservoir of (kernel, dispatch) sample pairs.
 #[derive(Default)]
-pub(super) struct BatchStats {
+pub(crate) struct BatchStats {
     kernel: Vec<Duration>,
     dispatch: Vec<Duration>,
     /// Exact number of inputs recorded (the reservoir may hold fewer).
-    pub(super) count: usize,
+    pub(crate) count: usize,
     kernel_total: Duration,
     /// Deterministic LCG state for reservoir replacement (no RNG
     /// dependency; statistical uniformity is all the percentiles need).
@@ -115,7 +115,7 @@ pub(super) struct BatchStats {
 }
 
 impl BatchStats {
-    pub(super) fn record(&mut self, report: &ExecutionReport) {
+    pub(crate) fn record(&mut self, report: &ExecutionReport) {
         self.count += 1;
         self.kernel_total += report.kernel;
         if self.kernel.len() < MAX_BATCH_SAMPLES {
@@ -133,7 +133,7 @@ impl BatchStats {
         }
     }
 
-    pub(super) fn report(
+    pub(crate) fn report(
         mut self,
         elapsed: Duration,
         depth: usize,

@@ -18,6 +18,9 @@ pub enum JitSpmmError {
     ShapeMismatch(String),
     /// The number of dense columns is zero (nothing to compute).
     EmptyDenseMatrix,
+    /// A shard plan was requested for a sparse matrix with no rows — there
+    /// is nothing to split (see [`crate::shard::plan_shards`]).
+    EmptySparseMatrix,
     /// An asynchronous launch of this engine is still in flight; one engine
     /// runs one launch at a time (its dynamic row-claim counter is shared
     /// state embedded in the generated code). Wait on — or drop — the
@@ -45,6 +48,9 @@ impl fmt::Display for JitSpmmError {
             }
             JitSpmmError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
             JitSpmmError::EmptyDenseMatrix => write!(f, "the dense matrix has zero columns"),
+            JitSpmmError::EmptySparseMatrix => {
+                write!(f, "the sparse matrix has zero rows: nothing to shard")
+            }
             JitSpmmError::LaunchInProgress => {
                 write!(f, "an asynchronous launch of this engine is still in flight")
             }

@@ -176,6 +176,25 @@
 //! ([`serve::SpmmServer::serve_stream`]); pre-collected request batches go
 //! through [`serve::SpmmServer::serve_batch`].
 //!
+//! # Sharded execution
+//!
+//! For matrices too large for one launch pipeline, the [`shard`] module
+//! splits the CSR into K contiguous row shards balanced by non-zero count
+//! ([`shard::plan_shards`] — a greedy prefix-sum cut reporting its achieved
+//! imbalance), picks a workload-division strategy *per shard* to match its
+//! local sparsity (uniform shards go static, skewed shards get the dynamic
+//! claim loop), and compiles one engine per shard on a shared pool
+//! ([`shard::ShardedSpmm`]). Execution launches every shard as an
+//! overlapped lane-capped job — each kernel writing directly into its row
+//! range of one pooled full-height output — and
+//! [`shard::ShardedSpmm::execute_batch`] pipelines whole batches through
+//! per-shard streams, stitching completed inputs with one contiguous copy
+//! per shard. Results are bit-identical to the unsharded engine's, and a
+//! [`shard::ShardReport`] breaks kernel/dispatch tails down per shard. A
+//! sharded engine registers with the serving router behind one logical id
+//! ([`serve::SpmmServer::add_sharded`]), so mixed streams can target huge
+//! sharded matrices and small single-engine ones uniformly.
+//!
 //! # Architecture map
 //!
 //! ```text
@@ -190,6 +209,11 @@
 //! │   ├── server         SpmmServer, ServerSession, ServerResponse
 //! │   ├── queue          bounded RequestQueue / RequestSender
 //! │   └── report         ServerReport (per-engine BatchReports + throughput)
+//! ├── shard/             nnz-balanced multi-engine sharding
+//! │   ├── plan           plan_shards: prefix-sum cuts, per-shard strategies
+//! │   ├── engine         ShardedSpmm: K engines, overlapped stitched launches
+//! │   ├── stream         ShardedStream: lockstep pipelined shard batches
+//! │   └── report         ShardReport (per-shard + merged critical path)
 //! ├── runtime/           persistent execution substrate
 //! │   ├── pool           WorkerPool: FIFO job queue, lane caps, scopes
 //! │   └── dispatch       KernelJob, LaunchPayload slots, BufferPool
@@ -215,6 +239,7 @@ pub mod profile;
 pub mod runtime;
 pub mod schedule;
 pub mod serve;
+pub mod shard;
 pub mod tiling;
 
 pub use codegen::KernelOptions;
@@ -231,6 +256,7 @@ pub use serve::{
     RequestQueue, RequestSender, ServerReport, ServerRequest, ServerResponse, ServerSession,
     SpmmServer,
 };
+pub use shard::{plan_shards, ShardPlan, ShardReport, ShardSpec, ShardedSpmm, ShardedStream};
 pub use tiling::{CcmPlan, ColumnTile, Segment, SegmentWidth};
 
 pub use jitspmm_asm::{CpuFeatures, IsaLevel};

@@ -101,6 +101,16 @@ impl RowRange {
     pub fn is_empty(&self) -> bool {
         self.start >= self.end
     }
+
+    /// Number of non-zeros of `matrix` that fall inside this row range.
+    /// Shared by the partition metrics and the shard planner, so every
+    /// balance report counts the same way.
+    pub fn nnz_in<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        matrix.row_ptr()[self.end] - matrix.row_ptr()[self.start]
+    }
 }
 
 /// A static partition of the matrix rows into per-thread ranges.
@@ -124,11 +134,7 @@ impl Partition {
     /// The largest number of non-zeros assigned to any single range —
     /// the quantity whose imbalance row-split suffers from (§IV.B.1).
     pub fn max_nnz<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> u64 {
-        self.ranges
-            .iter()
-            .map(|r| matrix.row_ptr()[r.end] - matrix.row_ptr()[r.start])
-            .max()
-            .unwrap_or(0)
+        self.ranges.iter().map(|r| r.nnz_in(matrix)).max().unwrap_or(0)
     }
 
     /// Ratio between the heaviest range and the average, by non-zero count.

@@ -25,7 +25,15 @@
 //!   (kernel/dispatch p50/p99 through the same bounded reservoir the batch
 //!   layer uses) plus whole-server throughput.
 //!
-//! Three entry points, lowest-level first:
+//! Sharded engines ([`crate::shard::ShardedSpmm`]) register behind one
+//! logical engine id via [`SpmmServer::add_sharded`]: the router fans each
+//! of their requests across the shard pipelines, stitches the shard outputs
+//! into one full-height response, and reports the merged critical-path
+//! timing in that engine's [`crate::BatchReport`] slot — routing,
+//! submission-order collection and [`ServerReport`] aggregation are
+//! unchanged.
+//!
+//! Four entry points, lowest-level first:
 //!
 //! * [`SpmmServer::session`] — open a [`ServerSession`] inside a pool scope
 //!   and drive it by hand ([`ServerSession::submit`] /
@@ -33,7 +41,10 @@
 //! * [`SpmmServer::serve_batch`] — serve a pre-collected `Vec` of requests;
 //! * [`SpmmServer::serve_stream`] — spawn a producer thread that feeds a
 //!   bounded [`RequestQueue`] while the calling thread routes, the
-//!   cross-thread configuration a real ingestion path has.
+//!   cross-thread configuration a real ingestion path has;
+//! * [`SpmmServer::serve_stream_with`] — the response-streaming form: each
+//!   completed response is handed to a consumer callback the moment it
+//!   exists instead of being collected.
 
 mod queue;
 mod report;

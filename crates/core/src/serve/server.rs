@@ -6,9 +6,11 @@ use crate::error::JitSpmmError;
 use crate::runtime::{PoolScope, PooledMatrix, WorkerPool};
 use crate::serve::queue::{RequestQueue, RequestSender, ServerRequest};
 use crate::serve::report::ServerReport;
+use crate::shard::{ShardedSpmm, ShardedStream};
 use jitspmm_sparse::{DenseMatrix, Scalar};
 use std::collections::VecDeque;
 use std::panic::resume_unwind;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A multi-engine serving router: owns N compiled [`JitSpmm`] engines —
@@ -65,6 +67,10 @@ use std::time::Instant;
 /// ```
 pub struct SpmmServer<'a, T: Scalar> {
     engines: Vec<JitSpmm<'a, T>>,
+    /// Sharded engines registered after construction
+    /// ([`SpmmServer::add_sharded`]); their logical engine ids follow the
+    /// single engines' (`engines.len()..engines.len() + sharded.len()`).
+    sharded: Vec<ShardedSpmm<'a, T>>,
     pool: WorkerPool,
 }
 
@@ -72,6 +78,7 @@ impl<T: Scalar> std::fmt::Debug for SpmmServer<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SpmmServer")
             .field("engines", &self.engines.len())
+            .field("sharded", &self.sharded.len())
             .field("pool_workers", &self.pool.size())
             .finish()
     }
@@ -101,12 +108,51 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
                  engines must share one pool"
             )));
         }
-        Ok(SpmmServer { engines, pool })
+        Ok(SpmmServer { engines, sharded: Vec::new(), pool })
     }
 
-    /// The engines this server routes to, in id order.
+    /// Register a sharded engine ([`ShardedSpmm`]) behind **one logical
+    /// engine id**, which this returns. To the routing layer a sharded
+    /// engine is indistinguishable from a single one: requests tag the
+    /// returned id, responses come back in per-engine submission order with
+    /// stitched full-height outputs, and the [`ServerReport`] carries the
+    /// sharded engine's merged [`crate::BatchReport`] in its per-engine
+    /// slot. Sharded ids follow the single-engine ids
+    /// (`engines().len()..`).
+    ///
+    /// # Errors
+    ///
+    /// [`JitSpmmError::InvalidConfig`] if the sharded engine does not
+    /// execute on this server's pool (checked via
+    /// [`WorkerPool::same_pool`], like every engine at construction).
+    pub fn add_sharded(&mut self, sharded: ShardedSpmm<'a, T>) -> Result<usize, JitSpmmError> {
+        if !sharded.pool().same_pool(&self.pool) {
+            return Err(JitSpmmError::InvalidConfig(
+                "the sharded engine executes on a different worker pool; all of a server's \
+                 engines must share one pool"
+                    .to_string(),
+            ));
+        }
+        self.sharded.push(sharded);
+        Ok(self.engines.len() + self.sharded.len() - 1)
+    }
+
+    /// The single (unsharded) engines this server routes to, in id order.
+    /// Sharded engines registered via [`SpmmServer::add_sharded`] follow
+    /// them in the id space and are listed by [`SpmmServer::sharded`].
     pub fn engines(&self) -> &[JitSpmm<'a, T>] {
         &self.engines
+    }
+
+    /// The sharded engines, in registration order; the logical id of
+    /// `sharded()[i]` is `engines().len() + i`.
+    pub fn sharded(&self) -> &[ShardedSpmm<'a, T>] {
+        &self.sharded
+    }
+
+    /// Total number of logical engine ids (single + sharded).
+    pub fn engine_count(&self) -> usize {
+        self.engines.len() + self.sharded.len()
     }
 
     /// The shared worker pool every engine executes on.
@@ -134,15 +180,18 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         scope: &'scope PoolScope<'scope, 'env>,
         depth: usize,
     ) -> Result<ServerSession<'scope, 'env, T>, JitSpmmError> {
-        let mut streams = Vec::with_capacity(self.engines.len());
+        let mut streams = Vec::with_capacity(self.engine_count());
         for engine in &self.engines {
             // A failure midway (a held launch lock, codegen) drops the
             // streams opened so far, releasing their engines.
-            streams.push(engine.batch_stream(scope, depth)?);
+            streams.push(RouteStream::Single(engine.batch_stream(scope, depth)?));
         }
-        let engines = self.engines.len();
+        for sharded in &self.sharded {
+            streams.push(RouteStream::Sharded(sharded.batch_stream(scope, depth)?));
+        }
+        let engines = streams.len();
         Ok(ServerSession {
-            engines: &self.engines,
+            server: self,
             streams,
             pending: vec![VecDeque::new(); engines],
             completed: vec![0; engines],
@@ -192,12 +241,15 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         // recycle their output buffers instead of re-allocating. (Only once
         // the batch is actually going to run — a failed call must not mutate
         // engine state.)
-        let mut per_engine_count = vec![0usize; self.engines.len()];
+        let mut per_engine_count = vec![0usize; self.engine_count()];
         for request in &requests {
             per_engine_count[request.engine] += 1;
         }
-        for (engine, count) in self.engines.iter().zip(per_engine_count) {
+        for (engine, &count) in self.engines.iter().zip(&per_engine_count) {
             engine.reserve_outputs(count);
+        }
+        for (sharded, &count) in self.sharded.iter().zip(&per_engine_count[self.engines.len()..]) {
+            sharded.reserve_outputs(count);
         }
         self.pool.scope(|scope| {
             let mut session = self.session(scope, depth)?;
@@ -251,6 +303,56 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         P: FnOnce(RequestSender<T>) -> R + Send,
         R: Send,
     {
+        let mut responses = Vec::new();
+        let (report, produced) =
+            self.serve_stream_with(depth, queue_capacity, producer, |r| responses.push(r))?;
+        responses.sort_by_key(|r| r.request);
+        Ok((responses, report, produced))
+    }
+
+    /// [`SpmmServer::serve_stream`] in **response-streaming** form: instead
+    /// of collecting every response and returning them at the end, each
+    /// completed [`ServerResponse`] is handed to `consumer` as soon as its
+    /// launch joins — the shape a latency-sensitive ingestion path wants,
+    /// where a response should leave the server the moment it exists (and
+    /// its pooled output buffer recycles as soon as the consumer drops it,
+    /// instead of the whole result set staying resident).
+    ///
+    /// Responses arrive in **per-engine submission order** (each engine's
+    /// pipeline completes oldest-first); across engines the order follows
+    /// completion, not global submission — consult
+    /// [`ServerResponse::request`] to re-sequence globally, or use
+    /// [`SpmmServer::serve_stream`], which does exactly that.
+    ///
+    /// The producer/backpressure plumbing is identical to
+    /// [`SpmmServer::serve_stream`]: `producer` runs on a fresh thread
+    /// feeding a bounded [`RequestQueue`], and the queue is closed on every
+    /// exit from this call — normal return, validation error, or a panic
+    /// (the consumer's included) unwinding through it — so a producer
+    /// blocked in `send` can never deadlock against a serving loop that has
+    /// stopped consuming.
+    ///
+    /// # Errors
+    ///
+    /// As [`SpmmServer::serve_stream`].
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker, producer or consumer panic; in every case the
+    /// queue is closed and the in-flight launches joined first, so no
+    /// thread is left blocked.
+    pub fn serve_stream_with<P, R, C>(
+        &self,
+        depth: usize,
+        queue_capacity: usize,
+        producer: P,
+        mut consumer: C,
+    ) -> Result<(ServerReport, R), JitSpmmError>
+    where
+        P: FnOnce(RequestSender<T>) -> R + Send,
+        R: Send,
+        C: FnMut(ServerResponse<T>),
+    {
         let (sender, queue) = RequestQueue::bounded(queue_capacity);
         std::thread::scope(|threads| {
             // Close the queue on *every* exit from this frame — normal
@@ -261,36 +363,42 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
             let producer_thread = threads.spawn(move || producer(sender));
             let served = self.pool.scope(|scope| -> Result<_, JitSpmmError> {
                 let mut session = self.session(scope, depth)?;
-                let mut responses = Vec::new();
                 while let Some(request) = queue.recv() {
                     if let Some(done) = session.submit(request.engine, request.input)? {
-                        responses.push(done);
+                        consumer(done);
                     }
                 }
                 let (rest, report) = session.finish();
-                responses.extend(rest);
-                Ok((responses, report))
+                for done in rest {
+                    consumer(done);
+                }
+                Ok(report)
             });
             queue.close();
             let produced = match producer_thread.join() {
                 Ok(value) => value,
                 Err(payload) => resume_unwind(payload),
             };
-            served.map(|(mut responses, report)| {
-                responses.sort_by_key(|r| r.request);
-                (responses, report, produced)
-            })
+            served.map(|report| (report, produced))
         })
     }
 
     /// Validate one request — engine id, then input shape — without touching
-    /// any engine state.
+    /// any engine state. The id space covers single engines first, then
+    /// sharded ones.
     fn validate(&self, request: &ServerRequest<T>) -> Result<(), JitSpmmError> {
-        let engine = self.engines.get(request.engine).ok_or(JitSpmmError::UnknownEngine {
-            requested: request.engine,
-            engines: self.engines.len(),
+        self.check_request(request.engine, &request.input)
+    }
+
+    /// Shape-check `input` against logical engine `id` (single or sharded).
+    fn check_request(&self, id: usize, input: &DenseMatrix<T>) -> Result<(), JitSpmmError> {
+        if let Some(engine) = self.engines.get(id) {
+            return engine.check_input_shape(input);
+        }
+        let sharded = self.sharded.get(id - self.engines.len()).ok_or({
+            JitSpmmError::UnknownEngine { requested: id, engines: self.engine_count() }
         })?;
-        engine.check_input_shape(&request.input)
+        sharded.check_input_shape(input)
     }
 }
 
@@ -324,19 +432,20 @@ pub struct ServerResponse<T: Scalar> {
 }
 
 /// An open serving session, created by [`SpmmServer::session`]: one
-/// [`BatchStream`] per engine, plus the request bookkeeping that tags every
-/// response with its engine id and sequence numbers.
+/// pipeline per logical engine — a [`BatchStream`] for single engines, a
+/// [`ShardedStream`] for sharded ones — plus the request bookkeeping that
+/// tags every response with its engine id and sequence numbers.
 ///
 /// The session holds **every** engine's launch lock until it is finished or
 /// dropped (dropping joins all in-flight launches and discards their
 /// results). Submit with [`ServerSession::submit`]; drain with
 /// [`ServerSession::finish`].
 pub struct ServerSession<'scope, 'env, T: Scalar> {
-    engines: &'env [JitSpmm<'env, T>],
-    /// One pipeline per engine, indexed by engine id. Launch payload slots,
-    /// output buffers and spare kernels are all per-engine-slot state owned
-    /// by the individual streams.
-    streams: Vec<BatchStream<'scope, 'env, T>>,
+    server: &'env SpmmServer<'env, T>,
+    /// One pipeline per logical engine, indexed by engine id. Launch
+    /// payload slots, output buffers and spare kernels are all
+    /// per-engine-slot state owned by the individual streams.
+    streams: Vec<RouteStream<'scope, 'env, T>>,
     /// Global sequence numbers of each engine's in-flight requests, oldest
     /// first (per-engine completion is oldest-first, so the front is always
     /// the next to finish).
@@ -389,7 +498,7 @@ impl<T: Scalar> ServerSession<'_, '_, T> {
                 engines: self.streams.len(),
             });
         }
-        self.engines[engine].check_input_shape(&input)?;
+        self.server.check_request(engine, &input)?;
         Ok(self.submit_validated(engine, input))
     }
 
@@ -405,7 +514,12 @@ impl<T: Scalar> ServerSession<'_, '_, T> {
         self.started.get_or_insert_with(Instant::now);
         self.pending[engine].push_back(self.next_request);
         self.next_request += 1;
-        let done = self.streams[engine].push_owned_validated(input);
+        let done = match &mut self.streams[engine] {
+            RouteStream::Single(stream) => stream.push_owned_validated(input),
+            // One owned request, fanned out to every shard pipeline: each
+            // holds an `Arc` clone until its own launch joins.
+            RouteStream::Sharded(stream) => stream.push_shared_validated(Arc::new(input)),
+        };
         done.map(|(output, report)| {
             let request =
                 self.pending[engine].pop_front().expect("completed launches were submitted");
@@ -433,7 +547,16 @@ impl<T: Scalar> ServerSession<'_, '_, T> {
         let mut responses = Vec::new();
         let mut per_engine = Vec::with_capacity(self.streams.len());
         for (engine, stream) in self.streams.drain(..).enumerate() {
-            let (rest, report) = stream.finish();
+            // A sharded engine contributes its merged (critical-path across
+            // shards) batch report to the per-engine slot, so the
+            // `ServerReport` aggregation is uniform across engine kinds.
+            let (rest, report) = match stream {
+                RouteStream::Single(stream) => stream.finish(),
+                RouteStream::Sharded(stream) => {
+                    let (rest, shard_report) = stream.finish();
+                    (rest, shard_report.merged)
+                }
+            };
             for (output, exec) in rest {
                 let request =
                     self.pending[engine].pop_front().expect("completed launches were submitted");
@@ -446,4 +569,16 @@ impl<T: Scalar> ServerSession<'_, '_, T> {
         let elapsed = self.started.map(|t| t.elapsed()).unwrap_or_default();
         (responses, ServerReport { requests: self.next_request, elapsed, per_engine })
     }
+}
+
+/// One logical engine's pipeline inside a [`ServerSession`]: a plain
+/// [`BatchStream`] for single engines, a [`ShardedStream`] (one pipeline
+/// per shard, stitched outputs) for sharded ones. Both return completed
+/// results as `(output, report)` pairs in submission order, which is all
+/// the session's bookkeeping relies on.
+enum RouteStream<'scope, 'env, T: Scalar> {
+    /// A single compiled engine's pipeline.
+    Single(BatchStream<'scope, 'env, T>),
+    /// A sharded engine's lockstep shard pipelines.
+    Sharded(ShardedStream<'scope, 'env, T>),
 }

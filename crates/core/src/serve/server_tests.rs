@@ -291,3 +291,171 @@ fn single_engine_server_is_just_a_batch() {
         assert_eq!(*response.output, *expected);
     }
 }
+
+#[test]
+fn sharded_engine_serves_behind_one_logical_id() {
+    if !host_ok() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    use crate::shard::{plan_shards, ShardedSpmm};
+    let small = generate::uniform::<f32>(90, 70, 700, 21);
+    let big = generate::rmat::<f32>(9, 8_000, generate::RmatConfig::GRAPH500, 22);
+    let pool = WorkerPool::new(2);
+    let single = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&small, 4).unwrap();
+    let plan = plan_shards(&big, 3, 1).unwrap();
+    let sharded = ShardedSpmm::compile(&plan, 8, pool.clone()).unwrap();
+    // References before the server takes ownership.
+    let single_inputs: Vec<DenseMatrix<f32>> =
+        (0..4).map(|i| input_for(&small, 4, 600 + i)).collect();
+    let sharded_inputs: Vec<DenseMatrix<f32>> =
+        (0..4).map(|i| input_for(&big, 8, 700 + i)).collect();
+    let expected_single: Vec<DenseMatrix<f32>> =
+        single_inputs.iter().map(|x| single.execute(x).unwrap().0.into_dense()).collect();
+    let expected_sharded: Vec<DenseMatrix<f32>> = sharded_inputs
+        .iter()
+        .map(|x| pool.scope(|scope| sharded.execute(scope, x)).unwrap().0.into_dense())
+        .collect();
+
+    let mut server = SpmmServer::new(vec![single]).unwrap();
+    let sharded_id = server.add_sharded(sharded).unwrap();
+    assert_eq!(sharded_id, 1);
+    assert_eq!(server.engine_count(), 2);
+    // A sharded engine on a foreign pool is refused.
+    let foreign_plan = plan_shards(&big, 2, 1).unwrap();
+    let foreign = ShardedSpmm::compile(&foreign_plan, 8, WorkerPool::new(1)).unwrap();
+    assert!(matches!(server.add_sharded(foreign).unwrap_err(), JitSpmmError::InvalidConfig(_)));
+
+    // An interleaved mixed stream across both ids.
+    let requests: Vec<ServerRequest<f32>> = (0..8)
+        .map(|i| {
+            let engine = i % 2;
+            let input = if engine == 0 {
+                single_inputs[i / 2].clone()
+            } else {
+                sharded_inputs[i / 2].clone()
+            };
+            ServerRequest { engine, input }
+        })
+        .collect();
+    let (responses, report) = server.serve_batch(0, requests).unwrap();
+    assert_eq!(responses.len(), 8);
+    assert_eq!(report.per_engine.len(), 2);
+    assert_eq!(report.per_engine[0].inputs, 4);
+    assert_eq!(report.per_engine[1].inputs, 4);
+    for response in &responses {
+        let expected = if response.engine == 0 {
+            &expected_single[response.index]
+        } else {
+            &expected_sharded[response.index]
+        };
+        assert_eq!(
+            *response.output, *expected,
+            "engine {} request {} must be bit-identical to direct execution",
+            response.engine, response.index
+        );
+    }
+    // Validation covers the sharded id space: bad shapes and unknown ids
+    // are refused before any launch.
+    let bad = vec![ServerRequest { engine: sharded_id, input: DenseMatrix::zeros(3, 3) }];
+    assert!(matches!(server.serve_batch(0, bad).unwrap_err(), JitSpmmError::ShapeMismatch(_)));
+    let unknown = vec![ServerRequest { engine: 2, input: input_for(&big, 8, 1) }];
+    assert!(matches!(
+        server.serve_batch(0, unknown).unwrap_err(),
+        JitSpmmError::UnknownEngine { requested: 2, engines: 2 }
+    ));
+}
+
+#[test]
+fn serve_stream_with_hands_responses_to_the_consumer() {
+    if !host_ok() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let ms = matrices();
+    let pool = WorkerPool::new(2);
+    let engines = build_engines(&pool, &ms);
+    let dims: Vec<usize> = engines.iter().map(|e| e.d()).collect();
+    let expected: Vec<DenseMatrix<f32>> = (0..9)
+        .map(|i| {
+            let e = i % engines.len();
+            engines[e].execute(&input_for(&ms[e], dims[e], 900 + i as u64)).unwrap().0.into_dense()
+        })
+        .collect();
+    let server = SpmmServer::new(engines).unwrap();
+    let (ms_ref, dims_ref) = (&ms, &dims);
+    let mut streamed = Vec::new();
+    let (report, produced) = server
+        .serve_stream_with(
+            0,
+            3,
+            move |sender| {
+                let mut sent = 0usize;
+                for i in 0..9usize {
+                    let e = i % dims_ref.len();
+                    if sender.send(e, input_for(&ms_ref[e], dims_ref[e], 900 + i as u64)) {
+                        sent += 1;
+                    }
+                }
+                sent
+            },
+            |response| streamed.push(response),
+        )
+        .unwrap();
+    assert_eq!(produced, 9);
+    assert_eq!(report.requests, 9);
+    assert_eq!(streamed.len(), 9);
+    // Responses arrive in per-engine submission order; re-sequence by the
+    // global submission number to compare against the references.
+    streamed.sort_by_key(|r| r.request);
+    for (i, response) in streamed.iter().enumerate() {
+        assert_eq!(response.request, i);
+        assert_eq!(
+            *response.output, expected[i],
+            "streamed response {i} must be bit-identical to sequential execution"
+        );
+    }
+}
+
+#[test]
+fn panicking_consumer_still_closes_the_queue() {
+    if !host_ok() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let ms = matrices();
+    let pool = WorkerPool::new(2);
+    let engines = build_engines(&pool, &ms);
+    let d0 = engines[0].d();
+    let server = SpmmServer::new(engines).unwrap();
+    let ms_ref = &ms;
+    // The consumer panics on the first response while the producer still
+    // has dozens of sends to push through a capacity-1 queue: the panic
+    // must close the queue (producer sends return false instead of
+    // blocking forever) and then propagate. The test completing at all is
+    // the no-deadlock assertion.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        server.serve_stream_with(
+            0,
+            1,
+            move |sender| {
+                let mut refused = 0usize;
+                for i in 0..50usize {
+                    if !sender.send(0, input_for(&ms_ref[0], d0, i as u64)) {
+                        refused += 1;
+                    }
+                }
+                refused
+            },
+            |_response| panic!("consumer exploded"),
+        )
+    }));
+    let payload = result.unwrap_err();
+    let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(message, "consumer exploded");
+    // The server (and its engines) remain fully usable afterwards.
+    let x = input_for(&ms[0], d0, 123);
+    let (y, _) = server.engines()[0].execute(&x).unwrap();
+    assert!(y.approx_eq(&ms[0].spmm_reference(&x), 1e-4));
+}

@@ -1,0 +1,156 @@
+//! Unit tests for the sharded execution subsystem (split out of the layer
+//! files to keep them readable). The cross-crate differential family lives
+//! in `tests/tests/differential.rs`.
+
+use crate::engine::JitSpmmBuilder;
+use crate::error::JitSpmmError;
+use crate::runtime::WorkerPool;
+use crate::shard::{plan_shards, ShardedSpmm};
+use jitspmm_asm::CpuFeatures;
+use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
+
+fn host_ok() -> bool {
+    let f = CpuFeatures::detect();
+    f.avx && f.has_fma()
+}
+
+#[test]
+fn sharded_execute_is_bit_identical_to_unsharded() {
+    if !host_ok() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let a = generate::rmat::<f32>(10, 15_000, generate::RmatConfig::GRAPH500, 11);
+    let x = DenseMatrix::random(a.ncols(), 8, 4);
+    let pool = WorkerPool::new(2);
+    let unsharded = JitSpmmBuilder::new().pool(pool.clone()).threads(2).build(&a, 8).unwrap();
+    let (expected, _) = unsharded.execute(&x).unwrap();
+    for k in [1usize, 3, 5] {
+        let plan = plan_shards(&a, k, 1).unwrap();
+        let sharded = ShardedSpmm::compile(&plan, 8, pool.clone()).unwrap();
+        let (y, report) = pool.scope(|scope| sharded.execute(scope, &x)).unwrap();
+        assert_eq!(*y, *expected, "k = {k}: sharded execute must be bit-identical to unsharded");
+        assert_eq!(report.shards, plan.len());
+        assert_eq!(report.per_shard.len(), plan.len());
+        assert_eq!(report.inputs(), 1);
+        assert!(report.nnz_imbalance >= 1.0);
+    }
+}
+
+#[test]
+fn sharded_batch_matches_per_input_execute() {
+    if !host_ok() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let a = generate::uniform::<f32>(300, 260, 5_000, 6);
+    let pool = WorkerPool::new(2);
+    let plan = plan_shards(&a, 3, 1).unwrap();
+    let sharded = ShardedSpmm::compile(&plan, 4, pool.clone()).unwrap();
+    let inputs: Vec<DenseMatrix<f32>> =
+        (0..6).map(|i| DenseMatrix::random(a.ncols(), 4, 40 + i)).collect();
+    let singles: Vec<DenseMatrix<f32>> = inputs
+        .iter()
+        .map(|x| pool.scope(|scope| sharded.execute(scope, x)).unwrap().0.into_dense())
+        .collect();
+    let (outputs, report) = pool.scope(|scope| sharded.execute_batch(scope, &inputs)).unwrap();
+    assert_eq!(outputs.len(), inputs.len());
+    assert_eq!(report.inputs(), inputs.len());
+    for (i, y) in outputs.iter().enumerate() {
+        assert_eq!(**y, singles[i], "batched input {i} differs from single execute");
+        assert!(y.approx_eq(&a.spmm_reference(&inputs[i]), 1e-4));
+    }
+    // An explicit depth-2 stream exercises the real pipeline everywhere.
+    pool.scope(|scope| {
+        let mut stream = sharded.batch_stream(scope, 2).unwrap();
+        let mut streamed = Vec::new();
+        for x in &inputs {
+            if let Some((y, _)) = stream.push(x).unwrap() {
+                streamed.push(y);
+            }
+        }
+        let (rest, report) = stream.finish();
+        streamed.extend(rest.into_iter().map(|(y, _)| y));
+        assert_eq!(report.inputs(), inputs.len());
+        for (i, y) in streamed.iter().enumerate() {
+            assert_eq!(**y, singles[i], "pipelined input {i} differs from single execute");
+        }
+    });
+}
+
+#[test]
+fn sharded_engine_validates_shapes_and_reports_errors() {
+    if !host_ok() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let a = generate::uniform::<f32>(100, 80, 1_000, 2);
+    let pool = WorkerPool::new(1);
+    let plan = plan_shards(&a, 2, 1).unwrap();
+    let sharded = ShardedSpmm::compile(&plan, 8, pool.clone()).unwrap();
+    // Wrong input shape: rejected before any launch.
+    let bad = DenseMatrix::<f32>::zeros(80, 4);
+    let err = pool.scope(|scope| sharded.execute(scope, &bad)).unwrap_err();
+    assert!(matches!(err, JitSpmmError::ShapeMismatch(_)));
+    // A bad input anywhere in a batch rejects the whole batch, named.
+    let good = DenseMatrix::random(80, 8, 1);
+    let mixed = [good.clone(), bad.clone()];
+    let err = pool.scope(|scope| sharded.execute_batch(scope, &mixed)).unwrap_err();
+    match err {
+        JitSpmmError::ShapeMismatch(msg) => assert!(msg.contains("batch input 1"), "{msg}"),
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+    // d = 0 cannot compile.
+    assert!(matches!(
+        ShardedSpmm::compile(&plan, 0, pool.clone()).unwrap_err(),
+        JitSpmmError::EmptyDenseMatrix
+    ));
+    // And the engine still executes fine after the rejections.
+    let (y, _) = pool.scope(|scope| sharded.execute(scope, &good)).unwrap();
+    assert!(y.approx_eq(&a.spmm_reference(&good), 1e-4));
+}
+
+#[test]
+fn zero_nnz_shards_execute_and_write_zero_rows() {
+    if !host_ok() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    // All non-zeros in the first row: the plan keeps a zero-nnz tail shard
+    // covering the remaining rows, whose kernel must still overwrite its
+    // output rows (the buffer pool recycles without zeroing).
+    let triplets: Vec<(usize, usize, f32)> = (0..30).map(|c| (0usize, c, 1.0 + c as f32)).collect();
+    let a = CsrMatrix::<f32>::from_triplets(64, 30, &triplets).unwrap();
+    let pool = WorkerPool::new(2);
+    let plan = plan_shards(&a, 4, 1).unwrap();
+    assert!(plan.shards().iter().any(|s| s.nnz() == 0), "expected a zero-nnz shard");
+    let sharded = ShardedSpmm::compile(&plan, 8, pool.clone()).unwrap();
+    let x = DenseMatrix::random(30, 8, 9);
+    // Execute twice so the second run reuses a dirty recycled buffer.
+    for _ in 0..2 {
+        let (y, _) = pool.scope(|scope| sharded.execute(scope, &x)).unwrap();
+        assert!(y.approx_eq(&a.spmm_reference(&x), 1e-4));
+        for r in 1..64 {
+            assert!(y.row(r).iter().all(|&v| v == 0.0), "row {r} must be zeroed");
+        }
+    }
+}
+
+#[test]
+fn sharded_outputs_recycle_in_steady_state() {
+    if !host_ok() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let a = generate::uniform::<f32>(128, 128, 2_000, 3);
+    let pool = WorkerPool::new(2);
+    let plan = plan_shards(&a, 2, 1).unwrap();
+    let sharded = ShardedSpmm::compile(&plan, 4, pool.clone()).unwrap();
+    let x = DenseMatrix::random(128, 4, 5);
+    let first_ptr = {
+        let (y, _) = pool.scope(|scope| sharded.execute(scope, &x)).unwrap();
+        y.as_ptr()
+    };
+    let (y, _) = pool.scope(|scope| sharded.execute(scope, &x)).unwrap();
+    assert_eq!(y.as_ptr(), first_ptr, "steady-state execute must recycle the full output");
+}

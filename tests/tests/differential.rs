@@ -17,6 +17,7 @@
 
 use jitspmm::baseline::{scalar, vectorized};
 use jitspmm::serve::{ServerRequest, SpmmServer};
+use jitspmm::shard::{plan_shards, ShardedSpmm};
 use jitspmm::{JitSpmmBuilder, JitSpmmError, JobSpec, Strategy, WorkerPool};
 use jitspmm_integration_tests::host_supports_jit;
 use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
@@ -606,5 +607,127 @@ fn mixed_engine_serving_in_single_threaded_mode_is_deterministic() {
         assert_eq!(r1.engine, r2.engine);
         assert_eq!(r1.index, r2.index);
         assert_eq!(*r1.output, *r2.output, "serving is not deterministic");
+    }
+}
+
+#[test]
+fn differential_matrix_sharded() {
+    // The sharded engine across the scenario matrix × shard counts
+    // {2, 3, 8} × batch sizes {1, 4, 32}: sharding splits the matrix into
+    // nnz-balanced row shards, each with its own compiled kernel and
+    // (possibly different) workload-division strategy — yet every output
+    // row is computed with the same per-row arithmetic, so results must be
+    // *bit-identical* to the unsharded engine's blocking `execute` (single
+    // inputs and batches alike) and within tolerance of the scalar batch
+    // anchor.
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let pool = WorkerPool::new(3);
+    let mut combinations = 0usize;
+    for s in scenarios() {
+        let inputs: Vec<DenseMatrix<f32>> =
+            (0..32).map(|i| DenseMatrix::random(s.matrix.ncols(), s.d, 2_000 + i as u64)).collect();
+        let anchors = scalar::spmm_scalar_batch(&s.matrix, &inputs);
+        let unsharded =
+            JitSpmmBuilder::new().threads(2).pool(pool.clone()).build(&s.matrix, s.d).unwrap();
+        let blocking: Vec<DenseMatrix<f32>> =
+            inputs.iter().map(|x| unsharded.execute(x).unwrap().0.into_dense()).collect();
+        for k in [2usize, 3, 8] {
+            let plan = plan_shards(&s.matrix, k, 1).unwrap();
+            assert!(plan.len() <= k && !plan.is_empty());
+            assert!(plan.nnz_imbalance() >= 1.0);
+            let sharded = ShardedSpmm::compile(&plan, s.d, pool.clone()).unwrap();
+            // The single-launch path: every shard as one overlapped raw
+            // launch writing straight into the full output.
+            let (y, report) = pool.scope(|scope| sharded.execute(scope, &inputs[0])).unwrap();
+            assert_eq!(
+                *y, blocking[0],
+                "{} (k = {k}): sharded execute must be bit-identical to unsharded",
+                s.name
+            );
+            assert_eq!(report.shards, plan.len());
+            drop(y);
+            for batch_size in [1usize, 4, 32] {
+                let slice = &inputs[..batch_size];
+                let (outputs, report) =
+                    pool.scope(|scope| sharded.execute_batch(scope, slice)).unwrap();
+                assert_eq!(outputs.len(), batch_size);
+                assert_eq!(report.inputs(), batch_size);
+                assert_eq!(report.per_shard.len(), plan.len());
+                for (i, y) in outputs.iter().enumerate() {
+                    assert_eq!(
+                        **y, blocking[i],
+                        "{} (k = {k}, batch {batch_size}, input {i}): sharded batch must be \
+                         bit-identical to unsharded execute",
+                        s.name
+                    );
+                    assert!(
+                        y.approx_eq(&anchors[i], 1e-4),
+                        "{} (k = {k}, batch {batch_size}, input {i}): sharded vs scalar \
+                         anchor, max diff {}",
+                        s.name,
+                        y.max_abs_diff(&anchors[i])
+                    );
+                }
+                combinations += 1;
+            }
+        }
+    }
+    assert!(
+        combinations >= 90,
+        "sharded differential must cover >= 10 shapes x 3 shard counts x 3 batch sizes, \
+         got {combinations}"
+    );
+}
+
+#[test]
+fn sharded_edge_cases() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let pool = WorkerPool::new(2);
+    // The planner on an empty matrix fails with the typed error, never a
+    // panic or a zero-shard plan.
+    let empty = CsrMatrix::<f32>::zeros(0, 8);
+    assert!(matches!(plan_shards(&empty, 4, 1).unwrap_err(), JitSpmmError::EmptySparseMatrix));
+    // K = 1: one shard, the degenerate plan — still bit-identical.
+    let m = power_law();
+    let x = DenseMatrix::random(m.ncols(), 8, 3);
+    let unsharded = JitSpmmBuilder::new().threads(2).pool(pool.clone()).build(&m, 8).unwrap();
+    let (expected, _) = unsharded.execute(&x).unwrap();
+    let plan = plan_shards(&m, 1, 1).unwrap();
+    assert_eq!(plan.len(), 1);
+    let sharded = ShardedSpmm::compile(&plan, 8, pool.clone()).unwrap();
+    let (y, _) = pool.scope(|scope| sharded.execute(scope, &x)).unwrap();
+    assert_eq!(*y, *expected, "k = 1 sharding must be the identity");
+    drop(y);
+    // K > rows: the plan clamps to the row count, no zero-row shards.
+    let small = tiny();
+    let plan = plan_shards(&small, 8, 1).unwrap();
+    assert_eq!(plan.len(), 1, "a 1x1 matrix supports exactly one shard");
+    let sharded = ShardedSpmm::compile(&plan, 1, pool.clone()).unwrap();
+    let xs = DenseMatrix::random(1, 1, 5);
+    let (y, _) = pool.scope(|scope| sharded.execute(scope, &xs)).unwrap();
+    assert!(y.approx_eq(&small.spmm_reference(&xs), 1e-5));
+    drop(y);
+    // An empty (zero-nnz) shard: the single-dense-row scenario concentrates
+    // every non-zero in one row, so cutting it leaves zero-nnz shards that
+    // must still overwrite their output rows.
+    let hub = single_dense_row();
+    let plan = plan_shards(&hub, 4, 1).unwrap();
+    assert!(
+        plan.shards().iter().any(|s| s.nnz() == 0),
+        "expected the hub matrix to produce a zero-nnz shard"
+    );
+    let sharded = ShardedSpmm::compile(&plan, 16, pool.clone()).unwrap();
+    let xh = DenseMatrix::random(hub.ncols(), 16, 6);
+    let reference = hub.spmm_reference(&xh);
+    for _ in 0..2 {
+        // Twice: the second run reuses a dirty recycled output buffer.
+        let (y, _) = pool.scope(|scope| sharded.execute(scope, &xh)).unwrap();
+        assert!(y.approx_eq(&reference, 1e-4));
     }
 }

@@ -326,6 +326,45 @@ proptest! {
         }
     }
 
+    /// Sharded execution is shard-count invariant: whatever K the planner is
+    /// asked for, the stitched result is bit-identical to the unsharded
+    /// engine's output (per-row arithmetic does not depend on which shard —
+    /// or which compiled kernel copy — computes a row), and the plan always
+    /// covers every row exactly once.
+    #[test]
+    fn sharded_execution_is_shard_count_invariant(
+        (nrows, ncols, entries) in arb_matrix(),
+        d in 1usize..6,
+        k1 in 1usize..7,
+        k2 in 1usize..7,
+    ) {
+        if !host_supports_jit() {
+            return Ok(());
+        }
+        let a = CsrMatrix::from_triplets(nrows, ncols, &entries).unwrap();
+        let pool = WorkerPool::new(2);
+        let x = DenseMatrix::<f32>::random(ncols, d, 17);
+        let engine = JitSpmmBuilder::new().pool(pool.clone()).threads(2).build(&a, d).unwrap();
+        let (expected, _) = engine.execute(&x).unwrap();
+        for k in [k1, k2] {
+            let plan = jitspmm::shard::plan_shards(&a, k, 2).unwrap();
+            let mut cursor = 0usize;
+            for shard in plan.shards() {
+                prop_assert_eq!(shard.rows.start, cursor);
+                cursor = shard.rows.end;
+            }
+            prop_assert_eq!(cursor, nrows);
+            let sharded = jitspmm::shard::ShardedSpmm::compile(&plan, d, pool.clone()).unwrap();
+            let (y, report) = pool.scope(|scope| sharded.execute(scope, &x)).unwrap();
+            prop_assert_eq!(report.shards, plan.len());
+            prop_assert!(
+                *y == *expected,
+                "k = {}: sharded result diverged from unsharded (max diff {})",
+                k, y.max_abs_diff(&expected)
+            );
+        }
+    }
+
     /// Workload partitions always cover every row exactly once, regardless of
     /// strategy and thread count.
     #[test]
