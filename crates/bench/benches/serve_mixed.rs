@@ -119,14 +119,14 @@ fn main() {
         let server = SpmmServer::new(engines).expect("engines share one pool");
         let requests: Vec<ServerRequest<f32>> = template
             .iter()
-            .map(|(engine, input)| ServerRequest { engine: *engine, input: input.clone() })
+            .map(|(engine, input)| ServerRequest::new(*engine, input.clone()))
             .collect();
         let (responses, _) = server.serve_batch(0, requests).expect("serving failed");
         for (response, anchor) in responses.iter().zip(&anchors) {
             assert!(
-                response.output.approx_eq(anchor, 1e-3),
+                response.output().approx_eq(anchor, 1e-3),
                 "engine {}: mixed serving result mismatch",
-                response.engine
+                response.engine()
             );
         }
         drop(responses);
@@ -144,7 +144,7 @@ fn main() {
         let make_requests = || -> Vec<ServerRequest<f32>> {
             template
                 .iter()
-                .map(|(engine, input)| ServerRequest { engine: *engine, input: input.clone() })
+                .map(|(engine, input)| ServerRequest::new(*engine, input.clone()))
                 .collect()
         };
         let mut prepared: Vec<Vec<ServerRequest<f32>>> =
@@ -157,7 +157,7 @@ fn main() {
                 // Engine by engine, blocking execute per request.
                 for (e, inputs) in per_engine.iter().enumerate() {
                     for x in inputs {
-                        let _ = server.engines()[e].execute(x).unwrap();
+                        let _ = server.single(e).unwrap().execute(x).unwrap();
                     }
                 }
             },

@@ -472,6 +472,21 @@ impl<'scope, 'env, T: Scalar> BatchStream<'scope, 'env, T> {
         }
     }
 
+    /// Join the oldest in-flight launch, if any — the serving control
+    /// plane's building block: it drains pipelines one completion at a time
+    /// so it can re-check deadlines and engine lifecycle between joins, and
+    /// wraps each call in `catch_unwind` to convert a worker panic into a
+    /// typed per-request failure. A panic unwinds out of here with the
+    /// pipeline bookkeeping already restored (see
+    /// [`BatchStream::complete_oldest`]), so the stream stays usable.
+    pub(crate) fn complete_next(&mut self) -> Option<(PooledMatrix<T>, ExecutionReport)> {
+        if self.in_flight.is_empty() {
+            None
+        } else {
+            Some(self.complete_oldest())
+        }
+    }
+
     /// Drain the pipeline: wait for every in-flight launch (oldest first),
     /// returning their outputs plus the aggregated [`BatchReport`].
     ///
@@ -563,6 +578,11 @@ impl<'scope, 'env, T: Scalar> BatchStream<'scope, 'env, T> {
     /// [`JitSpmm::batch_stream`]); produces bit-identical results because
     /// per-row arithmetic does not depend on which lane computes a row.
     fn submit_sequential(&mut self, x_ptr: *const T) {
+        // Chaos-test hook (test builds only): the sequential fast path is a
+        // kernel-job entry too, so injected faults behave the same on
+        // 1-core hosts.
+        #[cfg(any(test, feature = "fault-injection"))]
+        crate::serve::fault::kernel_entry();
         let engine = self.engine;
         let submitted = Instant::now();
         self.first_submit.get_or_insert(submitted);

@@ -179,6 +179,12 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         &self.pool
     }
 
+    /// The scheduling strategy this engine compiled with; the serving layer
+    /// stamps it into synthesized (zero-input) per-engine reports.
+    pub(crate) fn strategy(&self) -> Strategy {
+        self.options.strategy
+    }
+
     /// Kernel metadata: code size, register plan, code-generation time.
     pub fn meta(&self) -> &KernelMeta {
         &self.meta

@@ -176,6 +176,62 @@
 //! ([`serve::SpmmServer::serve_stream`]); pre-collected request batches go
 //! through [`serve::SpmmServer::serve_batch`].
 //!
+//! # The serving control plane
+//!
+//! Routing is only half of serving — the other half is staying bounded and
+//! alive when the traffic misbehaves. [`serve::SpmmServer::serve_controlled`]
+//! runs the router under a control plane configured by
+//! [`serve::ServeOptions`]: an [`serve::AdmissionPolicy`] bounds the queue
+//! and (optionally) total in-flight work, either blocking the producer
+//! (backpressure) or shedding with a typed [`serve::RejectReason`] — a
+//! producer flooding ten times the queue depth never blocks indefinitely
+//! and learns each verdict in nanoseconds. Requests carry priorities and
+//! deadline budgets ([`serve::ServerRequest::with_priority`] /
+//! [`serve::ServerRequest::with_deadline`]); a [`serve::ReorderBuffer`]
+//! schedules urgent work first and expired requests are shed before launch,
+//! while the admitted subset still produces **bit-identical** outputs to
+//! FIFO serving. A [`serve::ControlHandle`] retires engines mid-stream,
+//! drains to a barrier (every admitted request answered) and resumes, and
+//! engines can be added while a session is open. A panic in generated code
+//! is contained to a typed [`serve::ServerResponse::Failed`] for exactly
+//! the request that hit it — unrelated engines keep serving and the server
+//! stays usable; the cfg-gated `serve::fault` module injects such crashes
+//! for the chaos suite. Every verdict is accounted in the
+//! [`serve::ServerReport`] counters (`requests`, `rejected`,
+//! `shed_deadline`, `failed` — [`serve::ServerReport::offered`] always adds
+//! up to the load the producers offered).
+//!
+//! ```
+//! use jitspmm::serve::{AdmissionPolicy, ServeOptions, ServerRequest, SpmmServer};
+//! use jitspmm::JitSpmmBuilder;
+//! use jitspmm_sparse::{generate, DenseMatrix};
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), jitspmm::JitSpmmError> {
+//! let a = generate::uniform::<f32>(200, 200, 2_000, 1);
+//! let server = SpmmServer::new(vec![JitSpmmBuilder::new().build(&a, 8)?])?;
+//! let inputs: Vec<DenseMatrix<f32>> =
+//!     (0..6).map(|seed| DenseMatrix::random(200, 8, seed)).collect();
+//! let (report, sent) = server.serve_controlled(
+//!     ServeOptions::new(AdmissionPolicy::blocking(2)),
+//!     |sender| {
+//!         let mut sent = 0;
+//!         for x in inputs {
+//!             let request = ServerRequest::new(0, x).with_deadline(Duration::from_secs(5));
+//!             if sender.send_request(request).is_ok() {
+//!                 sent += 1;
+//!             }
+//!         }
+//!         sent
+//!     },
+//!     |response| assert!(response.is_completed()),
+//! )?;
+//! assert_eq!(report.requests, sent);
+//! assert_eq!(report.offered(), 6);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Sharded execution
 //!
 //! For matrices too large for one launch pipeline, the [`shard`] module
@@ -205,10 +261,12 @@
 //! │   ├── launch         execute / execute_async, launch lock, ExecutionHandle
 //! │   ├── batch          execute_batch, BatchStream (borrowed + owned pushes)
 //! │   └── report         ExecutionReport, BatchReport, reservoir percentiles
-//! ├── serve/             multi-engine serving router
-//! │   ├── server         SpmmServer, ServerSession, ServerResponse
-//! │   ├── queue          bounded RequestQueue / RequestSender
-//! │   └── report         ServerReport (per-engine BatchReports + throughput)
+//! ├── serve/             multi-engine serving router + control plane
+//! │   ├── server         SpmmServer, ServerSession, serve_controlled loop
+//! │   ├── queue          bounded RequestQueue / RequestSender, admission gate
+//! │   ├── control        AdmissionPolicy, ControlHandle, ReorderBuffer
+//! │   ├── fault          cfg-gated crash/delay injection for chaos tests
+//! │   └── report         ServerReport (per-engine tails + verdict counters)
 //! ├── shard/             nnz-balanced multi-engine sharding
 //! │   ├── plan           plan_shards: prefix-sum cuts, per-shard strategies
 //! │   ├── engine         ShardedSpmm: K engines, overlapped stitched launches
@@ -253,8 +311,9 @@ pub use profile::ProfileCounts;
 pub use runtime::{JobHandle, JobSpec, PoolScope, PooledMatrix, ScopedJobHandle, WorkerPool};
 pub use schedule::{DynamicCounter, Partition, RowRange, Strategy};
 pub use serve::{
-    RequestQueue, RequestSender, ServerReport, ServerRequest, ServerResponse, ServerSession,
-    SpmmServer,
+    AdmissionPolicy, ControlHandle, EngineStatus, RecvTimeout, RejectReason, ReorderBuffer,
+    RequestQueue, RequestSender, SendError, ServeOptions, ServerReport, ServerRequest,
+    ServerResponse, ServerSession, SpmmServer,
 };
 pub use shard::{plan_shards, ShardPlan, ShardReport, ShardSpec, ShardedSpmm, ShardedStream};
 pub use tiling::{CcmPlan, ColumnTile, Segment, SegmentWidth};

@@ -76,6 +76,10 @@ impl<T: Scalar> KernelJob<T> {
     /// must match the compiled kernel, ranges must be pairwise disjoint and
     /// the dynamic counter reset since the last launch.
     pub(crate) unsafe fn run(&self, index: usize) {
+        // Chaos-test hook (test builds only): may panic or sleep here, the
+        // point where a crash in generated code would surface.
+        #[cfg(any(test, feature = "fault-injection"))]
+        crate::serve::fault::kernel_entry();
         let kernel = unsafe { &*self.kernel };
         match kernel.kind() {
             KernelKind::StaticRange => {

@@ -1,5 +1,7 @@
 //! Multi-engine serving: route a mixed request stream across several
-//! compiled engines sharing one [`crate::WorkerPool`].
+//! compiled engines sharing one [`crate::WorkerPool`], under a control
+//! plane that keeps the router bounded when overloaded and alive when a
+//! kernel faults.
 //!
 //! The paper's premise is that JIT compilation is amortized across many
 //! executions of one kernel; a serving system amortizes it one level up,
@@ -23,7 +25,8 @@
 //!   tagged with its engine id and sequence numbers;
 //! * a [`ServerReport`] aggregates one per-engine [`crate::BatchReport`]
 //!   (kernel/dispatch p50/p99 through the same bounded reservoir the batch
-//!   layer uses) plus whole-server throughput.
+//!   layer uses) plus whole-server throughput and the control plane's
+//!   rejected/shed counters.
 //!
 //! Sharded engines ([`crate::shard::ShardedSpmm`]) register behind one
 //! logical engine id via [`SpmmServer::add_sharded`]: the router fans each
@@ -33,7 +36,40 @@
 //! submission-order collection and [`ServerReport`] aggregation are
 //! unchanged.
 //!
-//! Four entry points, lowest-level first:
+//! # The serving control plane
+//!
+//! Serving differs from batch execution in what it must survive: producers
+//! that offer more load than the engines can absorb, requests whose answers
+//! stop mattering after a deadline, topology that changes while traffic
+//! flows, and generated code that faults. The control plane addresses each:
+//!
+//! * **Admission control** — the request queue admits under an
+//!   [`AdmissionPolicy`]: a queue-depth bound plus an optional cap on
+//!   requests outstanding in the whole server, with a choice between
+//!   blocking the producer (backpressure) and shedding
+//!   ([`crate::serve::SendError::Rejected`] with a typed [`RejectReason`],
+//!   without blocking). Producers never block indefinitely on an overloaded
+//!   server.
+//! * **Priorities and deadlines** — each [`ServerRequest`] carries a
+//!   `priority` and an optional absolute deadline;
+//!   [`SpmmServer::serve_controlled`] drains arrivals through a
+//!   [`ReorderBuffer`] ordered by priority, then earliest deadline, then
+//!   arrival, and sheds expired requests right before launch
+//!   ([`RejectReason::DeadlinePassed`], counted in
+//!   [`ServerReport::shed_deadline`]).
+//! * **Dynamic topology** — [`SpmmServer::add_engine`] /
+//!   [`SpmmServer::add_sharded`] register engines while sessions are open;
+//!   [`SpmmServer::retire_engine`] drains an engine out of service without
+//!   disturbing the others; [`ControlHandle::drain`] is a barrier that
+//!   stops admission and waits until every admitted request has been
+//!   answered.
+//! * **Fault containment** — under [`SpmmServer::serve_controlled`], a
+//!   worker panic (a crash in generated code) becomes a typed
+//!   [`ServerResponse::Failed`] for exactly the request that hit it;
+//!   unrelated engines keep serving and the server remains usable. The
+//!   cfg-gated [`fault`] module injects such crashes for chaos tests.
+//!
+//! Entry points, lowest-level first:
 //!
 //! * [`SpmmServer::session`] — open a [`ServerSession`] inside a pool scope
 //!   and drive it by hand ([`ServerSession::submit`] /
@@ -44,15 +80,25 @@
 //!   cross-thread configuration a real ingestion path has;
 //! * [`SpmmServer::serve_stream_with`] — the response-streaming form: each
 //!   completed response is handed to a consumer callback the moment it
-//!   exists instead of being collected.
+//!   exists instead of being collected;
+//! * [`SpmmServer::serve_controlled`] — the control-plane loop: admission
+//!   policies, priority/deadline scheduling, graceful drain and fault
+//!   containment, configured by [`ServeOptions`].
 
+mod control;
 mod queue;
 mod report;
 mod server;
 
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod fault;
+
 #[cfg(test)]
 mod server_tests;
 
-pub use queue::{RequestQueue, RequestSender, ServerRequest};
+pub use control::{
+    AdmissionPolicy, ControlHandle, EngineStatus, RejectReason, ReorderBuffer, SendError,
+};
+pub use queue::{RecvTimeout, RequestQueue, RequestSender, ServerRequest};
 pub use report::ServerReport;
-pub use server::{ServerResponse, ServerSession, SpmmServer};
+pub use server::{ServeOptions, ServerResponse, ServerSession, SpmmServer};

@@ -1,12 +1,36 @@
-//! The bounded request queue between producer threads and the serving loop.
+//! The bounded request queue between producer threads and the serving loop,
+//! with control-plane admission (policies, typed rejections) layered on top.
 
 use crate::runtime::pool::lock;
+use crate::serve::control::{AdmissionPolicy, ControlShared, RejectReason, SendError};
 use jitspmm_sparse::{DenseMatrix, Scalar};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a blocked sender sleeps between re-checks of the in-flight cap;
+/// that cap is released on the control plane's condvar, not the queue's, so
+/// the wait has to poll.
+const IN_FLIGHT_RECHECK: Duration = Duration::from_millis(1);
 
 /// One serving request: a dense input tagged with the id of the engine that
-/// should execute it (an index into the server's engine list).
+/// should execute it, plus the control-plane metadata — priority and
+/// deadline — the router orders and sheds by.
+///
+/// Build with [`ServerRequest::new`] and refine with the builder-style
+/// [`ServerRequest::with_priority`] / [`ServerRequest::with_deadline`]:
+///
+/// ```
+/// use jitspmm::serve::ServerRequest;
+/// use jitspmm_sparse::DenseMatrix;
+/// use std::time::Duration;
+///
+/// let request = ServerRequest::new(0, DenseMatrix::<f32>::random(64, 8, 7))
+///     .with_priority(3)
+///     .with_deadline(Duration::from_millis(50));
+/// assert_eq!(request.priority, 3);
+/// assert!(request.expires_at().is_some());
+/// ```
 #[derive(Debug)]
 pub struct ServerRequest<T: Scalar> {
     /// Which of the server's engines this request targets.
@@ -14,6 +38,43 @@ pub struct ServerRequest<T: Scalar> {
     /// The dense right-hand side, owned — producers hand inputs over by
     /// value, so no borrow ties them to the serving scope.
     pub input: DenseMatrix<T>,
+    /// Scheduling priority: higher values are drained from the reorder
+    /// buffer first. Defaults to 0.
+    pub priority: u8,
+    /// Absolute expiry, converted from the relative budget at
+    /// [`ServerRequest::with_deadline`] time. `None` = no deadline.
+    pub(crate) deadline: Option<Instant>,
+}
+
+impl<T: Scalar> ServerRequest<T> {
+    /// A request for `engine` with default priority (0) and no deadline.
+    pub fn new(engine: usize, input: DenseMatrix<T>) -> ServerRequest<T> {
+        ServerRequest { engine, input, priority: 0, deadline: None }
+    }
+
+    /// Set the scheduling priority (higher = drained first).
+    pub fn with_priority(mut self, priority: u8) -> ServerRequest<T> {
+        self.priority = priority;
+        self
+    }
+
+    /// Give the request `budget` from **now**: if the router has not
+    /// launched it by then, it is shed with
+    /// [`RejectReason::DeadlinePassed`] instead of executed.
+    pub fn with_deadline(mut self, budget: Duration) -> ServerRequest<T> {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// The absolute expiry instant, if a deadline was set.
+    pub fn expires_at(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the deadline (if any) has passed as of `now`.
+    pub(crate) fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|deadline| now >= deadline)
+    }
 }
 
 struct QueueState<T: Scalar> {
@@ -32,37 +93,108 @@ struct QueueShared<T: Scalar> {
     not_full: Condvar,
     /// The receiver parks here while the queue is empty.
     not_empty: Condvar,
-    capacity: usize,
+    policy: AdmissionPolicy,
+    /// The server's control plane, when this queue admits for one
+    /// ([`crate::serve::SpmmServer::serve_controlled`]): consulted for
+    /// engine lifecycle and the in-flight cap, and credited with admissions.
+    control: Option<Arc<ControlShared>>,
+}
+
+/// The result of a [`RequestQueue::recv_timeout`].
+#[derive(Debug)]
+pub enum RecvTimeout<T: Scalar> {
+    /// The oldest queued request.
+    Request(ServerRequest<T>),
+    /// Nothing arrived within the timeout; the queue is still live — the
+    /// serving loop uses the wake-up to apply control-plane changes (drain,
+    /// retire) before waiting again.
+    TimedOut,
+    /// The stream is over: the queue is closed or every sender is gone and
+    /// the items drained.
+    Disconnected,
 }
 
 /// The producer side of a bounded request queue, created by
-/// [`RequestQueue::bounded`]. Clone it freely — one per producer thread —
-/// and drop every clone to signal the end of the stream.
+/// [`RequestQueue::bounded`] / [`RequestQueue::with_policy`]. Clone it
+/// freely — one per producer thread — and drop every clone to signal the
+/// end of the stream.
 pub struct RequestSender<T: Scalar> {
     shared: Arc<QueueShared<T>>,
 }
 
 impl<T: Scalar> RequestSender<T> {
-    /// Enqueue a request, blocking while the queue is at capacity
-    /// (backpressure: producers cannot run unboundedly ahead of the serving
-    /// loop). Returns `false` — handing nothing over — once the receiving
-    /// side has closed the queue (the serving loop ended or aborted), so a
-    /// producer loop can simply stop.
-    #[must_use = "a false return means the queue is closed and the request was dropped"]
-    pub fn send(&self, engine: usize, input: DenseMatrix<T>) -> bool {
-        let mut state = lock(&self.shared.state);
+    /// Enqueue a request built with [`ServerRequest::new`] (carrying
+    /// priority/deadline metadata), subject to the queue's
+    /// [`AdmissionPolicy`]: a blocking policy parks the producer while the
+    /// queue is at capacity (backpressure), a shedding policy refuses with
+    /// [`SendError::Rejected`]`(`[`RejectReason::QueueFull`]`)` instead.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Closed`] once the receiving side has closed the queue
+    /// (the serving loop ended or aborted) — a producer loop can simply
+    /// stop. [`SendError::Rejected`] when the control plane refuses the
+    /// request (queue full under a shedding policy, target engine draining
+    /// or retired, server draining, unknown engine id); the queue remains
+    /// open and later sends may succeed.
+    pub fn send_request(&self, request: ServerRequest<T>) -> Result<(), SendError> {
+        let shared = &self.shared;
+        let mut state = lock(&shared.state);
         loop {
             if state.closed {
-                return false;
+                return Err(SendError::Closed);
             }
-            if state.items.len() < self.shared.capacity {
-                state.items.push_back(ServerRequest { engine, input });
-                self.shared.not_empty.notify_one();
-                return true;
+            if let Some(control) = &shared.control {
+                if let Err(reason) = control.admission(request.engine) {
+                    control.note_rejected_send();
+                    return Err(SendError::Rejected(reason));
+                }
             }
-            state =
-                self.shared.not_full.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner());
+            let over_in_flight = match (&shared.control, shared.policy.max_in_flight) {
+                (Some(control), Some(cap)) => control.outstanding() >= cap,
+                _ => false,
+            };
+            if !over_in_flight && state.items.len() < shared.policy.queue_depth {
+                if let Some(control) = &shared.control {
+                    control.admitted();
+                }
+                state.items.push_back(request);
+                shared.not_empty.notify_one();
+                return Ok(());
+            }
+            if shared.policy.shed_on_full {
+                if let Some(control) = &shared.control {
+                    control.note_rejected_send();
+                }
+                return Err(SendError::Rejected(RejectReason::QueueFull));
+            }
+            // Blocking admission. Queue-depth room is signalled on
+            // `not_full`; the in-flight cap releases on the control plane's
+            // condvar instead, so that case wakes periodically to re-check.
+            state = if over_in_flight {
+                shared
+                    .not_full
+                    .wait_timeout(state, IN_FLIGHT_RECHECK)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .0
+            } else {
+                shared.not_full.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner())
+            };
         }
+    }
+
+    /// [`RequestSender::send_request`] for the common case: a request with
+    /// default priority and no deadline.
+    pub fn send(&self, engine: usize, input: DenseMatrix<T>) -> Result<(), SendError> {
+        self.send_request(ServerRequest::new(engine, input))
+    }
+
+    /// The pre-control-plane convenience: `true` if the request was
+    /// admitted, `false` if it was refused for any reason (closed queue or
+    /// typed rejection). Use [`RequestSender::send`] to distinguish them.
+    #[must_use = "a false return means the request was dropped"]
+    pub fn try_send(&self, engine: usize, input: DenseMatrix<T>) -> bool {
+        self.send(engine, input).is_ok()
     }
 }
 
@@ -97,22 +229,50 @@ impl<T: Scalar> std::fmt::Debug for RequestSender<T> {
 /// between request producers (any number of threads) and the serving loop
 /// that routes into engine pipelines.
 ///
-/// Bounded on purpose — the queue is the server's admission control. A full
-/// queue blocks producers ([`RequestSender::send`]) instead of buffering
-/// without limit, and the serving loop drains it in arrival order.
+/// Bounded on purpose — the queue is the server's admission control. Its
+/// [`AdmissionPolicy`] decides what the bound does: block producers
+/// (backpressure) or shed with typed [`RejectReason`]s (load shedding), and
+/// a control-plane queue additionally refuses sends to draining or retired
+/// engines.
 pub struct RequestQueue<T: Scalar> {
     shared: Arc<QueueShared<T>>,
 }
 
 impl<T: Scalar> RequestQueue<T> {
     /// Create a queue holding at most `capacity` requests (clamped to at
-    /// least 1), returning the first sender and the receiver.
+    /// least 1) with the classic blocking policy, returning the first
+    /// sender and the receiver.
     pub fn bounded(capacity: usize) -> (RequestSender<T>, RequestQueue<T>) {
+        RequestQueue::with_policy(AdmissionPolicy::blocking(capacity))
+    }
+
+    /// Create a queue admitting under `policy`. Without a server's control
+    /// plane attached, only `queue_depth` and `shed_on_full` apply; the
+    /// in-flight cap needs [`crate::serve::SpmmServer::serve_controlled`],
+    /// which creates its queue internally.
+    pub fn with_policy(policy: AdmissionPolicy) -> (RequestSender<T>, RequestQueue<T>) {
+        RequestQueue::build(policy, None)
+    }
+
+    /// A control-plane queue: admission consults (and credits) the server's
+    /// shared control state.
+    pub(crate) fn controlled(
+        policy: AdmissionPolicy,
+        control: Arc<ControlShared>,
+    ) -> (RequestSender<T>, RequestQueue<T>) {
+        RequestQueue::build(policy, Some(control))
+    }
+
+    fn build(
+        policy: AdmissionPolicy,
+        control: Option<Arc<ControlShared>>,
+    ) -> (RequestSender<T>, RequestQueue<T>) {
         let shared = Arc::new(QueueShared {
             state: Mutex::new(QueueState { items: VecDeque::new(), senders: 1, closed: false }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
-            capacity: capacity.max(1),
+            policy,
+            control,
         });
         (RequestSender { shared: Arc::clone(&shared) }, RequestQueue { shared })
     }
@@ -135,17 +295,62 @@ impl<T: Scalar> RequestQueue<T> {
         }
     }
 
+    /// [`RequestQueue::recv`] with a bounded wait, so a serving loop can
+    /// wake to apply control-plane changes (drain, retire) even while the
+    /// queue is idle.
+    pub fn recv_timeout(&self, timeout: Duration) -> RecvTimeout<T> {
+        let deadline = Instant::now() + timeout;
+        let mut state = lock(&self.shared.state);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.shared.not_full.notify_one();
+                return RecvTimeout::Request(item);
+            }
+            if state.closed || state.senders == 0 {
+                return RecvTimeout::Disconnected;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return RecvTimeout::TimedOut;
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .0;
+        }
+    }
+
+    /// Dequeue the oldest request if one is already queued; never blocks.
+    /// The serving loop uses this to drain a burst of arrivals into the
+    /// reorder buffer in one sweep.
+    pub fn try_recv(&self) -> Option<ServerRequest<T>> {
+        let mut state = lock(&self.shared.state);
+        let item = state.items.pop_front();
+        if item.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        item
+    }
+
     /// Close the queue from the receiving side: pending requests are
-    /// discarded, blocked and future [`RequestSender::send`] calls return
-    /// `false` immediately, and [`RequestQueue::recv`] returns `None`. The
-    /// serving loop calls this before propagating an error so producers
-    /// blocked on a full queue can never deadlock against a receiver that
-    /// has stopped receiving. Dropping the queue closes it too.
+    /// discarded (credited back to the control plane, so a drain barrier
+    /// cannot wait on requests nobody will answer), blocked and future
+    /// [`RequestSender::send`] calls return [`SendError::Closed`]
+    /// immediately, and [`RequestQueue::recv`] returns `None`. The serving
+    /// loop calls this before propagating an error so producers blocked on
+    /// a full queue can never deadlock against a receiver that has stopped
+    /// receiving. Dropping the queue closes it too.
     pub fn close(&self) {
         let mut state = lock(&self.shared.state);
         state.closed = true;
+        let discarded = state.items.len();
         state.items.clear();
         drop(state);
+        if let Some(control) = &self.shared.control {
+            control.completed(discarded);
+        }
         self.shared.not_full.notify_all();
         self.shared.not_empty.notify_all();
     }
@@ -162,7 +367,7 @@ impl<T: Scalar> std::fmt::Debug for RequestQueue<T> {
         let state = lock(&self.shared.state);
         f.debug_struct("RequestQueue")
             .field("queued", &state.items.len())
-            .field("capacity", &self.shared.capacity)
+            .field("policy", &self.shared.policy)
             .field("senders", &state.senders)
             .field("closed", &state.closed)
             .finish()
@@ -186,12 +391,12 @@ mod tests {
             let s2 = sender.clone();
             scope.spawn(move || {
                 for i in 0..20 {
-                    assert!(s2.send(0, request(i)));
+                    assert!(s2.send(0, request(i)).is_ok());
                 }
             });
             scope.spawn(move || {
                 for i in 0..20 {
-                    assert!(sender.send(1, request(100 + i)));
+                    assert!(sender.send(1, request(100 + i)).is_ok());
                 }
             });
             let mut per_engine = [0usize; 2];
@@ -211,7 +416,7 @@ mod tests {
             let counter = Arc::clone(&enqueued);
             scope.spawn(move || {
                 for i in 0..6 {
-                    assert!(sender.send(0, request(i)));
+                    assert!(sender.send(0, request(i)).is_ok());
                     counter.fetch_add(1, Ordering::SeqCst);
                 }
             });
@@ -233,16 +438,21 @@ mod tests {
     #[test]
     fn close_unblocks_producers_and_refuses_sends() {
         let (sender, queue) = RequestQueue::<f32>::bounded(1);
-        assert!(sender.send(0, request(1)));
+        assert!(sender.send(0, request(1)).is_ok());
         std::thread::scope(|scope| {
             let s = sender.clone();
             let blocked = scope.spawn(move || s.send(0, request(2)));
             std::thread::sleep(Duration::from_millis(20));
             queue.close();
-            // The blocked producer must return false, not hang.
-            assert!(!blocked.join().unwrap());
+            // The blocked producer must observe the close, not hang.
+            assert_eq!(blocked.join().unwrap(), Err(SendError::Closed));
         });
-        assert!(!sender.send(0, request(3)), "closed queue must refuse new sends");
+        assert_eq!(
+            sender.send(0, request(3)),
+            Err(SendError::Closed),
+            "closed queue must refuse new sends"
+        );
+        assert!(!sender.try_send(0, request(4)), "try_send keeps the old bool semantics");
         assert!(queue.recv().is_none(), "closed queue must not hand out stale items");
     }
 
@@ -250,12 +460,53 @@ mod tests {
     fn dropping_all_senders_ends_the_stream() {
         let (sender, queue) = RequestQueue::<f32>::bounded(4);
         let clone = sender.clone();
-        assert!(sender.send(0, request(1)));
+        assert!(sender.send(0, request(1)).is_ok());
         drop(sender);
-        assert!(clone.send(0, request(2)));
+        assert!(clone.send(0, request(2)).is_ok());
         drop(clone);
         assert!(queue.recv().is_some());
         assert!(queue.recv().is_some());
         assert!(queue.recv().is_none(), "drained queue with no senders ends the stream");
+    }
+
+    #[test]
+    fn shedding_policy_rejects_at_the_bound_without_blocking() {
+        let (sender, queue) = RequestQueue::<f32>::with_policy(AdmissionPolicy::shedding(2));
+        assert!(sender.send(0, request(1)).is_ok());
+        assert!(sender.send(0, request(2)).is_ok());
+        // The bound: a typed rejection, immediately — no parked producer.
+        assert_eq!(sender.send(0, request(3)), Err(SendError::Rejected(RejectReason::QueueFull)));
+        // Draining one makes room again.
+        assert!(queue.recv().is_some());
+        assert!(sender.send(0, request(4)).is_ok());
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_idle_from_ended() {
+        let (sender, queue) = RequestQueue::<f32>::bounded(4);
+        assert!(matches!(queue.recv_timeout(Duration::from_millis(5)), RecvTimeout::TimedOut));
+        assert!(sender.send(0, request(1)).is_ok());
+        assert!(matches!(queue.recv_timeout(Duration::from_millis(5)), RecvTimeout::Request(_)));
+        drop(sender);
+        assert!(matches!(queue.recv_timeout(Duration::from_millis(5)), RecvTimeout::Disconnected));
+    }
+
+    #[test]
+    fn try_recv_never_blocks() {
+        let (sender, queue) = RequestQueue::<f32>::bounded(4);
+        assert!(queue.try_recv().is_none());
+        assert!(sender.send(3, request(1)).is_ok());
+        assert_eq!(queue.try_recv().map(|r| r.engine), Some(3));
+        assert!(queue.try_recv().is_none());
+    }
+
+    #[test]
+    fn deadline_stamps_an_absolute_expiry() {
+        let req = ServerRequest::new(0, request(1)).with_deadline(Duration::from_millis(10));
+        assert!(!req.expired(Instant::now()));
+        assert!(req.expired(Instant::now() + Duration::from_millis(20)));
+        let no_deadline = ServerRequest::new(0, request(2));
+        assert!(no_deadline.expires_at().is_none());
+        assert!(!no_deadline.expired(Instant::now() + Duration::from_secs(3600)));
     }
 }

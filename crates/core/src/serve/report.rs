@@ -1,5 +1,5 @@
 //! Aggregated serving statistics: one [`BatchReport`] per engine plus
-//! whole-server throughput.
+//! whole-server throughput and the control plane's shed/reject counters.
 
 use crate::engine::BatchReport;
 use std::time::Duration;
@@ -12,13 +12,26 @@ use std::time::Duration;
 /// bounded-reservoir kernel/dispatch p50/p99 a single-engine batch reports —
 /// indexed by engine id, so a serving dashboard can tell *which* engine's
 /// tail is misbehaving. The whole-server numbers (`requests`, `elapsed`,
-/// [`ServerReport::throughput`]) span the mixed stream end to end.
+/// [`ServerReport::throughput`]) span the mixed stream end to end, and the
+/// control-plane counters (`rejected`, `shed_deadline`, `failed`) separate
+/// goodput from offered load: `requests` counts **completed** work only.
 #[derive(Debug, Clone)]
 pub struct ServerReport {
-    /// Total requests executed, across all engines.
+    /// Total requests completed (a [`crate::serve::ServerResponse`] with an
+    /// output), across all engines — the goodput.
     pub requests: usize,
     /// Wall-clock time from the first submission to the last join.
     pub elapsed: Duration,
+    /// Requests refused by admission control or the router — queue-full
+    /// shedding, draining/retired targets, unknown engine ids — excluding
+    /// the deadline sheds counted separately below.
+    pub rejected: usize,
+    /// Requests shed because their deadline passed before launch.
+    pub shed_deadline: usize,
+    /// Requests that were launched but failed — a worker panic converted to
+    /// a typed [`crate::serve::ServerResponse::Failed`], or a shape
+    /// mismatch caught at routing time.
+    pub failed: usize,
     /// Per-engine batch statistics, indexed by engine id. An engine that
     /// received no requests reports `inputs == 0`.
     pub per_engine: Vec<BatchReport>,
@@ -38,6 +51,23 @@ impl ServerReport {
         }
     }
 
+    /// Everything the producers offered: completed plus rejected, shed and
+    /// failed requests.
+    pub fn offered(&self) -> usize {
+        self.requests + self.rejected + self.shed_deadline + self.failed
+    }
+
+    /// Fraction of offered load that was refused or shed (0.0 for an empty
+    /// run) — the dashboard's shed rate.
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            (self.rejected + self.shed_deadline) as f64 / offered as f64
+        }
+    }
+
     /// The batch statistics of one engine, if the id is valid.
     pub fn engine(&self, id: usize) -> Option<&BatchReport> {
         self.per_engine.get(id)
@@ -48,26 +78,43 @@ impl ServerReport {
 mod tests {
     use super::*;
 
+    fn empty() -> ServerReport {
+        ServerReport {
+            requests: 0,
+            elapsed: Duration::ZERO,
+            rejected: 0,
+            shed_deadline: 0,
+            failed: 0,
+            per_engine: Vec::new(),
+        }
+    }
+
     #[test]
     fn throughput_guards_empty_and_zero_duration_runs() {
         // Empty run: no requests, regardless of the clock.
-        let empty =
-            ServerReport { requests: 0, elapsed: Duration::from_millis(3), per_engine: Vec::new() };
-        assert_eq!(empty.throughput(), 0.0);
+        let report = ServerReport { elapsed: Duration::from_millis(3), ..empty() };
+        assert_eq!(report.throughput(), 0.0);
         // Zero-duration run: a tiny mixed stream whose wall clock rounds to
         // zero must not produce inf/NaN.
-        let instant = ServerReport { requests: 5, elapsed: Duration::ZERO, per_engine: Vec::new() };
+        let instant = ServerReport { requests: 5, ..empty() };
         assert_eq!(instant.throughput(), 0.0);
         assert!(instant.throughput().is_finite());
         // The regular case still computes a rate.
-        let normal =
-            ServerReport { requests: 8, elapsed: Duration::from_secs(4), per_engine: Vec::new() };
+        let normal = ServerReport { requests: 8, elapsed: Duration::from_secs(4), ..empty() };
         assert!((normal.throughput() - 2.0).abs() < 1e-9);
     }
 
     #[test]
+    fn shed_rate_separates_goodput_from_offered_load() {
+        assert_eq!(empty().shed_rate(), 0.0);
+        let report =
+            ServerReport { requests: 6, rejected: 3, shed_deadline: 1, failed: 2, ..empty() };
+        assert_eq!(report.offered(), 12);
+        assert!((report.shed_rate() - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn engine_lookup_is_bounds_checked() {
-        let report = ServerReport { requests: 0, elapsed: Duration::ZERO, per_engine: Vec::new() };
-        assert!(report.engine(0).is_none());
+        assert!(empty().engine(0).is_none());
     }
 }

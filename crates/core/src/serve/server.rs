@@ -1,17 +1,31 @@
 //! The [`SpmmServer`]: N compiled engines, one pool, one mixed request
-//! stream.
+//! stream, plus the control plane that keeps it bounded under overload and
+//! alive under faults.
 
-use crate::engine::{BatchStream, ExecutionReport, JitSpmm};
+use crate::engine::{BatchReport, BatchStats, BatchStream, ExecutionReport, JitSpmm};
 use crate::error::JitSpmmError;
+use crate::runtime::pool::lock;
 use crate::runtime::{PoolScope, PooledMatrix, WorkerPool};
-use crate::serve::queue::{RequestQueue, RequestSender, ServerRequest};
+use crate::schedule::Strategy;
+use crate::serve::control::{
+    AdmissionPolicy, ControlHandle, ControlShared, EngineStatus, RejectReason, ReorderBuffer,
+};
+use crate::serve::queue::{RecvTimeout, RequestQueue, RequestSender, ServerRequest};
 use crate::serve::report::ServerReport;
 use crate::shard::{ShardedSpmm, ShardedStream};
 use jitspmm_sparse::{DenseMatrix, Scalar};
 use std::collections::VecDeque;
-use std::panic::resume_unwind;
-use std::sync::Arc;
-use std::time::Instant;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One registered engine: single or sharded, behind one logical id. The
+/// `Arc` pins the engine's address so [`SpmmServer::single`] can hand out
+/// borrows while the registry vector grows behind its mutex.
+enum EngineEntry<'a, T: Scalar> {
+    Single(Arc<JitSpmm<'a, T>>),
+    Sharded(Arc<ShardedSpmm<'a, T>>),
+}
 
 /// A multi-engine serving router: owns N compiled [`JitSpmm`] engines —
 /// different matrices, column counts, strategies — that share one
@@ -23,6 +37,13 @@ use std::time::Instant;
 /// subsets** of the shared pool instead of serializing; within one engine,
 /// requests pipeline through that engine's [`BatchStream`] and come back in
 /// submission order.
+///
+/// On top of the routing sits a **control plane** (see the
+/// [`crate::serve`] module docs): admission policies with typed rejections,
+/// per-request priorities and deadlines ([`SpmmServer::serve_controlled`]),
+/// live topology changes ([`SpmmServer::add_engine`] /
+/// [`SpmmServer::retire_engine`]) and a drain barrier
+/// ([`ControlHandle::drain`]).
 ///
 /// ```
 /// use jitspmm::serve::{ServerRequest, SpmmServer};
@@ -46,39 +67,39 @@ use std::time::Instant;
 ///         } else {
 ///             DenseMatrix::random(80, 4, 20 + i as u64)
 ///         };
-///         ServerRequest { engine, input }
+///         ServerRequest::new(engine, input)
 ///     })
 ///     .collect();
 /// let (responses, report) = server.serve_batch(0, requests)?;
 /// assert_eq!(responses.len(), 6);
 /// assert_eq!(report.requests, 6);
 /// for r in &responses {
-///     let reference = if r.engine == 0 { &a } else { &b };
+///     let reference = if r.engine() == 0 { &a } else { &b };
 ///     // (Re-deriving the inputs from the seeds above.)
-///     # let input = if r.engine == 0 {
-///     #     DenseMatrix::random(96, 8, 10 + r.request as u64)
+///     # let input = if r.engine() == 0 {
+///     #     DenseMatrix::random(96, 8, 10 + r.request() as u64)
 ///     # } else {
-///     #     DenseMatrix::random(80, 4, 20 + r.request as u64)
+///     #     DenseMatrix::random(80, 4, 20 + r.request() as u64)
 ///     # };
-///     assert!(r.output.approx_eq(&reference.spmm_reference(&input), 1e-4));
+///     assert!(r.output().approx_eq(&reference.spmm_reference(&input), 1e-4));
 /// }
 /// # Ok(())
 /// # }
 /// ```
 pub struct SpmmServer<'a, T: Scalar> {
-    engines: Vec<JitSpmm<'a, T>>,
-    /// Sharded engines registered after construction
-    /// ([`SpmmServer::add_sharded`]); their logical engine ids follow the
-    /// single engines' (`engines.len()..engines.len() + sharded.len()`).
-    sharded: Vec<ShardedSpmm<'a, T>>,
+    /// Logical-id-indexed engine registry. **Append-only**: entries are
+    /// never removed, replaced or reordered while the server lives —
+    /// retirement is a control-plane state, not a registry mutation — which
+    /// is what makes the borrow-returning accessors sound.
+    engines: Mutex<Vec<EngineEntry<'a, T>>>,
+    control: Arc<ControlShared>,
     pool: WorkerPool,
 }
 
 impl<T: Scalar> std::fmt::Debug for SpmmServer<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SpmmServer")
-            .field("engines", &self.engines.len())
-            .field("sharded", &self.sharded.len())
+            .field("engines", &self.engine_count())
             .field("pool_workers", &self.pool.size())
             .finish()
     }
@@ -86,7 +107,7 @@ impl<T: Scalar> std::fmt::Debug for SpmmServer<'_, T> {
 
 impl<'a, T: Scalar> SpmmServer<'a, T> {
     /// Build a server over `engines`. Engine ids are the indices into this
-    /// vector, in order.
+    /// vector, in order; every engine starts [`EngineStatus::Active`].
     ///
     /// # Errors
     ///
@@ -108,7 +129,38 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
                  engines must share one pool"
             )));
         }
-        Ok(SpmmServer { engines, sharded: Vec::new(), pool })
+        let control = Arc::new(ControlShared::new());
+        for _ in &engines {
+            control.register_engine();
+        }
+        let entries = engines.into_iter().map(|e| EngineEntry::Single(Arc::new(e))).collect();
+        Ok(SpmmServer { engines: Mutex::new(entries), control, pool })
+    }
+
+    /// Register another single engine while the server (and any session) is
+    /// live, returning its new logical id. The engine starts
+    /// [`EngineStatus::Active`]; open sessions pick it up on their next
+    /// control sweep, and [`SpmmServer::serve_controlled`] routes to it as
+    /// soon as a request names the id.
+    ///
+    /// # Errors
+    ///
+    /// [`JitSpmmError::InvalidConfig`] if the engine does not execute on
+    /// this server's pool.
+    pub fn add_engine(&self, engine: JitSpmm<'a, T>) -> Result<usize, JitSpmmError> {
+        if !engine.pool().same_pool(&self.pool) {
+            return Err(JitSpmmError::InvalidConfig(
+                "the engine executes on a different worker pool; all of a server's engines \
+                 must share one pool"
+                    .to_string(),
+            ));
+        }
+        let mut engines = lock(&self.engines);
+        engines.push(EngineEntry::Single(Arc::new(engine)));
+        let id = engines.len() - 1;
+        let registered = self.control.register_engine();
+        debug_assert_eq!(registered, id, "registry and control plane use one id space");
+        Ok(id)
     }
 
     /// Register a sharded engine ([`ShardedSpmm`]) behind **one logical
@@ -117,15 +169,15 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
     /// returned id, responses come back in per-engine submission order with
     /// stitched full-height outputs, and the [`ServerReport`] carries the
     /// sharded engine's merged [`crate::BatchReport`] in its per-engine
-    /// slot. Sharded ids follow the single-engine ids
-    /// (`engines().len()..`).
+    /// slot. Like [`SpmmServer::add_engine`], this works while sessions are
+    /// open.
     ///
     /// # Errors
     ///
     /// [`JitSpmmError::InvalidConfig`] if the sharded engine does not
     /// execute on this server's pool (checked via
     /// [`WorkerPool::same_pool`], like every engine at construction).
-    pub fn add_sharded(&mut self, sharded: ShardedSpmm<'a, T>) -> Result<usize, JitSpmmError> {
+    pub fn add_sharded(&self, sharded: ShardedSpmm<'a, T>) -> Result<usize, JitSpmmError> {
         if !sharded.pool().same_pool(&self.pool) {
             return Err(JitSpmmError::InvalidConfig(
                 "the sharded engine executes on a different worker pool; all of a server's \
@@ -133,26 +185,76 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
                     .to_string(),
             ));
         }
-        self.sharded.push(sharded);
-        Ok(self.engines.len() + self.sharded.len() - 1)
+        let mut engines = lock(&self.engines);
+        engines.push(EngineEntry::Sharded(Arc::new(sharded)));
+        let id = engines.len() - 1;
+        let registered = self.control.register_engine();
+        debug_assert_eq!(registered, id, "registry and control plane use one id space");
+        Ok(id)
     }
 
-    /// The single (unsharded) engines this server routes to, in id order.
-    /// Sharded engines registered via [`SpmmServer::add_sharded`] follow
-    /// them in the id space and are listed by [`SpmmServer::sharded`].
-    pub fn engines(&self) -> &[JitSpmm<'a, T>] {
-        &self.engines
+    /// Begin retiring engine `id`: it stops admitting ([`RejectReason::Draining`]
+    /// at the queue, [`JitSpmmError::EngineRetired`] on the strict session
+    /// paths), in-flight requests complete, and the next control sweep of an
+    /// open session drains its pipeline and frees its launch-slot payloads.
+    /// With no session open the id goes straight to
+    /// [`EngineStatus::Retired`]. Ids are never reused. Returns `false` for
+    /// an unknown id.
+    pub fn retire_engine(&self, id: usize) -> bool {
+        self.control.retire(id)
     }
 
-    /// The sharded engines, in registration order; the logical id of
-    /// `sharded()[i]` is `engines().len() + i`.
-    pub fn sharded(&self) -> &[ShardedSpmm<'a, T>] {
-        &self.sharded
+    /// A cloneable handle onto this server's control plane: retire engines,
+    /// drain to quiescence, observe lifecycle — from any thread, without
+    /// borrowing the server.
+    pub fn control(&self) -> ControlHandle {
+        ControlHandle::new(Arc::clone(&self.control))
     }
 
-    /// Total number of logical engine ids (single + sharded).
+    /// Lifecycle of engine `id`, or `None` for an unknown id.
+    pub fn engine_status(&self, id: usize) -> Option<EngineStatus> {
+        self.control.status(id)
+    }
+
+    /// Borrow the single (unsharded) engine behind logical id `id`; `None`
+    /// if the id is unknown or names a sharded engine. Retired engines are
+    /// still borrowable — retirement stops *serving*, not inspection.
+    pub fn single(&self, id: usize) -> Option<&JitSpmm<'a, T>> {
+        let engines = lock(&self.engines);
+        match engines.get(id)? {
+            EngineEntry::Single(engine) => {
+                let ptr = Arc::as_ptr(engine);
+                // SAFETY: the registry is append-only — entries are never
+                // removed or replaced while the server lives — and the Arc
+                // in the vector keeps the engine alive until the server
+                // drops, which the returned borrow (tied to `&self`) cannot
+                // outlive. Vector growth moves only the Arc handle, never
+                // the pointee.
+                Some(unsafe { &*ptr })
+            }
+            EngineEntry::Sharded(_) => None,
+        }
+    }
+
+    /// Borrow the sharded engine behind logical id `id`; `None` if the id
+    /// is unknown or names a single engine.
+    pub fn sharded(&self, id: usize) -> Option<&ShardedSpmm<'a, T>> {
+        let engines = lock(&self.engines);
+        match engines.get(id)? {
+            EngineEntry::Sharded(sharded) => {
+                let ptr = Arc::as_ptr(sharded);
+                // SAFETY: as in [`SpmmServer::single`] — append-only
+                // registry, Arc-pinned pointee, borrow tied to `&self`.
+                Some(unsafe { &*ptr })
+            }
+            EngineEntry::Single(_) => None,
+        }
+    }
+
+    /// Total number of logical engine ids (single + sharded, whatever their
+    /// lifecycle state).
     pub fn engine_count(&self) -> usize {
-        self.engines.len() + self.sharded.len()
+        lock(&self.engines).len()
     }
 
     /// The shared worker pool every engine executes on.
@@ -160,15 +262,65 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         &self.pool
     }
 
-    /// Open a [`ServerSession`] inside `scope`: one [`BatchStream`] per
-    /// engine (each holding its engine's launch lock until the session ends),
-    /// ready to route requests. `depth` is the per-engine pipeline depth,
-    /// with the same auto semantics as [`JitSpmm::batch_stream`] (`0` =
-    /// default depth, sequential fast path on hosts with nothing to
-    /// overlap).
+    /// Run `f` against the registry entry for `id`, if any. Private — `f`
+    /// runs under the registry lock and must not call back into it.
+    fn with_entry<R>(&self, id: usize, f: impl FnOnce(&EngineEntry<'a, T>) -> R) -> Option<R> {
+        let engines = lock(&self.engines);
+        engines.get(id).map(f)
+    }
+
+    pub(crate) fn ctrl(&self) -> &ControlShared {
+        &self.control
+    }
+
+    /// The strategy stamped into synthesized (zero-input) per-engine
+    /// reports for lanes that never opened.
+    pub(crate) fn engine_strategy(&self, id: usize) -> Option<Strategy> {
+        self.with_entry(id, |entry| match entry {
+            EngineEntry::Single(engine) => engine.strategy(),
+            EngineEntry::Sharded(sharded) => sharded.dominant_strategy(),
+        })
+    }
+
+    /// Shape-check `input` against logical engine `id` (single or sharded).
+    pub(crate) fn check_request(
+        &self,
+        id: usize,
+        input: &DenseMatrix<T>,
+    ) -> Result<(), JitSpmmError> {
+        match self.with_entry(id, |entry| match entry {
+            EngineEntry::Single(engine) => engine.check_input_shape(input),
+            EngineEntry::Sharded(sharded) => sharded.check_input_shape(input),
+        }) {
+            Some(result) => result,
+            None => {
+                Err(JitSpmmError::UnknownEngine { requested: id, engines: self.engine_count() })
+            }
+        }
+    }
+
+    /// Strict-path validation: engine id, lifecycle, then input shape.
+    fn validate_strict(&self, id: usize, input: &DenseMatrix<T>) -> Result<(), JitSpmmError> {
+        match self.control.status(id) {
+            Some(EngineStatus::Active) => {}
+            Some(_) => return Err(JitSpmmError::EngineRetired { id }),
+            // Unknown id: fall through for the richer UnknownEngine error.
+            None => {}
+        }
+        self.check_request(id, input)
+    }
+
+    /// Open a [`ServerSession`] inside `scope`: one pipeline per **active**
+    /// engine (each holding its engine's launch lock until the session
+    /// ends), ready to route requests. `depth` is the per-engine pipeline
+    /// depth, with the same auto semantics as [`JitSpmm::batch_stream`]
+    /// (`0` = default depth, sequential fast path on hosts with nothing to
+    /// overlap). Engines registered after the session opens get their
+    /// pipeline lazily, on first submission to their id.
     ///
-    /// This is the low-level entry point; [`SpmmServer::serve_batch`] and
-    /// [`SpmmServer::serve_stream`] drive a session for you.
+    /// This is the low-level entry point; [`SpmmServer::serve_batch`],
+    /// [`SpmmServer::serve_stream`] and [`SpmmServer::serve_controlled`]
+    /// drive a session for you.
     ///
     /// # Errors
     ///
@@ -179,38 +331,48 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         &'env self,
         scope: &'scope PoolScope<'scope, 'env>,
         depth: usize,
-    ) -> Result<ServerSession<'scope, 'env, T>, JitSpmmError> {
-        let mut streams = Vec::with_capacity(self.engine_count());
-        for engine in &self.engines {
-            // A failure midway (a held launch lock, codegen) drops the
-            // streams opened so far, releasing their engines.
-            streams.push(RouteStream::Single(engine.batch_stream(scope, depth)?));
-        }
-        for sharded in &self.sharded {
-            streams.push(RouteStream::Sharded(sharded.batch_stream(scope, depth)?));
-        }
-        let engines = streams.len();
-        Ok(ServerSession {
+    ) -> Result<ServerSession<'scope, 'env, 'a, T>, JitSpmmError> {
+        self.control.session_opened();
+        let mut session = ServerSession {
             server: self,
-            streams,
-            pending: vec![VecDeque::new(); engines],
-            completed: vec![0; engines],
+            scope,
+            depth,
+            lanes: Vec::new(),
+            ready: VecDeque::new(),
+            counters: ServeCounters::default(),
             next_request: 0,
             started: None,
-        })
+            epoch_seen: 0,
+            catch_faults: false,
+        };
+        session.sync_topology();
+        for id in 0..session.lanes.len() {
+            if self.control.status(id) == Some(EngineStatus::Active) {
+                // A failure midway (a held launch lock, codegen) drops the
+                // session — and with it the streams opened so far, releasing
+                // their engines — and the drop rebalances the control
+                // plane's session count.
+                session.open_stream(id)?;
+            }
+        }
+        Ok(session)
     }
 
     /// Serve a pre-collected mixed request batch: validate **every** request
-    /// (engine id and input shape) before any launch lock is taken, route
-    /// them through per-engine pipelines, and return all responses sorted by
-    /// global submission order, plus the aggregated [`ServerReport`].
+    /// (engine id, lifecycle, input shape) before any launch lock is taken,
+    /// route them through per-engine pipelines in FIFO order — priorities
+    /// and deadlines are ignored on this strict path; use
+    /// [`SpmmServer::serve_controlled`] for those — and return all responses
+    /// sorted by global submission order, plus the aggregated
+    /// [`ServerReport`].
     ///
     /// `depth` is the per-engine pipeline depth (`0` = auto, as
     /// [`JitSpmm::batch_stream`]).
     ///
     /// # Errors
     ///
-    /// [`JitSpmmError::UnknownEngine`] (carrying the offending engine id) or
+    /// [`JitSpmmError::UnknownEngine`] (carrying the offending engine id),
+    /// [`JitSpmmError::EngineRetired`] for a draining/retired target, or
     /// [`JitSpmmError::ShapeMismatch`] (naming the offending request index)
     /// if any request is malformed — nothing is launched in that case — and
     /// [`JitSpmmError::LaunchInProgress`] if the calling thread already
@@ -228,7 +390,7 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         // Hoisted whole-batch validation: a malformed request fails the call
         // before any engine's launch lock or buffer pool is touched.
         for (index, request) in requests.iter().enumerate() {
-            self.validate(request).map_err(|e| match e {
+            self.validate_strict(request.engine, &request.input).map_err(|e| match e {
                 JitSpmmError::ShapeMismatch(msg) => JitSpmmError::ShapeMismatch(format!(
                     "request {index} (engine {}): {msg}",
                     request.engine
@@ -245,11 +407,13 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         for request in &requests {
             per_engine_count[request.engine] += 1;
         }
-        for (engine, &count) in self.engines.iter().zip(&per_engine_count) {
-            engine.reserve_outputs(count);
-        }
-        for (sharded, &count) in self.sharded.iter().zip(&per_engine_count[self.engines.len()..]) {
-            sharded.reserve_outputs(count);
+        for (id, &count) in per_engine_count.iter().enumerate() {
+            if count > 0 {
+                self.with_entry(id, |entry| match entry {
+                    EngineEntry::Single(engine) => engine.reserve_outputs(count),
+                    EngineEntry::Sharded(sharded) => sharded.reserve_outputs(count),
+                });
+            }
         }
         self.pool.scope(|scope| {
             let mut session = self.session(scope, depth)?;
@@ -263,7 +427,7 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
             }
             let (rest, report) = session.finish();
             responses.extend(rest);
-            responses.sort_by_key(|r| r.request);
+            responses.sort_by_key(|r| r.request());
             Ok((responses, report))
         })
     }
@@ -278,13 +442,17 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
     /// global submission order, the aggregated [`ServerReport`], and the
     /// producer's return value.
     ///
+    /// This is the strict FIFO path; [`SpmmServer::serve_controlled`] adds
+    /// shedding policies, priorities, deadlines and graceful degradation.
+    ///
     /// # Errors
     ///
     /// A malformed request ([`JitSpmmError::UnknownEngine`] /
-    /// [`JitSpmmError::ShapeMismatch`]) aborts the serve: the queue is
-    /// closed — unblocking any producer mid-`send`, whose subsequent sends
-    /// return `false` — in-flight launches are joined, and the error is
-    /// returned after the producer thread has finished.
+    /// [`JitSpmmError::EngineRetired`] / [`JitSpmmError::ShapeMismatch`])
+    /// aborts the serve: the queue is closed — unblocking any producer
+    /// mid-`send`, whose subsequent sends return
+    /// [`crate::serve::SendError::Closed`] — in-flight launches are joined,
+    /// and the error is returned after the producer thread has finished.
     /// [`JitSpmmError::LaunchInProgress`] as for
     /// [`SpmmServer::serve_batch`].
     ///
@@ -306,7 +474,7 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         let mut responses = Vec::new();
         let (report, produced) =
             self.serve_stream_with(depth, queue_capacity, producer, |r| responses.push(r))?;
-        responses.sort_by_key(|r| r.request);
+        responses.sort_by_key(|r| r.request());
         Ok((responses, report, produced))
     }
 
@@ -383,22 +551,194 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         })
     }
 
-    /// Validate one request — engine id, then input shape — without touching
-    /// any engine state. The id space covers single engines first, then
-    /// sharded ones.
-    fn validate(&self, request: &ServerRequest<T>) -> Result<(), JitSpmmError> {
-        self.check_request(request.engine, &request.input)
+    /// The control-plane serving loop: a producer thread feeds a queue
+    /// admitting under `options.admission` (block or shed, with typed
+    /// [`crate::serve::SendError`]s), arrivals are re-ordered by
+    /// **priority, then deadline, then arrival** through a
+    /// [`ReorderBuffer`], deadline-expired requests are shed right before
+    /// launch, and every outcome — completed, rejected, failed — reaches
+    /// `consumer` as a typed [`ServerResponse`]. Worker panics are
+    /// contained to the request that hit them (`options.fault_containment`,
+    /// on by default); unrelated engines keep serving and the server stays
+    /// usable afterwards.
+    ///
+    /// The loop wakes every `options.tick` even when the queue is idle, to
+    /// apply control-plane changes (retirement drains, server-wide drain)
+    /// and to join in-flight launches so responses keep streaming.
+    ///
+    /// Returns the aggregated [`ServerReport`] — `requests` counts
+    /// completions only; `rejected` / `shed_deadline` / `failed` account
+    /// for everything else, including sends the queue refused — and the
+    /// producer's return value.
+    ///
+    /// ```
+    /// use jitspmm::serve::{AdmissionPolicy, ServeOptions, ServerRequest, SpmmServer};
+    /// use jitspmm::{JitSpmmBuilder, WorkerPool};
+    /// use jitspmm_sparse::{generate, DenseMatrix};
+    /// use std::time::Duration;
+    ///
+    /// # fn main() -> Result<(), jitspmm::JitSpmmError> {
+    /// let pool = WorkerPool::new(2);
+    /// let a = generate::uniform::<f32>(64, 64, 400, 1);
+    /// let server =
+    ///     SpmmServer::new(vec![JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&a, 4)?])?;
+    /// let options = ServeOptions::new(AdmissionPolicy::shedding(8));
+    /// let (report, sent) = server.serve_controlled(
+    ///     options,
+    ///     |sender| {
+    ///         let mut sent = 0;
+    ///         for i in 0..4u64 {
+    ///             let request = ServerRequest::new(0, DenseMatrix::random(64, 4, i))
+    ///                 .with_priority((i % 3) as u8)
+    ///                 .with_deadline(Duration::from_secs(30));
+    ///             if sender.send_request(request).is_ok() {
+    ///                 sent += 1;
+    ///             }
+    ///         }
+    ///         sent
+    ///     },
+    ///     |response| assert!(response.is_completed()),
+    /// )?;
+    /// assert_eq!(report.requests, sent);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`JitSpmmError::LaunchInProgress`] or a codegen error from opening
+    /// the session. Malformed *requests* do not error the loop here — they
+    /// come back as [`ServerResponse::Rejected`] / [`ServerResponse::Failed`].
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a producer or consumer panic (queue closed, launches
+    /// joined first). Worker panics only unwind out of here when
+    /// `options.fault_containment` is off.
+    pub fn serve_controlled<P, R, C>(
+        &self,
+        options: ServeOptions,
+        producer: P,
+        mut consumer: C,
+    ) -> Result<(ServerReport, R), JitSpmmError>
+    where
+        P: FnOnce(RequestSender<T>) -> R + Send,
+        R: Send,
+        C: FnMut(ServerResponse<T>),
+    {
+        let (sender, queue) =
+            RequestQueue::controlled(options.admission, Arc::clone(&self.control));
+        let tick = options.tick.max(Duration::from_micros(100));
+        std::thread::scope(|threads| {
+            let _close = CloseOnExit(&queue);
+            let producer_thread = threads.spawn(move || producer(sender));
+            let served = self.pool.scope(|scope| -> Result<_, JitSpmmError> {
+                let mut session = self.session(scope, options.depth)?;
+                session.fault_containment(options.fault_containment);
+                let mut buffer = ReorderBuffer::new();
+                let mut disconnected = false;
+                loop {
+                    session.apply_control();
+                    // Hand out everything ready; each emission answers one
+                    // admitted request on the control plane (consumer first,
+                    // so a drain barrier returning implies the consumer saw
+                    // every response).
+                    while let Some(response) = session.take_ready() {
+                        consumer(response);
+                        self.control.completed(1);
+                    }
+                    // Launch the most urgent buffered request, then sweep
+                    // the burst that arrived meanwhile so the next pop
+                    // compares the whole backlog.
+                    if let Some(request) = buffer.pop() {
+                        session.submit_controlled(request);
+                        while let Some(request) = queue.try_recv() {
+                            buffer.push(request);
+                        }
+                        continue;
+                    }
+                    if disconnected {
+                        if session.in_flight() == 0 {
+                            break;
+                        }
+                        session.complete_any();
+                        continue;
+                    }
+                    match queue.recv_timeout(tick) {
+                        RecvTimeout::Request(request) => {
+                            buffer.push(request);
+                            while let Some(request) = queue.try_recv() {
+                                buffer.push(request);
+                            }
+                        }
+                        // Idle tick: make progress on in-flight launches so
+                        // responses stream out even with nothing arriving.
+                        RecvTimeout::TimedOut => {
+                            session.complete_any();
+                        }
+                        RecvTimeout::Disconnected => disconnected = true,
+                    }
+                }
+                let (rest, mut report) = session.finish();
+                for response in rest {
+                    consumer(response);
+                    self.control.completed(1);
+                }
+                // Sends the queue refused (shed, draining, unknown id)
+                // never reached the session; fold them into the report so
+                // offered load adds up.
+                report.rejected += self.control.take_rejected_sends();
+                Ok(report)
+            });
+            queue.close();
+            let produced = match producer_thread.join() {
+                Ok(value) => value,
+                Err(payload) => resume_unwind(payload),
+            };
+            served.map(|report| (report, produced))
+        })
+    }
+}
+
+/// Options for [`SpmmServer::serve_controlled`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Per-engine pipeline depth (`0` = auto, as
+    /// [`JitSpmm::batch_stream`]).
+    pub depth: usize,
+    /// How the request queue admits (depth, in-flight cap, block vs shed).
+    pub admission: AdmissionPolicy,
+    /// How often the serving loop wakes on an idle queue to apply control
+    /// changes and join in-flight launches. Clamped to at least 100µs.
+    pub tick: Duration,
+    /// Convert worker panics into typed [`ServerResponse::Failed`]
+    /// responses (on by default). Off restores the strict re-raise
+    /// behavior of [`SpmmServer::serve_stream_with`].
+    pub fault_containment: bool,
+}
+
+impl ServeOptions {
+    /// Defaults (auto depth, 1ms tick, fault containment on) with the given
+    /// admission policy.
+    pub fn new(admission: AdmissionPolicy) -> ServeOptions {
+        ServeOptions {
+            depth: 0,
+            admission,
+            tick: Duration::from_millis(1),
+            fault_containment: true,
+        }
     }
 
-    /// Shape-check `input` against logical engine `id` (single or sharded).
-    fn check_request(&self, id: usize, input: &DenseMatrix<T>) -> Result<(), JitSpmmError> {
-        if let Some(engine) = self.engines.get(id) {
-            return engine.check_input_shape(input);
-        }
-        let sharded = self.sharded.get(id - self.engines.len()).ok_or({
-            JitSpmmError::UnknownEngine { requested: id, engines: self.engine_count() }
-        })?;
-        sharded.check_input_shape(input)
+    /// Set the per-engine pipeline depth.
+    pub fn with_depth(mut self, depth: usize) -> ServeOptions {
+        self.depth = depth;
+        self
+    }
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions::new(AdmissionPolicy::blocking(16))
     }
 }
 
@@ -411,94 +751,475 @@ impl<T: Scalar> Drop for CloseOnExit<'_, T> {
     }
 }
 
-/// One completed serving request, tagged with where it came from and where
-/// it ran.
+/// The outcome of one serving request: completed with an output, rejected
+/// by the control plane with a typed [`RejectReason`], or failed after
+/// launch (a contained worker panic, or a shape mismatch on the controlled
+/// path). Every request submitted to a controlled serve produces exactly
+/// one of these.
 #[derive(Debug)]
-pub struct ServerResponse<T: Scalar> {
-    /// The engine that executed the request.
-    pub engine: usize,
-    /// Per-engine submission index (the `index`-th request routed to this
-    /// engine); responses of one engine always arrive in this order.
-    pub index: usize,
-    /// Global submission sequence number across the whole session, assigned
-    /// in [`ServerSession::submit`] order. The collecting entry points sort
-    /// their result by this field.
-    pub request: usize,
-    /// The computed `Y = A_engine * X`, borrowed from the engine's buffer
-    /// pool (dropping it recycles the buffer).
-    pub output: PooledMatrix<T>,
-    /// Per-launch timing, as the batch layer reports it.
-    pub report: ExecutionReport,
+pub enum ServerResponse<T: Scalar> {
+    /// The request executed; `output` is `Y = A_engine * X`.
+    Completed {
+        /// The engine that executed the request.
+        engine: usize,
+        /// Per-engine completion index (the `index`-th response of this
+        /// engine); responses of one engine always arrive in this order.
+        index: usize,
+        /// Global submission sequence number across the whole session.
+        request: usize,
+        /// The computed output, borrowed from the engine's buffer pool
+        /// (dropping it recycles the buffer).
+        output: PooledMatrix<T>,
+        /// Per-launch timing, as the batch layer reports it.
+        report: ExecutionReport,
+    },
+    /// The control plane refused the request after admission (deadline
+    /// passed, engine draining/unknown); nothing was launched.
+    Rejected {
+        /// The engine the request named.
+        engine: usize,
+        /// Global submission sequence number.
+        request: usize,
+        /// Why it was refused.
+        reason: RejectReason,
+    },
+    /// The request was launched (or about to launch) and failed — a worker
+    /// panic contained to this request, or a shape mismatch caught at
+    /// routing time.
+    Failed {
+        /// The engine the request named.
+        engine: usize,
+        /// Global submission sequence number.
+        request: usize,
+        /// The panic message or validation error.
+        message: String,
+    },
 }
 
-/// An open serving session, created by [`SpmmServer::session`]: one
-/// pipeline per logical engine — a [`BatchStream`] for single engines, a
+impl<T: Scalar> ServerResponse<T> {
+    /// The engine id the request named.
+    pub fn engine(&self) -> usize {
+        match self {
+            ServerResponse::Completed { engine, .. }
+            | ServerResponse::Rejected { engine, .. }
+            | ServerResponse::Failed { engine, .. } => *engine,
+        }
+    }
+
+    /// Global submission sequence number across the session.
+    pub fn request(&self) -> usize {
+        match self {
+            ServerResponse::Completed { request, .. }
+            | ServerResponse::Rejected { request, .. }
+            | ServerResponse::Failed { request, .. } => *request,
+        }
+    }
+
+    /// Whether the request completed with an output.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ServerResponse::Completed { .. })
+    }
+
+    /// Per-engine completion index.
+    ///
+    /// # Panics
+    ///
+    /// If the response is not [`ServerResponse::Completed`].
+    pub fn index(&self) -> usize {
+        match self {
+            ServerResponse::Completed { index, .. } => *index,
+            other => panic!("response for request {} has no index: not completed", other.request()),
+        }
+    }
+
+    /// Borrow the computed output.
+    ///
+    /// # Panics
+    ///
+    /// If the response is not [`ServerResponse::Completed`].
+    pub fn output(&self) -> &PooledMatrix<T> {
+        match self {
+            ServerResponse::Completed { output, .. } => output,
+            other => {
+                panic!("response for request {} has no output: not completed", other.request())
+            }
+        }
+    }
+
+    /// Take the computed output, if the request completed.
+    pub fn into_output(self) -> Option<PooledMatrix<T>> {
+        match self {
+            ServerResponse::Completed { output, .. } => Some(output),
+            _ => None,
+        }
+    }
+
+    /// Per-launch timing, if the request completed.
+    pub fn report(&self) -> Option<&ExecutionReport> {
+        match self {
+            ServerResponse::Completed { report, .. } => Some(report),
+            _ => None,
+        }
+    }
+
+    /// The rejection reason, if the control plane refused the request.
+    pub fn rejection(&self) -> Option<RejectReason> {
+        match self {
+            ServerResponse::Rejected { reason, .. } => Some(*reason),
+            _ => None,
+        }
+    }
+
+    /// The failure message, if the request failed after admission.
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            ServerResponse::Failed { message, .. } => Some(message),
+            _ => None,
+        }
+    }
+}
+
+/// Per-session outcome counters, aggregated into the [`ServerReport`].
+#[derive(Debug, Default, Clone, Copy)]
+struct ServeCounters {
+    completed: usize,
+    rejected: usize,
+    shed_deadline: usize,
+    failed: usize,
+}
+
+/// One logical engine's lane inside a session: its pipeline (opened lazily
+/// for engines registered after the session started, `None` once the lane
+/// is closed by retirement or poisoning), the sequence numbers of its
+/// in-flight requests, and its closed-lane report.
+struct Lane<'scope, 'env, T: Scalar> {
+    stream: Option<RouteStream<'scope, 'env, T>>,
+    /// Global sequence numbers of this lane's in-flight requests, oldest
+    /// first (per-engine completion is oldest-first, so the front is always
+    /// the next to finish).
+    pending: VecDeque<usize>,
+    /// Completed responses handed out so far (the per-engine index).
+    completed: usize,
+    /// Set when the lane closes (drain, retirement, poisoning, finish);
+    /// a lane with a report refuses further submissions.
+    report: Option<BatchReport>,
+}
+
+impl<'scope, 'env, T: Scalar> Lane<'scope, 'env, T> {
+    fn new() -> Lane<'scope, 'env, T> {
+        Lane { stream: None, pending: VecDeque::new(), completed: 0, report: None }
+    }
+}
+
+/// An open serving session, created by [`SpmmServer::session`]: one lane
+/// per logical engine — a [`BatchStream`] for single engines, a
 /// [`ShardedStream`] for sharded ones — plus the request bookkeeping that
-/// tags every response with its engine id and sequence numbers.
+/// tags every response with its engine id and sequence numbers, and the
+/// control-plane hooks ([`ServerSession::apply_control`], fault
+/// containment) the controlled serving loop drives.
 ///
-/// The session holds **every** engine's launch lock until it is finished or
+/// The session holds every open lane's launch lock until it is finished or
 /// dropped (dropping joins all in-flight launches and discards their
 /// results). Submit with [`ServerSession::submit`]; drain with
 /// [`ServerSession::finish`].
-pub struct ServerSession<'scope, 'env, T: Scalar> {
-    server: &'env SpmmServer<'env, T>,
-    /// One pipeline per logical engine, indexed by engine id. Launch
-    /// payload slots, output buffers and spare kernels are all
-    /// per-engine-slot state owned by the individual streams.
-    streams: Vec<RouteStream<'scope, 'env, T>>,
-    /// Global sequence numbers of each engine's in-flight requests, oldest
-    /// first (per-engine completion is oldest-first, so the front is always
-    /// the next to finish).
-    pending: Vec<VecDeque<usize>>,
-    /// Per-engine count of completed responses handed out so far.
-    completed: Vec<usize>,
+pub struct ServerSession<'scope, 'env, 'a, T: Scalar> {
+    /// `'a` is the server's own data lifetime (the matrices its engines
+    /// borrow), `'env` the session's borrow of it — kept apart because the
+    /// registry mutex makes [`SpmmServer`] invariant in `'a`.
+    server: &'env SpmmServer<'a, T>,
+    /// Kept so lanes can open lazily (engines registered mid-session).
+    scope: &'scope PoolScope<'scope, 'env>,
+    depth: usize,
+    lanes: Vec<Lane<'scope, 'env, T>>,
+    /// Responses produced but not yet handed out (the controlled loop
+    /// drains this; the strict paths surface it at finish).
+    ready: VecDeque<ServerResponse<T>>,
+    counters: ServeCounters,
     /// Next global submission sequence number.
     next_request: usize,
     /// First-submission timestamp, for the whole-server wall clock.
     started: Option<Instant>,
+    /// Last control-plane epoch applied; skips the per-engine scan when
+    /// nothing changed.
+    epoch_seen: u64,
+    /// Convert worker panics into [`ServerResponse::Failed`] instead of
+    /// re-raising (the controlled loop turns this on).
+    catch_faults: bool,
 }
 
-impl<T: Scalar> std::fmt::Debug for ServerSession<'_, '_, T> {
+impl<T: Scalar> std::fmt::Debug for ServerSession<'_, '_, '_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerSession")
-            .field("engines", &self.streams.len())
+            .field("engines", &self.lanes.len())
             .field("submitted", &self.next_request)
+            .field("ready", &self.ready.len())
             .finish()
     }
 }
 
-impl<T: Scalar> ServerSession<'_, '_, T> {
-    /// Route one owned request to engine `engine`. If that engine's pipeline
-    /// is at depth, the oldest in-flight launch **of that engine** is waited
-    /// for first and its response returned; otherwise the call does not
-    /// block and returns `None`. Responses of other engines are never
-    /// returned here — they surface when their own engine is pushed again,
-    /// or at [`ServerSession::finish`].
+/// Extract a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panic".to_string()
+    }
+}
+
+/// A zero-input [`BatchReport`] for a lane that never opened (or was
+/// poisoned before it could report).
+fn empty_report(strategy: Option<Strategy>) -> BatchReport {
+    BatchStats::default().report(
+        Duration::ZERO,
+        1,
+        1,
+        strategy.expect("lane ids mirror registered engines"),
+    )
+}
+
+/// Pop the lane's oldest pending sequence number and queue a completed
+/// response. Free function so callers can hold disjoint field borrows.
+fn emit_completed<T: Scalar>(
+    lane: &mut Lane<'_, '_, T>,
+    engine: usize,
+    ready: &mut VecDeque<ServerResponse<T>>,
+    counters: &mut ServeCounters,
+    output: PooledMatrix<T>,
+    report: ExecutionReport,
+) {
+    let request = lane.pending.pop_front().expect("completed launches were submitted");
+    let index = lane.completed;
+    lane.completed += 1;
+    counters.completed += 1;
+    ready.push_back(ServerResponse::Completed { engine, index, request, output, report });
+}
+
+/// Pop the lane's oldest pending sequence number and queue a typed failure.
+fn emit_failed<T: Scalar>(
+    lane: &mut Lane<'_, '_, T>,
+    engine: usize,
+    ready: &mut VecDeque<ServerResponse<T>>,
+    counters: &mut ServeCounters,
+    message: String,
+) {
+    let request = lane.pending.pop_front().expect("failed launches were submitted");
+    counters.failed += 1;
+    ready.push_back(ServerResponse::Failed { engine, request, message });
+}
+
+impl<T: Scalar> ServerSession<'_, '_, '_, T> {
+    /// Grow the lane vector to cover engines registered since the last
+    /// look; new lanes open their pipeline lazily, on first submission.
+    fn sync_topology(&mut self) {
+        let count = self.server.engine_count();
+        while self.lanes.len() < count {
+            self.lanes.push(Lane::new());
+        }
+    }
+
+    /// Open lane `id`'s pipeline if it has none yet (and was not closed).
+    fn open_stream(&mut self, id: usize) -> Result<(), JitSpmmError> {
+        if self.lanes[id].stream.is_some() || self.lanes[id].report.is_some() {
+            return Ok(());
+        }
+        let stream = match (self.server.single(id), self.server.sharded(id)) {
+            (Some(engine), _) => RouteStream::Single(engine.batch_stream(self.scope, self.depth)?),
+            (_, Some(sharded)) => {
+                RouteStream::Sharded(sharded.batch_stream(self.scope, self.depth)?)
+            }
+            (None, None) => {
+                return Err(JitSpmmError::UnknownEngine {
+                    requested: id,
+                    engines: self.server.engine_count(),
+                })
+            }
+        };
+        self.lanes[id].stream = Some(stream);
+        Ok(())
+    }
+
+    /// Turn worker-panic containment on or off for this session (off by
+    /// default; [`SpmmServer::serve_controlled`] turns it on). Contained
+    /// panics surface as [`ServerResponse::Failed`] for exactly the request
+    /// that hit them; a panic in a **sharded** lane additionally poisons
+    /// that lane — its sibling shard outputs are unrecoverable — failing
+    /// its remaining in-flight requests and closing it, while every other
+    /// lane keeps serving.
+    pub fn fault_containment(&mut self, on: bool) {
+        self.catch_faults = on;
+    }
+
+    /// Apply pending control-plane changes: pick up newly registered
+    /// engines, and drain + close the lanes of engines marked
+    /// [`EngineStatus::Draining`] (their in-flight requests complete and
+    /// surface as ready responses; their launch-slot payloads are freed
+    /// with the closed stream; the control plane then records them
+    /// [`EngineStatus::Retired`]). Cheap when nothing changed.
+    pub fn apply_control(&mut self) {
+        let epoch = self.server.ctrl().epoch();
+        if epoch == self.epoch_seen {
+            return;
+        }
+        self.epoch_seen = epoch;
+        self.sync_topology();
+        for id in 0..self.lanes.len() {
+            if self.server.ctrl().status(id) == Some(EngineStatus::Draining) {
+                self.close_lane(id);
+                self.server.ctrl().mark_retired(id);
+            }
+        }
+    }
+
+    /// Join lane `id`'s oldest in-flight launch, queueing its response (or
+    /// typed failure, under fault containment). Returns whether a launch
+    /// was joined.
+    fn complete_one(&mut self, id: usize) -> bool {
+        let catch = self.catch_faults;
+        let ServerSession { lanes, ready, counters, server, .. } = &mut *self;
+        let lane = &mut lanes[id];
+        let Some(stream) = lane.stream.as_mut() else {
+            return false;
+        };
+        if stream.in_flight() == 0 {
+            return false;
+        }
+        if !catch {
+            // Strict semantics: a worker panic re-raises here (the batch
+            // layer restores its bookkeeping first; unwinding drops the
+            // session, joining everything else).
+            let (output, report) = stream.complete_next().expect("in-flight checked above");
+            emit_completed(lane, id, ready, counters, output, report);
+            return true;
+        }
+        match catch_unwind(AssertUnwindSafe(|| stream.complete_next())) {
+            Ok(Some((output, report))) => {
+                emit_completed(lane, id, ready, counters, output, report);
+            }
+            Ok(None) => return false,
+            Err(payload) => {
+                let poisoned = stream.is_sharded();
+                emit_failed(lane, id, ready, counters, panic_message(payload.as_ref()));
+                if poisoned {
+                    // A sharded lane lost lockstep: the panicking input's
+                    // sibling shard outputs were discarded with the unwind.
+                    // Close the lane — dropping the stream joins what's
+                    // left and frees its slot payloads — and fail its
+                    // remaining requests; unrelated lanes are untouched.
+                    drop(lane.stream.take());
+                    while !lane.pending.is_empty() {
+                        emit_failed(
+                            lane,
+                            id,
+                            ready,
+                            counters,
+                            "sharded lane poisoned by a worker panic".to_string(),
+                        );
+                    }
+                    lane.report = Some(empty_report(server.engine_strategy(id)));
+                }
+            }
+        }
+        true
+    }
+
+    /// Join the in-flight launch whose response is globally oldest, if any;
+    /// the controlled loop's idle-tick progress step.
+    pub(crate) fn complete_any(&mut self) -> bool {
+        let next = self
+            .lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, lane)| lane.stream.as_ref().is_some_and(|s| s.in_flight() > 0))
+            .min_by_key(|(_, lane)| lane.pending.front().copied().unwrap_or(usize::MAX))
+            .map(|(id, _)| id);
+        match next {
+            Some(id) => self.complete_one(id),
+            None => false,
+        }
+    }
+
+    /// Drain lane `id` (fault-aware, one completion at a time), close its
+    /// pipeline and record its report. Idempotent.
+    fn close_lane(&mut self, id: usize) {
+        loop {
+            let Some(lane) = self.lanes.get(id) else {
+                return;
+            };
+            match lane.stream.as_ref() {
+                Some(stream) if stream.in_flight() > 0 => {
+                    self.complete_one(id);
+                }
+                _ => break,
+            }
+        }
+        let ServerSession { lanes, ready, counters, server, .. } = &mut *self;
+        let lane = &mut lanes[id];
+        if let Some(stream) = lane.stream.take() {
+            // Nothing is in flight (drained above), so finishing cannot
+            // re-raise a worker panic.
+            let (rest, report) = stream.finish_report();
+            for (output, exec) in rest {
+                emit_completed(lane, id, ready, counters, output, exec);
+            }
+            lane.report = Some(report);
+        } else if lane.report.is_none() {
+            lane.report = Some(empty_report(server.engine_strategy(id)));
+        }
+    }
+
+    /// Pop the next produced-but-unclaimed response.
+    pub(crate) fn take_ready(&mut self) -> Option<ServerResponse<T>> {
+        self.ready.pop_front()
+    }
+
+    /// Total launches currently in flight across all lanes.
+    pub fn in_flight(&self) -> usize {
+        self.lanes.iter().filter_map(|l| l.stream.as_ref()).map(|s| s.in_flight()).sum()
+    }
+
+    /// Route one owned request to engine `engine` — the strict session
+    /// path: FIFO, no deadline/priority handling, errors instead of typed
+    /// rejections. If that engine's pipeline is at depth, the oldest
+    /// in-flight launch **of that engine** is waited for first and its
+    /// response returned; otherwise the call does not block and returns
+    /// `None`. Responses of other engines are never returned here — they
+    /// surface when their own engine is pushed again, or at
+    /// [`ServerSession::finish`].
     ///
     /// # Errors
     ///
-    /// Returns [`JitSpmmError::UnknownEngine`] for an out-of-range engine id
-    /// and [`JitSpmmError::ShapeMismatch`] if the input is not that engine's
-    /// `A.ncols() x d` — both checked before any launch state is touched;
+    /// [`JitSpmmError::UnknownEngine`] for an out-of-range engine id,
+    /// [`JitSpmmError::EngineRetired`] for a draining/retired one, and
+    /// [`JitSpmmError::ShapeMismatch`] if the input is not that engine's
+    /// `A.ncols() x d` — all checked before any launch state is touched;
     /// the rejected input is dropped and the session continues unharmed.
     ///
     /// # Panics
     ///
     /// Re-raises a worker panic from the completed launch (the session is
     /// then dropped by unwinding, which joins all remaining launches and
-    /// releases every engine).
+    /// releases every engine), unless [`ServerSession::fault_containment`]
+    /// is on.
     pub fn submit(
         &mut self,
         engine: usize,
         input: DenseMatrix<T>,
     ) -> Result<Option<ServerResponse<T>>, JitSpmmError> {
-        if engine >= self.streams.len() {
+        self.sync_topology();
+        if engine >= self.lanes.len() {
             return Err(JitSpmmError::UnknownEngine {
                 requested: engine,
-                engines: self.streams.len(),
+                engines: self.lanes.len(),
             });
         }
+        match self.server.ctrl().status(engine) {
+            Some(EngineStatus::Active) => {}
+            _ => return Err(JitSpmmError::EngineRetired { id: engine }),
+        }
         self.server.check_request(engine, &input)?;
+        self.open_stream(engine)?;
         Ok(self.submit_validated(engine, input))
     }
 
@@ -512,21 +1233,172 @@ impl<T: Scalar> ServerSession<'_, '_, T> {
         input: DenseMatrix<T>,
     ) -> Option<ServerResponse<T>> {
         self.started.get_or_insert_with(Instant::now);
-        self.pending[engine].push_back(self.next_request);
+        let seq = self.next_request;
         self.next_request += 1;
-        let done = match &mut self.streams[engine] {
-            RouteStream::Single(stream) => stream.push_owned_validated(input),
-            // One owned request, fanned out to every shard pipeline: each
-            // holds an `Arc` clone until its own launch joins.
-            RouteStream::Sharded(stream) => stream.push_shared_validated(Arc::new(input)),
-        };
+        if self.lanes[engine].stream.is_none()
+            && (self.lanes[engine].report.is_some() || self.open_stream(engine).is_err())
+        {
+            // The lane closed between validation and routing (a concurrent
+            // retirement): a typed rejection, not a lost request.
+            self.counters.rejected += 1;
+            return Some(ServerResponse::Rejected {
+                engine,
+                request: seq,
+                reason: RejectReason::Draining,
+            });
+        }
+        let ServerSession { lanes, ready, counters, .. } = &mut *self;
+        let lane = &mut lanes[engine];
+        lane.pending.push_back(seq);
+        let stream = lane.stream.as_mut().expect("lane opened above");
+        let done = stream.push_owned(input);
         done.map(|(output, report)| {
-            let request =
-                self.pending[engine].pop_front().expect("completed launches were submitted");
-            let index = self.completed[engine];
-            self.completed[engine] += 1;
-            ServerResponse { engine, index, request, output, report }
+            emit_completed(lane, engine, ready, counters, output, report);
+            ready.pop_back().expect("emitted just above")
         })
+    }
+
+    /// The controlled routing path: every outcome — launch, typed
+    /// rejection, contained failure — is queued as a ready response; the
+    /// caller drains [`ServerSession::take_ready`]. Checks, in order:
+    /// engine id, lifecycle, input shape, deadline on arrival, room in the
+    /// pipeline (joining older launches as needed), and the deadline
+    /// **again** right before the push, so time burned waiting for room
+    /// sheds the request instead of launching it late.
+    pub(crate) fn submit_controlled(&mut self, request: ServerRequest<T>) {
+        self.started.get_or_insert_with(Instant::now);
+        self.sync_topology();
+        let engine = request.engine;
+        let seq = self.next_request;
+        self.next_request += 1;
+        if engine >= self.lanes.len() {
+            self.counters.rejected += 1;
+            self.ready.push_back(ServerResponse::Rejected {
+                engine,
+                request: seq,
+                reason: RejectReason::UnknownEngine,
+            });
+            return;
+        }
+        if self.server.ctrl().status(engine) != Some(EngineStatus::Active)
+            || self.lanes[engine].report.is_some()
+        {
+            self.counters.rejected += 1;
+            self.ready.push_back(ServerResponse::Rejected {
+                engine,
+                request: seq,
+                reason: RejectReason::Draining,
+            });
+            return;
+        }
+        if let Err(error) = self.server.check_request(engine, &request.input) {
+            self.counters.failed += 1;
+            self.ready.push_back(ServerResponse::Failed {
+                engine,
+                request: seq,
+                message: error.to_string(),
+            });
+            return;
+        }
+        if request.expired(Instant::now()) {
+            self.counters.shed_deadline += 1;
+            self.ready.push_back(ServerResponse::Rejected {
+                engine,
+                request: seq,
+                reason: RejectReason::DeadlinePassed,
+            });
+            return;
+        }
+        if let Err(error) = self.open_stream(engine) {
+            self.counters.failed += 1;
+            self.ready.push_back(ServerResponse::Failed {
+                engine,
+                request: seq,
+                message: error.to_string(),
+            });
+            return;
+        }
+        // Make room, joining this lane's oldest launches; a fault while
+        // joining can poison (close) the lane under us.
+        loop {
+            match self.lanes[engine].stream.as_ref() {
+                None => {
+                    self.counters.rejected += 1;
+                    self.ready.push_back(ServerResponse::Rejected {
+                        engine,
+                        request: seq,
+                        reason: RejectReason::Draining,
+                    });
+                    return;
+                }
+                Some(stream) if stream.is_full() => {
+                    self.complete_one(engine);
+                }
+                Some(_) => break,
+            }
+        }
+        // The deadline check at push: waiting for room may have burned the
+        // request's budget.
+        if request.expired(Instant::now()) {
+            self.counters.shed_deadline += 1;
+            self.ready.push_back(ServerResponse::Rejected {
+                engine,
+                request: seq,
+                reason: RejectReason::DeadlinePassed,
+            });
+            return;
+        }
+        let catch = self.catch_faults;
+        let ServerSession { lanes, ready, counters, server, .. } = &mut *self;
+        let lane = &mut lanes[engine];
+        lane.pending.push_back(seq);
+        let stream = lane.stream.as_mut().expect("lane checked above");
+        let input = request.input;
+        let pushed = if catch {
+            catch_unwind(AssertUnwindSafe(|| stream.push_owned(input)))
+        } else {
+            Ok(stream.push_owned(input))
+        };
+        match pushed {
+            Ok(done) => {
+                // The pipeline was pre-drained below depth, so a push can
+                // only hand back a result on the sequential fast path
+                // (where the kernel ran synchronously just now).
+                if let Some((output, report)) = done {
+                    emit_completed(lane, engine, ready, counters, output, report);
+                }
+            }
+            Err(payload) => {
+                // The panic fired during the synchronous (sequential-mode)
+                // kernel run of *this* request, before it entered the
+                // pipeline: un-book it and fail it. A single-engine stream
+                // stays consistent (the batch layer restores its bookkeeping
+                // before unwinding); a sharded stream may have fanned the
+                // input out to some shards but not others, so treat the
+                // lane as poisoned exactly like a pipelined shard panic.
+                let poisoned = lane.stream.as_ref().is_some_and(RouteStream::is_sharded);
+                lane.pending.pop_back();
+                counters.failed += 1;
+                ready.push_back(ServerResponse::Failed {
+                    engine,
+                    request: seq,
+                    message: panic_message(payload.as_ref()),
+                });
+                if poisoned {
+                    drop(lane.stream.take());
+                    while !lane.pending.is_empty() {
+                        emit_failed(
+                            lane,
+                            engine,
+                            ready,
+                            counters,
+                            "sharded lane poisoned by a worker panic".to_string(),
+                        );
+                    }
+                    lane.report = Some(empty_report(server.engine_strategy(engine)));
+                }
+            }
+        }
     }
 
     /// Number of requests submitted so far, across all engines.
@@ -534,40 +1406,42 @@ impl<T: Scalar> ServerSession<'_, '_, T> {
         self.next_request
     }
 
-    /// Drain every engine's pipeline (in engine-id order, oldest launch
-    /// first within each) and aggregate the [`ServerReport`]. The returned
-    /// responses are the ones not already handed out by
-    /// [`ServerSession::submit`], in per-engine submission order.
+    /// Drain every lane (in engine-id order, oldest launch first within
+    /// each), apply any pending control changes, and aggregate the
+    /// [`ServerReport`]. The returned responses are the ones not already
+    /// handed out, in the order they became ready.
     ///
     /// # Panics
     ///
     /// Re-raises the first worker panic among the remaining launches, after
-    /// all of them have been joined.
+    /// all of them have been joined — unless fault containment is on, in
+    /// which case panics surface as [`ServerResponse::Failed`] responses.
     pub fn finish(mut self) -> (Vec<ServerResponse<T>>, ServerReport) {
-        let mut responses = Vec::new();
-        let mut per_engine = Vec::with_capacity(self.streams.len());
-        for (engine, stream) in self.streams.drain(..).enumerate() {
-            // A sharded engine contributes its merged (critical-path across
-            // shards) batch report to the per-engine slot, so the
-            // `ServerReport` aggregation is uniform across engine kinds.
-            let (rest, report) = match stream {
-                RouteStream::Single(stream) => stream.finish(),
-                RouteStream::Sharded(stream) => {
-                    let (rest, shard_report) = stream.finish();
-                    (rest, shard_report.merged)
-                }
-            };
-            for (output, exec) in rest {
-                let request =
-                    self.pending[engine].pop_front().expect("completed launches were submitted");
-                let index = self.completed[engine];
-                self.completed[engine] += 1;
-                responses.push(ServerResponse { engine, index, request, output, report: exec });
-            }
-            per_engine.push(report);
+        self.apply_control();
+        for id in 0..self.lanes.len() {
+            self.close_lane(id);
         }
+        let per_engine: Vec<BatchReport> =
+            self.lanes.iter_mut().map(|lane| lane.report.take().expect("lane closed")).collect();
         let elapsed = self.started.map(|t| t.elapsed()).unwrap_or_default();
-        (responses, ServerReport { requests: self.next_request, elapsed, per_engine })
+        let responses: Vec<ServerResponse<T>> = self.ready.drain(..).collect();
+        let report = ServerReport {
+            requests: self.counters.completed,
+            elapsed,
+            rejected: self.counters.rejected,
+            shed_deadline: self.counters.shed_deadline,
+            failed: self.counters.failed,
+            per_engine,
+        };
+        (responses, report)
+    }
+}
+
+impl<T: Scalar> Drop for ServerSession<'_, '_, '_, T> {
+    fn drop(&mut self) {
+        // Lanes (and their streams) drop with the struct, joining in-flight
+        // launches; the control plane just needs its session count back.
+        self.server.ctrl().session_closed();
     }
 }
 
@@ -581,4 +1455,56 @@ enum RouteStream<'scope, 'env, T: Scalar> {
     Single(BatchStream<'scope, 'env, T>),
     /// A sharded engine's lockstep shard pipelines.
     Sharded(ShardedStream<'scope, 'env, T>),
+}
+
+impl<T: Scalar> RouteStream<'_, '_, T> {
+    fn in_flight(&self) -> usize {
+        match self {
+            RouteStream::Single(s) => s.in_flight(),
+            RouteStream::Sharded(s) => s.in_flight(),
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        match self {
+            RouteStream::Single(s) => s.in_flight() == s.depth(),
+            RouteStream::Sharded(s) => s.in_flight() == s.depth(),
+        }
+    }
+
+    fn is_sharded(&self) -> bool {
+        matches!(self, RouteStream::Sharded(_))
+    }
+
+    /// Push one owned input (fanned out by shared handle for sharded
+    /// lanes). Pre-validated; may hand back the oldest completed result.
+    fn push_owned(&mut self, input: DenseMatrix<T>) -> Option<(PooledMatrix<T>, ExecutionReport)> {
+        match self {
+            RouteStream::Single(s) => s.push_owned_validated(input),
+            // One owned request, fanned out to every shard pipeline: each
+            // holds an `Arc` clone until its own launch joins.
+            RouteStream::Sharded(s) => s.push_shared_validated(Arc::new(input)),
+        }
+    }
+
+    /// Join the oldest in-flight launch, if any.
+    fn complete_next(&mut self) -> Option<(PooledMatrix<T>, ExecutionReport)> {
+        match self {
+            RouteStream::Single(s) => s.complete_next(),
+            RouteStream::Sharded(s) => s.complete_next(),
+        }
+    }
+
+    /// Finish the pipeline. A sharded engine contributes its merged
+    /// (critical-path across shards) batch report, so the [`ServerReport`]
+    /// aggregation is uniform across engine kinds.
+    fn finish_report(self) -> (Vec<(PooledMatrix<T>, ExecutionReport)>, BatchReport) {
+        match self {
+            RouteStream::Single(s) => s.finish(),
+            RouteStream::Sharded(s) => {
+                let (rest, shard_report) = s.finish();
+                (rest, shard_report.merged)
+            }
+        }
+    }
 }

@@ -90,10 +90,7 @@ fn mixed_stream_matches_per_engine_sequential_execution() {
     let requests: Vec<ServerRequest<f32>> = (0..12)
         .map(|i| {
             let engine = i % engines.len();
-            ServerRequest {
-                engine,
-                input: input_for(&ms[engine], engines[engine].d(), 700 + i as u64),
-            }
+            ServerRequest::new(engine, input_for(&ms[engine], engines[engine].d(), 700 + i as u64))
         })
         .collect();
     let expected: Vec<DenseMatrix<f32>> = requests
@@ -106,17 +103,18 @@ fn mixed_stream_matches_per_engine_sequential_execution() {
     assert_eq!(report.requests, expected.len());
     assert_eq!(report.per_engine.len(), 3);
     for (i, response) in responses.iter().enumerate() {
-        assert_eq!(response.request, i, "responses are sorted by global order");
-        assert_eq!(response.engine, i % 3);
+        assert_eq!(response.request(), i, "responses are sorted by global order");
+        assert_eq!(response.engine(), i % 3);
         assert_eq!(
-            *response.output, expected[i],
+            **response.output(),
+            expected[i],
             "request {i} must be bit-identical to sequential execution"
         );
     }
     // Per-engine order: the k-th response of engine e has index k.
     for e in 0..3 {
         let indices: Vec<usize> =
-            responses.iter().filter(|r| r.engine == e).map(|r| r.index).collect();
+            responses.iter().filter(|r| r.engine() == e).map(|r| r.index()).collect();
         assert_eq!(indices, (0..indices.len()).collect::<Vec<_>>());
         assert_eq!(report.per_engine[e].inputs, indices.len());
     }
@@ -146,7 +144,7 @@ fn serve_stream_routes_cross_thread_producers() {
             let mut sent = 0usize;
             for i in 0..10usize {
                 let e = i % dims_ref.len();
-                if sender.send(e, input_for(&ms_ref[e], dims_ref[e], 800 + i as u64)) {
+                if sender.send(e, input_for(&ms_ref[e], dims_ref[e], 800 + i as u64)).is_ok() {
                     sent += 1;
                 }
             }
@@ -157,7 +155,7 @@ fn serve_stream_routes_cross_thread_producers() {
     assert_eq!(report.requests, 10);
     assert_eq!(responses.len(), 10);
     for (i, response) in responses.iter().enumerate() {
-        assert_eq!(*response.output, expected[i], "streamed request {i} diverged");
+        assert_eq!(**response.output(), expected[i], "streamed request {i} diverged");
     }
     assert!(report.elapsed >= report.per_engine.iter().map(|r| r.elapsed).max().unwrap());
 }
@@ -188,12 +186,12 @@ fn session_validates_before_touching_engine_state() {
         assert_eq!(session.submitted(), 0);
         // The session still serves fine afterwards.
         let good = input_for(&ms[0], d0, 2);
-        let expected = server.engines()[0].matrix().spmm_reference(&good);
+        let expected = server.single(0).unwrap().matrix().spmm_reference(&good);
         session.submit(0, good).unwrap();
         let (rest, report) = session.finish();
         assert_eq!(rest.len(), 1);
         assert_eq!(report.requests, 1);
-        assert!(rest[0].output.approx_eq(&expected, 1e-4));
+        assert!(rest[0].output().approx_eq(&expected, 1e-4));
     });
 }
 
@@ -211,8 +209,8 @@ fn serve_batch_rejects_malformed_requests_up_front() {
     // A wrong-shape request mid-batch fails the whole call, naming the
     // request, before anything launches.
     let requests = vec![
-        ServerRequest { engine: 0, input: input_for(&ms[0], d0, 1) },
-        ServerRequest { engine: 0, input: DenseMatrix::<f32>::zeros(3, 3) },
+        ServerRequest::new(0, input_for(&ms[0], d0, 1)),
+        ServerRequest::new(0, DenseMatrix::<f32>::zeros(3, 3)),
     ];
     match server.serve_batch(0, requests).unwrap_err() {
         JitSpmmError::ShapeMismatch(msg) => {
@@ -221,13 +219,13 @@ fn serve_batch_rejects_malformed_requests_up_front() {
         other => panic!("expected ShapeMismatch, got {other:?}"),
     }
     // An unknown engine id likewise.
-    let requests = vec![ServerRequest { engine: 9, input: input_for(&ms[0], d0, 1) }];
+    let requests = vec![ServerRequest::new(9, input_for(&ms[0], d0, 1))];
     assert!(matches!(
         server.serve_batch(0, requests).unwrap_err(),
         JitSpmmError::UnknownEngine { requested: 9, engines: 3 }
     ));
     // And the server still works.
-    let good = vec![ServerRequest { engine: 0, input: input_for(&ms[0], d0, 2) }];
+    let good = vec![ServerRequest::new(0, input_for(&ms[0], d0, 2))];
     let (responses, _) = server.serve_batch(0, good).unwrap();
     assert_eq!(responses.len(), 1);
 }
@@ -255,7 +253,7 @@ fn serve_stream_error_unblocks_producers() {
             } else {
                 input_for(&ms_ref[0], d0, i as u64)
             };
-            if !sender.send(0, input) {
+            if sender.send(0, input).is_err() {
                 refused += 1;
             }
         }
@@ -264,7 +262,7 @@ fn serve_stream_error_unblocks_producers() {
     assert!(matches!(result.unwrap_err(), JitSpmmError::ShapeMismatch(_)));
     // The engines remain usable.
     let x = input_for(&ms[0], d0, 99);
-    let (y, _) = server.engines()[0].execute(&x).unwrap();
+    let (y, _) = server.single(0).unwrap().execute(&x).unwrap();
     assert!(y.approx_eq(&ms[0].spmm_reference(&x), 1e-4));
 }
 
@@ -283,12 +281,12 @@ fn single_engine_server_is_just_a_batch() {
         inputs.iter().map(|x| engine.execute(x).unwrap().0.into_dense()).collect();
     let server = SpmmServer::new(vec![engine]).unwrap();
     let requests: Vec<ServerRequest<f32>> =
-        inputs.into_iter().map(|input| ServerRequest { engine: 0, input }).collect();
+        inputs.into_iter().map(|input| ServerRequest::new(0, input)).collect();
     let (responses, report) = server.serve_batch(2, requests).unwrap();
     assert_eq!(report.requests, 5);
     assert!(report.throughput() >= 0.0);
     for (response, expected) in responses.iter().zip(&expected) {
-        assert_eq!(*response.output, *expected);
+        assert_eq!(**response.output(), *expected);
     }
 }
 
@@ -317,7 +315,7 @@ fn sharded_engine_serves_behind_one_logical_id() {
         .map(|x| pool.scope(|scope| sharded.execute(scope, x)).unwrap().0.into_dense())
         .collect();
 
-    let mut server = SpmmServer::new(vec![single]).unwrap();
+    let server = SpmmServer::new(vec![single]).unwrap();
     let sharded_id = server.add_sharded(sharded).unwrap();
     assert_eq!(sharded_id, 1);
     assert_eq!(server.engine_count(), 2);
@@ -335,7 +333,7 @@ fn sharded_engine_serves_behind_one_logical_id() {
             } else {
                 sharded_inputs[i / 2].clone()
             };
-            ServerRequest { engine, input }
+            ServerRequest::new(engine, input)
         })
         .collect();
     let (responses, report) = server.serve_batch(0, requests).unwrap();
@@ -344,22 +342,24 @@ fn sharded_engine_serves_behind_one_logical_id() {
     assert_eq!(report.per_engine[0].inputs, 4);
     assert_eq!(report.per_engine[1].inputs, 4);
     for response in &responses {
-        let expected = if response.engine == 0 {
-            &expected_single[response.index]
+        let expected = if response.engine() == 0 {
+            &expected_single[response.index()]
         } else {
-            &expected_sharded[response.index]
+            &expected_sharded[response.index()]
         };
         assert_eq!(
-            *response.output, *expected,
+            **response.output(),
+            *expected,
             "engine {} request {} must be bit-identical to direct execution",
-            response.engine, response.index
+            response.engine(),
+            response.index()
         );
     }
     // Validation covers the sharded id space: bad shapes and unknown ids
     // are refused before any launch.
-    let bad = vec![ServerRequest { engine: sharded_id, input: DenseMatrix::zeros(3, 3) }];
+    let bad = vec![ServerRequest::new(sharded_id, DenseMatrix::zeros(3, 3))];
     assert!(matches!(server.serve_batch(0, bad).unwrap_err(), JitSpmmError::ShapeMismatch(_)));
-    let unknown = vec![ServerRequest { engine: 2, input: input_for(&big, 8, 1) }];
+    let unknown = vec![ServerRequest::new(2, input_for(&big, 8, 1))];
     assert!(matches!(
         server.serve_batch(0, unknown).unwrap_err(),
         JitSpmmError::UnknownEngine { requested: 2, engines: 2 }
@@ -393,7 +393,7 @@ fn serve_stream_with_hands_responses_to_the_consumer() {
                 let mut sent = 0usize;
                 for i in 0..9usize {
                     let e = i % dims_ref.len();
-                    if sender.send(e, input_for(&ms_ref[e], dims_ref[e], 900 + i as u64)) {
+                    if sender.send(e, input_for(&ms_ref[e], dims_ref[e], 900 + i as u64)).is_ok() {
                         sent += 1;
                     }
                 }
@@ -407,11 +407,12 @@ fn serve_stream_with_hands_responses_to_the_consumer() {
     assert_eq!(streamed.len(), 9);
     // Responses arrive in per-engine submission order; re-sequence by the
     // global submission number to compare against the references.
-    streamed.sort_by_key(|r| r.request);
+    streamed.sort_by_key(|r| r.request());
     for (i, response) in streamed.iter().enumerate() {
-        assert_eq!(response.request, i);
+        assert_eq!(response.request(), i);
         assert_eq!(
-            *response.output, expected[i],
+            **response.output(),
+            expected[i],
             "streamed response {i} must be bit-identical to sequential execution"
         );
     }
@@ -442,7 +443,7 @@ fn panicking_consumer_still_closes_the_queue() {
             move |sender| {
                 let mut refused = 0usize;
                 for i in 0..50usize {
-                    if !sender.send(0, input_for(&ms_ref[0], d0, i as u64)) {
+                    if sender.send(0, input_for(&ms_ref[0], d0, i as u64)).is_err() {
                         refused += 1;
                     }
                 }
@@ -456,6 +457,6 @@ fn panicking_consumer_still_closes_the_queue() {
     assert_eq!(message, "consumer exploded");
     // The server (and its engines) remain fully usable afterwards.
     let x = input_for(&ms[0], d0, 123);
-    let (y, _) = server.engines()[0].execute(&x).unwrap();
+    let (y, _) = server.single(0).unwrap().execute(&x).unwrap();
     assert!(y.approx_eq(&ms[0].spmm_reference(&x), 1e-4));
 }

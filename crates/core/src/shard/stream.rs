@@ -142,6 +142,27 @@ impl<'scope, 'env, T: Scalar> ShardedStream<'scope, 'env, T> {
         (full, merge_input_reports(&reports))
     }
 
+    /// Join the oldest in-flight input across the lockstep shard pipelines,
+    /// if any, and stitch its full-height result — the one-at-a-time drain
+    /// the serving control plane uses. A panic from one shard's join
+    /// unwinds with every pipeline's bookkeeping already restored, but the
+    /// completed sibling pieces of that input are discarded with the
+    /// unwind; the serving layer treats a sharded-lane panic as poisoning
+    /// the lane.
+    pub(crate) fn complete_next(&mut self) -> Option<(PooledMatrix<T>, ExecutionReport)> {
+        if self.in_flight() == 0 {
+            return None;
+        }
+        let pieces: Vec<_> = self
+            .streams
+            .iter_mut()
+            .map(|s| s.complete_next().expect("lockstep shard pipelines complete together"))
+            .collect();
+        let (full, report) = self.stitch(pieces);
+        self.merged.record(&report);
+        Some((full, report))
+    }
+
     /// Drain every shard pipeline, stitch the remaining inputs (oldest
     /// first) and aggregate the [`ShardReport`]. The returned results are
     /// the ones not already handed out by [`ShardedStream::push`], in

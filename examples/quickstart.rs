@@ -5,11 +5,11 @@
 //! Run with: `cargo run -p jitspmm-examples --release --bin quickstart`
 
 use jitspmm::baseline::vectorized::spmm_vectorized;
-use jitspmm::serve::SpmmServer;
+use jitspmm::serve::{AdmissionPolicy, ServeOptions, ServerRequest, SpmmServer};
 use jitspmm::{JitSpmmBuilder, Strategy, WorkerPool};
 use jitspmm_examples::require_jit_host;
 use jitspmm_sparse::{generate, DenseMatrix};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     require_jit_host();
@@ -138,7 +138,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 DenseMatrix::random(cols.1, 8, 300 + i)
             };
-            if sender.send(engine, input) {
+            if sender.send(engine, input).is_ok() {
                 sent += 1;
             }
         }
@@ -155,8 +155,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.per_engine[1].kernel_p99,
     );
     for r in &responses {
-        let m = server.engines()[r.engine].matrix();
-        assert_eq!(r.output.nrows(), m.nrows());
+        let m = server.single(r.engine()).expect("both engines are single").matrix();
+        assert_eq!(r.output().nrows(), m.nrows());
     }
     println!("all {} routed responses verified for shape and order", responses.len());
 
@@ -186,5 +186,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(y_sharded.approx_eq(&reference, 1e-4), "sharded result disagrees with the reference");
     println!("sharded result verified against the reference implementation");
+
+    // 9. The serving control plane: flood the server with far more requests
+    //    than its queue admits, under a *shedding* policy — overflow comes
+    //    back to the producer immediately as a typed rejection instead of
+    //    blocking it — with priorities deciding who goes first and deadlines
+    //    shedding requests whose answers would arrive too late. Every
+    //    admitted request is answered (completed, rejected or failed — never
+    //    silently dropped), and the report separates goodput from offered
+    //    load.
+    let options = ServeOptions::new(AdmissionPolicy::shedding(4));
+    let cols = (small_a.ncols(), small_b.ncols());
+    let (ctrl_report, offered) = server.serve_controlled(
+        options,
+        move |sender| {
+            let mut offered = 0usize;
+            for i in 0..40u64 {
+                let engine = (i % 2) as usize;
+                let input = if engine == 0 {
+                    DenseMatrix::random(cols.0, 16, 400 + i)
+                } else {
+                    DenseMatrix::random(cols.1, 8, 500 + i)
+                };
+                let request = ServerRequest::new(engine, input)
+                    .with_priority((i % 3) as u8) // urgent traffic jumps the line
+                    .with_deadline(Duration::from_secs(30));
+                offered += 1;
+                // A shedding queue never blocks: overflow is a typed error.
+                let _ = sender.send_request(request);
+            }
+            offered
+        },
+        |response| {
+            // Completions carry outputs; rejections say exactly why.
+            debug_assert!(response.is_completed() || response.rejection().is_some());
+        },
+    )?;
+    println!(
+        "controlled serving: {} completed of {offered} offered ({} shed by admission, \
+         {} past deadline; shed rate {:.0}%)",
+        ctrl_report.requests,
+        ctrl_report.rejected,
+        ctrl_report.shed_deadline,
+        ctrl_report.shed_rate() * 100.0
+    );
+    assert_eq!(ctrl_report.offered(), offered, "every offered request is accounted for");
+
+    // Retire an engine and drain: the control plane stops admission for it,
+    // lets in-flight work finish, and the drain barrier waits until every
+    // admitted request has been answered — the shape of a rolling restart.
+    server.retire_engine(1);
+    server.control().drain();
+    server.control().resume(); // the barrier passed; admit traffic again
+    println!(
+        "engine 1 retired ({:?}); server drained and still serving engine 0",
+        server.engine_status(1).unwrap()
+    );
+    let (responses, _, _) = server.serve_stream(0, 4, move |sender| {
+        sender.send(0, DenseMatrix::random(cols.0, 16, 999)).expect("engine 0 still serves");
+    })?;
+    assert_eq!(responses.len(), 1);
+    println!("post-retirement request on engine 0 verified");
     Ok(())
 }

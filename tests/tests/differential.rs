@@ -521,7 +521,7 @@ fn differential_matrix_mixed_engine_serving() {
                 );
                 cursors[engine] += 1;
                 anchor_requests.push((engine, input.clone()));
-                requests.push(ServerRequest { engine, input });
+                requests.push(ServerRequest::new(engine, input));
             }
             let anchors = scalar::spmm_scalar_serve_mixed(&matrices, &anchor_requests);
 
@@ -530,20 +530,22 @@ fn differential_matrix_mixed_engine_serving() {
             assert_eq!(responses.len(), total);
             assert_eq!(report.requests, total);
             for (g, response) in responses.iter().enumerate() {
-                assert_eq!(response.request, g, "responses sorted by submission order");
-                assert_eq!(response.engine, anchor_requests[g].0, "response routed wrong");
+                assert_eq!(response.request(), g, "responses sorted by submission order");
+                assert_eq!(response.engine(), anchor_requests[g].0, "response routed wrong");
                 assert_eq!(
-                    *response.output, expected[response.engine][response.index],
+                    **response.output(),
+                    expected[response.engine()][response.index()],
                     "{} engines, batch {batch_size}, request {g} (engine {}): mixed-stream \
                      result must be bit-identical to per-engine sequential execute",
-                    engine_count, response.engine
+                    engine_count,
+                    response.engine()
                 );
                 assert!(
-                    response.output.approx_eq(&anchors[g], 1e-4),
+                    response.output().approx_eq(&anchors[g], 1e-4),
                     "{} engines, batch {batch_size}, request {g}: serving vs scalar anchor, \
                      max diff {}",
                     engine_count,
-                    response.output.max_abs_diff(&anchors[g])
+                    response.output().max_abs_diff(&anchors[g])
                 );
             }
             for (e, engine_report) in report.per_engine.iter().enumerate() {
@@ -592,9 +594,9 @@ fn mixed_engine_serving_in_single_threaded_mode_is_deterministic() {
         (0..10)
             .map(|i| {
                 let engine = (i * 3 + 1) % 2;
-                let m = server.engines()[engine].matrix();
-                let d = server.engines()[engine].d();
-                ServerRequest { engine, input: DenseMatrix::random(m.ncols(), d, 5_000 + i as u64) }
+                let single = server.single(engine).expect("both engines are single");
+                let (m, d) = (single.matrix(), single.d());
+                ServerRequest::new(engine, DenseMatrix::random(m.ncols(), d, 5_000 + i as u64))
             })
             .collect()
     };
@@ -604,9 +606,9 @@ fn mixed_engine_serving_in_single_threaded_mode_is_deterministic() {
     let (second, _) = server2.serve_batch(2, requests(&server2)).unwrap();
     assert_eq!(first.len(), second.len());
     for (r1, r2) in first.iter().zip(&second) {
-        assert_eq!(r1.engine, r2.engine);
-        assert_eq!(r1.index, r2.index);
-        assert_eq!(*r1.output, *r2.output, "serving is not deterministic");
+        assert_eq!(r1.engine(), r2.engine());
+        assert_eq!(r1.index(), r2.index());
+        assert_eq!(**r1.output(), **r2.output(), "serving is not deterministic");
     }
 }
 

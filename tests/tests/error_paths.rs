@@ -123,7 +123,7 @@ fn entry_points() -> Vec<EntryPoint> {
                     .build(engine.matrix(), engine.d())
                     .expect("compiling the server's engine");
                 let server = SpmmServer::new(vec![server_engine]).expect("building the server");
-                server.serve_batch(0, vec![ServerRequest { engine: 0, input: x }]).map(drop)
+                server.serve_batch(0, vec![ServerRequest::new(0, x)]).map(drop)
             },
         },
     ]
@@ -195,7 +195,7 @@ fn server_rejects_unknown_engine_ids_everywhere() {
     let input = || DenseMatrix::<f32>::random(40, 4, 9);
     // serve_batch: validated up front.
     assert!(matches!(
-        server.serve_batch(0, vec![ServerRequest { engine: 3, input: input() }]).unwrap_err(),
+        server.serve_batch(0, vec![ServerRequest::new(3, input())]).unwrap_err(),
         JitSpmmError::UnknownEngine { requested: 3, engines: 1 }
     ));
     // session submit: validated per request.

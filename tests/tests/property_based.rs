@@ -307,18 +307,18 @@ proptest! {
         let server = SpmmServer::new(engines).unwrap();
         let requests: Vec<ServerRequest<f32>> = inputs
             .iter()
-            .map(|(engine, x)| ServerRequest { engine: *engine, input: x.clone() })
+            .map(|(engine, x)| ServerRequest::new(*engine, x.clone()))
             .collect();
         let (responses, report) = server.serve_batch(depth, requests).unwrap();
         prop_assert_eq!(responses.len(), inputs.len());
         prop_assert_eq!(report.requests, inputs.len());
         for (g, response) in responses.iter().enumerate() {
-            prop_assert_eq!(response.request, g, "sorted by global submission order");
-            prop_assert_eq!(response.engine, inputs[g].0, "request {} routed wrong", g);
+            prop_assert_eq!(response.request(), g, "sorted by global submission order");
+            prop_assert_eq!(response.engine(), inputs[g].0, "request {} routed wrong", g);
             prop_assert!(
-                *response.output == expected[response.engine][response.index],
+                **response.output() == expected[response.engine()][response.index()],
                 "request {} (engine {}, index {}) diverged from sequential execution",
-                g, response.engine, response.index
+                g, response.engine(), response.index()
             );
         }
         for (engine_report, engine_expected) in report.per_engine.iter().zip(&expected) {
