@@ -1,0 +1,138 @@
+//! Adaptive tiering warmup benchmark: how fast a tiered engine starts
+//! serving (tier-0 codegen vs a full up-front compile), what the tier-0
+//! kernel costs while the engine observes, how long the profile-guided
+//! promotion takes, and what the promoted kernel buys.
+//!
+//! Run with: `cargo bench -p jitspmm-bench --bench tier_warmup`
+//! (add `-- --quick` for a fast pass). Emits a human-readable table on
+//! stdout and machine-readable JSON to `BENCH_tier_warmup.json` —
+//! including the host core count, so the perf trajectory stays
+//! interpretable across hardware changes.
+
+use jitspmm::{CpuFeatures, JitSpmmBuilder, KernelTier, Strategy, TierPolicy, WorkerPool};
+use jitspmm_bench::{emit_bench_json, fmt_secs, host_cores, TextTable};
+use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
+use std::time::{Duration, Instant};
+
+/// Nearest-rank percentile over an already-sorted sample.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let index = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[index]
+}
+
+/// Median kernel time over `reps` executions of `engine` on `x`.
+fn kernel_p50(engine: &jitspmm::JitSpmm<'_, f32>, x: &DenseMatrix<f32>, reps: usize) -> Duration {
+    let mut samples: Vec<Duration> =
+        (0..reps).map(|_| engine.execute(x).expect("execution failed").1.kernel).collect();
+    samples.sort();
+    percentile(&samples, 0.50)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let features = CpuFeatures::detect();
+    if !(features.avx && features.has_fma()) {
+        eprintln!("tier_warmup: host lacks AVX/FMA, skipping");
+        return;
+    }
+    let cores = host_cores();
+    let workers = cores.clamp(2, 4);
+    let warmup = if quick { 8 } else { 32 };
+    let reps = if quick { 16 } else { 64 };
+    let d = 16usize;
+    let scale = if quick { 11 } else { 13 };
+    let datasets: [(&str, CsrMatrix<f32>); 2] = [
+        ("uniform", generate::uniform(4_000, 4_000, 120_000, 5)),
+        ("rmat", generate::rmat(scale, 16 << scale, generate::RmatConfig::GRAPH500, 5)),
+    ];
+    let pool = WorkerPool::new(workers);
+    println!(
+        "adaptive tiering warmup: tier-0 start, {warmup}-launch observation window, \
+         inline promotion ({workers} pool workers, {cores} host cores, {reps} reps per p50)\n"
+    );
+
+    let mut table = TextTable::new(&[
+        "matrix",
+        "tier0 codegen",
+        "fixed codegen",
+        "tier0 kernel p50",
+        "promote (recompile+swap)",
+        "promoted kernel p50",
+        "promoted config",
+    ]);
+    let mut json_rows = Vec::new();
+
+    for (name, a) in &datasets {
+        let x = DenseMatrix::random(a.ncols(), d, 3);
+        // The tiered engine: asks for the dynamic row split at the host's
+        // best ISA, starts on scalar static tier-0.
+        let engine = JitSpmmBuilder::new()
+            .pool(pool.clone())
+            .threads(workers)
+            .strategy(Strategy::row_split_dynamic_default())
+            .tiered(TierPolicy::new().warmup(warmup))
+            .build(a, d)
+            .expect("tier-0 compilation failed");
+        assert_eq!(engine.tier(), KernelTier::Tier0);
+        let tier0_codegen = engine.meta().codegen_time;
+        // What an up-front compile of the same request would have cost
+        // before the first result could be served.
+        let fixed = JitSpmmBuilder::new()
+            .pool(pool.clone())
+            .threads(workers)
+            .strategy(Strategy::row_split_dynamic_default())
+            .build(a, d)
+            .expect("fixed compilation failed");
+        let fixed_codegen = fixed.meta().codegen_time;
+        // Observation window: the launches the policy wants to see, timed —
+        // this is the price of starting cheap.
+        let mut observed: Vec<Duration> =
+            (0..warmup).map(|_| engine.execute(&x).expect("warmup failed").1.kernel).collect();
+        observed.sort();
+        let tier0_p50 = percentile(&observed, 0.50);
+        // Time-to-promotion: the profile-guided recompile plus the
+        // hot-swap, measured end to end on the calling thread.
+        let promote_start = Instant::now();
+        let promoted = engine.promote_now();
+        let promote_time = promote_start.elapsed();
+        assert!(promoted, "promotion declined unexpectedly");
+        assert_eq!(engine.tier(), KernelTier::Promoted);
+        let meta = engine.meta();
+        let promoted_p50 = kernel_p50(&engine, &x, reps);
+        let config = format!("{:?} @ {:?}", meta.strategy, meta.isa);
+        table.row(vec![
+            (*name).to_string(),
+            fmt_secs(tier0_codegen),
+            fmt_secs(fixed_codegen),
+            fmt_secs(tier0_p50),
+            fmt_secs(promote_time),
+            fmt_secs(promoted_p50),
+            config.clone(),
+        ]);
+        json_rows.push(format!(
+            r#"    {{"matrix": "{name}", "nnz": {}, "d": {d}, "warmup_launches": {warmup}, "tier0_codegen_ns": {}, "fixed_codegen_ns": {}, "tier0_kernel_p50_ns": {}, "promote_ns": {}, "promoted_kernel_p50_ns": {}, "promoted_config": "{config}"}}"#,
+            a.nnz(),
+            tier0_codegen.as_nanos(),
+            fixed_codegen.as_nanos(),
+            tier0_p50.as_nanos(),
+            promote_time.as_nanos(),
+            promoted_p50.as_nanos(),
+        ));
+    }
+
+    table.print();
+    println!(
+        "\n(tier-0 codegen is the time before a tiered engine can serve its first request; \
+         the promotion cost is paid once, off the serving path when run in the background; \
+         the promoted p50 is what the observation window bought)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"tier_warmup\",\n  \"repetitions\": {reps},\n  \"pool_workers\": {workers},\n  \"host_cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n"),
+    );
+    emit_bench_json("BENCH_tier_warmup.json", &json);
+}

@@ -328,7 +328,7 @@ fn batch_slot_kernels_are_cached_across_batches() {
         });
     }
     // Depth 2 needs exactly one spare dynamic kernel, compiled once.
-    assert_eq!(crate::runtime::pool::lock(&engine.batch_kernels).len(), 1);
+    assert_eq!(crate::runtime::pool::lock(&engine.active().batch_kernels).len(), 1);
 }
 
 #[test]

@@ -1,16 +1,23 @@
 //! Engine construction: code generation, partitioning and the compiled
 //! state a [`JitSpmm`] carries between launches.
+//!
+//! Since the adaptive-tiering work the compiled state lives in an
+//! [`EngineCore`] behind an `Arc` swap point: every launch path snapshots
+//! the active core under the launch lock, and the tier layer
+//! ([`crate::engine::tier`]) can install a recompiled core between batches
+//! without invalidating anything a running launch holds.
 
 use crate::codegen::{
     generate_dynamic_kernel, generate_static_kernel, KernelOptions, MatrixBinding,
 };
 use crate::engine::options::SpmmOptions;
+use crate::engine::tier::{KernelTier, TierState};
 use crate::error::JitSpmmError;
 use crate::kernel::{CompiledKernel, KernelKind, KernelMeta};
 use crate::runtime::dispatch::BufferPool;
 use crate::runtime::WorkerPool;
 use crate::schedule::{partition, DynamicCounter, Partition, Strategy};
-use jitspmm_asm::CpuFeatures;
+use jitspmm_asm::{CpuFeatures, IsaLevel};
 use jitspmm_sparse::{CsrMatrix, DenseMatrix, Scalar};
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex};
@@ -29,20 +36,33 @@ use std::time::{Duration, Instant};
 /// unless [`crate::JitSpmmBuilder::pool`] supplied one): no threads are
 /// spawned per call, and [`JitSpmm::execute`] recycles output buffers, so
 /// steady-state repeated execution performs no allocation at all.
+///
+/// Under a [`crate::TierPolicy`] ([`crate::JitSpmmBuilder::tiered`]) the
+/// engine starts on a cheap scalar tier-0 kernel and hot-swaps to the
+/// requested configuration once observed launches justify the recompile;
+/// see [`crate::engine::tier`].
 pub struct JitSpmm<'a, T: Scalar> {
     pub(super) matrix: &'a CsrMatrix<T>,
     pub(super) d: usize,
+    /// The *requested* configuration. For a fixed engine this is also what
+    /// compiled; for a tiered engine it is the promotion target while the
+    /// active core starts at tier 0.
     pub(super) options: SpmmOptions,
     pub(super) threads: usize,
-    pub(super) kernel: CompiledKernel<T>,
-    pub(super) meta: KernelMeta,
-    pub(super) partition: Partition,
-    pub(super) counter: Box<DynamicCounter>,
+    /// The compiled state launches run against. Swapped atomically (as an
+    /// `Arc`) by the tier layer while the launch lock is held, so any
+    /// snapshot taken under a [`crate::engine::launch::LaunchGuard`] stays
+    /// coherent for that launch's whole lifetime.
+    pub(super) active: Mutex<Arc<EngineCore<T>>>,
+    /// Present only for tiered engines: warmup observations, the recompile
+    /// state machine, and the promotion counter.
+    pub(super) tier_state: Option<TierState<T>>,
     /// Serializes launches of this engine's kernel. The dynamic counter is
     /// shared mutable state embedded in the generated code, so two
     /// concurrent launches of one engine (possible from safe code — the
     /// engine is `Sync`) must not interleave a reset with a running claim
-    /// loop.
+    /// loop. Holding it is also what makes a core snapshot stable: the tier
+    /// layer only swaps `active` while holding this lock itself.
     pub(super) launch: Mutex<()>,
     /// The launch-thread token of the thread currently holding `launch`
     /// (0 = unheld); lets a same-thread re-entry fail fast instead of
@@ -50,23 +70,44 @@ pub struct JitSpmm<'a, T: Scalar> {
     pub(super) launch_owner: AtomicU64,
     pub(super) pool: WorkerPool,
     pub(super) output_pool: Arc<BufferPool<T>>,
-    /// The options the kernel was generated with, kept so the batch pipeline
-    /// can compile spare slot kernels ([`SlotKernel`]) on demand.
+}
+
+/// One compiled configuration of an engine: the kernel, its metadata, the
+/// partition and claim counter it launches with, and the per-slot spare
+/// kernels batches compile against it. [`JitSpmm::active`] holds the
+/// current one; a tier promotion builds a fresh core and swaps the `Arc`,
+/// which also drops the old core's cached slot kernels — their embedded
+/// counter addresses belong to the retired configuration.
+pub(super) struct EngineCore<T: Scalar> {
+    pub(super) kernel: CompiledKernel<T>,
+    pub(super) meta: KernelMeta,
+    pub(super) partition: Partition,
+    pub(super) counter: Box<DynamicCounter>,
+    /// The options this core's kernel was generated with, kept so the batch
+    /// pipeline can compile spare slot kernels ([`SlotKernel`]) on demand.
     pub(super) kernel_options: KernelOptions,
+    /// The workload-division strategy this core compiled (for a tier-0 core
+    /// this differs from the engine's requested strategy).
+    pub(super) strategy: Strategy,
+    /// Which tier this core belongs to; stamped into batch reports.
+    pub(super) tier: KernelTier,
     /// Lazily compiled spare kernels backing batch pipeline slots 1.. for
-    /// dynamic-dispatch engines (see [`SlotKernel`]); cached across batches
-    /// so repeated [`JitSpmm::execute_batch`] calls pay codegen once.
+    /// dynamic-dispatch cores (see [`SlotKernel`]); cached per core so
+    /// repeated [`JitSpmm::execute_batch`] calls pay codegen once, and
+    /// discarded wholesale when the core is replaced.
     pub(super) batch_kernels: Mutex<Vec<Arc<SlotKernel<T>>>>,
 }
 
 impl<T: Scalar> std::fmt::Debug for JitSpmm<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let core = self.active();
         f.debug_struct("JitSpmm")
             .field("d", &self.d)
-            .field("strategy", &self.options.strategy)
+            .field("strategy", &core.strategy)
+            .field("tier", &core.tier)
             .field("threads", &self.threads)
             .field("pool_workers", &self.pool.size())
-            .field("code_bytes", &self.meta.code_bytes)
+            .field("code_bytes", &core.meta.code_bytes)
             .finish()
     }
 }
@@ -102,14 +143,47 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         }
         let features = CpuFeatures::detect();
         let isa = options.isa.unwrap_or_else(|| features.best_isa());
-        let kernel_options =
-            KernelOptions { isa, ccm: options.ccm, features, listing: options.listing };
         let threads = pool.lanes_for(options.threads);
+        // A tiered engine compiles the cheapest safe configuration first —
+        // scalar code, static row split — and keeps the requested one as the
+        // promotion target; a fixed engine compiles the request directly.
+        let (core_strategy, core_isa, tier) = match options.tier {
+            Some(_) => (Strategy::RowSplitStatic, IsaLevel::Scalar, KernelTier::Tier0),
+            None => (options.strategy, isa, KernelTier::Fixed),
+        };
+        let kernel_options =
+            KernelOptions { isa: core_isa, ccm: options.ccm, features, listing: options.listing };
+        let core = JitSpmm::build_core(matrix, d, core_strategy, kernel_options, threads, tier)?;
+        Ok(JitSpmm {
+            matrix,
+            d,
+            options,
+            threads,
+            active: Mutex::new(Arc::new(core)),
+            tier_state: options.tier.map(TierState::new),
+            launch: Mutex::new(()),
+            launch_owner: AtomicU64::new(0),
+            pool,
+            output_pool: Arc::new(BufferPool::new()),
+        })
+    }
+
+    /// Generate, assemble and partition one complete engine configuration.
+    /// Shared by initial compilation (tier 0 or fixed) and the tier layer's
+    /// background promotion build.
+    pub(super) fn build_core(
+        matrix: &CsrMatrix<T>,
+        d: usize,
+        strategy: Strategy,
+        kernel_options: KernelOptions,
+        threads: usize,
+        tier: KernelTier,
+    ) -> Result<EngineCore<T>, JitSpmmError> {
         let counter = Box::new(DynamicCounter::new());
         let binding = MatrixBinding::of(matrix);
 
         let start = Instant::now();
-        let (generated, kind) = match options.strategy {
+        let (generated, kind) = match strategy {
             Strategy::RowSplitDynamic { batch } => (
                 generate_dynamic_kernel(
                     binding,
@@ -132,31 +206,32 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         let meta = KernelMeta {
             d,
             kind: T::KIND,
-            isa,
-            ccm: options.ccm,
-            strategy: options.strategy,
+            isa: kernel_options.isa,
+            ccm: kernel_options.ccm,
+            strategy,
             code_bytes: kernel.code().len(),
             codegen_time,
             register_plan: generated.plan.describe(),
             nnz_passes: generated.plan.passes(),
         };
-        let partition = partition(matrix, options.strategy, threads);
-        Ok(JitSpmm {
-            matrix,
-            d,
-            options,
-            threads,
+        let partition = partition(matrix, strategy, threads);
+        Ok(EngineCore {
             kernel,
             meta,
             partition,
             counter,
-            launch: Mutex::new(()),
-            launch_owner: AtomicU64::new(0),
-            pool,
-            output_pool: Arc::new(BufferPool::new()),
             kernel_options,
+            strategy,
+            tier,
             batch_kernels: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Snapshot the active core. Stable for the lifetime of any launch that
+    /// snapshotted it under the launch lock (swaps happen only while that
+    /// lock is held by the swapper).
+    pub(super) fn active(&self) -> Arc<EngineCore<T>> {
+        Arc::clone(&crate::runtime::pool::lock(&self.active))
     }
 
     /// The sparse matrix this engine was compiled against.
@@ -179,47 +254,52 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         &self.pool
     }
 
-    /// The scheduling strategy this engine compiled with; the serving layer
-    /// stamps it into synthesized (zero-input) per-engine reports.
+    /// The scheduling strategy of the currently active kernel; the serving
+    /// layer stamps it into synthesized (zero-input) per-engine reports.
     pub(crate) fn strategy(&self) -> Strategy {
-        self.options.strategy
+        self.active().strategy
     }
 
-    /// Kernel metadata: code size, register plan, code-generation time.
-    pub fn meta(&self) -> &KernelMeta {
-        &self.meta
+    /// Kernel metadata of the **currently active** core: code size, register
+    /// plan, code-generation time. Returned by value — a tiered engine may
+    /// hot-swap its core between calls, so the snapshot is the honest view.
+    pub fn meta(&self) -> KernelMeta {
+        self.active().meta.clone()
     }
 
-    /// The compiled kernel (code bytes, listing).
-    pub fn kernel(&self) -> &CompiledKernel<T> {
-        &self.kernel
+    /// The compiled kernel (code bytes, listing) of the currently active
+    /// core, behind a [`KernelRef`] guard that keeps the snapshot alive.
+    pub fn kernel(&self) -> KernelRef<T> {
+        KernelRef(self.active())
     }
 
-    /// The static row partition this engine will use (one range per lane;
-    /// for the dynamic strategy this is only a fallback description).
-    pub fn partition(&self) -> &Partition {
-        &self.partition
+    /// The static row partition the active core launches with (one range per
+    /// lane; for the dynamic strategy this is only a fallback description).
+    /// An owned snapshot, for the same hot-swap reason as [`JitSpmm::meta`].
+    pub fn partition(&self) -> Partition {
+        self.active().partition.clone()
     }
 
     /// The cached spare [`SlotKernel`]s for batch pipeline slots `1..=extra`
-    /// of a dynamic-dispatch engine, compiling any that do not exist yet.
-    /// Static-range engines need none and get an empty list.
+    /// of a dynamic-dispatch core, compiling any that do not exist yet.
+    /// Static-range cores need none and get an empty list.
     pub(super) fn spare_slot_kernels(
         &self,
+        core: &EngineCore<T>,
         extra: usize,
     ) -> Result<Vec<Arc<SlotKernel<T>>>, JitSpmmError> {
-        if extra == 0 || self.kernel.kind() != KernelKind::DynamicDispatch {
+        if extra == 0 || core.kernel.kind() != KernelKind::DynamicDispatch {
             return Ok(Vec::new());
         }
-        let Strategy::RowSplitDynamic { batch } = self.options.strategy else {
+        let Strategy::RowSplitDynamic { batch } = core.strategy else {
             unreachable!("dynamic kernels are only generated for dynamic row-split")
         };
-        let mut cache = crate::runtime::pool::lock(&self.batch_kernels);
+        let mut cache = crate::runtime::pool::lock(&core.batch_kernels);
         while cache.len() < extra {
             let counter = Box::new(DynamicCounter::new());
             // Listings are a debugging aid of the primary kernel; spare
             // copies are byte-identical except for the counter address.
-            let options = KernelOptions { listing: false, ..self.kernel_options };
+            let options = KernelOptions { listing: false, ..core.kernel_options };
             let generated = generate_dynamic_kernel(
                 MatrixBinding::of(self.matrix),
                 self.d,
@@ -282,15 +362,38 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
     }
 
     /// Fraction of the total build+execute time spent generating code, as
-    /// reported in Table IV, given a measured execution time.
+    /// reported in Table IV, given a measured execution time. Reflects the
+    /// currently active core's codegen cost.
     pub fn codegen_overhead_ratio(&self, execution: Duration) -> f64 {
-        let cg = self.meta.codegen_time.as_secs_f64();
+        let cg = self.active().meta.codegen_time.as_secs_f64();
         let total = cg + execution.as_secs_f64();
         if total == 0.0 {
             0.0
         } else {
             cg / total
         }
+    }
+}
+
+/// A borrow-like guard over the active core's [`CompiledKernel`], returned
+/// by [`JitSpmm::kernel`]. Dereferences to the kernel; holding it keeps the
+/// snapshotted core alive even if the engine promotes meanwhile.
+pub struct KernelRef<T: Scalar>(Arc<EngineCore<T>>);
+
+impl<T: Scalar> std::ops::Deref for KernelRef<T> {
+    type Target = CompiledKernel<T>;
+
+    fn deref(&self) -> &CompiledKernel<T> {
+        &self.0.kernel
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for KernelRef<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelRef")
+            .field("kind", &self.0.kernel.kind())
+            .field("code_bytes", &self.0.kernel.code().len())
+            .finish()
     }
 }
 

@@ -1,7 +1,13 @@
 //! Single-launch execution paths: the launch lock, the blocking `execute*`
 //! family, and the asynchronous [`ExecutionHandle`].
+//!
+//! Every path here snapshots the engine's active [`EngineCore`] once, under
+//! the launch lock, and runs entirely against that snapshot — so a tier
+//! promotion ([`crate::engine::tier`]) swapping the core between launches
+//! can never change the kernel, partition or counter a launch already
+//! started with.
 
-use crate::engine::compile::JitSpmm;
+use crate::engine::compile::{EngineCore, JitSpmm};
 use crate::engine::report::ExecutionReport;
 use crate::error::JitSpmmError;
 use crate::kernel::KernelKind;
@@ -47,7 +53,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
     /// engine and reset the per-launch dispatch state. The returned guard
     /// must be held until the launch completes.
     ///
-    /// Invariant: the [`crate::DynamicCounter`] is engine-owned shared state
+    /// Invariant: the [`crate::DynamicCounter`] is core-owned shared state
     /// whose address is embedded in dynamically dispatched kernels, so it
     /// must be at row zero whenever such a kernel starts — whether the
     /// launch goes through the pool, the legacy spawning path, the
@@ -56,6 +62,9 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
     /// (for static-range kernels it is a harmless store to memory nothing
     /// reads), and under the launch lock, so a concurrent launch of the same
     /// engine can never interleave a reset with a running claim loop.
+    /// Holding the lock also pins the active core: the tier layer only swaps
+    /// it while holding this lock itself, so a snapshot taken under the
+    /// guard stays the launching core for the guard's whole lifetime.
     ///
     /// # Errors
     ///
@@ -79,7 +88,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
             }
         };
         self.launch_owner.store(launch_thread_token(), Ordering::Release);
-        self.counter.reset();
+        self.active().counter.reset();
         Ok(LaunchGuard { owner: &self.launch_owner, _guard: guard })
     }
 
@@ -107,11 +116,12 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         // another launch must not pay the buffer-pool round trip first.
         self.check_input_shape(x)?;
         let launch = self.begin_launch(true)?;
+        let core = self.active();
         let mut y = PooledMatrix::new(
             self.output_pool.acquire(self.matrix.nrows(), self.d),
             Arc::clone(&self.output_pool),
         );
-        let report = self.launch_kernel(&launch, x, &mut y);
+        let report = self.launch_kernel(&launch, &core, x, &mut y);
         Ok((y, report))
     }
 
@@ -168,7 +178,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
     /// lane cap applies to whichever pool the scope wraps.
     ///
     /// One engine can only run one launch at a time (the dynamic row-claim
-    /// counter is engine-owned state embedded in the generated code), so a
+    /// counter is core-owned state embedded in the generated code), so a
     /// second `execute_async` on the *same* engine while a handle is
     /// outstanding returns [`JitSpmmError::LaunchInProgress`] instead of
     /// blocking — blocking would deadlock a caller that holds the first
@@ -194,12 +204,13 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         // buffer-pool round trip for an output it will never produce.
         self.check_input_shape(x)?;
         let guard = self.begin_launch(false)?;
+        let core = self.active();
         let mut y = PooledMatrix::new(
             self.output_pool.acquire(self.matrix.nrows(), self.d),
             Arc::clone(&self.output_pool),
         );
-        let job = KernelJob::new(&self.kernel, &self.partition.ranges, x.as_ptr(), y.as_mut_ptr());
-        let spec = job.spec(self.kernel.kind(), self.threads);
+        let job = KernelJob::new(&core.kernel, &core.partition.ranges, x.as_ptr(), y.as_mut_ptr());
+        let spec = job.spec(core.kernel.kind(), self.threads);
         // Owned through `Box::into_raw`/`from_raw` rather than as a `Box`
         // field: workers hold a raw pointer to the payload, which moving a
         // box (with every move of the handle) would invalidate under the
@@ -209,19 +220,22 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         // SAFETY: the payload allocation and the output buffer are owned by
         // the returned handle — released only after its drop has joined the
         // job, and leaked (never freed) if the handle is leaked — while the
-        // kernel, the partition, the engine-borrowed CSR arrays and `x` are
-        // borrowed for 'env, which cannot end before the scope has joined
-        // the job. Shapes were checked above and the counter reset under the
-        // launch lock held in `guard`.
+        // kernel and partition live in the core snapshot the handle also
+        // owns, and the engine-borrowed CSR arrays and `x` are borrowed for
+        // 'env, which cannot end before the scope has joined the job. Shapes
+        // were checked above and the counter reset under the launch lock
+        // held in `guard`.
         let job =
             unsafe { scope.submit_erased(spec, payload as *const (), KernelJob::<T>::erased()) };
+        let strategy = core.strategy;
         Ok(ExecutionHandle {
             job: Some(job),
             payload,
             y: Some(y),
             start,
             threads: self.threads,
-            strategy: self.options.strategy,
+            strategy,
+            _core: core,
             _launch: guard,
         })
     }
@@ -255,24 +269,28 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         y: *mut T,
     ) -> Result<ExecutionHandle<'scope, T>, JitSpmmError> {
         let guard = self.begin_launch(true)?;
-        let job = KernelJob::new(&self.kernel, &self.partition.ranges, x, y);
-        let spec = job.spec(self.kernel.kind(), self.threads);
+        let core = self.active();
+        let job = KernelJob::new(&core.kernel, &core.partition.ranges, x, y);
+        let spec = job.spec(core.kernel.kind(), self.threads);
         // Owned through a raw pointer, exactly as in `execute_async`.
         let payload: *mut KernelJob<T> = Box::into_raw(Box::new(job));
         let start = Instant::now();
         // SAFETY: payload ownership and join discipline as in
-        // `execute_async`; liveness and exclusivity of `x`/`y` are the
-        // caller's contract, and the counter was reset under the launch lock
-        // held in `guard`.
+        // `execute_async`, with the kernel and partition kept alive by the
+        // handle's core snapshot; liveness and exclusivity of `x`/`y` are
+        // the caller's contract, and the counter was reset under the launch
+        // lock held in `guard`.
         let job =
             unsafe { scope.submit_erased(spec, payload as *const (), KernelJob::<T>::erased()) };
+        let strategy = core.strategy;
         Ok(ExecutionHandle {
             job: Some(job),
             payload,
             y: None,
             start,
             threads: self.threads,
-            strategy: self.options.strategy,
+            strategy,
+            _core: core,
             _launch: guard,
         })
     }
@@ -295,15 +313,17 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
     ) -> Result<ExecutionReport, JitSpmmError> {
         self.check_shapes(x, y)?;
         let launch = self.begin_launch(true)?;
-        Ok(self.launch_kernel(&launch, x, y))
+        let core = self.active();
+        Ok(self.launch_kernel(&launch, &core, x, y))
     }
 
-    /// Dispatch one launch of the compiled kernel over the pool. The caller
-    /// has already validated the shapes and holds the launch lock (`_launch`
-    /// proves it).
+    /// Dispatch one launch of the snapshotted core's kernel over the pool.
+    /// The caller has already validated the shapes and holds the launch lock
+    /// (`_launch` proves it, and pins `core` as the active core).
     fn launch_kernel(
         &self,
         _launch: &LaunchGuard<'_>,
+        core: &EngineCore<T>,
         x: &DenseMatrix<T>,
         y: &mut DenseMatrix<T>,
     ) -> ExecutionReport {
@@ -313,18 +333,18 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         // disjointly across lanes (statically or via the dynamic counter,
         // reset under the held launch lock).
         let kernel = unsafe {
-            match self.kernel.kind() {
+            match core.kernel.kind() {
                 KernelKind::DynamicDispatch => dispatch::run_dynamic(
                     &self.pool,
-                    &self.kernel,
+                    &core.kernel,
                     self.threads,
                     x.as_ptr(),
                     y.as_mut_ptr(),
                 ),
                 KernelKind::StaticRange => dispatch::run_static(
                     &self.pool,
-                    &self.kernel,
-                    &self.partition.ranges,
+                    &core.kernel,
+                    &core.partition.ranges,
                     self.threads,
                     x.as_ptr(),
                     y.as_mut_ptr(),
@@ -332,13 +352,15 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
             }
         };
         let elapsed = start.elapsed();
-        ExecutionReport {
+        let report = ExecutionReport {
             elapsed,
             kernel,
             dispatch: elapsed.saturating_sub(kernel),
             threads: self.threads,
-            strategy: self.options.strategy,
-        }
+            strategy: core.strategy,
+        };
+        self.tier_observe(&report);
+        report
     }
 
     /// Compute `Y = A * X` by spawning fresh OS threads for this one call —
@@ -356,21 +378,23 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
     ) -> Result<ExecutionReport, JitSpmmError> {
         self.check_shapes(x, y)?;
         let _launch = self.begin_launch(true)?;
+        let core = self.active();
         let x_addr = x.as_ptr() as usize;
         let y_addr = y.as_mut_ptr() as usize;
         let busy_ns = AtomicU64::new(0);
         let start = Instant::now();
-        match self.kernel.kind() {
+        match core.kernel.kind() {
             KernelKind::DynamicDispatch => {
                 std::thread::scope(|scope| {
                     for _ in 0..self.threads {
                         let busy_ns = &busy_ns;
+                        let core = &core;
                         scope.spawn(move || {
                             let lane_start = Instant::now();
                             // SAFETY: as in `execute_into`; the dynamic
                             // counter partitions rows disjointly.
                             unsafe {
-                                self.kernel.call_dynamic(x_addr as *const T, y_addr as *mut T);
+                                core.kernel.call_dynamic(x_addr as *const T, y_addr as *mut T);
                             }
                             busy_ns.fetch_max(
                                 lane_start.elapsed().as_nanos() as u64,
@@ -382,17 +406,18 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
             }
             KernelKind::StaticRange => {
                 std::thread::scope(|scope| {
-                    for range in &self.partition.ranges {
+                    for range in &core.partition.ranges {
                         if range.is_empty() {
                             continue;
                         }
                         let busy_ns = &busy_ns;
+                        let core = &core;
                         scope.spawn(move || {
                             let lane_start = Instant::now();
                             // SAFETY: as above; static ranges are disjoint by
                             // construction.
                             unsafe {
-                                self.kernel.call_static(
+                                core.kernel.call_static(
                                     range.start as u64,
                                     range.end as u64,
                                     x_addr as *const T,
@@ -415,7 +440,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
             kernel,
             dispatch: elapsed.saturating_sub(kernel),
             threads: self.threads,
-            strategy: self.options.strategy,
+            strategy: core.strategy,
         })
     }
 
@@ -432,16 +457,17 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
     ) -> Result<ExecutionReport, JitSpmmError> {
         self.check_shapes(x, y)?;
         let _launch = self.begin_launch(true)?;
+        let core = self.active();
         let start = Instant::now();
-        match self.kernel.kind() {
+        match core.kernel.kind() {
             KernelKind::DynamicDispatch => {
                 // SAFETY: see execute_into.
-                unsafe { self.kernel.call_dynamic(x.as_ptr(), y.as_mut_ptr()) };
+                unsafe { core.kernel.call_dynamic(x.as_ptr(), y.as_mut_ptr()) };
             }
             KernelKind::StaticRange => {
                 // SAFETY: see execute_into.
                 unsafe {
-                    self.kernel.call_static(
+                    core.kernel.call_static(
                         0,
                         self.matrix.nrows() as u64,
                         x.as_ptr(),
@@ -456,7 +482,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
             kernel: elapsed,
             dispatch: Duration::ZERO,
             threads: 1,
-            strategy: self.options.strategy,
+            strategy: core.strategy,
         })
     }
 }
@@ -493,6 +519,10 @@ pub struct ExecutionHandle<'s, T: Scalar> {
     start: Instant,
     threads: usize,
     strategy: Strategy,
+    /// The core snapshot this launch runs against: keeps the compiled kernel
+    /// and partition behind the payload's raw pointers alive for the
+    /// launch's whole lifetime, whatever the tier layer installs meanwhile.
+    _core: Arc<EngineCore<T>>,
     /// Holds the engine's launch lock for the lifetime of the launch (the
     /// dynamic counter must not be reset mid-claim by another launch).
     _launch: LaunchGuard<'s>,

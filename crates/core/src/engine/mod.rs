@@ -9,6 +9,7 @@
 //! | `launch` | single launches: `execute*`, `execute_async`, [`ExecutionHandle`], the launch lock |
 //! | `batch` | the pipelined stream: `execute_batch`, [`BatchStream`], owned-input slots |
 //! | `report` | timing aggregation: [`ExecutionReport`], [`BatchReport`], reservoir percentiles |
+//! | `tier` | adaptive tiering: [`TierPolicy`], warmup observation, background recompile, hot-swap |
 //!
 //! Everything public is re-exported here, so the paths callers use
 //! (`jitspmm::engine::JitSpmm`, `jitspmm::BatchStream`, …) are unchanged
@@ -20,6 +21,7 @@ mod compile;
 mod launch;
 mod options;
 mod report;
+pub mod tier;
 
 #[cfg(test)]
 mod batch_tests;
@@ -27,9 +29,11 @@ mod batch_tests;
 mod launch_tests;
 
 pub use batch::{BatchStream, DEFAULT_BATCH_DEPTH};
-pub use compile::JitSpmm;
+pub use compile::{JitSpmm, KernelRef};
 pub use launch::ExecutionHandle;
 pub use options::{JitSpmmBuilder, SpmmOptions};
 pub use report::{BatchReport, ExecutionReport};
+pub use tier::{KernelTier, TierPolicy};
 
 pub(crate) use report::BatchStats;
+pub(crate) use tier::TierAction;

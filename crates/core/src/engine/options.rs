@@ -1,6 +1,7 @@
 //! Engine configuration: [`SpmmOptions`] and the [`JitSpmmBuilder`].
 
 use super::compile::JitSpmm;
+use super::tier::TierPolicy;
 use crate::error::JitSpmmError;
 use crate::runtime::WorkerPool;
 use crate::schedule::Strategy;
@@ -23,6 +24,11 @@ pub struct SpmmOptions {
     pub ccm: bool,
     /// Record an instruction listing alongside the generated code.
     pub listing: bool,
+    /// Adaptive tiering: `Some` starts the engine on a cheap scalar tier-0
+    /// kernel and hot-swaps to the configuration above once observed
+    /// launches justify the recompile (see [`crate::engine::tier`]); `None`
+    /// (the default) compiles the requested configuration up front.
+    pub tier: Option<TierPolicy>,
 }
 
 impl Default for SpmmOptions {
@@ -33,6 +39,7 @@ impl Default for SpmmOptions {
             threads: 0,
             ccm: true,
             listing: false,
+            tier: None,
         }
     }
 }
@@ -96,6 +103,16 @@ impl JitSpmmBuilder {
     /// Record a textual listing of the generated instructions.
     pub fn listing(mut self, listing: bool) -> Self {
         self.options.listing = listing;
+        self
+    }
+
+    /// Compile adaptively: start on a cheap scalar tier-0 kernel and
+    /// hot-swap to this builder's configuration once `policy` says observed
+    /// launches justify the recompile. See [`crate::engine::tier`] for the
+    /// promotion machinery and [`crate::serve::ServeOptions::tiering`] for
+    /// the serving-session integration.
+    pub fn tiered(mut self, policy: TierPolicy) -> Self {
+        self.options.tier = Some(policy);
         self
     }
 

@@ -1,0 +1,394 @@
+//! Adaptive kernel tiering: start cheap, observe, recompile, hot-swap.
+//!
+//! A fixed engine pays full code generation for its requested configuration
+//! up front, betting that the configuration is right. A *tiered* engine
+//! ([`crate::JitSpmmBuilder::tiered`]) hedges: it first compiles the
+//! cheapest safe configuration — scalar code with a static row split, tier
+//! 0 — and starts serving immediately. The first
+//! [`TierPolicy::warmup`] launches are recorded into the same reservoir
+//! machinery batch reports use; once the window fills, a recompile (run in
+//! the background by the serving loop, or synchronously via
+//! [`JitSpmm::promote_now`]) picks the promotion target from what was
+//! observed and from the analytic instruction model
+//! ([`crate::profile::model_jit`]), builds a complete engine core for it,
+//! and hot-swaps it in between launches.
+//!
+//! The swap is the same `Arc` exchange the launch paths already snapshot
+//! under the launch lock: the installer acquires the lock non-blockingly,
+//! so a launch in flight keeps its snapshotted core (and the spare slot
+//! kernels whose embedded counter addresses belong to it) until it
+//! completes, and the next launch sees the promoted core. Replacing the
+//! core wholesale is also what invalidates the cached per-slot dynamic
+//! kernels: their `lock xadd` targets are counter addresses owned by the
+//! retired core, and they are dropped with it.
+//!
+//! Promotion never changes results. Workload division (strategy, claim
+//! batch, lane count) does not affect per-row arithmetic, so a promotion
+//! that keeps the ISA fixed is bit-identical across the swap boundary; a
+//! promotion to a wider ISA produces exactly the bits a fixed engine
+//! compiled at that ISA produces. A recompile that fails — codegen error or
+//! a panic — is contained: the engine keeps serving on tier 0 forever,
+//! which the fault-injection suite exercises.
+
+use crate::codegen::KernelOptions;
+use crate::engine::compile::{EngineCore, JitSpmm};
+use crate::engine::report::{BatchStats, ExecutionReport};
+use crate::error::JitSpmmError;
+use crate::profile::model_jit;
+use crate::runtime::pool::lock;
+use crate::schedule::Strategy;
+use jitspmm_asm::{CpuFeatures, IsaLevel};
+use jitspmm_sparse::Scalar;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// When to promote a tiered engine off its tier-0 kernel, and what evidence
+/// to require. Passed to [`crate::JitSpmmBuilder::tiered`] (per engine) or
+/// [`crate::serve::ServeOptions::tiering`] (for every engine a session
+/// serves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierPolicy {
+    /// Number of launches to observe on tier 0 before the recompile is
+    /// considered (clamped to at least 1).
+    pub warmup: usize,
+    /// Minimum modeled instruction-count gain (in percent) the promotion
+    /// target must show over scalar code for an ISA-widening promotion to
+    /// proceed. A strategy change alone always qualifies — it costs nothing
+    /// at runtime and cannot change results.
+    pub min_gain_percent: u32,
+    /// Observed median kernel time below which promotion is declined: a
+    /// kernel this fast is dominated by dispatch, and a recompile cannot
+    /// buy anything worth its codegen. Zero (the default) disables the
+    /// check.
+    pub min_kernel_p50: Duration,
+    /// Run the recompile on the serving pool as a background job (the
+    /// default). When `false`, the serving loop recompiles inline — useful
+    /// in tests and on zero-worker pools, where "background" has nowhere to
+    /// run concurrently anyway.
+    pub background: bool,
+}
+
+impl Default for TierPolicy {
+    fn default() -> TierPolicy {
+        TierPolicy {
+            warmup: 8,
+            min_gain_percent: 10,
+            min_kernel_p50: Duration::ZERO,
+            background: true,
+        }
+    }
+}
+
+impl TierPolicy {
+    /// The default policy: promote after 8 observed launches when the model
+    /// shows at least a 10% instruction-count gain.
+    pub fn new() -> TierPolicy {
+        TierPolicy::default()
+    }
+
+    /// Set the number of launches observed before recompiling.
+    pub fn warmup(mut self, launches: usize) -> TierPolicy {
+        self.warmup = launches;
+        self
+    }
+
+    /// Set the minimum modeled gain (percent) required to promote.
+    pub fn min_gain_percent(mut self, percent: u32) -> TierPolicy {
+        self.min_gain_percent = percent;
+        self
+    }
+
+    /// Decline promotion when the observed median kernel time is below
+    /// `p50`.
+    pub fn min_kernel_p50(mut self, p50: Duration) -> TierPolicy {
+        self.min_kernel_p50 = p50;
+        self
+    }
+
+    /// Recompile inline on the serving thread instead of as a background
+    /// pool job.
+    pub fn foreground(mut self) -> TierPolicy {
+        self.background = false;
+        self
+    }
+}
+
+/// Which tier a compiled kernel (and the reports it produced) belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// A non-tiered engine: the requested configuration, compiled up front.
+    Fixed,
+    /// The cheap safe starter configuration of a tiered engine: scalar code,
+    /// static row split.
+    Tier0,
+    /// The configuration a tiered engine hot-swapped to after warmup.
+    Promoted,
+}
+
+impl KernelTier {
+    /// A short stable label for logs, benches and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelTier::Fixed => "fixed",
+            KernelTier::Tier0 => "tier0",
+            KernelTier::Promoted => "promoted",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The promotion state machine of one tiered engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TierPhase {
+    /// Recording warmup launches on tier 0.
+    Observing,
+    /// The warmup window is full; a recompile should be scheduled.
+    NeedsCompile,
+    /// A recompile is running (inline or as a background job).
+    Compiling,
+    /// A promoted core is built and waiting to be installed between
+    /// launches.
+    Ready,
+    /// The promoted core is active.
+    Promoted,
+    /// Promotion was declined (no modeled gain, kernel too fast, codegen
+    /// failure, or a recompile panic); the engine stays on tier 0.
+    Declined,
+}
+
+/// What the serving loop should do for a tiered engine right now; returned
+/// by [`JitSpmm::tier_poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TierAction {
+    /// Nothing to do (observing, compiling, or settled).
+    Idle,
+    /// Schedule [`JitSpmm::tier_recompile`] (the poll claimed the compile).
+    Recompile,
+    /// A promoted core is ready: call [`JitSpmm::tier_try_install`] between
+    /// launches.
+    Install,
+}
+
+/// Tiering state carried by a tiered [`JitSpmm`]: the policy, the warmup
+/// observations and recompile state machine, and the promotion counter.
+pub(super) struct TierState<T: Scalar> {
+    pub(super) policy: TierPolicy,
+    shared: Mutex<TierShared<T>>,
+    /// Successful hot-swaps so far (0 or 1 today; a counter so reports can
+    /// aggregate across engines and shards).
+    promotions: AtomicUsize,
+}
+
+struct TierShared<T: Scalar> {
+    phase: TierPhase,
+    /// Warmup observations: the same reservoir machinery batch reports use.
+    stats: BatchStats,
+    /// A built-but-not-yet-installed promoted core.
+    pending: Option<EngineCore<T>>,
+}
+
+impl<T: Scalar> TierState<T> {
+    pub(super) fn new(policy: TierPolicy) -> TierState<T> {
+        TierState {
+            policy,
+            shared: Mutex::new(TierShared {
+                phase: TierPhase::Observing,
+                stats: BatchStats::default(),
+                pending: None,
+            }),
+            promotions: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<T: Scalar> JitSpmm<'_, T> {
+    /// The tier of the currently active kernel: [`KernelTier::Fixed`] for a
+    /// non-tiered engine, [`KernelTier::Tier0`] or [`KernelTier::Promoted`]
+    /// for a tiered one.
+    pub fn tier(&self) -> KernelTier {
+        self.active().tier
+    }
+
+    /// How many times this engine has hot-swapped to a promoted kernel.
+    pub fn promotions(&self) -> usize {
+        self.tier_state.as_ref().map_or(0, |state| state.promotions.load(Ordering::Relaxed))
+    }
+
+    /// Record one launch into the warmup window. Called by the launch and
+    /// batch layers after every completed launch; a no-op for non-tiered
+    /// engines and outside the observing phase.
+    pub(crate) fn tier_observe(&self, report: &ExecutionReport) {
+        let Some(state) = &self.tier_state else { return };
+        let mut shared = lock(&state.shared);
+        if shared.phase != TierPhase::Observing {
+            return;
+        }
+        shared.stats.record(report);
+        if shared.stats.count >= state.policy.warmup.max(1) {
+            shared.phase = TierPhase::NeedsCompile;
+        }
+    }
+
+    /// What the serving loop should do for this engine right now. Returning
+    /// [`TierAction::Recompile`] transitions the state machine to
+    /// `Compiling`, so exactly one caller owns the recompile.
+    pub(crate) fn tier_poll(&self) -> TierAction {
+        let Some(state) = &self.tier_state else { return TierAction::Idle };
+        let mut shared = lock(&state.shared);
+        match shared.phase {
+            TierPhase::NeedsCompile => {
+                shared.phase = TierPhase::Compiling;
+                TierAction::Recompile
+            }
+            TierPhase::Ready => TierAction::Install,
+            _ => TierAction::Idle,
+        }
+    }
+
+    /// Run the promotion recompile (the caller obtained
+    /// [`TierAction::Recompile`] from [`JitSpmm::tier_poll`], or claimed the
+    /// compile in [`JitSpmm::promote_now`]). Never panics and never blocks a
+    /// launch: code generation happens outside every engine lock, and any
+    /// failure — including a panic — parks the engine on tier 0 for good.
+    pub(crate) fn tier_recompile(&self) {
+        let Some(state) = &self.tier_state else { return };
+        let observed_p50 = lock(&state.shared).stats.kernel_p50();
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.tier_build_promoted(observed_p50)));
+        let mut shared = lock(&state.shared);
+        match outcome {
+            Ok(Ok(Some(core))) => {
+                shared.pending = Some(core);
+                shared.phase = TierPhase::Ready;
+            }
+            // Declined by policy, failed codegen, or a recompile panic: the
+            // tier-0 kernel is correct and keeps serving.
+            Ok(Ok(None)) | Ok(Err(_)) | Err(_) => {
+                shared.pending = None;
+                shared.phase = TierPhase::Declined;
+            }
+        }
+    }
+
+    /// Decide the promotion target and build its core, or decline.
+    fn tier_build_promoted(
+        &self,
+        observed_p50: Duration,
+    ) -> Result<Option<EngineCore<T>>, JitSpmmError> {
+        // Chaos-test hook (test builds only): a recompile panic must be
+        // contained to the tier state machine, never poison serving.
+        #[cfg(any(test, feature = "fault-injection"))]
+        crate::serve::fault::recompile_entry();
+        let state = self.tier_state.as_ref().expect("recompile only runs on tiered engines");
+        let policy = state.policy;
+        if observed_p50 < policy.min_kernel_p50 {
+            return Ok(None);
+        }
+        let features = CpuFeatures::detect();
+        let target_isa = self.options.isa.unwrap_or_else(|| features.best_isa());
+        // The requested strategy, with the claim batch re-derived from the
+        // matrix actually served: the paper-default 128 is tuned for large
+        // matrices, so for a dynamic row split size batches to give each
+        // lane several claims without degenerating into per-row claims.
+        let target_strategy = match self.options.strategy {
+            Strategy::RowSplitDynamic { .. } => {
+                let batch = (self.matrix.nrows() / (self.threads.max(1) * 8)).clamp(16, 256);
+                Strategy::RowSplitDynamic { batch }
+            }
+            other => other,
+        };
+        let current = self.active();
+        if target_strategy == current.strategy && target_isa == current.kernel_options.isa {
+            // The request *is* the tier-0 configuration; nothing to gain.
+            return Ok(None);
+        }
+        // An ISA widening must justify itself on the analytic instruction
+        // model (the emulator-backed counters of `crate::profile`); a
+        // strategy change alone is free and cannot change results.
+        if target_isa != current.kernel_options.isa {
+            let scalar = model_jit::<T>(self.matrix, self.d, IsaLevel::Scalar);
+            let target = model_jit::<T>(self.matrix, self.d, target_isa);
+            let gain = scalar.instruction_ratio(&target);
+            let required = 1.0 + f64::from(policy.min_gain_percent) / 100.0;
+            if gain < required && target_strategy == current.strategy {
+                return Ok(None);
+            }
+        }
+        let kernel_options = KernelOptions {
+            isa: target_isa,
+            ccm: self.options.ccm,
+            features,
+            listing: self.options.listing,
+        };
+        JitSpmm::build_core(
+            self.matrix,
+            self.d,
+            target_strategy,
+            kernel_options,
+            self.threads,
+            KernelTier::Promoted,
+        )
+        .map(Some)
+    }
+
+    /// Install a built promoted core if no launch is in flight. Non-blocking:
+    /// takes the launch lock with `try_lock`, so a busy engine simply keeps
+    /// its current core until the next quiet moment between batches. Returns
+    /// whether a swap happened.
+    pub(crate) fn tier_try_install(&self) -> bool {
+        let Some(state) = &self.tier_state else { return false };
+        let Ok(_guard) = self.begin_launch(false) else {
+            return false;
+        };
+        let mut shared = lock(&state.shared);
+        match shared.pending.take() {
+            Some(core) => {
+                shared.phase = TierPhase::Promoted;
+                // The swap point every launch path snapshots; the old core
+                // (and its cached per-slot dynamic kernels, whose embedded
+                // counter addresses belong to it) drops with the last
+                // snapshot holding it.
+                *lock(&self.active) = Arc::new(core);
+                state.promotions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drive promotion to completion right now, on the calling thread:
+    /// recompile if the engine has not yet (warmup need not be complete) and
+    /// install the result. Returns `true` if the engine is on its promoted
+    /// kernel when the call returns; `false` if promotion was declined, a
+    /// recompile is still running elsewhere, or a launch in flight deferred
+    /// the installation. A no-op `false` for non-tiered engines.
+    ///
+    /// Serving sessions promote automatically
+    /// ([`crate::serve::ServeOptions::tiering`]); this is the explicit hook
+    /// for standalone engines, warm-up scripts and benchmarks.
+    pub fn promote_now(&self) -> bool {
+        let Some(state) = &self.tier_state else { return false };
+        let recompile = {
+            let mut shared = lock(&state.shared);
+            match shared.phase {
+                TierPhase::Observing | TierPhase::NeedsCompile => {
+                    shared.phase = TierPhase::Compiling;
+                    true
+                }
+                TierPhase::Ready => false,
+                TierPhase::Promoted => return true,
+                TierPhase::Compiling | TierPhase::Declined => return false,
+            }
+        };
+        if recompile {
+            self.tier_recompile();
+        }
+        self.tier_try_install()
+    }
+}

@@ -251,6 +251,46 @@
 //! ([`serve::SpmmServer::add_sharded`]), so mixed streams can target huge
 //! sharded matrices and small single-engine ones uniformly.
 //!
+//! # Adaptive kernel tiering
+//!
+//! Picking the *right* kernel configuration up front requires knowing the
+//! traffic — which a server does not, until it has served some. A tiered
+//! engine ([`JitSpmmBuilder::tiered`]) starts on a cheap safe **tier-0**
+//! kernel (scalar code, static row split), records its first
+//! [`TierPolicy::warmup`] launches, then recompiles for the configuration
+//! the observations and the analytic instruction model justify and
+//! **hot-swaps** the new kernel in between launches. Promotion never
+//! changes results: outputs across the swap boundary are bit-identical to a
+//! fixed engine compiled at the promoted configuration. Serving sessions
+//! promote automatically ([`serve::ServeOptions::tiering`] — the recompile
+//! rides the shared pool as a lane-capped background job, and
+//! [`serve::ServerReport`] counts the swaps); standalone engines can watch
+//! a promotion by hand:
+//!
+//! ```
+//! use jitspmm::{IsaLevel, JitSpmmBuilder, KernelTier, Strategy, TierPolicy};
+//! use jitspmm_sparse::{generate, DenseMatrix};
+//!
+//! # fn main() -> Result<(), jitspmm::JitSpmmError> {
+//! let a = generate::rmat::<f32>(9, 6_000, generate::RmatConfig::GRAPH500, 11);
+//! let x = DenseMatrix::random(a.ncols(), 8, 3);
+//! // Request a dynamic row split, but let tiering decide when it is worth
+//! // compiling (the scalar pin keeps this doctest host-independent).
+//! let engine = JitSpmmBuilder::new()
+//!     .strategy(Strategy::row_split_dynamic_default())
+//!     .isa(IsaLevel::Scalar)
+//!     .tiered(TierPolicy::new().warmup(4))
+//!     .build(&a, x.ncols())?;
+//! assert_eq!(engine.tier(), KernelTier::Tier0); // serving already, cheaply
+//! let (y0, _) = engine.execute(&x)?;
+//! assert!(engine.promote_now()); // warmup not done: promote explicitly
+//! assert_eq!(engine.tier(), KernelTier::Promoted);
+//! let (y1, _) = engine.execute(&x)?;
+//! assert_eq!(y0.max_abs_diff(&y1), 0.0); // bit-identical across the swap
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Architecture map
 //!
 //! ```text
@@ -260,6 +300,7 @@
 //! │   ├── compile        JitSpmm construction, spare slot kernels
 //! │   ├── launch         execute / execute_async, launch lock, ExecutionHandle
 //! │   ├── batch          execute_batch, BatchStream (borrowed + owned pushes)
+//! │   ├── tier           adaptive tiering: tier-0 start, profiled recompile, hot-swap
 //! │   └── report         ExecutionReport, BatchReport, reservoir percentiles
 //! ├── serve/             multi-engine serving router + control plane
 //! │   ├── server         SpmmServer, ServerSession, serve_controlled loop
@@ -302,8 +343,8 @@ pub mod tiling;
 
 pub use codegen::KernelOptions;
 pub use engine::{
-    BatchReport, BatchStream, ExecutionHandle, ExecutionReport, JitSpmm, JitSpmmBuilder,
-    SpmmOptions, DEFAULT_BATCH_DEPTH,
+    BatchReport, BatchStream, ExecutionHandle, ExecutionReport, JitSpmm, JitSpmmBuilder, KernelRef,
+    KernelTier, SpmmOptions, TierPolicy, DEFAULT_BATCH_DEPTH,
 };
 pub use error::JitSpmmError;
 pub use kernel::{CompiledKernel, KernelKind, KernelMeta};

@@ -148,6 +148,13 @@ struct ControlCore {
     /// Sends refused at the queue (shed, drain, unknown id) since the last
     /// harvest; folded into [`crate::serve::ServerReport::rejected`].
     rejected_sends: usize,
+    /// Producers currently parked in [`ControlShared::wait_cap_change`];
+    /// completions notify `changed` whenever this is non-zero so a freed
+    /// in-flight slot wakes a capped sender immediately.
+    cap_waiters: usize,
+    /// Cumulative count of sends that blocked on the in-flight cap —
+    /// telemetry for overload tests and dashboards.
+    cap_blocked: usize,
 }
 
 /// Condvar-paired control state; `changed` is notified on every lifecycle
@@ -168,6 +175,8 @@ impl ControlShared {
                 sessions: 0,
                 epoch: 0,
                 rejected_sends: 0,
+                cap_waiters: 0,
+                cap_blocked: 0,
             }),
             changed: Condvar::new(),
         }
@@ -296,22 +305,59 @@ impl ControlShared {
     }
 
     /// `n` admitted requests answered (or discarded by a queue close); wakes
-    /// the drain barrier when the count reaches zero.
+    /// the drain barrier when the count reaches zero and any sender parked
+    /// on the in-flight cap as soon as a slot frees up.
     pub(crate) fn completed(&self, n: usize) {
         if n == 0 {
             return;
         }
         let mut state = lock(&self.state);
         state.outstanding = state.outstanding.saturating_sub(n);
-        let quiescent = state.outstanding == 0;
+        let wake = state.outstanding == 0 || state.cap_waiters > 0;
         drop(state);
-        if quiescent {
+        if wake {
             self.changed.notify_all();
         }
     }
 
     pub(crate) fn outstanding(&self) -> usize {
         lock(&self.state).outstanding
+    }
+
+    /// Park until a completion may have brought `outstanding` under `cap`,
+    /// or `closed` (the caller's queue-closed flag) is raised. The under-cap
+    /// and closed checks share one lock acquisition with the wait — the same
+    /// lock [`ControlShared::completed`] mutates under and
+    /// [`ControlShared::wake_waiters`] passes through — so neither a slot
+    /// freed nor a closure raised between the caller's last check and this
+    /// wait can be missed. Single-shot on purpose: the caller's admission
+    /// loop re-checks closure and re-evaluates the cap, so a spurious wake
+    /// only costs one lap.
+    pub(crate) fn wait_cap_change(&self, cap: usize, closed: &std::sync::atomic::AtomicBool) {
+        let mut state = lock(&self.state);
+        if closed.load(std::sync::atomic::Ordering::SeqCst) || state.outstanding < cap {
+            return;
+        }
+        state.cap_waiters += 1;
+        state.cap_blocked += 1;
+        state = self.changed.wait(state).unwrap_or_else(|p| p.into_inner());
+        state.cap_waiters -= 1;
+    }
+
+    /// Wake every parked cap waiter (and drain barrier); a closing queue
+    /// calls this — after raising its closed flag — so capped senders
+    /// observe the closure instead of parking forever. The empty critical
+    /// section orders this notification after any waiter's check-then-park:
+    /// a sender either parked before we acquired the lock (and is woken) or
+    /// acquires it after us (and sees the flag).
+    pub(crate) fn wake_waiters(&self) {
+        drop(lock(&self.state));
+        self.changed.notify_all();
+    }
+
+    /// Cumulative sends that blocked on the in-flight cap.
+    pub(crate) fn cap_blocked_count(&self) -> usize {
+        lock(&self.state).cap_blocked
     }
 
     /// A send was refused at the queue; harvested into the serve report.
@@ -416,6 +462,14 @@ impl ControlHandle {
     /// Whether a server-wide drain is in effect.
     pub fn is_draining(&self) -> bool {
         self.shared.is_draining()
+    }
+
+    /// Cumulative number of sends that blocked on the admission policy's
+    /// in-flight cap ([`AdmissionPolicy::with_max_in_flight`]) before being
+    /// admitted. Overload telemetry: a steadily climbing count means
+    /// producers outpace the cap.
+    pub fn cap_blocked(&self) -> usize {
+        self.shared.cap_blocked_count()
     }
 }
 

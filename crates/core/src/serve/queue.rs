@@ -5,13 +5,9 @@ use crate::runtime::pool::lock;
 use crate::serve::control::{AdmissionPolicy, ControlShared, RejectReason, SendError};
 use jitspmm_sparse::{DenseMatrix, Scalar};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-
-/// How long a blocked sender sleeps between re-checks of the in-flight cap;
-/// that cap is released on the control plane's condvar, not the queue's, so
-/// the wait has to poll.
-const IN_FLIGHT_RECHECK: Duration = Duration::from_millis(1);
 
 /// One serving request: a dense input tagged with the id of the engine that
 /// should execute it, plus the control-plane metadata — priority and
@@ -82,9 +78,6 @@ struct QueueState<T: Scalar> {
     /// Live [`RequestSender`] clones; the queue ends when this reaches zero
     /// and the items drain.
     senders: usize,
-    /// Set by [`RequestQueue::close`] (or the receiver's drop): pending and
-    /// future sends are refused so blocked producers unwedge immediately.
-    closed: bool,
 }
 
 struct QueueShared<T: Scalar> {
@@ -93,6 +86,12 @@ struct QueueShared<T: Scalar> {
     not_full: Condvar,
     /// The receiver parks here while the queue is empty.
     not_empty: Condvar,
+    /// Set by [`RequestQueue::close`] (or the receiver's drop): pending and
+    /// future sends are refused so blocked producers unwedge immediately.
+    /// Atomic (rather than a `QueueState` field) because senders parked on
+    /// the in-flight cap re-check it under the *control plane's* lock, not
+    /// the queue's.
+    closed: AtomicBool,
     policy: AdmissionPolicy,
     /// The server's control plane, when this queue admits for one
     /// ([`crate::serve::SpmmServer::serve_controlled`]): consulted for
@@ -141,7 +140,7 @@ impl<T: Scalar> RequestSender<T> {
         let shared = &self.shared;
         let mut state = lock(&shared.state);
         loop {
-            if state.closed {
+            if shared.closed.load(Ordering::SeqCst) {
                 return Err(SendError::Closed);
             }
             if let Some(control) = &shared.control {
@@ -170,16 +169,21 @@ impl<T: Scalar> RequestSender<T> {
             }
             // Blocking admission. Queue-depth room is signalled on
             // `not_full`; the in-flight cap releases on the control plane's
-            // condvar instead, so that case wakes periodically to re-check.
-            state = if over_in_flight {
-                shared
-                    .not_full
-                    .wait_timeout(state, IN_FLIGHT_RECHECK)
-                    .unwrap_or_else(|poisoned| poisoned.into_inner())
-                    .0
+            // condvar, so that case parks there — request completions wake
+            // it the moment a slot frees. Both paths loop back to re-check
+            // closure and admission from scratch.
+            if over_in_flight {
+                drop(state);
+                let (control, cap) = match (&shared.control, shared.policy.max_in_flight) {
+                    (Some(control), Some(cap)) => (control, cap),
+                    _ => unreachable!("over_in_flight implies a control-plane cap"),
+                };
+                control.wait_cap_change(cap, &shared.closed);
+                state = lock(&shared.state);
             } else {
-                shared.not_full.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner())
-            };
+                state =
+                    shared.not_full.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
         }
     }
 
@@ -268,9 +272,10 @@ impl<T: Scalar> RequestQueue<T> {
         control: Option<Arc<ControlShared>>,
     ) -> (RequestSender<T>, RequestQueue<T>) {
         let shared = Arc::new(QueueShared {
-            state: Mutex::new(QueueState { items: VecDeque::new(), senders: 1, closed: false }),
+            state: Mutex::new(QueueState { items: VecDeque::new(), senders: 1 }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
+            closed: AtomicBool::new(false),
             policy,
             control,
         });
@@ -287,7 +292,7 @@ impl<T: Scalar> RequestQueue<T> {
                 self.shared.not_full.notify_one();
                 return Some(item);
             }
-            if state.closed || state.senders == 0 {
+            if self.shared.closed.load(Ordering::SeqCst) || state.senders == 0 {
                 return None;
             }
             state =
@@ -306,7 +311,7 @@ impl<T: Scalar> RequestQueue<T> {
                 self.shared.not_full.notify_one();
                 return RecvTimeout::Request(item);
             }
-            if state.closed || state.senders == 0 {
+            if self.shared.closed.load(Ordering::SeqCst) || state.senders == 0 {
                 return RecvTimeout::Disconnected;
             }
             let now = Instant::now();
@@ -344,12 +349,16 @@ impl<T: Scalar> RequestQueue<T> {
     /// receiving. Dropping the queue closes it too.
     pub fn close(&self) {
         let mut state = lock(&self.shared.state);
-        state.closed = true;
+        self.shared.closed.store(true, Ordering::SeqCst);
         let discarded = state.items.len();
         state.items.clear();
         drop(state);
         if let Some(control) = &self.shared.control {
             control.completed(discarded);
+            // Senders parked on the in-flight cap wait on the control
+            // plane's condvar, not the queue's — wake them so they observe
+            // the closure.
+            control.wake_waiters();
         }
         self.shared.not_full.notify_all();
         self.shared.not_empty.notify_all();
@@ -369,7 +378,7 @@ impl<T: Scalar> std::fmt::Debug for RequestQueue<T> {
             .field("queued", &state.items.len())
             .field("policy", &self.shared.policy)
             .field("senders", &state.senders)
-            .field("closed", &state.closed)
+            .field("closed", &self.shared.closed.load(Ordering::SeqCst))
             .finish()
     }
 }
@@ -377,7 +386,7 @@ impl<T: Scalar> std::fmt::Debug for RequestQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::AtomicUsize;
     use std::time::Duration;
 
     fn request(seed: u64) -> DenseMatrix<f32> {
@@ -420,18 +429,27 @@ mod tests {
                     counter.fetch_add(1, Ordering::SeqCst);
                 }
             });
-            // Give the producer time to run ahead; the bound must stop it
-            // at capacity while nothing is consumed.
-            std::thread::sleep(Duration::from_millis(50));
-            assert!(
-                enqueued.load(Ordering::SeqCst) <= 3,
-                "producer ran past the queue bound (capacity 2 + 1 in-flight send)"
-            );
-            let mut total = 0;
-            while let Some(_req) = queue.recv() {
-                total += 1;
+            // Handshake instead of a fixed sleep: wait for the producer to
+            // fill the queue, where the bound parks it.
+            while enqueued.load(Ordering::SeqCst) < 2 {
+                std::thread::yield_now();
             }
-            assert_eq!(total, 6);
+            assert!(
+                enqueued.load(Ordering::SeqCst) <= 2,
+                "producer ran past the queue bound before anything was consumed"
+            );
+            let mut popped = 0;
+            while let Some(_req) = queue.recv() {
+                popped += 1;
+                // Deterministic backpressure invariant: completed sends can
+                // never run more than capacity (plus the one send a pop just
+                // made room for) ahead of consumption.
+                assert!(
+                    enqueued.load(Ordering::SeqCst) <= popped + 3,
+                    "producer ran past the queue bound (capacity 2 + 1 in-flight send)"
+                );
+            }
+            assert_eq!(popped, 6);
         });
     }
 
@@ -441,10 +459,19 @@ mod tests {
         assert!(sender.send(0, request(1)).is_ok());
         std::thread::scope(|scope| {
             let s = sender.clone();
-            let blocked = scope.spawn(move || s.send(0, request(2)));
-            std::thread::sleep(Duration::from_millis(20));
+            let sending = Arc::new(AtomicBool::new(false));
+            let flag = Arc::clone(&sending);
+            let blocked = scope.spawn(move || {
+                flag.store(true, Ordering::SeqCst);
+                s.send(0, request(2))
+            });
+            // Handshake instead of a fixed sleep: once the flag is up the
+            // producer is at (or about to park in) its send; closing now
+            // must yield `Closed` either way, never a hang.
+            while !sending.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
             queue.close();
-            // The blocked producer must observe the close, not hang.
             assert_eq!(blocked.join().unwrap(), Err(SendError::Closed));
         });
         assert_eq!(

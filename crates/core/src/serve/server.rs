@@ -2,10 +2,13 @@
 //! stream, plus the control plane that keeps it bounded under overload and
 //! alive under faults.
 
-use crate::engine::{BatchReport, BatchStats, BatchStream, ExecutionReport, JitSpmm};
+use crate::engine::{
+    BatchReport, BatchStats, BatchStream, ExecutionReport, JitSpmm, KernelTier, TierAction,
+    TierPolicy,
+};
 use crate::error::JitSpmmError;
 use crate::runtime::pool::lock;
-use crate::runtime::{PoolScope, PooledMatrix, WorkerPool};
+use crate::runtime::{JobSpec, PoolScope, PooledMatrix, WorkerPool};
 use crate::schedule::Strategy;
 use crate::serve::control::{
     AdmissionPolicy, ControlHandle, ControlShared, EngineStatus, RejectReason, ReorderBuffer,
@@ -280,6 +283,41 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
             EngineEntry::Single(engine) => engine.strategy(),
             EngineEntry::Sharded(sharded) => sharded.dominant_strategy(),
         })
+    }
+
+    /// Engine `id`'s current kernel tier and promotion count, for stamping
+    /// per-engine reports.
+    pub(crate) fn engine_tier_info(&self, id: usize) -> Option<(KernelTier, usize)> {
+        self.with_entry(id, |entry| match entry {
+            EngineEntry::Single(engine) => (engine.tier(), engine.promotions()),
+            EngineEntry::Sharded(sharded) => (sharded.tier(), sharded.promotions()),
+        })
+    }
+
+    /// Run the profile-guided tier recompile for engine `id` (one shard of
+    /// it, for sharded engines). Called from a background pool job or inline
+    /// by the serving loop; never panics (the tier layer contains recompile
+    /// failures) and takes no engine lock, so serving proceeds throughout.
+    pub(crate) fn tier_recompile_entry(&self, id: usize, shard: Option<usize>) {
+        enum Target<'a, T: Scalar> {
+            Single(Arc<JitSpmm<'a, T>>),
+            Sharded(Arc<ShardedSpmm<'a, T>>),
+        }
+        // Clone the Arc out so code generation runs outside the registry
+        // lock.
+        let target = self.with_entry(id, |entry| match entry {
+            EngineEntry::Single(engine) => Target::Single(Arc::clone(engine)),
+            EngineEntry::Sharded(sharded) => Target::Sharded(Arc::clone(sharded)),
+        });
+        match target {
+            Some(Target::Single(engine)) => engine.tier_recompile(),
+            Some(Target::Sharded(sharded)) => {
+                if let Some(engine) = sharded.engines().get(shard.unwrap_or(0)) {
+                    engine.tier_recompile();
+                }
+            }
+            None => {}
+        }
     }
 
     /// Shape-check `input` against logical engine `id` (single or sharded).
@@ -629,6 +667,19 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         let (sender, queue) =
             RequestQueue::controlled(options.admission, Arc::clone(&self.control));
         let tick = options.tick.max(Duration::from_micros(100));
+        // Background tier recompiles: the sweep queues (engine, shard) ids
+        // here and submits one lane-capped pool job per entry, so a
+        // recompile never occupies more than one worker and never blocks
+        // the serving thread. Inline (policy `background == false`, or a
+        // zero-worker pool) recompiles skip the queue entirely.
+        let tier_jobs: Mutex<VecDeque<(usize, Option<usize>)>> = Mutex::new(VecDeque::new());
+        let tier_task = |_lane: usize| {
+            if let Some((id, shard)) = lock(&tier_jobs).pop_front() {
+                self.tier_recompile_entry(id, shard);
+            }
+        };
+        let tier_background =
+            options.tiering.is_some_and(|policy| policy.background) && self.pool.size() > 0;
         std::thread::scope(|threads| {
             let _close = CloseOnExit(&queue);
             let producer_thread = threads.spawn(move || producer(sender));
@@ -639,6 +690,12 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
                 let mut disconnected = false;
                 loop {
                     session.apply_control();
+                    if options.tiering.is_some() {
+                        session.apply_tiering(tier_background, &mut |id, shard| {
+                            lock(&tier_jobs).push_back((id, shard));
+                            drop(scope.submit(JobSpec::new(1).max_lanes(1), &tier_task));
+                        });
+                    }
                     // Hand out everything ready; each emission answers one
                     // admitted request on the control plane (consumer first,
                     // so a drain barrier returning implies the consumer saw
@@ -715,23 +772,41 @@ pub struct ServeOptions {
     /// responses (on by default). Off restores the strict re-raise
     /// behavior of [`SpmmServer::serve_stream_with`].
     pub fault_containment: bool,
+    /// Promote tiered engines mid-session: every control sweep polls their
+    /// warmup state, schedules the profile-guided recompile, and hot-swaps
+    /// ready kernels between batches (sharded engines promote per shard).
+    /// Engines decide *whether and to what* to promote from the
+    /// [`TierPolicy`] they were built with
+    /// ([`crate::JitSpmmBuilder::tiered`]); this policy's `background` flag
+    /// decides *where* the recompile runs — on the serving pool (default)
+    /// or inline on the serving thread. `None` (the default) never
+    /// promotes: tiered engines stay on whatever tier they are on.
+    pub tiering: Option<TierPolicy>,
 }
 
 impl ServeOptions {
-    /// Defaults (auto depth, 1ms tick, fault containment on) with the given
-    /// admission policy.
+    /// Defaults (auto depth, 1ms tick, fault containment on, no tiering)
+    /// with the given admission policy.
     pub fn new(admission: AdmissionPolicy) -> ServeOptions {
         ServeOptions {
             depth: 0,
             admission,
             tick: Duration::from_millis(1),
             fault_containment: true,
+            tiering: None,
         }
     }
 
     /// Set the per-engine pipeline depth.
     pub fn with_depth(mut self, depth: usize) -> ServeOptions {
         self.depth = depth;
+        self
+    }
+
+    /// Promote tiered engines during the session (see
+    /// [`ServeOptions::tiering`]).
+    pub fn tiering(mut self, policy: TierPolicy) -> ServeOptions {
+        self.tiering = Some(policy);
         self
     }
 }
@@ -886,6 +961,8 @@ struct ServeCounters {
     rejected: usize,
     shed_deadline: usize,
     failed: usize,
+    /// Tier hot-swaps installed by this session's sweeps.
+    promotions: usize,
 }
 
 /// One logical engine's lane inside a session: its pipeline (opened lazily
@@ -900,6 +977,16 @@ struct Lane<'scope, 'env, T: Scalar> {
     pending: VecDeque<usize>,
     /// Completed responses handed out so far (the per-engine index).
     completed: usize,
+    /// Per-launch statistics accumulated across **every** pipeline this
+    /// lane opened: a tier hot-swap recycles the pipeline mid-session, so
+    /// the lane — not the stream — owns the session-spanning view.
+    stats: BatchStats,
+    /// First-submission timestamp, for the lane's wall clock.
+    started: Option<Instant>,
+    /// Resolved pipeline depth, captured when the first pipeline opens.
+    depth: usize,
+    /// Widest lane count any completed launch of this engine used.
+    max_threads: usize,
     /// Set when the lane closes (drain, retirement, poisoning, finish);
     /// a lane with a report refuses further submissions.
     report: Option<BatchReport>,
@@ -907,7 +994,16 @@ struct Lane<'scope, 'env, T: Scalar> {
 
 impl<'scope, 'env, T: Scalar> Lane<'scope, 'env, T> {
     fn new() -> Lane<'scope, 'env, T> {
-        Lane { stream: None, pending: VecDeque::new(), completed: 0, report: None }
+        Lane {
+            stream: None,
+            pending: VecDeque::new(),
+            completed: 0,
+            stats: BatchStats::default(),
+            started: None,
+            depth: 0,
+            max_threads: 0,
+            report: None,
+        }
     }
 }
 
@@ -968,19 +1064,32 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// A zero-input [`BatchReport`] for a lane that never opened (or was
-/// poisoned before it could report).
-fn empty_report(strategy: Option<Strategy>) -> BatchReport {
-    BatchStats::default().report(
-        Duration::ZERO,
-        1,
-        1,
+/// Build a lane's per-engine [`BatchReport`] from the statistics it
+/// accumulated (zero-input lanes report zeros), stamped with the engine's
+/// current tier and promotion count. Free function so callers can hold
+/// disjoint field borrows.
+fn lane_report<T: Scalar>(
+    lane: &mut Lane<'_, '_, T>,
+    strategy: Option<Strategy>,
+    tier: Option<(KernelTier, usize)>,
+) -> BatchReport {
+    let elapsed = lane.started.map(|t| t.elapsed()).unwrap_or_default();
+    let mut report = std::mem::take(&mut lane.stats).report(
+        elapsed,
+        lane.depth.max(1),
+        lane.max_threads.max(1),
         strategy.expect("lane ids mirror registered engines"),
-    )
+    );
+    if let Some((tier, promotions)) = tier {
+        report.tier = tier;
+        report.promotions = promotions;
+    }
+    report
 }
 
 /// Pop the lane's oldest pending sequence number and queue a completed
-/// response. Free function so callers can hold disjoint field borrows.
+/// response, recording the launch into the lane's statistics. Free function
+/// so callers can hold disjoint field borrows.
 fn emit_completed<T: Scalar>(
     lane: &mut Lane<'_, '_, T>,
     engine: usize,
@@ -993,6 +1102,8 @@ fn emit_completed<T: Scalar>(
     let index = lane.completed;
     lane.completed += 1;
     counters.completed += 1;
+    lane.stats.record(&report);
+    lane.max_threads = lane.max_threads.max(report.threads);
     ready.push_back(ServerResponse::Completed { engine, index, request, output, report });
 }
 
@@ -1036,6 +1147,7 @@ impl<T: Scalar> ServerSession<'_, '_, '_, T> {
                 })
             }
         };
+        self.lanes[id].depth = stream.depth();
         self.lanes[id].stream = Some(stream);
         Ok(())
     }
@@ -1117,7 +1229,11 @@ impl<T: Scalar> ServerSession<'_, '_, '_, T> {
                             "sharded lane poisoned by a worker panic".to_string(),
                         );
                     }
-                    lane.report = Some(empty_report(server.engine_strategy(id)));
+                    lane.report = Some(lane_report(
+                        lane,
+                        server.engine_strategy(id),
+                        server.engine_tier_info(id),
+                    ));
                 }
             }
         }
@@ -1140,9 +1256,14 @@ impl<T: Scalar> ServerSession<'_, '_, '_, T> {
         }
     }
 
-    /// Drain lane `id` (fault-aware, one completion at a time), close its
-    /// pipeline and record its report. Idempotent.
-    fn close_lane(&mut self, id: usize) {
+    /// Release lane `id`'s pipeline — joining its in-flight launches
+    /// (fault-aware, one at a time) and queueing the remaining responses —
+    /// **without** closing the lane. The per-engine statistics live in the
+    /// lane and span the gap; the next submission lazily reopens a pipeline,
+    /// which then snapshots the engine's current (possibly hot-swapped)
+    /// core. This is what frees an engine's launch lock for a tier install
+    /// mid-session. Idempotent.
+    fn recycle_lane(&mut self, id: usize) {
         loop {
             let Some(lane) = self.lanes.get(id) else {
                 return;
@@ -1154,18 +1275,88 @@ impl<T: Scalar> ServerSession<'_, '_, '_, T> {
                 _ => break,
             }
         }
-        let ServerSession { lanes, ready, counters, server, .. } = &mut *self;
+        let ServerSession { lanes, ready, counters, .. } = &mut *self;
         let lane = &mut lanes[id];
         if let Some(stream) = lane.stream.take() {
             // Nothing is in flight (drained above), so finishing cannot
-            // re-raise a worker panic.
-            let (rest, report) = stream.finish_report();
+            // re-raise a worker panic. The stream's own interim report is
+            // discarded: the lane accumulated the same launches.
+            let (rest, _interim) = stream.finish_report();
             for (output, exec) in rest {
                 emit_completed(lane, id, ready, counters, output, exec);
             }
-            lane.report = Some(report);
-        } else if lane.report.is_none() {
-            lane.report = Some(empty_report(server.engine_strategy(id)));
+        }
+    }
+
+    /// Drain lane `id`, close its pipeline and record its report.
+    /// Idempotent.
+    fn close_lane(&mut self, id: usize) {
+        self.recycle_lane(id);
+        let ServerSession { lanes, server, .. } = &mut *self;
+        let Some(lane) = lanes.get_mut(id) else {
+            return;
+        };
+        if lane.report.is_none() {
+            lane.report =
+                Some(lane_report(lane, server.engine_strategy(id), server.engine_tier_info(id)));
+        }
+    }
+
+    /// One tiering sweep (driven by [`SpmmServer::serve_controlled`] when
+    /// [`ServeOptions::tiering`] is set): poll every open lane's engine —
+    /// each shard of a sharded engine — and act. A claimed recompile is
+    /// handed to `spawn` (a background pool job) or run inline when
+    /// `background` is off; a ready core is installed after recycling the
+    /// lane's pipeline, which releases the launch lock the install needs.
+    /// Non-tiered engines poll as idle, so the sweep is cheap.
+    fn apply_tiering(&mut self, background: bool, spawn: &mut dyn FnMut(usize, Option<usize>)) {
+        for id in 0..self.lanes.len() {
+            if self.lanes[id].report.is_some() {
+                continue;
+            }
+            let Some(actions) = self.server.with_entry(id, |entry| match entry {
+                EngineEntry::Single(engine) => vec![(None, engine.tier_poll())],
+                EngineEntry::Sharded(sharded) => sharded
+                    .engines()
+                    .iter()
+                    .enumerate()
+                    .map(|(shard, engine)| (Some(shard), engine.tier_poll()))
+                    .collect::<Vec<_>>(),
+            }) else {
+                continue;
+            };
+            let mut recycled = false;
+            for (shard, action) in actions {
+                match action {
+                    TierAction::Idle => {}
+                    TierAction::Recompile => {
+                        if background {
+                            spawn(id, shard);
+                        } else {
+                            self.server.tier_recompile_entry(id, shard);
+                        }
+                    }
+                    TierAction::Install => {
+                        if !recycled {
+                            self.recycle_lane(id);
+                            recycled = true;
+                        }
+                        let installed = self
+                            .server
+                            .with_entry(id, |entry| match entry {
+                                EngineEntry::Single(engine) => engine.tier_try_install(),
+                                EngineEntry::Sharded(sharded) => sharded
+                                    .engines()
+                                    .get(shard.unwrap_or(0))
+                                    .is_some_and(|engine| engine.tier_try_install()),
+                            })
+                            .unwrap_or(false);
+                        if installed {
+                            self.counters.promotions += 1;
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -1250,6 +1441,7 @@ impl<T: Scalar> ServerSession<'_, '_, '_, T> {
         let ServerSession { lanes, ready, counters, .. } = &mut *self;
         let lane = &mut lanes[engine];
         lane.pending.push_back(seq);
+        lane.started.get_or_insert_with(Instant::now);
         let stream = lane.stream.as_mut().expect("lane opened above");
         let done = stream.push_owned(input);
         done.map(|(output, report)| {
@@ -1352,6 +1544,7 @@ impl<T: Scalar> ServerSession<'_, '_, '_, T> {
         let ServerSession { lanes, ready, counters, server, .. } = &mut *self;
         let lane = &mut lanes[engine];
         lane.pending.push_back(seq);
+        lane.started.get_or_insert_with(Instant::now);
         let stream = lane.stream.as_mut().expect("lane checked above");
         let input = request.input;
         let pushed = if catch {
@@ -1395,7 +1588,11 @@ impl<T: Scalar> ServerSession<'_, '_, '_, T> {
                             "sharded lane poisoned by a worker panic".to_string(),
                         );
                     }
-                    lane.report = Some(empty_report(server.engine_strategy(engine)));
+                    lane.report = Some(lane_report(
+                        lane,
+                        server.engine_strategy(engine),
+                        server.engine_tier_info(engine),
+                    ));
                 }
             }
         }
@@ -1431,6 +1628,7 @@ impl<T: Scalar> ServerSession<'_, '_, '_, T> {
             rejected: self.counters.rejected,
             shed_deadline: self.counters.shed_deadline,
             failed: self.counters.failed,
+            promotions: self.counters.promotions,
             per_engine,
         };
         (responses, report)
@@ -1462,6 +1660,14 @@ impl<T: Scalar> RouteStream<'_, '_, T> {
         match self {
             RouteStream::Single(s) => s.in_flight(),
             RouteStream::Sharded(s) => s.in_flight(),
+        }
+    }
+
+    /// The resolved pipeline depth.
+    fn depth(&self) -> usize {
+        match self {
+            RouteStream::Single(s) => s.depth(),
+            RouteStream::Sharded(s) => s.depth(),
         }
     }
 

@@ -2,7 +2,7 @@
 //! [`ShardPlan`], executing as overlapped lane-capped launches on a shared
 //! [`WorkerPool`], with shard outputs stitched into full-height results.
 
-use crate::engine::{ExecutionHandle, JitSpmm, JitSpmmBuilder};
+use crate::engine::{ExecutionHandle, JitSpmm, JitSpmmBuilder, KernelTier, TierPolicy};
 use crate::error::JitSpmmError;
 use crate::runtime::dispatch::BufferPool;
 use crate::runtime::{PoolScope, PooledMatrix, WorkerPool};
@@ -85,15 +85,44 @@ impl<'a, T: Scalar> ShardedSpmm<'a, T> {
         d: usize,
         pool: WorkerPool,
     ) -> Result<ShardedSpmm<'a, T>, JitSpmmError> {
+        ShardedSpmm::compile_inner(plan, d, pool, None)
+    }
+
+    /// [`ShardedSpmm::compile`] with adaptive tiering: every shard engine
+    /// starts on a cheap scalar tier-0 kernel and promotes independently
+    /// under `policy` (see [`crate::engine::tier`]) — shards promote *per
+    /// shard*, so a straggler shard's recompile never holds back the others.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedSpmm::compile`].
+    pub fn compile_tiered(
+        plan: &'a ShardPlan<T>,
+        d: usize,
+        pool: WorkerPool,
+        policy: TierPolicy,
+    ) -> Result<ShardedSpmm<'a, T>, JitSpmmError> {
+        ShardedSpmm::compile_inner(plan, d, pool, Some(policy))
+    }
+
+    fn compile_inner(
+        plan: &'a ShardPlan<T>,
+        d: usize,
+        pool: WorkerPool,
+        tier: Option<TierPolicy>,
+    ) -> Result<ShardedSpmm<'a, T>, JitSpmmError> {
         let engines: Vec<JitSpmm<'a, T>> = plan
             .shards()
             .iter()
             .map(|spec| {
-                JitSpmmBuilder::new()
+                let mut builder = JitSpmmBuilder::new()
                     .pool(pool.clone())
                     .threads(plan.lanes())
-                    .strategy(spec.strategy)
-                    .build(&spec.matrix, d)
+                    .strategy(spec.strategy);
+                if let Some(policy) = tier {
+                    builder = builder.tiered(policy);
+                }
+                builder.build(&spec.matrix, d)
             })
             .collect::<Result<_, _>>()?;
         // The one-pool invariant (the disjoint-lane overlap only holds
@@ -129,6 +158,25 @@ impl<'a, T: Scalar> ShardedSpmm<'a, T> {
     /// The worker pool every shard executes on.
     pub fn pool(&self) -> &WorkerPool {
         &self.pool
+    }
+
+    /// The slowest-progressing tier across the shard engines: `Tier0` while
+    /// any shard still runs its starter kernel, `Promoted` once every shard
+    /// has hot-swapped, `Fixed` for a non-tiered compile. Shards promote
+    /// independently, so this is the honest aggregate for merged reports.
+    pub fn tier(&self) -> KernelTier {
+        if self.engines.iter().any(|e| e.tier() == KernelTier::Tier0) {
+            KernelTier::Tier0
+        } else if self.engines.iter().any(|e| e.tier() == KernelTier::Promoted) {
+            KernelTier::Promoted
+        } else {
+            KernelTier::Fixed
+        }
+    }
+
+    /// Total hot-swap promotions across the shard engines.
+    pub fn promotions(&self) -> usize {
+        self.engines.iter().map(JitSpmm::promotions).sum()
     }
 
     /// Compute `Y = A * X` by launching every shard as an overlapped,
@@ -188,11 +236,22 @@ impl<'a, T: Scalar> ShardedSpmm<'a, T> {
         let elapsed = started.elapsed();
         let mut merged = single_launch_report(&merge_input_reports(&reports), 1);
         merged.elapsed = elapsed;
+        merged.tier = self.tier();
+        merged.promotions = self.promotions();
         let report = ShardReport {
             shards: self.engines.len(),
             nnz_imbalance: self.plan.nnz_imbalance(),
             merged,
-            per_shard: reports.iter().map(|r| single_launch_report(r, 1)).collect(),
+            per_shard: reports
+                .iter()
+                .zip(&self.engines)
+                .map(|(r, engine)| {
+                    let mut shard = single_launch_report(r, 1);
+                    shard.tier = engine.tier();
+                    shard.promotions = engine.promotions();
+                    shard
+                })
+                .collect(),
         };
         Ok((y, report))
     }

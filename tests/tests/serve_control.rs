@@ -430,3 +430,53 @@ fn engines_can_be_added_while_a_session_is_open() {
         "sharded and single engines disagree on the same matrix"
     );
 }
+
+#[test]
+fn in_flight_cap_parks_producers_on_the_condvar_and_completions_wake_them() {
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    // Armed kernel delays are process-global state.
+    let _guard = jitspmm::serve::fault::exclusive();
+    let a = small_uniform();
+    let pool = WorkerPool::new(1);
+    let engine = JitSpmmBuilder::new().pool(pool.clone()).threads(1).build(&a, D).unwrap();
+    let server = SpmmServer::new(vec![engine]).unwrap();
+    let control = server.control();
+    assert_eq!(control.cap_blocked(), 0);
+
+    // Slow every launch so the producer is guaranteed to hit the in-flight
+    // cap before the first completion: with a cap of 1, every send after
+    // the first must park on the control plane's condvar (the old code
+    // sleep-polled here in 1 ms ticks) and be woken by a completion. A
+    // missing wake hangs this test; a missing park fails the counter
+    // assertion below.
+    let total = 6usize;
+    jitspmm::serve::fault::arm_kernel_delay(Duration::from_millis(2), total as u64);
+    let inputs: Vec<DenseMatrix<f32>> =
+        (0..total).map(|i| DenseMatrix::random(UNIFORM_COLS, D, 9_000 + i as u64)).collect();
+    let (report, sent) = server
+        .serve_controlled(
+            ServeOptions::new(AdmissionPolicy::blocking(total).with_max_in_flight(1)),
+            |sender| {
+                let mut sent = 0usize;
+                for x in inputs {
+                    if sender.send_request(ServerRequest::new(0, x)).is_ok() {
+                        sent += 1;
+                    }
+                }
+                sent
+            },
+            |response| assert!(response.is_completed(), "blocking admission completes everything"),
+        )
+        .unwrap();
+    assert_eq!(sent, total);
+    assert_eq!(report.requests, total);
+    assert!(
+        control.cap_blocked() >= total - 1,
+        "every over-cap send must park on the condvar (parked {} of {})",
+        control.cap_blocked(),
+        total - 1
+    );
+}
