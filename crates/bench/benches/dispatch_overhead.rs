@@ -13,7 +13,7 @@
 //! stdout and machine-readable JSON to `BENCH_dispatch_overhead.json` so the
 //! perf trajectory can be tracked across commits.
 
-use jitspmm::{CpuFeatures, JitSpmmBuilder, Strategy, WorkerPool};
+use jitspmm::{CpuFeatures, JitSpmmBuilder, Strategy, WakeSlot, WorkerPool};
 use jitspmm_bench::{json_stats, measure, Stats, TextTable};
 use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
 use std::time::{Duration, Instant};
@@ -71,6 +71,7 @@ fn main() {
         "speedup",
         "kernel",
         "dispatch",
+        "wake p50/p99",
     ]);
     let mut json_rows = Vec::new();
 
@@ -100,6 +101,20 @@ fn main() {
         let report = engine.execute_into(&x, &mut y).unwrap();
         let speedup = spawn.best.as_secs_f64() / pooled.best.as_secs_f64();
 
+        // Wake (enqueue -> first worker claim) latency of the deferred
+        // launch path — what the futex word replaces a condvar handoff for.
+        // A blocking execute usually claims its own job before any worker
+        // wakes, so the honest sample comes from a pipelined batch.
+        let wake_inputs: Vec<DenseMatrix<f32>> = (0..if quick { 8 } else { 32 })
+            .map(|i| DenseMatrix::random(w.matrix.ncols(), D, 9_000 + i as u64))
+            .collect();
+        let (outputs, batch_report) = engine
+            .pool()
+            .scope(|scope| engine.execute_batch(scope, &wake_inputs))
+            .expect("wake batch failed");
+        drop(outputs);
+        let (wake_p50, wake_p99) = (batch_report.wake_p50, batch_report.wake_p99);
+
         table.row(vec![
             w.name.to_string(),
             w.matrix.nnz().to_string(),
@@ -109,9 +124,10 @@ fn main() {
             format!("{speedup:.2}x"),
             format!("{:?}", report.kernel),
             format!("{:?}", report.dispatch),
+            format!("{wake_p50:?} / {wake_p99:?}"),
         ]);
         json_rows.push(format!(
-            r#"    {{"matrix": "{}", "rows": {}, "nnz": {}, "spawn": {}, "pooled": {}, "pooled_execute": {}, "speedup_best": {:.4}, "kernel_ns": {}, "dispatch_ns": {}}}"#,
+            r#"    {{"matrix": "{}", "rows": {}, "nnz": {}, "spawn": {}, "pooled": {}, "pooled_execute": {}, "speedup_best": {:.4}, "kernel_ns": {}, "dispatch_ns": {}, "wake_p50_ns": {}, "wake_p99_ns": {}}}"#,
             w.name,
             w.matrix.nrows(),
             w.matrix.nnz(),
@@ -121,6 +137,8 @@ fn main() {
             speedup,
             report.kernel.as_nanos(),
             report.dispatch.as_nanos(),
+            wake_p50.as_nanos(),
+            wake_p99.as_nanos(),
         ));
     }
 
@@ -230,7 +248,8 @@ fn main() {
     // from `lanes`: detection failure records 1, not the lane fallback.
     let host_cores = jitspmm_bench::host_cores();
     let json = format!(
-        "{{\n  \"bench\": \"dispatch_overhead\",\n  \"d\": {D},\n  \"lanes\": {threads},\n  \"host_cores\": {host_cores},\n  \"results\": [\n{}\n  ],\n  \"overlap\": {{\"pool_workers\": 2, \"lanes_per_job\": 1, \"jobs_per_client\": {overlap_batch}, \"serialized\": {}, \"overlapped\": {}, \"overlap_speedup_best\": {:.4}, \"overlap_speedup_mean\": {:.4}}}\n}}\n",
+        "{{\n  \"bench\": \"dispatch_overhead\",\n  \"d\": {D},\n  \"lanes\": {threads},\n  \"host_cores\": {host_cores},\n  \"futex_wake\": {},\n  \"results\": [\n{}\n  ],\n  \"overlap\": {{\"pool_workers\": 2, \"lanes_per_job\": 1, \"jobs_per_client\": {overlap_batch}, \"serialized\": {}, \"overlapped\": {}, \"overlap_speedup_best\": {:.4}, \"overlap_speedup_mean\": {:.4}}}\n}}\n",
+        WakeSlot::FUTEX_BACKED,
         json_rows.join(",\n"),
         json_stats(&serialized),
         json_stats(&overlapped),

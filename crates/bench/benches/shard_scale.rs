@@ -18,7 +18,7 @@
 //! bench rather than silently skewing the numbers.
 
 use jitspmm::shard::{plan_shards, ShardedSpmm};
-use jitspmm::{CpuFeatures, JitSpmmBuilder, WorkerPool};
+use jitspmm::{CpuFeatures, JitSpmmBuilder, WakeSlot, WorkerPool};
 use jitspmm_bench::{
     emit_bench_json, geometric_mean, host_cores, json_stats, measure_interleaved, TextTable,
 };
@@ -63,12 +63,19 @@ fn main() {
         "shards",
         "lanes/shard",
         "nnz imbalance",
+        "plan bytes (borrowed/owned-equiv)",
         "single/run",
         "sharded/run",
         "speedup(mean)",
+        "wake p50/p99",
     ]);
     let mut json_rows = Vec::new();
     let mut speedups = Vec::new();
+    // A small pipelined batch per shard count, to sample the deferred-launch
+    // wake (enqueue -> first claim) latency the futex path targets.
+    let wake_inputs: Vec<DenseMatrix<f32>> = (0..if quick { 8 } else { 32 })
+        .map(|i| DenseMatrix::random(a.ncols(), D, 7_000 + i as u64))
+        .collect();
 
     for k in [1usize, 2, 4, 8] {
         let lanes = (workers / k).max(1);
@@ -78,6 +85,21 @@ fn main() {
             "planner imbalance {} exceeds the 1.10 target on a power-law matrix (k = {k})",
             plan.nnz_imbalance()
         );
+        // Plan memory: shards are zero-copy views, so the plan holds only
+        // each shard's rebased row_ptr; an owned extraction would copy every
+        // shard's col_indices (u32) and values (f32) as well.
+        assert!(
+            plan.shards().iter().all(|s| s.matrix.shares_storage_with(&a)),
+            "shard plan copied nnz arrays (k = {k})"
+        );
+        let plan_bytes_borrowed: usize =
+            plan.shards().iter().map(|s| (s.rows.len() + 1) * std::mem::size_of::<u64>()).sum();
+        let plan_bytes_owned_equiv: usize = plan_bytes_borrowed
+            + plan
+                .shards()
+                .iter()
+                .map(|s| s.nnz() * (std::mem::size_of::<u32>() + std::mem::size_of::<f32>()))
+                .sum::<usize>();
         let sharded = ShardedSpmm::compile(&plan, D, pool.clone()).expect("shard compile failed");
 
         // Correctness first: the stitched result must equal the unsharded
@@ -98,23 +120,35 @@ fn main() {
         );
         let speedup_mean = single_stats.mean.as_secs_f64() / sharded_stats.mean.as_secs_f64();
         speedups.push(speedup_mean);
+
+        // Wake latency of the pipelined (deferred-launch) path: the batch
+        // report's per-input wake percentiles, merged across shards.
+        let (outputs, batch_report) =
+            pool.scope(|scope| sharded.execute_batch(scope, &wake_inputs)).expect("wake batch");
+        drop(outputs);
+        let (wake_p50, wake_p99) = (batch_report.merged.wake_p50, batch_report.merged.wake_p99);
+
         table.row(vec![
             plan.len().to_string(),
             lanes.to_string(),
             format!("{:.3}", plan.nnz_imbalance()),
+            format!("{plan_bytes_borrowed} / {plan_bytes_owned_equiv}"),
             format!("{:?}", single_stats.mean),
             format!("{:?}", sharded_stats.mean),
             format!("{speedup_mean:.2}x"),
+            format!("{wake_p50:?} / {wake_p99:?}"),
         ]);
         let strategies: Vec<String> =
             plan.shards().iter().map(|s| format!("\"{}\"", s.strategy)).collect();
         json_rows.push(format!(
-            r#"    {{"shards": {}, "lanes_per_shard": {lanes}, "nnz_imbalance": {:.4}, "strategies": [{}], "single": {}, "sharded": {}, "speedup_mean": {speedup_mean:.4}}}"#,
+            r#"    {{"shards": {}, "lanes_per_shard": {lanes}, "nnz_imbalance": {:.4}, "strategies": [{}], "plan_bytes_borrowed": {plan_bytes_borrowed}, "plan_bytes_owned_equiv": {plan_bytes_owned_equiv}, "single": {}, "sharded": {}, "speedup_mean": {speedup_mean:.4}, "wake_p50_ns": {}, "wake_p99_ns": {}}}"#,
             plan.len(),
             plan.nnz_imbalance(),
             strategies.join(", "),
             json_stats(&single_stats),
             json_stats(&sharded_stats),
+            wake_p50.as_nanos(),
+            wake_p99.as_nanos(),
         ));
     }
 
@@ -134,9 +168,11 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"shard_scale\",\n  \"d\": {D},\n  \"matrix_rows\": {},\n  \
          \"matrix_nnz\": {},\n  \"pool_workers\": {workers},\n  \"host_cores\": {cores},\n  \
+         \"futex_wake\": {},\n  \
          \"results\": [\n{}\n  ],\n  \"sharded_vs_single_speedup_mean\": {headline:.4}\n}}\n",
         a.nrows(),
         a.nnz(),
+        WakeSlot::FUTEX_BACKED,
         json_rows.join(",\n"),
     );
     emit_bench_json("BENCH_shard_scale.json", &json);

@@ -15,7 +15,7 @@ use jitspmm_sparse::{DenseMatrix, Scalar};
 use std::collections::VecDeque;
 use std::panic::resume_unwind;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The host's available parallelism, resolved once per process.
 /// `std::thread::available_parallelism` consults the cgroup filesystem on
@@ -642,9 +642,13 @@ impl<'scope, 'env, T: Scalar> BatchStream<'scope, 'env, T> {
         let mut launch = self.in_flight.pop_front().expect("caller checked a launch is in flight");
         // Sequential launches ran on exactly one lane, whatever the engine
         // is configured with; the per-input report says so.
-        let (joined, threads) = match &mut launch.pending {
-            Pending::Queued(job) => (job.try_wait(), self.engine.threads),
-            Pending::Done(kernel) => (Ok(*kernel), 1),
+        let (joined, threads, wake) = match &mut launch.pending {
+            Pending::Queued(job) => {
+                let joined = job.try_wait();
+                (joined, self.engine.threads, job.wake())
+            }
+            // Sequential launches ran inline: no handoff, no wake cost.
+            Pending::Done(kernel) => (Ok(*kernel), 1, Duration::ZERO),
         };
         self.slots[launch.slot].busy = false;
         let kernel = match joined {
@@ -656,6 +660,7 @@ impl<'scope, 'env, T: Scalar> BatchStream<'scope, 'env, T> {
             elapsed,
             kernel,
             dispatch: elapsed.saturating_sub(kernel),
+            wake,
             threads,
             strategy: self.core.strategy,
         };

@@ -49,6 +49,9 @@ pub struct JitSpmm<'a, T: Scalar> {
     /// active core starts at tier 0.
     pub(super) options: SpmmOptions,
     pub(super) threads: usize,
+    /// Soft NUMA placement hint stamped on every job this engine submits
+    /// (see [`SpmmOptions::numa_node`]); `None` = any worker.
+    pub(super) node: Option<usize>,
     /// The compiled state launches run against. Swapped atomically (as an
     /// `Arc`) by the tier layer while the launch lock is held, so any
     /// snapshot taken under a [`crate::engine::launch::LaunchGuard`] stays
@@ -159,6 +162,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
             d,
             options,
             threads,
+            node: options.numa_node,
             active: Mutex::new(Arc::new(core)),
             tier_state: options.tier.map(TierState::new),
             launch: Mutex::new(()),
@@ -252,6 +256,12 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
     /// The worker pool this engine executes on.
     pub fn pool(&self) -> &WorkerPool {
         &self.pool
+    }
+
+    /// The NUMA node this engine's launches prefer, if one was configured
+    /// (see [`SpmmOptions::numa_node`]).
+    pub fn numa_node(&self) -> Option<usize> {
+        self.node
     }
 
     /// The scheduling strategy of the currently active kernel; the serving

@@ -210,7 +210,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
             Arc::clone(&self.output_pool),
         );
         let job = KernelJob::new(&core.kernel, &core.partition.ranges, x.as_ptr(), y.as_mut_ptr());
-        let spec = job.spec(core.kernel.kind(), self.threads);
+        let spec = job.spec(core.kernel.kind(), self.threads).prefer_node(self.node);
         // Owned through `Box::into_raw`/`from_raw` rather than as a `Box`
         // field: workers hold a raw pointer to the payload, which moving a
         // box (with every move of the handle) would invalidate under the
@@ -271,7 +271,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         let guard = self.begin_launch(true)?;
         let core = self.active();
         let job = KernelJob::new(&core.kernel, &core.partition.ranges, x, y);
-        let spec = job.spec(core.kernel.kind(), self.threads);
+        let spec = job.spec(core.kernel.kind(), self.threads).prefer_node(self.node);
         // Owned through a raw pointer, exactly as in `execute_async`.
         let payload: *mut KernelJob<T> = Box::into_raw(Box::new(job));
         let start = Instant::now();
@@ -332,7 +332,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         // embeds, the caller checked the shapes, and rows are partitioned
         // disjointly across lanes (statically or via the dynamic counter,
         // reset under the held launch lock).
-        let kernel = unsafe {
+        let (kernel, wake) = unsafe {
             match core.kernel.kind() {
                 KernelKind::DynamicDispatch => dispatch::run_dynamic(
                     &self.pool,
@@ -340,6 +340,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
                     self.threads,
                     x.as_ptr(),
                     y.as_mut_ptr(),
+                    self.node,
                 ),
                 KernelKind::StaticRange => dispatch::run_static(
                     &self.pool,
@@ -348,6 +349,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
                     self.threads,
                     x.as_ptr(),
                     y.as_mut_ptr(),
+                    self.node,
                 ),
             }
         };
@@ -356,6 +358,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
             elapsed,
             kernel,
             dispatch: elapsed.saturating_sub(kernel),
+            wake,
             threads: self.threads,
             strategy: core.strategy,
         };
@@ -439,6 +442,9 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
             elapsed,
             kernel,
             dispatch: elapsed.saturating_sub(kernel),
+            // No pool handoff on the spawning path; thread-spawn cost shows
+            // up in `dispatch` as before.
+            wake: Duration::ZERO,
             threads: self.threads,
             strategy: core.strategy,
         })
@@ -481,6 +487,7 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
             elapsed,
             kernel: elapsed,
             dispatch: Duration::ZERO,
+            wake: Duration::ZERO,
             threads: 1,
             strategy: core.strategy,
         })
@@ -572,12 +579,18 @@ impl<T: Scalar> ExecutionHandle<'_, T> {
 
     /// Join the launch and assemble the report; shared by both wait paths.
     fn join(&mut self) -> ExecutionReport {
-        let kernel = self.job.take().expect("launch joined at most once").wait();
+        let mut job = self.job.take().expect("launch joined at most once");
+        let kernel = match job.try_wait() {
+            Ok(busy) => busy,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        let wake = job.wake();
         let elapsed = self.start.elapsed();
         ExecutionReport {
             elapsed,
             kernel,
             dispatch: elapsed.saturating_sub(kernel),
+            wake,
             threads: self.threads,
             strategy: self.strategy,
         }

@@ -29,6 +29,14 @@ pub struct SpmmOptions {
     /// launches justify the recompile (see [`crate::engine::tier`]); `None`
     /// (the default) compiles the requested configuration up front.
     pub tier: Option<TierPolicy>,
+    /// NUMA node this engine's launches prefer ([`crate::NumaTopology`]
+    /// node id). A **soft** placement hint: on a multi-node host, pool
+    /// workers pinned to this node claim the engine's jobs first, keeping
+    /// the kernel's matrix traffic on local memory; workers on other nodes
+    /// still pick the jobs up rather than idle. `None` (the default) lets
+    /// any worker claim, and on single-node hosts the hint is ignored
+    /// entirely.
+    pub numa_node: Option<usize>,
 }
 
 impl Default for SpmmOptions {
@@ -40,6 +48,7 @@ impl Default for SpmmOptions {
             ccm: true,
             listing: false,
             tier: None,
+            numa_node: None,
         }
     }
 }
@@ -113,6 +122,16 @@ impl JitSpmmBuilder {
     /// the serving-session integration.
     pub fn tiered(mut self, policy: TierPolicy) -> Self {
         self.options.tier = Some(policy);
+        self
+    }
+
+    /// Prefer scheduling this engine's launches on NUMA node `node` (see
+    /// [`SpmmOptions::numa_node`]). A soft hint — work-conserving claiming
+    /// means no worker ever idles to honor it — and a no-op on single-node
+    /// hosts. The sharded engine ([`crate::ShardedSpmm`]) sets this
+    /// automatically, spreading shards round-robin across detected nodes.
+    pub fn numa_node(mut self, node: usize) -> Self {
+        self.options.numa_node = Some(node);
         self
     }
 

@@ -20,6 +20,13 @@ pub struct ExecutionReport {
     /// worker wake-up and join. With the persistent pool this is a few
     /// microseconds, where spawn-per-call paid tens per execution.
     pub dispatch: Duration,
+    /// The wake (handoff) component of `dispatch`: time from the launch's
+    /// enqueue until the first participant claimed a task — the cost of
+    /// getting a parked worker onto the job (futex or condvar, see
+    /// [`crate::WakeSlot`]). Zero for launches that ran inline on the
+    /// calling thread (single-thread engines, zero-worker pools, sequential
+    /// batch fast path), where no handoff happens at all.
+    pub wake: Duration,
     /// Number of worker lanes used.
     pub threads: usize,
     /// Strategy used.
@@ -73,6 +80,11 @@ pub struct BatchReport {
     pub dispatch_p50: Duration,
     /// 99th-percentile per-input dispatch time.
     pub dispatch_p99: Duration,
+    /// Median per-input wake (handoff) time — the enqueue→first-claim
+    /// component of dispatch (see [`ExecutionReport::wake`]).
+    pub wake_p50: Duration,
+    /// 99th-percentile per-input wake time.
+    pub wake_p99: Duration,
 }
 
 impl BatchReport {
@@ -114,6 +126,7 @@ pub(super) const MAX_BATCH_SAMPLES: usize = 4096;
 pub(crate) struct BatchStats {
     kernel: Vec<Duration>,
     dispatch: Vec<Duration>,
+    wake: Vec<Duration>,
     /// Exact number of inputs recorded (the reservoir may hold fewer).
     pub(crate) count: usize,
     kernel_total: Duration,
@@ -129,6 +142,7 @@ impl BatchStats {
         if self.kernel.len() < MAX_BATCH_SAMPLES {
             self.kernel.push(report.kernel);
             self.dispatch.push(report.dispatch);
+            self.wake.push(report.wake);
             return;
         }
         // Algorithm R: the i-th input replaces a uniformly drawn reservoir
@@ -138,6 +152,7 @@ impl BatchStats {
         if slot < MAX_BATCH_SAMPLES {
             self.kernel[slot] = report.kernel;
             self.dispatch[slot] = report.dispatch;
+            self.wake[slot] = report.wake;
         }
     }
 
@@ -158,6 +173,7 @@ impl BatchStats {
     ) -> BatchReport {
         self.kernel.sort_unstable();
         self.dispatch.sort_unstable();
+        self.wake.sort_unstable();
         BatchReport {
             inputs: self.count,
             elapsed,
@@ -171,6 +187,8 @@ impl BatchStats {
             kernel_p99: percentile(&self.kernel, 99.0),
             dispatch_p50: percentile(&self.dispatch, 50.0),
             dispatch_p99: percentile(&self.dispatch, 99.0),
+            wake_p50: percentile(&self.wake, 50.0),
+            wake_p99: percentile(&self.wake, 99.0),
         }
     }
 }
@@ -192,6 +210,7 @@ mod tests {
                 elapsed: kernel * 2,
                 kernel,
                 dispatch: kernel,
+                wake: kernel / 2,
                 threads: 1,
                 strategy: Strategy::RowSplitStatic,
             });
@@ -203,6 +222,8 @@ mod tests {
         assert_eq!(report.inputs, total);
         assert!(report.kernel_p50 <= report.kernel_p99);
         assert!(report.kernel_p99 <= Duration::from_nanos(total as u64));
+        assert!(report.wake_p50 <= report.wake_p99);
+        assert!(report.wake_p99 <= report.dispatch_p99);
     }
 
     #[test]
@@ -231,6 +252,8 @@ mod tests {
             kernel_p99: Duration::ZERO,
             dispatch_p50: Duration::ZERO,
             dispatch_p99: Duration::ZERO,
+            wake_p50: Duration::ZERO,
+            wake_p99: Duration::ZERO,
         }
     }
 

@@ -240,7 +240,11 @@
 //! imbalance), picks a workload-division strategy *per shard* to match its
 //! local sparsity (uniform shards go static, skewed shards get the dynamic
 //! claim loop), and compiles one engine per shard on a shared pool
-//! ([`shard::ShardedSpmm`]). Execution launches every shard as an
+//! ([`shard::ShardedSpmm`]). Sharding is **zero-copy**: each shard matrix
+//! is a [`CsrMatrix::share_rows`] view aliasing the parent's
+//! `col_indices`/`values` buffers, materializing only a rebased `row_ptr`
+//! (O(rows) per shard) — a plan over a billion-nonzero matrix weighs
+//! kilobytes, not gigabytes. Execution launches every shard as an
 //! overlapped lane-capped job — each kernel writing directly into its row
 //! range of one pooled full-height output — and
 //! [`shard::ShardedSpmm::execute_batch`] pipelines whole batches through
@@ -291,6 +295,25 @@
 //! # }
 //! ```
 //!
+//! # Memory locality: NUMA placement and the futex wake path
+//!
+//! SpMM is memory-bound, so the runtime fights for locality on two fronts.
+//! On multi-socket hosts the pool detects the NUMA topology from sysfs
+//! ([`NumaTopology::detect`] — single-node fallback everywhere else), pins
+//! workers round-robin across nodes, and honors a **soft node preference**
+//! per job: [`JitSpmmBuilder::numa_node`] stamps it on an engine's
+//! launches, and [`shard::ShardedSpmm`] assigns shards contiguously across
+//! nodes automatically, first-touching each shard's rows of a fresh output
+//! on its node so kernel, CSR slice and output pages share a memory
+//! controller. Preferences never idle a worker: claiming stays
+//! work-conserving, so a mismatched job is still picked up when nothing
+//! local is queued. Independently, the park/wake handoff between submitters
+//! and workers runs on raw futex words on Linux ([`WakeSlot`], a condvar
+//! fallback elsewhere via `--no-default-features`), and every
+//! [`ExecutionReport`] exposes the measured handoff as
+//! [`ExecutionReport::wake`] (p50/p99 in [`BatchReport`]) so the dispatch
+//! tail is attributable per launch, not just in benchmarks.
+//!
 //! # Architecture map
 //!
 //! ```text
@@ -314,7 +337,9 @@
 //! │   ├── stream         ShardedStream: lockstep pipelined shard batches
 //! │   └── report         ShardReport (per-shard + merged critical path)
 //! ├── runtime/           persistent execution substrate
-//! │   ├── pool           WorkerPool: FIFO job queue, lane caps, scopes
+//! │   ├── pool           WorkerPool: FIFO job queue, lane caps, scopes, node claiming
+//! │   ├── wake           WakeSlot: futex wake path (condvar fallback)
+//! │   ├── numa           NumaTopology: sysfs detection, worker pinning
 //! │   └── dispatch       KernelJob, LaunchPayload slots, BufferPool
 //! ├── schedule           workload-division strategies and partitioning
 //! ├── tiling             coarse-grain column merging register allocation
@@ -323,9 +348,11 @@
 //! └── profile            hardware-event models, emulator-based measurement
 //! ```
 //!
-//! The sparse/dense containers live in [`jitspmm_sparse`], the runtime
-//! assembler in [`jitspmm_asm`], and the profiling emulator in
-//! [`jitspmm_emu`]; all three are re-exported for convenience.
+//! The sparse/dense containers live in [`jitspmm_sparse`] (whose
+//! `CsrStorage` backs the owned-or-borrowed nnz arrays behind
+//! [`CsrMatrix::share_rows`]), the runtime assembler in [`jitspmm_asm`],
+//! and the profiling emulator in [`jitspmm_emu`]; all three are re-exported
+//! for convenience.
 
 #![deny(missing_docs)]
 
@@ -349,7 +376,10 @@ pub use engine::{
 pub use error::JitSpmmError;
 pub use kernel::{CompiledKernel, KernelKind, KernelMeta};
 pub use profile::ProfileCounts;
-pub use runtime::{JobHandle, JobSpec, PoolScope, PooledMatrix, ScopedJobHandle, WorkerPool};
+pub use runtime::{
+    JobHandle, JobSpec, NumaNode, NumaTopology, PoolScope, PooledMatrix, ScopedJobHandle, WakeSlot,
+    WorkerPool,
+};
 pub use schedule::{DynamicCounter, Partition, RowRange, Strategy};
 pub use serve::{
     AdmissionPolicy, ControlHandle, EngineStatus, RecvTimeout, RejectReason, ReorderBuffer,

@@ -173,7 +173,8 @@ impl<T: Scalar> Drop for LaunchPayload<T> {
 /// Dispatch a static-range kernel over the pool: one task per partition
 /// range, each invoking `fn(row_start, row_end, x, y)` on the compiled code,
 /// capped to `lanes` workers. Returns the job's critical-path (max
-/// per-participant) kernel time.
+/// per-participant) kernel time and its wake (enqueue→first-claim handoff)
+/// latency — zero when the job ran inline.
 ///
 /// # Safety
 ///
@@ -187,9 +188,10 @@ pub(crate) unsafe fn run_static<T: Scalar>(
     lanes: usize,
     x: *const T,
     y: *mut T,
-) -> Duration {
+    node: Option<usize>,
+) -> (Duration, Duration) {
     let job = KernelJob::new(kernel, ranges, x, y);
-    pool.run_spec(job.spec(KernelKind::StaticRange, lanes), &|index| {
+    pool.run_spec_timed(job.spec(KernelKind::StaticRange, lanes).prefer_node(node), &|index| {
         // SAFETY: forwarded from the caller's contract.
         unsafe { job.run(index) };
     })
@@ -197,7 +199,8 @@ pub(crate) unsafe fn run_static<T: Scalar>(
 
 /// Dispatch a dynamic-dispatch kernel over the pool: `lanes` identical tasks
 /// each running the kernel's embedded `lock xadd` claim loop until the rows
-/// are exhausted. Returns the job's critical-path kernel time.
+/// are exhausted. Returns the job's critical-path kernel time and wake
+/// latency, as [`run_static`].
 ///
 /// # Safety
 ///
@@ -209,9 +212,10 @@ pub(crate) unsafe fn run_dynamic<T: Scalar>(
     lanes: usize,
     x: *const T,
     y: *mut T,
-) -> Duration {
+    node: Option<usize>,
+) -> (Duration, Duration) {
     let job = KernelJob::new(kernel, &[], x, y);
-    pool.run_spec(job.spec(KernelKind::DynamicDispatch, lanes), &|index| {
+    pool.run_spec_timed(job.spec(KernelKind::DynamicDispatch, lanes).prefer_node(node), &|index| {
         // SAFETY: forwarded from the caller's contract.
         unsafe { job.run(index) };
     })
@@ -270,17 +274,28 @@ impl<T: Scalar> BufferPool<T> {
     /// unspecified (stale values from a previous execution); the caller must
     /// overwrite every element before exposing them.
     pub(crate) fn acquire(&self, rows: usize, cols: usize) -> DenseMatrix<T> {
+        self.acquire_tracked(rows, cols).0
+    }
+
+    /// As [`BufferPool::acquire`], additionally reporting whether the buffer
+    /// was freshly allocated (`true`) rather than recycled. A fresh zeroed
+    /// allocation's pages typically come from the allocator unmapped (zero
+    /// pages, faulted in on first write), so the caller can still decide
+    /// *which thread* first touches — and thereby NUMA-places — each row
+    /// range; a recycled buffer keeps whatever placement its first touch
+    /// established.
+    pub(crate) fn acquire_tracked(&self, rows: usize, cols: usize) -> (DenseMatrix<T>, bool) {
         let len = rows * cols;
         let mut free = lock(&self.free);
         while let Some(buffer) = free.pop() {
             if buffer.len() == len {
-                return DenseMatrix::from_vec(rows, cols, buffer);
+                return (DenseMatrix::from_vec(rows, cols, buffer), false);
             }
             // Shape changed (possible only if the pool is shared across
             // engines in the future); discard mismatched buffers.
         }
         drop(free);
-        DenseMatrix::from_vec(rows, cols, vec![T::ZERO; len])
+        (DenseMatrix::from_vec(rows, cols, vec![T::ZERO; len]), true)
     }
 
     fn release(&self, buffer: Vec<T>) {

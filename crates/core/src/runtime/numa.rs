@@ -1,0 +1,220 @@
+//! NUMA topology detection and thread pinning — no external dependencies.
+//!
+//! The shard engine splits large matrices across per-shard engines; on a
+//! multi-socket host the wins evaporate if a shard's JIT kernel runs on one
+//! node while its CSR arrays and output rows live on another. This module
+//! gives the pool just enough placement machinery to keep them together:
+//!
+//! * [`NumaTopology::detect`] parses `/sys/devices/system/node/node*/cpulist`
+//!   once per process. Hosts without that sysfs tree (non-Linux, containers
+//!   with masked sysfs, single-node machines) fall back to one node holding
+//!   every CPU — on such hosts the pool skips pinning entirely and behaves
+//!   exactly as before.
+//! * `pin_current_thread` restricts the calling thread to a CPU set via a
+//!   raw `sched_setaffinity` syscall (Linux x86_64; a no-op elsewhere).
+//!   Pinning is best-effort: a failed syscall only costs locality, never
+//!   correctness.
+//!
+//! Placement policy lives with the callers: the pool pins worker `i` to node
+//! `i % nodes` (only when there is more than one node), and the shard engine
+//! tags each shard's jobs with a preferred node so its lanes, first-touched
+//! output rows, and borrowed CSR slices stay resident together.
+
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// One NUMA node: its sysfs id and the CPUs it owns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumaNode {
+    /// Node id as named by sysfs (`nodeN`).
+    pub id: usize,
+    /// CPU numbers local to this node, sorted ascending.
+    pub cpus: Vec<usize>,
+}
+
+/// The host's NUMA layout. Obtain via [`NumaTopology::detect`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumaTopology {
+    nodes: Vec<NumaNode>,
+}
+
+impl NumaTopology {
+    /// The process-wide topology, probed once and cached.
+    pub fn detect() -> &'static NumaTopology {
+        static TOPOLOGY: OnceLock<NumaTopology> = OnceLock::new();
+        TOPOLOGY.get_or_init(|| {
+            NumaTopology::from_sysfs(Path::new("/sys/devices/system/node"))
+                .unwrap_or_else(NumaTopology::single_node)
+        })
+    }
+
+    /// All nodes, sorted by id. Never empty.
+    pub fn nodes(&self) -> &[NumaNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes (>= 1).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether placement can matter at all on this host.
+    pub fn is_multi_node(&self) -> bool {
+        self.nodes.len() > 1
+    }
+
+    /// Parse a sysfs node directory. `None` when the tree is absent or holds
+    /// no usable `node*/cpulist` entries, in which case the caller falls
+    /// back to [`NumaTopology::single_node`].
+    fn from_sysfs(root: &Path) -> Option<NumaTopology> {
+        let entries = std::fs::read_dir(root).ok()?;
+        let mut nodes = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(id) = name.strip_prefix("node").and_then(|s| s.parse::<usize>().ok()) else {
+                continue;
+            };
+            let Ok(cpulist) = std::fs::read_to_string(entry.path().join("cpulist")) else {
+                continue;
+            };
+            let cpus = parse_cpulist(&cpulist);
+            if !cpus.is_empty() {
+                nodes.push(NumaNode { id, cpus });
+            }
+        }
+        if nodes.is_empty() {
+            return None;
+        }
+        nodes.sort_by_key(|node| node.id);
+        Some(NumaTopology { nodes })
+    }
+
+    /// Fallback topology: one node owning every CPU the pool would use.
+    fn single_node() -> NumaTopology {
+        let cpus = (0..std::thread::available_parallelism().map_or(1, usize::from)).collect();
+        NumaTopology { nodes: vec![NumaNode { id: 0, cpus }] }
+    }
+}
+
+/// Parse the kernel's cpulist format: comma-separated entries that are
+/// either a bare CPU number (`7`) or an inclusive range (`0-3`). Malformed
+/// entries are skipped — a partial CPU set still beats no pinning.
+fn parse_cpulist(list: &str) -> Vec<usize> {
+    let mut cpus = Vec::new();
+    for entry in list.trim().split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = entry.split_once('-') {
+            if let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) {
+                cpus.extend(lo..=hi);
+            }
+        } else if let Ok(cpu) = entry.parse::<usize>() {
+            cpus.push(cpu);
+        }
+    }
+    cpus.sort_unstable();
+    cpus.dedup();
+    cpus
+}
+
+/// Restrict the calling thread to `cpus` via `sched_setaffinity(0, ...)`.
+/// Best-effort: failures (and CPUs >= 1024) are ignored — an unpinned
+/// worker still computes correct results, it just loses locality. No-op on
+/// non-Linux-x86_64 targets and for an empty CPU set.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub(crate) fn pin_current_thread(cpus: &[usize]) {
+    const SYS_SCHED_SETAFFINITY: i64 = 203;
+    // 1024-bit mask, the kernel's conventional cpu_set_t size.
+    let mut mask = [0u64; 16];
+    let mut any = false;
+    for &cpu in cpus {
+        if cpu < mask.len() * 64 {
+            mask[cpu / 64] |= 1 << (cpu % 64);
+            any = true;
+        }
+    }
+    if !any {
+        return;
+    }
+    let ret: i64;
+    // SAFETY: x86_64 Linux syscall ABI; sched_setaffinity(pid=0 → calling
+    // thread, size in bytes, pointer to the mask). The mask outlives the
+    // call; rcx/r11 are clobbered by `syscall`.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_SCHED_SETAFFINITY => ret,
+            in("rdi") 0u64,
+            in("rsi") std::mem::size_of_val(&mask),
+            in("rdx") mask.as_ptr(),
+            out("rcx") _,
+            out("r11") _,
+            options(nostack),
+        );
+    }
+    let _ = ret; // best-effort: a failed pin only loses locality
+}
+
+/// Non-Linux / non-x86_64 stub: pinning is unavailable, correctness is
+/// unaffected.
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+pub(crate) fn pin_current_thread(_cpus: &[usize]) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpulist_parses_ranges_singles_and_junk() {
+        assert_eq!(parse_cpulist("0-3,8-11\n"), vec![0, 1, 2, 3, 8, 9, 10, 11]);
+        assert_eq!(parse_cpulist("7"), vec![7]);
+        assert_eq!(parse_cpulist(" 2 , 0 - 1 "), vec![0, 1, 2]);
+        assert_eq!(parse_cpulist("3,1-2,2-3"), vec![1, 2, 3]);
+        assert_eq!(parse_cpulist(""), Vec::<usize>::new());
+        assert_eq!(parse_cpulist("x,4,-,5-"), vec![4]);
+    }
+
+    #[test]
+    fn detect_always_yields_at_least_one_node_with_cpus() {
+        let topology = NumaTopology::detect();
+        assert!(!topology.nodes().is_empty());
+        for node in topology.nodes() {
+            assert!(!node.cpus.is_empty());
+        }
+        assert_eq!(topology.is_multi_node(), topology.num_nodes() > 1);
+    }
+
+    #[test]
+    fn sysfs_parse_reads_node_directories() {
+        let root = std::env::temp_dir().join(format!("jitspmm-numa-test-{}", std::process::id()));
+        let make = |name: &str, cpulist: &str| {
+            let dir = root.join(name);
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(dir.join("cpulist"), cpulist).unwrap();
+        };
+        make("node1", "4-7");
+        make("node0", "0-3");
+        std::fs::create_dir_all(root.join("possible")).unwrap(); // non-node entry: ignored
+
+        let topology = NumaTopology::from_sysfs(&root).unwrap();
+        assert_eq!(topology.num_nodes(), 2);
+        assert_eq!(topology.nodes()[0], NumaNode { id: 0, cpus: vec![0, 1, 2, 3] });
+        assert_eq!(topology.nodes()[1], NumaNode { id: 1, cpus: vec![4, 5, 6, 7] });
+
+        std::fs::remove_dir_all(&root).unwrap();
+        assert!(NumaTopology::from_sysfs(&root).is_none());
+    }
+
+    #[test]
+    fn pinning_to_all_cpus_is_harmless() {
+        // Pin to the full set of the first node — a superset of wherever we
+        // already run on single-node hosts, so this must never break the
+        // thread. Purely exercises the syscall path.
+        let node = &NumaTopology::detect().nodes()[0];
+        pin_current_thread(&node.cpus);
+        pin_current_thread(&[]);
+    }
+}

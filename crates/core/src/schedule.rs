@@ -134,7 +134,7 @@ impl Partition {
     /// The largest number of non-zeros assigned to any single range —
     /// the quantity whose imbalance row-split suffers from (§IV.B.1).
     pub fn max_nnz<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> u64 {
-        self.ranges.iter().map(|r| r.nnz_in(matrix)).max().unwrap_or(0)
+        max_nnz_of(&self.ranges, matrix)
     }
 
     /// Ratio between the heaviest range and the average, by non-zero count.
@@ -146,12 +146,25 @@ impl Partition {
     /// large). An empty matrix or empty partition has nothing to balance and
     /// reports 1.0 explicitly.
     pub fn nnz_imbalance<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> f64 {
-        if matrix.nnz() == 0 || self.ranges.is_empty() {
-            return 1.0;
-        }
-        let avg = matrix.nnz() as f64 / self.ranges.len() as f64;
-        self.max_nnz(matrix) as f64 / avg
+        nnz_imbalance_of(&self.ranges, matrix)
     }
+}
+
+/// [`Partition::max_nnz`] on a borrowed slice of ranges, so callers that
+/// hold a `Vec<RowRange>` (the shard planner) don't need to clone it into a
+/// `Partition` just to measure it.
+pub fn max_nnz_of<T: Scalar>(ranges: &[RowRange], matrix: &CsrMatrix<T>) -> u64 {
+    ranges.iter().map(|r| r.nnz_in(matrix)).max().unwrap_or(0)
+}
+
+/// [`Partition::nnz_imbalance`] on a borrowed slice of ranges (same metric,
+/// same degenerate-case guards — see the method docs).
+pub fn nnz_imbalance_of<T: Scalar>(ranges: &[RowRange], matrix: &CsrMatrix<T>) -> f64 {
+    if matrix.nnz() == 0 || ranges.is_empty() {
+        return 1.0;
+    }
+    let avg = matrix.nnz() as f64 / ranges.len() as f64;
+    max_nnz_of(ranges, matrix) as f64 / avg
 }
 
 /// Row-split: contiguous blocks of `ceil(nrows / threads)` rows.
@@ -423,6 +436,18 @@ mod tests {
         let p = partition_row_split(&m, 4);
         assert!(p.max_nnz(&m) > 0);
         assert!(p.nnz_imbalance(&m) >= 1.0);
+    }
+
+    #[test]
+    fn borrowed_imbalance_helpers_match_partition_methods() {
+        let m = skewed();
+        let p = partition_row_split(&m, 4);
+        assert_eq!(max_nnz_of(&p.ranges, &m), p.max_nnz(&m));
+        assert_eq!(nnz_imbalance_of(&p.ranges, &m), p.nnz_imbalance(&m));
+        // Same degenerate guards as the methods.
+        assert_eq!(nnz_imbalance_of(&[], &m), 1.0);
+        let empty = CsrMatrix::<f32>::zeros(4, 4);
+        assert_eq!(nnz_imbalance_of(&partition_row_split(&empty, 2).ranges, &empty), 1.0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use crate::engine::{ExecutionHandle, JitSpmm, JitSpmmBuilder, KernelTier, TierPolicy};
 use crate::error::JitSpmmError;
 use crate::runtime::dispatch::BufferPool;
-use crate::runtime::{PoolScope, PooledMatrix, WorkerPool};
+use crate::runtime::{JobSpec, NumaTopology, PoolScope, PooledMatrix, WorkerPool};
 use crate::schedule::Strategy;
 use crate::shard::plan::ShardPlan;
 use crate::shard::report::{merge_input_reports, single_launch_report, ShardReport};
@@ -111,16 +111,28 @@ impl<'a, T: Scalar> ShardedSpmm<'a, T> {
         pool: WorkerPool,
         tier: Option<TierPolicy>,
     ) -> Result<ShardedSpmm<'a, T>, JitSpmmError> {
+        // On a multi-node host, spread shards contiguously across NUMA nodes
+        // (shard k of K prefers node k*N/K): shards are row-contiguous, so
+        // contiguous assignment keeps each node's workers walking one
+        // locality-coherent slice of the matrix. A soft hint only — claiming
+        // stays work-conserving — and absent entirely on single-node hosts.
+        let topology = NumaTopology::detect();
+        let nodes = topology.is_multi_node().then(|| topology.num_nodes());
+        let shard_count = plan.shards().len();
         let engines: Vec<JitSpmm<'a, T>> = plan
             .shards()
             .iter()
-            .map(|spec| {
+            .enumerate()
+            .map(|(k, spec)| {
                 let mut builder = JitSpmmBuilder::new()
                     .pool(pool.clone())
                     .threads(plan.lanes())
                     .strategy(spec.strategy);
                 if let Some(policy) = tier {
                     builder = builder.tiered(policy);
+                }
+                if let Some(n) = nodes {
+                    builder = builder.numa_node(k * n / shard_count.max(1));
                 }
                 builder.build(&spec.matrix, d)
             })
@@ -357,12 +369,60 @@ impl<'a, T: Scalar> ShardedSpmm<'a, T> {
     }
 
     /// A full-height (`plan.nrows() x d`) output borrowed from the sharded
-    /// engine's own buffer pool.
+    /// engine's own buffer pool. Freshly allocated buffers get first-touch
+    /// NUMA placement (see [`ShardedSpmm::place_output_rows`]); recycled
+    /// buffers keep the placement their first touch established.
     pub(crate) fn acquire_output(&self) -> PooledMatrix<T> {
-        PooledMatrix::new(
-            self.output_pool.acquire(self.plan.nrows(), self.d),
-            Arc::clone(&self.output_pool),
-        )
+        let (matrix, fresh) = self.output_pool.acquire_tracked(self.plan.nrows(), self.d);
+        let mut y = PooledMatrix::new(matrix, Arc::clone(&self.output_pool));
+        if fresh {
+            self.place_output_rows(&mut y);
+        }
+        y
+    }
+
+    /// First-touch placement of a freshly allocated full-height output: each
+    /// shard's row range is zero-written by a pool job preferring that
+    /// shard's node, so the backing pages fault in on the memory node whose
+    /// workers will write (and whose CSR slice feeds) those rows. Runs only
+    /// when the shard engines carry node hints — i.e. on multi-node hosts —
+    /// and only once per buffer. Best-effort by design: claiming stays
+    /// work-conserving, so under load a range may be touched from another
+    /// node; that costs remote-access latency on those pages, never
+    /// correctness.
+    fn place_output_rows(&self, y: &mut PooledMatrix<T>) {
+        if self.engines.iter().all(|e| e.numa_node().is_none()) {
+            return;
+        }
+        let base = y.as_mut_ptr() as usize;
+        let d = self.d;
+        let handles: Vec<_> = self
+            .plan
+            .shards()
+            .iter()
+            .zip(&self.engines)
+            .map(|(spec, engine)| {
+                let rows = spec.rows;
+                let touch = move |_lane: usize| {
+                    // SAFETY: `base` points at the start of the full
+                    // `nrows x d` output, which the caller holds (mutably
+                    // borrowed) across the joins below; shard row ranges lie
+                    // inside `0..nrows` and are pairwise disjoint, so no two
+                    // touch jobs alias.
+                    let slice = unsafe {
+                        std::slice::from_raw_parts_mut(
+                            (base as *mut T).add(rows.start * d),
+                            rows.len() * d,
+                        )
+                    };
+                    slice.fill(T::ZERO);
+                };
+                self.pool.submit(JobSpec::new(1).prefer_node(engine.numa_node()), touch)
+            })
+            .collect();
+        for handle in handles {
+            handle.wait();
+        }
     }
 
     /// Grow the retained full-height output bound, as

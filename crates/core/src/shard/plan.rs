@@ -3,7 +3,9 @@
 //! shard to match its local sparsity.
 
 use crate::error::JitSpmmError;
-use crate::schedule::{partition_nnz_split, partition_row_split, Partition, RowRange, Strategy};
+use crate::schedule::{
+    nnz_imbalance_of, partition_nnz_split, partition_row_split, RowRange, Strategy,
+};
 use jitspmm_sparse::{CsrMatrix, Scalar};
 
 /// Row-split imbalance above which a shard is considered *skewed* and gets
@@ -24,6 +26,10 @@ pub struct ShardSpec<T: Scalar> {
     /// of this matrix is row `rows.start + r` of the full matrix, with the
     /// same non-zeros in the same order — so a kernel compiled against it
     /// produces bit-identical rows.
+    ///
+    /// A **zero-copy view** ([`CsrMatrix::share_rows`]): its
+    /// `col_indices`/`values` alias the parent matrix's buffers, and only
+    /// the rebased `row_ptr` is materialized.
     pub matrix: CsrMatrix<T>,
     /// The strategy the planner chose: static row-split for shards whose
     /// rows are evenly loaded, the dynamic claim loop for skewed ones.
@@ -93,8 +99,9 @@ impl<T: Scalar> ShardPlan<T> {
     }
 
     /// The achieved balance: heaviest shard's non-zeros over the average
-    /// (1.0 is perfect). Computed with [`Partition::nnz_imbalance`], the
-    /// same metric the workload-division layer reports.
+    /// (1.0 is perfect). Computed with
+    /// [`nnz_imbalance_of`](crate::schedule::nnz_imbalance_of), the same
+    /// metric the workload-division layer reports.
     pub fn nnz_imbalance(&self) -> f64 {
         self.imbalance
     }
@@ -115,13 +122,14 @@ impl<T: Scalar> ShardPlan<T> {
 /// whose static split would exceed a 1.25x non-zero imbalance take the
 /// dynamic claim loop.
 ///
-/// The plan **owns copies** of the shard sub-matrices (each shard's
-/// `row_ptr` must be rebased, and the engine embeds the shard arrays' base
-/// addresses in generated code), so planning costs one extra copy of the
-/// matrix's non-zero arrays, spread across the shards, for the plan's
-/// lifetime. Sharing the parent's `col_indices`/`values` slices instead
-/// would need borrowed-storage CSR support in `jitspmm_sparse` — a
-/// recorded follow-up, not done here.
+/// Shard sub-matrices are **zero-copy views** of the parent
+/// ([`CsrMatrix::share_rows`]): each shard's `col_indices`/`values` alias
+/// the parent's shared buffers — the plan keeps those buffers alive via
+/// reference counts, without the caller's `&matrix` borrow — and only the
+/// rebased `row_ptr` (one `u64` per shard row) is materialized. Planning is
+/// therefore O(rows) extra memory instead of doubling resident non-zero
+/// data, and the shard arrays' base addresses the engines embed in
+/// generated code point straight into the parent's (node-placeable) pages.
 ///
 /// # Errors
 ///
@@ -167,7 +175,7 @@ pub fn plan_shards<T: Scalar>(
         .map(|w| RowRange { start: w[0], end: w[1] })
         .filter(|r| !r.is_empty())
         .collect();
-    let imbalance = Partition { ranges: ranges.clone() }.nnz_imbalance(matrix);
+    let imbalance = nnz_imbalance_of(&ranges, matrix);
     let shards = ranges
         .into_iter()
         .map(|rows| {
@@ -186,24 +194,12 @@ pub fn plan_shards<T: Scalar>(
     })
 }
 
-/// Extract rows `rows.start..rows.end` of `matrix` as a standalone CSR with
-/// rebased row pointers. Column indices and values are copied verbatim, in
-/// order, so per-row arithmetic against the extracted matrix is
-/// bit-identical to the full one.
+/// Extract rows `rows.start..rows.end` of `matrix` as a zero-copy view with
+/// rebased row pointers ([`CsrMatrix::share_rows`]). Column indices and
+/// values alias the parent's buffers verbatim, in order, so per-row
+/// arithmetic against the extracted matrix is bit-identical to the full one.
 fn extract<T: Scalar>(matrix: &CsrMatrix<T>, rows: RowRange) -> CsrMatrix<T> {
-    let row_ptr = matrix.row_ptr();
-    let base = row_ptr[rows.start];
-    let sub_ptr: Vec<u64> = row_ptr[rows.start..=rows.end].iter().map(|p| p - base).collect();
-    let lo = base as usize;
-    let hi = row_ptr[rows.end] as usize;
-    CsrMatrix::from_raw_parts(
-        rows.len(),
-        matrix.ncols(),
-        sub_ptr,
-        matrix.col_indices()[lo..hi].to_vec(),
-        matrix.values()[lo..hi].to_vec(),
-    )
-    .expect("a row slice of a valid CSR is a valid CSR")
+    matrix.share_rows(rows.start, rows.end)
 }
 
 /// The per-shard strategy heuristic: judge how far a static row-split at
@@ -313,6 +309,35 @@ mod tests {
         // At one lane there is nothing to balance: always static.
         let plan = plan_shards(&skewed, 1, 1).unwrap();
         assert_eq!(plan.shards()[0].strategy, Strategy::RowSplitStatic);
+    }
+
+    #[test]
+    fn shard_plans_hold_no_copied_nnz_arrays() {
+        // The zero-copy guarantee this module documents: every shard's
+        // col_indices/values alias the parent's shared buffers at exactly
+        // the parent's element addresses — no nnz data was copied.
+        let m = generate::rmat::<f32>(10, 20_000, generate::RmatConfig::GRAPH500, 11);
+        let plan = plan_shards(&m, 4, 2).unwrap();
+        for shard in plan.shards() {
+            assert!(shard.matrix.shares_storage_with(&m));
+            let lo = m.row_ptr()[shard.rows.start] as usize;
+            assert_eq!(shard.matrix.col_indices().as_ptr(), m.col_indices()[lo..].as_ptr());
+            assert_eq!(shard.matrix.values().as_ptr(), m.values()[lo..].as_ptr());
+        }
+    }
+
+    #[test]
+    fn plan_keeps_shared_buffers_alive_without_the_parent_borrow() {
+        // The plan's reference counts — not the caller's `&matrix` borrow —
+        // keep the nnz buffers alive: the parent can be dropped while the
+        // plan (and the engines compiled against its shard views) lives on.
+        let m = generate::uniform::<f32>(300, 200, 4_000, 9);
+        let expected: Vec<f32> = m.values().to_vec();
+        let plan = plan_shards(&m, 3, 2).unwrap();
+        drop(m);
+        let collected: Vec<f32> =
+            plan.shards().iter().flat_map(|s| s.matrix.values().iter().copied()).collect();
+        assert_eq!(collected, expected);
     }
 
     #[test]

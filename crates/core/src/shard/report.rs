@@ -72,6 +72,9 @@ pub(crate) fn merge_input_reports(reports: &[ExecutionReport]) -> ExecutionRepor
         elapsed,
         kernel,
         dispatch: elapsed.saturating_sub(kernel),
+        // The input's handoff is not over until the slowest shard's worker
+        // has picked its job up.
+        wake: reports.iter().map(|r| r.wake).max().unwrap_or_default(),
         threads: reports.iter().map(|r| r.threads).sum(),
         strategy: critical.strategy,
     }
@@ -95,6 +98,8 @@ pub(crate) fn single_launch_report(report: &ExecutionReport, depth: usize) -> Ba
         kernel_p99: report.kernel,
         dispatch_p50: report.dispatch,
         dispatch_p99: report.dispatch,
+        wake_p50: report.wake,
+        wake_p99: report.wake,
     }
 }
 
@@ -115,6 +120,7 @@ mod tests {
             elapsed,
             kernel,
             dispatch: elapsed.saturating_sub(kernel),
+            wake: Duration::from_millis(kernel_ms.min(1)),
             threads,
             strategy,
         }

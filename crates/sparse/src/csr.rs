@@ -3,6 +3,7 @@
 use crate::dense::DenseMatrix;
 use crate::error::SparseError;
 use crate::scalar::Scalar;
+use crate::storage::CsrStorage;
 
 /// A sparse matrix in Compressed Sparse Row format.
 ///
@@ -17,6 +18,15 @@ use crate::scalar::Scalar;
 /// 32-bit move) and row pointers are `u64`, matching the layout the code
 /// generator bakes into the emitted instructions.
 ///
+/// The non-zero arrays live in shared storage ([`CsrStorage`]): cloning a
+/// matrix bumps reference counts instead of copying non-zeros, and
+/// [`CsrMatrix::share_rows`] hands out a zero-copy row-range *view* whose
+/// `col_indices`/`values` alias the parent's buffers — only the rebased
+/// `row_ptr` (one `u64` per view row) is materialized. Non-zero arrays are
+/// immutable for a matrix's lifetime, so sharing is invisible to every
+/// consumer; element addresses are stable, which the JIT code generator
+/// relies on when it embeds them into emitted instructions.
+///
 /// # Example
 ///
 /// ```
@@ -27,13 +37,38 @@ use crate::scalar::Scalar;
 /// assert_eq!(m.get(1, 2), Some(5.0));
 /// assert_eq!(m.get(1, 1), None);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct CsrMatrix<T> {
     nrows: usize,
     ncols: usize,
     row_ptr: Vec<u64>,
-    col_indices: Vec<u32>,
-    values: Vec<T>,
+    storage: CsrStorage<T>,
+}
+
+/// Structural equality on the visible window: two matrices are equal when
+/// their shapes, row pointers and (windowed) non-zeros agree — a zero-copy
+/// view equals the owned copy of the same rows.
+impl<T: PartialEq> PartialEq for CsrMatrix<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.row_ptr == other.row_ptr
+            && self.storage.col_indices() == other.storage.col_indices()
+            && self.storage.values() == other.storage.values()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for CsrMatrix<T> {
+    /// Prints a view's own window, never the parent's whole buffers.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsrMatrix")
+            .field("nrows", &self.nrows)
+            .field("ncols", &self.ncols)
+            .field("row_ptr", &self.row_ptr)
+            .field("col_indices", &self.storage.col_indices())
+            .field("values", &self.storage.values())
+            .finish()
+    }
 }
 
 impl<T: Scalar> CsrMatrix<T> {
@@ -98,7 +133,12 @@ impl<T: Scalar> CsrMatrix<T> {
                 }
             }
         }
-        Ok(CsrMatrix { nrows, ncols, row_ptr, col_indices, values })
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            storage: CsrStorage::from_owned(col_indices, values),
+        })
     }
 
     /// Build from `(row, col, value)` triplets (duplicates are summed).
@@ -124,8 +164,7 @@ impl<T: Scalar> CsrMatrix<T> {
             nrows: n,
             ncols: n,
             row_ptr: (0..=n as u64).collect(),
-            col_indices: (0..n as u32).collect(),
-            values: vec![T::ONE; n],
+            storage: CsrStorage::from_owned((0..n as u32).collect(), vec![T::ONE; n]),
         }
     }
 
@@ -135,8 +174,7 @@ impl<T: Scalar> CsrMatrix<T> {
             nrows,
             ncols,
             row_ptr: vec![0; nrows + 1],
-            col_indices: Vec::new(),
-            values: Vec::new(),
+            storage: CsrStorage::from_owned(Vec::new(), Vec::new()),
         }
     }
 
@@ -155,7 +193,7 @@ impl<T: Scalar> CsrMatrix<T> {
     /// Number of stored non-zero entries.
     #[inline]
     pub fn nnz(&self) -> usize {
-        self.values.len()
+        self.storage.len()
     }
 
     /// The `row_ptr` array.
@@ -167,13 +205,13 @@ impl<T: Scalar> CsrMatrix<T> {
     /// The `col_indices` array.
     #[inline]
     pub fn col_indices(&self) -> &[u32] {
-        &self.col_indices
+        self.storage.col_indices()
     }
 
     /// The `values` array.
     #[inline]
     pub fn values(&self) -> &[T] {
-        &self.values
+        self.storage.values()
     }
 
     /// Number of non-zeros stored in row `row`.
@@ -185,13 +223,13 @@ impl<T: Scalar> CsrMatrix<T> {
     /// Column indices of row `row`.
     #[inline]
     pub fn row_cols(&self, row: usize) -> &[u32] {
-        &self.col_indices[self.row_ptr[row] as usize..self.row_ptr[row + 1] as usize]
+        &self.storage.col_indices()[self.row_ptr[row] as usize..self.row_ptr[row + 1] as usize]
     }
 
     /// Values of row `row`.
     #[inline]
     pub fn row_values(&self, row: usize) -> &[T] {
-        &self.values[self.row_ptr[row] as usize..self.row_ptr[row + 1] as usize]
+        &self.storage.values()[self.row_ptr[row] as usize..self.row_ptr[row + 1] as usize]
     }
 
     /// The value at `(row, col)`, or `None` if that position is structurally
@@ -211,7 +249,7 @@ impl<T: Scalar> CsrMatrix<T> {
     /// The transpose as a new CSR matrix.
     pub fn transpose(&self) -> CsrMatrix<T> {
         let mut row_counts = vec![0u64; self.ncols + 1];
-        for &c in &self.col_indices {
+        for &c in self.col_indices() {
             row_counts[c as usize + 1] += 1;
         }
         for i in 1..row_counts.len() {
@@ -227,7 +265,12 @@ impl<T: Scalar> CsrMatrix<T> {
             values[dst] = v;
             cursor[c] += 1;
         }
-        CsrMatrix { nrows: self.ncols, ncols: self.nrows, row_ptr, col_indices, values }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            storage: CsrStorage::from_owned(col_indices, values),
+        }
     }
 
     /// Histogram of row lengths, indexed by row.
@@ -284,9 +327,57 @@ impl<T: Scalar> CsrMatrix<T> {
     }
 
     /// Consume the matrix and return `(nrows, ncols, row_ptr, col_indices,
-    /// values)`.
+    /// values)`. Zero-copy when this matrix is the sole owner of its
+    /// non-zero buffers; a view (or a matrix whose storage other clones
+    /// still share) copies its window out.
     pub fn into_raw_parts(self) -> (usize, usize, Vec<u64>, Vec<u32>, Vec<T>) {
-        (self.nrows, self.ncols, self.row_ptr, self.col_indices, self.values)
+        let (col_indices, values) = self.storage.into_arrays();
+        (self.nrows, self.ncols, self.row_ptr, col_indices, values)
+    }
+
+    /// A zero-copy view of rows `start..end`: the view's
+    /// `col_indices`/`values` alias this matrix's buffers (two
+    /// reference-count bumps), and only the rebased `row_ptr` — one `u64`
+    /// per view row — is materialized. O(`end - start`) time and memory,
+    /// independent of how many non-zeros the rows hold.
+    ///
+    /// The view is a full [`CsrMatrix`] over the same column space: row `i`
+    /// of the view is row `start + i` of the parent, bit-identical. This is
+    /// what shard planning uses to split a huge matrix into row shards
+    /// without doubling resident non-zero data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.nrows()`.
+    pub fn share_rows(&self, start: usize, end: usize) -> CsrMatrix<T> {
+        assert!(
+            start <= end && end <= self.nrows,
+            "row range {start}..{end} exceeds nrows = {}",
+            self.nrows
+        );
+        let lo = self.row_ptr[start];
+        let hi = self.row_ptr[end];
+        let row_ptr: Vec<u64> = self.row_ptr[start..=end].iter().map(|&p| p - lo).collect();
+        CsrMatrix {
+            nrows: end - start,
+            ncols: self.ncols,
+            row_ptr,
+            storage: self.storage.window(lo as usize, hi as usize),
+        }
+    }
+
+    /// Whether `self` and `other` share the same underlying non-zero
+    /// buffers (pointer equality on the shared allocations) — true for a
+    /// matrix and its [`CsrMatrix::share_rows`] views or clones, false for
+    /// deep copies. The zero-copy assertion shard-plan tests rely on.
+    pub fn shares_storage_with(&self, other: &CsrMatrix<T>) -> bool {
+        self.storage.ptr_eq(&other.storage)
+    }
+
+    /// Whether this matrix is a strict row-range view of a larger parent
+    /// (its storage windows only part of the underlying buffers).
+    pub fn is_view(&self) -> bool {
+        self.storage.is_window()
     }
 }
 
@@ -426,5 +517,80 @@ mod tests {
         let (nr, nc, rp, ci, vals) = m.into_raw_parts();
         let rebuilt = CsrMatrix::from_raw_parts(nr, nc, rp, ci, vals).unwrap();
         assert_eq!(rebuilt, clone);
+    }
+
+    #[test]
+    fn share_rows_is_zero_copy_and_bit_identical() {
+        let m = sample();
+        let v = m.share_rows(2, 4);
+        assert_eq!(v.nrows(), 2);
+        assert_eq!(v.ncols(), 4);
+        assert_eq!(v.nnz(), 6);
+        assert_eq!(v.row_ptr(), &[0, 2, 6]);
+        assert!(v.is_view());
+        assert!(v.shares_storage_with(&m));
+        // Same heap addresses — no copy happened.
+        assert_eq!(v.col_indices().as_ptr(), m.col_indices()[2..].as_ptr());
+        assert_eq!(v.values().as_ptr(), m.values()[2..].as_ptr());
+        // Row i of the view is row 2 + i of the parent, bit for bit.
+        for i in 0..2 {
+            assert_eq!(v.row_cols(i), m.row_cols(2 + i));
+            assert_eq!(v.row_values(i), m.row_values(2 + i));
+        }
+        // Equal to an owned rebuild of the same rows.
+        let owned = CsrMatrix::from_raw_parts(
+            2,
+            4,
+            v.row_ptr().to_vec(),
+            v.col_indices().to_vec(),
+            v.values().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(v, owned);
+        assert!(!owned.shares_storage_with(&m));
+    }
+
+    #[test]
+    fn share_rows_edge_windows() {
+        let m = sample();
+        // Full-range view: shares storage, covers everything.
+        let all = m.share_rows(0, 4);
+        assert_eq!(all, m);
+        assert!(all.shares_storage_with(&m));
+        assert!(!all.is_view());
+        // Empty view of an empty range.
+        let none = m.share_rows(1, 1);
+        assert_eq!(none.nrows(), 0);
+        assert_eq!(none.nnz(), 0);
+        assert_eq!(none.row_ptr(), &[0]);
+        // A view's reference multiply matches slicing the parent's result.
+        let x = DenseMatrix::<f32>::identity(4);
+        let y_full = m.spmm_reference(&x);
+        let v = m.share_rows(2, 4);
+        let y_view = v.spmm_reference(&x);
+        for r in 0..2 {
+            assert_eq!(y_view.row(r), y_full.row(2 + r));
+        }
+    }
+
+    #[test]
+    fn view_into_raw_parts_copies_window() {
+        let m = sample();
+        let v = m.share_rows(3, 4);
+        let (nr, nc, rp, ci, vals) = v.into_raw_parts();
+        assert_eq!((nr, nc), (1, 4));
+        assert_eq!(rp, vec![0, 4]);
+        assert_eq!(ci, vec![0, 1, 2, 3]);
+        assert_eq!(vals, vec![4.0, 4.0, 4.0, 4.0]);
+        // Parent unaffected.
+        assert_eq!(m.nnz(), 8);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let m = sample();
+        let c = m.clone();
+        assert!(c.shares_storage_with(&m));
+        assert_eq!(c, m);
     }
 }

@@ -6,6 +6,10 @@
 //! * [`CsrMatrix`] — the Compressed Sparse Row format the paper's kernels
 //!   operate on (Figure 2 / Algorithm 1), plus [`CooMatrix`] as a builder
 //!   format,
+//! * [`CsrStorage`] — shared non-zero storage behind every matrix, so
+//!   [`CsrMatrix::share_rows`] hands out zero-copy row-range views (shard
+//!   planning borrows the parent's `col_indices`/`values` instead of
+//!   copying them),
 //! * [`DenseMatrix`] — the row-major dense input/output matrices `X` and `Y`,
 //! * [`Scalar`] — the element trait tying `f32`/`f64` to the code generator,
 //! * synthetic matrix generators ([`generate`]) — uniform random, RMAT
@@ -40,6 +44,7 @@ mod csr;
 mod dense;
 mod error;
 mod scalar;
+mod storage;
 
 pub mod datasets;
 pub mod generate;
@@ -51,3 +56,4 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::SparseError;
 pub use scalar::{Scalar, ScalarKind};
+pub use storage::CsrStorage;

@@ -684,6 +684,90 @@ fn differential_matrix_sharded() {
     );
 }
 
+/// A deep owned copy of `m`: same structure, freshly allocated arrays —
+/// the storage layout shard plans used to materialize before borrowed CSR.
+fn deep_copy(m: &CsrMatrix<f32>) -> CsrMatrix<f32> {
+    CsrMatrix::from_raw_parts(
+        m.nrows(),
+        m.ncols(),
+        m.row_ptr().to_vec(),
+        m.col_indices().to_vec(),
+        m.values().to_vec(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn differential_matrix_borrowed_vs_owned_shards() {
+    // The scenario matrix × shard counts {2, 3, 8}: every shard a plan
+    // extracts is a zero-copy view of the parent's nnz arrays, and an
+    // engine compiled from that view must be *bit-identical* — single
+    // launches and batches alike — to an engine compiled from a deep owned
+    // copy of the same rows. Borrowed storage changes where the arrays live
+    // and what a plan weighs, never the bytes the generated kernel embeds
+    // (the base addresses differ; the loads and arithmetic do not).
+    if !host_supports_jit() {
+        eprintln!("skipping: host lacks AVX/FMA");
+        return;
+    }
+    let pool = WorkerPool::new(2);
+    let mut shards_checked = 0usize;
+    for s in scenarios() {
+        let inputs: Vec<DenseMatrix<f32>> =
+            (0..4).map(|i| DenseMatrix::random(s.matrix.ncols(), s.d, 5_000 + i as u64)).collect();
+        for k in [2usize, 3, 8] {
+            let plan = plan_shards(&s.matrix, k, 1).unwrap();
+            for spec in plan.shards() {
+                assert!(
+                    spec.matrix.shares_storage_with(&s.matrix),
+                    "{} (k = {k}): shard {:?} copied its nnz arrays",
+                    s.name,
+                    spec.rows
+                );
+                let owned = deep_copy(&spec.matrix);
+                assert!(!owned.shares_storage_with(&s.matrix));
+                let from_view = JitSpmmBuilder::new()
+                    .threads(2)
+                    .pool(pool.clone())
+                    .build(&spec.matrix, s.d)
+                    .unwrap();
+                let from_owned =
+                    JitSpmmBuilder::new().threads(2).pool(pool.clone()).build(&owned, s.d).unwrap();
+                // Blocking single launches, input by input.
+                for (i, x) in inputs.iter().enumerate() {
+                    let (yv, _) = from_view.execute(x).unwrap();
+                    let (yo, _) = from_owned.execute(x).unwrap();
+                    assert_eq!(
+                        *yv, *yo,
+                        "{} (k = {k}, shard {:?}, input {i}): view-compiled engine \
+                         diverged from owned-compiled",
+                        s.name, spec.rows
+                    );
+                }
+                // The pipelined batch path, whole batch at once.
+                let (ys_view, _) =
+                    pool.scope(|scope| from_view.execute_batch(scope, &inputs)).unwrap();
+                let (ys_owned, _) =
+                    pool.scope(|scope| from_owned.execute_batch(scope, &inputs)).unwrap();
+                for (i, (yv, yo)) in ys_view.iter().zip(&ys_owned).enumerate() {
+                    assert_eq!(
+                        **yv, **yo,
+                        "{} (k = {k}, shard {:?}, batch input {i}): view-compiled batch \
+                         diverged from owned-compiled",
+                        s.name, spec.rows
+                    );
+                }
+                shards_checked += 1;
+            }
+        }
+    }
+    assert!(
+        shards_checked >= 30,
+        "borrowed-vs-owned differential must cover a meaningful shard population, \
+         got {shards_checked}"
+    );
+}
+
 #[test]
 fn sharded_edge_cases() {
     if !host_supports_jit() {

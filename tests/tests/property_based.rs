@@ -365,6 +365,55 @@ proptest! {
         }
     }
 
+    /// A JIT engine compiled against a zero-copy [`CsrMatrix::share_rows`]
+    /// view is bit-identical to one compiled against a deep owned copy of
+    /// the same rows: borrowed storage changes where the nnz arrays live
+    /// (and how many bytes a shard plan holds), never the bytes the
+    /// generated code embeds or reads.
+    #[test]
+    fn borrowed_view_matches_owned(
+        (nrows, ncols, entries) in arb_matrix(),
+        d in 1usize..24,
+        lo in 0usize..100,
+        hi in 0usize..100,
+        threads in 1usize..3,
+    ) {
+        if !host_supports_jit() {
+            return Ok(());
+        }
+        let a = CsrMatrix::from_triplets(nrows, ncols, &entries).unwrap();
+        let (mut start, mut end) = (lo * nrows / 100, hi * nrows / 100);
+        if start > end {
+            std::mem::swap(&mut start, &mut end);
+        }
+        if start == end {
+            // An engine needs at least one row; widen the window by one.
+            end = (end + 1).min(nrows);
+            start = end - 1;
+        }
+        let view = a.share_rows(start, end);
+        prop_assert!(view.shares_storage_with(&a), "share_rows must not copy nnz arrays");
+        let owned = CsrMatrix::from_raw_parts(
+            view.nrows(),
+            view.ncols(),
+            view.row_ptr().to_vec(),
+            view.col_indices().to_vec(),
+            view.values().to_vec(),
+        )
+        .unwrap();
+        prop_assert!(!owned.shares_storage_with(&a));
+        let x = DenseMatrix::<f32>::random(ncols, d, 23);
+        let from_view = JitSpmmBuilder::new().threads(threads).build(&view, d).unwrap();
+        let from_owned = JitSpmmBuilder::new().threads(threads).build(&owned, d).unwrap();
+        let (yv, _) = from_view.execute(&x).unwrap();
+        let (yo, _) = from_owned.execute(&x).unwrap();
+        prop_assert!(
+            *yv == *yo,
+            "rows {}..{}: view-compiled engine diverged from owned-compiled (max diff {})",
+            start, end, yv.max_abs_diff(&yo)
+        );
+    }
+
     /// Workload partitions always cover every row exactly once, regardless of
     /// strategy and thread count.
     #[test]
