@@ -1,0 +1,157 @@
+//! Persistent kernel cache warm-start benchmark: what a restart costs with
+//! and without `BENCH`-able cache state on disk. For every workload-division
+//! strategy it times a **cold** start (empty cache directory: full code
+//! generation plus the store) against a **warm** start (populated cache:
+//! mmap, checksum, relocation patch) and asserts the two engines multiply
+//! bit-identically. A second section times the tiered path, where the warm
+//! start also skips the tier-0 warmup and the profile-guided recompile.
+//!
+//! Run with: `cargo bench -p jitspmm-bench --bench cache_warmstart`
+//! (add `-- --quick` for a fast pass). Emits a human-readable table on
+//! stdout and machine-readable JSON to `BENCH_cache_warmstart.json`,
+//! including the host core count so archived numbers stay interpretable.
+
+use jitspmm::{
+    CpuFeatures, JitSpmmBuilder, KernelCache, KernelTier, Strategy, TierPolicy, WorkerPool,
+};
+use jitspmm_bench::{emit_bench_json, fmt_secs, host_cores, json_stats, measure, TextTable};
+use jitspmm_sparse::{generate, DenseMatrix};
+use std::sync::Arc;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let features = CpuFeatures::detect();
+    if !(features.avx && features.has_fma()) {
+        eprintln!("cache_warmstart: host lacks AVX/FMA, skipping");
+        return;
+    }
+    let cores = host_cores();
+    let workers = cores.clamp(2, 4);
+    let reps = if quick { 5 } else { 20 };
+    let d = 16usize;
+    let (nnz, side) = if quick { (60_000, 2_000) } else { (240_000, 8_000) };
+    let a = generate::uniform::<f32>(side, side, nnz, 5);
+    let x = DenseMatrix::random(side, d, 3);
+    let pool = WorkerPool::new(workers);
+
+    let dir = std::env::temp_dir().join(format!("jitspmm-bench-kcache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("cache dir");
+    let cache = KernelCache::open(&dir);
+
+    println!(
+        "kernel cache warm starts: {side}x{side} nnz={nnz} d={d} \
+         ({workers} pool workers, {cores} host cores, {reps} reps)\n"
+    );
+    let mut table =
+        TextTable::new(&["strategy", "cold start (best)", "warm start (best)", "warm/cold"]);
+    let mut json_rows = Vec::new();
+
+    let strategies = [
+        Strategy::RowSplitStatic,
+        Strategy::row_split_dynamic_default(),
+        Strategy::NnzSplit,
+        Strategy::MergeSplit,
+    ];
+    for strategy in strategies {
+        let build = |c: &Arc<KernelCache>| {
+            JitSpmmBuilder::new()
+                .pool(pool.clone())
+                .threads(workers)
+                .strategy(strategy)
+                .kernel_cache_in(Arc::clone(c))
+                .build(&a, d)
+                .expect("compilation failed")
+        };
+        // Cold: every repetition starts from an empty directory, so it pays
+        // code generation and the store — the first-boot path.
+        let cold = measure(reps, || {
+            cache.clear();
+            drop(build(&cache));
+        });
+        // One more cold build to leave the directory populated, and to pin
+        // the output bits the warm engine must reproduce.
+        cache.clear();
+        let cold_engine = build(&cache);
+        let (y_cold, _) = cold_engine.execute(&x).expect("cold execute");
+        drop(cold_engine);
+        let stores = cache.stats().stores;
+        // Warm: repetitions reload the same entry — mmap + checksum +
+        // relocation patch, no codegen.
+        let warm = measure(reps, || drop(build(&cache)));
+        assert_eq!(cache.stats().stores, stores, "warm starts must not re-store");
+        let warm_engine = build(&cache);
+        let (y_warm, _) = warm_engine.execute(&x).expect("warm execute");
+        let cold_bits: Vec<u32> = y_cold.as_slice().iter().map(|v| v.to_bits()).collect();
+        let warm_bits: Vec<u32> = y_warm.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(cold_bits, warm_bits, "warm start must be bit-identical ({strategy:?})");
+
+        let name = strategy.name();
+        table.row(vec![
+            name.clone(),
+            fmt_secs(cold.best),
+            fmt_secs(warm.best),
+            format!("{:.3}", warm.best.as_secs_f64() / cold.best.as_secs_f64().max(1e-12)),
+        ]);
+        json_rows.push(format!(
+            r#"    {{"strategy": "{name}", "cold": {}, "warm": {}}}"#,
+            json_stats(&cold),
+            json_stats(&warm)
+        ));
+    }
+
+    // Tiered: cold pays tier-0 codegen + the profile-guided recompile
+    // (promote_now) + the stores; warm reads the promotion record and builds
+    // the promoted kernel straight from the cache.
+    let tiered_build = |c: &Arc<KernelCache>| {
+        JitSpmmBuilder::new()
+            .pool(pool.clone())
+            .threads(workers)
+            .strategy(Strategy::row_split_dynamic_default())
+            .tiered(TierPolicy::new().warmup(1))
+            .kernel_cache_in(Arc::clone(c))
+            .build(&a, d)
+            .expect("tiered compilation failed")
+    };
+    let tiered_cold = measure(reps, || {
+        cache.clear();
+        let engine = tiered_build(&cache);
+        assert!(engine.promote_now(), "promotion declined");
+    });
+    cache.clear();
+    let engine = tiered_build(&cache);
+    assert!(engine.promote_now());
+    drop(engine);
+    let tiered_warm = measure(reps, || {
+        let engine = tiered_build(&cache);
+        assert_eq!(engine.tier(), KernelTier::Promoted, "warm start must skip tier-0");
+    });
+    table.row(vec![
+        "tiered (promote vs warm)".to_string(),
+        fmt_secs(tiered_cold.best),
+        fmt_secs(tiered_warm.best),
+        format!(
+            "{:.3}",
+            tiered_warm.best.as_secs_f64() / tiered_cold.best.as_secs_f64().max(1e-12)
+        ),
+    ]);
+
+    table.print();
+    let stats = cache.stats();
+    println!(
+        "\ncache over the whole run: hits={} misses={} rejects={} stores={} evictions={}",
+        stats.hits, stats.misses, stats.rejects, stats.stores, stats.evictions
+    );
+    println!(
+        "(cold = codegen + store from an empty directory; warm = mmap + checksum + \
+         relocation patch; the tiered row also folds in the skipped tier-0 warmup)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"cache_warmstart\",\n  \"repetitions\": {reps},\n  \"pool_workers\": {workers},\n  \"host_cores\": {cores},\n  \"nnz\": {nnz},\n  \"d\": {d},\n  \"results\": [\n{}\n  ],\n  \"tiered\": {{\"cold_promote\": {}, \"warm_start\": {}}}\n}}\n",
+        json_rows.join(",\n"),
+        json_stats(&tiered_cold),
+        json_stats(&tiered_warm),
+    );
+    emit_bench_json("BENCH_cache_warmstart.json", &json);
+    let _ = std::fs::remove_dir_all(&dir);
+}

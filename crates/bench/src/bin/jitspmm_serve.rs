@@ -1,0 +1,541 @@
+//! `jitspmm-serve` — a TCP front end over [`jitspmm::SpmmServer`], built for
+//! warm-restart validation: start it with `--cache DIR`, kill it, start it
+//! again, and the second process serves bit-identical outputs from the
+//! persistent kernel cache without re-running code generation.
+//!
+//! Engines are described by **synthetic matrix specs** so a restarted server
+//! reconstructs byte-identical matrices (and therefore identical cache
+//! fingerprints) from the command line alone:
+//!
+//! ```text
+//! jitspmm-serve serve --listen 127.0.0.1:17171 \
+//!     --matrix uniform:512,512,4000,1,8 --cache /tmp/kcache --tiered
+//! jitspmm-serve client 127.0.0.1:17171 info
+//! jitspmm-serve client 127.0.0.1:17171 mul 0 42 --out /tmp/y.bin
+//! jitspmm-serve client 127.0.0.1:17171 shutdown
+//! ```
+//!
+//! Wire protocol: length-prefixed frames (`u32` little-endian byte count,
+//! then the payload) over plain `std::net::TcpStream` — no serialization
+//! dependencies. Request payloads start with an op byte:
+//!
+//! | op | request payload               | ok response payload                |
+//! |----|-------------------------------|------------------------------------|
+//! | 1  | INFO                          | `0u8`, UTF-8 status text           |
+//! | 2  | MUL: engine `u32`, seed `u64` | `0u8`, nrows `u32`, d `u32`, row-major little-endian `f32` output |
+//! | 3  | SHUTDOWN                      | `0u8`                              |
+//!
+//! Errors come back as `1u8` followed by UTF-8 text. A MUL names its dense
+//! input by *seed*: both sides derive it as `DenseMatrix::random(ncols, d,
+//! seed)`, so only 13 bytes cross the wire and a client can replay the exact
+//! request against a restarted server (`--expect FILE` compares the raw
+//! response bytes — bit identity, not an epsilon test). Requests are
+//! admitted under a shedding policy and routed through
+//! [`SpmmServer::serve_controlled`]; each connection thread parks on a
+//! per-engine FIFO of reply channels, pushed under the same lock as the
+//! queue send so responses (per-engine submission order) match up.
+
+use jitspmm::serve::{AdmissionPolicy, ServeOptions, ServerRequest, ServerResponse, SpmmServer};
+use jitspmm::{JitSpmm, JitSpmmBuilder, KernelCache, TierPolicy, WorkerPool};
+use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const OP_INFO: u8 = 1;
+const OP_MUL: u8 = 2;
+const OP_SHUTDOWN: u8 = 3;
+
+/// A synthetic matrix an engine serves: `uniform:rows,cols,nnz,seed,d`.
+/// Deterministic by construction, so every restart fingerprints identically.
+#[derive(Debug, Clone, Copy)]
+struct MatrixSpec {
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    seed: u64,
+    d: usize,
+}
+
+impl MatrixSpec {
+    fn parse(text: &str) -> Result<MatrixSpec, String> {
+        let body = text
+            .strip_prefix("uniform:")
+            .ok_or_else(|| format!("unsupported matrix spec {text:?} (want uniform:...)"))?;
+        let fields: Vec<&str> = body.split(',').collect();
+        if fields.len() != 5 {
+            return Err(format!("matrix spec {text:?} wants uniform:rows,cols,nnz,seed,d"));
+        }
+        let num = |i: usize| {
+            fields[i].parse::<u64>().map_err(|_| format!("bad number {:?} in {text:?}", fields[i]))
+        };
+        Ok(MatrixSpec {
+            rows: num(0)? as usize,
+            cols: num(1)? as usize,
+            nnz: num(2)? as usize,
+            seed: num(3)?,
+            d: num(4)? as usize,
+        })
+    }
+
+    fn build(&self) -> CsrMatrix<f32> {
+        generate::uniform::<f32>(self.rows, self.cols, self.nnz, self.seed)
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Read one frame; `Ok(None)` on a clean EOF before the length prefix.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = stream.read(&mut len[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > 64 << 20 {
+        return Err(std::io::ErrorKind::InvalidData.into());
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+fn error_frame(message: &str) -> Vec<u8> {
+    let mut payload = vec![1u8];
+    payload.extend_from_slice(message.as_bytes());
+    payload
+}
+
+fn usage() -> String {
+    "usage:\n  jitspmm-serve serve [--listen ADDR] [--matrix uniform:rows,cols,nnz,seed,d]...\n    \
+     [--cache DIR] [--numa NODE] [--tiered] [--threads N] [--queue N]\n  \
+     jitspmm-serve client ADDR info\n  \
+     jitspmm-serve client ADDR mul ENGINE SEED [--out FILE] [--expect FILE]\n  \
+     jitspmm-serve client ADDR shutdown"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => run_server(&args[1..]),
+        Some("client") => run_client(&args[1..]),
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct ServerConfig {
+    listen: String,
+    specs: Vec<MatrixSpec>,
+    cache_dir: Option<String>,
+    numa: Option<usize>,
+    tiered: bool,
+    threads: usize,
+    queue: usize,
+}
+
+fn parse_server_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        listen: "127.0.0.1:17171".to_string(),
+        specs: Vec::new(),
+        cache_dir: None,
+        numa: None,
+        tiered: false,
+        threads: 2,
+        queue: 64,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--listen" => config.listen = value("--listen")?,
+            "--matrix" => config.specs.push(MatrixSpec::parse(&value("--matrix")?)?),
+            "--cache" => config.cache_dir = Some(value("--cache")?),
+            "--numa" => {
+                config.numa =
+                    Some(value("--numa")?.parse().map_err(|_| "bad --numa node".to_string())?);
+            }
+            "--tiered" => config.tiered = true,
+            "--threads" => {
+                config.threads =
+                    value("--threads")?.parse().map_err(|_| "bad --threads".to_string())?;
+            }
+            "--queue" => {
+                config.queue = value("--queue")?.parse().map_err(|_| "bad --queue".to_string())?;
+            }
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    if config.specs.is_empty() {
+        config.specs.push(MatrixSpec::parse("uniform:512,512,4000,1,8").expect("default spec"));
+    }
+    Ok(config)
+}
+
+/// One MUL reply slot: pushed onto its engine's FIFO under the same lock as
+/// the queue send, popped by the serving loop's consumer in per-engine
+/// submission order.
+type ReplySlot = mpsc::Sender<ServerResponse<f32>>;
+
+fn run_server(args: &[String]) -> Result<(), String> {
+    let config = parse_server_args(args)?;
+    let cache = config.cache_dir.as_ref().map(KernelCache::open);
+    let pool = WorkerPool::new(config.threads.max(1));
+    let matrices: Vec<CsrMatrix<f32>> = config.specs.iter().map(MatrixSpec::build).collect();
+
+    let mut engines: Vec<JitSpmm<'_, f32>> = Vec::new();
+    for (spec, matrix) in config.specs.iter().zip(&matrices) {
+        let mut builder = JitSpmmBuilder::new().pool(pool.clone()).threads(config.threads.max(1));
+        if let Some(cache) = &cache {
+            builder = builder.kernel_cache_in(Arc::clone(cache));
+        }
+        if config.tiered {
+            builder = builder.tiered(TierPolicy::new().warmup(1));
+        }
+        let engine = builder.build(matrix, spec.d).map_err(|e| format!("compile failed: {e}"))?;
+        if config.tiered {
+            // Promote before serving: a cache-enabled server persists the
+            // promotion record now, so its own restart warm-starts straight
+            // onto the promoted kernel (`tier=promoted` in INFO, with zero
+            // in-process promotions).
+            engine.promote_now();
+        }
+        engines.push(engine);
+    }
+
+    // Status lines are fixed at startup (promotion already happened); the
+    // cache line is rendered per INFO request from live counters.
+    let descriptors: Vec<String> = config
+        .specs
+        .iter()
+        .zip(&engines)
+        .enumerate()
+        .map(|(id, (spec, engine))| {
+            format!(
+                "engine {id}: {}x{} nnz={} d={} tier={}",
+                spec.rows,
+                spec.cols,
+                spec.nnz,
+                spec.d,
+                engine.tier().label()
+            )
+        })
+        .collect();
+
+    let mut engines = engines.into_iter();
+    let mut first = engines.next().expect("at least one engine");
+    if config.numa.is_some() {
+        first.place_on_node(config.numa);
+    }
+    let server = SpmmServer::new(vec![first]).map_err(|e| format!("server: {e}"))?;
+    for engine in engines {
+        server.add_engine_on_node(engine, config.numa).map_err(|e| format!("server: {e}"))?;
+    }
+
+    let listener =
+        TcpListener::bind(&config.listen).map_err(|e| format!("bind {}: {e}", config.listen))?;
+    listener.set_nonblocking(true).map_err(|e| format!("set_nonblocking: {e}"))?;
+    println!("jitspmm-serve listening on {}", config.listen);
+
+    let shutdown = AtomicBool::new(false);
+    let routes: Vec<Mutex<VecDeque<ReplySlot>>> =
+        config.specs.iter().map(|_| Mutex::new(VecDeque::new())).collect();
+    let specs = &config.specs;
+    let descriptors = &descriptors;
+    let info_cache = cache.clone();
+    let shutdown = &shutdown;
+    let routes = &routes;
+
+    let options = ServeOptions::new(AdmissionPolicy::shedding(config.queue.max(1)));
+    let (report, ()) = server
+        .serve_controlled(
+            options,
+            move |sender| {
+                std::thread::scope(|conns| loop {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let sender = sender.clone();
+                            let info_cache = info_cache.clone();
+                            conns.spawn(move || {
+                                serve_connection(
+                                    stream,
+                                    &sender,
+                                    specs,
+                                    descriptors,
+                                    info_cache.as_deref(),
+                                    routes,
+                                    shutdown,
+                                );
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                });
+                // Conn threads have joined; dropping the last sender clone
+                // (the move above) ends the request stream.
+            },
+            |response| {
+                let slot = {
+                    let mut queue = routes[response.engine()].lock().expect("route lock");
+                    queue.pop_front()
+                };
+                if let Some(slot) = slot {
+                    // A dropped receiver (client hung up mid-request) is
+                    // fine; the output buffer just recycles.
+                    let _ = slot.send(response);
+                }
+            },
+        )
+        .map_err(|e| format!("serve: {e}"))?;
+
+    println!(
+        "jitspmm-serve done: {} completed, {} rejected, {} failed",
+        report.requests, report.rejected, report.failed
+    );
+    if let Some(cache) = &cache {
+        let stats = cache.stats();
+        println!(
+            "cache: hits={} misses={} rejects={} stores={} evictions={}",
+            stats.hits, stats.misses, stats.rejects, stats.stores, stats.evictions
+        );
+    }
+    Ok(())
+}
+
+/// Handle one client connection: a sequence of request frames until EOF.
+fn serve_connection(
+    mut stream: TcpStream,
+    sender: &jitspmm::serve::RequestSender<f32>,
+    specs: &[MatrixSpec],
+    descriptors: &[String],
+    cache: Option<&KernelCache>,
+    routes: &[Mutex<VecDeque<ReplySlot>>],
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    while let Ok(Some(payload)) = read_frame(&mut stream) {
+        let reply = match payload.first() {
+            Some(&OP_INFO) => {
+                let mut text = format!("engines: {}\n", specs.len());
+                for line in descriptors {
+                    text.push_str(line);
+                    text.push('\n');
+                }
+                match cache {
+                    Some(cache) => {
+                        let stats = cache.stats();
+                        text.push_str(&format!(
+                            "cache: hits={} misses={} rejects={} stores={} evictions={}\n",
+                            stats.hits, stats.misses, stats.rejects, stats.stores, stats.evictions
+                        ));
+                    }
+                    None => text.push_str("cache: disabled\n"),
+                }
+                let mut frame = vec![0u8];
+                frame.extend_from_slice(text.as_bytes());
+                frame
+            }
+            Some(&OP_MUL) if payload.len() == 13 => {
+                let engine = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+                let seed = u64::from_le_bytes(payload[5..13].try_into().unwrap());
+                match specs.get(engine) {
+                    None => error_frame(&format!("unknown engine {engine}")),
+                    Some(spec) => {
+                        let input = DenseMatrix::<f32>::random(spec.cols, spec.d, seed);
+                        let (reply, waiter) = mpsc::channel();
+                        // Push the reply slot and send under one lock so the
+                        // slot order matches per-engine submission order.
+                        let sent = {
+                            let mut queue = routes[engine].lock().expect("route lock");
+                            queue.push_back(reply);
+                            match sender.send_request(ServerRequest::new(engine, input)) {
+                                Ok(()) => true,
+                                Err(e) => {
+                                    queue.pop_back();
+                                    drop(queue);
+                                    let _ = write_frame(
+                                        &mut stream,
+                                        &error_frame(&format!("not admitted: {e}")),
+                                    );
+                                    false
+                                }
+                            }
+                        };
+                        if !sent {
+                            continue;
+                        }
+                        match waiter.recv() {
+                            Ok(response) => mul_reply(response, spec),
+                            Err(_) => error_frame("serving loop ended before the response"),
+                        }
+                    }
+                }
+            }
+            Some(&OP_SHUTDOWN) => {
+                shutdown.store(true, Ordering::SeqCst);
+                let _ = write_frame(&mut stream, &[0u8]);
+                break;
+            }
+            _ => error_frame("malformed request"),
+        };
+        if write_frame(&mut stream, &reply).is_err() {
+            break;
+        }
+    }
+}
+
+fn mul_reply(response: ServerResponse<f32>, spec: &MatrixSpec) -> Vec<u8> {
+    match response {
+        ServerResponse::Completed { output, .. } => {
+            let mut frame = Vec::with_capacity(9 + output.as_slice().len() * 4);
+            frame.push(0u8);
+            frame.extend_from_slice(&(spec.rows as u32).to_le_bytes());
+            frame.extend_from_slice(&(spec.d as u32).to_le_bytes());
+            for value in output.as_slice() {
+                frame.extend_from_slice(&value.to_le_bytes());
+            }
+            frame
+        }
+        ServerResponse::Rejected { reason, .. } => error_frame(&format!("rejected: {reason}")),
+        ServerResponse::Failed { message, .. } => error_frame(&format!("failed: {message}")),
+    }
+}
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    // The CI harness starts the server in the background and connects
+    // immediately; retry briefly instead of making every caller sleep.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(format!("connect {addr}: {e}")),
+        }
+    }
+}
+
+fn request(stream: &mut TcpStream, payload: &[u8]) -> Result<Vec<u8>, String> {
+    write_frame(stream, payload).map_err(|e| format!("send: {e}"))?;
+    match read_frame(stream) {
+        Ok(Some(reply)) => Ok(reply),
+        Ok(None) => Err("server closed the connection".to_string()),
+        Err(e) => Err(format!("recv: {e}")),
+    }
+}
+
+fn run_client(args: &[String]) -> Result<(), String> {
+    let addr = args.first().ok_or_else(usage)?;
+    let command = args.get(1).ok_or_else(usage)?;
+    let mut stream = connect(addr)?;
+    match command.as_str() {
+        "info" => {
+            let reply = request(&mut stream, &[OP_INFO])?;
+            match reply.split_first() {
+                Some((0, text)) => {
+                    print!("{}", String::from_utf8_lossy(text));
+                    Ok(())
+                }
+                _ => Err(format!("info failed: {}", String::from_utf8_lossy(&reply[1..]))),
+            }
+        }
+        "mul" => {
+            let engine: u32 = args
+                .get(2)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| "mul wants ENGINE SEED".to_string())?;
+            let seed: u64 = args
+                .get(3)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| "mul wants ENGINE SEED".to_string())?;
+            let mut out = None;
+            let mut expect = None;
+            let mut it = args[4..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--out" => out = Some(it.next().ok_or("--out needs a file")?.clone()),
+                    "--expect" => expect = Some(it.next().ok_or("--expect needs a file")?.clone()),
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            let mut payload = vec![OP_MUL];
+            payload.extend_from_slice(&engine.to_le_bytes());
+            payload.extend_from_slice(&seed.to_le_bytes());
+            let reply = request(&mut stream, &payload)?;
+            let body = match reply.split_first() {
+                Some((0, body)) if body.len() >= 8 => body,
+                _ => {
+                    return Err(format!("mul failed: {}", String::from_utf8_lossy(&reply[1..])));
+                }
+            };
+            let nrows = u32::from_le_bytes(body[0..4].try_into().unwrap());
+            let d = u32::from_le_bytes(body[4..8].try_into().unwrap());
+            // Cheap order-sensitive digest so two runs are comparable from
+            // the log line alone.
+            let checksum =
+                body.iter().fold(0u64, |h, &b| (h ^ b as u64).wrapping_mul(0x100000001B3));
+            println!("mul engine={engine} seed={seed}: {nrows}x{d} checksum={checksum:016x}");
+            if let Some(path) = out {
+                std::fs::write(&path, body).map_err(|e| format!("write {path}: {e}"))?;
+            }
+            if let Some(path) = expect {
+                let expected = std::fs::read(&path).map_err(|e| format!("read {path}: {e}"))?;
+                if expected != body {
+                    return Err(format!(
+                        "output mismatch vs {path}: {} vs {} bytes",
+                        body.len(),
+                        expected.len()
+                    ));
+                }
+                println!("output is bit-identical to {path}");
+            }
+            Ok(())
+        }
+        "shutdown" => {
+            let reply = request(&mut stream, &[OP_SHUTDOWN])?;
+            match reply.first() {
+                Some(0) => {
+                    println!("server shutting down");
+                    Ok(())
+                }
+                _ => Err("shutdown failed".to_string()),
+            }
+        }
+        other => Err(format!("unknown client command {other:?}\n{}", usage())),
+    }
+}

@@ -1,0 +1,314 @@
+//! Cache keys: what makes two compiles interchangeable.
+//!
+//! A stored kernel image may be reused only when *everything* that influenced
+//! code generation matches: the matrix (content fingerprint + shape), the
+//! dense width `d`, the element kind, the kernel configuration (ISA, CCM,
+//! strategy incl. dynamic batch), the host CPU feature set, and the code
+//! generator itself (crate version + [`CODEGEN_REVISION`]). Thread count is
+//! deliberately absent — partitions are recomputed per process, and the
+//! generated code never depends on them (the dynamic batch, which does shape
+//! the code, is part of the strategy).
+
+use crate::codegen::KernelOptions;
+use crate::schedule::Strategy;
+use jitspmm_asm::{CpuFeatures, IsaLevel};
+use jitspmm_sparse::{CsrMatrix, Scalar, ScalarKind};
+
+/// Bump this whenever generated machine code changes for the same
+/// configuration (new instruction selection, changed prologue, reordered
+/// relocations, ...). Old cache entries are then rejected by key mismatch
+/// instead of being executed as stale code.
+pub(crate) const CODEGEN_REVISION: u32 = 1;
+
+/// 128-bit content fingerprint of a CSR matrix.
+///
+/// Two independent multiply-xorshift lanes over the `row_ptr`, `col_indices`
+/// and `values` bytes (plus the dimensions). Not cryptographic — a forged
+/// collision is possible — but the generated code only embeds the matrix's
+/// *shape* (row count) and *addresses*, so even a colliding entry can never
+/// make a kernel read out of bounds of the matrix it is launched against;
+/// the partition and launch metadata are recomputed from the live matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Fingerprint(pub [u64; 2]);
+
+#[inline]
+fn mix(mut h: u64, word: u64, mul: u64) -> u64 {
+    h ^= word;
+    h = h.wrapping_mul(mul);
+    h ^ (h >> 29)
+}
+
+/// Feed `bytes` into both lanes, 8 bytes at a time (the tail is zero-padded
+/// and length-tagged so `[1]` and `[1, 0]` differ).
+fn absorb(lanes: &mut [u64; 2], bytes: &[u8]) {
+    const M0: u64 = 0x9E37_79B9_7F4A_7C15;
+    const M1: u64 = 0xC2B2_AE3D_27D4_EB4F;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().unwrap());
+        lanes[0] = mix(lanes[0], word, M0);
+        lanes[1] = mix(lanes[1], word, M1);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        let word = u64::from_le_bytes(tail);
+        lanes[0] = mix(lanes[0], word, M0);
+        lanes[1] = mix(lanes[1], word, M1);
+    }
+    lanes[0] = mix(lanes[0], bytes.len() as u64, M0);
+    lanes[1] = mix(lanes[1], bytes.len() as u64, M1);
+}
+
+impl Fingerprint {
+    /// Fingerprint a matrix's content: dimensions, row pointers, column
+    /// indices and raw value bytes.
+    pub(crate) fn of<T: Scalar>(matrix: &CsrMatrix<T>) -> Fingerprint {
+        let mut lanes = [0x6A09_E667_F3BC_C908u64, 0xBB67_AE85_84CA_A73Bu64];
+        absorb(
+            &mut lanes,
+            &[
+                (matrix.nrows() as u64).to_le_bytes(),
+                (matrix.ncols() as u64).to_le_bytes(),
+                (matrix.nnz() as u64).to_le_bytes(),
+            ]
+            .concat(),
+        );
+        absorb(&mut lanes, bytes_of_u64(matrix.row_ptr()));
+        absorb(&mut lanes, bytes_of_u32(matrix.col_indices()));
+        absorb(&mut lanes, bytes_of_scalars(matrix.values()));
+        Fingerprint(lanes)
+    }
+}
+
+fn bytes_of_u64(slice: &[u64]) -> &[u8] {
+    // SAFETY: u64 has no padding and any bit pattern is a valid byte view.
+    unsafe { std::slice::from_raw_parts(slice.as_ptr() as *const u8, std::mem::size_of_val(slice)) }
+}
+
+fn bytes_of_u32(slice: &[u32]) -> &[u8] {
+    // SAFETY: as above for u32.
+    unsafe { std::slice::from_raw_parts(slice.as_ptr() as *const u8, std::mem::size_of_val(slice)) }
+}
+
+fn bytes_of_scalars<T: Scalar>(slice: &[T]) -> &[u8] {
+    // SAFETY: scalars are plain IEEE-754 floats — no padding, any bit
+    // pattern readable as bytes.
+    unsafe { std::slice::from_raw_parts(slice.as_ptr() as *const u8, std::mem::size_of_val(slice)) }
+}
+
+/// Everything that identifies one compiled kernel configuration.
+///
+/// Serialized into a fixed 72-byte little-endian block that is embedded in
+/// every cache entry header and compared bytewise on load, so a filename-hash
+/// collision degrades to a cache miss, never to executing the wrong kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CacheKey {
+    pub fingerprint: Fingerprint,
+    pub nrows: u64,
+    pub ncols: u64,
+    pub nnz: u64,
+    pub d: u64,
+    pub kind: ScalarKind,
+    pub isa: IsaLevel,
+    pub ccm: bool,
+    pub strategy: Strategy,
+    pub features: CpuFeatures,
+}
+
+/// Size of [`CacheKey::to_bytes`].
+pub(crate) const KEY_BYTES: usize = 72;
+
+pub(crate) fn isa_code(isa: IsaLevel) -> u8 {
+    match isa {
+        IsaLevel::Scalar => 0,
+        IsaLevel::Sse128 => 1,
+        IsaLevel::Avx2 => 2,
+        IsaLevel::Avx512 => 3,
+    }
+}
+
+pub(crate) fn isa_from_code(code: u8) -> Option<IsaLevel> {
+    match code {
+        0 => Some(IsaLevel::Scalar),
+        1 => Some(IsaLevel::Sse128),
+        2 => Some(IsaLevel::Avx2),
+        3 => Some(IsaLevel::Avx512),
+        _ => None,
+    }
+}
+
+pub(crate) fn strategy_code(strategy: Strategy) -> (u8, u64) {
+    match strategy {
+        Strategy::RowSplitStatic => (0, 0),
+        Strategy::RowSplitDynamic { batch } => (1, batch as u64),
+        Strategy::NnzSplit => (2, 0),
+        Strategy::MergeSplit => (3, 0),
+    }
+}
+
+pub(crate) fn strategy_from_code(tag: u8, batch: u64) -> Option<Strategy> {
+    match tag {
+        0 => Some(Strategy::RowSplitStatic),
+        1 if batch > 0 => Some(Strategy::RowSplitDynamic { batch: batch as usize }),
+        2 => Some(Strategy::NnzSplit),
+        3 => Some(Strategy::MergeSplit),
+        _ => None,
+    }
+}
+
+fn feature_bits(f: CpuFeatures) -> u8 {
+    (f.avx as u8)
+        | (f.avx2 as u8) << 1
+        | (f.fma as u8) << 2
+        | (f.avx512f as u8) << 3
+        | (f.avx512dq as u8) << 4
+        | (f.avx512vl as u8) << 5
+}
+
+/// Version tag folding in the crate version string and the codegen revision,
+/// so artifacts from an older build are rejected by key mismatch.
+fn version_tag() -> u64 {
+    let mut lanes = [0x510E_527F_ADE6_82D1u64, 0x9B05_688C_2B3E_6C1Fu64];
+    absorb(&mut lanes, env!("CARGO_PKG_VERSION").as_bytes());
+    absorb(&mut lanes, &CODEGEN_REVISION.to_le_bytes());
+    lanes[0] ^ lanes[1].rotate_left(32)
+}
+
+impl CacheKey {
+    /// Build the key for compiling `matrix` at dense width `d` with
+    /// `strategy` under `options`.
+    pub(crate) fn for_kernel<T: Scalar>(
+        matrix: &CsrMatrix<T>,
+        d: usize,
+        strategy: Strategy,
+        options: &KernelOptions,
+    ) -> CacheKey {
+        CacheKey {
+            fingerprint: Fingerprint::of(matrix),
+            nrows: matrix.nrows() as u64,
+            ncols: matrix.ncols() as u64,
+            nnz: matrix.nnz() as u64,
+            d: d as u64,
+            kind: T::KIND,
+            isa: options.isa,
+            ccm: options.ccm,
+            strategy,
+            features: options.features,
+        }
+    }
+
+    /// Fixed-width little-endian serialization (embedded in entry headers).
+    pub(crate) fn to_bytes(self) -> [u8; KEY_BYTES] {
+        let (strat_tag, batch) = strategy_code(self.strategy);
+        let mut out = [0u8; KEY_BYTES];
+        out[0..8].copy_from_slice(&version_tag().to_le_bytes());
+        out[8..16].copy_from_slice(&self.fingerprint.0[0].to_le_bytes());
+        out[16..24].copy_from_slice(&self.fingerprint.0[1].to_le_bytes());
+        out[24..32].copy_from_slice(&self.nrows.to_le_bytes());
+        out[32..40].copy_from_slice(&self.ncols.to_le_bytes());
+        out[40..48].copy_from_slice(&self.nnz.to_le_bytes());
+        out[48..56].copy_from_slice(&self.d.to_le_bytes());
+        out[56..64].copy_from_slice(&batch.to_le_bytes());
+        out[64] = match self.kind {
+            ScalarKind::F32 => 0,
+            ScalarKind::F64 => 1,
+        };
+        out[65] = isa_code(self.isa);
+        out[66] = self.ccm as u8;
+        out[67] = strat_tag;
+        out[68] = feature_bits(self.features);
+        out
+    }
+
+    /// 64-bit digest of [`CacheKey::to_bytes`], used for the entry filename.
+    pub(crate) fn digest(&self) -> u64 {
+        digest_bytes(&self.to_bytes())
+    }
+}
+
+/// 64-bit digest of an arbitrary byte string (entry checksums).
+pub(crate) fn digest_bytes(bytes: &[u8]) -> u64 {
+    let mut lanes = [0x1F83_D9AB_FB41_BD6Bu64, 0x5BE0_CD19_137E_2179u64];
+    absorb(&mut lanes, bytes);
+    lanes[0] ^ lanes[1].rotate_left(32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<f32> {
+        CsrMatrix::from_triplets(4, 5, &[(0, 1, 1.0), (1, 0, 2.0), (3, 4, -0.5)]).unwrap()
+    }
+
+    fn key(matrix: &CsrMatrix<f32>) -> CacheKey {
+        let options = KernelOptions {
+            isa: IsaLevel::Scalar,
+            ccm: true,
+            features: CpuFeatures::detect(),
+            listing: false,
+        };
+        CacheKey::for_kernel(matrix, 8, Strategy::RowSplitStatic, &options)
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_content_sensitive() {
+        let a = sample();
+        assert_eq!(Fingerprint::of(&a), Fingerprint::of(&sample()));
+        let mutated =
+            CsrMatrix::from_triplets(4, 5, &[(0, 1, 1.0), (1, 0, 2.0), (3, 4, 0.5)]).unwrap();
+        assert_ne!(Fingerprint::of(&a), Fingerprint::of(&mutated));
+        let moved =
+            CsrMatrix::from_triplets(4, 5, &[(0, 2, 1.0), (1, 0, 2.0), (3, 4, -0.5)]).unwrap();
+        assert_ne!(Fingerprint::of(&a), Fingerprint::of(&moved));
+    }
+
+    #[test]
+    fn key_bytes_distinguish_every_field() {
+        let a = sample();
+        let base = key(&a);
+        let mut other = base;
+        other.d = 9;
+        assert_ne!(base.to_bytes(), other.to_bytes());
+        let mut other = base;
+        other.strategy = Strategy::RowSplitDynamic { batch: 64 };
+        assert_ne!(base.to_bytes(), other.to_bytes());
+        let mut other = base;
+        other.strategy = Strategy::RowSplitDynamic { batch: 65 };
+        let mut third = base;
+        third.strategy = Strategy::RowSplitDynamic { batch: 64 };
+        assert_ne!(other.to_bytes(), third.to_bytes());
+        let mut other = base;
+        other.isa = IsaLevel::Avx2;
+        assert_ne!(base.to_bytes(), other.to_bytes());
+        let mut other = base;
+        other.ccm = false;
+        assert_ne!(base.to_bytes(), other.to_bytes());
+        let mut other = base;
+        other.features.avx512vl = !other.features.avx512vl;
+        assert_ne!(base.to_bytes(), other.to_bytes());
+        let mut other = base;
+        other.kind = ScalarKind::F64;
+        assert_ne!(base.to_bytes(), other.to_bytes());
+    }
+
+    #[test]
+    fn digest_matches_bytes() {
+        let a = sample();
+        assert_eq!(key(&a).digest(), key(&a).digest());
+        let mut other = key(&a);
+        other.d = 16;
+        assert_ne!(key(&a).digest(), other.digest());
+    }
+
+    #[test]
+    fn tail_length_is_tagged() {
+        let mut a = [0u64; 2];
+        let mut b = [0u64; 2];
+        absorb(&mut a, &[1]);
+        absorb(&mut b, &[1, 0]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,670 @@
+//! Persistent kernel cache: compiled SpMM kernels that survive restarts.
+//!
+//! JIT specialization (the paper's premise) pays a code-generation cost per
+//! process per matrix. This module makes that cost a one-time cost per
+//! *machine*: compiled kernels are stored as address-independent images in a
+//! cache directory and mapped back into executable memory on the next start,
+//! so a restarted server is serving specialized — even promoted-tier — code
+//! without recompiling.
+//!
+//! # On-disk format
+//!
+//! One file per kernel, named `k-<key digest>.jsk`:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic "JSKCACH1"
+//!      8    72  cache key (see [`key`]: version tag, matrix fingerprint,
+//!               dims/nnz, d, dynamic batch, scalar kind, ISA, CCM,
+//!               strategy tag, CPU-feature bits)
+//!     80     8  code length in bytes
+//!     88     8  checksum of the stored code image
+//!     96     8  kernel kind (0 static-range, 1 dynamic-dispatch)
+//!    104     8  relocation count
+//!    112   16n  relocations: (symbol, code offset) pairs
+//!   4096     n  machine code, relocation slots zeroed
+//! ```
+//!
+//! The code image starts at a page boundary so loading is a single private
+//! (copy-on-write) `mmap`; the loader patches each relocation slot with this
+//! process's addresses (CSR array bases, dynamic counter) and seals the pages
+//! read+exec ([`jitspmm_asm::WritableBuffer`]). Because codegen is
+//! deterministic, the patched bytes are bit-identical to a fresh compile.
+//!
+//! Tier promotion outcomes are persisted alongside as tiny `p-<digest>.jsp`
+//! records mapping a *requested* tiered configuration to the promoted
+//! (strategy, ISA, CCM) it settled on, so a warm start rebuilds the promoted
+//! core directly and skips the tier-0 warmup phase entirely.
+//!
+//! # Integrity
+//!
+//! Every load revalidates: magic, bytewise key echo (a digest collision in
+//! the filename degrades to a miss), file length, relocation bounds, and the
+//! code checksum. Any mismatch — truncation, flipped bytes, a stale entry
+//! from an older code generator, a different CPU feature set — silently falls
+//! back to a fresh compile. A cache can therefore never produce wrong
+//! results; the worst failure mode is compiling as if there were no cache.
+
+pub(crate) mod key;
+
+use crate::codegen::{KernelReloc, RelocSym};
+use crate::kernel::KernelKind;
+use jitspmm_asm::{ExecutableBuffer, WritableBuffer};
+use key::{digest_bytes, CacheKey, KEY_BYTES};
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const KERNEL_MAGIC: &[u8; 8] = b"JSKCACH1";
+const PROMO_MAGIC: &[u8; 8] = b"JSKPROM1";
+/// Code images start here so they can be mapped at a page boundary.
+const CODE_OFFSET: u64 = 4096;
+const MAX_RELOCS: u64 = 8;
+
+/// Counters describing what a [`KernelCache`] has done since it was opened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Kernel images served from disk.
+    pub hits: u64,
+    /// Lookups that found no entry file.
+    pub misses: u64,
+    /// Entries found but refused (corrupt, truncated, stale version, key
+    /// mismatch) — each also falls back to a fresh compile.
+    pub rejects: u64,
+    /// Kernel images and promotion records written.
+    pub stores: u64,
+    /// Entries removed to keep the directory under its size cap.
+    pub evictions: u64,
+}
+
+/// Live addresses to patch into a loaded kernel image's relocation slots.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RelocTargets {
+    pub row_ptr: u64,
+    pub col_indices: u64,
+    pub values: u64,
+    /// Dynamic-dispatch claim counter; unused by static kernels.
+    pub next_counter: u64,
+}
+
+/// A tier-promotion outcome worth persisting: the configuration the engine
+/// settled on after profiling, so a restart can skip straight to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PromotionRecord {
+    pub strategy: crate::schedule::Strategy,
+    pub isa: jitspmm_asm::IsaLevel,
+    pub ccm: bool,
+}
+
+/// A directory of compiled kernels, shared across engines and processes.
+///
+/// Open one with [`KernelCache::open`] (or [`KernelCache::with_capacity`] to
+/// bound its size) and hand it to engines via
+/// [`crate::JitSpmmBuilder::kernel_cache`] /
+/// [`crate::JitSpmmBuilder::kernel_cache_in`]. All operations degrade
+/// gracefully: an unreadable directory or a corrupt entry makes the engine
+/// compile fresh, never fail or mis-execute ([`CacheStats`] records how often
+/// that happened).
+#[derive(Debug)]
+pub struct KernelCache {
+    dir: PathBuf,
+    cap_bytes: Option<u64>,
+    seq: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejects: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl KernelCache {
+    /// Open (creating if needed) the cache directory at `dir`, with no size
+    /// cap.
+    pub fn open(dir: impl Into<PathBuf>) -> Arc<KernelCache> {
+        Self::build(dir.into(), None)
+    }
+
+    /// Open the cache with a size cap: whenever a store pushes the directory
+    /// past `cap_bytes`, the oldest entries (by modification time) are
+    /// evicted until it fits.
+    pub fn with_capacity(dir: impl Into<PathBuf>, cap_bytes: u64) -> Arc<KernelCache> {
+        Self::build(dir.into(), Some(cap_bytes))
+    }
+
+    fn build(dir: PathBuf, cap_bytes: Option<u64>) -> Arc<KernelCache> {
+        // Failure to create the directory degrades every lookup to a miss
+        // and every store to a no-op; the engine still works.
+        let _ = fs::create_dir_all(&dir);
+        Arc::new(KernelCache {
+            dir,
+            cap_bytes,
+            seq: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejects: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Snapshot of the hit/miss/store counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            rejects: self.rejects.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total size of all cache entries on disk, in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.entries().iter().map(|e| e.size).sum()
+    }
+
+    /// Number of entries (kernel images + promotion records) on disk.
+    pub fn len(&self) -> usize {
+        self.entries().len()
+    }
+
+    /// Whether the cache directory holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries().is_empty()
+    }
+
+    /// Remove every entry. Returns the number of files removed.
+    pub fn clear(&self) -> usize {
+        let mut removed = 0;
+        for entry in self.entries() {
+            if fs::remove_file(&entry.path).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    fn kernel_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("k-{:016x}.jsk", key.digest()))
+    }
+
+    fn promo_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("p-{:016x}.jsp", key.digest()))
+    }
+
+    fn reject(&self) {
+        self.rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Load, patch and seal the kernel image for `key`, expecting call shape
+    /// `kind`. `None` means miss or rejected entry — compile fresh.
+    pub(crate) fn load_kernel(
+        &self,
+        key: &CacheKey,
+        kind: KernelKind,
+        targets: &RelocTargets,
+    ) -> Option<ExecutableBuffer> {
+        let path = self.kernel_path(key);
+        let mut file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let loaded = self.try_load(&mut file, key, kind, targets);
+        if loaded.is_none() {
+            self.reject();
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        loaded
+    }
+
+    /// The validating load path; any `None` is a rejection.
+    fn try_load(
+        &self,
+        file: &mut fs::File,
+        key: &CacheKey,
+        kind: KernelKind,
+        targets: &RelocTargets,
+    ) -> Option<ExecutableBuffer> {
+        let file_len = file.metadata().ok()?.len();
+        if file_len < CODE_OFFSET {
+            return None;
+        }
+        let mut header = [0u8; CODE_OFFSET as usize];
+        file.read_exact(&mut header).ok()?;
+        if &header[0..8] != KERNEL_MAGIC {
+            return None;
+        }
+        // Bytewise key echo: a filename digest collision, a stale codegen
+        // revision or a foreign CPU feature set all fail here.
+        if header[8..8 + KEY_BYTES] != key.to_bytes() {
+            return None;
+        }
+        let at = 8 + KEY_BYTES;
+        let code_len = u64::from_le_bytes(header[at..at + 8].try_into().unwrap());
+        let checksum = u64::from_le_bytes(header[at + 8..at + 16].try_into().unwrap());
+        let kind_code = u64::from_le_bytes(header[at + 16..at + 24].try_into().unwrap());
+        let reloc_count = u64::from_le_bytes(header[at + 24..at + 32].try_into().unwrap());
+        let stored_kind = match kind_code {
+            0 => KernelKind::StaticRange,
+            1 => KernelKind::DynamicDispatch,
+            _ => return None,
+        };
+        if stored_kind != kind || code_len == 0 || reloc_count > MAX_RELOCS {
+            return None;
+        }
+        // Truncation check before mapping: pages wholly past EOF would
+        // SIGBUS on access.
+        if file_len < CODE_OFFSET + code_len {
+            return None;
+        }
+        let code_len = code_len as usize;
+        let mut relocs = Vec::with_capacity(reloc_count as usize);
+        for i in 0..reloc_count as usize {
+            let base = at + 32 + i * 16;
+            let sym = u64::from_le_bytes(header[base..base + 8].try_into().unwrap());
+            let offset = u64::from_le_bytes(header[base + 8..base + 16].try_into().unwrap());
+            let value = match sym {
+                0 => targets.row_ptr,
+                1 => targets.col_indices,
+                2 => targets.values,
+                3 => targets.next_counter,
+                _ => return None,
+            };
+            if (offset as usize).checked_add(8).is_none_or(|end| end > code_len) {
+                return None;
+            }
+            relocs.push((offset as usize, value));
+        }
+        let mut buf = WritableBuffer::map_file(file, CODE_OFFSET, code_len).ok()?;
+        if digest_bytes(buf.code()) != checksum {
+            return None;
+        }
+        for (offset, value) in relocs {
+            buf.patch_u64(offset, value).ok()?;
+        }
+        buf.seal().ok()
+    }
+
+    /// Store a freshly compiled kernel image for `key`.
+    ///
+    /// The relocation slots are zeroed in the stored copy so the image is
+    /// address-independent; write failures are silent (the cache just stays
+    /// cold for this key).
+    pub(crate) fn store_kernel(
+        &self,
+        key: &CacheKey,
+        code: &[u8],
+        relocs: &[KernelReloc],
+        kind: KernelKind,
+    ) {
+        if relocs.len() as u64 > MAX_RELOCS {
+            return;
+        }
+        let mut template = code.to_vec();
+        for &(_, offset) in relocs {
+            let Some(slot) = template.get_mut(offset..offset + 8) else { return };
+            slot.fill(0);
+        }
+        let mut header = vec![0u8; CODE_OFFSET as usize];
+        header[0..8].copy_from_slice(KERNEL_MAGIC);
+        header[8..8 + KEY_BYTES].copy_from_slice(&key.to_bytes());
+        let at = 8 + KEY_BYTES;
+        header[at..at + 8].copy_from_slice(&(template.len() as u64).to_le_bytes());
+        header[at + 8..at + 16].copy_from_slice(&digest_bytes(&template).to_le_bytes());
+        let kind_code: u64 = match kind {
+            KernelKind::StaticRange => 0,
+            KernelKind::DynamicDispatch => 1,
+        };
+        header[at + 16..at + 24].copy_from_slice(&kind_code.to_le_bytes());
+        header[at + 24..at + 32].copy_from_slice(&(relocs.len() as u64).to_le_bytes());
+        for (i, &(sym, offset)) in relocs.iter().enumerate() {
+            let base = at + 32 + i * 16;
+            let sym_code: u64 = match sym {
+                RelocSym::RowPtr => 0,
+                RelocSym::ColIndices => 1,
+                RelocSym::Values => 2,
+                RelocSym::NextCounter => 3,
+            };
+            header[base..base + 8].copy_from_slice(&sym_code.to_le_bytes());
+            header[base + 8..base + 16].copy_from_slice(&(offset as u64).to_le_bytes());
+        }
+        if self.write_atomically(&self.kernel_path(key), &[&header, &template]) {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+            self.enforce_cap();
+        }
+    }
+
+    /// Look up a persisted promotion outcome for a tiered engine's requested
+    /// configuration.
+    pub(crate) fn load_promotion(&self, key: &CacheKey) -> Option<PromotionRecord> {
+        let mut file = match fs::File::open(self.promo_path(key)) {
+            Ok(f) => f,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let loaded = Self::parse_promotion(&mut file, key);
+        if loaded.is_none() {
+            self.reject();
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        loaded
+    }
+
+    fn parse_promotion(file: &mut fs::File, key: &CacheKey) -> Option<PromotionRecord> {
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).ok()?;
+        let expected_len = 8 + KEY_BYTES + 8 + 3 + 8;
+        if bytes.len() != expected_len || &bytes[0..8] != PROMO_MAGIC {
+            return None;
+        }
+        let (body, tail) = bytes.split_at(expected_len - 8);
+        if u64::from_le_bytes(tail.try_into().unwrap()) != digest_bytes(body) {
+            return None;
+        }
+        if body[8..8 + KEY_BYTES] != key.to_bytes() {
+            return None;
+        }
+        let at = 8 + KEY_BYTES;
+        let batch = u64::from_le_bytes(body[at..at + 8].try_into().unwrap());
+        let strategy = key::strategy_from_code(body[at + 8], batch)?;
+        let isa = key::isa_from_code(body[at + 9])?;
+        let ccm = body[at + 10] != 0;
+        Some(PromotionRecord { strategy, isa, ccm })
+    }
+
+    /// Persist a tier-promotion outcome for `key`.
+    pub(crate) fn store_promotion(&self, key: &CacheKey, record: &PromotionRecord) {
+        let (strat_tag, batch) = key::strategy_code(record.strategy);
+        let mut body = Vec::with_capacity(8 + KEY_BYTES + 8 + 3);
+        body.extend_from_slice(PROMO_MAGIC);
+        body.extend_from_slice(&key.to_bytes());
+        body.extend_from_slice(&batch.to_le_bytes());
+        body.push(strat_tag);
+        body.push(key::isa_code(record.isa));
+        body.push(record.ccm as u8);
+        let digest = digest_bytes(&body).to_le_bytes();
+        if self.write_atomically(&self.promo_path(key), &[&body, &digest]) {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+            self.enforce_cap();
+        }
+    }
+
+    /// Write `parts` to a unique temp file and rename it into place, so
+    /// concurrent processes and crashes can never leave a half-written entry
+    /// under a real name. Returns false (silently) on any IO error.
+    fn write_atomically(&self, path: &Path, parts: &[&[u8]]) -> bool {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.dir.join(format!("tmp-{}-{seq}", std::process::id()));
+        let write = || -> std::io::Result<()> {
+            let mut file = fs::File::create(&tmp)?;
+            for part in parts {
+                file.write_all(part)?;
+            }
+            file.sync_all()?;
+            fs::rename(&tmp, path)
+        };
+        let ok = write().is_ok();
+        if !ok {
+            let _ = fs::remove_file(&tmp);
+        }
+        ok
+    }
+
+    /// All cache entry files currently in the directory (ignores foreign
+    /// files and unreadable metadata).
+    fn entries(&self) -> Vec<DirEntry> {
+        let Ok(read) = fs::read_dir(&self.dir) else { return Vec::new() };
+        read.filter_map(|entry| {
+            let entry = entry.ok()?;
+            let name = entry.file_name();
+            let name = name.to_str()?;
+            let cached = (name.starts_with("k-") && name.ends_with(".jsk"))
+                || (name.starts_with("p-") && name.ends_with(".jsp"))
+                || name.starts_with("tmp-");
+            if !cached {
+                return None;
+            }
+            let meta = entry.metadata().ok()?;
+            Some(DirEntry { path: entry.path(), size: meta.len(), mtime: meta.modified().ok()? })
+        })
+        .collect()
+    }
+
+    /// Evict oldest-modified entries until the directory fits the cap.
+    fn enforce_cap(&self) {
+        let Some(cap) = self.cap_bytes else { return };
+        let mut entries = self.entries();
+        let mut total: u64 = entries.iter().map(|e| e.size).sum();
+        if total <= cap {
+            return;
+        }
+        entries.sort_by_key(|e| e.mtime);
+        for entry in entries {
+            if total <= cap {
+                break;
+            }
+            if fs::remove_file(&entry.path).is_ok() {
+                total = total.saturating_sub(entry.size);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// One on-disk cache file.
+struct DirEntry {
+    path: PathBuf,
+    size: u64,
+    mtime: std::time::SystemTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::KernelOptions;
+    use crate::schedule::Strategy;
+    use jitspmm_asm::{Assembler, CpuFeatures, Gpr, IsaLevel};
+    use jitspmm_sparse::CsrMatrix;
+
+    /// Self-cleaning unique temp directory.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir()
+                .join(format!("jitspmm-cache-test-{tag}-{}-{seq}", std::process::id()));
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn sample_key(d: usize) -> CacheKey {
+        let matrix = CsrMatrix::<f32>::from_triplets(3, 3, &[(0, 0, 1.0), (2, 1, -2.0)]).unwrap();
+        let options = KernelOptions {
+            isa: IsaLevel::Scalar,
+            ccm: true,
+            features: CpuFeatures::detect(),
+            listing: false,
+        };
+        CacheKey::for_kernel(&matrix, d, Strategy::RowSplitStatic, &options)
+    }
+
+    /// `mov rax, <reloc>; ret` — a runnable stand-in for a kernel, with the
+    /// imm64 slot registered as the RowPtr relocation.
+    fn toy_code() -> (Vec<u8>, Vec<KernelReloc>) {
+        let mut asm = Assembler::new();
+        asm.mov_ri64(Gpr::Rax, 0x1111_2222_3333_4444);
+        let reloc = (RelocSym::RowPtr, asm.len() - 8);
+        asm.ret();
+        (asm.finalize().unwrap(), vec![reloc])
+    }
+
+    fn targets(row_ptr: u64) -> RelocTargets {
+        RelocTargets { row_ptr, col_indices: 0, values: 0, next_counter: 0 }
+    }
+
+    #[test]
+    fn store_load_round_trip_patches_and_executes() {
+        let dir = TempDir::new("roundtrip");
+        let cache = KernelCache::open(&dir.0);
+        let key = sample_key(8);
+        let (code, relocs) = toy_code();
+        assert!(cache.load_kernel(&key, KernelKind::StaticRange, &targets(0)).is_none());
+        cache.store_kernel(&key, &code, &relocs, KernelKind::StaticRange);
+        let buf = cache.load_kernel(&key, KernelKind::StaticRange, &targets(0xDEAD_BEEF)).unwrap();
+        let f: extern "C" fn() -> u64 = unsafe { buf.as_fn0() };
+        assert_eq!(f(), 0xDEAD_BEEF);
+        // Patched image must be bit-identical to what codegen would emit for
+        // that address.
+        let mut expected = code.clone();
+        expected[relocs[0].1..relocs[0].1 + 8].copy_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+        assert_eq!(buf.code(), &expected[..]);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 1, 1));
+    }
+
+    #[test]
+    fn different_key_or_kind_misses() {
+        let dir = TempDir::new("keymiss");
+        let cache = KernelCache::open(&dir.0);
+        let (code, relocs) = toy_code();
+        cache.store_kernel(&sample_key(8), &code, &relocs, KernelKind::StaticRange);
+        assert!(cache.load_kernel(&sample_key(16), KernelKind::StaticRange, &targets(1)).is_none());
+        assert!(cache
+            .load_kernel(&sample_key(8), KernelKind::DynamicDispatch, &targets(1))
+            .is_none());
+        assert_eq!(cache.stats().rejects, 1); // wrong kind hits the file, fails validation
+        assert_eq!(cache.stats().misses, 1); // wrong key has a different filename
+    }
+
+    #[test]
+    fn truncated_and_corrupt_entries_are_rejected() {
+        use std::io::{Seek, SeekFrom, Write};
+        let dir = TempDir::new("corrupt");
+        let cache = KernelCache::open(&dir.0);
+        let key = sample_key(8);
+        let (code, relocs) = toy_code();
+        cache.store_kernel(&key, &code, &relocs, KernelKind::StaticRange);
+        let path = cache.kernel_path(&key);
+        let full = fs::read(&path).unwrap();
+
+        // Truncated mid-code.
+        fs::write(&path, &full[..full.len() - 4]).unwrap();
+        assert!(cache.load_kernel(&key, KernelKind::StaticRange, &targets(1)).is_none());
+        // Truncated to header only.
+        fs::write(&path, &full[..64]).unwrap();
+        assert!(cache.load_kernel(&key, KernelKind::StaticRange, &targets(1)).is_none());
+        // Flipped code byte (checksum must catch it).
+        fs::write(&path, &full).unwrap();
+        let mut f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(CODE_OFFSET + 1)).unwrap();
+        f.write_all(&[full[CODE_OFFSET as usize + 1] ^ 0x40]).unwrap();
+        drop(f);
+        assert!(cache.load_kernel(&key, KernelKind::StaticRange, &targets(1)).is_none());
+        // Flipped header byte (key echo must catch it).
+        fs::write(&path, &full).unwrap();
+        let mut f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(20)).unwrap();
+        f.write_all(&[full[20] ^ 0x01]).unwrap();
+        drop(f);
+        assert!(cache.load_kernel(&key, KernelKind::StaticRange, &targets(1)).is_none());
+        assert_eq!(cache.stats().rejects, 4);
+
+        // Restoring the original bytes makes it load again.
+        fs::write(&path, &full).unwrap();
+        assert!(cache.load_kernel(&key, KernelKind::StaticRange, &targets(1)).is_some());
+    }
+
+    #[test]
+    fn clear_and_size_accounting() {
+        let dir = TempDir::new("clear");
+        let cache = KernelCache::open(&dir.0);
+        let (code, relocs) = toy_code();
+        cache.store_kernel(&sample_key(8), &code, &relocs, KernelKind::StaticRange);
+        cache.store_kernel(&sample_key(16), &code, &relocs, KernelKind::StaticRange);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.size_bytes() >= 2 * (CODE_OFFSET + code.len() as u64));
+        assert_eq!(cache.clear(), 2);
+        assert!(cache.is_empty());
+        assert_eq!(cache.size_bytes(), 0);
+        assert!(cache.load_kernel(&sample_key(8), KernelKind::StaticRange, &targets(1)).is_none());
+    }
+
+    #[test]
+    fn size_cap_evicts_oldest() {
+        let dir = TempDir::new("evict");
+        // Cap below two entries: storing the second evicts the first.
+        let cache = KernelCache::with_capacity(&dir.0, CODE_OFFSET + 1000);
+        let (code, relocs) = toy_code();
+        let (first, second) = (sample_key(8), sample_key(16));
+        cache.store_kernel(&first, &code, &relocs, KernelKind::StaticRange);
+        // Ensure a strictly older mtime on the first entry.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.store_kernel(&second, &code, &relocs, KernelKind::StaticRange);
+        assert!(cache.stats().evictions >= 1);
+        assert!(cache.load_kernel(&second, KernelKind::StaticRange, &targets(1)).is_some());
+        assert!(cache.load_kernel(&first, KernelKind::StaticRange, &targets(1)).is_none());
+    }
+
+    #[test]
+    fn promotion_records_round_trip_and_reject_corruption() {
+        let dir = TempDir::new("promo");
+        let cache = KernelCache::open(&dir.0);
+        let key = sample_key(8);
+        assert!(cache.load_promotion(&key).is_none());
+        let record = PromotionRecord {
+            strategy: Strategy::RowSplitDynamic { batch: 48 },
+            isa: IsaLevel::Avx2,
+            ccm: true,
+        };
+        cache.store_promotion(&key, &record);
+        assert_eq!(cache.load_promotion(&key), Some(record));
+        // A promotion record for one config must not answer another.
+        assert!(cache.load_promotion(&sample_key(16)).is_none());
+        // Corruption: flip a byte anywhere → checksum rejects.
+        let path = cache.promo_path(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8 + KEY_BYTES] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        assert!(cache.load_promotion(&key).is_none());
+        assert!(cache.stats().rejects >= 1);
+    }
+
+    #[test]
+    fn unwritable_directory_degrades_to_no_cache() {
+        // A path under a file can't be created; every call must still work.
+        let dir = TempDir::new("degrade");
+        fs::create_dir_all(&dir.0).unwrap();
+        let blocker = dir.0.join("blocker");
+        fs::write(&blocker, b"x").unwrap();
+        let cache = KernelCache::open(blocker.join("sub"));
+        let key = sample_key(8);
+        let (code, relocs) = toy_code();
+        cache.store_kernel(&key, &code, &relocs, KernelKind::StaticRange);
+        assert!(cache.load_kernel(&key, KernelKind::StaticRange, &targets(1)).is_none());
+        assert_eq!(cache.stats().stores, 0);
+        assert_eq!(cache.size_bytes(), 0);
+        assert_eq!(cache.clear(), 0);
+    }
+}

@@ -7,6 +7,8 @@
 //! ([`crate::engine::tier`]) can install a recompiled core between batches
 //! without invalidating anything a running launch holds.
 
+use crate::cache::key::CacheKey;
+use crate::cache::{KernelCache, RelocTargets};
 use crate::codegen::{
     generate_dynamic_kernel, generate_static_kernel, KernelOptions, MatrixBinding,
 };
@@ -17,6 +19,7 @@ use crate::kernel::{CompiledKernel, KernelKind, KernelMeta};
 use crate::runtime::dispatch::BufferPool;
 use crate::runtime::WorkerPool;
 use crate::schedule::{partition, DynamicCounter, Partition, Strategy};
+use crate::tiling::CcmPlan;
 use jitspmm_asm::{CpuFeatures, IsaLevel};
 use jitspmm_sparse::{CsrMatrix, DenseMatrix, Scalar};
 use std::sync::atomic::AtomicU64;
@@ -147,24 +150,83 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         let features = CpuFeatures::detect();
         let isa = options.isa.unwrap_or_else(|| features.best_isa());
         let threads = pool.lanes_for(options.threads);
+        // Listings only exist on the codegen path, so a listing engine
+        // bypasses the cache entirely (it neither loads nor stores).
+        let cache = if options.listing { None } else { options.kernel_cache.clone() };
         // A tiered engine compiles the cheapest safe configuration first —
         // scalar code, static row split — and keeps the requested one as the
         // promotion target; a fixed engine compiles the request directly.
-        let (core_strategy, core_isa, tier) = match options.tier {
-            Some(_) => (Strategy::RowSplitStatic, IsaLevel::Scalar, KernelTier::Tier0),
-            None => (options.strategy, isa, KernelTier::Fixed),
+        // With a cache, a tiered engine first consults the persisted
+        // promotion record for its requested configuration: a hit means an
+        // earlier process already profiled this exact workload, so the engine
+        // warm-starts on the promoted configuration and skips tier-0 and the
+        // warmup phase altogether.
+        let mut promoted_plan: Option<(Strategy, KernelOptions)> = None;
+        if options.tier.is_some() {
+            if let Some(cache) = cache.as_ref() {
+                let requested = KernelOptions { isa, ccm: options.ccm, features, listing: false };
+                let key = CacheKey::for_kernel(matrix, d, options.strategy, &requested);
+                if let Some(record) = cache.load_promotion(&key) {
+                    let kernel_options = KernelOptions {
+                        isa: record.isa,
+                        ccm: record.ccm,
+                        features,
+                        listing: false,
+                    };
+                    // Feature bits are part of the key, so the record was
+                    // written by a host with identical features; validate
+                    // anyway — a failure just falls back to tier 0.
+                    if crate::codegen::validate_options(&kernel_options).is_ok() {
+                        promoted_plan = Some((record.strategy, kernel_options));
+                    }
+                }
+            }
+        }
+        let (core_strategy, kernel_options, tier) = match (&options.tier, promoted_plan) {
+            (Some(_), Some((strategy, kernel_options))) => {
+                (strategy, kernel_options, KernelTier::Promoted)
+            }
+            (Some(_), None) => (
+                Strategy::RowSplitStatic,
+                KernelOptions {
+                    isa: IsaLevel::Scalar,
+                    ccm: options.ccm,
+                    features,
+                    listing: options.listing,
+                },
+                KernelTier::Tier0,
+            ),
+            (None, _) => (
+                options.strategy,
+                KernelOptions { isa, ccm: options.ccm, features, listing: options.listing },
+                KernelTier::Fixed,
+            ),
         };
-        let kernel_options =
-            KernelOptions { isa: core_isa, ccm: options.ccm, features, listing: options.listing };
-        let core = JitSpmm::build_core(matrix, d, core_strategy, kernel_options, threads, tier)?;
+        let core = JitSpmm::build_core(
+            matrix,
+            d,
+            core_strategy,
+            kernel_options,
+            threads,
+            tier,
+            cache.as_deref(),
+        )?;
+        let tier_state = options.tier.map(|policy| {
+            if tier == KernelTier::Promoted {
+                TierState::warm_promoted(policy)
+            } else {
+                TierState::new(policy)
+            }
+        });
+        let node = options.numa_node;
         Ok(JitSpmm {
             matrix,
             d,
             options,
             threads,
-            node: options.numa_node,
+            node,
             active: Mutex::new(Arc::new(core)),
-            tier_state: options.tier.map(TierState::new),
+            tier_state,
             launch: Mutex::new(()),
             launch_owner: AtomicU64::new(0),
             pool,
@@ -173,8 +235,13 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
     }
 
     /// Generate, assemble and partition one complete engine configuration.
-    /// Shared by initial compilation (tier 0 or fixed) and the tier layer's
-    /// background promotion build.
+    /// Shared by initial compilation (tier 0, warm-started promoted, or
+    /// fixed) and the tier layer's background promotion build.
+    ///
+    /// With a `cache`, the kernel image is first looked up on disk (a hit
+    /// maps, patches and seals it — skipping code generation entirely) and
+    /// stored after a fresh compile. Cache failures of any kind degrade to
+    /// the fresh-compile path.
     pub(super) fn build_core(
         matrix: &CsrMatrix<T>,
         d: usize,
@@ -182,30 +249,78 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         kernel_options: KernelOptions,
         threads: usize,
         tier: KernelTier,
+        cache: Option<&KernelCache>,
     ) -> Result<EngineCore<T>, JitSpmmError> {
+        crate::codegen::validate_options(&kernel_options)?;
+        if let Strategy::RowSplitDynamic { batch: 0 } = strategy {
+            return Err(JitSpmmError::InvalidConfig("dynamic batch size must be non-zero".into()));
+        }
         let counter = Box::new(DynamicCounter::new());
         let binding = MatrixBinding::of(matrix);
+        let kind = match strategy {
+            Strategy::RowSplitDynamic { .. } => KernelKind::DynamicDispatch,
+            _ => KernelKind::StaticRange,
+        };
+        // Listing engines bypass the cache: listings exist only on the
+        // codegen path, and a cached image must not shadow them.
+        let cache = if kernel_options.listing { None } else { cache };
+        let key = cache.map(|_| CacheKey::for_kernel(matrix, d, strategy, &kernel_options));
 
         let start = Instant::now();
-        let (generated, kind) = match strategy {
-            Strategy::RowSplitDynamic { batch } => (
-                generate_dynamic_kernel(
-                    binding,
+        if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
+            let targets = RelocTargets {
+                row_ptr: binding.row_ptr as u64,
+                col_indices: binding.col_indices as u64,
+                values: binding.values as u64,
+                next_counter: counter.as_ptr() as u64,
+            };
+            if let Some(buf) = cache.load_kernel(key, kind, &targets) {
+                let load_time = start.elapsed();
+                // The plan is a pure function of (d, isa, kind) — recompute
+                // it instead of serializing it.
+                let plan = CcmPlan::new(d, kernel_options.isa, T::KIND);
+                let kernel = CompiledKernel::from_buffer(buf, kind);
+                let meta = KernelMeta {
                     d,
-                    T::KIND,
-                    batch,
-                    counter.as_ptr() as *const u8,
-                    &kernel_options,
-                )?,
-                KernelKind::DynamicDispatch,
-            ),
-            _ => (
-                generate_static_kernel(binding, d, T::KIND, &kernel_options)?,
-                KernelKind::StaticRange,
-            ),
+                    kind: T::KIND,
+                    isa: kernel_options.isa,
+                    ccm: kernel_options.ccm,
+                    strategy,
+                    code_bytes: kernel.code().len(),
+                    codegen_time: load_time,
+                    register_plan: plan.describe(),
+                    nnz_passes: plan.passes(),
+                };
+                let partition = partition(matrix, strategy, threads);
+                return Ok(EngineCore {
+                    kernel,
+                    meta,
+                    partition,
+                    counter,
+                    kernel_options,
+                    strategy,
+                    tier,
+                    batch_kernels: Mutex::new(Vec::new()),
+                });
+            }
+        }
+
+        let generated = match strategy {
+            Strategy::RowSplitDynamic { batch } => generate_dynamic_kernel(
+                binding,
+                d,
+                T::KIND,
+                batch,
+                counter.as_ptr() as *const u8,
+                &kernel_options,
+            )?,
+            _ => generate_static_kernel(binding, d, T::KIND, &kernel_options)?,
         };
         let kernel = CompiledKernel::new(&generated.code, kind, generated.listing)?;
         let codegen_time = start.elapsed();
+        if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
+            cache.store_kernel(key, &generated.code, &generated.relocs, kind);
+        }
 
         let meta = KernelMeta {
             d,
@@ -264,6 +379,15 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         self.node
     }
 
+    /// Re-pin the soft NUMA placement hint after construction (see
+    /// [`SpmmOptions::numa_node`]): subsequent launches prefer workers on
+    /// `node`; `None` clears the hint. Servers that place engines by hand
+    /// use this via [`crate::serve::SpmmServer::add_engine_on_node`], e.g.
+    /// to land a warm-started engine on the node it was profiled on.
+    pub fn place_on_node(&mut self, node: Option<usize>) {
+        self.node = node;
+    }
+
     /// The scheduling strategy of the currently active kernel; the serving
     /// layer stamps it into synthesized (zero-input) per-engine reports.
     pub(crate) fn strategy(&self) -> Strategy {
@@ -304,24 +428,56 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         let Strategy::RowSplitDynamic { batch } = core.strategy else {
             unreachable!("dynamic kernels are only generated for dynamic row-split")
         };
-        let mut cache = crate::runtime::pool::lock(&core.batch_kernels);
-        while cache.len() < extra {
+        // Listings are a debugging aid of the primary kernel; spare copies
+        // are byte-identical except for the counter address.
+        let options = KernelOptions { listing: false, ..core.kernel_options };
+        // Spare kernels differ from the primary only in their embedded
+        // counter address — a relocation slot — so they share the primary's
+        // cache entry: one stored image instantiates every pipeline slot.
+        let disk = self.options.kernel_cache.as_deref();
+        let key = disk.map(|_| CacheKey::for_kernel(self.matrix, self.d, core.strategy, &options));
+        let binding = MatrixBinding::of(self.matrix);
+        let mut slots = crate::runtime::pool::lock(&core.batch_kernels);
+        while slots.len() < extra {
             let counter = Box::new(DynamicCounter::new());
-            // Listings are a debugging aid of the primary kernel; spare
-            // copies are byte-identical except for the counter address.
-            let options = KernelOptions { listing: false, ..core.kernel_options };
-            let generated = generate_dynamic_kernel(
-                MatrixBinding::of(self.matrix),
-                self.d,
-                T::KIND,
-                batch,
-                counter.as_ptr() as *const u8,
-                &options,
-            )?;
-            let kernel = CompiledKernel::new(&generated.code, KernelKind::DynamicDispatch, None)?;
-            cache.push(Arc::new(SlotKernel { kernel, counter }));
+            let cached = match (disk, key.as_ref()) {
+                (Some(disk), Some(key)) => {
+                    let targets = RelocTargets {
+                        row_ptr: binding.row_ptr as u64,
+                        col_indices: binding.col_indices as u64,
+                        values: binding.values as u64,
+                        next_counter: counter.as_ptr() as u64,
+                    };
+                    disk.load_kernel(key, KernelKind::DynamicDispatch, &targets)
+                        .map(|buf| CompiledKernel::from_buffer(buf, KernelKind::DynamicDispatch))
+                }
+                _ => None,
+            };
+            let kernel = match cached {
+                Some(kernel) => kernel,
+                None => {
+                    let generated = generate_dynamic_kernel(
+                        binding,
+                        self.d,
+                        T::KIND,
+                        batch,
+                        counter.as_ptr() as *const u8,
+                        &options,
+                    )?;
+                    if let (Some(disk), Some(key)) = (disk, key.as_ref()) {
+                        disk.store_kernel(
+                            key,
+                            &generated.code,
+                            &generated.relocs,
+                            KernelKind::DynamicDispatch,
+                        );
+                    }
+                    CompiledKernel::new(&generated.code, KernelKind::DynamicDispatch, None)?
+                }
+            };
+            slots.push(Arc::new(SlotKernel { kernel, counter }));
         }
-        Ok(cache.iter().take(extra).cloned().collect())
+        Ok(slots.iter().take(extra).cloned().collect())
     }
 
     /// Grow the engine's retained output-buffer bound to `outstanding`, so a

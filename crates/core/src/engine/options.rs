@@ -2,14 +2,16 @@
 
 use super::compile::JitSpmm;
 use super::tier::TierPolicy;
+use crate::cache::KernelCache;
 use crate::error::JitSpmmError;
 use crate::runtime::WorkerPool;
 use crate::schedule::Strategy;
 use jitspmm_asm::IsaLevel;
 use jitspmm_sparse::{CsrMatrix, Scalar};
+use std::sync::Arc;
 
 /// Configuration of a [`JitSpmm`] engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SpmmOptions {
     /// Workload-division strategy (default: dynamic row-split with the
     /// paper's batch size of 128).
@@ -37,6 +39,13 @@ pub struct SpmmOptions {
     /// any worker claim, and on single-node hosts the hint is ignored
     /// entirely.
     pub numa_node: Option<usize>,
+    /// Persistent kernel cache: compiled kernels (and tier-promotion
+    /// outcomes) are stored here and reloaded by later processes, skipping
+    /// code generation — and, for tiered engines, the whole tier-0 warmup
+    /// phase — on a hit. `None` (the default) compiles fresh every time.
+    /// Ignored while `listing` is set, since listings only exist on the
+    /// codegen path.
+    pub kernel_cache: Option<Arc<KernelCache>>,
 }
 
 impl Default for SpmmOptions {
@@ -49,7 +58,26 @@ impl Default for SpmmOptions {
             listing: false,
             tier: None,
             numa_node: None,
+            kernel_cache: None,
         }
+    }
+}
+
+impl PartialEq for SpmmOptions {
+    fn eq(&self, other: &SpmmOptions) -> bool {
+        let cache_eq = match (&self.kernel_cache, &other.kernel_cache) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        };
+        cache_eq
+            && self.strategy == other.strategy
+            && self.isa == other.isa
+            && self.threads == other.threads
+            && self.ccm == other.ccm
+            && self.listing == other.listing
+            && self.tier == other.tier
+            && self.numa_node == other.numa_node
     }
 }
 
@@ -132,6 +160,23 @@ impl JitSpmmBuilder {
     /// automatically, spreading shards round-robin across detected nodes.
     pub fn numa_node(mut self, node: usize) -> Self {
         self.options.numa_node = Some(node);
+        self
+    }
+
+    /// Persist compiled kernels in the cache directory `dir` and reload them
+    /// on the next start instead of re-running code generation (see
+    /// [`SpmmOptions::kernel_cache`] and [`crate::cache`] for the on-disk
+    /// format). Opens an uncapped [`KernelCache`]; share a configured handle
+    /// across engines with [`JitSpmmBuilder::kernel_cache_in`].
+    pub fn kernel_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.options.kernel_cache = Some(KernelCache::open(dir));
+        self
+    }
+
+    /// Use an already-opened [`KernelCache`] (shared across engines and with
+    /// [`crate::ShardedSpmm`], so hit statistics aggregate in one place).
+    pub fn kernel_cache_in(mut self, cache: Arc<KernelCache>) -> Self {
+        self.options.kernel_cache = Some(cache);
         self
     }
 

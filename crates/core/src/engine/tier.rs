@@ -206,6 +206,24 @@ impl<T: Scalar> TierState<T> {
             promotions: AtomicUsize::new(0),
         }
     }
+
+    /// State for an engine that warm-started directly on a promoted core (a
+    /// persisted promotion record matched — see
+    /// [`crate::engine::options::SpmmOptions::kernel_cache`]): the machine
+    /// begins settled, so no warmup is recorded and no recompile is ever
+    /// scheduled. The promotion counter stays 0 — this process performed no
+    /// hot-swap.
+    pub(super) fn warm_promoted(policy: TierPolicy) -> TierState<T> {
+        TierState {
+            policy,
+            shared: Mutex::new(TierShared {
+                phase: TierPhase::Promoted,
+                stats: BatchStats::default(),
+                pending: None,
+            }),
+            promotions: AtomicUsize::new(0),
+        }
+    }
 }
 
 impl<T: Scalar> JitSpmm<'_, T> {
@@ -326,15 +344,37 @@ impl<T: Scalar> JitSpmm<'_, T> {
             features,
             listing: self.options.listing,
         };
-        JitSpmm::build_core(
+        let cache = if self.options.listing { None } else { self.options.kernel_cache.as_deref() };
+        let core = JitSpmm::build_core(
             self.matrix,
             self.d,
             target_strategy,
             kernel_options,
             self.threads,
             KernelTier::Promoted,
-        )
-        .map(Some)
+            cache,
+        )?;
+        // Persist the promotion outcome keyed by the *requested*
+        // configuration, so the next process warm-starts straight onto this
+        // core (build_core above stored its kernel image) and skips tier 0
+        // and the warmup window entirely.
+        if let Some(cache) = cache {
+            let requested =
+                KernelOptions { isa: target_isa, ccm: self.options.ccm, features, listing: false };
+            let key = crate::cache::key::CacheKey::for_kernel(
+                self.matrix,
+                self.d,
+                self.options.strategy,
+                &requested,
+            );
+            let record = crate::cache::PromotionRecord {
+                strategy: target_strategy,
+                isa: target_isa,
+                ccm: self.options.ccm,
+            };
+            cache.store_promotion(&key, &record);
+        }
+        Ok(Some(core))
     }
 
     /// Install a built promoted core if no launch is in flight. Non-blocking:

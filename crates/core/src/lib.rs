@@ -295,6 +295,40 @@
 //! # }
 //! ```
 //!
+//! # Warm restarts: the persistent kernel cache
+//!
+//! Code generation is cheap next to steady-state execution, but a restarted
+//! server pays it again for *every* engine — and a tiered engine also
+//! re-pays the tier-0 warmup and the profile-guided recompile it already
+//! did last boot. The [`cache`] module makes compilation artifacts survive
+//! the process: [`JitSpmmBuilder::kernel_cache`] points an engine at a
+//! directory, compiled kernels are persisted as relocatable templates, and
+//! the next process **mmaps them back** instead of generating code
+//! ([`CacheStats`] records hits/misses/rejects per cache).
+//!
+//! Entries are keyed by everything the generated code depends on: a 128-bit
+//! fingerprint of the sparse matrix (structure *and* values), the dense
+//! width `d`, scalar kind, strategy (with dynamic batch), ISA tier, CCM
+//! flag, detected CPU features, and the crate/codegen revision — so a
+//! library upgrade or a different machine re-keys rather than mis-executes.
+//! On disk an entry is a 4 KiB header (magic, bytewise key echo, code
+//! length, checksum, relocation table) followed by the code at page offset
+//! 4096; the matrix-address `mov` immediates are stored **zeroed** and
+//! patched per process after a copy-on-write file mapping, so a loaded
+//! kernel is bit-identical to a fresh compile. Any mismatch — truncation,
+//! checksum, foreign CPU features, colliding key digest — degrades to a
+//! silent recompile; a corrupt cache can never crash or corrupt results.
+//! Tier promotions persist too: a promotion record keyed by the *requested*
+//! configuration lets the next boot warm-start straight onto the promoted
+//! kernel ([`KernelTier::Promoted`] with zero in-process promotions),
+//! skipping warmup entirely. Directories are bounded
+//! ([`KernelCache::with_capacity`] evicts oldest-first;
+//! [`KernelCache::clear`] empties) and shared safely across engines,
+//! sharded compiles ([`ShardOptions::kernel_cache`]) and processes (atomic
+//! tmp+rename stores). The `jitspmm-serve` binary (crates/bench) wraps this
+//! in a TCP front end whose warm-restart round trip CI exercises end to
+//! end.
+//!
 //! # Memory locality: NUMA placement and the futex wake path
 //!
 //! SpMM is memory-bound, so the runtime fights for locality on two fronts.
@@ -325,6 +359,9 @@
 //! │   ├── batch          execute_batch, BatchStream (borrowed + owned pushes)
 //! │   ├── tier           adaptive tiering: tier-0 start, profiled recompile, hot-swap
 //! │   └── report         ExecutionReport, BatchReport, reservoir percentiles
+//! ├── cache/             persistent kernel cache (mmap-backed warm starts)
+//! │   ├── key            CacheKey: matrix fingerprint + config + CPU + revision
+//! │   └── (mod)          KernelCache: store/load/evict, promotion records
 //! ├── serve/             multi-engine serving router + control plane
 //! │   ├── server         SpmmServer, ServerSession, serve_controlled loop
 //! │   ├── queue          bounded RequestQueue / RequestSender, admission gate
@@ -357,6 +394,7 @@
 #![deny(missing_docs)]
 
 pub mod baseline;
+pub mod cache;
 pub mod codegen;
 pub mod engine;
 pub mod error;
@@ -368,6 +406,7 @@ pub mod serve;
 pub mod shard;
 pub mod tiling;
 
+pub use cache::{CacheStats, KernelCache};
 pub use codegen::KernelOptions;
 pub use engine::{
     BatchReport, BatchStream, ExecutionHandle, ExecutionReport, JitSpmm, JitSpmmBuilder, KernelRef,
@@ -386,7 +425,9 @@ pub use serve::{
     RequestQueue, RequestSender, SendError, ServeOptions, ServerReport, ServerRequest,
     ServerResponse, ServerSession, SpmmServer,
 };
-pub use shard::{plan_shards, ShardPlan, ShardReport, ShardSpec, ShardedSpmm, ShardedStream};
+pub use shard::{
+    plan_shards, ShardOptions, ShardPlan, ShardReport, ShardSpec, ShardedSpmm, ShardedStream,
+};
 pub use tiling::{CcmPlan, ColumnTile, Segment, SegmentWidth};
 
 pub use jitspmm_asm::{CpuFeatures, IsaLevel};

@@ -166,6 +166,24 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         Ok(id)
     }
 
+    /// [`SpmmServer::add_engine`] with explicit NUMA placement: re-pins the
+    /// engine's soft placement hint ([`JitSpmm::place_on_node`]) to `node`
+    /// before registration, overriding whatever the builder chose. For
+    /// servers that place engines by hand — e.g. to land a warm-started
+    /// engine (see [`crate::cache`]) on the node it was profiled on.
+    ///
+    /// # Errors
+    ///
+    /// As [`SpmmServer::add_engine`].
+    pub fn add_engine_on_node(
+        &self,
+        mut engine: JitSpmm<'a, T>,
+        node: Option<usize>,
+    ) -> Result<usize, JitSpmmError> {
+        engine.place_on_node(node);
+        self.add_engine(engine)
+    }
+
     /// Register a sharded engine ([`ShardedSpmm`]) behind **one logical
     /// engine id**, which this returns. To the routing layer a sharded
     /// engine is indistinguishable from a single one: requests tag the
@@ -194,6 +212,22 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         let registered = self.control.register_engine();
         debug_assert_eq!(registered, id, "registry and control plane use one id space");
         Ok(id)
+    }
+
+    /// [`SpmmServer::add_sharded`] with explicit NUMA placement: re-pins
+    /// every shard engine's hint ([`ShardedSpmm::place_on_node`]) to `node`
+    /// before registration, overriding the automatic contiguous spread.
+    ///
+    /// # Errors
+    ///
+    /// As [`SpmmServer::add_sharded`].
+    pub fn add_sharded_on_node(
+        &self,
+        mut sharded: ShardedSpmm<'a, T>,
+        node: Option<usize>,
+    ) -> Result<usize, JitSpmmError> {
+        sharded.place_on_node(node);
+        self.add_sharded(sharded)
     }
 
     /// Begin retiring engine `id`: it stops admitting ([`RejectReason::Draining`]

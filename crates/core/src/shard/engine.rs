@@ -2,6 +2,7 @@
 //! [`ShardPlan`], executing as overlapped lane-capped launches on a shared
 //! [`WorkerPool`], with shard outputs stitched into full-height results.
 
+use crate::cache::KernelCache;
 use crate::engine::{ExecutionHandle, JitSpmm, JitSpmmBuilder, KernelTier, TierPolicy};
 use crate::error::JitSpmmError;
 use crate::runtime::dispatch::BufferPool;
@@ -13,6 +14,48 @@ use crate::shard::stream::ShardedStream;
 use jitspmm_sparse::{DenseMatrix, Scalar};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Cross-cutting options for compiling a sharded engine
+/// ([`ShardedSpmm::compile_with`]): tiering, the persistent kernel cache,
+/// and explicit NUMA placement.
+#[derive(Debug, Clone, Default)]
+pub struct ShardOptions {
+    /// Adaptive tiering policy; every shard engine promotes independently.
+    pub tier: Option<TierPolicy>,
+    /// Persistent kernel cache shared by every shard engine: per-shard
+    /// kernels (and per-shard promotion outcomes) are keyed by each shard's
+    /// own matrix fingerprint, so a restart warm-starts all K shards.
+    pub kernel_cache: Option<Arc<KernelCache>>,
+    /// Pin every shard engine's soft NUMA hint to this node, overriding the
+    /// automatic contiguous spread across detected nodes. For servers that
+    /// place sharded engines by hand.
+    pub numa_node: Option<usize>,
+}
+
+impl ShardOptions {
+    /// Default options: no tiering, no cache, automatic NUMA spread.
+    pub fn new() -> ShardOptions {
+        ShardOptions::default()
+    }
+
+    /// Enable adaptive tiering under `policy`.
+    pub fn tiered(mut self, policy: TierPolicy) -> ShardOptions {
+        self.tier = Some(policy);
+        self
+    }
+
+    /// Persist and reload per-shard kernels through `cache`.
+    pub fn kernel_cache(mut self, cache: Arc<KernelCache>) -> ShardOptions {
+        self.kernel_cache = Some(cache);
+        self
+    }
+
+    /// Pin every shard engine to NUMA node `node`.
+    pub fn numa_node(mut self, node: usize) -> ShardOptions {
+        self.numa_node = Some(node);
+        self
+    }
+}
 
 /// A sharded SpMM engine: K independently compiled [`JitSpmm`] engines —
 /// one per row shard of a [`ShardPlan`] — sharing one [`WorkerPool`].
@@ -85,7 +128,7 @@ impl<'a, T: Scalar> ShardedSpmm<'a, T> {
         d: usize,
         pool: WorkerPool,
     ) -> Result<ShardedSpmm<'a, T>, JitSpmmError> {
-        ShardedSpmm::compile_inner(plan, d, pool, None)
+        ShardedSpmm::compile_with(plan, d, pool, ShardOptions::new())
     }
 
     /// [`ShardedSpmm::compile`] with adaptive tiering: every shard engine
@@ -102,20 +145,30 @@ impl<'a, T: Scalar> ShardedSpmm<'a, T> {
         pool: WorkerPool,
         policy: TierPolicy,
     ) -> Result<ShardedSpmm<'a, T>, JitSpmmError> {
-        ShardedSpmm::compile_inner(plan, d, pool, Some(policy))
+        ShardedSpmm::compile_with(plan, d, pool, ShardOptions::new().tiered(policy))
     }
 
-    fn compile_inner(
+    /// [`ShardedSpmm::compile`] with the full option set ([`ShardOptions`]):
+    /// tiering, a shared persistent kernel cache (each shard's kernel is
+    /// keyed by its own matrix fingerprint, so a restarted process
+    /// warm-starts all K shards without codegen), and explicit NUMA
+    /// placement.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedSpmm::compile`].
+    pub fn compile_with(
         plan: &'a ShardPlan<T>,
         d: usize,
         pool: WorkerPool,
-        tier: Option<TierPolicy>,
+        options: ShardOptions,
     ) -> Result<ShardedSpmm<'a, T>, JitSpmmError> {
         // On a multi-node host, spread shards contiguously across NUMA nodes
         // (shard k of K prefers node k*N/K): shards are row-contiguous, so
         // contiguous assignment keeps each node's workers walking one
         // locality-coherent slice of the matrix. A soft hint only — claiming
         // stays work-conserving — and absent entirely on single-node hosts.
+        // An explicit `ShardOptions::numa_node` overrides the spread.
         let topology = NumaTopology::detect();
         let nodes = topology.is_multi_node().then(|| topology.num_nodes());
         let shard_count = plan.shards().len();
@@ -128,10 +181,15 @@ impl<'a, T: Scalar> ShardedSpmm<'a, T> {
                     .pool(pool.clone())
                     .threads(plan.lanes())
                     .strategy(spec.strategy);
-                if let Some(policy) = tier {
+                if let Some(policy) = options.tier {
                     builder = builder.tiered(policy);
                 }
-                if let Some(n) = nodes {
+                if let Some(cache) = &options.kernel_cache {
+                    builder = builder.kernel_cache_in(Arc::clone(cache));
+                }
+                if let Some(node) = options.numa_node {
+                    builder = builder.numa_node(node);
+                } else if let Some(n) = nodes {
                     builder = builder.numa_node(k * n / shard_count.max(1));
                 }
                 builder.build(&spec.matrix, d)
@@ -189,6 +247,15 @@ impl<'a, T: Scalar> ShardedSpmm<'a, T> {
     /// Total hot-swap promotions across the shard engines.
     pub fn promotions(&self) -> usize {
         self.engines.iter().map(JitSpmm::promotions).sum()
+    }
+
+    /// Re-pin every shard engine's soft NUMA placement hint to `node` (see
+    /// [`JitSpmm::place_on_node`]); `None` clears the hints and with them
+    /// the first-touch output placement.
+    pub fn place_on_node(&mut self, node: Option<usize>) {
+        for engine in &mut self.engines {
+            engine.place_on_node(node);
+        }
     }
 
     /// Compute `Y = A * X` by launching every shard as an overlapped,

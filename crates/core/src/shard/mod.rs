@@ -47,7 +47,7 @@ mod stream;
 #[cfg(test)]
 mod shard_tests;
 
-pub use engine::ShardedSpmm;
+pub use engine::{ShardOptions, ShardedSpmm};
 pub use plan::{plan_shards, ShardPlan, ShardSpec};
 pub use report::ShardReport;
 pub use stream::ShardedStream;
