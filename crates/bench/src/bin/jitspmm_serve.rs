@@ -24,6 +24,7 @@
 //! | 1  | INFO                          | `0u8`, UTF-8 status text           |
 //! | 2  | MUL: engine `u32`, seed `u64` | `0u8`, nrows `u32`, d `u32`, row-major little-endian `f32` output |
 //! | 3  | SHUTDOWN                      | `0u8`                              |
+//! | 4  | UPDATE: engine `u32`, count `u32`, then per op: kind `u8` (0 upsert, 1 delete), row `u32`, col `u32`, value `f32` | `0u8`, UTF-8 `revision=N` |
 //!
 //! Errors come back as `1u8` followed by UTF-8 text. A MUL names its dense
 //! input by *seed*: both sides derive it as `DenseMatrix::random(ncols, d,
@@ -34,10 +35,20 @@
 //! [`SpmmServer::serve_controlled`]; each connection thread parks on a
 //! per-engine FIFO of reply channels, pushed under the same lock as the
 //! queue send so responses (per-engine submission order) match up.
+//!
+//! With `--mutable` every engine is registered as a [`MutableSpmm`]
+//! (sharded across `--shards`), and UPDATE frames mutate its matrix live:
+//! the delta is queued through [`jitspmm::serve::ControlHandle::apply_update`]
+//! and the serving loop swaps the merged generation in between launches —
+//! in-flight MULs finish on the old matrix, later MULs see the new one.
+//! INFO reports each engine's live tier, nonzero count and matrix revision,
+//! plus the server-wide applied/failed update counters.
 
-use jitspmm::serve::{AdmissionPolicy, ServeOptions, ServerRequest, ServerResponse, SpmmServer};
-use jitspmm::{JitSpmm, JitSpmmBuilder, KernelCache, TierPolicy, WorkerPool};
-use jitspmm_sparse::{generate, CsrMatrix, DenseMatrix};
+use jitspmm::serve::{
+    AdmissionPolicy, ControlHandle, ServeOptions, ServerRequest, ServerResponse, SpmmServer,
+};
+use jitspmm::{JitSpmmBuilder, KernelCache, MutableSpmm, ShardOptions, TierPolicy, WorkerPool};
+use jitspmm_sparse::{generate, CsrMatrix, DeltaBatch, DenseMatrix};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -49,6 +60,10 @@ use std::time::{Duration, Instant};
 const OP_INFO: u8 = 1;
 const OP_MUL: u8 = 2;
 const OP_SHUTDOWN: u8 = 3;
+const OP_UPDATE: u8 = 4;
+
+/// Bytes per wire-encoded delta op: kind, row, col, value.
+const UPDATE_OP_BYTES: usize = 13;
 
 /// A synthetic matrix an engine serves: `uniform:rows,cols,nnz,seed,d`.
 /// Deterministic by construction, so every restart fingerprints identically.
@@ -124,9 +139,11 @@ fn error_frame(message: &str) -> Vec<u8> {
 
 fn usage() -> String {
     "usage:\n  jitspmm-serve serve [--listen ADDR] [--matrix uniform:rows,cols,nnz,seed,d]...\n    \
-     [--cache DIR] [--numa NODE] [--tiered] [--threads N] [--queue N]\n  \
+     [--cache DIR] [--numa NODE] [--tiered] [--threads N] [--queue N]\n    \
+     [--mutable] [--shards N]\n  \
      jitspmm-serve client ADDR info\n  \
      jitspmm-serve client ADDR mul ENGINE SEED [--out FILE] [--expect FILE]\n  \
+     jitspmm-serve client ADDR update ENGINE OPS   (OPS: row:col:value or row:col:del, comma-separated)\n  \
      jitspmm-serve client ADDR shutdown"
         .to_string()
 }
@@ -155,6 +172,10 @@ struct ServerConfig {
     tiered: bool,
     threads: usize,
     queue: usize,
+    /// Register engines as updatable [`MutableSpmm`]s (enables UPDATE).
+    mutable: bool,
+    /// Shard count for `--mutable` engines.
+    shards: usize,
 }
 
 fn parse_server_args(args: &[String]) -> Result<ServerConfig, String> {
@@ -166,6 +187,8 @@ fn parse_server_args(args: &[String]) -> Result<ServerConfig, String> {
         tiered: false,
         threads: 2,
         queue: 64,
+        mutable: false,
+        shards: 2,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -187,6 +210,11 @@ fn parse_server_args(args: &[String]) -> Result<ServerConfig, String> {
             "--queue" => {
                 config.queue = value("--queue")?.parse().map_err(|_| "bad --queue".to_string())?;
             }
+            "--mutable" => config.mutable = true,
+            "--shards" => {
+                config.shards =
+                    value("--shards")?.parse().map_err(|_| "bad --shards".to_string())?;
+            }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -207,53 +235,47 @@ fn run_server(args: &[String]) -> Result<(), String> {
     let pool = WorkerPool::new(config.threads.max(1));
     let matrices: Vec<CsrMatrix<f32>> = config.specs.iter().map(MatrixSpec::build).collect();
 
-    let mut engines: Vec<JitSpmm<'_, f32>> = Vec::new();
+    let server: SpmmServer<'_, f32> = SpmmServer::with_pool(pool.clone());
     for (spec, matrix) in config.specs.iter().zip(&matrices) {
-        let mut builder = JitSpmmBuilder::new().pool(pool.clone()).threads(config.threads.max(1));
-        if let Some(cache) = &cache {
-            builder = builder.kernel_cache_in(Arc::clone(cache));
-        }
-        if config.tiered {
-            builder = builder.tiered(TierPolicy::new().warmup(1));
-        }
-        let engine = builder.build(matrix, spec.d).map_err(|e| format!("compile failed: {e}"))?;
-        if config.tiered {
-            // Promote before serving: a cache-enabled server persists the
-            // promotion record now, so its own restart warm-starts straight
-            // onto the promoted kernel (`tier=promoted` in INFO, with zero
-            // in-process promotions).
-            engine.promote_now();
-        }
-        engines.push(engine);
-    }
-
-    // Status lines are fixed at startup (promotion already happened); the
-    // cache line is rendered per INFO request from live counters.
-    let descriptors: Vec<String> = config
-        .specs
-        .iter()
-        .zip(&engines)
-        .enumerate()
-        .map(|(id, (spec, engine))| {
-            format!(
-                "engine {id}: {}x{} nnz={} d={} tier={}",
-                spec.rows,
-                spec.cols,
-                spec.nnz,
+        if config.mutable {
+            let mut options = ShardOptions::new();
+            if let Some(cache) = &cache {
+                options = options.kernel_cache(Arc::clone(cache));
+            }
+            if config.tiered {
+                options = options.tiered(TierPolicy::new().warmup(1));
+            }
+            options.numa_node = config.numa;
+            let engine = MutableSpmm::compile_with(
+                matrix,
+                config.shards.max(1),
+                config.threads.max(1),
                 spec.d,
-                engine.tier().label()
+                pool.clone(),
+                options,
             )
-        })
-        .collect();
-
-    let mut engines = engines.into_iter();
-    let mut first = engines.next().expect("at least one engine");
-    if config.numa.is_some() {
-        first.place_on_node(config.numa);
-    }
-    let server = SpmmServer::new(vec![first]).map_err(|e| format!("server: {e}"))?;
-    for engine in engines {
-        server.add_engine_on_node(engine, config.numa).map_err(|e| format!("server: {e}"))?;
+            .map_err(|e| format!("compile failed: {e}"))?;
+            server.add_mutable(engine).map_err(|e| format!("server: {e}"))?;
+        } else {
+            let mut builder =
+                JitSpmmBuilder::new().pool(pool.clone()).threads(config.threads.max(1));
+            if let Some(cache) = &cache {
+                builder = builder.kernel_cache_in(Arc::clone(cache));
+            }
+            if config.tiered {
+                builder = builder.tiered(TierPolicy::new().warmup(1));
+            }
+            let engine =
+                builder.build(matrix, spec.d).map_err(|e| format!("compile failed: {e}"))?;
+            if config.tiered {
+                // Promote before serving: a cache-enabled server persists
+                // the promotion record now, so its own restart warm-starts
+                // straight onto the promoted kernel (`tier=promoted` in
+                // INFO, with zero in-process promotions).
+                engine.promote_now();
+            }
+            server.add_engine_on_node(engine, config.numa).map_err(|e| format!("server: {e}"))?;
+        }
     }
 
     let listener =
@@ -265,12 +287,18 @@ fn run_server(args: &[String]) -> Result<(), String> {
     let routes: Vec<Mutex<VecDeque<ReplySlot>>> =
         config.specs.iter().map(|_| Mutex::new(VecDeque::new())).collect();
     let specs = &config.specs;
-    let descriptors = &descriptors;
     let info_cache = cache.clone();
     let shutdown = &shutdown;
     let routes = &routes;
+    let server_ref = &server;
+    let control = server.control();
 
-    let options = ServeOptions::new(AdmissionPolicy::shedding(config.queue.max(1)));
+    let mut options = ServeOptions::new(AdmissionPolicy::shedding(config.queue.max(1)));
+    if config.tiered && config.mutable {
+        // Mutable engines are not pre-promoted; let the serving loop's
+        // tiering sweeps promote their shards between launches.
+        options = options.tiering(TierPolicy::new().warmup(1));
+    }
     let (report, ()) = server
         .serve_controlled(
             options,
@@ -283,12 +311,14 @@ fn run_server(args: &[String]) -> Result<(), String> {
                         Ok((stream, _peer)) => {
                             let sender = sender.clone();
                             let info_cache = info_cache.clone();
+                            let control = control.clone();
                             conns.spawn(move || {
                                 serve_connection(
                                     stream,
                                     &sender,
+                                    server_ref,
+                                    &control,
                                     specs,
-                                    descriptors,
                                     info_cache.as_deref(),
                                     routes,
                                     shutdown,
@@ -333,11 +363,13 @@ fn run_server(args: &[String]) -> Result<(), String> {
 }
 
 /// Handle one client connection: a sequence of request frames until EOF.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     mut stream: TcpStream,
     sender: &jitspmm::serve::RequestSender<f32>,
+    server: &SpmmServer<'_, f32>,
+    control: &ControlHandle,
     specs: &[MatrixSpec],
-    descriptors: &[String],
     cache: Option<&KernelCache>,
     routes: &[Mutex<VecDeque<ReplySlot>>],
     shutdown: &AtomicBool,
@@ -346,11 +378,38 @@ fn serve_connection(
     while let Ok(Some(payload)) = read_frame(&mut stream) {
         let reply = match payload.first() {
             Some(&OP_INFO) => {
+                // Rendered live per request: tier, nonzero count and matrix
+                // revision move while the server runs (tiering sweeps,
+                // UPDATE frames).
                 let mut text = format!("engines: {}\n", specs.len());
-                for line in descriptors {
-                    text.push_str(line);
-                    text.push('\n');
+                for (id, spec) in specs.iter().enumerate() {
+                    let line = if let Some(mutable) = server.mutable(id) {
+                        format!(
+                            "engine {id}: {}x{} nnz={} d={} tier={} kind=mutable shards={} rev={}\n",
+                            spec.rows,
+                            spec.cols,
+                            mutable.nnz(),
+                            spec.d,
+                            mutable.tier().label(),
+                            mutable.shards(),
+                            mutable.revision()
+                        )
+                    } else if let Some(engine) = server.single(id) {
+                        format!(
+                            "engine {id}: {}x{} nnz={} d={} tier={} kind=single\n",
+                            spec.rows,
+                            spec.cols,
+                            spec.nnz,
+                            spec.d,
+                            engine.tier().label()
+                        )
+                    } else {
+                        format!("engine {id}: unregistered\n")
+                    };
+                    text.push_str(&line);
                 }
+                let (applied, failed) = control.update_counts();
+                text.push_str(&format!("updates: applied={applied} failed={failed}\n"));
                 match cache {
                     Some(cache) => {
                         let stats = cache.stats();
@@ -365,6 +424,7 @@ fn serve_connection(
                 frame.extend_from_slice(text.as_bytes());
                 frame
             }
+            Some(&OP_UPDATE) if payload.len() >= 9 => handle_update(&payload, server, control),
             Some(&OP_MUL) if payload.len() == 13 => {
                 let engine = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
                 let seed = u64::from_le_bytes(payload[5..13].try_into().unwrap());
@@ -410,6 +470,59 @@ fn serve_connection(
         };
         if write_frame(&mut stream, &reply).is_err() {
             break;
+        }
+    }
+}
+
+/// Decode an UPDATE frame, queue the delta through the control plane, and
+/// wait for the serving loop to swap the new generation in (or report the
+/// failure). Blocking here is fine: each connection has its own thread.
+fn handle_update(payload: &[u8], server: &SpmmServer<'_, f32>, control: &ControlHandle) -> Vec<u8> {
+    let engine = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+    let count = u32::from_le_bytes(payload[5..9].try_into().unwrap()) as usize;
+    if payload.len() != 9 + count * UPDATE_OP_BYTES {
+        return error_frame("malformed update frame");
+    }
+    let Some(mutable) = server.mutable(engine) else {
+        return error_frame(&format!("engine {engine} is not updatable (serve with --mutable)"));
+    };
+    let mut delta = DeltaBatch::new();
+    for i in 0..count {
+        let at = 9 + i * UPDATE_OP_BYTES;
+        let kind = payload[at];
+        let row = u32::from_le_bytes(payload[at + 1..at + 5].try_into().unwrap()) as usize;
+        let col = u32::from_le_bytes(payload[at + 5..at + 9].try_into().unwrap()) as usize;
+        let value = f32::from_le_bytes(payload[at + 9..at + 13].try_into().unwrap());
+        match kind {
+            0 => {
+                delta.upsert(row, col, value);
+            }
+            1 => {
+                delta.delete(row, col);
+            }
+            other => return error_frame(&format!("unknown delta op kind {other}")),
+        }
+    }
+    let target = mutable.revision() + 1;
+    let (_, failed_before) = control.update_counts();
+    if !control.apply_update(engine, delta) {
+        return error_frame(&format!("unknown engine {engine}"));
+    }
+    // The serving loop applies the delta on its next control sweep; poll in
+    // short waits so a rejected delta (bad indices) surfaces promptly.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if control.wait_revision(engine, target, Duration::from_millis(50)) {
+            let mut frame = vec![0u8];
+            frame.extend_from_slice(format!("revision={}", mutable.revision()).as_bytes());
+            return frame;
+        }
+        let (_, failed) = control.update_counts();
+        if failed > failed_before {
+            return error_frame("update rejected by the engine (out-of-range indices?)");
+        }
+        if Instant::now() > deadline {
+            return error_frame("update not applied before the timeout");
         }
     }
 }
@@ -525,6 +638,45 @@ fn run_client(args: &[String]) -> Result<(), String> {
                 println!("output is bit-identical to {path}");
             }
             Ok(())
+        }
+        "update" => {
+            let engine: u32 = args
+                .get(2)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| "update wants ENGINE OPS".to_string())?;
+            let ops = args.get(3).ok_or_else(|| "update wants ENGINE OPS".to_string())?;
+            let mut records: Vec<(u8, u32, u32, f32)> = Vec::new();
+            for op in ops.split(',') {
+                let parts: Vec<&str> = op.split(':').collect();
+                let [row, col, action] = parts[..] else {
+                    return Err(format!("bad op {op:?} (want row:col:value or row:col:del)"));
+                };
+                let row: u32 = row.parse().map_err(|_| format!("bad row in {op:?}"))?;
+                let col: u32 = col.parse().map_err(|_| format!("bad col in {op:?}"))?;
+                if action == "del" {
+                    records.push((1, row, col, 0.0));
+                } else {
+                    let value: f32 = action.parse().map_err(|_| format!("bad value in {op:?}"))?;
+                    records.push((0, row, col, value));
+                }
+            }
+            let mut payload = vec![OP_UPDATE];
+            payload.extend_from_slice(&engine.to_le_bytes());
+            payload.extend_from_slice(&(records.len() as u32).to_le_bytes());
+            for (kind, row, col, value) in records {
+                payload.push(kind);
+                payload.extend_from_slice(&row.to_le_bytes());
+                payload.extend_from_slice(&col.to_le_bytes());
+                payload.extend_from_slice(&value.to_le_bytes());
+            }
+            let reply = request(&mut stream, &payload)?;
+            match reply.split_first() {
+                Some((0, text)) => {
+                    println!("update engine={engine}: {}", String::from_utf8_lossy(text));
+                    Ok(())
+                }
+                _ => Err(format!("update failed: {}", String::from_utf8_lossy(&reply[1..]))),
+            }
         }
         "shutdown" => {
             let reply = request(&mut stream, &[OP_SHUTDOWN])?;

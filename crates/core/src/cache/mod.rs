@@ -44,6 +44,18 @@
 //! from an older code generator, a different CPU feature set — silently falls
 //! back to a fresh compile. A cache can therefore never produce wrong
 //! results; the worst failure mode is compiling as if there were no cache.
+//!
+//! # Cross-process coordination
+//!
+//! Entries are written via temp-file + atomic rename, so readers never see a
+//! half-written file no matter how many processes share the directory. On
+//! top of that, writers serialize through an advisory `flock(2)` on a
+//! `.lock` file in the directory (taken for the duration of a store and its
+//! size-cap sweep), so two processes evicting concurrently cannot interleave
+//! their directory scans. The lock is raw-syscall based (no libc
+//! dependency), Linux/x86-64 only, and purely advisory: on other platforms,
+//! or when acquisition fails, stores proceed unlocked with exactly the
+//! rename-based guarantees above.
 
 pub(crate) mod key;
 
@@ -339,6 +351,7 @@ impl KernelCache {
             header[base..base + 8].copy_from_slice(&sym_code.to_le_bytes());
             header[base + 8..base + 16].copy_from_slice(&(offset as u64).to_le_bytes());
         }
+        let _dir_lock = DirLock::acquire(&self.dir);
         if self.write_atomically(&self.kernel_path(key), &[&header, &template]) {
             self.stores.fetch_add(1, Ordering::Relaxed);
             self.enforce_cap();
@@ -397,6 +410,7 @@ impl KernelCache {
         body.push(key::isa_code(record.isa));
         body.push(record.ccm as u8);
         let digest = digest_bytes(&body).to_le_bytes();
+        let _dir_lock = DirLock::acquire(&self.dir);
         if self.write_atomically(&self.promo_path(key), &[&body, &digest]) {
             self.stores.fetch_add(1, Ordering::Relaxed);
             self.enforce_cap();
@@ -470,6 +484,81 @@ struct DirEntry {
     path: PathBuf,
     size: u64,
     mtime: std::time::SystemTime,
+}
+
+/// `flock(2)` operation code: acquire an exclusive lock (blocking).
+const LOCK_EX: i64 = 2;
+/// `flock(2)` operation code: release the lock.
+const LOCK_UN: i64 = 8;
+
+/// Advisory cross-process lock on the cache directory: an exclusive
+/// `flock(2)` on a `.lock` file inside it, held across a store's write and
+/// cap-enforcement sweep so concurrent processes never interleave their
+/// eviction scans. Readers never take it — loads validate entries
+/// byte-for-byte regardless — and a failed acquisition (unwritable
+/// directory, unsupported platform) degrades to proceeding unlocked, which
+/// the atomic-rename write path already makes safe.
+struct DirLock {
+    /// The open `.lock` file holding `LOCK_EX`; `None` when acquisition
+    /// failed or the platform has no lock shim.
+    file: Option<fs::File>,
+}
+
+impl DirLock {
+    /// Block until this process exclusively holds the directory's `.lock`
+    /// file (created on first use; [`KernelCache::entries`] ignores it), or
+    /// return a no-op guard if the lock cannot be taken.
+    fn acquire(dir: &Path) -> DirLock {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(dir.join(".lock"))
+            .ok()
+            .filter(|file| flock_raw(file, LOCK_EX) == 0);
+        DirLock { file }
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        if let Some(file) = self.file.take() {
+            // Explicit unlock before the descriptor closes; closing would
+            // release it too, but only after every duplicate fd is gone.
+            let _ = flock_raw(&file, LOCK_UN);
+        }
+    }
+}
+
+/// Raw `flock(2)` on x86-64 Linux — syscall 73 invoked directly, keeping
+/// the crate free of a libc dependency. Returns 0 on success, a negative
+/// errno on failure.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn flock_raw(file: &fs::File, operation: i64) -> i64 {
+    use std::os::fd::AsRawFd;
+    const SYS_FLOCK: i64 = 73;
+    let fd = i64::from(file.as_raw_fd());
+    let ret: i64;
+    // SAFETY: `flock` reads no process memory through its arguments; the
+    // descriptor is owned by `file`, which outlives the call.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_FLOCK => ret,
+            in("rdi") fd,
+            in("rsi") operation,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// Portable fallback: report failure, making every [`DirLock`] a no-op.
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn flock_raw(_file: &fs::File, _operation: i64) -> i64 {
+    -1
 }
 
 #[cfg(test)]
@@ -649,6 +738,45 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
         assert!(cache.load_promotion(&key).is_none());
         assert!(cache.stats().rejects >= 1);
+    }
+
+    #[test]
+    fn stores_take_and_release_the_directory_lock() {
+        let dir = TempDir::new("flock");
+        let cache = KernelCache::open(&dir.0);
+        let (code, relocs) = toy_code();
+        cache.store_kernel(&sample_key(8), &code, &relocs, KernelKind::StaticRange);
+        // The advisory lock file exists but never counts as a cache entry.
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert!(dir.0.join(".lock").exists());
+        assert_eq!(cache.len(), 1);
+        // The lock was released: a second store (a fresh blocking
+        // acquisition on the same file) proceeds.
+        cache.store_kernel(&sample_key(16), &code, &relocs, KernelKind::StaticRange);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().stores, 2);
+    }
+
+    #[test]
+    fn concurrent_store_waits_for_a_held_directory_lock() {
+        let dir = TempDir::new("flock-wait");
+        fs::create_dir_all(&dir.0).unwrap();
+        let cache = KernelCache::open(&dir.0);
+        let (code, relocs) = toy_code();
+        // Hold the lock as if another process were mid-store; a store on a
+        // second thread must wait for the release, then complete (on
+        // platforms without the lock shim it simply completes).
+        let guard = DirLock::acquire(&dir.0);
+        std::thread::scope(|scope| {
+            let store = scope.spawn(|| {
+                cache.store_kernel(&sample_key(8), &code, &relocs, KernelKind::StaticRange);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            drop(guard);
+            store.join().unwrap();
+        });
+        assert_eq!(cache.stats().stores, 1);
+        assert!(cache.load_kernel(&sample_key(8), KernelKind::StaticRange, &targets(1)).is_some());
     }
 
     #[test]

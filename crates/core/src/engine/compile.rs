@@ -353,6 +353,82 @@ impl<'a, T: Scalar> JitSpmm<'a, T> {
         Arc::clone(&crate::runtime::pool::lock(&self.active))
     }
 
+    /// Build an engine for `matrix` that **shares the donor's compiled
+    /// state**: the active [`EngineCore`] `Arc` (kernel, partition, claim
+    /// counter, cached slot kernels) is cloned, not recompiled, so the new
+    /// engine's core is pointer-identical to the donor's.
+    ///
+    /// This is the untouched-shard path of the incremental-update subsystem
+    /// ([`crate::update`]): `matrix` must be **content-identical** to the
+    /// donor's matrix (same row pointers, columns and values — e.g. a clone
+    /// sharing the donor's nnz storage), and the donor — or whatever owns
+    /// its matrix — must stay alive as long as the adopted engine may
+    /// execute, because the shared kernel's embedded array base addresses
+    /// point at the *donor's* buffers. The update layer guarantees both by
+    /// retaining every superseded generation for the life of the mutable
+    /// engine, and never launching two generations concurrently.
+    ///
+    /// A tiered donor's settled state carries over: a promoted (or
+    /// warm-started) donor yields an engine that never re-enters warmup,
+    /// while a donor still observing on tier 0 restarts its warmup window.
+    pub(crate) fn adopt(donor: &JitSpmm<'_, T>, matrix: &'a CsrMatrix<T>) -> JitSpmm<'a, T> {
+        debug_assert_eq!(matrix.row_ptr(), donor.matrix.row_ptr());
+        debug_assert_eq!(matrix.nnz(), donor.matrix.nnz());
+        let core = donor.active();
+        let tier_state = donor.tier_state.as_ref().map(|state| match core.tier {
+            KernelTier::Tier0 => TierState::new(state.policy),
+            _ => TierState::warm_promoted(state.policy),
+        });
+        JitSpmm {
+            matrix,
+            d: donor.d,
+            options: donor.options.clone(),
+            threads: donor.threads,
+            node: donor.node,
+            active: Mutex::new(core),
+            tier_state,
+            launch: Mutex::new(()),
+            launch_owner: AtomicU64::new(0),
+            pool: donor.pool.clone(),
+            output_pool: Arc::clone(&donor.output_pool),
+        }
+    }
+
+    /// Probe the persistent kernel cache for the active core's stored image
+    /// and discard the result. A hit both counts in [`crate::CacheStats`]
+    /// and refreshes the entry's modification time, which is what the
+    /// mtime-LRU eviction orders by — so the update layer calls this for
+    /// every adopted (not recompiled) shard, keeping live shards' entries
+    /// from aging out under entries of shards that actually recompiled.
+    /// No-op without a cache.
+    pub(crate) fn touch_cache_entry(&self) {
+        let Some(cache) = self.options.kernel_cache.as_deref() else { return };
+        if self.options.listing {
+            return;
+        }
+        let core = self.active();
+        let key = CacheKey::for_kernel(self.matrix, self.d, core.strategy, &core.kernel_options);
+        let binding = MatrixBinding::of(self.matrix);
+        let targets = RelocTargets {
+            row_ptr: binding.row_ptr as u64,
+            col_indices: binding.col_indices as u64,
+            values: binding.values as u64,
+            // The probed image is dropped unexecuted; any address patches
+            // fine, and 0 avoids fabricating a counter.
+            next_counter: 0,
+        };
+        drop(cache.load_kernel(&key, core.kernel.kind(), &targets));
+    }
+
+    /// An opaque identity for the currently active compiled core: two
+    /// engines report the same value iff they share the same core (kernel,
+    /// partition, claim counter) in memory. Diagnostic only — the
+    /// incremental-update tests use it to assert untouched shards were
+    /// adopted pointer-identically rather than recompiled.
+    pub fn core_id(&self) -> usize {
+        Arc::as_ptr(&self.active()) as usize
+    }
+
     /// The sparse matrix this engine was compiled against.
     pub fn matrix(&self) -> &CsrMatrix<T> {
         self.matrix

@@ -325,9 +325,9 @@
 //! ([`KernelCache::with_capacity`] evicts oldest-first;
 //! [`KernelCache::clear`] empties) and shared safely across engines,
 //! sharded compiles ([`ShardOptions::kernel_cache`]) and processes (atomic
-//! tmp+rename stores). The `jitspmm-serve` binary (crates/bench) wraps this
-//! in a TCP front end whose warm-restart round trip CI exercises end to
-//! end.
+//! tmp+rename stores serialized by an advisory `flock` on the directory).
+//! The `jitspmm-serve` binary (crates/bench) wraps this in a TCP front end
+//! whose warm-restart round trip CI exercises end to end.
 //!
 //! # Memory locality: NUMA placement and the futex wake path
 //!
@@ -348,6 +348,54 @@
 //! [`ExecutionReport::wake`] (p50/p99 in [`BatchReport`]) so the dispatch
 //! tail is attributable per launch, not just in benchmarks.
 //!
+//! # Dynamic graphs: incremental matrix updates
+//!
+//! Per-matrix compilation assumes one matrix serves many multiplies;
+//! dynamic graphs mutate the matrix between multiplies. The [`update`]
+//! module keeps the premise intact by making the unit of recompilation the
+//! **shard**: a [`MutableSpmm`] owns its shard plan, and
+//! [`MutableSpmm::apply`] merges a [`jitspmm_sparse::DeltaBatch`] of edge
+//! upserts/deletes into **only the shards the delta touches** —
+//! re-materializing and recompiling those (probing the kernel cache) while
+//! every untouched shard keeps its compiled core pointer-identically and
+//! shares the previous generation's non-zero storage. The rebuilt engine
+//! becomes a new *generation* that swaps in between launches; when
+//! accumulated deltas skew the shard balance past 1.5x the update re-cuts
+//! the whole matrix instead ([`UpdateReport::replanned`]). Because
+//! partitioning is row-granular, any generation is **bit-identical** to a
+//! from-scratch engine compiled on the merged matrix.
+//!
+//! ```
+//! use jitspmm::{MutableSpmm, WorkerPool};
+//! use jitspmm_sparse::{generate, DeltaBatch, DenseMatrix};
+//!
+//! # fn main() -> Result<(), jitspmm::JitSpmmError> {
+//! let pool = WorkerPool::new(2);
+//! let a = generate::uniform::<f32>(400, 400, 6_000, 1);
+//! let engine = MutableSpmm::compile(&a, 4, 1, 8, pool.clone())?;
+//! let mut delta = DeltaBatch::new();
+//! delta.upsert(0, 7, 2.5).delete(1, 0);
+//! let report = engine.apply(&delta)?; // one shard recompiles, three adopt
+//! assert_eq!(report.revision, 1);
+//! assert!(report.rebuilt_shards <= 1);
+//! let x = DenseMatrix::random(400, 8, 3);
+//! let merged = a.apply_delta(&delta).unwrap();
+//! let (y, _) = pool.scope(|s| engine.execute(s, &x))?;
+//! assert!(y.approx_eq(&merged.spmm_reference(&x), 1e-4));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Behind the server, [`serve::SpmmServer::add_mutable`] registers a
+//! mutable engine under one logical id and
+//! [`serve::ControlHandle::apply_update`] applies a delta to a **live**
+//! [`serve::SpmmServer::serve_controlled`] session: the serving loop drains
+//! the engine's in-flight lane, swaps generations, and admits subsequent
+//! requests against the new matrix — observable via
+//! [`serve::ControlHandle::engine_revision`] /
+//! [`serve::ControlHandle::wait_revision`]. The `jitspmm-serve` binary
+//! exposes the same path over TCP (`--mutable`, the `UPDATE` frame).
+//!
 //! # Architecture map
 //!
 //! ```text
@@ -361,7 +409,11 @@
 //! │   └── report         ExecutionReport, BatchReport, reservoir percentiles
 //! ├── cache/             persistent kernel cache (mmap-backed warm starts)
 //! │   ├── key            CacheKey: matrix fingerprint + config + CPU + revision
-//! │   └── (mod)          KernelCache: store/load/evict, promotion records
+//! │   └── (mod)          KernelCache: store/load/evict, flock'd stores, promotions
+//! ├── update/            incremental matrix updates behind live serving
+//! │   ├── delta          delta routing onto shard row ranges
+//! │   ├── apply          shard-local merge + recompile, re-plan on drift
+//! │   └── (mod)          MutableSpmm generations, MutableStream revision pinning
 //! ├── serve/             multi-engine serving router + control plane
 //! │   ├── server         SpmmServer, ServerSession, serve_controlled loop
 //! │   ├── queue          bounded RequestQueue / RequestSender, admission gate
@@ -405,6 +457,7 @@ pub mod schedule;
 pub mod serve;
 pub mod shard;
 pub mod tiling;
+pub mod update;
 
 pub use cache::{CacheStats, KernelCache};
 pub use codegen::KernelOptions;
@@ -429,6 +482,7 @@ pub use shard::{
     plan_shards, ShardOptions, ShardPlan, ShardReport, ShardSpec, ShardedSpmm, ShardedStream,
 };
 pub use tiling::{CcmPlan, ColumnTile, Segment, SegmentWidth};
+pub use update::{MutableSpmm, MutableStream, UpdateReport};
 
 pub use jitspmm_asm::{CpuFeatures, IsaLevel};
 pub use jitspmm_sparse::{CooMatrix, CsrMatrix, DenseMatrix, Scalar, ScalarKind};

@@ -10,7 +10,8 @@
 
 use crate::runtime::pool::lock;
 use crate::serve::queue::ServerRequest;
-use jitspmm_sparse::Scalar;
+use jitspmm_sparse::{DeltaBatch, Scalar};
+use std::any::Any;
 use std::collections::BinaryHeap;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -155,6 +156,26 @@ struct ControlCore {
     /// Cumulative count of sends that blocked on the in-flight cap —
     /// telemetry for overload tests and dashboards.
     cap_blocked: usize,
+    /// Matrix revision per logical engine id: 0 at registration, bumped by
+    /// the serving session when it applies a pending matrix update to a
+    /// mutable engine (immutable engines stay at 0 forever).
+    revisions: Vec<u64>,
+    /// Matrix updates applied by sessions since the server was built.
+    updates_applied: usize,
+    /// Matrix updates that failed (wrong engine kind, wrong scalar type, or
+    /// a rebuild error) since the server was built.
+    updates_failed: usize,
+}
+
+/// A matrix update submitted through [`ControlHandle::apply_update`] and
+/// not yet applied by a serving session. The delta is type-erased because
+/// the control plane is scalar-independent; the session downcasts it back
+/// to its server's `DeltaBatch<T>`.
+pub(crate) struct PendingUpdate {
+    /// The logical engine id the delta targets.
+    pub(crate) engine: usize,
+    /// A boxed [`DeltaBatch<T>`](jitspmm_sparse::DeltaBatch).
+    pub(crate) delta: Box<dyn Any + Send>,
 }
 
 /// Condvar-paired control state; `changed` is notified on every lifecycle
@@ -163,6 +184,10 @@ struct ControlCore {
 pub(crate) struct ControlShared {
     state: Mutex<ControlCore>,
     changed: Condvar,
+    /// Matrix updates awaiting a serving session, in submission order. A
+    /// separate mutex from `state`: sessions drain it (and apply deltas,
+    /// which can take a while) without holding up admission checks.
+    updates: Mutex<Vec<PendingUpdate>>,
 }
 
 impl ControlShared {
@@ -177,8 +202,12 @@ impl ControlShared {
                 rejected_sends: 0,
                 cap_waiters: 0,
                 cap_blocked: 0,
+                revisions: Vec::new(),
+                updates_applied: 0,
+                updates_failed: 0,
             }),
             changed: Condvar::new(),
+            updates: Mutex::new(Vec::new()),
         }
     }
 
@@ -188,6 +217,7 @@ impl ControlShared {
     pub(crate) fn register_engine(&self) -> usize {
         let mut state = lock(&self.state);
         state.engines.push(EngineStatus::Active);
+        state.revisions.push(0);
         state.epoch += 1;
         let id = state.engines.len() - 1;
         drop(state);
@@ -395,6 +425,103 @@ impl ControlShared {
             };
         }
     }
+
+    /// Queue a matrix update for engine `engine`; `false` for an unknown
+    /// id (the delta is dropped). The update is applied by the next serving
+    /// session pass — between launches, never inside one.
+    pub(crate) fn submit_update(&self, engine: usize, delta: Box<dyn Any + Send>) -> bool {
+        if lock(&self.state).engines.get(engine).is_none() {
+            return false;
+        }
+        lock(&self.updates).push(PendingUpdate { engine, delta });
+        // Nudge any session parked on its receive tick indirectly: the
+        // session checks for pending updates at the top of every loop
+        // iteration, so a bounded tick suffices; waking the condvar here
+        // covers drain barriers that double as update flushes.
+        self.changed.notify_all();
+        true
+    }
+
+    /// Whether any update awaits a session — the cheap pre-check sessions
+    /// run every loop iteration.
+    pub(crate) fn has_updates(&self) -> bool {
+        !lock(&self.updates).is_empty()
+    }
+
+    /// Take every queued update, in submission order.
+    pub(crate) fn take_updates(&self) -> Vec<PendingUpdate> {
+        std::mem::take(&mut lock(&self.updates))
+    }
+
+    /// Put an update back at the front of the queue (the target engine's
+    /// generation lock was contended; retry next pass without reordering
+    /// against later updates to the same engine).
+    pub(crate) fn requeue_update(&self, update: PendingUpdate) {
+        lock(&self.updates).insert(0, update);
+    }
+
+    /// A session applied an update: record the engine's new revision and
+    /// wake [`ControlShared::wait_revision`] waiters.
+    pub(crate) fn note_update_applied(&self, engine: usize, revision: u64) {
+        let mut state = lock(&self.state);
+        if let Some(slot) = state.revisions.get_mut(engine) {
+            *slot = revision;
+        }
+        state.updates_applied += 1;
+        drop(state);
+        self.changed.notify_all();
+    }
+
+    /// A session failed to apply an update (wrong engine kind or scalar
+    /// type, or the rebuild errored); the delta is dropped.
+    pub(crate) fn note_update_failed(&self) {
+        lock(&self.state).updates_failed += 1;
+        self.changed.notify_all();
+    }
+
+    /// The recorded matrix revision of engine `id` (`None` for unknown).
+    pub(crate) fn revision(&self, id: usize) -> Option<u64> {
+        lock(&self.state).revisions.get(id).copied()
+    }
+
+    /// Applied/failed update counts since the server was built.
+    pub(crate) fn update_counts(&self) -> (usize, usize) {
+        let state = lock(&self.state);
+        (state.updates_applied, state.updates_failed)
+    }
+
+    /// Block until engine `engine`'s recorded revision reaches `at_least`
+    /// (or the timeout expires); returns whether it did. Returns `false`
+    /// immediately for unknown ids.
+    pub(crate) fn wait_revision(
+        &self,
+        engine: usize,
+        at_least: u64,
+        timeout: Option<Duration>,
+    ) -> bool {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut state = lock(&self.state);
+        loop {
+            match state.revisions.get(engine) {
+                None => return false,
+                Some(&revision) if revision >= at_least => return true,
+                Some(_) => {}
+            }
+            state = match deadline {
+                None => self.changed.wait(state).unwrap_or_else(|p| p.into_inner()),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return false;
+                    }
+                    self.changed
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(|p| p.into_inner())
+                        .0
+                }
+            };
+        }
+    }
 }
 
 /// A cloneable, thread-safe handle onto a server's control plane, obtained
@@ -470,6 +597,42 @@ impl ControlHandle {
     /// producers outpace the cap.
     pub fn cap_blocked(&self) -> usize {
         self.shared.cap_blocked_count()
+    }
+
+    /// Queue an edge-delta update for the **mutable** engine `engine` (one
+    /// registered via [`crate::serve::SpmmServer::add_mutable`]) on a live
+    /// server. Returns `false` for an unknown engine id; otherwise the next
+    /// serving-session pass applies it **between launches**: the engine's
+    /// in-flight lane drains on the old kernels, the touched shards rebuild
+    /// ([`crate::update::MutableSpmm::apply`]), and requests admitted
+    /// afterwards execute against the merged matrix — bit-identically to a
+    /// from-scratch compile. Updates targeting a non-mutable engine, or
+    /// carrying a different scalar type than the server's, are counted as
+    /// failed and dropped.
+    ///
+    /// Asynchronous by design: pair with [`ControlHandle::wait_revision`]
+    /// (or poll [`ControlHandle::engine_revision`]) to observe the swap.
+    pub fn apply_update<T: Scalar>(&self, engine: usize, delta: DeltaBatch<T>) -> bool {
+        self.shared.submit_update(engine, Box::new(delta))
+    }
+
+    /// The matrix revision of engine `id` as recorded by applied updates
+    /// (0 until the first update lands; `None` for unknown ids).
+    pub fn engine_revision(&self, id: usize) -> Option<u64> {
+        self.shared.revision(id)
+    }
+
+    /// Block until engine `engine`'s revision reaches `at_least` or the
+    /// timeout expires; returns whether it did. The counterpart to
+    /// [`ControlHandle::apply_update`]'s asynchrony: submit, then wait for
+    /// the serving session to report the swap.
+    pub fn wait_revision(&self, engine: usize, at_least: u64, timeout: Duration) -> bool {
+        self.shared.wait_revision(engine, at_least, Some(timeout))
+    }
+
+    /// Matrix updates applied and failed since the server was built.
+    pub fn update_counts(&self) -> (usize, usize) {
+        self.shared.update_counts()
     }
 }
 

@@ -11,12 +11,14 @@ use crate::runtime::pool::lock;
 use crate::runtime::{JobSpec, PoolScope, PooledMatrix, WorkerPool};
 use crate::schedule::Strategy;
 use crate::serve::control::{
-    AdmissionPolicy, ControlHandle, ControlShared, EngineStatus, RejectReason, ReorderBuffer,
+    AdmissionPolicy, ControlHandle, ControlShared, EngineStatus, PendingUpdate, RejectReason,
+    ReorderBuffer,
 };
 use crate::serve::queue::{RecvTimeout, RequestQueue, RequestSender, ServerRequest};
 use crate::serve::report::ServerReport;
 use crate::shard::{ShardedSpmm, ShardedStream};
-use jitspmm_sparse::{DenseMatrix, Scalar};
+use crate::update::{MutableSpmm, MutableStream};
+use jitspmm_sparse::{DeltaBatch, DenseMatrix, Scalar};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
@@ -28,6 +30,10 @@ use std::time::{Duration, Instant};
 enum EngineEntry<'a, T: Scalar> {
     Single(Arc<JitSpmm<'a, T>>),
     Sharded(Arc<ShardedSpmm<'a, T>>),
+    /// An updatable engine ([`MutableSpmm`]): owns its matrix generations,
+    /// so it carries no borrow lifetime; live deltas swap its generation
+    /// between launches via [`ControlHandle::apply_update`].
+    Mutable(Arc<MutableSpmm<T>>),
 }
 
 /// A multi-engine serving router: owns N compiled [`JitSpmm`] engines —
@@ -140,6 +146,20 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         Ok(SpmmServer { engines: Mutex::new(entries), control, pool })
     }
 
+    /// Build a server with **no** engines yet, over `pool`: register them
+    /// afterwards with [`SpmmServer::add_engine`] /
+    /// [`SpmmServer::add_sharded`] / [`SpmmServer::add_mutable`] — before or
+    /// after sessions open. Until an engine is registered every request is
+    /// rejected with [`JitSpmmError::UnknownEngine`] (or the typed
+    /// [`RejectReason::UnknownEngine`] on the controlled path).
+    pub fn with_pool(pool: WorkerPool) -> SpmmServer<'a, T> {
+        SpmmServer {
+            engines: Mutex::new(Vec::new()),
+            control: Arc::new(ControlShared::new()),
+            pool,
+        }
+    }
+
     /// Register another single engine while the server (and any session) is
     /// live, returning its new logical id. The engine starts
     /// [`EngineStatus::Active`]; open sessions pick it up on their next
@@ -230,6 +250,35 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         self.add_sharded(sharded)
     }
 
+    /// Register an **updatable** engine ([`MutableSpmm`]) behind one
+    /// logical engine id, which this returns. To the routing layer it
+    /// serves exactly like a sharded engine — stitched full-height outputs,
+    /// per-engine submission order — but its matrix can change while the
+    /// server runs: queue a [`DeltaBatch`] through
+    /// [`ControlHandle::apply_update`] and the serving loop swaps the
+    /// engine's generation between launches (see [`crate::update`]). Like
+    /// [`SpmmServer::add_engine`], this works while sessions are open.
+    ///
+    /// # Errors
+    ///
+    /// [`JitSpmmError::InvalidConfig`] if the engine does not execute on
+    /// this server's pool.
+    pub fn add_mutable(&self, mutable: MutableSpmm<T>) -> Result<usize, JitSpmmError> {
+        if !mutable.pool().same_pool(&self.pool) {
+            return Err(JitSpmmError::InvalidConfig(
+                "the mutable engine executes on a different worker pool; all of a server's \
+                 engines must share one pool"
+                    .to_string(),
+            ));
+        }
+        let mut engines = lock(&self.engines);
+        engines.push(EngineEntry::Mutable(Arc::new(mutable)));
+        let id = engines.len() - 1;
+        let registered = self.control.register_engine();
+        debug_assert_eq!(registered, id, "registry and control plane use one id space");
+        Ok(id)
+    }
+
     /// Begin retiring engine `id`: it stops admitting ([`RejectReason::Draining`]
     /// at the queue, [`JitSpmmError::EngineRetired`] on the strict session
     /// paths), in-flight requests complete, and the next control sweep of an
@@ -269,7 +318,7 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
                 // the pointee.
                 Some(unsafe { &*ptr })
             }
-            EngineEntry::Sharded(_) => None,
+            _ => None,
         }
     }
 
@@ -284,12 +333,27 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
                 // registry, Arc-pinned pointee, borrow tied to `&self`.
                 Some(unsafe { &*ptr })
             }
-            EngineEntry::Single(_) => None,
+            _ => None,
         }
     }
 
-    /// Total number of logical engine ids (single + sharded, whatever their
-    /// lifecycle state).
+    /// Borrow the updatable engine ([`MutableSpmm`]) behind logical id
+    /// `id`; `None` if the id is unknown or names a non-updatable engine.
+    pub fn mutable(&self, id: usize) -> Option<&MutableSpmm<T>> {
+        let engines = lock(&self.engines);
+        match engines.get(id)? {
+            EngineEntry::Mutable(mutable) => {
+                let ptr = Arc::as_ptr(mutable);
+                // SAFETY: as in [`SpmmServer::single`] — append-only
+                // registry, Arc-pinned pointee, borrow tied to `&self`.
+                Some(unsafe { &*ptr })
+            }
+            _ => None,
+        }
+    }
+
+    /// Total number of logical engine ids (single, sharded or mutable,
+    /// whatever their lifecycle state).
     pub fn engine_count(&self) -> usize {
         lock(&self.engines).len()
     }
@@ -316,6 +380,7 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         self.with_entry(id, |entry| match entry {
             EngineEntry::Single(engine) => engine.strategy(),
             EngineEntry::Sharded(sharded) => sharded.dominant_strategy(),
+            EngineEntry::Mutable(mutable) => mutable.dominant_strategy(),
         })
     }
 
@@ -325,6 +390,7 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         self.with_entry(id, |entry| match entry {
             EngineEntry::Single(engine) => (engine.tier(), engine.promotions()),
             EngineEntry::Sharded(sharded) => (sharded.tier(), sharded.promotions()),
+            EngineEntry::Mutable(mutable) => (mutable.tier(), mutable.promotions()),
         })
     }
 
@@ -336,12 +402,14 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         enum Target<'a, T: Scalar> {
             Single(Arc<JitSpmm<'a, T>>),
             Sharded(Arc<ShardedSpmm<'a, T>>),
+            Mutable(Arc<MutableSpmm<T>>),
         }
         // Clone the Arc out so code generation runs outside the registry
         // lock.
         let target = self.with_entry(id, |entry| match entry {
             EngineEntry::Single(engine) => Target::Single(Arc::clone(engine)),
             EngineEntry::Sharded(sharded) => Target::Sharded(Arc::clone(sharded)),
+            EngineEntry::Mutable(mutable) => Target::Mutable(Arc::clone(mutable)),
         });
         match target {
             Some(Target::Single(engine)) => engine.tier_recompile(),
@@ -350,6 +418,7 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
                     engine.tier_recompile();
                 }
             }
+            Some(Target::Mutable(mutable)) => mutable.tier_recompile_shard(shard.unwrap_or(0)),
             None => {}
         }
     }
@@ -363,6 +432,7 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
         match self.with_entry(id, |entry| match entry {
             EngineEntry::Single(engine) => engine.check_input_shape(input),
             EngineEntry::Sharded(sharded) => sharded.check_input_shape(input),
+            EngineEntry::Mutable(mutable) => mutable.check_input_shape(input),
         }) {
             Some(result) => result,
             None => {
@@ -484,6 +554,7 @@ impl<'a, T: Scalar> SpmmServer<'a, T> {
                 self.with_entry(id, |entry| match entry {
                     EngineEntry::Single(engine) => engine.reserve_outputs(count),
                     EngineEntry::Sharded(sharded) => sharded.reserve_outputs(count),
+                    EngineEntry::Mutable(mutable) => mutable.reserve_outputs(count),
                 });
             }
         }
@@ -1169,17 +1240,19 @@ impl<T: Scalar> ServerSession<'_, '_, '_, T> {
         if self.lanes[id].stream.is_some() || self.lanes[id].report.is_some() {
             return Ok(());
         }
-        let stream = match (self.server.single(id), self.server.sharded(id)) {
-            (Some(engine), _) => RouteStream::Single(engine.batch_stream(self.scope, self.depth)?),
-            (_, Some(sharded)) => {
-                RouteStream::Sharded(sharded.batch_stream(self.scope, self.depth)?)
-            }
-            (None, None) => {
-                return Err(JitSpmmError::UnknownEngine {
-                    requested: id,
-                    engines: self.server.engine_count(),
-                })
-            }
+        let stream = if let Some(engine) = self.server.single(id) {
+            RouteStream::Single(engine.batch_stream(self.scope, self.depth)?)
+        } else if let Some(sharded) = self.server.sharded(id) {
+            RouteStream::Sharded(sharded.batch_stream(self.scope, self.depth)?)
+        } else if let Some(mutable) = self.server.mutable(id) {
+            // The stream pins the engine's current generation (a read
+            // guard): a queued update waits until this lane recycles.
+            RouteStream::Mutable(mutable.batch_stream(self.scope, self.depth)?)
+        } else {
+            return Err(JitSpmmError::UnknownEngine {
+                requested: id,
+                engines: self.server.engine_count(),
+            });
         };
         self.lanes[id].depth = stream.depth();
         self.lanes[id].stream = Some(stream);
@@ -1204,6 +1277,13 @@ impl<T: Scalar> ServerSession<'_, '_, '_, T> {
     /// with the closed stream; the control plane then records them
     /// [`EngineStatus::Retired`]). Cheap when nothing changed.
     pub fn apply_control(&mut self) {
+        // Queued matrix updates are checked on every sweep, not just on an
+        // epoch bump: a deferred update — requeued because some stream
+        // still pinned its engine's generation — must be retried even when
+        // the topology epoch has not moved.
+        if self.server.ctrl().has_updates() {
+            self.drain_updates();
+        }
         let epoch = self.server.ctrl().epoch();
         if epoch == self.epoch_seen {
             return;
@@ -1215,6 +1295,51 @@ impl<T: Scalar> ServerSession<'_, '_, '_, T> {
                 self.close_lane(id);
                 self.server.ctrl().mark_retired(id);
             }
+        }
+    }
+
+    /// Apply every queued matrix update ([`ControlHandle::apply_update`]):
+    /// recycle the target lane's pipeline — which joins its in-flight
+    /// launches on the **old** generation and releases this session's pin
+    /// on it — then swap the merged generation in; the lane reopens on its
+    /// next submission against the new matrix. An update whose engine is
+    /// still pinned elsewhere (a stream the caller holds outside this
+    /// session) is deferred to the next sweep together with the rest of
+    /// that engine's queue, so per-engine update order holds; an update
+    /// naming a non-updatable engine, or carrying a delta of the wrong
+    /// scalar type, counts as failed.
+    fn drain_updates(&mut self) {
+        let server = self.server;
+        let mut blocked: Vec<usize> = Vec::new();
+        let mut deferred: Vec<PendingUpdate> = Vec::new();
+        for update in server.ctrl().take_updates() {
+            let id = update.engine;
+            if blocked.contains(&id) {
+                deferred.push(update);
+                continue;
+            }
+            let outcome = match (server.mutable(id), update.delta.downcast_ref::<DeltaBatch<T>>()) {
+                (Some(mutable), Some(delta)) => {
+                    self.recycle_lane(id);
+                    mutable.try_apply(delta).map(|result| result.ok().map(|r| r.revision))
+                }
+                // A non-updatable engine or a mismatched scalar type: a
+                // counted failure, never a retry.
+                _ => Some(None),
+            };
+            match outcome {
+                Some(Some(revision)) => server.ctrl().note_update_applied(id, revision),
+                Some(None) => server.ctrl().note_update_failed(),
+                None => {
+                    blocked.push(id);
+                    deferred.push(update);
+                }
+            }
+        }
+        // Reinsert deferred updates at the queue's front in their original
+        // order (each insert prepends, so walk them back to front).
+        for update in deferred.into_iter().rev() {
+            server.ctrl().requeue_update(update);
         }
     }
 
@@ -1356,6 +1481,11 @@ impl<T: Scalar> ServerSession<'_, '_, '_, T> {
                     .enumerate()
                     .map(|(shard, engine)| (Some(shard), engine.tier_poll()))
                     .collect::<Vec<_>>(),
+                EngineEntry::Mutable(mutable) => mutable
+                    .tier_actions()
+                    .into_iter()
+                    .map(|(shard, action)| (Some(shard), action))
+                    .collect::<Vec<_>>(),
             }) else {
                 continue;
             };
@@ -1383,6 +1513,9 @@ impl<T: Scalar> ServerSession<'_, '_, '_, T> {
                                     .engines()
                                     .get(shard.unwrap_or(0))
                                     .is_some_and(|engine| engine.tier_try_install()),
+                                EngineEntry::Mutable(mutable) => {
+                                    mutable.tier_try_install_shard(shard.unwrap_or(0))
+                                }
                             })
                             .unwrap_or(false);
                         if installed {
@@ -1687,6 +1820,9 @@ enum RouteStream<'scope, 'env, T: Scalar> {
     Single(BatchStream<'scope, 'env, T>),
     /// A sharded engine's lockstep shard pipelines.
     Sharded(ShardedStream<'scope, 'env, T>),
+    /// A mutable engine's pipeline, pinned to one matrix generation for the
+    /// stream's lifetime (queued updates apply when the lane recycles).
+    Mutable(MutableStream<'scope, 'env, T>),
 }
 
 impl<T: Scalar> RouteStream<'_, '_, T> {
@@ -1694,6 +1830,7 @@ impl<T: Scalar> RouteStream<'_, '_, T> {
         match self {
             RouteStream::Single(s) => s.in_flight(),
             RouteStream::Sharded(s) => s.in_flight(),
+            RouteStream::Mutable(s) => s.in_flight(),
         }
     }
 
@@ -1702,18 +1839,19 @@ impl<T: Scalar> RouteStream<'_, '_, T> {
         match self {
             RouteStream::Single(s) => s.depth(),
             RouteStream::Sharded(s) => s.depth(),
+            RouteStream::Mutable(s) => s.depth(),
         }
     }
 
     fn is_full(&self) -> bool {
-        match self {
-            RouteStream::Single(s) => s.in_flight() == s.depth(),
-            RouteStream::Sharded(s) => s.in_flight() == s.depth(),
-        }
+        self.in_flight() == self.depth()
     }
 
+    /// Whether a worker panic poisons the whole lane: true for any
+    /// shard-fanned pipeline (sharded or mutable), where the panicking
+    /// input's sibling shard outputs are unrecoverable.
     fn is_sharded(&self) -> bool {
-        matches!(self, RouteStream::Sharded(_))
+        matches!(self, RouteStream::Sharded(_) | RouteStream::Mutable(_))
     }
 
     /// Push one owned input (fanned out by shared handle for sharded
@@ -1724,6 +1862,7 @@ impl<T: Scalar> RouteStream<'_, '_, T> {
             // One owned request, fanned out to every shard pipeline: each
             // holds an `Arc` clone until its own launch joins.
             RouteStream::Sharded(s) => s.push_shared_validated(Arc::new(input)),
+            RouteStream::Mutable(s) => s.push_shared_validated(Arc::new(input)),
         }
     }
 
@@ -1732,6 +1871,7 @@ impl<T: Scalar> RouteStream<'_, '_, T> {
         match self {
             RouteStream::Single(s) => s.complete_next(),
             RouteStream::Sharded(s) => s.complete_next(),
+            RouteStream::Mutable(s) => s.complete_next(),
         }
     }
 
@@ -1742,6 +1882,10 @@ impl<T: Scalar> RouteStream<'_, '_, T> {
         match self {
             RouteStream::Single(s) => s.finish(),
             RouteStream::Sharded(s) => {
+                let (rest, shard_report) = s.finish();
+                (rest, shard_report.merged)
+            }
+            RouteStream::Mutable(s) => {
                 let (rest, shard_report) = s.finish();
                 (rest, shard_report.merged)
             }

@@ -205,6 +205,77 @@ impl<'a, T: Scalar> ShardedSpmm<'a, T> {
         Ok(ShardedSpmm { plan, engines, pool, d, output_pool: Arc::new(BufferPool::new()) })
     }
 
+    /// [`ShardedSpmm::compile_with`] for the incremental-update path
+    /// ([`crate::update`]): shard `k` with `donors[k] == Some(engine)` is
+    /// **adopted** — its compiled core is shared pointer-identically from
+    /// the donor ([`JitSpmm::adopt`]) instead of recompiled, and the shared
+    /// kernel cache entry (when one is configured) is probed so live shards
+    /// register as hits and keep their mtime fresh against LRU eviction.
+    /// Shards with `donors[k] == None` compile fresh exactly as
+    /// [`ShardedSpmm::compile_with`] would, consulting the cache per shard.
+    ///
+    /// `output_pool` carries the previous generation's full-height buffer
+    /// pool across the swap, so a live server keeps recycling its outputs
+    /// through an update instead of re-allocating.
+    ///
+    /// The caller owns the adoption contract: each donor's matrix must be
+    /// content-identical to the corresponding spec's, and the donor's data
+    /// must outlive the new engine (see [`JitSpmm::adopt`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedSpmm::compile_with`], for the freshly compiled shards.
+    pub(crate) fn compile_with_reuse(
+        plan: &'a ShardPlan<T>,
+        d: usize,
+        pool: WorkerPool,
+        options: &ShardOptions,
+        donors: &[Option<&JitSpmm<'_, T>>],
+        output_pool: Arc<BufferPool<T>>,
+    ) -> Result<ShardedSpmm<'a, T>, JitSpmmError> {
+        debug_assert_eq!(donors.len(), plan.shards().len());
+        let topology = NumaTopology::detect();
+        let nodes = topology.is_multi_node().then(|| topology.num_nodes());
+        let shard_count = plan.shards().len();
+        let engines: Vec<JitSpmm<'a, T>> = plan
+            .shards()
+            .iter()
+            .zip(donors)
+            .enumerate()
+            .map(|(k, (spec, donor))| {
+                if let Some(donor) = donor {
+                    let engine = JitSpmm::adopt(donor, &spec.matrix);
+                    engine.touch_cache_entry();
+                    return Ok(engine);
+                }
+                let mut builder = JitSpmmBuilder::new()
+                    .pool(pool.clone())
+                    .threads(plan.lanes())
+                    .strategy(spec.strategy);
+                if let Some(policy) = options.tier {
+                    builder = builder.tiered(policy);
+                }
+                if let Some(cache) = &options.kernel_cache {
+                    builder = builder.kernel_cache_in(Arc::clone(cache));
+                }
+                if let Some(node) = options.numa_node {
+                    builder = builder.numa_node(node);
+                } else if let Some(n) = nodes {
+                    builder = builder.numa_node(k * n / shard_count.max(1));
+                }
+                builder.build(&spec.matrix, d)
+            })
+            .collect::<Result<_, _>>()?;
+        debug_assert!(engines.iter().all(|e| e.pool().same_pool(&pool)));
+        Ok(ShardedSpmm { plan, engines, pool, d, output_pool })
+    }
+
+    /// Hand the full-height output pool to a successor generation (see
+    /// [`ShardedSpmm::compile_with_reuse`]).
+    pub(crate) fn output_pool(&self) -> Arc<BufferPool<T>> {
+        Arc::clone(&self.output_pool)
+    }
+
     /// The plan this engine was compiled from.
     pub fn plan(&self) -> &'a ShardPlan<T> {
         self.plan

@@ -48,6 +48,7 @@ mod stream;
 mod shard_tests;
 
 pub use engine::{ShardOptions, ShardedSpmm};
+pub(crate) use plan::{choose_strategy, nnz_imbalance_of_specs};
 pub use plan::{plan_shards, ShardPlan, ShardSpec};
 pub use report::ShardReport;
 pub use stream::ShardedStream;

@@ -105,6 +105,39 @@ impl<T: Scalar> ShardPlan<T> {
     pub fn nnz_imbalance(&self) -> f64 {
         self.imbalance
     }
+
+    /// Assemble a plan from already-built shard specs — the
+    /// incremental-update path ([`crate::update`]), which surgically
+    /// replaces the touched shards of an existing plan while keeping the
+    /// untouched specs (and their cut points) verbatim. The specs must be
+    /// contiguous in row order starting at row 0; aggregate counts and the
+    /// imbalance are recomputed from the specs.
+    pub(crate) fn from_parts(
+        shards: Vec<ShardSpec<T>>,
+        ncols: usize,
+        lanes: usize,
+    ) -> ShardPlan<T> {
+        debug_assert!(!shards.is_empty());
+        debug_assert!(shards.first().is_none_or(|s| s.rows.start == 0));
+        debug_assert!(shards.windows(2).all(|w| w[0].rows.end == w[1].rows.start));
+        let nrows = shards.last().map_or(0, |s| s.rows.end);
+        let nnz: usize = shards.iter().map(ShardSpec::nnz).sum();
+        let imbalance = nnz_imbalance_of_specs(&shards);
+        ShardPlan { shards, nrows, ncols, nnz, lanes: lanes.max(1), imbalance }
+    }
+}
+
+/// Heaviest shard's non-zeros over the average — the same metric
+/// [`nnz_imbalance_of`] computes from ranges, evaluated directly on built
+/// specs (used by [`ShardPlan::from_parts`] and the update layer's replan
+/// drift check).
+pub(crate) fn nnz_imbalance_of_specs<T: Scalar>(shards: &[ShardSpec<T>]) -> f64 {
+    let total: usize = shards.iter().map(ShardSpec::nnz).sum();
+    if total == 0 || shards.is_empty() {
+        return 1.0;
+    }
+    let heaviest = shards.iter().map(ShardSpec::nnz).max().unwrap_or(0) as f64;
+    heaviest / (total as f64 / shards.len() as f64)
 }
 
 /// Plan `shards` contiguous row shards of `matrix`, balanced by non-zero
@@ -206,8 +239,9 @@ fn extract<T: Scalar>(matrix: &CsrMatrix<T>, rows: RowRange) -> CsrMatrix<T> {
 /// `lanes` would be from non-zero balance *inside this shard*. Dense or
 /// uniform shards stay static (no claim-loop traffic); skewed shards — a
 /// hub row next to near-empty rows — take the dynamic claim loop, which
-/// rebalances at run time.
-fn choose_strategy<T: Scalar>(shard: &CsrMatrix<T>, lanes: usize) -> Strategy {
+/// rebalances at run time. Crate-visible so the update layer re-judges a
+/// merged shard's local sparsity when rebuilding it.
+pub(crate) fn choose_strategy<T: Scalar>(shard: &CsrMatrix<T>, lanes: usize) -> Strategy {
     if lanes <= 1 {
         // One lane has nothing to balance; the claim loop would only cost.
         return Strategy::RowSplitStatic;

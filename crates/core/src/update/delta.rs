@@ -1,0 +1,81 @@
+//! Routing a global [`DeltaBatch`] onto a [`ShardPlan`]: every op lands in
+//! exactly one shard's contiguous row range and is rebased into that
+//! shard's local row numbering, so each touched shard can merge its slice
+//! of the delta independently with
+//! [`CsrMatrix::apply_delta`](jitspmm_sparse::CsrMatrix::apply_delta) —
+//! and the per-shard merges concatenate to the whole-matrix merge (the
+//! range-composability the sparse layer guarantees).
+
+use crate::shard::ShardPlan;
+use jitspmm_sparse::{DeltaBatch, DeltaOp, Scalar};
+
+/// Split `delta` into per-shard batches with rows rebased to each shard's
+/// local numbering (`row - rows.start`). Slot `k` is `None` when the delta
+/// does not touch shard `k` — the signal the apply layer uses to keep that
+/// shard's compiled core. Ops keep their batch order within each shard, so
+/// last-op-wins semantics survive the split.
+///
+/// Every op must already be validated against the full matrix dimensions;
+/// rows beyond the plan's last shard would panic the indexing below.
+pub(crate) fn split_by_shard<T: Scalar>(
+    plan: &ShardPlan<T>,
+    delta: &DeltaBatch<T>,
+) -> Vec<Option<DeltaBatch<T>>> {
+    let shards = plan.shards();
+    let mut locals: Vec<Option<DeltaBatch<T>>> = vec![None; shards.len()];
+    for op in delta.ops() {
+        // Shards are contiguous and sorted; the op's row lies in the first
+        // shard whose range ends beyond it.
+        let k = shards.partition_point(|s| s.rows.end <= op.row());
+        let start = shards[k].rows.start;
+        let local = locals[k].get_or_insert_with(DeltaBatch::new);
+        local.push(match *op {
+            DeltaOp::Upsert { row, col, value } => DeltaOp::Upsert { row: row - start, col, value },
+            DeltaOp::Delete { row, col } => DeltaOp::Delete { row: row - start, col },
+        });
+    }
+    locals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::plan_shards;
+    use jitspmm_sparse::generate;
+
+    #[test]
+    fn ops_route_to_their_shard_and_rebase() {
+        let m = generate::uniform::<f32>(100, 50, 1_000, 3);
+        let plan = plan_shards(&m, 4, 1).unwrap();
+        let mut delta = DeltaBatch::new();
+        // One op in the first shard, two in the last (order preserved).
+        let last = plan.shards().last().unwrap().rows;
+        delta.upsert(0, 1, 1.0);
+        delta.delete(last.start, 2);
+        delta.upsert(last.end - 1, 3, 2.0);
+        let locals = split_by_shard(&plan, &delta);
+        assert_eq!(locals.iter().filter(|l| l.is_some()).count(), 2);
+        let first = locals.first().unwrap().as_ref().unwrap();
+        assert_eq!(first.ops(), &[DeltaOp::Upsert { row: 0, col: 1, value: 1.0 }]);
+        let tail = locals.last().unwrap().as_ref().unwrap();
+        assert_eq!(
+            tail.ops(),
+            &[
+                DeltaOp::Delete { row: 0, col: 2 },
+                DeltaOp::Upsert { row: last.len() - 1, col: 3, value: 2.0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn untouched_shards_stay_none() {
+        let m = generate::uniform::<f32>(80, 80, 600, 9);
+        let plan = plan_shards(&m, 8, 1).unwrap();
+        let mut delta = DeltaBatch::<f32>::new();
+        delta.delete(0, 0);
+        let locals = split_by_shard(&plan, &delta);
+        assert!(locals[0].is_some());
+        assert!(locals[1..].iter().all(Option::is_none));
+        assert!(split_by_shard(&plan, &DeltaBatch::new()).iter().all(Option::is_none));
+    }
+}

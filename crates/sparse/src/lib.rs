@@ -10,6 +10,9 @@
 //!   [`CsrMatrix::share_rows`] hands out zero-copy row-range views (shard
 //!   planning borrows the parent's `col_indices`/`values` instead of
 //!   copying them),
+//! * [`DeltaBatch`] — edge-level deltas (insert / overwrite / delete)
+//!   against a base matrix, with whole-matrix and row-range merges — the
+//!   data layer behind `jitspmm`'s live incremental-update subsystem,
 //! * [`DenseMatrix`] — the row-major dense input/output matrices `X` and `Y`,
 //! * [`Scalar`] — the element trait tying `f32`/`f64` to the code generator,
 //! * synthetic matrix generators ([`generate`]) — uniform random, RMAT
@@ -46,6 +49,8 @@ mod error;
 mod scalar;
 mod storage;
 
+pub mod delta;
+
 pub mod datasets;
 pub mod generate;
 pub mod io;
@@ -53,6 +58,7 @@ pub mod stats;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
+pub use delta::{DeltaBatch, DeltaOp};
 pub use dense::DenseMatrix;
 pub use error::SparseError;
 pub use scalar::{Scalar, ScalarKind};

@@ -6,9 +6,9 @@
 
 use jitspmm::baseline::vectorized::spmm_vectorized;
 use jitspmm::serve::{AdmissionPolicy, ServeOptions, ServerRequest, SpmmServer};
-use jitspmm::{JitSpmmBuilder, Strategy, WorkerPool};
+use jitspmm::{JitSpmmBuilder, MutableSpmm, Strategy, WorkerPool};
 use jitspmm_examples::require_jit_host;
-use jitspmm_sparse::{generate, DenseMatrix};
+use jitspmm_sparse::{generate, DeltaBatch, DenseMatrix};
 use std::time::{Duration, Instant};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -232,9 +232,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(ctrl_report.offered(), offered, "every offered request is accounted for");
 
-    // Retire an engine and drain: the control plane stops admission for it,
-    // lets in-flight work finish, and the drain barrier waits until every
-    // admitted request has been answered — the shape of a rolling restart.
+    // 10. Retire an engine and drain: the control plane stops admission for
+    //     it, lets in-flight work finish, and the drain barrier waits until
+    //     every admitted request has been answered — the shape of a rolling
+    //     restart.
     server.retire_engine(1);
     server.control().drain();
     server.control().resume(); // the barrier passed; admit traffic again
@@ -247,5 +248,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     assert_eq!(responses.len(), 1);
     println!("post-retirement request on engine 0 verified");
+
+    // 11. Mutate a served matrix live: register a *mutable* engine, serve
+    //     requests against it, and apply an edge-delta batch mid-session
+    //     through the control handle. The serving loop drains the engine's
+    //     in-flight lane, recompiles only the shards the delta touches
+    //     (untouched shards keep their compiled kernels pointer-identically),
+    //     and swaps generations between launches — requests admitted after
+    //     the revision bump see the new matrix, bit-identical to a
+    //     from-scratch compile.
+    let graph = generate::uniform::<f32>(2_000, 2_000, 30_000, 46);
+    let update_pool = WorkerPool::new(2);
+    let mutable_server: SpmmServer<'_, f32> = SpmmServer::with_pool(update_pool.clone());
+    let engine_id =
+        mutable_server.add_mutable(MutableSpmm::compile(&graph, 2, 1, 8, update_pool.clone())?)?;
+    let control = mutable_server.control();
+    let mut delta = DeltaBatch::new();
+    for k in 0..64usize {
+        delta.upsert(k * 31 % 2_000, k * 17 % 2_000, 0.5 + k as f32 * 0.01);
+    }
+    let producer_control = control.clone();
+    let (update_report, ()) = mutable_server.serve_controlled(
+        ServeOptions::new(AdmissionPolicy::blocking(4)),
+        move |sender| {
+            // A request against the revision-0 matrix...
+            let x = DenseMatrix::random(2_000, 8, 600);
+            sender.send_request(ServerRequest::new(engine_id, x)).unwrap();
+            // ...then the live update: the loop applies it between launches.
+            producer_control.apply_update(engine_id, delta);
+            assert!(producer_control.wait_revision(engine_id, 1, Duration::from_secs(10)));
+            // ...and a request that sees the updated matrix.
+            let x = DenseMatrix::random(2_000, 8, 601);
+            sender.send_request(ServerRequest::new(engine_id, x)).unwrap();
+        },
+        |response| assert!(response.is_completed()),
+    )?;
+    let mutable = mutable_server.mutable(engine_id).expect("registered above");
+    println!(
+        "live update: {} requests served across revisions 0..={} \
+         ({} shards, nnz now {}; updates applied={} failed={})",
+        update_report.requests,
+        mutable.revision(),
+        mutable.shards(),
+        mutable.nnz(),
+        control.update_counts().0,
+        control.update_counts().1,
+    );
+    assert_eq!(update_report.requests, 2);
+    assert_eq!(mutable.revision(), 1);
     Ok(())
 }

@@ -5,7 +5,7 @@
 use jitspmm::serve::{ServerRequest, SpmmServer};
 use jitspmm::{JitSpmmBuilder, Strategy, WorkerPool};
 use jitspmm_integration_tests::host_supports_jit;
-use jitspmm_sparse::{CooMatrix, CsrMatrix, DenseMatrix};
+use jitspmm_sparse::{CooMatrix, CsrMatrix, DeltaBatch, DenseMatrix};
 use proptest::prelude::*;
 use proptest::strategy::Strategy as PropStrategy;
 
@@ -412,6 +412,42 @@ proptest! {
             "rows {}..{}: view-compiled engine diverged from owned-compiled (max diff {})",
             start, end, yv.max_abs_diff(&yo)
         );
+    }
+
+    /// [`CsrMatrix::apply_delta`] matches rebuilding the merged cell map from
+    /// scratch: upserts overwrite, deletes remove (absent cells are a no-op),
+    /// the last op at a position wins, and every untouched entry carries over
+    /// bit for bit. The incremental-update engine stands on this merge.
+    #[test]
+    fn apply_delta_matches_rebuild(
+        (nrows, ncols, entries) in arb_matrix(),
+        // (row, col, value, kind): kind 0 is a delete, anything else an
+        // upsert of `value` — the stub proptest has no Option strategy.
+        ops in proptest::collection::vec(
+            (0usize..60, 0usize..60, -4.0f32..4.0f32, 0usize..5),
+            0..80,
+        ),
+    ) {
+        let base = CsrMatrix::from_triplets(nrows, ncols, &entries).unwrap();
+        let mut delta = DeltaBatch::new();
+        let mut cells: std::collections::HashMap<(usize, usize), f32> =
+            base.iter().map(|(r, c, v)| ((r, c), v)).collect();
+        for &(r, c, v, kind) in &ops {
+            let (r, c) = (r % nrows, c % ncols);
+            if kind == 0 {
+                delta.delete(r, c);
+                cells.remove(&(r, c));
+            } else {
+                delta.upsert(r, c, v);
+                cells.insert((r, c), v);
+            }
+        }
+        let merged = base.apply_delta(&delta).unwrap();
+        prop_assert_eq!(merged.nnz(), cells.len());
+        let triplets: Vec<(usize, usize, f32)> =
+            cells.into_iter().map(|((r, c), v)| (r, c, v)).collect();
+        let expected = CsrMatrix::from_triplets(nrows, ncols, &triplets).unwrap();
+        prop_assert_eq!(merged, expected);
     }
 
     /// Workload partitions always cover every row exactly once, regardless of

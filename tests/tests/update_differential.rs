@@ -1,0 +1,224 @@
+//! Differential family for the incremental-update subsystem
+//! ([`jitspmm::update`]): every scenario × delta-kind combination must
+//! produce outputs **bit-identical** to compiling the merged matrix from
+//! scratch, on all three serving paths — blocking execute, batch execute,
+//! and the live-swap path behind [`SpmmServer::serve_controlled`] — and the
+//! incremental path must recompile only the shards a delta touches (the
+//! rest adopt their compiled cores pointer-identically, answered by kernel
+//! cache hits, not new stores).
+
+use jitspmm::serve::{AdmissionPolicy, ServeOptions, ServerRequest, SpmmServer};
+use jitspmm::shard::{plan_shards, ShardOptions, ShardedSpmm};
+use jitspmm::{KernelCache, MutableSpmm, WorkerPool};
+use jitspmm_integration_tests::{host_supports_jit, pathological, small_skewed, small_uniform};
+use jitspmm_sparse::{CsrMatrix, DeltaBatch, DenseMatrix};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SHARDS: usize = 3;
+const D: usize = 8;
+
+fn scenarios() -> Vec<(&'static str, CsrMatrix<f32>)> {
+    vec![("skewed", small_skewed()), ("uniform", small_uniform()), ("pathological", pathological())]
+}
+
+const DELTA_KINDS: [&str; 4] = ["insert", "delete", "value-update", "mixed"];
+
+/// Build a deterministic delta of the requested kind against `base`:
+/// inserts land on fresh coordinates, deletes and value-updates sample the
+/// matrix's existing entries, mixed interleaves all three.
+fn delta_for(kind: &str, base: &CsrMatrix<f32>) -> DeltaBatch<f32> {
+    let (nrows, ncols) = (base.nrows(), base.ncols());
+    let existing: Vec<(usize, usize)> = base.iter().map(|(r, c, _)| (r, c)).collect();
+    let mut delta = DeltaBatch::new();
+    match kind {
+        "insert" => {
+            for k in 0..25usize {
+                delta.upsert((k * 13 + 1) % nrows, (k * 29 + 3) % ncols, k as f32 * 0.5 + 0.25);
+            }
+        }
+        "delete" => {
+            for (r, c) in existing.iter().step_by(17) {
+                delta.delete(*r, *c);
+            }
+        }
+        "value-update" => {
+            for (i, (r, c)) in existing.iter().step_by(11).enumerate() {
+                delta.upsert(*r, *c, i as f32 - 4.5);
+            }
+        }
+        "mixed" => {
+            for k in 0..10usize {
+                delta.upsert((k * 37 + 2) % nrows, (k * 17 + 5) % ncols, 1.5 - k as f32);
+            }
+            for (r, c) in existing.iter().step_by(23) {
+                delta.delete(*r, *c);
+            }
+            for (r, c) in existing.iter().skip(1).step_by(31) {
+                delta.upsert(*r, *c, 9.75);
+            }
+        }
+        other => panic!("unknown delta kind {other}"),
+    }
+    delta
+}
+
+/// Blocking and batch paths: for every scenario × delta kind, the updated
+/// engine must match a from-scratch compile of the merged matrix bit for
+/// bit, and its merged view must equal the reference merge.
+#[test]
+fn incremental_update_matches_from_scratch_blocking_and_batch() {
+    if !host_supports_jit() {
+        return;
+    }
+    let pool = WorkerPool::new(2);
+    for (name, base) in scenarios() {
+        for kind in DELTA_KINDS {
+            let delta = delta_for(kind, &base);
+            let engine = MutableSpmm::compile(&base, SHARDS, 1, D, pool.clone()).unwrap();
+            let report = engine.apply(&delta).unwrap();
+            assert_eq!(report.revision, 1, "{name}/{kind}");
+            let merged = base.apply_delta(&delta).unwrap();
+            assert_eq!(engine.merged_matrix(), merged, "{name}/{kind}: merged view");
+            let plan = plan_shards(&merged, SHARDS, 1).unwrap();
+            let fresh = ShardedSpmm::compile(&plan, D, pool.clone()).unwrap();
+
+            let x = DenseMatrix::random(base.ncols(), D, 7);
+            let (y_inc, _) = pool.scope(|s| engine.execute(s, &x)).unwrap();
+            let (y_ref, _) = pool.scope(|s| fresh.execute(s, &x)).unwrap();
+            assert_eq!(y_inc.max_abs_diff(&y_ref), 0.0, "{name}/{kind}: blocking path");
+
+            let xs: Vec<DenseMatrix<f32>> =
+                (0..3).map(|seed| DenseMatrix::random(base.ncols(), D, seed)).collect();
+            let (ys_inc, _) = pool.scope(|s| engine.execute_batch(s, &xs)).unwrap();
+            let (ys_ref, _) = pool.scope(|s| fresh.execute_batch(s, &xs)).unwrap();
+            for (i, (yi, yr)) in ys_inc.iter().zip(&ys_ref).enumerate() {
+                assert_eq!(yi.max_abs_diff(yr), 0.0, "{name}/{kind}: batch input {i}");
+            }
+        }
+    }
+}
+
+/// The live-serving path: a mutable engine behind
+/// [`SpmmServer::serve_controlled`] takes a delta mid-session via
+/// [`jitspmm::serve::ControlHandle::apply_update`]. Requests completed
+/// before the update must match a from-scratch compile of the base matrix;
+/// requests admitted after the revision bump must match a from-scratch
+/// compile of the merged matrix — bit for bit in both epochs.
+#[test]
+fn live_update_behind_serve_controlled_is_bit_identical() {
+    if !host_supports_jit() {
+        return;
+    }
+    let pool = WorkerPool::new(2);
+    for (name, base) in scenarios() {
+        let delta = delta_for("mixed", &base);
+        let merged = base.apply_delta(&delta).unwrap();
+        let plan_base = plan_shards(&base, SHARDS, 1).unwrap();
+        let fresh_base = ShardedSpmm::compile(&plan_base, D, pool.clone()).unwrap();
+        let plan_merged = plan_shards(&merged, SHARDS, 1).unwrap();
+        let fresh_merged = ShardedSpmm::compile(&plan_merged, D, pool.clone()).unwrap();
+        let inputs: Vec<DenseMatrix<f32>> =
+            (0..6).map(|seed| DenseMatrix::random(base.ncols(), D, 40 + seed)).collect();
+        let mut expected = Vec::new();
+        for (i, x) in inputs.iter().enumerate() {
+            let reference = if i < 3 { &fresh_base } else { &fresh_merged };
+            let (y, _) = pool.scope(|s| reference.execute(s, x)).unwrap();
+            expected.push(y);
+        }
+
+        let server: SpmmServer<'_, f32> = SpmmServer::with_pool(pool.clone());
+        let mutable = MutableSpmm::compile(&base, SHARDS, 1, D, pool.clone()).unwrap();
+        let id = server.add_mutable(mutable).unwrap();
+        let control = server.control();
+        let mut responses = Vec::new();
+        let inputs_ref = &inputs;
+        let producer_control = control.clone();
+        let producer_delta = delta.clone();
+        let (report, ()) = server
+            .serve_controlled(
+                ServeOptions::new(AdmissionPolicy::blocking(8)),
+                move |sender| {
+                    for x in &inputs_ref[..3] {
+                        sender.send_request(ServerRequest::new(id, x.clone())).unwrap();
+                    }
+                    // Let the pre-update requests finish on the old matrix
+                    // before the swap, so each epoch's expectation is exact.
+                    assert!(producer_control.wait_quiescent_timeout(Duration::from_secs(30)));
+                    assert!(producer_control.apply_update(id, producer_delta));
+                    assert!(producer_control.wait_revision(id, 1, Duration::from_secs(30)));
+                    for x in &inputs_ref[3..] {
+                        sender.send_request(ServerRequest::new(id, x.clone())).unwrap();
+                    }
+                },
+                |response| responses.push(response),
+            )
+            .unwrap();
+        assert_eq!(report.requests, 6, "{name}: all requests completed");
+        assert_eq!(control.engine_revision(id), Some(1), "{name}");
+        assert_eq!(control.update_counts(), (1, 0), "{name}");
+        responses.sort_by_key(|r| r.request());
+        for (i, response) in responses.iter().enumerate() {
+            assert!(response.is_completed(), "{name}: request {i}");
+            assert_eq!(
+                response.output().max_abs_diff(&expected[i]),
+                0.0,
+                "{name}: request {i} ({} the update) must be bit-identical",
+                if i < 3 { "before" } else { "after" }
+            );
+        }
+    }
+}
+
+/// Untouched-shard stability under a kernel cache: a single-shard delta
+/// recompiles exactly one shard; every other shard adopts its compiled core
+/// pointer-identically and re-probes the cache as a **hit** (refreshing the
+/// entry), never as a new store.
+#[test]
+fn untouched_shards_reuse_cores_and_hit_the_kernel_cache() {
+    if !host_supports_jit() {
+        return;
+    }
+    let dir =
+        std::env::temp_dir().join(format!("jitspmm-update-diff-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = KernelCache::open(&dir);
+    let pool = WorkerPool::new(2);
+    let base = small_uniform();
+    let options = ShardOptions::new().kernel_cache(Arc::clone(&cache));
+    let engine = MutableSpmm::compile_with(&base, 4, 1, D, pool.clone(), options).unwrap();
+    let shards = engine.shards();
+    assert!(shards >= 2, "the scenario must actually shard");
+    let before_cores = engine.core_ids();
+    let before = cache.stats();
+
+    // Touch only row 0 — the first shard.
+    let mut delta = DeltaBatch::new();
+    delta.upsert(0, 5, 2.5);
+    let report = engine.apply(&delta).unwrap();
+    assert_eq!(report.touched_shards, 1);
+    assert_eq!(report.rebuilt_shards, 1);
+    assert_eq!(report.reused_shards, shards - 1);
+
+    let after_cores = engine.core_ids();
+    assert_ne!(before_cores[0], after_cores[0], "the touched shard recompiles");
+    assert_eq!(&before_cores[1..], &after_cores[1..], "untouched cores adopt pointer-identically");
+
+    let after = cache.stats();
+    assert_eq!(
+        after.hits - before.hits,
+        (shards - 1) as u64,
+        "each untouched shard answers its cache probe with a hit"
+    );
+    assert_eq!(after.stores - before.stores, 1, "only the touched shard stores a new kernel");
+
+    // And the updated engine still matches a from-scratch compile.
+    let merged = base.apply_delta(&delta).unwrap();
+    let plan = plan_shards(&merged, 4, 1).unwrap();
+    let fresh = ShardedSpmm::compile(&plan, D, pool.clone()).unwrap();
+    let x = DenseMatrix::random(base.ncols(), D, 3);
+    let (y_inc, _) = pool.scope(|s| engine.execute(s, &x)).unwrap();
+    let (y_ref, _) = pool.scope(|s| fresh.execute(s, &x)).unwrap();
+    assert_eq!(y_inc.max_abs_diff(&y_ref), 0.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
